@@ -1,0 +1,127 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Each experiment id corresponds to one table or figure of the
+// evaluation; see DESIGN.md for the index. Output is an aligned text
+// table by default, CSV with -csv.
+//
+// Examples:
+//
+//	benchrunner -exp fig7                 # analytic, instant
+//	benchrunner -exp fig2 -measure 300    # simulated throughput sweep
+//	benchrunner -exp fig11 -loss 0.05
+//	benchrunner -exp all                  # everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"extsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open c2 controller controller-ablation all")
+		loss    = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
+		util    = flag.Float64("util", 0.7, "open-system utilization for rt-open")
+		setup   = flag.Int("setup", 3, "setup id for rt-open")
+		warmup  = flag.Float64("warmup", 0, "override warmup sim-seconds (0 = auto)")
+		measure = flag.Float64("measure", 0, "override measured sim-seconds (0 = auto)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart   = flag.Bool("chart", false, "render an ASCII chart instead of a table")
+		outdir  = flag.String("outdir", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig2", "fig3", "fig4", "fig5", "fig7", "fig10", "c2",
+			"rt-open", "fig11", "fig12", "fig13", "controller"}
+	}
+	for _, id := range ids {
+		fig, err := run(id, *loss, *util, *setup, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch {
+		case *csv:
+			fmt.Print(fig.CSV())
+		case *chart:
+			fmt.Print(fig.Chart(72, 20))
+		default:
+			fmt.Print(fig.Format())
+		}
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, sanitize(fig.ID)+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+}
+
+// sanitize makes a figure id filesystem-friendly.
+func sanitize(id string) string {
+	r := strings.NewReplacer("@", "-at-", "%", "pct", "/", "-", " ", "_")
+	return r.Replace(id)
+}
+
+func run(id string, loss, util float64, setupID int, opts experiments.RunOpts) (*experiments.Figure, error) {
+	switch id {
+	case "fig2":
+		return experiments.Figure2(opts)
+	case "fig3":
+		return experiments.Figure3(opts)
+	case "fig4":
+		return experiments.Figure4(opts)
+	case "fig5":
+		return experiments.Figure5(opts)
+	case "fig7":
+		return experiments.Figure7()
+	case "fig10":
+		return experiments.Figure10()
+	case "fig11":
+		return experiments.Figure11(loss, nil, opts)
+	case "fig12":
+		return experiments.FigureInternal(1, opts)
+	case "fig13":
+		return experiments.FigureInternal(3, opts)
+	case "rt-open":
+		return experiments.Section32RT(setupID, util, []int{1, 2, 4, 6, 8, 10, 15, 20, 30}, opts)
+	case "rt-summary":
+		return experiments.Section32Summary(0.1, opts)
+	case "c2":
+		return experiments.C2Figure(200000, opts.Seed)
+	case "controller":
+		return experiments.ControllerFigure(nil, loss, true, opts)
+	case "controller-ablation":
+		return experiments.ControllerFigure(nil, loss, false, opts)
+	case "ablate-groupcommit":
+		return experiments.GroupCommitAblation(setupID, []int{1, 2, 5, 10, 20, 40}, opts)
+	case "ablate-pow":
+		return experiments.POWAblation(opts)
+	case "ablate-policy":
+		return experiments.PolicyComparison(setupID, 3, opts)
+	case "ablate-admission":
+		return experiments.AdmissionComparison(setupID, 5, 20, 0.9, opts)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,79 @@
+// Command dbsim runs a single simulated-DBMS experiment and prints its
+// metrics — the quickest way to poke at one configuration.
+//
+// Examples:
+//
+//	dbsim -setup 1 -mpl 5
+//	dbsim -workload W_CPU-browsing -cpus 2 -mpl 8 -policy priority
+//	dbsim -setup 8 -mpl 0 -measure 600      # no limit, long run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extsched"
+)
+
+func main() {
+	var (
+		setupID  = flag.Int("setup", 0, "Table 2 setup id (1-17)")
+		wl       = flag.String("workload", "", "Table 1 workload name (with -cpus/-disks/-iso)")
+		cpus     = flag.Int("cpus", 1, "CPUs (with -workload)")
+		disks    = flag.Int("disks", 1, "data disks (with -workload)")
+		iso      = flag.String("iso", "RR", "isolation level: RR or UR")
+		mpl      = flag.Int("mpl", 0, "multiprogramming limit (0 = unlimited)")
+		policy   = flag.String("policy", "fifo", "external queue policy: fifo, priority, sjf")
+		clients  = flag.Int("clients", 100, "closed-system client population")
+		lambda   = flag.Float64("lambda", 0, "open-system arrival rate (0 = closed system)")
+		warmup   = flag.Float64("warmup", 50, "warmup simulated seconds")
+		measure  = flag.Float64("measure", 300, "measured simulated seconds")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		lockPrio = flag.Bool("internal-lock-prio", false, "internal lock prioritization (POW)")
+		cpuPrio  = flag.Bool("internal-cpu-prio", false, "internal CPU prioritization (renice)")
+	)
+	flag.Parse()
+
+	sys, err := extsched.NewSystem(extsched.Config{
+		SetupID:              *setupID,
+		Workload:             *wl,
+		CPUs:                 *cpus,
+		Disks:                *disks,
+		Isolation:            *iso,
+		MPL:                  *mpl,
+		Policy:               *policy,
+		InternalLockPriority: *lockPrio,
+		InternalCPUPriority:  *cpuPrio,
+		Seed:                 *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(sys.Setup())
+	var rep extsched.Report
+	if *lambda > 0 {
+		rep, err = sys.RunOpen(*lambda, *warmup, *measure)
+	} else {
+		rep, err = sys.RunClosed(*clients, *warmup, *measure)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mpl:              %d\n", sys.MPL())
+	fmt.Printf("completed:        %d txns in %.0f sim-seconds\n", rep.Completed, rep.SimSeconds)
+	fmt.Printf("throughput:       %.2f txn/s\n", rep.Throughput)
+	fmt.Printf("mean RT:          %.4f s (inside %.4f s, external wait %.4f s)\n",
+		rep.MeanRT, rep.MeanInside, rep.ExternalW)
+	fmt.Printf("high-prio RT:     %.4f s\n", rep.HighRT)
+	fmt.Printf("low-prio RT:      %.4f s\n", rep.LowRT)
+	fmt.Printf("cpu util:         %.3f\n", rep.CPUUtil)
+	fmt.Printf("disk util:        %.3f\n", rep.DiskUtil)
+	fmt.Printf("lock waits:       %d (deadlocks %d, preemptions %d, restarts %d)\n",
+		rep.LockWaits, rep.Deadlocks, rep.Preemptions, rep.Restarts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command mpltool is the paper's MPL-recommendation tool: given a
+// hardware shape, per-transaction demand estimates, and the DBA's
+// acceptable throughput loss (plus, optionally, an open-system load
+// description for the response-time criterion), it prints the lowest
+// MPL the Section 4 queueing models consider safe.
+//
+// Examples:
+//
+//	mpltool -cpus 1 -disks 4 -cpu-demand 0.001 -io-demand 0.2 -max-loss 0.05
+//	mpltool -cpus 2 -disks 1 -cpu-demand 0.02 -lambda 70 -mean-demand 0.01 -c2 15
+//
+// Use -setup to pull demands from one of the paper's Table 2 setups:
+//
+//	mpltool -setup 8 -max-loss 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extsched"
+	"extsched/internal/controller"
+	"extsched/internal/workload"
+)
+
+func main() {
+	var (
+		setupID   = flag.Int("setup", 0, "Table 2 setup id (1-17); overrides demands/hardware flags")
+		cpus      = flag.Int("cpus", 1, "number of CPUs")
+		disks     = flag.Int("disks", 1, "number of data disks")
+		cpuDemand = flag.Float64("cpu-demand", 0, "per-transaction CPU demand (seconds)")
+		ioDemand  = flag.Float64("io-demand", 0, "per-transaction disk demand (seconds)")
+		maxLoss   = flag.Float64("max-loss", 0.05, "acceptable fractional throughput loss")
+		lambda    = flag.Float64("lambda", 0, "open-system arrival rate for the RT criterion (0 = skip)")
+		meanDem   = flag.Float64("mean-demand", 0, "mean total service demand for the RT criterion")
+		c2        = flag.Float64("c2", 0, "squared coefficient of variation of demand")
+		maxRTInc  = flag.Float64("max-rt-increase", 0.1, "acceptable fractional RT increase over PS")
+		list      = flag.Bool("list", false, "list the Table 2 setups and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range extsched.Setups() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *setupID != 0 {
+		s, err := workload.SetupByID(*setupID)
+		if err != nil {
+			fatal(err)
+		}
+		*cpus, *disks = s.CPUs, s.Disks
+		*cpuDemand, *ioDemand = s.Demands()
+		fmt.Printf("%s\n", s)
+		fmt.Printf("demand estimates: cpu=%.4fs io=%.4fs per transaction (disk CV²=%.2f)\n",
+			*cpuDemand, *ioDemand, s.Workload.DiskService.C2())
+		// The setup knows its disks' service variability; use the
+		// CV²-aware model, as the controller's jump-start does.
+		start, err := controller.JumpStart(controller.JumpStartInput{
+			CPUs: s.CPUs, Disks: s.Disks,
+			CPUDemand: *cpuDemand, IODemand: *ioDemand,
+			DiskCV2:            s.Workload.DiskService.C2(),
+			ThroughputFraction: 1 - *maxLoss,
+			Lambda:             *lambda,
+			MeanDemand:         *meanDem,
+			DemandC2:           *c2,
+			RTTolerance:        *maxRTInc,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recommended MPL (CV²-aware jump-start model): %d\n", start)
+		return
+	}
+	if *cpuDemand == 0 && *ioDemand == 0 {
+		fatal(fmt.Errorf("need -cpu-demand and/or -io-demand (or -setup)"))
+	}
+	rec, err := extsched.RecommendMPL(*cpus, *disks, *cpuDemand, *ioDemand, *maxLoss,
+		*lambda, *meanDem, *c2, *maxRTInc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("throughput criterion (MVA, <=%.0f%% loss): MPL >= %d\n", *maxLoss*100, rec.ThroughputMPL)
+	if rec.ResponseTimeMPL > 0 {
+		fmt.Printf("response-time criterion (QBD, C²=%.1f, rho=%.2f): MPL >= %d\n",
+			*c2, *lambda**meanDem, rec.ResponseTimeMPL)
+	}
+	fmt.Printf("recommended MPL: %d\n", rec.MPL)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpltool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Autotune: the paper's Section 4 tool end-to-end. First the queueing
+// models recommend a starting MPL (MVA for throughput, the QBD chain
+// for response time); then the feedback controller refines it against
+// the live (simulated) system until the DBA's tolerance is met.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extsched"
+)
+
+func main() {
+	const setupID = 8 // W_IO-inventory on 4 disks: needs a nontrivial MPL
+	const maxLoss = 0.05
+
+	fmt.Printf("Auto-tuning the MPL for setup %d (IO bound, 4 disks), max %d%% throughput loss\n\n",
+		setupID, int(maxLoss*100))
+
+	// Step 1 — measure the no-MPL reference (deployments could instead
+	// probe periodically or use the model's bound).
+	ref, err := extsched.NewSystem(extsched.Config{SetupID: setupID, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := ref.RunClosed(100, 100, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference (no MPL): %.2f tx/s, mean RT %.2fs\n", base.Throughput, base.MeanRT)
+
+	// Step 2 — run the jump-started feedback controller.
+	sys, err := extsched.NewSystem(extsched.Config{SetupID: setupID, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.AutoTune(100, maxLoss, base.Throughput, 20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model jump-start:   MPL %d\n", res.StartMPL)
+	fmt.Printf("controller:         converged=%v after %d iterations, final MPL %d\n",
+		res.Converged, res.Iterations, res.FinalMPL)
+
+	// Step 3 — verify the tuned MPL holds the throughput target.
+	check, err := extsched.NewSystem(extsched.Config{SetupID: setupID, MPL: res.FinalMPL, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := check.RunClosed(100, 100, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification:       %.2f tx/s at MPL %d (%.1f%% of reference)\n",
+		rep.Throughput, res.FinalMPL, 100*rep.Throughput/base.Throughput)
+	fmt.Println()
+	fmt.Println("The paper's claim: the model jump-start puts the loop close enough")
+	fmt.Println("that constant ±1 steps converge in under ten observation windows.")
+}

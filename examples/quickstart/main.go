@@ -1,0 +1,49 @@
+// Quickstart: build a simulated DBMS for one of the paper's setups,
+// put the external scheduler in front of it, and see what the MPL does
+// to throughput and response time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extsched"
+)
+
+func main() {
+	fmt.Println("External scheduling quickstart (Schroeder et al., ICDE'06)")
+	fmt.Println()
+	fmt.Println("Sweeping the MPL on setup 1 (TPC-C-like, CPU bound, 1 CPU, 1 disk),")
+	fmt.Println("closed system with 100 clients:")
+	fmt.Println()
+	fmt.Printf("%6s %12s %12s %14s\n", "MPL", "tput (tx/s)", "meanRT (s)", "extWait (s)")
+
+	for _, mpl := range []int{1, 2, 5, 10, 20, 0} {
+		// A fresh System per run keeps runs independent and
+		// deterministic (same seed, same workload sample path).
+		sys, err := extsched.NewSystem(extsched.Config{
+			SetupID: 1,
+			MPL:     mpl,
+			Seed:    7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.RunClosed(100, 20, 120)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprint(mpl)
+		if mpl == 0 {
+			label = "none"
+		}
+		fmt.Printf("%6s %12.1f %12.3f %14.3f\n", label, rep.Throughput, rep.MeanRT, rep.ExternalW)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: throughput saturates at a very low MPL (the paper's point),")
+	fmt.Println("so nearly all transactions can be held in the external queue where")
+	fmt.Println("the application controls their order.")
+}

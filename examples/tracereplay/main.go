@@ -1,0 +1,70 @@
+// Trace replay: take a production-shaped transaction trace (the
+// paper's retailer/auction comparison, C² ≈ 2), replay it through the
+// external scheduler at several MPLs, and watch how mean and tail
+// response times react — the workflow a DBA would use with their own
+// transaction log before picking an MPL.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+	"extsched/internal/trace"
+	"extsched/internal/workload"
+)
+
+func main() {
+	tr := trace.SyntheticRetailer(60000, 42)
+	fmt.Printf("replaying %s: %d transactions, mean demand %.1f ms, C² = %.2f\n\n",
+		tr.Source, tr.Len(), tr.MeanDemand()*1000, tr.DemandC2())
+	fmt.Printf("%6s %12s %12s %12s %12s\n", "MPL", "tput (tx/s)", "meanRT (ms)", "p95 (ms)", "p99 (ms)")
+
+	// The traced site ran on a larger box than one core (its offered
+	// load is ~2.5 core-seconds per second); replay onto 4 cores and
+	// replay at recorded speed: ~63% mean utilization with bursts
+	// that transiently exceed capacity — where the MPL choice matters.
+	const speedup = 1.0
+
+	for _, mpl := range []int{2, 4, 8, 16, 0} {
+		eng := sim.NewEngine()
+		db, err := dbms.New(eng, dbms.Config{
+			CPUs: 4, Disks: 1,
+			LogService: dist.NewDeterministic(0),
+			Seed:       1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fe := core.New(eng, db, mpl, nil)
+		fe.EnablePercentiles(20000, 1)
+		d, err := workload.NewTraceDriver(eng, fe, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.Speedup = speedup
+		d.Start()
+		eng.RunAll()
+		m := fe.Metrics()
+		label := fmt.Sprint(mpl)
+		if mpl == 0 {
+			label = "none"
+		}
+		fmt.Printf("%6s %12.1f %12.2f %12.2f %12.2f\n",
+			label,
+			m.Throughput(),
+			m.All.Mean()*1000,
+			fe.ResponseTimePercentile(95)*1000,
+			fe.ResponseTimePercentile(99)*1000)
+	}
+	fmt.Println()
+	fmt.Println("Reading: at C² ≈ 2 the mean RT flattens at a modest MPL — the")
+	fmt.Println("paper's finding that production workloads sit between TPC-C")
+	fmt.Println("(insensitive) and TPC-W (needs MPL 8-15). The p99 shows the")
+	fmt.Println("residual head-of-line blocking cost of very low MPLs.")
+}

@@ -1,0 +1,397 @@
+// Package extsched is a reproduction of Schroeder, Harchol-Balter,
+// Iyengar, Nahum and Wierman, "How to determine a good
+// multi-programming level for external scheduling" (ICDE 2006).
+//
+// It provides:
+//
+//   - a discrete-event-simulated transactional DBMS (multi-core PS
+//     CPU, striped disks + group-commit log device, LRU buffer pool
+//     with optional checkpointer, strict-2PL lock manager with
+//     deadlock detection, wait timeouts and Preempt-on-Wait, plus a
+//     PostgreSQL-style snapshot-isolation mode);
+//   - the paper's external scheduling front-end: an MPL gate with a
+//     reorderable external queue (FIFO / Priority / SJF / WFQ) and an
+//     optional admission-control drop mode;
+//   - the queueing models of Sections 4.1–4.2 (closed-network MVA and
+//     the matrix-geometric solution of the FIFO→PS-with-MPL chain);
+//   - the Section 4.3 feedback controller that auto-tunes the MPL to
+//     DBA-specified throughput/response-time tolerances; and
+//   - drivers that regenerate every figure and table of the paper's
+//     evaluation (see the experiments subcommands of cmd/benchrunner
+//     and the benchmarks at the repository root).
+//
+// The System type in this package is the high-level entry point: it
+// assembles a simulated DBMS for one of the paper's Table 2 setups (or
+// a custom configuration), wraps it with the external scheduler, and
+// runs closed or open workloads. Lower-level building blocks live in
+// the internal packages and are exercised through System accessors.
+package extsched
+
+import (
+	"fmt"
+
+	"extsched/internal/controller"
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/lockmgr"
+	"extsched/internal/queueing/mva"
+	"extsched/internal/queueing/qbd"
+	"extsched/internal/sim"
+	"extsched/internal/workload"
+)
+
+// Policy names accepted by Config.Policy.
+const (
+	PolicyFIFO     = "fifo"
+	PolicyPriority = "priority"
+	PolicySJF      = "sjf"
+	PolicyWFQ      = "wfq"
+)
+
+// Config assembles a simulated system.
+type Config struct {
+	// SetupID selects one of the paper's Table 2 setups (1-17).
+	// Zero means use the explicit fields below instead.
+	SetupID int
+	// Workload names a Table 1 workload (e.g. "W_CPU-inventory") when
+	// SetupID is zero.
+	Workload string
+	// CPUs / Disks / Isolation configure the hardware when SetupID is
+	// zero. Isolation is "RR" (default) or "UR".
+	CPUs, Disks int
+	Isolation   string
+	// MPL is the multiprogramming limit; 0 = unlimited.
+	MPL int
+	// Policy orders the external queue: "fifo" (default), "priority",
+	// "sjf", or "wfq".
+	Policy string
+	// InternalLockPriority enables priority lock queues with
+	// Preempt-on-Wait (the Shore experiment of Section 5.2).
+	InternalLockPriority bool
+	// InternalCPUPriority enables renice-style CPU priorities (the DB2
+	// experiment of Section 5.2).
+	InternalCPUPriority bool
+	// HighPriorityFraction tags this fraction of transactions High
+	// (default 0.1, the paper's choice).
+	HighPriorityFraction float64
+	// WFQHighWeight sets the High class's weight for the "wfq" policy
+	// (Low gets 1). Default 4.
+	WFQHighWeight float64
+	// QueueLimit, when > 0, switches the frontend to admission-control
+	// mode: arrivals beyond the limit are dropped (the related-work
+	// comparison; pure external scheduling never drops).
+	QueueLimit int
+	// PercentileSamples, when > 0, reservoir-samples response times so
+	// Report carries P50/P95/P99.
+	PercentileSamples int
+	// Seed fixes all randomness (default 1).
+	Seed uint64
+}
+
+// System is an assembled simulated DBMS with its external scheduler.
+type System struct {
+	cfg    Config
+	setup  workload.Setup
+	eng    *sim.Engine
+	db     *dbms.DB
+	fe     *core.Frontend
+	gen    *workload.Generator
+	closed *workload.ClosedDriver
+	open   *workload.OpenDriver
+}
+
+// resolveSetup maps a Config to a workload.Setup.
+func resolveSetup(cfg Config) (workload.Setup, error) {
+	if cfg.SetupID != 0 {
+		return workload.SetupByID(cfg.SetupID)
+	}
+	if cfg.Workload == "" {
+		return workload.Setup{}, fmt.Errorf("extsched: either SetupID or Workload is required")
+	}
+	spec, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return workload.Setup{}, err
+	}
+	cpus, disks := cfg.CPUs, cfg.Disks
+	if cpus == 0 {
+		cpus = 1
+	}
+	if disks == 0 {
+		disks = 1
+	}
+	iso := dbms.RR
+	switch cfg.Isolation {
+	case "", "RR":
+	case "UR":
+		iso = dbms.UR
+	case "SI":
+		iso = dbms.SI
+	default:
+		return workload.Setup{}, fmt.Errorf("extsched: unknown isolation %q (want RR, UR or SI)", cfg.Isolation)
+	}
+	return workload.Setup{ID: 0, Workload: spec, CPUs: cpus, Disks: disks, Isolation: iso}, nil
+}
+
+// NewSystem builds a System from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	setup, err := resolveSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var policy core.Policy
+	switch cfg.Policy {
+	case "", PolicyFIFO:
+		policy = core.NewFIFO()
+	case PolicyPriority:
+		policy = core.NewPriority()
+	case PolicySJF:
+		policy = core.NewSJF()
+	case PolicyWFQ:
+		w := cfg.WFQHighWeight
+		if w <= 0 {
+			w = 4
+		}
+		policy = core.NewWFQ(map[lockmgr.Class]float64{lockmgr.High: w, lockmgr.Low: 1})
+	default:
+		return nil, fmt.Errorf("extsched: unknown policy %q", cfg.Policy)
+	}
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, setup.BuildConfig(workload.DBOptions{
+		LockPolicy:  map[bool]lockmgr.Policy{true: lockmgr.PriorityFIFO, false: lockmgr.FIFO}[cfg.InternalLockPriority],
+		POW:         cfg.InternalLockPriority,
+		CPUPriority: cfg.InternalCPUPriority,
+		Seed:        cfg.Seed,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	fe := core.New(eng, db, cfg.MPL, policy)
+	if cfg.QueueLimit > 0 {
+		fe.SetQueueLimit(cfg.QueueLimit)
+	}
+	if cfg.PercentileSamples > 0 {
+		fe.EnablePercentiles(cfg.PercentileSamples, cfg.Seed)
+	}
+	gen, err := workload.NewGenerator(setup.Workload, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HighPriorityFraction > 0 {
+		gen.HighFrac = cfg.HighPriorityFraction
+	}
+	workload.Prewarm(db, setup.Workload, cfg.Seed)
+	return &System{cfg: cfg, setup: setup, eng: eng, db: db, fe: fe, gen: gen}, nil
+}
+
+// Report summarizes a measured run.
+type Report struct {
+	SimSeconds    float64
+	Completed     uint64
+	Throughput    float64 // transactions/second
+	MeanRT        float64 // overall mean response time (s)
+	HighRT        float64 // high-priority class mean RT (s)
+	LowRT         float64 // low-priority class mean RT (s)
+	MeanInside    float64 // mean time inside the DBMS (s)
+	ExternalW     float64 // mean external queue wait (s)
+	Restarts      uint64  // abort/restart cycles observed
+	CPUUtil       float64
+	DiskUtil      float64
+	DemandC2      float64 // measured C² of the time spent inside the DBMS
+	LockWaits     uint64
+	Deadlocks     uint64
+	Preemptions   uint64
+	Dropped       uint64  // admission-control rejections (QueueLimit mode)
+	P50, P95, P99 float64 // response-time percentiles (PercentileSamples mode)
+}
+
+func (s *System) report(simSeconds float64) Report {
+	m := s.fe.Metrics()
+	st := s.db.Stats()
+	return Report{
+		SimSeconds:  simSeconds,
+		Completed:   m.Completed,
+		Throughput:  m.Throughput(),
+		MeanRT:      m.All.Mean(),
+		HighRT:      m.High.Mean(),
+		LowRT:       m.Low.Mean(),
+		MeanInside:  m.Inside.Mean(),
+		ExternalW:   m.ExtWait.Mean(),
+		Restarts:    m.Restarts,
+		CPUUtil:     s.db.CPUUtilization(),
+		DiskUtil:    s.db.DiskUtilization(),
+		DemandC2:    m.Inside.C2(),
+		LockWaits:   st.Lock.Waits,
+		Deadlocks:   st.Lock.Deadlocks,
+		Preemptions: st.Lock.Preemptions,
+		Dropped:     s.fe.Dropped(),
+		P50:         s.fe.ResponseTimePercentile(50),
+		P95:         s.fe.ResponseTimePercentile(95),
+		P99:         s.fe.ResponseTimePercentile(99),
+	}
+}
+
+// RunClosed drives the system with a fixed client population (the
+// paper's closed system; it uses 100 clients) for measure simulated
+// seconds after warmup seconds of warm-up.
+func (s *System) RunClosed(clients int, warmup, measure float64) (Report, error) {
+	if clients <= 0 {
+		clients = 100
+	}
+	if s.closed != nil || s.open != nil {
+		return Report{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
+	}
+	s.closed = workload.NewClosedDriver(s.eng, s.fe, s.gen, clients, nil)
+	s.closed.Start()
+	s.eng.Run(warmup)
+	s.fe.ResetMetrics()
+	start := s.eng.Now()
+	s.eng.Run(start + measure)
+	s.closed.Stop()
+	return s.report(s.eng.Now() - start), nil
+}
+
+// RunOpen drives the system with Poisson arrivals at rate lambda.
+func (s *System) RunOpen(lambda, warmup, measure float64) (Report, error) {
+	if s.closed != nil || s.open != nil {
+		return Report{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
+	}
+	s.open = workload.NewOpenDriver(s.eng, s.fe, s.gen, lambda, 0)
+	s.open.Start()
+	s.eng.Run(warmup)
+	s.fe.ResetMetrics()
+	start := s.eng.Now()
+	s.eng.Run(start + measure)
+	s.open.Stop()
+	s.eng.RunAll()
+	return s.report(measure), nil
+}
+
+// SetMPL changes the MPL mid-run (the controller does this live).
+func (s *System) SetMPL(mpl int) { s.fe.SetMPL(mpl) }
+
+// MPL returns the current limit.
+func (s *System) MPL() int { return s.fe.MPL() }
+
+// Setup describes the resolved Table 2 setup.
+func (s *System) Setup() string { return s.setup.String() }
+
+// TuneResult reports an AutoTune run.
+type TuneResult struct {
+	StartMPL   int
+	FinalMPL   int
+	Iterations int
+	Converged  bool
+}
+
+// AutoTune runs the Section 4.3 controller against this system under a
+// closed workload until convergence (or until horizon simulated
+// seconds elapse). maxLoss is the DBA's acceptable throughput loss
+// (e.g. 0.05); referenceTput the no-MPL optimum (measure it with a
+// separate unlimited System run, or use RecommendMPL's model).
+func (s *System) AutoTune(clients int, maxLoss, referenceTput, horizon float64) (TuneResult, error) {
+	if s.closed != nil || s.open != nil {
+		return TuneResult{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
+	}
+	cpuD, ioD := s.setup.Demands()
+	start, err := controller.JumpStart(controller.JumpStartInput{
+		CPUs: s.setup.CPUs, Disks: s.setup.Disks,
+		CPUDemand: cpuD, IODemand: ioD,
+		DiskCV2:            s.setup.Workload.DiskService.C2(),
+		ThroughputFraction: 1 - maxLoss,
+	})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	s.fe.SetMPL(start)
+	if clients <= 0 {
+		clients = 100
+	}
+	s.closed = workload.NewClosedDriver(s.eng, s.fe, s.gen, clients, nil)
+	s.closed.Start()
+	s.eng.Run(horizon / 20) // warmup
+	ctl, err := controller.New(s.eng, s.fe, controller.Config{
+		Targets:   controller.Targets{MaxThroughputLoss: maxLoss},
+		Reference: controller.Reference{MaxThroughput: referenceTput},
+	})
+	if err != nil {
+		return TuneResult{}, err
+	}
+	for s.eng.Now() < horizon && !ctl.Converged() {
+		if s.eng.Run(s.eng.Now()+horizon/40) == 0 {
+			break
+		}
+	}
+	s.closed.Stop()
+	return TuneResult{
+		StartMPL:   start,
+		FinalMPL:   s.fe.MPL(),
+		Iterations: ctl.Iterations(),
+		Converged:  ctl.Converged(),
+	}, nil
+}
+
+// Recommendation is the output of the pure-model MPL tool.
+type Recommendation struct {
+	// ThroughputMPL is the Section 4.1 MVA bound: the lowest MPL
+	// keeping throughput within the loss tolerance.
+	ThroughputMPL int
+	// ResponseTimeMPL is the Section 4.2 QBD bound (0 when no open-
+	// system load was specified).
+	ResponseTimeMPL int
+	// MPL is the recommendation: the max of the two bounds.
+	MPL int
+}
+
+// RecommendMPL runs the paper's analytic tool without any simulation:
+// given hardware shape, per-transaction demands, and tolerances, it
+// returns the lowest MPL the queueing models consider safe.
+// lambda/meanDemand/demandC2 describe the open-system load for the
+// response-time bound; pass zeros to skip it.
+func RecommendMPL(cpus, disks int, cpuDemand, ioDemand, maxTputLoss float64,
+	lambda, meanDemand, demandC2, maxRTIncrease float64) (Recommendation, error) {
+	nw, err := mva.Balanced(cpus, disks, cpuDemand, ioDemand)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec := Recommendation{ThroughputMPL: nw.MinMPLForFraction(1-maxTputLoss, 500)}
+	rec.MPL = rec.ThroughputMPL
+	if lambda > 0 && meanDemand > 0 && demandC2 > 1 {
+		if rho := lambda * meanDemand; rho < 1 {
+			tol := maxRTIncrease
+			if tol <= 0 {
+				tol = 0.1
+			}
+			m, err := qbd.MinMPLForResponseTime(lambda, dist.FitH2(meanDemand, demandC2), tol, 200)
+			if err != nil {
+				return Recommendation{}, err
+			}
+			rec.ResponseTimeMPL = m
+			if m > rec.MPL {
+				rec.MPL = m
+			}
+		}
+	}
+	return rec, nil
+}
+
+// Setups lists the paper's Table 2 setups as display strings.
+func Setups() []string {
+	var out []string
+	for _, s := range workload.Table2() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// Workloads lists the paper's Table 1 workload names.
+func Workloads() []string {
+	var out []string
+	for _, s := range workload.Table1() {
+		out = append(out, s.Name)
+	}
+	return out
+}

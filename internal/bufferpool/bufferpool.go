@@ -1,0 +1,222 @@
+// Package bufferpool simulates the DBMS buffer pool. It is a real LRU
+// cache over page identifiers: the workload generator produces page
+// accesses (skewed hot/cold, like OLTP working sets), and the hit/miss
+// outcome decides whether a transaction's logical read turns into
+// physical disk I/O. Varying pool size against database size is how the
+// paper turns the same benchmark into CPU-bound (everything cached,
+// e.g. W_CPU-inventory: 1 GB data / 1 GB pool) or I/O-bound workloads
+// (W_IO-inventory: 6 GB data / 100 MB pool).
+package bufferpool
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+
+	"extsched/internal/sim"
+)
+
+// Pool is an LRU page cache with dirty-page tracking for the
+// background flusher (checkpointer).
+type Pool struct {
+	capacity int
+	lru      *list.List // front = most recent
+	pages    map[uint64]*list.Element
+	hits     uint64
+	misses   uint64
+	dirty    map[uint64]struct{}
+	// evictedDirty counts dirty pages pushed out by eviction; a real
+	// engine must write those back synchronously, so a high count
+	// signals an undersized pool or a lazy flusher.
+	evictedDirty uint64
+}
+
+// New returns a pool holding capacity pages (>= 1).
+func New(capacity int) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("bufferpool: capacity %d must be >= 1", capacity))
+	}
+	return &Pool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[uint64]*list.Element, capacity),
+		dirty:    make(map[uint64]struct{}),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resident returns the number of cached pages.
+func (p *Pool) Resident() int { return p.lru.Len() }
+
+// Hits returns the number of accesses served from the pool.
+func (p *Pool) Hits() uint64 { return p.hits }
+
+// Misses returns the number of accesses requiring disk I/O.
+func (p *Pool) Misses() uint64 { return p.misses }
+
+// HitRatio returns hits / (hits+misses), or 0 before any access.
+func (p *Pool) HitRatio() float64 {
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// Access touches a page: returns true on hit. On miss the page is
+// loaded (caller is responsible for charging the disk I/O), possibly
+// evicting the least recently used page.
+func (p *Pool) Access(page uint64) bool {
+	if el, ok := p.pages[page]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return true
+	}
+	p.misses++
+	if p.lru.Len() >= p.capacity {
+		back := p.lru.Back()
+		p.lru.Remove(back)
+		victim := back.Value.(uint64)
+		delete(p.pages, victim)
+		if _, wasDirty := p.dirty[victim]; wasDirty {
+			delete(p.dirty, victim)
+			p.evictedDirty++
+		}
+	}
+	p.pages[page] = p.lru.PushFront(page)
+	return false
+}
+
+// MarkDirty flags a resident page as modified. Non-resident pages are
+// ignored (the write already went through on its miss path).
+func (p *Pool) MarkDirty(page uint64) {
+	if _, ok := p.pages[page]; ok {
+		p.dirty[page] = struct{}{}
+	}
+}
+
+// DirtyCount returns the number of dirty resident pages.
+func (p *Pool) DirtyCount() int { return len(p.dirty) }
+
+// EvictedDirty returns how many dirty pages were lost to eviction
+// before the flusher got to them.
+func (p *Pool) EvictedDirty() uint64 { return p.evictedDirty }
+
+// CollectDirty removes and returns up to max dirty page ids — the
+// flusher's work list. Order is unspecified.
+func (p *Pool) CollectDirty(max int) []uint64 {
+	if max <= 0 || len(p.dirty) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, min(max, len(p.dirty)))
+	for page := range p.dirty {
+		out = append(out, page)
+		delete(p.dirty, page)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// ResetStats clears hit/miss counters (contents stay, so a warmed pool
+// can be measured in steady state).
+func (p *Pool) ResetStats() {
+	p.hits, p.misses = 0, 0
+}
+
+// AccessPattern generates page accesses with a hot/cold skew: a
+// fraction HotAccess of accesses touch a hot set of HotFrac·DBPages
+// pages, the rest are uniform over the full database. This is the
+// standard OLTP locality model; with HotAccess=0.8, HotFrac=0.2 it is
+// the classic 80/20 rule.
+type AccessPattern struct {
+	DBPages   uint64  // database size in pages
+	HotFrac   float64 // fraction of pages in the hot set
+	HotAccess float64 // probability an access goes to the hot set
+}
+
+// Validate checks the pattern's parameters.
+func (a AccessPattern) Validate() error {
+	if a.DBPages < 1 {
+		return fmt.Errorf("bufferpool: DBPages %d must be >= 1", a.DBPages)
+	}
+	if a.HotFrac <= 0 || a.HotFrac > 1 {
+		return fmt.Errorf("bufferpool: HotFrac %v must be in (0,1]", a.HotFrac)
+	}
+	if a.HotAccess < 0 || a.HotAccess > 1 {
+		return fmt.Errorf("bufferpool: HotAccess %v must be in [0,1]", a.HotAccess)
+	}
+	return nil
+}
+
+// Sample draws a page id.
+func (a AccessPattern) Sample(g *sim.RNG) uint64 {
+	hot := uint64(float64(a.DBPages) * a.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if g.Float64() < a.HotAccess {
+		return g.Uint64() % hot
+	}
+	if a.DBPages == hot {
+		return g.Uint64() % hot
+	}
+	return hot + g.Uint64()%(a.DBPages-hot)
+}
+
+// ExpectedMissRatio approximates the steady-state miss ratio of an LRU
+// pool of the given capacity under this pattern using Che's
+// characteristic-time approximation: a page with access probability p
+// is resident with probability 1 − e^(−p·T), where T solves
+// Σ_pages (1 − e^(−p·T)) = capacity. It captures the cold-access
+// pollution that evicts hot pages, which a naive "hot pages stay
+// cached" model misses. Used by the analytic jump-start; the simulator
+// runs the real LRU.
+func (a AccessPattern) ExpectedMissRatio(capacity int) float64 {
+	total := float64(a.DBPages)
+	c := float64(capacity)
+	if c >= total {
+		return 0
+	}
+	hot := math.Max(1, math.Floor(total*a.HotFrac))
+	cold := total - hot
+	pHot := a.HotAccess / hot
+	var pCold float64
+	if cold > 0 {
+		pCold = (1 - a.HotAccess) / cold
+	}
+	// Occupancy as a function of the characteristic time T.
+	occupancy := func(t float64) float64 {
+		occ := hot * (1 - math.Exp(-pHot*t))
+		if cold > 0 {
+			occ += cold * (1 - math.Exp(-pCold*t))
+		}
+		return occ
+	}
+	// Bisect for T with occupancy(T) = capacity. Occupancy is
+	// increasing in T from 0 to DBPages.
+	lo, hi := 0.0, 1.0
+	for occupancy(hi) < c {
+		hi *= 2
+		if hi > 1e18 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if occupancy(mid) < c {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (lo + hi) / 2
+	miss := a.HotAccess * math.Exp(-pHot*t)
+	if cold > 0 {
+		miss += (1 - a.HotAccess) * math.Exp(-pCold*t)
+	}
+	return miss
+}

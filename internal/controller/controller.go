@@ -1,0 +1,404 @@
+// Package controller implements the paper's Section 4.3 feedback
+// controller for tuning the MPL, augmented with the queueing-theoretic
+// jump-start of Sections 4.1–4.2.
+//
+// The controller alternates observation and reaction phases. An
+// observation window closes once it has seen enough completions (the
+// paper found ~100 per window), the confidence interval on the mean
+// response time is tight enough, and the system load is representative
+// (an idle system says nothing about the MPL). The reaction compares
+// the window's throughput and mean response time against references —
+// the no-MPL optimum predicted by the models or measured by probing —
+// and nudges the MPL by a small constant step: up when a target is
+// violated, down when both targets are met with margin, holding (and
+// declaring convergence) at the lowest feasible value. The jump-start
+// from MVA (throughput) and the QBD response-time model gives the loop
+// a close-to-optimal starting MPL, which is what makes small constant
+// steps converge in under ten iterations.
+package controller
+
+import (
+	"fmt"
+
+	"extsched/internal/core"
+	"extsched/internal/dist"
+	"extsched/internal/queueing/mva"
+	"extsched/internal/queueing/qbd"
+	"extsched/internal/sim"
+	"extsched/internal/stats"
+)
+
+// Targets are the DBA-specified tolerances.
+type Targets struct {
+	// MaxThroughputLoss is the largest acceptable fractional loss of
+	// throughput versus the no-MPL optimum (e.g. 0.05).
+	MaxThroughputLoss float64
+	// MaxRTIncrease is the largest acceptable fractional increase of
+	// overall mean response time versus the reference (e.g. 0.05).
+	// Zero disables the response-time criterion.
+	MaxRTIncrease float64
+}
+
+// Reference holds the "optimal" baselines the controller compares
+// against: the throughput and mean response time of the system run
+// without an MPL, obtained from the queueing models or a probe run.
+type Reference struct {
+	MaxThroughput float64
+	// OptimalRT is the no-MPL mean response time. Zero disables the
+	// response-time criterion.
+	OptimalRT float64
+}
+
+// Config tunes the control loop.
+type Config struct {
+	Targets
+	Reference Reference
+	// MinObservations gates window close; default 100 (paper).
+	MinObservations int
+	// Confidence and MaxRelCI gate window close on the response-time
+	// CI: half-width/mean <= MaxRelCI at the given confidence.
+	// Defaults 0.95 and 0.15.
+	Confidence float64
+	MaxRelCI   float64
+	// TputRelCI gates window close on the throughput estimate: the
+	// relative CI half-width of the mean inter-completion time must
+	// fall below it. A reaction that discriminates a 5% throughput
+	// loss needs windows measured better than 5%; the default is
+	// MaxThroughputLoss/2 (with a floor of 0.02), which is what makes
+	// the loop immune to window noise. Windows are capped at
+	// MaxWindow completions regardless.
+	TputRelCI float64
+	// MaxWindow caps a window's completions (default 50×MinObservations).
+	MaxWindow int
+	// Step is the base MPL adjustment per reaction; default 1.
+	Step int
+	// AdaptiveStep doubles the step while consecutive reactions move
+	// in the same direction (capped at MaxStep) and resets it on a
+	// reversal or hold. This recovers quickly when the queueing
+	// jump-start misjudges the system; with an accurate jump-start it
+	// never engages. Default true.
+	AdaptiveStep *bool
+	// MaxStep caps the adaptive step; default 16.
+	MaxStep int
+	// MinMPL / MaxMPL clamp the search range; defaults 1 and 200.
+	MinMPL, MaxMPL int
+	// HoldWindows is the number of consecutive no-change reactions
+	// after which the controller declares convergence; default 2.
+	HoldWindows int
+	// DecreaseMargin: only lower the MPL when the throughput target
+	// is met with this extra margin (fraction of the allowed slack),
+	// providing the hysteresis that prevents oscillation. Default 0.5.
+	DecreaseMargin float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinObservations <= 0 {
+		c.MinObservations = 100
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.MaxRelCI == 0 {
+		c.MaxRelCI = 0.15
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.AdaptiveStep == nil {
+		on := true
+		c.AdaptiveStep = &on
+	}
+	if c.MaxStep <= 0 {
+		c.MaxStep = 16
+	}
+	if c.MinMPL <= 0 {
+		c.MinMPL = 1
+	}
+	if c.MaxMPL <= 0 {
+		c.MaxMPL = 200
+	}
+	if c.HoldWindows <= 0 {
+		c.HoldWindows = 2
+	}
+	if c.TputRelCI == 0 {
+		c.TputRelCI = c.MaxThroughputLoss / 2
+		if c.TputRelCI < 0.02 {
+			c.TputRelCI = 0.02
+		}
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 50 * c.MinObservations
+	}
+	if c.DecreaseMargin == 0 {
+		c.DecreaseMargin = 0.5
+	}
+	return c
+}
+
+// Action describes a reaction decision.
+type Action string
+
+const (
+	// Increase raised the MPL (a target was violated).
+	Increase Action = "increase"
+	// Decrease lowered the MPL (targets met with margin).
+	Decrease Action = "decrease"
+	// Hold kept the MPL (at the feasibility boundary).
+	Hold Action = "hold"
+)
+
+// Decision records one completed observation/reaction iteration.
+type Decision struct {
+	Iteration  int
+	MPL        int
+	Throughput float64
+	MeanRT     float64
+	Action     Action
+	// TputOK / RTOK record which targets the window satisfied.
+	TputOK, RTOK bool
+}
+
+// Controller drives a core.Frontend's MPL.
+type Controller struct {
+	eng       *sim.Engine
+	fe        *core.Frontend
+	cfg       Config
+	history   []Decision
+	holdCount int
+	converged bool
+	// floor marks MPL values known to violate a target; the controller
+	// will not descend into them again.
+	floor int
+	// step/lastAction implement the adaptive step size.
+	step       int
+	lastAction Action
+	// interCompletion tracks this window's inter-completion times; its
+	// CI gates the throughput estimate.
+	interCompletion stats.Accumulator
+	lastCompletion  float64
+}
+
+// New attaches a controller to fe, chaining any existing OnComplete
+// hook. The frontend's MPL should already be set to the jump-start
+// value (see JumpStart).
+func New(eng *sim.Engine, fe *core.Frontend, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxThroughputLoss < 0 || cfg.MaxThroughputLoss >= 1 {
+		return nil, fmt.Errorf("controller: MaxThroughputLoss %v outside [0,1)", cfg.MaxThroughputLoss)
+	}
+	if cfg.Reference.MaxThroughput <= 0 {
+		return nil, fmt.Errorf("controller: Reference.MaxThroughput required")
+	}
+	c := &Controller{eng: eng, fe: fe, cfg: cfg, floor: cfg.MinMPL - 1, step: cfg.Step}
+	prev := fe.OnComplete
+	fe.OnComplete = func(t *core.Txn) {
+		if prev != nil {
+			prev(t)
+		}
+		c.observe()
+	}
+	fe.ResetMetrics()
+	return c, nil
+}
+
+// Converged reports whether the controller has settled.
+func (c *Controller) Converged() bool { return c.converged }
+
+// Iterations returns the number of completed reactions.
+func (c *Controller) Iterations() int { return len(c.history) }
+
+// History returns the reaction log.
+func (c *Controller) History() []Decision { return c.history }
+
+// observe runs after every completion; it closes the window and reacts
+// when the gates are satisfied.
+func (c *Controller) observe() {
+	if c.converged {
+		return
+	}
+	now := c.eng.Now()
+	if c.lastCompletion > 0 {
+		c.interCompletion.Add(now - c.lastCompletion)
+	}
+	c.lastCompletion = now
+	m := c.fe.Metrics()
+	if int(m.Completed) < c.cfg.MinObservations {
+		return
+	}
+	if int(m.Completed) < c.cfg.MaxWindow {
+		if m.All.RelativeCIHalfWidth(c.cfg.Confidence) > c.cfg.MaxRelCI {
+			return
+		}
+		if c.interCompletion.RelativeCIHalfWidth(c.cfg.Confidence) > c.cfg.TputRelCI {
+			return
+		}
+	}
+	// Representative-load gate: an adjustment decision is meaningless
+	// if the DBMS wasn't kept busy by offered load during the window.
+	if c.fe.QueueLen() == 0 && c.fe.Inside() < c.fe.MPL() {
+		// Not saturated right now; restart the window rather than
+		// react to a possibly idle period.
+		c.resetWindow()
+		return
+	}
+	c.react(m)
+	c.resetWindow()
+}
+
+// resetWindow starts a fresh observation window.
+func (c *Controller) resetWindow() {
+	c.fe.ResetMetrics()
+	c.interCompletion.Reset()
+	c.lastCompletion = 0
+}
+
+// react implements the reaction phase.
+func (c *Controller) react(m core.Metrics) {
+	cfg := c.cfg
+	tput := m.Throughput()
+	rt := m.All.Mean()
+	tputTarget := (1 - cfg.MaxThroughputLoss) * cfg.Reference.MaxThroughput
+	tputOK := tput >= tputTarget
+	rtOK := true
+	if cfg.MaxRTIncrease > 0 && cfg.Reference.OptimalRT > 0 {
+		rtOK = rt <= (1+cfg.MaxRTIncrease)*cfg.Reference.OptimalRT
+	}
+	mpl := c.fe.MPL()
+	action := Hold
+	switch {
+	case !tputOK || !rtOK:
+		// A target is violated: the current MPL is infeasible. Mark it
+		// as the floor and step up.
+		if mpl > c.floor {
+			c.floor = mpl
+		}
+		step := c.nextStep(Increase)
+		if mpl+step > cfg.MaxMPL {
+			step = cfg.MaxMPL - mpl
+		}
+		if step > 0 {
+			action = Increase
+			c.fe.SetMPL(mpl + step)
+		}
+	case mpl-1 > c.floor && c.comfortably(tput, tputTarget):
+		// Both targets met with margin and the next value down is not
+		// known-infeasible: probe lower.
+		step := c.nextStep(Decrease)
+		if mpl-step <= c.floor {
+			step = mpl - c.floor - 1
+		}
+		action = Decrease
+		c.fe.SetMPL(mpl - step)
+	default:
+		action = Hold
+	}
+	c.lastAction = action
+	c.history = append(c.history, Decision{
+		Iteration:  len(c.history) + 1,
+		MPL:        mpl,
+		Throughput: tput,
+		MeanRT:     rt,
+		Action:     action,
+		TputOK:     tputOK,
+		RTOK:       rtOK,
+	})
+	if action == Hold {
+		c.holdCount++
+		if c.holdCount >= cfg.HoldWindows {
+			c.converged = true
+		}
+	} else {
+		c.holdCount = 0
+	}
+}
+
+// nextStep returns the step for an intended action, doubling while the
+// direction persists (when AdaptiveStep) and resetting otherwise.
+func (c *Controller) nextStep(intended Action) int {
+	if !*c.cfg.AdaptiveStep {
+		return c.cfg.Step
+	}
+	if c.lastAction == intended {
+		c.step *= 2
+		if c.step > c.cfg.MaxStep {
+			c.step = c.cfg.MaxStep
+		}
+	} else {
+		c.step = c.cfg.Step
+	}
+	return c.step
+}
+
+// comfortably reports whether tput exceeds the target with hysteresis
+// margin, so that a decrease is unlikely to immediately bounce back.
+func (c *Controller) comfortably(tput, target float64) bool {
+	slack := c.cfg.MaxThroughputLoss * c.cfg.Reference.MaxThroughput
+	return tput >= target+c.cfg.DecreaseMargin*slack
+}
+
+// JumpStartInput feeds the queueing models that pick the starting MPL.
+type JumpStartInput struct {
+	CPUs, Disks int
+	// CPUDemand / IODemand are per-transaction demand estimates in
+	// seconds (workload.Setup.Demands).
+	CPUDemand, IODemand float64
+	// CPUCV2 / DiskCV2 are the per-visit service variabilities of the
+	// devices (zero = 1, exponential). Low-variance disks (seek-bound
+	// drives) saturate at lower MPLs, and the model should know.
+	CPUCV2, DiskCV2 float64
+	// ThroughputFraction is 1 − MaxThroughputLoss.
+	ThroughputFraction float64
+	// Open-system response-time model inputs; zero values skip the RT
+	// bound (closed experiments).
+	Lambda      float64 // offered arrival rate
+	MeanDemand  float64 // mean total service demand
+	DemandC2    float64 // squared coefficient of variation of demand
+	RTTolerance float64 // acceptable RT increase over PS, e.g. 0.1
+	// MaxMPL caps the search; default 200.
+	MaxMPL int
+}
+
+// JumpStart returns the model-predicted starting MPL: the max of the
+// MVA throughput bound (Section 4.1) and the QBD response-time bound
+// (Section 4.2).
+func JumpStart(in JumpStartInput) (int, error) {
+	if in.MaxMPL <= 0 {
+		in.MaxMPL = 200
+	}
+	if in.ThroughputFraction <= 0 || in.ThroughputFraction > 1 {
+		return 0, fmt.Errorf("controller: ThroughputFraction %v outside (0,1]", in.ThroughputFraction)
+	}
+	cpuCV2, diskCV2 := in.CPUCV2, in.DiskCV2
+	if cpuCV2 == 0 {
+		cpuCV2 = 1
+	}
+	if diskCV2 == 0 {
+		diskCV2 = 1
+	}
+	nw, err := mva.BalancedCV(in.CPUs, in.Disks, in.CPUDemand, in.IODemand, cpuCV2, diskCV2)
+	if err != nil {
+		return 0, fmt.Errorf("controller: jump-start model: %w", err)
+	}
+	start := nw.MinMPLForFraction(in.ThroughputFraction, in.MaxMPL)
+	if start > in.MaxMPL {
+		start = in.MaxMPL
+	}
+	if in.Lambda > 0 && in.MeanDemand > 0 && in.DemandC2 > 1 {
+		rho := in.Lambda * in.MeanDemand
+		if rho < 1 {
+			tol := in.RTTolerance
+			if tol <= 0 {
+				tol = 0.1
+			}
+			job := dist.FitH2(in.MeanDemand, in.DemandC2)
+			rtMPL, err := qbd.MinMPLForResponseTime(in.Lambda, job, tol, in.MaxMPL)
+			if err == nil && rtMPL > start && rtMPL <= in.MaxMPL {
+				start = rtMPL
+			}
+		}
+	}
+	if start < 1 {
+		start = 1
+	}
+	return start, nil
+}

@@ -1,0 +1,194 @@
+package controller
+
+import (
+	"testing"
+
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+)
+
+// unitRig builds a minimal frontend for reaction-logic tests: a fast
+// CPU-bound DB driven manually.
+func unitRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
+	t.Helper()
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, dbms.Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, core.New(eng, db, mpl, nil)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{Targets: Targets{MaxThroughputLoss: 0.05}}.withDefaults()
+	if c.MinObservations != 100 {
+		t.Errorf("MinObservations = %d", c.MinObservations)
+	}
+	if c.Confidence != 0.95 || c.MaxRelCI != 0.15 {
+		t.Errorf("CI defaults wrong: %v %v", c.Confidence, c.MaxRelCI)
+	}
+	if c.TputRelCI != 0.025 {
+		t.Errorf("TputRelCI = %v, want loss/2 = 0.025", c.TputRelCI)
+	}
+	if c.MaxWindow != 5000 {
+		t.Errorf("MaxWindow = %d, want 50x observations", c.MaxWindow)
+	}
+	if !*c.AdaptiveStep || c.MaxStep != 16 {
+		t.Error("adaptive step defaults wrong")
+	}
+	// Tiny loss: CI floor applies.
+	c2 := Config{Targets: Targets{MaxThroughputLoss: 0.01}}.withDefaults()
+	if c2.TputRelCI != 0.02 {
+		t.Errorf("TputRelCI floor = %v, want 0.02", c2.TputRelCI)
+	}
+}
+
+func TestNextStepAdaptive(t *testing.T) {
+	eng, fe := unitRig(t, 5)
+	ctl, err := New(eng, fe, Config{
+		Targets:   Targets{MaxThroughputLoss: 0.05},
+		Reference: Reference{MaxThroughput: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated same-direction steps double up to the cap.
+	got := []int{}
+	ctl.lastAction = Increase
+	for i := 0; i < 6; i++ {
+		got = append(got, ctl.nextStep(Increase))
+		ctl.lastAction = Increase
+	}
+	want := []int{2, 4, 8, 16, 16, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("adaptive steps = %v, want %v", got, want)
+		}
+	}
+	// Direction change resets.
+	if s := ctl.nextStep(Decrease); s != 1 {
+		t.Errorf("step after reversal = %d, want 1", s)
+	}
+}
+
+func TestNextStepConstantWhenDisabled(t *testing.T) {
+	eng, fe := unitRig(t, 5)
+	off := false
+	ctl, err := New(eng, fe, Config{
+		Targets:      Targets{MaxThroughputLoss: 0.05},
+		Reference:    Reference{MaxThroughput: 100},
+		AdaptiveStep: &off,
+		Step:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.lastAction = Increase
+	for i := 0; i < 4; i++ {
+		if s := ctl.nextStep(Increase); s != 2 {
+			t.Fatalf("constant step = %d, want 2", s)
+		}
+		ctl.lastAction = Increase
+	}
+}
+
+func TestReactIncreasesOnViolation(t *testing.T) {
+	eng, fe := unitRig(t, 3)
+	ctl, err := New(eng, fe, Config{
+		Targets:   Targets{MaxThroughputLoss: 0.05},
+		Reference: Reference{MaxThroughput: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed a synthetic window: throughput far below target.
+	m := syntheticWindow(50, 0.1, 200)
+	ctl.react(m)
+	if fe.MPL() != 4 {
+		t.Errorf("MPL = %d after violation, want 4", fe.MPL())
+	}
+	if ctl.floor != 3 {
+		t.Errorf("floor = %d, want 3 (marked infeasible)", ctl.floor)
+	}
+	d := ctl.History()[0]
+	if d.Action != Increase || d.TputOK {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestReactDecreasesWithMargin(t *testing.T) {
+	eng, fe := unitRig(t, 10)
+	ctl, err := New(eng, fe, Config{
+		Targets:   Targets{MaxThroughputLoss: 0.05},
+		Reference: Reference{MaxThroughput: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comfortably above target (100 > 95 + margin).
+	ctl.react(syntheticWindow(100, 0.05, 200))
+	if fe.MPL() != 9 {
+		t.Errorf("MPL = %d, want 9 (probe lower)", fe.MPL())
+	}
+}
+
+func TestReactHoldsAtBoundary(t *testing.T) {
+	eng, fe := unitRig(t, 4)
+	ctl, err := New(eng, fe, Config{
+		Targets:     Targets{MaxThroughputLoss: 0.05},
+		Reference:   Reference{MaxThroughput: 100},
+		HoldWindows: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.floor = 3 // 3 known infeasible
+	ctl.react(syntheticWindow(96, 0.05, 200))
+	if fe.MPL() != 4 {
+		t.Errorf("MPL = %d, want hold at 4", fe.MPL())
+	}
+	if ctl.Converged() {
+		t.Error("converged after one hold, want 2")
+	}
+	ctl.react(syntheticWindow(96, 0.05, 200))
+	if !ctl.Converged() {
+		t.Error("not converged after HoldWindows holds")
+	}
+}
+
+func TestReactRTViolation(t *testing.T) {
+	eng, fe := unitRig(t, 4)
+	ctl, err := New(eng, fe, Config{
+		Targets:   Targets{MaxThroughputLoss: 0.05, MaxRTIncrease: 0.10},
+		Reference: Reference{MaxThroughput: 100, OptimalRT: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throughput fine but RT 50% above the reference → increase.
+	ctl.react(syntheticWindow(99, 0.15, 200))
+	if fe.MPL() != 5 {
+		t.Errorf("MPL = %d, want 5 (RT violated)", fe.MPL())
+	}
+	d := ctl.History()[0]
+	if d.RTOK || !d.TputOK {
+		t.Errorf("decision flags wrong: %+v", d)
+	}
+}
+
+// syntheticWindow fabricates a Metrics value with the given throughput
+// (completions over 1s), mean RT, and completion count.
+func syntheticWindow(tput float64, meanRT float64, n int) core.Metrics {
+	var m core.Metrics
+	m.Completed = uint64(tput) // windowTime normalized below
+	for i := 0; i < n; i++ {
+		m.All.Add(meanRT)
+	}
+	// Completions over exactly one second → Throughput() == tput.
+	return m.WithWindow(1.0)
+}

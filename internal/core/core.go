@@ -1,0 +1,376 @@
+// Package core implements the paper's central mechanism: external
+// scheduling of database transactions (Fig. 1).
+//
+// A Frontend admits at most MPL transactions into the DBMS at a time;
+// the rest wait in an external queue that a pluggable Policy orders
+// (FIFO by default, Priority for the Section 5 experiments, SJF as the
+// "custom-tailored policy" extension the paper motivates). Response
+// time is measured the paper's way: from arrival at the frontend to
+// commit, including external queueing. The MPL can be changed at any
+// time (SetMPL), which is how the feedback controller drives the
+// system.
+package core
+
+import (
+	"fmt"
+
+	"extsched/internal/dbms"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+	"extsched/internal/stats"
+)
+
+// Txn is one transaction flowing through the frontend.
+type Txn struct {
+	Profile  dbms.TxnProfile
+	Arrival  float64 // time of Submit
+	Dispatch float64 // time admitted into the DBMS
+	Complete float64 // commit time
+	Result   dbms.Result
+	seq      uint64
+	done     func(*Txn)
+}
+
+// Class returns the transaction's priority class.
+func (t *Txn) Class() lockmgr.Class { return t.Profile.Class }
+
+// ResponseTime is Complete − Arrival (external wait + inside time).
+func (t *Txn) ResponseTime() float64 { return t.Complete - t.Arrival }
+
+// ExternalWait is Dispatch − Arrival.
+func (t *Txn) ExternalWait() float64 { return t.Dispatch - t.Arrival }
+
+// Policy orders the external queue.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Push enqueues a transaction.
+	Push(*Txn)
+	// Pop removes and returns the next transaction to dispatch, or nil
+	// if empty.
+	Pop() *Txn
+	// Len returns the queue length.
+	Len() int
+}
+
+// FIFOPolicy dispatches in arrival order.
+type FIFOPolicy struct {
+	q []*Txn
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() *FIFOPolicy { return &FIFOPolicy{} }
+
+func (p *FIFOPolicy) Name() string { return "fifo" }
+func (p *FIFOPolicy) Push(t *Txn)  { p.q = append(p.q, t) }
+func (p *FIFOPolicy) Pop() *Txn {
+	if len(p.q) == 0 {
+		return nil
+	}
+	t := p.q[0]
+	p.q[0] = nil
+	p.q = p.q[1:]
+	return t
+}
+func (p *FIFOPolicy) Len() int { return len(p.q) }
+
+// PriorityPolicy dispatches High-class transactions first, FIFO within
+// a class — the paper's Section 5 prioritization algorithm.
+type PriorityPolicy struct {
+	high, low []*Txn
+}
+
+// NewPriority returns a priority policy.
+func NewPriority() *PriorityPolicy { return &PriorityPolicy{} }
+
+func (p *PriorityPolicy) Name() string { return "priority" }
+func (p *PriorityPolicy) Push(t *Txn) {
+	if t.Class() == lockmgr.High {
+		p.high = append(p.high, t)
+	} else {
+		p.low = append(p.low, t)
+	}
+}
+func (p *PriorityPolicy) Pop() *Txn {
+	if len(p.high) > 0 {
+		t := p.high[0]
+		p.high[0] = nil
+		p.high = p.high[1:]
+		return t
+	}
+	if len(p.low) > 0 {
+		t := p.low[0]
+		p.low[0] = nil
+		p.low = p.low[1:]
+		return t
+	}
+	return nil
+}
+func (p *PriorityPolicy) Len() int { return len(p.high) + len(p.low) }
+
+// SJFPolicy dispatches the transaction with the smallest
+// EstimatedDemand first (ties by arrival). It demonstrates the paper's
+// point that the external queue admits arbitrary custom policies.
+type SJFPolicy struct {
+	q []*Txn
+}
+
+// NewSJF returns a shortest-job-first policy.
+func NewSJF() *SJFPolicy { return &SJFPolicy{} }
+
+func (p *SJFPolicy) Name() string { return "sjf" }
+func (p *SJFPolicy) Push(t *Txn) {
+	p.q = append(p.q, t)
+	// Sift up in a slice-backed min-heap keyed by (demand, seq).
+	i := len(p.q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sjfLess(p.q[i], p.q[parent]) {
+			break
+		}
+		p.q[i], p.q[parent] = p.q[parent], p.q[i]
+		i = parent
+	}
+}
+func (p *SJFPolicy) Pop() *Txn {
+	n := len(p.q)
+	if n == 0 {
+		return nil
+	}
+	t := p.q[0]
+	p.q[0] = p.q[n-1]
+	p.q[n-1] = nil
+	p.q = p.q[:n-1]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(p.q) && sjfLess(p.q[l], p.q[smallest]) {
+			smallest = l
+		}
+		if r < len(p.q) && sjfLess(p.q[r], p.q[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		p.q[i], p.q[smallest] = p.q[smallest], p.q[i]
+		i = smallest
+	}
+	return t
+}
+func (p *SJFPolicy) Len() int { return len(p.q) }
+
+func sjfLess(a, b *Txn) bool {
+	if a.Profile.EstimatedDemand != b.Profile.EstimatedDemand {
+		return a.Profile.EstimatedDemand < b.Profile.EstimatedDemand
+	}
+	return a.seq < b.seq
+}
+
+// Metrics aggregates frontend measurements. Response times include
+// external queueing (the paper's definition).
+type Metrics struct {
+	Completed  uint64
+	All        stats.Accumulator // response time, all classes
+	High       stats.Accumulator // response time, high class
+	Low        stats.Accumulator // response time, low class
+	Inside     stats.Accumulator // time inside the DBMS
+	ExtWait    stats.Accumulator // external queue wait
+	Restarts   uint64
+	resetTime  float64
+	windowTime float64
+}
+
+// WithWindow returns a copy of m whose Throughput is computed over the
+// given window length in seconds — for synthesizing metric snapshots
+// (e.g. in controller tests) without a live frontend.
+func (m Metrics) WithWindow(seconds float64) Metrics {
+	m.windowTime = seconds
+	return m
+}
+
+// Throughput returns completions per second since the last reset.
+func (m Metrics) Throughput() float64 {
+	if m.windowTime <= 0 {
+		return 0
+	}
+	return float64(m.Completed) / m.windowTime
+}
+
+// Frontend is the external scheduler.
+type Frontend struct {
+	eng    *sim.Engine
+	db     *dbms.DB
+	mpl    int // 0 means unlimited
+	policy Policy
+	seq    uint64
+	// inside counts transactions dispatched and not yet completed, as
+	// seen by the frontend (matches db.Inside()).
+	inside  int
+	metrics Metrics
+	// queueLimit, when > 0, turns the frontend into the admission
+	// controller the paper contrasts itself with (Section 1): arrivals
+	// beyond the limit are DROPPED instead of queued. External
+	// scheduling proper never drops (queueLimit 0).
+	queueLimit int
+	dropped    uint64
+	// OnComplete, if set, observes every completion (used by drivers
+	// for closed-loop clients and by the controller).
+	OnComplete func(*Txn)
+	// OnDrop, if set, observes admission-control rejections.
+	OnDrop func(*Txn)
+	// rtSample, when enabled, reservoir-samples response times for
+	// percentile reporting.
+	rtSample *stats.Reservoir
+}
+
+// New builds a frontend over db with the given MPL (0 = unlimited) and
+// policy (nil = FIFO).
+func New(eng *sim.Engine, db *dbms.DB, mpl int, policy Policy) *Frontend {
+	if mpl < 0 {
+		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
+	}
+	if policy == nil {
+		policy = NewFIFO()
+	}
+	return &Frontend{eng: eng, db: db, mpl: mpl, policy: policy}
+}
+
+// MPL returns the current limit (0 = unlimited).
+func (f *Frontend) MPL() int { return f.mpl }
+
+// SetMPL changes the limit. Raising it dispatches queued transactions
+// immediately; lowering it takes effect as running transactions drain
+// (the paper's controller operates the same way — no preemption of
+// dispatched work).
+func (f *Frontend) SetMPL(mpl int) {
+	if mpl < 0 {
+		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
+	}
+	f.mpl = mpl
+	f.dispatch()
+}
+
+// QueueLen returns the external queue length.
+func (f *Frontend) QueueLen() int { return f.policy.Len() }
+
+// Inside returns the number of dispatched, uncommitted transactions.
+func (f *Frontend) Inside() int { return f.inside }
+
+// Policy returns the queue policy.
+func (f *Frontend) Policy() Policy { return f.policy }
+
+// EnablePercentiles turns on reservoir sampling of response times
+// (capacity samples, deterministic given seed). Call before running.
+func (f *Frontend) EnablePercentiles(capacity int, seed uint64) {
+	f.rtSample = stats.NewReservoir(capacity, sim.NewRNG(seed, 31))
+}
+
+// ResponseTimePercentile estimates the p-th percentile of response
+// times in the current window (0 when sampling is disabled or empty).
+func (f *Frontend) ResponseTimePercentile(p float64) float64 {
+	if f.rtSample == nil {
+		return 0
+	}
+	return f.rtSample.Percentile(p)
+}
+
+// Metrics returns a snapshot of the metrics window.
+func (f *Frontend) Metrics() Metrics {
+	m := f.metrics
+	m.windowTime = f.eng.Now() - f.metrics.resetTime
+	return m
+}
+
+// ResetMetrics starts a fresh measurement window (e.g. after warmup,
+// or per controller observation period).
+func (f *Frontend) ResetMetrics() {
+	f.metrics = Metrics{resetTime: f.eng.Now()}
+	if f.rtSample != nil {
+		f.rtSample.Reset()
+	}
+}
+
+// Submit delivers a new transaction to the external scheduler.
+func (f *Frontend) Submit(profile dbms.TxnProfile) *Txn {
+	return f.SubmitCB(profile, nil)
+}
+
+// SubmitCB is Submit with a per-transaction completion callback (used
+// by closed-loop drivers to cycle their client). cb runs before the
+// frontend-wide OnComplete hook. Under a queue limit (admission-
+// control mode) the transaction may be rejected: it is returned with
+// no callbacks scheduled and counted in Dropped.
+func (f *Frontend) SubmitCB(profile dbms.TxnProfile, cb func(*Txn)) *Txn {
+	t := &Txn{Profile: profile, Arrival: f.eng.Now(), seq: f.seq, done: cb}
+	f.seq++
+	if f.queueLimit > 0 && f.policy.Len() >= f.queueLimit {
+		f.dropped++
+		if f.OnDrop != nil {
+			f.OnDrop(t)
+		}
+		return t
+	}
+	f.policy.Push(t)
+	f.dispatch()
+	return t
+}
+
+// SetQueueLimit enables admission-control mode: arrivals that find
+// limit transactions already queued are dropped. 0 disables dropping
+// (pure external scheduling).
+func (f *Frontend) SetQueueLimit(limit int) {
+	if limit < 0 {
+		panic(fmt.Sprintf("core: queue limit %d must be >= 0", limit))
+	}
+	f.queueLimit = limit
+}
+
+// Dropped returns the number of admission-control rejections.
+func (f *Frontend) Dropped() uint64 { return f.dropped }
+
+// dispatch admits queued transactions while the MPL allows.
+func (f *Frontend) dispatch() {
+	for (f.mpl == 0 || f.inside < f.mpl) && f.policy.Len() > 0 {
+		t := f.policy.Pop()
+		if t == nil {
+			return
+		}
+		t.Dispatch = f.eng.Now()
+		f.inside++
+		f.db.Exec(t.Profile, func(r dbms.Result) {
+			f.complete(t, r)
+		})
+	}
+}
+
+// complete records a commit and refills the DBMS from the queue.
+func (f *Frontend) complete(t *Txn, r dbms.Result) {
+	t.Complete = f.eng.Now()
+	t.Result = r
+	f.inside--
+	m := &f.metrics
+	m.Completed++
+	rt := t.ResponseTime()
+	m.All.Add(rt)
+	if t.Class() == lockmgr.High {
+		m.High.Add(rt)
+	} else {
+		m.Low.Add(rt)
+	}
+	m.Inside.Add(r.InsideTime)
+	m.ExtWait.Add(t.ExternalWait())
+	m.Restarts += uint64(r.Restarts)
+	if f.rtSample != nil {
+		f.rtSample.Add(rt)
+	}
+	if t.done != nil {
+		t.done(t)
+	}
+	if f.OnComplete != nil {
+		f.OnComplete(t)
+	}
+	f.dispatch()
+}

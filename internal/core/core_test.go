@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+)
+
+// rig builds an engine + CPU-bound DB + frontend for policy tests.
+func rig(t *testing.T, mpl int, policy Policy) (*sim.Engine, *Frontend) {
+	t.Helper()
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, dbms.Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, New(eng, db, mpl, policy)
+}
+
+func prof(work float64, class lockmgr.Class, key uint64) dbms.TxnProfile {
+	return dbms.TxnProfile{
+		Ops:             []dbms.Op{{Key: key, CPUWork: work}},
+		Class:           class,
+		EstimatedDemand: work,
+	}
+}
+
+func TestMPLGating(t *testing.T) {
+	eng, fe := rig(t, 2, nil)
+	for i := 0; i < 5; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	if fe.Inside() != 2 {
+		t.Errorf("inside = %d, want 2 (MPL)", fe.Inside())
+	}
+	if fe.QueueLen() != 3 {
+		t.Errorf("queue = %d, want 3", fe.QueueLen())
+	}
+	eng.RunAll()
+	if fe.Metrics().Completed != 5 {
+		t.Errorf("completed = %d, want 5", fe.Metrics().Completed)
+	}
+	if fe.Inside() != 0 || fe.QueueLen() != 0 {
+		t.Error("frontend not drained")
+	}
+}
+
+func TestUnlimitedMPL(t *testing.T) {
+	_, fe := rig(t, 0, nil)
+	for i := 0; i < 10; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	if fe.Inside() != 10 {
+		t.Errorf("inside = %d, want 10 (no limit)", fe.Inside())
+	}
+}
+
+func TestMPL1IsSerial(t *testing.T) {
+	eng, fe := rig(t, 1, nil)
+	var finishes []float64
+	fe.OnComplete = func(tx *Txn) { finishes = append(finishes, tx.Complete) }
+	for i := 0; i < 3; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	eng.RunAll()
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if math.Abs(finishes[i]-w) > 1e-9 {
+			t.Errorf("finish[%d] = %v, want %v", i, finishes[i], w)
+		}
+	}
+}
+
+func TestResponseTimeIncludesExternalWait(t *testing.T) {
+	eng, fe := rig(t, 1, nil)
+	fe.Submit(prof(1.0, lockmgr.Low, 1))
+	tx := fe.Submit(prof(1.0, lockmgr.Low, 2))
+	eng.RunAll()
+	if math.Abs(tx.ResponseTime()-2.0) > 1e-9 {
+		t.Errorf("response time = %v, want 2.0 (1 wait + 1 service)", tx.ResponseTime())
+	}
+	if math.Abs(tx.ExternalWait()-1.0) > 1e-9 {
+		t.Errorf("external wait = %v, want 1.0", tx.ExternalWait())
+	}
+}
+
+func TestRaisingMPLDispatchesImmediately(t *testing.T) {
+	_, fe := rig(t, 1, nil)
+	for i := 0; i < 4; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	if fe.Inside() != 1 {
+		t.Fatalf("inside = %d, want 1", fe.Inside())
+	}
+	fe.SetMPL(3)
+	if fe.Inside() != 3 {
+		t.Errorf("inside = %d after raise, want 3", fe.Inside())
+	}
+}
+
+func TestLoweringMPLDrainsGradually(t *testing.T) {
+	eng, fe := rig(t, 3, nil)
+	for i := 0; i < 6; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	fe.SetMPL(1)
+	if fe.Inside() != 3 {
+		t.Errorf("inside = %d right after lowering, want 3 (no preemption)", fe.Inside())
+	}
+	eng.Run(1.5) // the 3 running txns complete at t=3 (PS sharing)
+	eng.RunAll()
+	if fe.Metrics().Completed != 6 {
+		t.Errorf("completed = %d, want 6", fe.Metrics().Completed)
+	}
+}
+
+func TestPriorityPolicyOrdersHighFirst(t *testing.T) {
+	eng, fe := rig(t, 1, NewPriority())
+	var order []lockmgr.Class
+	fe.OnComplete = func(tx *Txn) { order = append(order, tx.Class()) }
+	// Occupy the server, then queue low, low, high: high must go next.
+	fe.Submit(prof(1.0, lockmgr.Low, 0))
+	fe.Submit(prof(1.0, lockmgr.Low, 1))
+	fe.Submit(prof(1.0, lockmgr.Low, 2))
+	fe.Submit(prof(1.0, lockmgr.High, 3))
+	eng.RunAll()
+	want := []lockmgr.Class{lockmgr.Low, lockmgr.High, lockmgr.Low, lockmgr.Low}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion classes = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSJFPolicyOrdering(t *testing.T) {
+	eng, fe := rig(t, 1, NewSJF())
+	var order []float64
+	fe.OnComplete = func(tx *Txn) { order = append(order, tx.Profile.EstimatedDemand) }
+	fe.Submit(prof(0.5, lockmgr.Low, 0)) // occupies server
+	fe.Submit(prof(3.0, lockmgr.Low, 1))
+	fe.Submit(prof(1.0, lockmgr.Low, 2))
+	fe.Submit(prof(2.0, lockmgr.Low, 3))
+	eng.RunAll()
+	want := []float64{0.5, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SJF order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSJFTieBreakFIFO(t *testing.T) {
+	p := NewSJF()
+	a := &Txn{Profile: dbms.TxnProfile{EstimatedDemand: 1}, seq: 1}
+	b := &Txn{Profile: dbms.TxnProfile{EstimatedDemand: 1}, seq: 2}
+	p.Push(b)
+	p.Push(a)
+	if got := p.Pop(); got != a {
+		t.Error("SJF tie should break by arrival order")
+	}
+}
+
+func TestPoliciesEmptyPop(t *testing.T) {
+	for _, p := range []Policy{NewFIFO(), NewPriority(), NewSJF()} {
+		if p.Pop() != nil {
+			t.Errorf("%s: Pop on empty should be nil", p.Name())
+		}
+		if p.Len() != 0 {
+			t.Errorf("%s: Len on empty = %d", p.Name(), p.Len())
+		}
+	}
+}
+
+func TestPolicyConservationProperty(t *testing.T) {
+	// Push/pop conservation under random interleavings for all
+	// policies: every pushed txn pops exactly once.
+	g := sim.NewRNG(3, 0)
+	for _, mk := range []func() Policy{
+		func() Policy { return NewFIFO() },
+		func() Policy { return NewPriority() },
+		func() Policy { return NewSJF() },
+	} {
+		p := mk()
+		pushed := map[*Txn]bool{}
+		popped := 0
+		var seq uint64
+		for i := 0; i < 2000; i++ {
+			if g.IntN(2) == 0 {
+				class := lockmgr.Low
+				if g.IntN(5) == 0 {
+					class = lockmgr.High
+				}
+				tx := &Txn{
+					Profile: dbms.TxnProfile{EstimatedDemand: g.Float64(), Class: class},
+					seq:     seq,
+				}
+				seq++
+				pushed[tx] = true
+				p.Push(tx)
+			} else if tx := p.Pop(); tx != nil {
+				if !pushed[tx] {
+					t.Fatalf("%s: popped unknown txn", p.Name())
+				}
+				delete(pushed, tx)
+				popped++
+			}
+		}
+		for tx := p.Pop(); tx != nil; tx = p.Pop() {
+			if !pushed[tx] {
+				t.Fatalf("%s: popped unknown txn at drain", p.Name())
+			}
+			delete(pushed, tx)
+			popped++
+		}
+		if len(pushed) != 0 {
+			t.Errorf("%s: %d transactions lost", p.Name(), len(pushed))
+		}
+	}
+}
+
+func TestMetricsWindowReset(t *testing.T) {
+	eng, fe := rig(t, 1, nil)
+	fe.Submit(prof(1.0, lockmgr.Low, 1))
+	eng.RunAll()
+	if fe.Metrics().Completed != 1 {
+		t.Fatal("first completion not recorded")
+	}
+	fe.ResetMetrics()
+	if fe.Metrics().Completed != 0 {
+		t.Error("reset did not clear completions")
+	}
+	fe.Submit(prof(1.0, lockmgr.Low, 2))
+	eng.RunAll()
+	m := fe.Metrics()
+	if m.Completed != 1 {
+		t.Errorf("completed = %d in new window, want 1", m.Completed)
+	}
+	// Throughput = 1 completion / 1 second window.
+	if math.Abs(m.Throughput()-1.0) > 1e-9 {
+		t.Errorf("throughput = %v, want 1.0", m.Throughput())
+	}
+}
+
+func TestPerClassMetrics(t *testing.T) {
+	eng, fe := rig(t, 0, nil)
+	fe.Submit(prof(1.0, lockmgr.High, 1))
+	fe.Submit(prof(1.0, lockmgr.Low, 2))
+	eng.RunAll()
+	m := fe.Metrics()
+	if m.High.Count() != 1 || m.Low.Count() != 1 {
+		t.Errorf("class counts = %d/%d, want 1/1", m.High.Count(), m.Low.Count())
+	}
+	if m.All.Count() != 2 {
+		t.Errorf("all count = %d, want 2", m.All.Count())
+	}
+}
+
+func TestNegativeMPLPanics(t *testing.T) {
+	_, fe := rig(t, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative MPL did not panic")
+		}
+	}()
+	fe.SetMPL(-1)
+}
+
+func TestAdmissionControlDrops(t *testing.T) {
+	eng, fe := rig(t, 1, nil)
+	fe.SetQueueLimit(2)
+	var droppedTxns int
+	fe.OnDrop = func(*Txn) { droppedTxns++ }
+	// 1 dispatches, 2 queue, 2 drop.
+	for i := 0; i < 5; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	if fe.QueueLen() != 2 {
+		t.Errorf("queue = %d, want 2", fe.QueueLen())
+	}
+	if fe.Dropped() != 2 || droppedTxns != 2 {
+		t.Errorf("dropped = %d/%d, want 2/2", fe.Dropped(), droppedTxns)
+	}
+	eng.RunAll()
+	if fe.Metrics().Completed != 3 {
+		t.Errorf("completed = %d, want 3 (admitted only)", fe.Metrics().Completed)
+	}
+}
+
+func TestAdmissionControlDisabledByDefault(t *testing.T) {
+	_, fe := rig(t, 1, nil)
+	for i := 0; i < 50; i++ {
+		fe.Submit(prof(1.0, lockmgr.Low, uint64(i)))
+	}
+	if fe.Dropped() != 0 {
+		t.Errorf("dropped = %d without a queue limit", fe.Dropped())
+	}
+	if fe.QueueLen() != 49 {
+		t.Errorf("queue = %d, want 49", fe.QueueLen())
+	}
+}
+
+func TestNegativeQueueLimitPanics(t *testing.T) {
+	_, fe := rig(t, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative queue limit did not panic")
+		}
+	}()
+	fe.SetQueueLimit(-1)
+}

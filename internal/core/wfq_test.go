@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dbms"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+)
+
+func wfqTxn(class lockmgr.Class, size float64, seq uint64) *Txn {
+	return &Txn{
+		Profile: dbms.TxnProfile{Class: class, EstimatedDemand: size},
+		seq:     seq,
+	}
+}
+
+func TestWFQSharesBacklogByWeight(t *testing.T) {
+	// Persistent backlog of equal-size transactions in two classes with
+	// weights 3:1: among the first N dispatches, the high class should
+	// get ~3/4.
+	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 3, lockmgr.Low: 1})
+	var seq uint64
+	for i := 0; i < 400; i++ {
+		p.Push(wfqTxn(lockmgr.High, 1, seq))
+		seq++
+		p.Push(wfqTxn(lockmgr.Low, 1, seq))
+		seq++
+	}
+	high := 0
+	for i := 0; i < 200; i++ {
+		if p.Pop().Class() == lockmgr.High {
+			high++
+		}
+	}
+	frac := float64(high) / 200
+	if math.Abs(frac-0.75) > 0.05 {
+		t.Errorf("high-class dispatch fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestWFQNoStarvation(t *testing.T) {
+	// Unlike strict priority, WFQ keeps serving the low class even
+	// under continuous high-class pressure.
+	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 10, lockmgr.Low: 1})
+	var seq uint64
+	for i := 0; i < 100; i++ {
+		p.Push(wfqTxn(lockmgr.High, 1, seq))
+		seq++
+	}
+	p.Push(wfqTxn(lockmgr.Low, 1, seq))
+	lowSeen := false
+	for i := 0; i < 30 && p.Len() > 0; i++ {
+		if p.Pop().Class() == lockmgr.Low {
+			lowSeen = true
+			break
+		}
+	}
+	if !lowSeen {
+		t.Error("low class starved within 30 dispatches at weight ratio 10:1")
+	}
+}
+
+func TestWFQSizeAware(t *testing.T) {
+	// Equal weights but class A sends jobs 4x larger: B should get ~4x
+	// the dispatch COUNT (equal demand share).
+	p := NewWFQ(map[lockmgr.Class]float64{})
+	var seq uint64
+	for i := 0; i < 400; i++ {
+		p.Push(wfqTxn(lockmgr.High, 4, seq))
+		seq++
+		p.Push(wfqTxn(lockmgr.Low, 1, seq))
+		seq++
+	}
+	big := 0
+	for i := 0; i < 200; i++ {
+		if p.Pop().Class() == lockmgr.High {
+			big++
+		}
+	}
+	frac := float64(big) / 200
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Errorf("large-job class dispatch fraction = %v, want ~0.2 (1/(1+4))", frac)
+	}
+}
+
+func TestWFQFIFOWithinClass(t *testing.T) {
+	p := NewWFQ(nil)
+	a := wfqTxn(lockmgr.Low, 1, 1)
+	b := wfqTxn(lockmgr.Low, 1, 2)
+	c := wfqTxn(lockmgr.Low, 1, 3)
+	p.Push(a)
+	p.Push(b)
+	p.Push(c)
+	if p.Pop() != a || p.Pop() != b || p.Pop() != c {
+		t.Error("same-class order not FIFO")
+	}
+}
+
+func TestWFQEmptyAndConservation(t *testing.T) {
+	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 2})
+	if p.Pop() != nil || p.Len() != 0 {
+		t.Error("empty WFQ misbehaves")
+	}
+	g := sim.NewRNG(1, 0)
+	pushed := map[*Txn]bool{}
+	var seq uint64
+	for i := 0; i < 3000; i++ {
+		if g.IntN(2) == 0 {
+			tx := wfqTxn(lockmgr.Class(g.IntN(4)), 0.1+g.Float64(), seq)
+			seq++
+			pushed[tx] = true
+			p.Push(tx)
+		} else if tx := p.Pop(); tx != nil {
+			if !pushed[tx] {
+				t.Fatal("popped unknown txn")
+			}
+			delete(pushed, tx)
+		}
+	}
+	for tx := p.Pop(); tx != nil; tx = p.Pop() {
+		delete(pushed, tx)
+	}
+	if len(pushed) != 0 {
+		t.Errorf("%d transactions lost", len(pushed))
+	}
+}
+
+func TestWFQZeroSizeDefaultsToUnit(t *testing.T) {
+	p := NewWFQ(nil)
+	p.Push(wfqTxn(lockmgr.Low, 0, 1)) // unknown size
+	if p.Pop() == nil {
+		t.Error("zero-size transaction lost")
+	}
+}
+
+func TestWFQInvalidWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive weight did not panic")
+		}
+	}()
+	NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 0})
+}
+
+func TestWFQEndToEndSharing(t *testing.T) {
+	// Integration: saturated MPL-1 system, classes at weights 3:1 with
+	// equal-size jobs → completed counts near 3:1.
+	eng, fe := rig(t, 1, NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 3, lockmgr.Low: 1}))
+	highDone, lowDone := 0, 0
+	fe.OnComplete = func(tx *Txn) {
+		if tx.Class() == lockmgr.High {
+			highDone++
+		} else {
+			lowDone++
+		}
+	}
+	for i := 0; i < 300; i++ {
+		fe.Submit(prof(0.01, lockmgr.High, uint64(1000+i)))
+		fe.Submit(prof(0.01, lockmgr.Low, uint64(2000+i)))
+	}
+	eng.Run(1.5) // ~150 completions at 10ms each, backlog persists
+	ratio := float64(highDone) / float64(lowDone)
+	if ratio < 2.2 || ratio > 4 {
+		t.Errorf("completion ratio = %v (%d:%d), want ~3", ratio, highDone, lowDone)
+	}
+	eng.RunAll()
+}

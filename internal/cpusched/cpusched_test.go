@@ -1,0 +1,259 @@
+package cpusched
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+func TestSingleJobRunsAtFullRate(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var doneAt float64 = -1
+	cpu.Submit(2.0, 1, func() { doneAt = eng.Now() })
+	eng.RunAll()
+	if math.Abs(doneAt-2.0) > 1e-9 {
+		t.Errorf("single job finished at %v, want 2.0", doneAt)
+	}
+}
+
+func TestTwoJobsShareOneCore(t *testing.T) {
+	// Two equal jobs of 1s each on one core: both finish at t=2.
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var d1, d2 float64
+	cpu.Submit(1.0, 1, func() { d1 = eng.Now() })
+	cpu.Submit(1.0, 1, func() { d2 = eng.Now() })
+	eng.RunAll()
+	if math.Abs(d1-2.0) > 1e-9 || math.Abs(d2-2.0) > 1e-9 {
+		t.Errorf("finish times (%v, %v), want (2, 2)", d1, d2)
+	}
+}
+
+func TestTwoCoresRunTwoJobsInParallel(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 2)
+	var d1, d2 float64
+	cpu.Submit(1.0, 1, func() { d1 = eng.Now() })
+	cpu.Submit(3.0, 1, func() { d2 = eng.Now() })
+	eng.RunAll()
+	if math.Abs(d1-1.0) > 1e-9 {
+		t.Errorf("short job finished at %v, want 1.0", d1)
+	}
+	if math.Abs(d2-3.0) > 1e-9 {
+		t.Errorf("long job finished at %v, want 3.0", d2)
+	}
+}
+
+func TestThreeJobsTwoCores(t *testing.T) {
+	// 3 equal jobs of 1s on 2 cores: each runs at 2/3 →
+	// all finish at 1.5.
+	eng := sim.NewEngine()
+	cpu := New(eng, 2)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		cpu.Submit(1.0, 1, func() { done = append(done, eng.Now()) })
+	}
+	eng.RunAll()
+	for _, d := range done {
+		if math.Abs(d-1.5) > 1e-9 {
+			t.Errorf("finish at %v, want 1.5 (got %v)", d, done)
+		}
+	}
+}
+
+func TestPSDynamicsAfterDeparture(t *testing.T) {
+	// One core. Job A (0.5s) and B (1.5s): share until A leaves at t=1
+	// (A got rate 1/2), then B runs alone: B has 1.5-0.5=1.0 left → t=2.
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var dA, dB float64
+	cpu.Submit(0.5, 1, func() { dA = eng.Now() })
+	cpu.Submit(1.5, 1, func() { dB = eng.Now() })
+	eng.RunAll()
+	if math.Abs(dA-1.0) > 1e-9 {
+		t.Errorf("A finished at %v, want 1.0", dA)
+	}
+	if math.Abs(dB-2.0) > 1e-9 {
+		t.Errorf("B finished at %v, want 2.0", dB)
+	}
+}
+
+func TestLateArrivalResharing(t *testing.T) {
+	// One core. A (2s work) starts at 0; B (1s) arrives at 1. From t=1
+	// they share: A needs 1 more second of work at rate 1/2... A and B
+	// each at 1/2. B finishes its 1s of work at t=3; A also has 1s left
+	// at t=1 → both at t=3.
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var dA, dB float64
+	cpu.Submit(2.0, 1, func() { dA = eng.Now() })
+	eng.After(1.0, func() {
+		cpu.Submit(1.0, 1, func() { dB = eng.Now() })
+	})
+	eng.RunAll()
+	if math.Abs(dA-3.0) > 1e-9 || math.Abs(dB-3.0) > 1e-9 {
+		t.Errorf("finish times (%v, %v), want (3, 3)", dA, dB)
+	}
+}
+
+func TestWeightedSharing(t *testing.T) {
+	// One core, weights 3:1. A (w=3, 1.5s work), B (w=1, 1.5s work).
+	// A runs at 3/4, B at 1/4. A finishes at 2.0; then B (1.5-0.5=1.0
+	// left) runs alone → finishes at 3.0.
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var dA, dB float64
+	cpu.Submit(1.5, 3, func() { dA = eng.Now() })
+	cpu.Submit(1.5, 1, func() { dB = eng.Now() })
+	eng.RunAll()
+	if math.Abs(dA-2.0) > 1e-9 {
+		t.Errorf("A finished at %v, want 2.0", dA)
+	}
+	if math.Abs(dB-3.0) > 1e-9 {
+		t.Errorf("B finished at %v, want 3.0", dB)
+	}
+}
+
+func TestWeightCapAtOneCore(t *testing.T) {
+	// Two cores, jobs with weights 100 and 1: the heavy job cannot
+	// exceed one core, so the light job still gets a full core.
+	eng := sim.NewEngine()
+	cpu := New(eng, 2)
+	var dHeavy, dLight float64
+	cpu.Submit(1.0, 100, func() { dHeavy = eng.Now() })
+	cpu.Submit(1.0, 1, func() { dLight = eng.Now() })
+	eng.RunAll()
+	if math.Abs(dHeavy-1.0) > 1e-9 || math.Abs(dLight-1.0) > 1e-9 {
+		t.Errorf("finish times (%v, %v), want (1, 1)", dHeavy, dLight)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	fired := false
+	var dB float64
+	j := cpu.Submit(10.0, 1, func() { fired = true })
+	cpu.Submit(1.0, 1, func() { dB = eng.Now() })
+	eng.After(0.5, func() { cpu.Cancel(j) })
+	eng.RunAll()
+	if fired {
+		t.Error("canceled job completed")
+	}
+	// B shared until 0.5 (progress 0.25), then ran alone: 0.75 more →
+	// finish at 1.25.
+	if math.Abs(dB-1.25) > 1e-9 {
+		t.Errorf("B finished at %v, want 1.25", dB)
+	}
+	if cpu.Resident() != 0 {
+		t.Errorf("resident = %d, want 0", cpu.Resident())
+	}
+}
+
+func TestCancelCompletedIsNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	j := cpu.Submit(1.0, 1, func() {})
+	eng.RunAll()
+	cpu.Cancel(j) // must not panic
+}
+
+func TestZeroWorkCompletesAsync(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	fired := false
+	cpu.Submit(0, 1, func() { fired = true })
+	if fired {
+		t.Error("zero-work job completed synchronously inside Submit")
+	}
+	eng.RunAll()
+	if !fired {
+		t.Error("zero-work job never completed")
+	}
+	if eng.Now() != 0 {
+		t.Errorf("zero-work completion advanced clock to %v", eng.Now())
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	// One core, two jobs of 2s each. At t=1 boost A's weight to 3.
+	// Phase 1 (0..1): each at 1/2 → 1.5 left each.
+	// Phase 2: A at 3/4, B at 1/4. A done after 2s → t=3. B then has
+	// 1.5-0.5=1.0 left, alone → t=4.
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	var dA, dB float64
+	a := cpu.Submit(2.0, 1, func() { dA = eng.Now() })
+	cpu.Submit(2.0, 1, func() { dB = eng.Now() })
+	eng.After(1.0, func() { cpu.SetWeight(a, 3) })
+	eng.RunAll()
+	if math.Abs(dA-3.0) > 1e-9 {
+		t.Errorf("A finished at %v, want 3.0", dA)
+	}
+	if math.Abs(dB-4.0) > 1e-9 {
+		t.Errorf("B finished at %v, want 4.0", dB)
+	}
+}
+
+func TestBusyCoreSeconds(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 2)
+	cpu.Submit(1.0, 1, func() {})
+	cpu.Submit(1.0, 1, func() {})
+	eng.RunAll()
+	// Two jobs each 1s of work on 2 cores: 2 busy core-seconds.
+	if b := cpu.BusyCoreSeconds(); math.Abs(b-2.0) > 1e-9 {
+		t.Errorf("busy core-seconds = %v, want 2.0", b)
+	}
+}
+
+func TestManyJobsConservation(t *testing.T) {
+	// Total work in == total busy core-seconds out, regardless of
+	// arrival pattern.
+	eng := sim.NewEngine()
+	cpu := New(eng, 3)
+	g := sim.NewRNG(42, 0)
+	totalWork := 0.0
+	completed := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		w := 0.01 + g.Float64()
+		totalWork += w
+		delay := g.Float64() * 10
+		eng.After(delay, func() {
+			cpu.Submit(w, 1, func() { completed++ })
+		})
+	}
+	eng.RunAll()
+	if completed != n {
+		t.Fatalf("completed %d of %d", completed, n)
+	}
+	if math.Abs(cpu.BusyCoreSeconds()-totalWork) > 1e-6 {
+		t.Errorf("busy = %v, total work = %v", cpu.BusyCoreSeconds(), totalWork)
+	}
+	if cpu.Resident() != 0 {
+		t.Errorf("resident = %d after drain", cpu.Resident())
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := New(eng, 1)
+	for _, fn := range []func(){
+		func() { New(eng, 0) },
+		func() { cpu.Submit(-1, 1, func() {}) },
+		func() { cpu.Submit(1, 0, func() {}) },
+		func() { cpu.Submit(math.NaN(), 1, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid argument did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

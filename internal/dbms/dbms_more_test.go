@@ -1,0 +1,198 @@
+package dbms
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dist"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+)
+
+func TestLogDeviceSerializesCommits(t *testing.T) {
+	// Two instant transactions committing together still serialize on
+	// the 10ms log write without group commit.
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LogService: dist.NewDeterministic(0.01),
+	})
+	var t1, t2 float64
+	db.Exec(TxnProfile{Ops: []Op{{Key: 1, CPUWork: 0.001}}}, func(Result) { t1 = eng.Now() })
+	db.Exec(TxnProfile{Ops: []Op{{Key: 2, CPUWork: 0.001}}}, func(Result) { t2 = eng.Now() })
+	eng.RunAll()
+	first, second := math.Min(t1, t2), math.Max(t1, t2)
+	if math.Abs(first-0.011) > 1e-9 {
+		t.Errorf("first commit at %v, want 0.011", first)
+	}
+	if math.Abs(second-0.021) > 1e-9 {
+		t.Errorf("second commit at %v, want 0.021 (serial log)", second)
+	}
+}
+
+func TestGroupCommitParallelizesCommits(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LogService:  dist.NewDeterministic(0.01),
+		GroupCommit: true,
+	})
+	done := 0
+	// Stagger starts slightly so the second commit arrives while the
+	// first flush is in flight — it must ride the NEXT flush, not wait
+	// behind a full serial queue.
+	db.Exec(TxnProfile{Ops: []Op{{Key: 1, CPUWork: 0.001}}}, func(Result) { done++ })
+	db.Exec(TxnProfile{Ops: []Op{{Key: 2, CPUWork: 0.002}}}, func(Result) { done++ })
+	db.Exec(TxnProfile{Ops: []Op{{Key: 3, CPUWork: 0.003}}}, func(Result) { done++ })
+	eng.RunAll()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	// Flush 1 carries txn 1 (commit ~0.011); txns 2 and 3 batch into
+	// flush 2 (~0.021). Serial would need 3 flushes ending ~0.031.
+	if eng.Now() > 0.0215 {
+		t.Errorf("drained at %v, want ~0.021 with batching", eng.Now())
+	}
+	if db.Log().Flushes() != 2 {
+		t.Errorf("flushes = %d, want 2", db.Log().Flushes())
+	}
+}
+
+func TestRollbackCostCharged(t *testing.T) {
+	// A deadlock victim pays RollbackCPU × completed work before
+	// restarting; with a large factor the victim's commit is visibly
+	// delayed.
+	run := func(rollback float64) float64 {
+		eng := sim.NewEngine()
+		db := mustDB(t, eng, Config{
+			CPUs: 2, Disks: 1,
+			LogService:     dist.NewDeterministic(0),
+			RestartBackoff: dist.NewDeterministic(0.001),
+			RollbackCPU:    rollback,
+		})
+		p1 := TxnProfile{Ops: []Op{
+			{Key: 1, Write: true, CPUWork: 0.1},
+			{Key: 2, Write: true, CPUWork: 0.1},
+		}}
+		p2 := TxnProfile{Ops: []Op{
+			{Key: 2, Write: true, CPUWork: 0.1},
+			{Key: 1, Write: true, CPUWork: 0.1},
+		}}
+		db.Exec(p1, func(Result) {})
+		db.Exec(p2, func(Result) {})
+		eng.RunAll()
+		return eng.Now()
+	}
+	cheap := run(0.001)
+	costly := run(2.0)
+	if costly <= cheap {
+		t.Errorf("rollback cost had no effect: %v vs %v", costly, cheap)
+	}
+}
+
+func TestStriping2DisksBalanced(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 2,
+		BufferPoolPages: 1, // everything misses
+		DiskService:     dist.NewDeterministic(0.01),
+		LogService:      dist.NewDeterministic(0),
+		Seed:            4,
+	})
+	committed := 0
+	for i := 0; i < 50; i++ {
+		pages := make([]uint64, 10)
+		for p := range pages {
+			pages[p] = uint64(i*100 + p)
+		}
+		db.Exec(TxnProfile{Ops: []Op{{Key: uint64(1000 + i), CPUWork: 0.0001, Pages: pages}}},
+			func(Result) { committed++ })
+	}
+	eng.RunAll()
+	if committed != 50 {
+		t.Fatalf("committed = %d", committed)
+	}
+	if u := db.DiskUtilization(); u < 0.5 {
+		t.Errorf("disk utilization = %v, want both disks working", u)
+	}
+}
+
+func TestHonorsURWriteWriteConflict(t *testing.T) {
+	// UR removes READ locks only; write-write conflicts still serialize.
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1, Isolation: UR,
+		LogService: dist.NewDeterministic(0),
+	})
+	w := TxnProfile{Ops: []Op{{Key: 7, Write: true, CPUWork: 0.1}}}
+	var times []float64
+	db.Exec(w, func(Result) { times = append(times, eng.Now()) })
+	db.Exec(w, func(Result) { times = append(times, eng.Now()) })
+	eng.RunAll()
+	if math.Abs(times[1]-0.2) > 1e-9 {
+		t.Errorf("second writer at %v, want 0.2 (still serialized under UR)", times[1])
+	}
+}
+
+func TestResultCarriesClass(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{CPUs: 1, Disks: 1, LogService: dist.NewDeterministic(0)})
+	var got lockmgr.Class
+	db.Exec(TxnProfile{
+		Ops:   []Op{{Key: 1, CPUWork: 0.01}},
+		Class: lockmgr.High,
+	}, func(r Result) { got = r.Class })
+	eng.RunAll()
+	if got != lockmgr.High {
+		t.Errorf("result class = %v, want High", got)
+	}
+}
+
+func TestInsideCountTracksConcurrency(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{CPUs: 4, Disks: 1, LogService: dist.NewDeterministic(0)})
+	for i := 0; i < 4; i++ {
+		db.Exec(TxnProfile{Ops: []Op{{Key: uint64(i), CPUWork: 1.0}}}, func(Result) {})
+	}
+	if db.Inside() != 4 {
+		t.Errorf("inside = %d, want 4", db.Inside())
+	}
+	eng.Run(0.5)
+	if db.Inside() != 4 {
+		t.Errorf("inside = %d mid-run, want 4", db.Inside())
+	}
+	eng.RunAll()
+	if db.Inside() != 0 {
+		t.Errorf("inside = %d after drain", db.Inside())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (uint64, float64) {
+		eng := sim.NewEngine()
+		db := mustDB(t, eng, Config{
+			CPUs: 2, Disks: 2,
+			BufferPoolPages: 100,
+			DiskService:     dist.NewExponential(0.01),
+			LogService:      dist.NewDeterministic(0.001),
+			Seed:            99,
+		})
+		g := sim.NewRNG(5, 5)
+		for i := 0; i < 200; i++ {
+			prof := TxnProfile{Ops: []Op{{
+				Key:     uint64(g.IntN(50)),
+				Write:   g.IntN(2) == 0,
+				CPUWork: g.Float64() * 0.01,
+				Pages:   []uint64{uint64(g.IntN(1000))},
+			}}}
+			eng.After(g.Float64(), func() { db.Exec(prof, func(Result) {}) })
+		}
+		eng.RunAll()
+		return db.Stats().Committed, eng.Now()
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Errorf("same-seed runs differ: (%d,%v) vs (%d,%v)", c1, t1, c2, t2)
+	}
+}

@@ -1,0 +1,362 @@
+package dbms
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dist"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+)
+
+func mustDB(t *testing.T, eng *sim.Engine, cfg Config) *DB {
+	t.Helper()
+	db, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func cpuOnlyTxn(work float64) TxnProfile {
+	return TxnProfile{Ops: []Op{{Key: 1, Write: false, CPUWork: work}}}
+}
+
+func TestSingleCPUOnlyTxn(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0.001),
+	})
+	var res Result
+	done := false
+	db.Exec(cpuOnlyTxn(0.1), func(r Result) { res = r; done = true })
+	eng.RunAll()
+	if !done {
+		t.Fatal("transaction never committed")
+	}
+	// 0.1 CPU + 0.001 log.
+	if math.Abs(res.InsideTime-0.101) > 1e-9 {
+		t.Errorf("inside time = %v, want 0.101", res.InsideTime)
+	}
+	if res.Restarts != 0 {
+		t.Errorf("restarts = %d, want 0", res.Restarts)
+	}
+	if db.Inside() != 0 {
+		t.Errorf("inside = %d after commit", db.Inside())
+	}
+	if db.Stats().Committed != 1 {
+		t.Errorf("committed = %d", db.Stats().Committed)
+	}
+}
+
+func TestCPUSpeedScales(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 1, CPUSpeed: 2,
+		LogService: dist.NewDeterministic(0),
+	})
+	var rt float64
+	db.Exec(cpuOnlyTxn(1.0), func(r Result) { rt = r.InsideTime })
+	eng.RunAll()
+	if math.Abs(rt-0.5) > 1e-9 {
+		t.Errorf("inside time = %v, want 0.5 at 2x speed", rt)
+	}
+}
+
+func TestBufferMissCausesIO(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 1,
+		BufferPoolPages: 10,
+		DiskService:     dist.NewDeterministic(0.02),
+		LogService:      dist.NewDeterministic(0),
+	})
+	var rt float64
+	profile := TxnProfile{Ops: []Op{{Key: 1, CPUWork: 0.01, Pages: []uint64{42}}}}
+	db.Exec(profile, func(r Result) { rt = r.InsideTime })
+	eng.RunAll()
+	// 0.01 CPU + 0.02 IO (cold miss).
+	if math.Abs(rt-0.03) > 1e-9 {
+		t.Errorf("inside time = %v, want 0.03", rt)
+	}
+	st := db.Stats()
+	if st.PoolMiss != 1 || st.PoolHits != 0 {
+		t.Errorf("pool hits/misses = %d/%d, want 0/1", st.PoolHits, st.PoolMiss)
+	}
+	// Second txn touching the same page hits.
+	var rt2 float64
+	db.Exec(profile, func(r Result) { rt2 = r.InsideTime })
+	eng.RunAll()
+	if math.Abs(rt2-0.01) > 1e-9 {
+		t.Errorf("second inside time = %v, want 0.01 (hit)", rt2)
+	}
+}
+
+func TestWriteConflictSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	prof := TxnProfile{Ops: []Op{{Key: 7, Write: true, CPUWork: 0.1}}}
+	var t1, t2 float64
+	db.Exec(prof, func(r Result) { t1 = eng.Now() })
+	db.Exec(prof, func(r Result) { t2 = eng.Now() })
+	eng.RunAll()
+	// Even with 2 CPUs, X-lock conflict forces serial execution:
+	// second commits ~0.2, not ~0.1.
+	first, second := math.Min(t1, t2), math.Max(t1, t2)
+	if math.Abs(first-0.1) > 1e-9 {
+		t.Errorf("first commit at %v, want 0.1", first)
+	}
+	if math.Abs(second-0.2) > 1e-9 {
+		t.Errorf("second commit at %v, want 0.2 (serialized)", second)
+	}
+}
+
+func TestURSkipsReadLocks(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1, Isolation: UR,
+		LogService: dist.NewDeterministic(0),
+	})
+	writer := TxnProfile{Ops: []Op{{Key: 7, Write: true, CPUWork: 0.5}}}
+	reader := TxnProfile{Ops: []Op{{Key: 7, Write: false, CPUWork: 0.1}}}
+	var readerDone float64
+	db.Exec(writer, func(Result) {})
+	db.Exec(reader, func(Result) { readerDone = eng.Now() })
+	eng.RunAll()
+	// Under UR the reader never blocks on the writer's X lock.
+	if math.Abs(readerDone-0.1) > 1e-9 {
+		t.Errorf("UR reader done at %v, want 0.1 (no blocking)", readerDone)
+	}
+}
+
+func TestRRReaderBlocksOnWriter(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1, Isolation: RR,
+		LogService: dist.NewDeterministic(0),
+	})
+	writer := TxnProfile{Ops: []Op{{Key: 7, Write: true, CPUWork: 0.5}}}
+	reader := TxnProfile{Ops: []Op{{Key: 7, Write: false, CPUWork: 0.1}}}
+	var readerDone float64
+	db.Exec(writer, func(Result) {})
+	db.Exec(reader, func(Result) { readerDone = eng.Now() })
+	eng.RunAll()
+	// Under RR the reader waits for the writer's commit at 0.5.
+	if math.Abs(readerDone-0.6) > 1e-9 {
+		t.Errorf("RR reader done at %v, want 0.6 (blocked)", readerDone)
+	}
+}
+
+func TestDeadlockRestartsAndCommits(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LogService:     dist.NewDeterministic(0),
+		RestartBackoff: dist.NewDeterministic(0.001),
+	})
+	// Two txns locking (1 then 2) and (2 then 1) with CPU work between:
+	// guaranteed deadlock.
+	p1 := TxnProfile{Ops: []Op{
+		{Key: 1, Write: true, CPUWork: 0.1},
+		{Key: 2, Write: true, CPUWork: 0.1},
+	}}
+	p2 := TxnProfile{Ops: []Op{
+		{Key: 2, Write: true, CPUWork: 0.1},
+		{Key: 1, Write: true, CPUWork: 0.1},
+	}}
+	committed := 0
+	restarts := 0
+	db.Exec(p1, func(r Result) { committed++; restarts += r.Restarts })
+	db.Exec(p2, func(r Result) { committed++; restarts += r.Restarts })
+	eng.RunAll()
+	if committed != 2 {
+		t.Fatalf("committed = %d, want 2", committed)
+	}
+	if restarts < 1 {
+		t.Errorf("expected at least one restart, got %d", restarts)
+	}
+	if db.Stats().Aborted < 1 {
+		t.Errorf("aborted = %d, want >= 1", db.Stats().Aborted)
+	}
+	if db.Inside() != 0 {
+		t.Errorf("inside = %d after drain", db.Inside())
+	}
+}
+
+func TestPOWPreemptionRestartsVictim(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LockPolicy:     lockmgr.PriorityFIFO,
+		POW:            true,
+		LogService:     dist.NewDeterministic(0),
+		RestartBackoff: dist.NewDeterministic(0.001),
+	})
+	// Low txn takes key 1 then blocks on key 2 (held by a long, low
+	// txn). High txn then wants key 1 → POW preempts the first low txn.
+	blocker := TxnProfile{Ops: []Op{{Key: 2, Write: true, CPUWork: 1.0}}}
+	lowVictim := TxnProfile{Ops: []Op{
+		{Key: 1, Write: true, CPUWork: 0.01},
+		{Key: 2, Write: true, CPUWork: 0.01},
+	}}
+	high := TxnProfile{
+		Ops:   []Op{{Key: 1, Write: true, CPUWork: 0.01}},
+		Class: lockmgr.High,
+	}
+	var highDone float64
+	committed := 0
+	db.Exec(blocker, func(Result) { committed++ })
+	eng.After(0.05, func() { db.Exec(lowVictim, func(Result) { committed++ }) })
+	eng.After(0.1, func() { db.Exec(high, func(Result) { highDone = eng.Now(); committed++ }) })
+	eng.RunAll()
+	if committed != 3 {
+		t.Fatalf("committed = %d, want 3", committed)
+	}
+	// High should finish quickly (≈0.11), not wait for the 1s blocker.
+	if highDone > 0.3 {
+		t.Errorf("high committed at %v, want quickly after 0.1 via preemption", highDone)
+	}
+	if db.Stats().Lock.Preemptions < 1 {
+		t.Errorf("preemptions = %d, want >= 1", db.Stats().Lock.Preemptions)
+	}
+}
+
+func TestCPUPriorityWeights(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 1,
+		CPUPriority:   true,
+		HighCPUWeight: 3,
+		LowCPUWeight:  1,
+		LogService:    dist.NewDeterministic(0),
+	})
+	low := TxnProfile{Ops: []Op{{Key: 1, CPUWork: 1.5}}, Class: lockmgr.Low}
+	high := TxnProfile{Ops: []Op{{Key: 2, CPUWork: 1.5}}, Class: lockmgr.High}
+	var tLow, tHigh float64
+	db.Exec(low, func(Result) { tLow = eng.Now() })
+	db.Exec(high, func(Result) { tHigh = eng.Now() })
+	eng.RunAll()
+	// Weight 3:1 on one core: high at 3/4 rate finishes 1.5/0.75 = 2.0;
+	// low then has 1.5-0.5=1.0 left → 3.0.
+	if math.Abs(tHigh-2.0) > 1e-9 {
+		t.Errorf("high done at %v, want 2.0", tHigh)
+	}
+	if math.Abs(tLow-3.0) > 1e-9 {
+		t.Errorf("low done at %v, want 3.0", tLow)
+	}
+}
+
+func TestMultiOpTxnLockAccumulation(t *testing.T) {
+	// Strict 2PL: all locks held to commit. A second txn needing the
+	// FIRST op's key of a 3-op txn waits for full commit.
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	long := TxnProfile{Ops: []Op{
+		{Key: 1, Write: true, CPUWork: 0.1},
+		{Key: 2, Write: true, CPUWork: 0.1},
+		{Key: 3, Write: true, CPUWork: 0.1},
+	}}
+	short := TxnProfile{Ops: []Op{{Key: 1, Write: true, CPUWork: 0.01}}}
+	var shortDone float64
+	db.Exec(long, func(Result) {})
+	db.Exec(short, func(Result) { shortDone = eng.Now() })
+	eng.RunAll()
+	if shortDone < 0.3 {
+		t.Errorf("short committed at %v, want >= 0.3 (after long's commit)", shortDone)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	db.Exec(cpuOnlyTxn(1.0), func(Result) {})
+	eng.RunAll()
+	if u := db.CPUUtilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("CPU utilization = %v, want 1.0", u)
+	}
+	if u := db.DiskUtilization(); u != 0 {
+		t.Errorf("disk utilization = %v, want 0", u)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, Config{CPUs: 0, Disks: 1}); err == nil {
+		t.Error("zero CPUs accepted")
+	}
+	if _, err := New(eng, Config{CPUs: 1, Disks: 0}); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := New(eng, Config{CPUs: 1, Disks: 1, CPUSpeed: -1}); err == nil {
+		t.Error("negative CPU speed accepted")
+	}
+}
+
+func TestEmptyProfilePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{CPUs: 1, Disks: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("empty profile did not panic")
+		}
+	}()
+	db.Exec(TxnProfile{}, func(Result) {})
+}
+
+func TestHighConcurrencyDrainInvariant(t *testing.T) {
+	// Randomized: many concurrent conflicting transactions; all must
+	// commit exactly once and the engine must fully drain.
+	eng := sim.NewEngine()
+	db := mustDB(t, eng, Config{
+		CPUs: 2, Disks: 2,
+		BufferPoolPages: 50,
+		DiskService:     dist.NewExponential(0.005),
+		LogService:      dist.NewDeterministic(0.001),
+		RestartBackoff:  dist.NewDeterministic(0.002),
+		Seed:            11,
+	})
+	g := sim.NewRNG(12, 0)
+	const n = 300
+	committed := 0
+	for i := 0; i < n; i++ {
+		nOps := 1 + g.IntN(4)
+		var ops []Op
+		for j := 0; j < nOps; j++ {
+			ops = append(ops, Op{
+				Key:     uint64(g.IntN(20)), // hot keys → conflicts & deadlocks
+				Write:   g.IntN(2) == 0,
+				CPUWork: 0.001 + 0.01*g.Float64(),
+				Pages:   []uint64{uint64(g.IntN(500))},
+			})
+		}
+		class := lockmgr.Low
+		if g.IntN(10) == 0 {
+			class = lockmgr.High
+		}
+		delay := g.Float64() * 2
+		prof := TxnProfile{Ops: ops, Class: class}
+		eng.After(delay, func() {
+			db.Exec(prof, func(Result) { committed++ })
+		})
+	}
+	eng.RunAll()
+	if committed != n {
+		t.Fatalf("committed = %d, want %d", committed, n)
+	}
+	if db.Inside() != 0 {
+		t.Errorf("inside = %d after drain", db.Inside())
+	}
+	if db.Stats().Committed != n {
+		t.Errorf("stats.Committed = %d, want %d", db.Stats().Committed, n)
+	}
+}

@@ -1,0 +1,229 @@
+// Package disk simulates the storage subsystem: FCFS per-disk queues, a
+// striped data array (the paper stripes the database evenly over 1–6
+// IDE drives) and a dedicated log disk for commit-time WAL writes, the
+// same layout as the paper's testbed (one drive reserved for the log).
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+)
+
+// Request is a queued I/O handle.
+type Request struct {
+	service  float64
+	onDone   func()
+	canceled bool
+	started  bool
+}
+
+// Disk is a single FCFS device.
+type Disk struct {
+	eng   *sim.Engine
+	name  string
+	queue []*Request
+	busy  bool
+	// busyTime integrates seconds the device spent serving requests.
+	busyTime  float64
+	busySince float64
+	served    uint64
+}
+
+// NewDisk returns an idle FCFS disk.
+func NewDisk(eng *sim.Engine, name string) *Disk {
+	return &Disk{eng: eng, name: name}
+}
+
+// Name returns the device name.
+func (d *Disk) Name() string { return d.name }
+
+// QueueLen returns the number of waiting requests (excluding the one in
+// service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Served returns the number of completed requests.
+func (d *Disk) Served() uint64 { return d.served }
+
+// BusySeconds returns accumulated service time.
+func (d *Disk) BusySeconds() float64 {
+	if d.busy {
+		return d.busyTime + (d.eng.Now() - d.busySince)
+	}
+	return d.busyTime
+}
+
+// Submit enqueues a request with the given service time. onDone fires
+// at completion.
+func (d *Disk) Submit(service float64, onDone func()) *Request {
+	if service < 0 || math.IsNaN(service) || math.IsInf(service, 0) {
+		panic(fmt.Sprintf("disk: invalid service time %v", service))
+	}
+	r := &Request{service: service, onDone: onDone}
+	d.queue = append(d.queue, r)
+	if !d.busy {
+		d.startNext()
+	}
+	return r
+}
+
+// Cancel drops a request that has not started service (transaction
+// abort). A request already in service completes normally but its
+// callback is suppressed.
+func (d *Disk) Cancel(r *Request) {
+	if r == nil {
+		return
+	}
+	r.canceled = true
+	if !r.started {
+		for i, q := range d.queue {
+			if q == r {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (d *Disk) startNext() {
+	for len(d.queue) > 0 {
+		r := d.queue[0]
+		d.queue = d.queue[1:]
+		if r.canceled {
+			continue
+		}
+		r.started = true
+		d.busy = true
+		d.busySince = d.eng.Now()
+		d.eng.After(r.service, func() {
+			d.busy = false
+			d.busyTime += r.service
+			d.served++
+			// Start the next queued request BEFORE the completion
+			// callback: onDone may synchronously submit a follow-up I/O
+			// to this very disk, and it must queue behind the next
+			// request rather than start a second concurrent service.
+			d.startNext()
+			if !r.canceled {
+				r.onDone()
+			}
+		})
+		return
+	}
+	d.busy = false
+}
+
+// Array is a striped set of data disks: each I/O goes to a uniformly
+// random stripe, matching the paper's assumption that "the data is
+// evenly striped over the disks".
+type Array struct {
+	disks   []*Disk
+	service dist.Distribution
+	rng     *sim.RNG
+}
+
+// NewArray builds n striped disks whose per-request service time is
+// drawn from service.
+func NewArray(eng *sim.Engine, n int, service dist.Distribution, rng *sim.RNG) *Array {
+	if n < 1 {
+		panic(fmt.Sprintf("disk: array needs >= 1 disk, got %d", n))
+	}
+	a := &Array{service: service, rng: rng}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, NewDisk(eng, fmt.Sprintf("data%d", i)))
+	}
+	return a
+}
+
+// Disks exposes the individual devices (for metrics).
+func (a *Array) Disks() []*Disk { return a.disks }
+
+// Size returns the number of disks.
+func (a *Array) Size() int { return len(a.disks) }
+
+// SubmitIO issues one I/O to a uniformly chosen stripe with a service
+// time drawn from the array's distribution. It returns the request
+// handle together with the disk it landed on (for cancellation).
+func (a *Array) SubmitIO(onDone func()) (*Request, *Disk) {
+	d := a.disks[a.rng.IntN(len(a.disks))]
+	return d.Submit(a.service.Sample(a.rng), onDone), d
+}
+
+// Log is the dedicated log disk. Sequential WAL appends are much
+// cheaper than random data I/O, so it takes its own (smaller) service
+// distribution. With GroupCommit enabled, commit records arriving
+// while a flush is in progress are batched into the next flush — one
+// device write durably commits the whole group, which is how real
+// engines keep the log from becoming the bottleneck at high MPLs.
+type Log struct {
+	disk        *Disk
+	service     dist.Distribution
+	rng         *sim.RNG
+	groupCommit bool
+	flushing    bool
+	waiters     []func()
+	flushes     uint64
+	appends     uint64
+	maxGroup    int
+}
+
+// NewLog returns the log device (no group commit).
+func NewLog(eng *sim.Engine, service dist.Distribution, rng *sim.RNG) *Log {
+	return &Log{disk: NewDisk(eng, "log"), service: service, rng: rng}
+}
+
+// SetGroupCommit toggles commit-record batching.
+func (l *Log) SetGroupCommit(on bool) { l.groupCommit = on }
+
+// Disk exposes the underlying device.
+func (l *Log) Disk() *Disk { return l.disk }
+
+// Flushes returns the number of device writes issued.
+func (l *Log) Flushes() uint64 { return l.flushes }
+
+// Appends returns the number of commit records appended.
+func (l *Log) Appends() uint64 { return l.appends }
+
+// MaxGroupSize returns the largest commit group flushed together.
+func (l *Log) MaxGroupSize() int { return l.maxGroup }
+
+// Append writes one commit record; onDone fires when it is durable.
+func (l *Log) Append(onDone func()) {
+	l.appends++
+	if !l.groupCommit {
+		l.flushes++
+		if l.maxGroup < 1 {
+			l.maxGroup = 1
+		}
+		l.disk.Submit(l.service.Sample(l.rng), onDone)
+		return
+	}
+	l.waiters = append(l.waiters, onDone)
+	if !l.flushing {
+		l.flush()
+	}
+}
+
+// flush writes the current group in a single device operation.
+func (l *Log) flush() {
+	group := l.waiters
+	l.waiters = nil
+	if len(group) == 0 {
+		l.flushing = false
+		return
+	}
+	if len(group) > l.maxGroup {
+		l.maxGroup = len(group)
+	}
+	l.flushing = true
+	l.flushes++
+	l.disk.Submit(l.service.Sample(l.rng), func() {
+		for _, cb := range group {
+			cb()
+		}
+		// Records that arrived during this flush form the next group.
+		l.flush()
+	})
+}

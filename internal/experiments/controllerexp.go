@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extsched/internal/controller"
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/sim"
+	"extsched/internal/workload"
+)
+
+// ControllerRun is the outcome of one controller convergence trial.
+type ControllerRun struct {
+	SetupID    int
+	StartMPL   int // queueing-model jump-start
+	FinalMPL   int
+	Iterations int
+	Converged  bool
+}
+
+// RunController executes the Section 4.3 loop on one setup: model
+// jump-start, then observation/reaction until convergence (or the
+// simulation horizon ends). jumpStart=false ablates the queueing
+// models and starts the loop at MPL 1 instead (the comparison that
+// motivates the jump-start).
+func RunController(setupID int, lossFrac float64, jumpStart bool, opts RunOpts) (ControllerRun, error) {
+	setup, err := workload.SetupByID(setupID)
+	if err != nil {
+		return ControllerRun{}, err
+	}
+	opts = opts.withDefaults(setup)
+	// Reference optimum from a no-MPL probe run (the deployed tool
+	// would use the models or an initial calibration run the same way).
+	base, err := RunClosed(setup, 0, nil, workload.DBOptions{}, opts)
+	if err != nil {
+		return ControllerRun{}, err
+	}
+	start := 1
+	if jumpStart {
+		cpuD, ioD := setup.Demands()
+		start, err = controller.JumpStart(controller.JumpStartInput{
+			CPUs: setup.CPUs, Disks: setup.Disks,
+			CPUDemand: cpuD, IODemand: ioD,
+			DiskCV2:            setup.Workload.DiskService.C2(),
+			ThroughputFraction: 1 - lossFrac,
+		})
+		if err != nil {
+			return ControllerRun{}, err
+		}
+	}
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, setup.BuildConfig(workload.DBOptions{Seed: opts.Seed}))
+	if err != nil {
+		return ControllerRun{}, err
+	}
+	fe := core.New(eng, db, start, nil)
+	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
+	if err != nil {
+		return ControllerRun{}, err
+	}
+	workload.Prewarm(db, setup.Workload, opts.Seed)
+	workload.NewClosedDriver(eng, fe, gen, opts.Clients, nil).Start()
+	eng.Run(opts.Warmup)
+	ctl, err := controller.New(eng, fe, controller.Config{
+		Targets:   controller.Targets{MaxThroughputLoss: lossFrac},
+		Reference: controller.Reference{MaxThroughput: base.Throughput()},
+	})
+	if err != nil {
+		return ControllerRun{}, err
+	}
+	// Observation windows are CI-gated, so their length adapts to the
+	// workload's noise; give the loop a generous horizon.
+	horizon := eng.Now() + 20*opts.Measure
+	for eng.Now() < horizon && !ctl.Converged() {
+		if eng.Run(eng.Now()+opts.Measure/10) == 0 {
+			break
+		}
+	}
+	return ControllerRun{
+		SetupID:    setupID,
+		StartMPL:   start,
+		FinalMPL:   fe.MPL(),
+		Iterations: ctl.Iterations(),
+		Converged:  ctl.Converged(),
+	}, nil
+}
+
+// ControllerFigure runs the convergence experiment across setups and
+// reports iterations-to-convergence. The paper: the jump-started
+// controller converges in fewer than 10 iterations on every setup.
+func ControllerFigure(setupIDs []int, lossFrac float64, jumpStart bool, opts RunOpts) (*Figure, error) {
+	if setupIDs == nil {
+		for i := 1; i <= 17; i++ {
+			setupIDs = append(setupIDs, i)
+		}
+	}
+	label := "jump-started"
+	if !jumpStart {
+		label = "cold-started (ablation)"
+	}
+	f := &Figure{
+		ID:    "controller",
+		Title: fmt.Sprintf("Controller convergence, %s, %g%% loss target", label, lossFrac*100),
+	}
+	iters := Series{Name: "iterations"}
+	finals := Series{Name: "final MPL"}
+	starts := Series{Name: "start MPL"}
+	allUnder10 := true
+	for _, id := range setupIDs {
+		r, err := RunController(id, lossFrac, jumpStart, opts)
+		if err != nil {
+			return nil, fmt.Errorf("setup %d: %w", id, err)
+		}
+		x := float64(id)
+		iters.X = append(iters.X, x)
+		iters.Y = append(iters.Y, float64(r.Iterations))
+		finals.X = append(finals.X, x)
+		finals.Y = append(finals.Y, float64(r.FinalMPL))
+		starts.X = append(starts.X, x)
+		starts.Y = append(starts.Y, float64(r.StartMPL))
+		if !r.Converged || r.Iterations >= 10 {
+			allUnder10 = false
+		}
+	}
+	f.Series = []Series{starts, finals, iters}
+	if jumpStart {
+		f.Notes = append(f.Notes, fmt.Sprintf("all setups converged in <10 iterations: %v (paper: yes)", allUnder10))
+	}
+	return f, nil
+}

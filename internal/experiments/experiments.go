@@ -1,0 +1,265 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each figure has a driver that builds the
+// appropriate Table 2 setups on the discrete-event simulator (or the
+// analytic models for Figs. 7 and 10), sweeps the MPL, and returns
+// named series shaped like the paper's plots. The cmd/benchrunner
+// binary and the repository-root benchmarks print them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/sim"
+	"extsched/internal/workload"
+)
+
+// Series is one named curve: Y[i] measured at X[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a regenerated paper figure or table.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the figure as an aligned text table (x column plus
+// one column per series).
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Union of X values in first-series order (series usually share X).
+	base := f.Series[0]
+	fmt.Fprintf(&b, "%10s", "x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range base.X {
+		fmt.Fprintf(&b, "%10.3g", base.X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %22.4g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	b.WriteString("x")
+	for _, s := range f.Series {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	base := f.Series[0]
+	for i := range base.X {
+		fmt.Fprintf(&b, "%g", base.X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunOpts tunes simulation horizons. Zero values take defaults scaled
+// for CI-quality results; raise them for smoother curves.
+type RunOpts struct {
+	// Warmup is discarded simulated seconds. Default: enough for ~500
+	// transactions at the setup's saturation rate, minimum 20 s.
+	Warmup float64
+	// Measure is the measured window in simulated seconds. Default:
+	// enough for ~3000 transactions, minimum 100 s.
+	Measure float64
+	// Clients is the closed-system population; default 100 (paper).
+	Clients int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o RunOpts) withDefaults(setup workload.Setup) RunOpts {
+	if o.Clients <= 0 {
+		o.Clients = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Warmup <= 0 || o.Measure <= 0 {
+		cpuD, ioD := setup.Demands()
+		perTxn := cpuD/float64(setup.CPUs) + ioD/float64(setup.Disks)
+		rate := 1.0
+		if perTxn > 0 {
+			rate = 1 / perTxn // rough saturation throughput
+		}
+		if o.Warmup <= 0 {
+			o.Warmup = 500 / rate
+			if o.Warmup < 20 {
+				o.Warmup = 20
+			}
+		}
+		if o.Measure <= 0 {
+			o.Measure = 3000 / rate
+			if o.Measure < 100 {
+				o.Measure = 100
+			}
+		}
+	}
+	return o
+}
+
+// RunResult is one measured closed-system run.
+type RunResult struct {
+	Setup      workload.Setup
+	MPL        int
+	Metrics    core.Metrics
+	DBStats    dbms.Stats
+	CPUUtil    float64
+	DiskUtil   float64
+	SimSeconds float64
+}
+
+// Throughput is the measured transaction rate.
+func (r RunResult) Throughput() float64 { return r.Metrics.Throughput() }
+
+// MeanRT is the measured overall mean response time.
+func (r RunResult) MeanRT() float64 { return r.Metrics.All.Mean() }
+
+// buildStack assembles engine + DB + frontend + generator for a setup,
+// with the buffer pool pre-warmed.
+func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (*sim.Engine, *dbms.DB, *core.Frontend, *workload.Generator, error) {
+	if dbo.Seed == 0 {
+		dbo.Seed = opts.Seed
+	}
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, setup.BuildConfig(dbo))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	fe := core.New(eng, db, mpl, policy)
+	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	workload.Prewarm(db, setup.Workload, opts.Seed)
+	return eng, db, fe, gen, nil
+}
+
+// RunClosed measures a Table 2 setup at the given MPL (0 = no limit)
+// under the paper's closed system, with the given external policy
+// (nil = FIFO) and DB options.
+func RunClosed(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (RunResult, error) {
+	opts = opts.withDefaults(setup)
+	eng, db, fe, gen, err := buildStack(setup, mpl, policy, dbo, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	driver := workload.NewClosedDriver(eng, fe, gen, opts.Clients, nil)
+	driver.Start()
+	eng.Run(opts.Warmup)
+	fe.ResetMetrics()
+	db.Pool().ResetStats()
+	measStart := eng.Now()
+	eng.Run(measStart + opts.Measure)
+	driver.Stop()
+	res := RunResult{
+		Setup:      setup,
+		MPL:        mpl,
+		Metrics:    fe.Metrics(),
+		DBStats:    db.Stats(),
+		CPUUtil:    db.CPUUtilization(),
+		DiskUtil:   db.DiskUtilization(),
+		SimSeconds: eng.Now() - measStart,
+	}
+	return res, nil
+}
+
+// RunOpen measures a setup under Poisson arrivals at the given rate.
+func RunOpen(setup workload.Setup, mpl int, lambda float64, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (RunResult, error) {
+	opts = opts.withDefaults(setup)
+	eng, db, fe, gen, err := buildStack(setup, mpl, policy, dbo, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	driver := workload.NewOpenDriver(eng, fe, gen, lambda, 0)
+	driver.Start()
+	eng.Run(opts.Warmup)
+	fe.ResetMetrics()
+	measStart := eng.Now()
+	eng.Run(measStart + opts.Measure)
+	driver.Stop()
+	eng.RunAll() // drain in-flight transactions
+	res := RunResult{
+		Setup:      setup,
+		MPL:        mpl,
+		Metrics:    fe.Metrics(),
+		DBStats:    db.Stats(),
+		CPUUtil:    db.CPUUtilization(),
+		DiskUtil:   db.DiskUtilization(),
+		SimSeconds: opts.Measure,
+	}
+	return res, nil
+}
+
+// ThroughputVsMPL sweeps the MPL for one setup and returns the
+// throughput curve (the building block of Figs. 2–5).
+func ThroughputVsMPL(setupID int, mpls []int, opts RunOpts) (Series, error) {
+	setup, err := workload.SetupByID(setupID)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{Name: setup.String()}
+	for _, m := range mpls {
+		r, err := RunClosed(setup, m, nil, workload.DBOptions{}, opts)
+		if err != nil {
+			return Series{}, fmt.Errorf("setup %d MPL %d: %w", setupID, m, err)
+		}
+		s.X = append(s.X, float64(m))
+		s.Y = append(s.Y, r.Throughput())
+	}
+	return s, nil
+}
+
+// defaultMPLs is the sweep grid used by the throughput figures.
+func defaultMPLs(max int) []int {
+	var out []int
+	for m := 1; m <= max; {
+		out = append(out, m)
+		switch {
+		case m < 10:
+			m++
+		case m < 30:
+			m += 2
+		default:
+			m += 5
+		}
+	}
+	return out
+}

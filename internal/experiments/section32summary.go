@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extsched/internal/workload"
+)
+
+// Section32Summary reproduces the paper's §3.2 headline numbers in one
+// table: the minimum MPL keeping open-system mean response time within
+// tolerance of the no-MPL system, for a TPC-C-like setup (expected:
+// insensitive once MPL >= ~4) and a TPC-W-like setup (expected: ~8 at
+// 70% utilization, ~15 at 90%).
+func Section32Summary(tolerance float64, opts RunOpts) (*Figure, error) {
+	if tolerance <= 0 {
+		tolerance = 0.1
+	}
+	f := &Figure{
+		ID:    "sec3.2-summary",
+		Title: fmt.Sprintf("Min MPL for mean RT within %.0f%% of no-MPL (open system)", tolerance*100),
+	}
+	mpls := []int{1, 2, 3, 4, 6, 8, 10, 15, 20, 30}
+	type cell struct {
+		setupID int
+		util    float64
+	}
+	grid := []cell{
+		{1, 0.7}, {1, 0.9}, // TPC-C-like
+		{3, 0.7}, {3, 0.9}, // TPC-W-like
+	}
+	s := Series{Name: "min MPL"}
+	for i, c := range grid {
+		m, noMPL, err := minMPLForRT(c.setupID, c.util, tolerance, mpls, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(i+1))
+		s.Y = append(s.Y, float64(m))
+		setup, _ := workload.SetupByID(c.setupID)
+		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s at %.0f%% utilization → min MPL %d (no-MPL RT %.3fs)",
+			i+1, setup.Workload.Name, c.util*100, m, noMPL))
+	}
+	f.Series = []Series{s}
+	f.Notes = append(f.Notes,
+		"paper: TPC-C insensitive for MPL >= ~4; TPC-W needs ~8 at 70% and ~15 at 90%")
+	return f, nil
+}
+
+// minMPLForRT measures the open system at each MPL (and without one)
+// and returns the smallest MPL within (1+tolerance) of the no-MPL mean
+// response time, plus that baseline RT. Returns the largest probed MPL
+// +1 when none qualifies.
+func minMPLForRT(setupID int, utilization, tolerance float64, mpls []int, opts RunOpts) (int, float64, error) {
+	setup, err := workload.SetupByID(setupID)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := RunClosed(setup, 0, nil, workload.DBOptions{}, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	lambda := utilization * base.Throughput()
+	noLimit, err := RunOpen(setup, 0, lambda, nil, workload.DBOptions{}, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	target := (1 + tolerance) * noLimit.MeanRT()
+	for _, m := range mpls {
+		r, err := RunOpen(setup, m, lambda, nil, workload.DBOptions{}, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r.MeanRT() <= target {
+			return m, noLimit.MeanRT(), nil
+		}
+	}
+	return mpls[len(mpls)-1] + 1, noLimit.MeanRT(), nil
+}

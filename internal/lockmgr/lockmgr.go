@@ -1,0 +1,491 @@
+// Package lockmgr implements a strict two-phase-locking lock manager
+// like the one in Shore: S/X item locks held to commit, FIFO or
+// priority-ordered wait queues, waits-for-graph deadlock detection, and
+// the Preempt-on-Wait (POW) policy of McWherter et al. that the paper
+// uses for internal lock prioritization (Section 5.2).
+//
+// Isolation levels map to locking behaviour the way the paper's DB2
+// experiments do: Repeatable Read (RR) takes S locks on reads and X
+// locks on writes, all held to commit; Uncommitted Read (UR) skips read
+// locks entirely, leaving only write-write conflicts.
+package lockmgr
+
+import (
+	"fmt"
+	"sort"
+
+	"extsched/internal/sim"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// S is a shared (read) lock.
+	S Mode = iota
+	// X is an exclusive (write) lock.
+	X
+)
+
+func (m Mode) String() string {
+	if m == S {
+		return "S"
+	}
+	return "X"
+}
+
+// compatible reports whether a lock in mode a coexists with mode b.
+func compatible(a, b Mode) bool { return a == S && b == S }
+
+// Class is the external scheduling priority class of a transaction.
+type Class int
+
+const (
+	// Low priority (the default 90% of transactions in the paper).
+	Low Class = iota
+	// High priority (the revenue-heavy 10%).
+	High
+)
+
+// Policy orders lock wait queues.
+type Policy int
+
+const (
+	// FIFO grants strictly in arrival order.
+	FIFO Policy = iota
+	// PriorityFIFO moves high-class waiters ahead of low-class ones,
+	// FIFO within a class. With Preempt enabled this is POW.
+	PriorityFIFO
+)
+
+// AbortReason explains why the manager asked for a transaction abort.
+type AbortReason int
+
+const (
+	// Deadlock means the transaction was chosen as a deadlock victim.
+	Deadlock AbortReason = iota
+	// Preempted means a POW preemption by a high-priority waiter.
+	Preempted
+	// Timeout means the transaction waited longer than the configured
+	// lock wait timeout (DB2's LOCKTIMEOUT-style safety net).
+	Timeout
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case Deadlock:
+		return "deadlock"
+	case Preempted:
+		return "preempted"
+	default:
+		return "timeout"
+	}
+}
+
+// TxnID identifies a transaction attempt. Restarted transactions must
+// use a fresh TxnID.
+type TxnID uint64
+
+// request is a queued lock request.
+type request struct {
+	txn     TxnID
+	key     uint64
+	mode    Mode
+	class   Class
+	seq     uint64 // arrival order for stable FIFO
+	onGrant func()
+	upgrade bool // S→X upgrade request
+}
+
+// lock is one lock-table entry.
+type lock struct {
+	holders map[TxnID]Mode
+	queue   []*request
+}
+
+// txnState tracks a live transaction.
+type txnState struct {
+	id      TxnID
+	class   Class
+	held    map[uint64]Mode
+	waiting *request // non-nil while blocked
+}
+
+// Stats aggregates lock-manager activity.
+type Stats struct {
+	Grants      uint64
+	Waits       uint64 // requests that had to block
+	Deadlocks   uint64 // victims chosen
+	Preemptions uint64 // POW preemptions issued
+	Timeouts    uint64 // waits aborted by the wait timeout
+	Upgrades    uint64
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	eng         *sim.Engine
+	policy      Policy
+	preempt     bool // POW preemption of blocked low-priority holders
+	waitTimeout float64
+	locks       map[uint64]*lock
+	txns        map[TxnID]*txnState
+	seq         uint64
+	stats       Stats
+	// onAbort is invoked (asynchronously, via a zero-delay event) when
+	// the manager needs a transaction aborted: deadlock victim or POW
+	// preemption. The owner must eventually call Release for the txn.
+	onAbort func(TxnID, AbortReason)
+}
+
+// Config configures a Manager.
+type Config struct {
+	Policy  Policy
+	Preempt bool // enable POW (requires PriorityFIFO to be useful)
+	// WaitTimeout, when > 0, aborts any request that has waited this
+	// many seconds — the LOCKTIMEOUT safety net real engines run in
+	// addition to deadlock detection. Zero disables it.
+	WaitTimeout float64
+	// OnAbort receives deadlock-victim, preemption and timeout
+	// notifications. Required: strict 2PL with blocking always risks
+	// deadlock.
+	OnAbort func(TxnID, AbortReason)
+}
+
+// New returns a Manager.
+func New(eng *sim.Engine, cfg Config) *Manager {
+	if cfg.OnAbort == nil {
+		panic("lockmgr: Config.OnAbort is required")
+	}
+	return &Manager{
+		eng:         eng,
+		policy:      cfg.Policy,
+		preempt:     cfg.Preempt,
+		waitTimeout: cfg.WaitTimeout,
+		locks:       make(map[uint64]*lock),
+		txns:        make(map[TxnID]*txnState),
+		onAbort:     cfg.OnAbort,
+	}
+}
+
+// Stats returns a snapshot of activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Begin registers a transaction attempt with its priority class.
+func (m *Manager) Begin(txn TxnID, class Class) {
+	if _, ok := m.txns[txn]; ok {
+		panic(fmt.Sprintf("lockmgr: duplicate Begin for txn %d", txn))
+	}
+	m.txns[txn] = &txnState{id: txn, class: class, held: make(map[uint64]Mode)}
+}
+
+// Holding returns the number of locks held by txn.
+func (m *Manager) Holding(txn TxnID) int {
+	st, ok := m.txns[txn]
+	if !ok {
+		return 0
+	}
+	return len(st.held)
+}
+
+// Waiting reports whether txn is blocked on a lock queue.
+func (m *Manager) Waiting(txn TxnID) bool {
+	st, ok := m.txns[txn]
+	return ok && st.waiting != nil
+}
+
+// Acquire requests key in the given mode. If the lock is granted
+// immediately it returns true and onGrant is NOT called (the caller
+// just continues). Otherwise it returns false and onGrant fires when
+// the lock is eventually granted. A transaction may hold at most one
+// pending request (strict 2PL executors are sequential).
+//
+// Deadlocks created by this wait are detected immediately on the
+// waits-for graph; the victim is aborted via the OnAbort callback.
+func (m *Manager) Acquire(txn TxnID, key uint64, mode Mode, onGrant func()) bool {
+	st, ok := m.txns[txn]
+	if !ok {
+		panic(fmt.Sprintf("lockmgr: Acquire by unknown txn %d", txn))
+	}
+	if st.waiting != nil {
+		panic(fmt.Sprintf("lockmgr: txn %d already has a pending request", txn))
+	}
+	l := m.locks[key]
+	if l == nil {
+		l = &lock{holders: make(map[TxnID]Mode)}
+		m.locks[key] = l
+	}
+	if held, ok := st.held[key]; ok {
+		if held == X || held == mode {
+			// Already covered (lock strengthening is a no-op).
+			m.stats.Grants++
+			return true
+		}
+		// S→X upgrade.
+		m.stats.Upgrades++
+		if len(l.holders) == 1 {
+			l.holders[txn] = X
+			st.held[key] = X
+			m.stats.Grants++
+			return true
+		}
+		req := &request{txn: txn, key: key, mode: X, class: st.class, seq: m.seq, onGrant: onGrant, upgrade: true}
+		m.seq++
+		// Upgraders wait at the head: they already hold S and must not
+		// queue behind new S requests (which would deadlock trivially).
+		l.queue = append([]*request{req}, l.queue...)
+		st.waiting = req
+		m.stats.Waits++
+		m.afterBlock(st, l)
+		return false
+	}
+	if len(l.queue) == 0 && m.grantable(l, mode) {
+		l.holders[txn] = mode
+		st.held[key] = mode
+		m.stats.Grants++
+		return true
+	}
+	// A non-empty queue must not be bypassed even by a compatible
+	// request: jumping over queued waiters both starves writers and
+	// creates waits-for edges invisible to at-block-time deadlock
+	// detection. Enqueue, apply the policy ordering, then try a head
+	// grant (under PriorityFIFO a high-class request may legitimately
+	// reach the head and be granted immediately).
+	req := &request{txn: txn, key: key, mode: mode, class: st.class, seq: m.seq, onGrant: onGrant}
+	m.seq++
+	syncGranted := false
+	req.onGrant = func() { syncGranted = true }
+	l.queue = append(l.queue, req)
+	m.orderQueue(l)
+	st.waiting = req
+	m.grantWaiters(key, l)
+	if syncGranted {
+		return true
+	}
+	req.onGrant = onGrant
+	m.stats.Waits++
+	m.afterBlock(st, l)
+	return false
+}
+
+// grantable reports whether a new request in mode can be granted given
+// the current holders (queue considered separately by callers).
+func (m *Manager) grantable(l *lock, mode Mode) bool {
+	for _, h := range l.holders {
+		if !compatible(h, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderQueue applies the policy: PriorityFIFO sorts high class first,
+// stable by arrival; upgrade requests always stay ahead.
+func (m *Manager) orderQueue(l *lock) {
+	if m.policy != PriorityFIFO {
+		return
+	}
+	sort.SliceStable(l.queue, func(i, j int) bool {
+		a, b := l.queue[i], l.queue[j]
+		if a.upgrade != b.upgrade {
+			return a.upgrade
+		}
+		if a.class != b.class {
+			return a.class > b.class // High (1) before Low (0)
+		}
+		return a.seq < b.seq
+	})
+}
+
+// afterBlock runs deadlock detection, POW preemption, and the wait
+// timeout after st blocked on lock l.
+func (m *Manager) afterBlock(st *txnState, l *lock) {
+	if m.waitTimeout > 0 {
+		req := st.waiting
+		id := st.id
+		m.eng.After(m.waitTimeout, func() {
+			cur, ok := m.txns[id]
+			if !ok || cur.waiting == nil || cur.waiting != req {
+				return // granted, released or restarted meanwhile
+			}
+			m.stats.Timeouts++
+			m.onAbort(id, Timeout)
+		})
+	}
+	if victim, found := m.findDeadlockVictim(st); found {
+		m.stats.Deadlocks++
+		v := victim
+		m.eng.After(0, func() { m.onAbort(v, Deadlock) })
+		return
+	}
+	if m.preempt && st.class == High {
+		// POW: preempt any low-priority holder of this lock that is
+		// itself blocked at another lock queue (it cannot make
+		// progress anyway, and it stands in the way of a high).
+		for holder := range l.holders {
+			hs, ok := m.txns[holder]
+			if !ok || hs.class == High || hs.waiting == nil {
+				continue
+			}
+			m.stats.Preemptions++
+			victim := holder
+			m.eng.After(0, func() { m.onAbort(victim, Preempted) })
+		}
+	}
+}
+
+// waitsFor enumerates the transactions t is directly waiting on:
+// incompatible current holders of the requested lock, plus every
+// request queued ahead of t's request. The queue-predecessor edges are
+// real waits under the no-bypass discipline — a request is never
+// granted before those ahead of it, even if it is compatible with the
+// current holders.
+func (m *Manager) waitsFor(t *txnState) []TxnID {
+	if t.waiting == nil {
+		return nil
+	}
+	l := m.locks[t.waiting.key]
+	if l == nil {
+		return nil
+	}
+	var out []TxnID
+	for holder, hm := range l.holders {
+		if holder == t.id {
+			continue // upgrade: own S lock doesn't block itself
+		}
+		if !compatible(hm, t.waiting.mode) {
+			out = append(out, holder)
+		}
+	}
+	for _, r := range l.queue {
+		if r == t.waiting {
+			break
+		}
+		if r.txn != t.id {
+			out = append(out, r.txn)
+		}
+	}
+	return out
+}
+
+// findDeadlockVictim searches for a waits-for cycle through the newly
+// blocked transaction and returns it as the victim (abort-requester
+// policy: deterministic, and any new cycle necessarily runs through
+// the transaction whose block created it).
+func (m *Manager) findDeadlockVictim(start *txnState) (TxnID, bool) {
+	visited := make(map[TxnID]bool)
+	var dfs func(t *txnState) bool
+	dfs = func(t *txnState) bool {
+		if visited[t.id] {
+			return false
+		}
+		visited[t.id] = true
+		for _, next := range m.waitsFor(t) {
+			if next == start.id {
+				return true
+			}
+			ns, ok := m.txns[next]
+			if !ok {
+				continue
+			}
+			if dfs(ns) {
+				return true
+			}
+		}
+		return false
+	}
+	if dfs(start) {
+		return start.id, true
+	}
+	return 0, false
+}
+
+// Release drops every lock held by txn (commit or abort under strict
+// 2PL), cancels any pending request, and grants newly compatible
+// waiters. Unknown transactions are a no-op so that abort paths can
+// release defensively.
+func (m *Manager) Release(txn TxnID) {
+	st, ok := m.txns[txn]
+	if !ok {
+		return
+	}
+	delete(m.txns, txn)
+	// Cancel a pending request.
+	if st.waiting != nil {
+		if l := m.locks[st.waiting.key]; l != nil {
+			for i, r := range l.queue {
+				if r == st.waiting {
+					l.queue = append(l.queue[:i], l.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		st.waiting = nil
+	}
+	for key := range st.held {
+		l := m.locks[key]
+		if l == nil {
+			continue
+		}
+		delete(l.holders, txn)
+		m.grantWaiters(key, l)
+		if len(l.holders) == 0 && len(l.queue) == 0 {
+			delete(m.locks, key)
+		}
+	}
+}
+
+// grantWaiters grants from the queue head while compatible.
+func (m *Manager) grantWaiters(key uint64, l *lock) {
+	for len(l.queue) > 0 {
+		head := l.queue[0]
+		hs, ok := m.txns[head.txn]
+		if !ok {
+			// Stale request from a released txn.
+			l.queue = l.queue[1:]
+			continue
+		}
+		if head.upgrade {
+			// Grantable only when head.txn is the sole remaining holder.
+			if len(l.holders) == 1 {
+				if _, isHolder := l.holders[head.txn]; isHolder {
+					l.queue = l.queue[1:]
+					l.holders[head.txn] = X
+					hs.held[key] = X
+					hs.waiting = nil
+					m.stats.Grants++
+					head.onGrant()
+					continue
+				}
+			}
+			return
+		}
+		if !m.grantable(l, head.mode) {
+			return
+		}
+		l.queue = l.queue[1:]
+		l.holders[head.txn] = head.mode
+		hs.held[key] = head.mode
+		hs.waiting = nil
+		m.stats.Grants++
+		head.onGrant()
+	}
+}
+
+// QueueLength returns the wait-queue length at key (0 if unknown).
+func (m *Manager) QueueLength(key uint64) int {
+	if l := m.locks[key]; l != nil {
+		return len(l.queue)
+	}
+	return 0
+}
+
+// Holders returns the number of holders at key.
+func (m *Manager) Holders(key uint64) int {
+	if l := m.locks[key]; l != nil {
+		return len(l.holders)
+	}
+	return 0
+}
+
+// Live returns the number of registered transactions.
+func (m *Manager) Live() int { return len(m.txns) }

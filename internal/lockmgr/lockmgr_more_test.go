@@ -1,0 +1,275 @@
+package lockmgr
+
+import (
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+func TestPOWChainDoesNotCascade(t *testing.T) {
+	// POW preempts only DIRECT low-priority holders of the requested
+	// lock that are blocked elsewhere — not transitively.
+	h := newHarness(PriorityFIFO, true)
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	h.mgr.Begin(3, Low)
+	h.mgr.Begin(4, High)
+	h.mgr.Acquire(1, 1, X, nil)       // 1 holds A
+	h.mgr.Acquire(2, 2, X, nil)       // 2 holds B
+	h.mgr.Acquire(3, 3, X, nil)       // 3 holds C
+	h.mgr.Acquire(1, 2, X, func() {}) // 1 blocked on B
+	h.mgr.Acquire(2, 3, X, func() {}) // 2 blocked on C
+	h.mgr.Acquire(4, 1, X, func() {}) // High wants A: preempt 1 only
+	h.eng.RunAll()
+	if _, ok := h.aborts[1]; !ok {
+		t.Error("direct blocked holder not preempted")
+	}
+	if _, ok := h.aborts[2]; ok {
+		t.Error("POW cascaded to a transitive holder")
+	}
+	if _, ok := h.aborts[3]; ok {
+		t.Error("POW cascaded to a transitive holder")
+	}
+}
+
+func TestPOWSharedHolders(t *testing.T) {
+	// Two low S-holders, both blocked elsewhere, high X request: both
+	// preempted.
+	h := newHarness(PriorityFIFO, true)
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	h.mgr.Begin(3, Low)
+	h.mgr.Begin(4, High)
+	h.mgr.Acquire(1, 1, S, nil)
+	h.mgr.Acquire(2, 1, S, nil)
+	h.mgr.Acquire(3, 2, X, nil)
+	h.mgr.Acquire(1, 2, X, func() {}) // 1 blocked
+	h.mgr.Acquire(2, 2, X, func() {}) // 2 blocked (queued behind 1)
+	h.mgr.Acquire(4, 1, X, func() {})
+	h.eng.RunAll()
+	if len(h.aborts) != 2 {
+		t.Errorf("aborts = %v, want both S holders preempted", h.aborts)
+	}
+}
+
+func TestHighDoesNotPreemptWithoutPOW(t *testing.T) {
+	h := newHarness(PriorityFIFO, false) // priority queues, no preemption
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	h.mgr.Begin(3, High)
+	h.mgr.Acquire(1, 1, X, nil)
+	h.mgr.Acquire(2, 2, X, nil)
+	h.mgr.Acquire(1, 2, X, func() {})
+	h.mgr.Acquire(3, 1, X, func() {})
+	h.eng.RunAll()
+	if len(h.aborts) != 0 {
+		t.Errorf("aborts = %v without POW, want none", h.aborts)
+	}
+}
+
+func TestWaitsForIncludesQueuePredecessors(t *testing.T) {
+	// Regression for the drain-deadlock bug: a waiter compatible with
+	// holders but queued behind an incompatible request must appear in
+	// the waits-for graph. Construct the three-party deadlock:
+	//   A holds k2; C holds... see inline.
+	h := newHarness(FIFO, false)
+	h.mgr.Begin(1, Low)               // A
+	h.mgr.Begin(2, Low)               // B
+	h.mgr.Begin(3, Low)               // C
+	h.mgr.Acquire(1, 1, S, nil)       // A holds k1 (S)
+	h.mgr.Acquire(3, 2, X, nil)       // C holds k2 (X)
+	h.mgr.Acquire(2, 1, X, func() {}) // B waits for k1 (blocked by A's S)
+	h.mgr.Acquire(3, 1, S, func() {}) // C queues BEHIND B (no-bypass) though S∥S with A
+	// Now A requests k2 (held by C): cycle A→C→B→A through the queue
+	// edge C→B.
+	h.mgr.Acquire(1, 2, X, func() {})
+	h.eng.RunAll()
+	if len(h.aborts) != 1 {
+		t.Fatalf("aborts = %v, want the queue-edge cycle detected", h.aborts)
+	}
+	if _, ok := h.aborts[1]; !ok {
+		t.Errorf("victim = %v, want the requester (txn 1)", h.aborts)
+	}
+}
+
+func TestReleaseDuringQueueGrantsInOrder(t *testing.T) {
+	// S batch then X then S: after the X holder leaves, the trailing S
+	// must wait for the queued X (no-bypass) even though holders are
+	// compatible.
+	h := newHarness(FIFO, false)
+	for i := TxnID(1); i <= 4; i++ {
+		h.mgr.Begin(i, Low)
+	}
+	var order []int
+	h.mgr.Acquire(1, 9, X, nil)
+	h.mgr.Acquire(2, 9, S, func() { order = append(order, 2) })
+	h.mgr.Acquire(3, 9, X, func() { order = append(order, 3) })
+	h.mgr.Acquire(4, 9, S, func() { order = append(order, 4) })
+	h.mgr.Release(1) // grants S(2) only
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("order = %v, want [2]", order)
+	}
+	h.mgr.Release(2) // grants X(3)
+	if len(order) != 2 || order[1] != 3 {
+		t.Fatalf("order = %v, want [2 3]", order)
+	}
+	h.mgr.Release(3) // grants S(4)
+	if len(order) != 3 || order[2] != 4 {
+		t.Fatalf("order = %v, want [2 3 4]", order)
+	}
+}
+
+func TestPriorityFIFOStableWithinClass(t *testing.T) {
+	h := newHarness(PriorityFIFO, false)
+	for i := TxnID(1); i <= 5; i++ {
+		class := Low
+		if i == 3 || i == 5 {
+			class = High
+		}
+		h.mgr.Begin(i, class)
+	}
+	var order []int
+	h.mgr.Acquire(1, 5, X, nil)
+	for _, id := range []TxnID{2, 3, 4, 5} {
+		id := id
+		h.mgr.Acquire(id, 5, X, func() { order = append(order, int(id)) })
+	}
+	// Release the current holder each round: grants cascade in priority
+	// order (3, 5, 2, 4).
+	h.mgr.Release(1)
+	for len(order) > 0 && len(order) < 4 {
+		h.mgr.Release(TxnID(order[len(order)-1]))
+	}
+	// Highs (3,5) first in arrival order, then lows (2,4).
+	want := []int{3, 5, 2, 4}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRandomScheduleSerializability(t *testing.T) {
+	// Weak serializability check: completed transactions' conflicting
+	// key accesses never interleave — since we use strict 2PL, any two
+	// committed txns that both X-touched a key must have disjoint
+	// [firstGrant, release] intervals on it. We track grant/release
+	// events and assert no overlap.
+	eng := sim.NewEngine()
+	type interval struct{ start, end float64 }
+	intervals := map[uint64][]interval{} // key → X-hold intervals
+	grantTimes := map[TxnID]map[uint64]float64{}
+	var mgr *Manager
+	mgr = New(eng, Config{OnAbort: func(id TxnID, _ AbortReason) {
+		delete(grantTimes, id)
+		mgr.Release(id)
+	}})
+	g := sim.NewRNG(31, 0)
+	for round := 0; round < 300; round++ {
+		id := TxnID(round + 1)
+		mgr.Begin(id, Low)
+		grantTimes[id] = map[uint64]float64{}
+		keys := []uint64{uint64(g.IntN(6)), uint64(g.IntN(6))}
+		hold := 0.01 + g.Float64()*0.05
+		start := g.Float64() * 3
+		eng.After(start, func() {
+			acquireAll(eng, mgr, id, keys, 0, grantTimes, func() {
+				eng.After(hold, func() {
+					if gt, ok := grantTimes[id]; ok {
+						for k, t0 := range gt {
+							intervals[k] = append(intervals[k], interval{t0, eng.Now()})
+						}
+					}
+					mgr.Release(id)
+				})
+			})
+		})
+	}
+	eng.RunAll()
+	for k, iv := range intervals {
+		for i := 0; i < len(iv); i++ {
+			for j := i + 1; j < len(iv); j++ {
+				a, b := iv[i], iv[j]
+				if a.start < b.end && b.start < a.end {
+					t.Fatalf("key %d: X-hold intervals overlap: %+v vs %+v", k, a, b)
+				}
+			}
+		}
+	}
+}
+
+// acquireAll chains X acquisitions of keys[idx:] and then calls done.
+func acquireAll(eng *sim.Engine, mgr *Manager, id TxnID, keys []uint64, idx int,
+	grantTimes map[TxnID]map[uint64]float64, done func()) {
+	if idx >= len(keys) {
+		done()
+		return
+	}
+	cont := func() {
+		if gt, ok := grantTimes[id]; ok {
+			if _, seen := gt[keys[idx]]; !seen {
+				gt[keys[idx]] = eng.Now()
+			}
+		}
+		acquireAll(eng, mgr, id, keys, idx+1, grantTimes, done)
+	}
+	if mgr.Acquire(id, keys[idx], X, cont) {
+		cont()
+	}
+}
+
+func newTimeoutHarness(timeout float64) *harness {
+	h := &harness{eng: sim.NewEngine(), aborts: make(map[TxnID]AbortReason)}
+	h.mgr = New(h.eng, Config{
+		WaitTimeout: timeout,
+		OnAbort: func(t TxnID, r AbortReason) {
+			h.aborts[t] = r
+			h.mgr.Release(t)
+		},
+	})
+	return h
+}
+
+func TestWaitTimeoutAborts(t *testing.T) {
+	h := newTimeoutHarness(0.5)
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	h.mgr.Acquire(1, 1, X, nil)
+	h.mgr.Acquire(2, 1, X, func() {})
+	h.eng.Run(1.0)
+	if r, ok := h.aborts[2]; !ok || r != Timeout {
+		t.Fatalf("aborts = %v, want txn 2 Timeout", h.aborts)
+	}
+	if h.mgr.Stats().Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", h.mgr.Stats().Timeouts)
+	}
+}
+
+func TestWaitTimeoutNotFiredWhenGranted(t *testing.T) {
+	h := newTimeoutHarness(0.5)
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	granted := false
+	h.mgr.Acquire(1, 1, X, nil)
+	h.mgr.Acquire(2, 1, X, func() { granted = true })
+	h.eng.After(0.1, func() { h.mgr.Release(1) }) // grant before timeout
+	h.eng.RunAll()
+	if !granted {
+		t.Fatal("not granted")
+	}
+	if len(h.aborts) != 0 {
+		t.Errorf("aborts = %v after timely grant, want none", h.aborts)
+	}
+}
+
+func TestWaitTimeoutDisabledByDefault(t *testing.T) {
+	h := newHarness(FIFO, false)
+	h.mgr.Begin(1, Low)
+	h.mgr.Begin(2, Low)
+	h.mgr.Acquire(1, 1, X, nil)
+	h.mgr.Acquire(2, 1, X, func() {})
+	h.eng.Run(1e6)
+	if len(h.aborts) != 0 {
+		t.Errorf("aborts = %v without timeout config", h.aborts)
+	}
+}

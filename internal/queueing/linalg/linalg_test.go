@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extsched/internal/sim"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIdentityMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	p := m.Mul(Identity(2))
+	if MaxAbsDiff(m, p) != 0 {
+		t.Error("M·I != M")
+	}
+	p = Identity(2).Mul(m)
+	if MaxAbsDiff(m, p) != 0 {
+		t.Error("I·M != M")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) > 1e-12 {
+		t.Errorf("product wrong: %v", c.Data)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if s := a.Add(b); MaxAbsDiff(s, FromRows([][]float64{{5, 5}, {5, 5}})) > 0 {
+		t.Error("Add wrong")
+	}
+	if d := a.Sub(a); MaxAbsDiff(d, New(2, 2)) > 0 {
+		t.Error("Sub wrong")
+	}
+	if sc := a.Scale(2); MaxAbsDiff(sc, FromRows([][]float64{{2, 4}, {6, 8}})) > 0 {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if MaxAbsDiff(inv, want) > 1e-12 {
+		t.Errorf("inverse = %v, want %v", inv.Data, want.Data)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err == nil {
+		t.Error("inverting singular matrix should error")
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	// Random diagonally-dominant matrices are invertible; A·A⁻¹ ≈ I.
+	g := sim.NewRNG(3, 0)
+	f := func(sz uint8) bool {
+		n := 1 + int(sz%8)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := g.Float64()*2 - 1
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+g.Float64())
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(a.Mul(inv), Identity(n)) < 1e-8 &&
+			MaxAbsDiff(inv.Mul(a), Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// A must be unmodified.
+	if a.At(0, 0) != 2 || a.At(2, 2) != 2 {
+		t.Error("SolveLinear mutated A")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 7, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular solve should error")
+	}
+}
+
+func TestSolveLinearProperty(t *testing.T) {
+	g := sim.NewRNG(4, 0)
+	f := func(sz uint8) bool {
+		n := 1 + int(sz%10)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := g.Float64()*2 - 1
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = g.Float64()*10 - 5
+		}
+		b := a.MulVec(want)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(x[i], want[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := VecMul([]float64{1, 1}, m)
+	if got[0] != 4 || got[1] != 6 {
+		t.Errorf("VecMul = %v, want [4 6]", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	New(2, 2).Mul(New(3, 3))
+}

@@ -1,0 +1,75 @@
+// Package mg1 provides closed-form M/G/1 reference results used to
+// sanity-check the simulator and the CTMC/QBD solvers: the
+// Pollaczek–Khinchine mean waiting time for FIFO, and the
+// variability-insensitive M/G/1/PS response time. The paper's external
+// scheduling mechanism interpolates between exactly these two systems:
+// MPL=1 behaves like FIFO, MPL→∞ like PS.
+package mg1
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an M/G/1 queue by arrival rate, mean job size, and
+// squared coefficient of variation of the job size.
+type Params struct {
+	Lambda   float64 // arrival rate (jobs/sec)
+	MeanSize float64 // mean service requirement (sec)
+	C2       float64 // squared coefficient of variation of job size
+}
+
+// Validate reports whether the parameters describe a stable queue.
+func (p Params) Validate() error {
+	if p.Lambda <= 0 || p.MeanSize <= 0 || p.C2 < 0 {
+		return fmt.Errorf("mg1: invalid parameters %+v", p)
+	}
+	if rho := p.Rho(); rho >= 1 {
+		return fmt.Errorf("mg1: unstable queue, rho = %v >= 1", rho)
+	}
+	return nil
+}
+
+// Rho returns the offered load λ·E[S].
+func (p Params) Rho() float64 { return p.Lambda * p.MeanSize }
+
+// FIFOWait returns the Pollaczek–Khinchine mean waiting time (excluding
+// service): E[W] = ρ/(1−ρ) · (1+C²)/2 · E[S].
+func (p Params) FIFOWait() float64 {
+	rho := p.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho) * (1 + p.C2) / 2 * p.MeanSize
+}
+
+// FIFOResponse returns mean FIFO response time E[T] = E[W] + E[S].
+func (p Params) FIFOResponse() float64 { return p.FIFOWait() + p.MeanSize }
+
+// PSResponse returns the M/G/1/PS mean response time
+// E[T] = E[S]/(1−ρ), which is insensitive to C². This is the paper's
+// "PS" baseline in Fig. 10 and the controller's response-time optimum.
+func (p Params) PSResponse() float64 {
+	rho := p.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return p.MeanSize / (1 - rho)
+}
+
+// FIFOMeanJobs returns the mean number in system under FIFO, by
+// Little's law on FIFOResponse.
+func (p Params) FIFOMeanJobs() float64 { return p.Lambda * p.FIFOResponse() }
+
+// PSMeanJobs returns the mean number in system under PS: ρ/(1−ρ).
+func (p Params) PSMeanJobs() float64 {
+	rho := p.Rho()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}
+
+// MM1Response returns the M/M/1 mean response time E[S]/(1−ρ); for
+// C²=1 FIFO, PS, and M/M/1 all coincide, which the tests exploit.
+func (p Params) MM1Response() float64 { return p.PSResponse() }

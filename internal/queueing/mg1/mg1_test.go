@@ -1,0 +1,87 @@
+package mg1
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1Coincidence(t *testing.T) {
+	// For C²=1, FIFO response = PS response = E[S]/(1-ρ).
+	p := Params{Lambda: 0.8, MeanSize: 1, C2: 1}
+	want := 1.0 / (1 - 0.8)
+	if got := p.FIFOResponse(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("FIFO = %v, want %v", got, want)
+	}
+	if got := p.PSResponse(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PS = %v, want %v", got, want)
+	}
+}
+
+func TestPKKnownValue(t *testing.T) {
+	// λ=0.5, E[S]=1, C²=4: E[W] = 0.5/0.5 · 5/2 · 1 = 2.5.
+	p := Params{Lambda: 0.5, MeanSize: 1, C2: 4}
+	if w := p.FIFOWait(); math.Abs(w-2.5) > 1e-12 {
+		t.Errorf("FIFOWait = %v, want 2.5", w)
+	}
+	if r := p.FIFOResponse(); math.Abs(r-3.5) > 1e-12 {
+		t.Errorf("FIFOResponse = %v, want 3.5", r)
+	}
+}
+
+func TestPSInsensitive(t *testing.T) {
+	a := Params{Lambda: 0.7, MeanSize: 1, C2: 1}
+	b := Params{Lambda: 0.7, MeanSize: 1, C2: 15}
+	if a.PSResponse() != b.PSResponse() {
+		t.Error("PS response should be insensitive to C²")
+	}
+	if b.FIFOResponse() <= a.FIFOResponse() {
+		t.Error("FIFO response should grow with C²")
+	}
+}
+
+func TestLittlesLawConsistency(t *testing.T) {
+	f := func(l, m, c uint16) bool {
+		p := Params{
+			Lambda:   0.01 + float64(l%90)/100, // up to 0.91
+			MeanSize: 0.1 + float64(m%100)/100,
+			C2:       float64(c % 20),
+		}
+		if p.Rho() >= 0.99 {
+			return true // skip near-unstable
+		}
+		// FIFOMeanJobs = λ·T and PSMeanJobs = ρ/(1-ρ) = λ·E[S]/(1-ρ).
+		wantPS := p.Lambda * p.PSResponse()
+		return math.Abs(p.PSMeanJobs()-wantPS) < 1e-9 &&
+			math.Abs(p.FIFOMeanJobs()-p.Lambda*p.FIFOResponse()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnstable(t *testing.T) {
+	p := Params{Lambda: 2, MeanSize: 1, C2: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("unstable queue should fail validation")
+	}
+	if !math.IsInf(p.FIFOWait(), 1) || !math.IsInf(p.PSResponse(), 1) {
+		t.Error("unstable metrics should be +Inf")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{Lambda: 0.5, MeanSize: 1, C2: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, bad := range []Params{
+		{Lambda: 0, MeanSize: 1, C2: 1},
+		{Lambda: 1, MeanSize: 0, C2: 1},
+		{Lambda: 1, MeanSize: 1, C2: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package mmc provides the M/M/c (Erlang-C) closed forms used to
+// validate the simulator's multi-core CPU pool: c servers, Poisson
+// arrivals, exponential service. Together with the M/G/1 and QBD
+// references, this pins down every service station the DBMS simulator
+// is built from.
+package mmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes an M/M/c queue.
+type Params struct {
+	Lambda  float64 // arrival rate
+	Mu      float64 // per-server service rate
+	Servers int     // c
+}
+
+// Validate checks stability (λ < cμ).
+func (p Params) Validate() error {
+	if p.Lambda <= 0 || p.Mu <= 0 || p.Servers < 1 {
+		return fmt.Errorf("mmc: invalid parameters %+v", p)
+	}
+	if p.Rho() >= 1 {
+		return fmt.Errorf("mmc: unstable queue, rho = %v >= 1", p.Rho())
+	}
+	return nil
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (p Params) Rho() float64 { return p.Lambda / (float64(p.Servers) * p.Mu) }
+
+// offered returns the offered load a = λ/μ in Erlangs.
+func (p Params) offered() float64 { return p.Lambda / p.Mu }
+
+// ErlangC returns the probability an arrival must wait,
+// C(c, a) = (a^c/c!) / ((1−ρ)·Σ_{k<c} a^k/k! + a^c/c!).
+func (p Params) ErlangC() float64 {
+	a := p.offered()
+	c := p.Servers
+	// Accumulate a^k/k! iteratively for numerical stability.
+	term := 1.0 // a^0/0!
+	sum := term
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) // a^c/c!
+	rho := p.Rho()
+	return top / ((1-rho)*sum + top)
+}
+
+// MeanWait returns E[W] = C(c,a) / (cμ − λ).
+func (p Params) MeanWait() float64 {
+	denom := float64(p.Servers)*p.Mu - p.Lambda
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return p.ErlangC() / denom
+}
+
+// MeanResponse returns E[T] = E[W] + 1/μ.
+func (p Params) MeanResponse() float64 { return p.MeanWait() + 1/p.Mu }
+
+// MeanJobs returns E[N] by Little's law.
+func (p Params) MeanJobs() float64 { return p.Lambda * p.MeanResponse() }

@@ -1,0 +1,71 @@
+package mmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMM1SpecialCase(t *testing.T) {
+	// c=1: ErlangC = rho, E[T] = 1/(μ−λ).
+	p := Params{Lambda: 0.6, Mu: 1, Servers: 1}
+	if math.Abs(p.ErlangC()-0.6) > 1e-12 {
+		t.Errorf("ErlangC = %v, want rho=0.6", p.ErlangC())
+	}
+	if math.Abs(p.MeanResponse()-2.5) > 1e-12 {
+		t.Errorf("E[T] = %v, want 1/(1-0.6) = 2.5", p.MeanResponse())
+	}
+}
+
+func TestKnownErlangCValue(t *testing.T) {
+	// Classic tabulated case: c=2, a=1 (rho=0.5): C = 1/3.
+	p := Params{Lambda: 1, Mu: 1, Servers: 2}
+	if math.Abs(p.ErlangC()-1.0/3.0) > 1e-12 {
+		t.Errorf("C(2,1) = %v, want 1/3", p.ErlangC())
+	}
+	// E[W] = (1/3)/(2-1) = 1/3; E[T] = 4/3.
+	if math.Abs(p.MeanResponse()-4.0/3.0) > 1e-12 {
+		t.Errorf("E[T] = %v, want 4/3", p.MeanResponse())
+	}
+}
+
+func TestMoreServersNeverWorse(t *testing.T) {
+	f := func(lamRaw, muRaw uint16, cRaw uint8) bool {
+		mu := 0.5 + float64(muRaw%100)/20
+		c := 1 + int(cRaw%10)
+		lam := 0.9 * mu * float64(c) * float64(lamRaw%90+5) / 100
+		p1 := Params{Lambda: lam, Mu: mu, Servers: c}
+		p2 := Params{Lambda: lam, Mu: mu, Servers: c + 1}
+		if p1.Validate() != nil {
+			return true
+		}
+		return p2.MeanResponse() <= p1.MeanResponse()+1e-12 &&
+			p1.ErlangC() >= 0 && p1.ErlangC() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLittleConsistency(t *testing.T) {
+	p := Params{Lambda: 3, Mu: 1, Servers: 4}
+	if math.Abs(p.MeanJobs()-p.Lambda*p.MeanResponse()) > 1e-12 {
+		t.Error("Little's law broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Params{Lambda: 1, Mu: 1, Servers: 2}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, bad := range []Params{
+		{Lambda: 0, Mu: 1, Servers: 1},
+		{Lambda: 1, Mu: 0, Servers: 1},
+		{Lambda: 1, Mu: 1, Servers: 0},
+		{Lambda: 2, Mu: 1, Servers: 1}, // unstable
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package mva
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCVCorrectionSharpensKnee(t *testing.T) {
+	// Lower service variability → less queueing → higher throughput at
+	// moderate population. Compare CV²=1 (exact exponential) with
+	// CV²=0.08 (the uniform-disk model).
+	exp, err := BalancedCV(0, 4, 0, 0.2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := BalancedCV(0, 4, 0, 0.2, 1, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 8, 12} {
+		if low.Throughput(n) <= exp.Throughput(n) {
+			t.Errorf("n=%d: low-CV throughput %v should exceed exponential %v",
+				n, low.Throughput(n), exp.Throughput(n))
+		}
+	}
+	// Asymptote unchanged.
+	if math.Abs(low.MaxThroughput()-exp.MaxThroughput()) > 1e-12 {
+		t.Error("CV correction must not change the bottleneck bound")
+	}
+	// Min MPL for 95% should shrink accordingly.
+	if low.MinMPLForFraction(0.95, 500) >= exp.MinMPLForFraction(0.95, 500) {
+		t.Error("low-CV min MPL should be below the exponential one")
+	}
+}
+
+func TestSeidmannMultiCPUSaturatesEarly(t *testing.T) {
+	// A 2-CPU pool modeled with Seidmann's decomposition reaches near
+	// max throughput at a small population — unlike two independent
+	// FCFS stations with random routing.
+	pool, err := BalancedCV(2, 0, 0.02, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmax := 2 / 0.02
+	// The decomposition's bottleneck bound is 1/(D/c) = c/D.
+	if math.Abs(pool.MaxThroughput()-xmax) > 1e-9 {
+		t.Fatalf("max throughput = %v, want %v", pool.MaxThroughput(), xmax)
+	}
+	if got := pool.Throughput(4); got < 0.85*xmax {
+		t.Errorf("X(4) = %v, want >= 85%% of %v with flexible sharing", got, xmax)
+	}
+	if m := pool.MinMPLForFraction(0.95, 100); m > 8 {
+		t.Errorf("min MPL for 95%% on 2 flexible CPUs = %d, want small", m)
+	}
+}
+
+func TestBalancedCVMixedResources(t *testing.T) {
+	nw, err := BalancedCV(2, 4, 0.02, 0.04, 1, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stations: cpu, cpu-parallel (delay), 4 disks.
+	if len(nw.Stations) != 6 {
+		t.Fatalf("stations = %d, want 6", len(nw.Stations))
+	}
+	delays := 0
+	for _, s := range nw.Stations {
+		if s.Kind == Delay {
+			delays++
+		}
+	}
+	if delays != 1 {
+		t.Errorf("delay stations = %d, want 1 (cpu-parallel)", delays)
+	}
+	// Sanity: monotone and bounded.
+	prev := 0.0
+	for n := 1; n <= 40; n++ {
+		x := nw.Throughput(n)
+		if x < prev-1e-9 {
+			t.Fatalf("throughput decreased at n=%d", n)
+		}
+		if x > nw.MaxThroughput()+1e-9 {
+			t.Fatalf("throughput exceeded bound at n=%d", n)
+		}
+		prev = x
+	}
+}
+
+func TestQueueFactor(t *testing.T) {
+	if f := (Station{}).residualFactor(); f != 1 {
+		t.Errorf("default residual factor = %v, want 1", f)
+	}
+	if f := (Station{ServiceCV2: 0.08}).residualFactor(); math.Abs(f-0.54) > 1e-12 {
+		t.Errorf("CV²=0.08 residual factor = %v, want 0.54", f)
+	}
+	if f := (Station{ServiceCV2: 3}).residualFactor(); f != 2 {
+		t.Errorf("CV²=3 residual factor = %v, want 2", f)
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random stream. Every stochastic component of
+// the simulator owns its own RNG derived from the experiment seed, so
+// that changing one component (e.g. adding a disk) does not perturb the
+// random draws of the others.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded with (seed, stream). Distinct stream
+// ids produce statistically independent sequences.
+func NewRNG(seed, stream uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, stream))}
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform integer in [0,n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Fork derives an independent child stream; successive calls yield
+// distinct streams. Useful when a component spawns sub-components
+// dynamically (e.g. one stream per client).
+func (g *RNG) Fork() *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(2.0, func() { got = append(got, 2) })
+	e.At(1.0, func() { got = append(got, 1) })
+	e.At(3.0, func() { got = append(got, 3) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3.0 {
+		t.Errorf("Now() = %v, want 3.0", e.Now())
+	}
+}
+
+func TestEngineStableTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5.0, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("ties not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1.0, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelNilNoop(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(nil) // must not panic
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(1.0, tick)
+		}
+	}
+	e.After(1.0, tick)
+	e.RunAll()
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if e.Now() != 100.0 {
+		t.Errorf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for i := 1; i <= 10; i++ {
+		tm := float64(i)
+		e.At(tm, func() { got = append(got, tm) })
+	}
+	n := e.Run(5.5)
+	if n != 5 {
+		t.Errorf("fired %d events, want 5", n)
+	}
+	if e.Now() != 5.5 {
+		t.Errorf("Now() = %v, want 5.5 after bounded run", e.Now())
+	}
+	n = e.RunAll()
+	if n != 5 {
+		t.Errorf("fired %d more events, want 5", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped)", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5.0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1.0, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineNonFiniteTimePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling at NaN did not panic")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 1)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	c := NewRNG(42, 2)
+	same := true
+	a2 := NewRNG(42, 1)
+	for i := 0; i < 16; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different-stream RNGs produced identical prefix")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7, 0)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Errorf("exp mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	g := NewRNG(1, 1)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	if f1.Float64() == f2.Float64() && f1.Float64() == f2.Float64() {
+		t.Error("forked streams look identical")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.RunAll()
+	if e.Processed() != 5 {
+		t.Errorf("Processed() = %d, want 5", e.Processed())
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"extsched/internal/sim"
+)
+
+// Reservoir keeps a uniform random sample of a stream (Vitter's
+// algorithm R), so response-time percentiles can be reported from
+// arbitrarily long runs in bounded memory.
+type Reservoir struct {
+	capacity int
+	seen     int64
+	items    []float64
+	rng      *sim.RNG
+}
+
+// NewReservoir returns a reservoir holding up to capacity samples,
+// using the given deterministic stream.
+func NewReservoir(capacity int, rng *sim.RNG) *Reservoir {
+	if capacity < 1 {
+		panic("stats: reservoir capacity must be >= 1")
+	}
+	if rng == nil {
+		rng = sim.NewRNG(0, 424242)
+	}
+	return &Reservoir{capacity: capacity, rng: rng}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.items) < r.capacity {
+		r.items = append(r.items, x)
+		return
+	}
+	// Replace a random element with probability capacity/seen.
+	j := r.rng.IntN(int(r.seen))
+	if j < r.capacity {
+		r.items[j] = x
+	}
+}
+
+// Seen returns the total number of observations offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Len returns the current sample size.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Percentile estimates the p-th percentile from the sample.
+func (r *Reservoir) Percentile(p float64) float64 {
+	return Percentile(r.items, p)
+}
+
+// Snapshot returns a copy of the sample.
+func (r *Reservoir) Snapshot() []float64 {
+	out := make([]float64, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Reset clears the reservoir, keeping its capacity and stream.
+func (r *Reservoir) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+func TestReservoirFillPhase(t *testing.T) {
+	r := NewReservoir(10, sim.NewRNG(1, 0))
+	for i := 0; i < 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 10 || r.Seen() != 10 {
+		t.Fatalf("len/seen = %d/%d", r.Len(), r.Seen())
+	}
+	// All ten kept verbatim during fill.
+	s := r.Snapshot()
+	for i, v := range s {
+		if v != float64(i) {
+			t.Fatalf("fill-phase item %d = %v", i, v)
+		}
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Stream 0..9999 into a 1000-slot reservoir: the kept sample's mean
+	// should approximate the stream mean.
+	r := NewReservoir(1000, sim.NewRNG(2, 0))
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 1000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	mean := MeanOf(r.Snapshot())
+	if math.Abs(mean-4999.5) > 300 {
+		t.Errorf("sample mean = %v, want ≈4999.5", mean)
+	}
+	// Percentiles should roughly match the stream's.
+	if p := r.Percentile(50); math.Abs(p-5000) > 500 {
+		t.Errorf("p50 = %v, want ≈5000", p)
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(5, sim.NewRNG(3, 0))
+	for i := 0; i < 20; i++ {
+		r.Add(1)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 {
+		t.Error("reset did not clear")
+	}
+	r.Add(7)
+	if r.Len() != 1 {
+		t.Error("reservoir unusable after reset")
+	}
+}
+
+func TestReservoirDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		r := NewReservoir(50, sim.NewRNG(4, 9))
+		for i := 0; i < 5000; i++ {
+			r.Add(float64(i % 97))
+		}
+		return r.Snapshot()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed reservoirs differ")
+		}
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewReservoir(0, nil)
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"extsched/internal/sim"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Count() != 8 {
+		t.Errorf("Count = %d, want 8", a.Count())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+	if math.Abs(a.Sum()-40) > 1e-12 {
+		t.Errorf("Sum = %v, want 40", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.C2() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	if !math.IsInf(a.CIHalfWidth(0.95), 1) {
+		t.Error("CI of empty accumulator should be +Inf")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestAccumulatorMergeProperty(t *testing.T) {
+	// Merging two accumulators must equal accumulating the concatenation.
+	f := func(xs, ys []float64) bool {
+		clean := func(v []float64) []float64 {
+			out := v[:0]
+			for _, x := range v {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Accumulator
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		return math.Abs(a.Mean()-all.Mean()) < tol &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-4*(1+all.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestC2OfExponential(t *testing.T) {
+	g := sim.NewRNG(5, 0)
+	var a Accumulator
+	for i := 0; i < 500000; i++ {
+		a.Add(g.ExpFloat64())
+	}
+	if math.Abs(a.C2()-1) > 0.03 {
+		t.Errorf("C² of exponential sample = %v, want ~1", a.C2())
+	}
+}
+
+func TestCIHalfWidthShrinks(t *testing.T) {
+	g := sim.NewRNG(6, 0)
+	var small, large Accumulator
+	for i := 0; i < 20; i++ {
+		small.Add(g.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(g.NormFloat64())
+	}
+	if small.CIHalfWidth(0.95) <= large.CIHalfWidth(0.95) {
+		t.Error("CI half-width should shrink with more samples")
+	}
+	// For 2000 standard normals, 95% CI half-width ≈ 1.96/sqrt(2000) ≈ 0.0438.
+	want := 1.96 / math.Sqrt(2000)
+	if math.Abs(large.CIHalfWidth(0.95)-want)/want > 0.15 {
+		t.Errorf("CI half-width = %v, want ~%v", large.CIHalfWidth(0.95), want)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		conf float64
+		dof  int
+		want float64
+	}{
+		{0.95, 1, 12.706},
+		{0.95, 10, 2.228},
+		{0.95, 30, 2.042},
+		{0.95, 1000, 1.959964},
+		{0.99, 5, 4.032},
+		{0.90, 10, 1.812},
+	}
+	for _, c := range cases {
+		got := tQuantile(c.conf, c.dof)
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("tQuantile(%v,%d) = %v, want %v", c.conf, c.dof, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileInterpolationMonotone(t *testing.T) {
+	prev := tQuantile(0.95, 30)
+	for dof := 31; dof <= 121; dof++ {
+		cur := tQuantile(0.95, dof)
+		if cur > prev+1e-12 {
+			t.Fatalf("tQuantile not non-increasing at dof=%d: %v > %v", dof, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(v, 50); p != 5.5 {
+		t.Errorf("p50 = %v, want 5.5", p)
+	}
+	if p := Percentile(v, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(v, 100); p != 10 {
+		t.Errorf("p100 = %v, want 10", p)
+	}
+	if p := Percentile(v, 90); math.Abs(p-9.1) > 1e-12 {
+		t.Errorf("p90 = %v, want 9.1", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("percentile of empty = %v, want 0", p)
+	}
+	// Input must not be mutated.
+	v2 := []float64{3, 1, 2}
+	Percentile(v2, 50)
+	if v2[0] != 3 || v2[1] != 1 || v2[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	// 100 values, 10 batches of 10; value = batch index → batch means 0..9.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i / 10)
+	}
+	bm := NewBatchMeans(vals, 10)
+	if bm.Size != 10 {
+		t.Errorf("batch size = %d, want 10", bm.Size)
+	}
+	if bm.Batches.Count() != 10 {
+		t.Errorf("batch count = %d, want 10", bm.Batches.Count())
+	}
+	if math.Abs(bm.Batches.Mean()-4.5) > 1e-12 {
+		t.Errorf("mean of batch means = %v, want 4.5", bm.Batches.Mean())
+	}
+}
+
+func TestBatchMeansDegenerate(t *testing.T) {
+	bm := NewBatchMeans([]float64{1}, 5)
+	if bm.Batches.Count() != 0 {
+		t.Error("degenerate batch means should be empty")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	g := sim.NewRNG(9, 0)
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xv := float64(i)
+		x = append(x, xv)
+		y = append(y, 4+0.5*xv+0.1*g.NormFloat64())
+	}
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-0.5) > 0.01 {
+		t.Errorf("slope = %v, want ~0.5", slope)
+	}
+	if math.Abs(intercept-4) > 0.2 {
+		t.Errorf("intercept = %v, want ~4", intercept)
+	}
+	if r2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if s, i, r := LinearFit([]float64{1}, []float64{1}); s != 0 || i != 0 || r != 0 {
+		t.Error("single-point fit should return zeros")
+	}
+	if s, _, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); s != 0 {
+		t.Error("zero x-variance fit should return zero slope")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if m := MeanOf([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("MeanOf = %v, want 2", m)
+	}
+	if m := MeanOf(nil); m != 0 {
+		t.Errorf("MeanOf(nil) = %v, want 0", m)
+	}
+}
+
+func TestC2OfConstant(t *testing.T) {
+	if c := C2Of([]float64{5, 5, 5, 5}); c != 0 {
+		t.Errorf("C² of constant = %v, want 0", c)
+	}
+}

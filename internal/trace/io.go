@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSV persistence: two columns, `arrival_s,demand_s`, one header row.
+// This is the interchange format for cmd/tracegen and for replaying
+// real traces through the simulator.
+
+// WriteCSV writes the trace to w.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arrival_s", "demand_s"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for i, r := range t.Records {
+		rec := []string{
+			strconv.FormatFloat(r.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(r.Demand, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The header row is
+// required; records must be arrival-ordered (Validate is applied).
+func ReadCSV(r io.Reader, source string) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: parse csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	if rows[0][0] != "arrival_s" || rows[0][1] != "demand_s" {
+		return nil, fmt.Errorf("trace: missing header row, got %v", rows[0])
+	}
+	tr := &Trace{Source: source, Records: make([]Record, 0, len(rows)-1)}
+	for i, row := range rows[1:] {
+		arrival, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d arrival: %w", i+1, err)
+		}
+		demand, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d demand: %w", i+1, err)
+		}
+		tr.Records = append(tr.Records, Record{Arrival: arrival, Demand: demand})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// SaveFile writes the trace to path.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from path; the file name becomes the source.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}

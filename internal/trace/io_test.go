@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := SyntheticRetailer(5000, 1)
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+	if got.Source != "roundtrip" {
+		t.Errorf("source = %q", got.Source)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	orig := SyntheticAuction(1000, 2)
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1000 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if got.DemandC2() != orig.DemandC2() {
+		t.Error("moments changed across file round trip")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                               // empty
+		"x,y\n1,2\n",                     // wrong header
+		"arrival_s,demand_s\nnope,1\n",   // bad arrival
+		"arrival_s,demand_s\n1,nope\n",   // bad demand
+		"arrival_s,demand_s\n2,1\n1,1\n", // out of order
+		"arrival_s,demand_s\n1,-5\n",     // negative demand
+		"arrival_s,demand_s\n1\n",        // wrong field count
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/trace.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

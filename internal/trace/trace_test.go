@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSynthesizeBasics(t *testing.T) {
+	tr, err := Synthesize(SynthConfig{
+		N: 50000, MeanDemand: 0.1, DemandC2: 2, Lambda: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m := tr.MeanDemand(); math.Abs(m-0.1)/0.1 > 0.05 {
+		t.Errorf("mean demand = %v, want ~0.1", m)
+	}
+	if c2 := tr.DemandC2(); math.Abs(c2-2)/2 > 0.15 {
+		t.Errorf("C² = %v, want ~2", c2)
+	}
+}
+
+func TestSynthesizeArrivalRate(t *testing.T) {
+	tr, _ := Synthesize(SynthConfig{
+		N: 100000, MeanDemand: 0.1, DemandC2: 1.5, Lambda: 25, Seed: 2,
+	})
+	span := tr.Records[tr.Len()-1].Arrival
+	rate := float64(tr.Len()) / span
+	if math.Abs(rate-25)/25 > 0.05 {
+		t.Errorf("arrival rate = %v, want ~25", rate)
+	}
+}
+
+func TestBurstinessPreservesMeanRate(t *testing.T) {
+	tr, _ := Synthesize(SynthConfig{
+		N: 100000, MeanDemand: 0.1, DemandC2: 2, Lambda: 25,
+		Burstiness: 3, Seed: 3,
+	})
+	span := tr.Records[tr.Len()-1].Arrival
+	rate := float64(tr.Len()) / span
+	// On/off modulation halves time between λ·b and λ/b; harmonic mean
+	// effective rate is below λ but the same order.
+	if rate < 5 || rate > 60 {
+		t.Errorf("bursty arrival rate = %v, want same order as 25", rate)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticSitesMatchPaperC2(t *testing.T) {
+	// The paper: traces from a top-10 retailer and auction site both
+	// show C² ≈ 2 (vs TPC-C 1–1.5, TPC-W 15).
+	r := SyntheticRetailer(100000, 4)
+	if c2 := r.DemandC2(); c2 < 1.5 || c2 > 3 {
+		t.Errorf("retailer C² = %v, want ≈2", c2)
+	}
+	a := SyntheticAuction(100000, 5)
+	if c2 := a.DemandC2(); c2 < 1.5 || c2 > 3.2 {
+		t.Errorf("auction C² = %v, want ≈2", c2)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr, _ := Synthesize(SynthConfig{N: 10, MeanDemand: 1, DemandC2: 1, Lambda: 1, Seed: 6})
+	tr.Records[5].Arrival = 0 // out of order
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order arrivals accepted")
+	}
+	tr2, _ := Synthesize(SynthConfig{N: 10, MeanDemand: 1, DemandC2: 1, Lambda: 1, Seed: 6})
+	tr2.Records[3].Demand = -1
+	if err := tr2.Validate(); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []SynthConfig{
+		{N: 0, MeanDemand: 1, DemandC2: 1, Lambda: 1},
+		{N: 10, MeanDemand: 0, DemandC2: 1, Lambda: 1},
+		{N: 10, MeanDemand: 1, DemandC2: 0, Lambda: 1},
+		{N: 10, MeanDemand: 1, DemandC2: 1, Lambda: 0},
+		{N: 10, MeanDemand: 1, DemandC2: 1, Lambda: 1, Burstiness: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthesize(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestToProfiles(t *testing.T) {
+	tr := SyntheticRetailer(100, 7)
+	profiles := tr.ToProfiles()
+	if len(profiles) != 100 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for i, p := range profiles {
+		if len(p.Ops) != 1 || p.Ops[0].CPUWork != tr.Records[i].Demand {
+			t.Fatal("profile does not match record demand")
+		}
+		if p.EstimatedDemand != tr.Records[i].Demand {
+			t.Fatal("estimate mismatch")
+		}
+	}
+	// Keys unique → no artificial lock conflicts during replay.
+	seen := map[uint64]bool{}
+	for _, p := range profiles {
+		if seen[p.Ops[0].Key] {
+			t.Fatal("duplicate replay key")
+		}
+		seen[p.Ops[0].Key] = true
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := SyntheticRetailer(20000, 8)
+	rs := tr.Resample(9)
+	if rs.Len() != tr.Len() {
+		t.Fatalf("resample len = %d", rs.Len())
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Moments preserved approximately.
+	if math.Abs(rs.MeanDemand()-tr.MeanDemand())/tr.MeanDemand() > 0.05 {
+		t.Errorf("resample mean drifted: %v vs %v", rs.MeanDemand(), tr.MeanDemand())
+	}
+	if math.Abs(rs.DemandC2()-tr.DemandC2())/tr.DemandC2() > 0.25 {
+		t.Errorf("resample C² drifted: %v vs %v", rs.DemandC2(), tr.DemandC2())
+	}
+}
+
+func TestResampleEmpty(t *testing.T) {
+	empty := &Trace{Source: "x"}
+	rs := empty.Resample(1)
+	if rs.Len() != 0 {
+		t.Error("empty resample should be empty")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	tr := SyntheticRetailer(50000, 10)
+	ps := tr.Percentiles(50, 95, 99)
+	if !(ps[0] < ps[1] && ps[1] < ps[2]) {
+		t.Errorf("percentiles not increasing: %v", ps)
+	}
+	// Lognormal with C²=2: median < mean.
+	if ps[0] >= tr.MeanDemand() {
+		t.Errorf("median %v should be below mean %v for a right-skewed trace", ps[0], tr.MeanDemand())
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	tr := SyntheticRetailer(100, 11)
+	tr.Records[0], tr.Records[50] = tr.Records[50], tr.Records[0]
+	if err := tr.Validate(); err == nil {
+		t.Fatal("swap should break ordering")
+	}
+	tr.SortByArrival()
+	if err := tr.Validate(); err != nil {
+		t.Fatal("sort did not restore ordering")
+	}
+}

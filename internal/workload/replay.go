@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"fmt"
+
+	"extsched/internal/core"
+	"extsched/internal/sim"
+	"extsched/internal/trace"
+)
+
+// TraceDriver replays a recorded (or synthesized) trace through a
+// frontend: each record arrives at its traced timestamp with its
+// traced service demand. This is how the production-trace comparison
+// of Section 3.2 is exercised end to end, and how a user would feed
+// their own transaction logs to the tool to pick an MPL.
+type TraceDriver struct {
+	eng     *sim.Engine
+	fe      *core.Frontend
+	tr      *trace.Trace
+	stopped bool
+	started uint64
+	// Speedup divides the trace's inter-arrival times (2.0 = replay
+	// twice as fast, stressing the system at twice the traced load).
+	Speedup float64
+}
+
+// NewTraceDriver validates the trace and returns a replayer.
+func NewTraceDriver(eng *sim.Engine, fe *core.Frontend, tr *trace.Trace) (*TraceDriver, error) {
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("workload: cannot replay an empty trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceDriver{eng: eng, fe: fe, tr: tr, Speedup: 1}, nil
+}
+
+// Start schedules every record's arrival. The trace's first arrival is
+// shifted to the engine's current time.
+func (d *TraceDriver) Start() {
+	if d.Speedup <= 0 {
+		panic(fmt.Sprintf("workload: replay speedup %v must be positive", d.Speedup))
+	}
+	base := d.eng.Now()
+	t0 := d.tr.Records[0].Arrival
+	profiles := d.tr.ToProfiles()
+	for i, rec := range d.tr.Records {
+		at := base + (rec.Arrival-t0)/d.Speedup
+		profile := profiles[i]
+		d.eng.At(at, func() {
+			if d.stopped {
+				return
+			}
+			d.started++
+			d.fe.Submit(profile)
+		})
+	}
+}
+
+// Stop suppresses any arrivals not yet fired.
+func (d *TraceDriver) Stop() { d.stopped = true }
+
+// Started returns the number of records already submitted.
+func (d *TraceDriver) Started() uint64 { return d.started }

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+	"extsched/internal/trace"
+)
+
+func replayRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
+	t.Helper()
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, dbms.Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, core.New(eng, db, mpl, nil)
+}
+
+func TestTraceDriverReplaysAll(t *testing.T) {
+	tr := trace.SyntheticRetailer(2000, 1)
+	eng, fe := replayRig(t, 0)
+	d, err := NewTraceDriver(eng, fe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	if d.Started() != 2000 {
+		t.Errorf("started = %d, want 2000", d.Started())
+	}
+	if fe.Metrics().Completed != 2000 {
+		t.Errorf("completed = %d, want 2000", fe.Metrics().Completed)
+	}
+}
+
+func TestTraceDriverTiming(t *testing.T) {
+	// A hand-built trace replays at exactly its recorded arrival gaps.
+	tr := &trace.Trace{
+		Source: "hand",
+		Records: []trace.Record{
+			{Arrival: 5.0, Demand: 0.1},
+			{Arrival: 6.0, Demand: 0.1},
+			{Arrival: 8.0, Demand: 0.1},
+		},
+	}
+	eng, fe := replayRig(t, 0)
+	var completions []float64
+	fe.OnComplete = func(tx *core.Txn) { completions = append(completions, tx.Arrival) }
+	d, err := NewTraceDriver(eng, fe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunAll()
+	// First arrival shifted to t=0; gaps preserved (1s, 2s).
+	want := []float64{0, 1, 3}
+	for i, w := range want {
+		if math.Abs(completions[i]-w) > 1e-9 {
+			t.Errorf("arrival[%d] = %v, want %v", i, completions[i], w)
+		}
+	}
+}
+
+func TestTraceDriverSpeedup(t *testing.T) {
+	tr := &trace.Trace{
+		Source: "hand",
+		Records: []trace.Record{
+			{Arrival: 0, Demand: 0.01},
+			{Arrival: 10, Demand: 0.01},
+		},
+	}
+	eng, fe := replayRig(t, 0)
+	var arrivals []float64
+	fe.OnComplete = func(tx *core.Txn) { arrivals = append(arrivals, tx.Arrival) }
+	d, err := NewTraceDriver(eng, fe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Speedup = 2
+	d.Start()
+	eng.RunAll()
+	if math.Abs(arrivals[1]-5.0) > 1e-9 {
+		t.Errorf("2x replay second arrival at %v, want 5", arrivals[1])
+	}
+}
+
+func TestTraceDriverStop(t *testing.T) {
+	tr := trace.SyntheticRetailer(1000, 2)
+	eng, fe := replayRig(t, 0)
+	d, err := NewTraceDriver(eng, fe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	// Stop partway through the trace's span.
+	mid := tr.Records[500].Arrival - tr.Records[0].Arrival
+	eng.Run(mid)
+	d.Stop()
+	eng.RunAll()
+	if d.Started() >= 1000 {
+		t.Errorf("started = %d, want < 1000 after Stop", d.Started())
+	}
+}
+
+func TestTraceDriverValidation(t *testing.T) {
+	eng, fe := replayRig(t, 0)
+	if _, err := NewTraceDriver(eng, fe, &trace.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := &trace.Trace{Records: []trace.Record{{Arrival: 1, Demand: -1}}}
+	if _, err := NewTraceDriver(eng, fe, bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}

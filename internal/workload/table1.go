@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+
+	"extsched/internal/dist"
+)
+
+// Page accounting: 8 KiB pages.
+const (
+	pagesPerGB = 131072
+	pagesPerMB = 128
+)
+
+// Disk timing: ~12 ms per random I/O on the paper's IDE drives (seek +
+// rotation dominate, so the spread is modest — uniform 6–18 ms, CV²
+// ≈ 0.08 — which is what gives the paper's sharp throughput knees),
+// ~1.5 ms for a sequential log append.
+func ideDisk() dist.Distribution { return dist.NewUniform(0.006, 0.018) }
+func logDisk() dist.Distribution { return dist.NewDeterministic(0.0015) }
+
+// WCPUInventory is the Table 1 W_CPU-inventory workload: TPC-C with 10
+// warehouses and a 1 GB database that fits in the 1 GB buffer pool, so
+// almost all work is CPU. Calibrated to C² ≈ 1.0–1.5 and a single-CPU
+// saturation throughput in the paper's tens-per-second range.
+func WCPUInventory() Spec {
+	return Spec{
+		Name:      "W_CPU-inventory",
+		Benchmark: "TPC-C",
+		Types: []TxnType{
+			{Name: "NewOrder", Prob: 0.45, Ops: 10, CPUPerOp: dist.NewExponential(0.0012), PagesPerOp: 2, WriteFrac: 0.6, HotKeyProb: 0.12},
+			{Name: "Payment", Prob: 0.43, Ops: 4, CPUPerOp: dist.NewExponential(0.0010), PagesPerOp: 1, WriteFrac: 0.75, HotKeyProb: 0.25},
+			{Name: "OrderStatus", Prob: 0.04, Ops: 3, CPUPerOp: dist.NewExponential(0.0020), PagesPerOp: 2, WriteFrac: 0, HotKeyProb: 0.10},
+			{Name: "Delivery", Prob: 0.04, Ops: 12, CPUPerOp: dist.NewExponential(0.0042), PagesPerOp: 2, WriteFrac: 0.7, HotKeyProb: 0.12},
+			{Name: "StockLevel", Prob: 0.04, Ops: 8, CPUPerOp: dist.NewExponential(0.0037), PagesPerOp: 3, WriteFrac: 0, HotKeyProb: 0.10},
+		},
+		HotLockKeys:       30, // 10 warehouse rows + their hottest district rows
+		DBPages:           1 * pagesPerGB,
+		HotFrac:           0.2,
+		HotAccess:         0.8,
+		BufferPoolPages:   1*pagesPerGB + 4096, // pool > DB: fully cached
+		DiskService:       ideDisk(),
+		LogService:        logDisk(),
+		Clients:           100,
+		CanonicalKeyOrder: true,
+	}
+}
+
+// WCPUBrowsing is W_CPU-browsing: TPC-W browsing mix, 100 EBs, 300 MB
+// database cached in a 500 MB pool. CPU bound with heavy-tailed
+// queries (rare multi-second best-seller scans) giving C² ≈ 15.
+func WCPUBrowsing() Spec {
+	return Spec{
+		Name:      "W_CPU-browsing",
+		Benchmark: "TPC-W",
+		Types: []TxnType{
+			{Name: "Browse", Prob: 0.75, Ops: 3, CPUPerOp: dist.NewExponential(0.025), PagesPerOp: 2, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "Search", Prob: 0.14, Ops: 5, CPUPerOp: dist.FitH2(0.060, 4), PagesPerOp: 3, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "BestSeller", Prob: 0.005, Ops: 4, CPUPerOp: dist.NewExponential(1.5), PagesPerOp: 4, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "Order", Prob: 0.105, Ops: 5, CPUPerOp: dist.NewExponential(0.010), PagesPerOp: 2, WriteFrac: 0.4, HotKeyProb: 0.05},
+		},
+		HotLockKeys:     1000, // popular items
+		DBPages:         300 * pagesPerMB,
+		HotFrac:         0.2,
+		HotAccess:       0.8,
+		BufferPoolPages: 500 * pagesPerMB, // pool > DB: fully cached
+		DiskService:     ideDisk(),
+		LogService:      logDisk(),
+		Clients:         100,
+	}
+}
+
+// WIOInventory is W_IO-inventory: TPC-C with 60 warehouses — a 6 GB
+// database against a 100 MB pool, making nearly every page access a
+// disk I/O. The paper calls it a "pure I/O-only workload".
+func WIOInventory() Spec {
+	return Spec{
+		Name:      "W_IO-inventory",
+		Benchmark: "TPC-C",
+		Types: []TxnType{
+			{Name: "NewOrder", Prob: 0.45, Ops: 10, CPUPerOp: dist.NewExponential(0.0003), PagesPerOp: 3, WriteFrac: 0.6, HotKeyProb: 0.02},
+			{Name: "Payment", Prob: 0.43, Ops: 4, CPUPerOp: dist.NewExponential(0.0003), PagesPerOp: 2, WriteFrac: 0.75, HotKeyProb: 0.02},
+			{Name: "OrderStatus", Prob: 0.04, Ops: 3, CPUPerOp: dist.NewExponential(0.0003), PagesPerOp: 3, WriteFrac: 0, HotKeyProb: 0.01},
+			{Name: "Delivery", Prob: 0.04, Ops: 12, CPUPerOp: dist.NewExponential(0.0004), PagesPerOp: 3, WriteFrac: 0.7, HotKeyProb: 0.02},
+			{Name: "StockLevel", Prob: 0.04, Ops: 8, CPUPerOp: dist.NewExponential(0.0004), PagesPerOp: 4, WriteFrac: 0, HotKeyProb: 0.01},
+		},
+		HotLockKeys:       660, // 60 warehouses × (1 + 10 districts)
+		DBPages:           6 * pagesPerGB,
+		HotFrac:           0.05,
+		HotAccess:         0.4,
+		BufferPoolPages:   100 * pagesPerMB,
+		DiskService:       ideDisk(),
+		LogService:        logDisk(),
+		Clients:           100, // TPC spec assumes 600; paper runs 100
+		CanonicalKeyOrder: true,
+	}
+}
+
+// WIOBrowsing is W_IO-browsing: TPC-W browsing with 500 EBs and a
+// database an order of magnitude larger than the 100 MB pool. I/O
+// bound but with a noticeable CPU component (the paper notes the
+// smaller database leaves more CPU work per byte), and rare full-scan
+// best-seller queries that push C² to ≈ 15.
+func WIOBrowsing() Spec {
+	return Spec{
+		Name:      "W_IO-browsing",
+		Benchmark: "TPC-W",
+		Types: []TxnType{
+			{Name: "Browse", Prob: 0.745, Ops: 3, CPUPerOp: dist.NewExponential(0.010), PagesPerOp: 15, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "Search", Prob: 0.14, Ops: 5, CPUPerOp: dist.NewExponential(0.020), PagesPerOp: 30, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "BestSeller", Prob: 0.01, Ops: 4, CPUPerOp: dist.NewExponential(0.300), PagesPerOp: 1250, WriteFrac: 0, HotKeyProb: 0},
+			{Name: "Order", Prob: 0.105, Ops: 5, CPUPerOp: dist.NewExponential(0.008), PagesPerOp: 10, WriteFrac: 0.4, HotKeyProb: 0.05},
+		},
+		HotLockKeys:     2000,
+		DBPages:         1 * pagesPerGB,
+		HotFrac:         0.1,
+		HotAccess:       0.5,
+		BufferPoolPages: 100 * pagesPerMB,
+		DiskService:     ideDisk(),
+		LogService:      logDisk(),
+		Clients:         100, // TPC spec assumes 500; paper runs 100
+	}
+}
+
+// WCPUIOInventory is W_CPU+IO-inventory: TPC-C with 10 warehouses and
+// the pool sized to half the database, leaving CPU and disk demands
+// roughly equal ("balanced") — the workload whose min MPL grows the
+// most when resources are added in proportion (Fig. 4).
+func WCPUIOInventory() Spec {
+	return Spec{
+		Name:      "W_CPU+IO-inventory",
+		Benchmark: "TPC-C",
+		Types: []TxnType{
+			{Name: "NewOrder", Prob: 0.45, Ops: 10, CPUPerOp: dist.NewExponential(0.0012), PagesPerOp: 1, WriteFrac: 0.6, HotKeyProb: 0.10},
+			{Name: "Payment", Prob: 0.43, Ops: 4, CPUPerOp: dist.NewExponential(0.0010), PagesPerOp: 1, WriteFrac: 0.75, HotKeyProb: 0.15},
+			{Name: "OrderStatus", Prob: 0.04, Ops: 3, CPUPerOp: dist.NewExponential(0.0020), PagesPerOp: 1, WriteFrac: 0, HotKeyProb: 0.05},
+			{Name: "Delivery", Prob: 0.04, Ops: 12, CPUPerOp: dist.NewExponential(0.0120), PagesPerOp: 1, WriteFrac: 0.7, HotKeyProb: 0.10},
+			{Name: "StockLevel", Prob: 0.04, Ops: 8, CPUPerOp: dist.NewExponential(0.0080), PagesPerOp: 2, WriteFrac: 0, HotKeyProb: 0.05},
+		},
+		HotLockKeys:       110,
+		DBPages:           1 * pagesPerGB,
+		HotFrac:           0.15,
+		HotAccess:         0.65,
+		BufferPoolPages:   48 * pagesPerMB * 8, // ~0.37 GB: miss ratio ≈ 0.2
+		DiskService:       ideDisk(),
+		LogService:        logDisk(),
+		Clients:           100,
+		CanonicalKeyOrder: true,
+	}
+}
+
+// WCPUOrdering is W_CPU-ordering: the TPC-W ordering mix — CPU bound
+// and write heavy, with a small set of hot item rows that make it the
+// lock-contention workload for Fig. 5(b).
+func WCPUOrdering() Spec {
+	return Spec{
+		Name:      "W_CPU-ordering",
+		Benchmark: "TPC-W",
+		Types: []TxnType{
+			{Name: "AddToCart", Prob: 0.30, Ops: 4, CPUPerOp: dist.NewExponential(0.004), PagesPerOp: 1, WriteFrac: 0.6, HotKeyProb: 0.30},
+			{Name: "Checkout", Prob: 0.25, Ops: 8, CPUPerOp: dist.NewExponential(0.005), PagesPerOp: 1, WriteFrac: 0.75, HotKeyProb: 0.30},
+			{Name: "Browse", Prob: 0.35, Ops: 3, CPUPerOp: dist.NewExponential(0.006), PagesPerOp: 1, WriteFrac: 0, HotKeyProb: 0.10},
+			{Name: "Search", Prob: 0.095, Ops: 5, CPUPerOp: dist.FitH2(0.0125, 4), PagesPerOp: 2, WriteFrac: 0, HotKeyProb: 0.05},
+			{Name: "BestSeller", Prob: 0.005, Ops: 4, CPUPerOp: dist.NewExponential(0.400), PagesPerOp: 3, WriteFrac: 0, HotKeyProb: 0},
+		},
+		HotLockKeys:     16, // best-selling items' stock rows
+		DBPages:         300 * pagesPerMB,
+		HotFrac:         0.2,
+		HotAccess:       0.8,
+		BufferPoolPages: 500 * pagesPerMB,
+		DiskService:     ideDisk(),
+		LogService:      logDisk(),
+		Clients:         100,
+	}
+}
+
+// Table1 returns the six workloads in the paper's Table 1 order.
+func Table1() []Spec {
+	return []Spec{
+		WCPUInventory(),
+		WCPUBrowsing(),
+		WIOBrowsing(),
+		WIOInventory(),
+		WCPUIOInventory(),
+		WCPUOrdering(),
+	}
+}
+
+// ByName returns the Table 1 workload with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
