@@ -246,6 +246,67 @@ func BenchmarkAblationAdmission(b *testing.B) {
 
 // ---- micro-benchmarks of the substrates ----
 
+// BenchmarkEngineSchedule measures the schedule→fire hot path of the
+// kernel: one event scheduled and fired per op against a standing
+// population of pending events. The free-list event pool and the
+// concrete-typed 4-ary heap make the steady state allocation-free
+// (the seed container/heap kernel paid one Event allocation plus
+// interface boxing per op); EXPERIMENTS.md records the comparison.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	// Standing population so heap sift costs are realistic.
+	for i := 0; i < 1024; i++ {
+		eng.After(float64(i)+0.5, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(0.25, fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule→cancel→discard
+// path, which recycles records without firing them.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := eng.After(1, fn)
+		eng.Cancel(h)
+		eng.Run(eng.Now()) // collects the canceled head without firing
+	}
+}
+
+// BenchmarkSweepParallel measures figure-generation fan-out: the same
+// 2-setup throughput grid swept sequentially (workers=1) and on the
+// full worker pool. The parallel/sequential ns/op ratio should
+// approach 1/GOMAXPROCS for grids wider than the pool.
+func BenchmarkSweepParallel(b *testing.B) {
+	grid := experiments.RunOpts{Warmup: 5, Measure: 40, Seed: 1}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prev := experiments.DefaultWorkers
+			experiments.DefaultWorkers = tc.workers
+			defer func() { experiments.DefaultWorkers = prev }()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure4(grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineEvents measures raw event throughput of the DES core.
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := sim.NewEngine()

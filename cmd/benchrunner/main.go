@@ -1,45 +1,55 @@
 // Command benchrunner regenerates the paper's tables and figures.
 //
 // Each experiment id corresponds to one table or figure of the
-// evaluation; see DESIGN.md for the index. Output is an aligned text
-// table by default, CSV with -csv.
+// evaluation; see DESIGN.md for the index. Sweep points fan out across
+// a worker pool (-workers, default GOMAXPROCS); results are identical
+// to a sequential run, only faster. Output is an aligned text table by
+// default, CSV with -csv, or a machine-readable summary with -json.
 //
 // Examples:
 //
 //	benchrunner -exp fig7                 # analytic, instant
 //	benchrunner -exp fig2 -measure 300    # simulated throughput sweep
 //	benchrunner -exp fig11 -loss 0.05
-//	benchrunner -exp all                  # everything (slow)
+//	benchrunner -exp fig2 -workers 1      # sequential reference run
+//	benchrunner -exp all -json bench.json # everything + JSON summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"extsched/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open c2 controller controller-ablation all")
-		loss    = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
-		util    = flag.Float64("util", 0.7, "open-system utilization for rt-open")
-		setup   = flag.Int("setup", 3, "setup id for rt-open")
-		warmup  = flag.Float64("warmup", 0, "override warmup sim-seconds (0 = auto)")
-		measure = flag.Float64("measure", 0, "override measured sim-seconds (0 = auto)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		chart   = flag.Bool("chart", false, "render an ASCII chart instead of a table")
-		outdir  = flag.String("outdir", "", "also write each figure as CSV into this directory")
+		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open c2 controller controller-ablation all")
+		loss     = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
+		util     = flag.Float64("util", 0.7, "open-system utilization for rt-open")
+		setup    = flag.Int("setup", 3, "setup id for rt-open")
+		warmup   = flag.Float64("warmup", 0, "override warmup sim-seconds (0 = auto)")
+		measure  = flag.Float64("measure", 0, "override measured sim-seconds (0 = auto)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart    = flag.Bool("chart", false, "render an ASCII chart instead of a table")
+		outdir   = flag.String("outdir", "", "also write each figure as CSV into this directory")
+		jsonPath = flag.String("json", "", "write a BENCH_*.json-style machine-readable summary to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	if *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	experiments.DefaultWorkers = *workers
 	opts := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Seed: *seed}
 
 	ids := []string{*exp}
@@ -47,19 +57,39 @@ func main() {
 		ids = []string{"fig2", "fig3", "fig4", "fig5", "fig7", "fig10", "c2",
 			"rt-open", "fig11", "fig12", "fig13", "controller"}
 	}
+	summary := benchSummary{
+		Workers:    experiments.EffectiveWorkers(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+	}
+	// With -json - the summary owns stdout; human tables move to
+	// stderr so the JSON stays machine-readable in a pipe.
+	tableOut := io.Writer(os.Stdout)
+	if *jsonPath == "-" {
+		tableOut = os.Stderr
+	}
 	for _, id := range ids {
+		start := time.Now()
 		fig, err := run(id, *loss, *util, *setup, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		summary.Experiments = append(summary.Experiments, experimentSummary{
+			ID:       fig.ID,
+			Title:    fig.Title,
+			WallSecs: elapsed.Seconds(),
+			Series:   summarizeSeries(fig),
+			Notes:    fig.Notes,
+		})
 		switch {
 		case *csv:
-			fmt.Print(fig.CSV())
+			fmt.Fprint(tableOut, fig.CSV())
 		case *chart:
-			fmt.Print(fig.Chart(72, 20))
+			fmt.Fprint(tableOut, fig.Chart(72, 20))
 		default:
-			fmt.Print(fig.Format())
+			fmt.Fprint(tableOut, fig.Format())
 		}
 		if *outdir != "" {
 			if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -73,8 +103,59 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
-		fmt.Println()
+		fmt.Fprintln(tableOut)
 	}
+	if *jsonPath != "" {
+		if err := writeSummary(*jsonPath, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchSummary is the -json output: one record per experiment with its
+// wall-clock cost and the reproduced series, so the perf trajectory of
+// the repo is machine-readable across PRs (BENCH_*.json convention).
+type benchSummary struct {
+	Workers     int                 `json:"workers"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Seed        uint64              `json:"seed"`
+	Experiments []experimentSummary `json:"experiments"`
+}
+
+type experimentSummary struct {
+	ID       string          `json:"id"`
+	Title    string          `json:"title"`
+	WallSecs float64         `json:"wall_secs"`
+	Series   []seriesSummary `json:"series"`
+	Notes    []string        `json:"notes,omitempty"`
+}
+
+type seriesSummary struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+func summarizeSeries(fig *experiments.Figure) []seriesSummary {
+	out := make([]seriesSummary, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		out = append(out, seriesSummary{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return out
+}
+
+func writeSummary(path string, s benchSummary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // sanitize makes a figure id filesystem-friendly.

@@ -1,0 +1,3 @@
+module extsched
+
+go 1.24

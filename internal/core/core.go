@@ -53,31 +53,67 @@ type Policy interface {
 	Len() int
 }
 
+// ring is a growable circular FIFO of transactions. Unlike the
+// reslicing `q = q[1:]` idiom, dequeues reuse the backing array
+// instead of abandoning its head, so a long run's queue churn stays
+// within one allocation instead of leaking backing arrays behind the
+// advancing slice window.
+type ring struct {
+	buf        []*Txn
+	head, size int
+}
+
+func (r *ring) len() int { return r.size }
+
+func (r *ring) push(t *Txn) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = t
+	r.size++
+}
+
+func (r *ring) pop() *Txn {
+	if r.size == 0 {
+		return nil
+	}
+	t := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return t
+}
+
+// grow doubles the capacity, unwrapping the live window to the front.
+func (r *ring) grow() {
+	capacity := len(r.buf) * 2
+	if capacity == 0 {
+		capacity = 16
+	}
+	buf := make([]*Txn, capacity)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = buf, 0
+}
+
 // FIFOPolicy dispatches in arrival order.
 type FIFOPolicy struct {
-	q []*Txn
+	q ring
 }
 
 // NewFIFO returns a FIFO policy.
 func NewFIFO() *FIFOPolicy { return &FIFOPolicy{} }
 
 func (p *FIFOPolicy) Name() string { return "fifo" }
-func (p *FIFOPolicy) Push(t *Txn)  { p.q = append(p.q, t) }
-func (p *FIFOPolicy) Pop() *Txn {
-	if len(p.q) == 0 {
-		return nil
-	}
-	t := p.q[0]
-	p.q[0] = nil
-	p.q = p.q[1:]
-	return t
-}
-func (p *FIFOPolicy) Len() int { return len(p.q) }
+func (p *FIFOPolicy) Push(t *Txn)  { p.q.push(t) }
+func (p *FIFOPolicy) Pop() *Txn    { return p.q.pop() }
+func (p *FIFOPolicy) Len() int     { return p.q.len() }
 
 // PriorityPolicy dispatches High-class transactions first, FIFO within
 // a class — the paper's Section 5 prioritization algorithm.
 type PriorityPolicy struct {
-	high, low []*Txn
+	high, low ring
 }
 
 // NewPriority returns a priority policy.
@@ -86,27 +122,18 @@ func NewPriority() *PriorityPolicy { return &PriorityPolicy{} }
 func (p *PriorityPolicy) Name() string { return "priority" }
 func (p *PriorityPolicy) Push(t *Txn) {
 	if t.Class() == lockmgr.High {
-		p.high = append(p.high, t)
+		p.high.push(t)
 	} else {
-		p.low = append(p.low, t)
+		p.low.push(t)
 	}
 }
 func (p *PriorityPolicy) Pop() *Txn {
-	if len(p.high) > 0 {
-		t := p.high[0]
-		p.high[0] = nil
-		p.high = p.high[1:]
+	if t := p.high.pop(); t != nil {
 		return t
 	}
-	if len(p.low) > 0 {
-		t := p.low[0]
-		p.low[0] = nil
-		p.low = p.low[1:]
-		return t
-	}
-	return nil
+	return p.low.pop()
 }
-func (p *PriorityPolicy) Len() int { return len(p.high) + len(p.low) }
+func (p *PriorityPolicy) Len() int { return p.high.len() + p.low.len() }
 
 // SJFPolicy dispatches the transaction with the smallest
 // EstimatedDemand first (ties by arrival). It demonstrates the paper's

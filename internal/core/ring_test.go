@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// TestRingWrapAround pushes and pops across several growth and wrap
+// cycles, checking FIFO order and that popped slots are cleared.
+func TestRingWrapAround(t *testing.T) {
+	var r ring
+	mk := func(seq uint64) *Txn { return &Txn{seq: seq} }
+	next := uint64(0)
+	expect := uint64(0)
+	// Interleave bursts of pushes and pops so head wraps repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			r.push(mk(next))
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			got := r.pop()
+			if got == nil || got.seq != expect {
+				t.Fatalf("round %d: pop = %v, want seq %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for r.len() > 0 {
+		got := r.pop()
+		if got == nil || got.seq != expect {
+			t.Fatalf("drain: pop seq = %v, want %d", got, expect)
+		}
+		expect++
+	}
+	if r.pop() != nil {
+		t.Error("pop on empty ring != nil")
+	}
+	if expect != next {
+		t.Errorf("drained %d items, pushed %d", expect, next)
+	}
+	// All live slots must be nil after draining (no retained references).
+	for i, tx := range r.buf {
+		if tx != nil {
+			t.Errorf("buf[%d] retains a transaction after drain", i)
+		}
+	}
+}
+
+// TestFIFOPolicyRing checks the policy API over the ring backend.
+func TestFIFOPolicyRing(t *testing.T) {
+	p := NewFIFO()
+	if p.Pop() != nil {
+		t.Error("Pop on empty FIFO != nil")
+	}
+	for i := uint64(0); i < 100; i++ {
+		p.Push(&Txn{seq: i})
+	}
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", p.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		got := p.Pop()
+		if got == nil || got.seq != i {
+			t.Fatalf("Pop = %v, want seq %d", got, i)
+		}
+	}
+}

@@ -50,7 +50,7 @@ type CPU struct {
 	// rates — completes. Keeping a single armed event (instead of one
 	// per job) makes membership changes O(n) arithmetic without event-
 	// heap churn.
-	nextEv  *sim.Event
+	nextEv  sim.Handle
 	nextJob *Job
 	// scratch is reused by the water-filling pass to avoid a per-event
 	// allocation.
@@ -172,7 +172,7 @@ func (c *CPU) advance() {
 // the single next-completion event.
 func (c *CPU) reschedule() {
 	c.eng.Cancel(c.nextEv)
-	c.nextEv, c.nextJob = nil, nil
+	c.nextEv, c.nextJob = sim.Handle{}, nil
 	n := len(c.jobs)
 	if n == 0 {
 		return

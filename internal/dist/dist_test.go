@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+// sampleMoments draws n variates and returns the sample mean and C².
+func sampleMoments(t *testing.T, d Distribution, n int) (float64, float64) {
+	t.Helper()
+	g := sim.NewRNG(7, 3)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(g)
+		if x < 0 {
+			t.Fatalf("negative variate %v", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	return mean, variance / (mean * mean)
+}
+
+func TestMomentsMatchSamples(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Distribution
+	}{
+		{"exp", NewExponential(0.25)},
+		{"uniform", NewUniform(0.006, 0.018)},
+		{"lognormal", NewLognormal(2, 3)},
+		{"h2", FitH2(0.5, 8)},
+	}
+	for _, tc := range cases {
+		mean, c2 := sampleMoments(t, tc.d, 400000)
+		if rel := math.Abs(mean-tc.d.Mean()) / tc.d.Mean(); rel > 0.03 {
+			t.Errorf("%s: sample mean %v vs Mean() %v", tc.name, mean, tc.d.Mean())
+		}
+		if math.Abs(c2-tc.d.C2()) > 0.15*(1+tc.d.C2()) {
+			t.Errorf("%s: sample C² %v vs C2() %v", tc.name, c2, tc.d.C2())
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := NewDeterministic(0.02)
+	g := sim.NewRNG(1, 1)
+	if d.Sample(g) != 0.02 || d.Mean() != 0.02 || d.C2() != 0 {
+		t.Error("deterministic distribution not a point mass")
+	}
+}
+
+func TestFitH2Moments(t *testing.T) {
+	for _, c2 := range []float64{1.0000001, 2, 5, 15} {
+		for _, mean := range []float64{0.01, 1, 2} {
+			h := FitH2(mean, c2)
+			if h.P <= 0 || h.P >= 1 {
+				t.Errorf("FitH2(%v, %v): P = %v not strictly in (0,1)", mean, c2, h.P)
+			}
+			if math.Abs(h.Mean()-mean) > 1e-12*mean {
+				t.Errorf("FitH2(%v, %v): Mean() = %v", mean, c2, h.Mean())
+			}
+			if math.Abs(h.C2()-c2) > 1e-6*c2 {
+				t.Errorf("FitH2(%v, %v): C2() = %v", mean, c2, h.C2())
+			}
+		}
+	}
+	// Sub-exponential requests clamp to C² just above 1.
+	if h := FitH2(1, 0.5); h.C2() < 1 || h.C2() > 1.001 {
+		t.Errorf("FitH2 clamp: C2() = %v, want ≈1", h.C2())
+	}
+}
+
+func TestNewH2Degenerate(t *testing.T) {
+	h := NewH2(1, 2, 3) // P=1: always phase 1
+	if math.Abs(h.Mean()-0.5) > 1e-12 {
+		t.Errorf("degenerate H2 mean = %v, want 0.5", h.Mean())
+	}
+	if math.Abs(h.C2()-1) > 1e-12 {
+		t.Errorf("degenerate H2 C² = %v, want 1 (pure exponential)", h.C2())
+	}
+}

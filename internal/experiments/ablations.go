@@ -23,19 +23,28 @@ func GroupCommitAblation(setupID int, mpls []int, opts RunOpts) (*Figure, error)
 		ID:    "ablate-groupcommit",
 		Title: fmt.Sprintf("Group commit on/off, setup %d: throughput vs MPL", setupID),
 	}
-	for _, gc := range []bool{false, true} {
+	variants := []bool{false, true}
+	// Flatten (variant, MPL) into one parallel sweep.
+	tputs, err := Sweep(len(variants)*len(mpls), func(i int) (float64, error) {
+		gc, m := variants[i/len(mpls)], mpls[i%len(mpls)]
+		r, err := RunClosed(setup, m, nil, workload.DBOptions{GroupCommit: gc}, opts)
+		if err != nil {
+			return 0, err
+		}
+		return r.Throughput(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, gc := range variants {
 		name := "serial-log"
 		if gc {
 			name = "group-commit"
 		}
 		s := Series{Name: name}
-		for _, m := range mpls {
-			r, err := RunClosed(setup, m, nil, workload.DBOptions{GroupCommit: gc}, opts)
-			if err != nil {
-				return nil, err
-			}
+		for mi, m := range mpls {
 			s.X = append(s.X, float64(m))
-			s.Y = append(s.Y, r.Throughput())
+			s.Y = append(s.Y, tputs[vi*len(mpls)+mi])
 		}
 		f.Series = append(f.Series, s)
 	}
@@ -65,11 +74,13 @@ func POWAblation(opts RunOpts) (*Figure, error) {
 	high := Series{Name: "HighPrio RT (s)"}
 	low := Series{Name: "LowPrio RT (s)"}
 	preempt := Series{Name: "preemptions"}
-	for i, v := range variants {
-		r, err := RunClosed(setup, 0, nil, v.dbo, opts)
-		if err != nil {
-			return nil, err
-		}
+	results, err := Sweep(len(variants), func(i int) (RunResult, error) {
+		return RunClosed(setup, 0, nil, variants[i].dbo, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		x := float64(i)
 		high.X = append(high.X, x)
 		high.Y = append(high.Y, r.Metrics.High.Mean())
@@ -77,7 +88,7 @@ func POWAblation(opts RunOpts) (*Figure, error) {
 		low.Y = append(low.Y, r.Metrics.Low.Mean())
 		preempt.X = append(preempt.X, x)
 		preempt.Y = append(preempt.Y, float64(r.DBStats.Lock.Preemptions))
-		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s", i, v.name))
+		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s", i, variants[i].name))
 	}
 	f.Series = []Series{high, low, preempt}
 	f.Notes = append(f.Notes, "expect: prio-queue helps high-priority lock waits; POW helps further when holders block elsewhere")
@@ -108,11 +119,13 @@ func PolicyComparison(setupID, mpl int, opts RunOpts) (*Figure, error) {
 		{"sjf", func() core.Policy { return core.NewSJF() }},
 		{"priority", func() core.Policy { return core.NewPriority() }},
 	}
-	for i, p := range policies {
-		r, err := RunClosed(setup, mpl, p.mk(), workload.DBOptions{}, opts)
-		if err != nil {
-			return nil, err
-		}
+	results, err := Sweep(len(policies), func(i int) (RunResult, error) {
+		return RunClosed(setup, mpl, policies[i].mk(), workload.DBOptions{}, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
 		x := float64(i)
 		mean.X = append(mean.X, x)
 		mean.Y = append(mean.Y, r.MeanRT())
@@ -120,7 +133,7 @@ func PolicyComparison(setupID, mpl int, opts RunOpts) (*Figure, error) {
 		high.Y = append(high.Y, r.Metrics.High.Mean())
 		tput.X = append(tput.X, x)
 		tput.Y = append(tput.Y, r.Throughput())
-		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s", i, p.name))
+		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s", i, policies[i].name))
 	}
 	f.Series = []Series{mean, high, tput}
 	f.Notes = append(f.Notes, "expect: SJF lowest overall mean RT; priority lowest high-class RT; throughput ~unchanged")
@@ -148,11 +161,15 @@ func AdmissionComparison(setupID, mpl, queueLimit int, utilization float64, opts
 	meanRT := Series{Name: "Mean RT (s)"}
 	completed := Series{Name: "completed/s"}
 	dropped := Series{Name: "dropped/s"}
-	for i, limit := range []int{0, queueLimit} {
-		r, err := runOpenWithLimit(setup, mpl, lambda, limit, opts)
-		if err != nil {
-			return nil, err
-		}
+	limits := []int{0, queueLimit}
+	results, err := Sweep(len(limits), func(i int) (openLimitResult, error) {
+		return runOpenWithLimit(setup, mpl, lambda, limits[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, limit := range limits {
+		r := results[i]
 		x := float64(i)
 		meanRT.X = append(meanRT.X, x)
 		meanRT.Y = append(meanRT.Y, r.meanRT)

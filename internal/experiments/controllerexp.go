@@ -107,11 +107,20 @@ func ControllerFigure(setupIDs []int, lossFrac float64, jumpStart bool, opts Run
 	finals := Series{Name: "final MPL"}
 	starts := Series{Name: "start MPL"}
 	allUnder10 := true
-	for _, id := range setupIDs {
-		r, err := RunController(id, lossFrac, jumpStart, opts)
+	// Each convergence trial owns its engine, frontend, and controller,
+	// so the setups fan out across the sweep pool.
+	results, err := Sweep(len(setupIDs), func(i int) (ControllerRun, error) {
+		r, err := RunController(setupIDs[i], lossFrac, jumpStart, opts)
 		if err != nil {
-			return nil, fmt.Errorf("setup %d: %w", id, err)
+			return ControllerRun{}, fmt.Errorf("setup %d: %w", setupIDs[i], err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range setupIDs {
+		r := results[i]
 		x := float64(id)
 		iters.X = append(iters.X, x)
 		iters.Y = append(iters.Y, float64(r.Iterations))

@@ -4,6 +4,26 @@
 // analytic models for Figs. 7 and 10), sweeps the MPL, and returns
 // named series shaped like the paper's plots. The cmd/benchrunner
 // binary and the repository-root benchmarks print them.
+//
+// # Parallel sweeps
+//
+// Every driver fans its independent simulation points out through
+// Sweep, a worker-pool parallel map that preserves input order:
+//
+//	tputs, err := experiments.Sweep(len(mpls), func(i int) (float64, error) {
+//		r, err := experiments.RunClosed(setup, mpls[i], nil, workload.DBOptions{}, opts)
+//		if err != nil {
+//			return 0, err
+//		}
+//		return r.Throughput(), nil
+//	})
+//
+// Each point builds a private sim.Engine, DBMS, and seed-derived RNG
+// streams, so points share no state and the merged results are
+// bit-identical to a sequential loop (see TestSweepDeterminism). The
+// pool size comes from DefaultWorkers (0 = GOMAXPROCS; 1 forces the
+// sequential path); SweepWorkers takes an explicit size. See
+// EXPERIMENTS.md for how to regenerate figures and benchmark flags.
 package experiments
 
 import (
@@ -228,23 +248,16 @@ func RunOpen(setup workload.Setup, mpl int, lambda float64, policy core.Policy, 
 	return res, nil
 }
 
-// ThroughputVsMPL sweeps the MPL for one setup and returns the
-// throughput curve (the building block of Figs. 2–5).
+// ThroughputVsMPL sweeps the MPL for one setup on the parallel Sweep
+// pool and returns the throughput curve (the building block of
+// Figs. 2–5). Each MPL point runs on its own engine with the same
+// seed, so the curve is bit-identical to a sequential sweep.
 func ThroughputVsMPL(setupID int, mpls []int, opts RunOpts) (Series, error) {
-	setup, err := workload.SetupByID(setupID)
+	series, err := throughputGrid([]int{setupID}, mpls, opts)
 	if err != nil {
 		return Series{}, err
 	}
-	s := Series{Name: setup.String()}
-	for _, m := range mpls {
-		r, err := RunClosed(setup, m, nil, workload.DBOptions{}, opts)
-		if err != nil {
-			return Series{}, fmt.Errorf("setup %d MPL %d: %w", setupID, m, err)
-		}
-		s.X = append(s.X, float64(m))
-		s.Y = append(s.Y, r.Throughput())
-	}
-	return s, nil
+	return series[0], nil
 }
 
 // defaultMPLs is the sweep grid used by the throughput figures.

@@ -14,14 +14,11 @@ import (
 // (b) W_CPU-browsing with 1 vs 2 CPUs (setups 3, 4).
 func Figure2(opts RunOpts) (*Figure, error) {
 	f := &Figure{ID: "fig2", Title: "Throughput vs MPL, CPU-bound workloads (setups 1-4)"}
-	mpls := defaultMPLs(30)
-	for _, id := range []int{1, 2, 3, 4} {
-		s, err := ThroughputVsMPL(id, mpls, opts)
-		if err != nil {
-			return nil, err
-		}
-		f.Series = append(f.Series, s)
+	series, err := throughputGrid([]int{1, 2, 3, 4}, defaultMPLs(30), opts)
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	f.Notes = append(f.Notes,
 		"expect: 1-CPU curves saturate by MPL~5; 2-CPU curves need ~7-10",
 		"expect: 2 CPUs roughly double the plateau throughput")
@@ -33,14 +30,11 @@ func Figure2(opts RunOpts) (*Figure, error) {
 // W_IO-browsing with 1 and 4 disks (setups 9, 10).
 func Figure3(opts RunOpts) (*Figure, error) {
 	f := &Figure{ID: "fig3", Title: "Throughput vs MPL, IO-bound workloads (setups 5-10)"}
-	mpls := defaultMPLs(30)
-	for _, id := range []int{5, 6, 7, 8, 9, 10} {
-		s, err := ThroughputVsMPL(id, mpls, opts)
-		if err != nil {
-			return nil, err
-		}
-		f.Series = append(f.Series, s)
+	series, err := throughputGrid([]int{5, 6, 7, 8, 9, 10}, defaultMPLs(30), opts)
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	f.Notes = append(f.Notes,
 		"expect: min MPL for near-max throughput grows ~linearly with the disk count (~2/5/7/10 for 1-4 disks)")
 	return f, nil
@@ -50,14 +44,11 @@ func Figure3(opts RunOpts) (*Figure, error) {
 // 1 CPU) and 12 (4 disks, 2 CPUs).
 func Figure4(opts RunOpts) (*Figure, error) {
 	f := &Figure{ID: "fig4", Title: "Throughput vs MPL, balanced CPU+IO workload (setups 11-12)"}
-	mpls := defaultMPLs(35)
-	for _, id := range []int{11, 12} {
-		s, err := ThroughputVsMPL(id, mpls, opts)
-		if err != nil {
-			return nil, err
-		}
-		f.Series = append(f.Series, s)
+	series, err := throughputGrid([]int{11, 12}, defaultMPLs(35), opts)
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	f.Notes = append(f.Notes,
 		"expect: 1disk/1cpu saturates by MPL~5; 4disks/2cpus needs ~20 (more utilized resources)")
 	return f, nil
@@ -68,14 +59,11 @@ func Figure4(opts RunOpts) (*Figure, error) {
 // (setups 15, 16).
 func Figure5(opts RunOpts) (*Figure, error) {
 	f := &Figure{ID: "fig5", Title: "Throughput vs MPL under heavy locking: RR vs UR (setups 1/17, 15/16)"}
-	mpls := defaultMPLs(40)
-	for _, id := range []int{1, 17, 15, 16} {
-		s, err := ThroughputVsMPL(id, mpls, opts)
-		if err != nil {
-			return nil, err
-		}
-		f.Series = append(f.Series, s)
+	series, err := throughputGrid([]int{1, 17, 15, 16}, defaultMPLs(40), opts)
+	if err != nil {
+		return nil, err
 	}
+	f.Series = series
 	f.Notes = append(f.Notes,
 		"expect: more locking (RR) lowers the MPL knee; past it, extra transactions only queue on locks",
 		"expect: UR reaches equal or higher plateau throughput")
@@ -95,22 +83,35 @@ func Figure7() (*Figure, error) {
 	var loci80, loci95 Series
 	loci80.Name = "minMPL@80%"
 	loci95.Name = "minMPL@95%"
-	for _, d := range disks {
+	type diskCurve struct {
+		s            Series
+		min80, min95 int
+	}
+	curves, err := Sweep(len(disks), func(i int) (diskCurve, error) {
+		d := disks[i]
 		nw, err := mva.Balanced(0, d, 0, ioDemand)
 		if err != nil {
-			return nil, err
+			return diskCurve{}, err
 		}
 		res := nw.Solve(maxMPL)
-		s := Series{Name: fmt.Sprintf("%ddisks", d)}
+		c := diskCurve{s: Series{Name: fmt.Sprintf("%ddisks", d)}}
 		for _, r := range res {
-			s.X = append(s.X, float64(r.Population))
-			s.Y = append(s.Y, r.Throughput)
+			c.s.X = append(c.s.X, float64(r.Population))
+			c.s.Y = append(c.s.Y, r.Throughput)
 		}
-		f.Series = append(f.Series, s)
-		loci80.X = append(loci80.X, float64(d))
-		loci80.Y = append(loci80.Y, float64(nw.MinMPLForFraction(0.80, 2000)))
-		loci95.X = append(loci95.X, float64(d))
-		loci95.Y = append(loci95.Y, float64(nw.MinMPLForFraction(0.95, 2000)))
+		c.min80 = nw.MinMPLForFraction(0.80, 2000)
+		c.min95 = nw.MinMPLForFraction(0.95, 2000)
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range curves {
+		f.Series = append(f.Series, c.s)
+		loci80.X = append(loci80.X, float64(disks[i]))
+		loci80.Y = append(loci80.Y, float64(c.min80))
+		loci95.X = append(loci95.X, float64(disks[i]))
+		loci95.Y = append(loci95.Y, float64(c.min95))
 	}
 	f.Series = append(f.Series, loci80, loci95)
 	s80, _, r80 := stats.LinearFit(loci80.X, loci80.Y)
@@ -129,21 +130,37 @@ func Figure10() (*Figure, error) {
 	f := &Figure{ID: "fig10", Title: "QBD model: mean response time (ms) vs MPL; loads 0.7 and 0.9"}
 	const meanSize = 0.1
 	mpls := []int{1, 2, 3, 5, 8, 10, 15, 20, 25, 30, 35}
-	for _, load := range []float64{0.7, 0.9} {
-		lambda := load / meanSize
-		for _, c2 := range []float64{2, 5, 10, 15} {
-			job := dist.FitH2(meanSize, c2)
-			s := Series{Name: fmt.Sprintf("load%.1f/C2=%g", load, c2)}
-			for _, m := range mpls {
-				sol, err := qbd.Solve(qbd.Model{Lambda: lambda, Job: job, MPL: m})
-				if err != nil {
-					return nil, fmt.Errorf("load %v C² %v MPL %d: %w", load, c2, m, err)
-				}
-				s.X = append(s.X, float64(m))
-				s.Y = append(s.Y, sol.MeanRT*1000)
-			}
-			f.Series = append(f.Series, s)
+	loads := []float64{0.7, 0.9}
+	c2s := []float64{2, 5, 10, 15}
+	// One sweep point per (load, C²) curve; the per-MPL QBD solves
+	// inside a curve share nothing with the other curves.
+	type curvePoint struct{ load, c2 float64 }
+	var points []curvePoint
+	for _, load := range loads {
+		for _, c2 := range c2s {
+			points = append(points, curvePoint{load: load, c2: c2})
 		}
+	}
+	curves, err := Sweep(len(points), func(i int) (Series, error) {
+		load, c2 := points[i].load, points[i].c2
+		lambda := load / meanSize
+		job := dist.FitH2(meanSize, c2)
+		s := Series{Name: fmt.Sprintf("load%.1f/C2=%g", load, c2)}
+		for _, m := range mpls {
+			sol, err := qbd.Solve(qbd.Model{Lambda: lambda, Job: job, MPL: m})
+			if err != nil {
+				return Series{}, fmt.Errorf("load %v C² %v MPL %d: %w", load, c2, m, err)
+			}
+			s.X = append(s.X, float64(m))
+			s.Y = append(s.Y, sol.MeanRT*1000)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, load := range loads {
+		f.Series = append(f.Series, curves[li*len(c2s):(li+1)*len(c2s)]...)
 		ps := Series{Name: fmt.Sprintf("load%.1f/PS", load)}
 		psRT := meanSize / (1 - load) * 1000
 		for _, m := range mpls {

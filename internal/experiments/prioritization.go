@@ -153,11 +153,20 @@ func Figure11(lossFrac float64, setupIDs []int, opts RunOpts) (*Figure, error) {
 	noPrio := Series{Name: "NoPrio RT (s)"}
 	mplS := Series{Name: "chosen MPL"}
 	var sumDiff, sumPen, sumOverall float64
-	for _, id := range setupIDs {
-		r, err := RunPrioritization(id, lossFrac, opts)
+	// One sweep point per setup: each point runs the full pipeline
+	// (baseline probe, MPL search, prioritized run) independently.
+	results, err := Sweep(len(setupIDs), func(i int) (PrioritizationResult, error) {
+		r, err := RunPrioritization(setupIDs[i], lossFrac, opts)
 		if err != nil {
-			return nil, fmt.Errorf("setup %d: %w", id, err)
+			return PrioritizationResult{}, fmt.Errorf("setup %d: %w", setupIDs[i], err)
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range setupIDs {
+		r := results[i]
 		x := float64(id)
 		high.X = append(high.X, x)
 		high.Y = append(high.Y, r.HighRT)
@@ -211,42 +220,48 @@ func CompareInternalExternal(setupID int, opts RunOpts) ([]InternalComparison, e
 	if err != nil {
 		return nil, err
 	}
-	var out []InternalComparison
-	internal, err := RunClosed(setup, 0, nil, internalOpts, opts)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, InternalComparison{
-		Variant: "internal",
-		HighRT:  internal.Metrics.High.Mean(),
-		LowRT:   internal.Metrics.Low.Mean(),
-		MeanRT:  internal.MeanRT(),
-	})
-	for _, v := range []struct {
+	externals := []struct {
 		name string
 		loss float64
 	}{
 		{"ext95", 0.05},
 		{"ext80", 0.20},
 		{"ext100", 0.005},
-	} {
+	}
+	// Variant 0 is the internal-prioritization run; 1..3 are the
+	// external runs at their loss-targeted MPLs (each embedding its own
+	// sequential MPL search). All four fan out in parallel.
+	out, err := Sweep(1+len(externals), func(i int) (InternalComparison, error) {
+		if i == 0 {
+			internal, err := RunClosed(setup, 0, nil, internalOpts, opts)
+			if err != nil {
+				return InternalComparison{}, err
+			}
+			return InternalComparison{
+				Variant: "internal",
+				HighRT:  internal.Metrics.High.Mean(),
+				LowRT:   internal.Metrics.Low.Mean(),
+				MeanRT:  internal.MeanRT(),
+			}, nil
+		}
+		v := externals[i-1]
 		mpl, err := FindMPLForLoss(setup, base.Throughput(), v.loss, 100, opts)
 		if err != nil {
-			return nil, err
+			return InternalComparison{}, err
 		}
 		r, err := RunClosed(setup, mpl, core.NewPriority(), workload.DBOptions{}, opts)
 		if err != nil {
-			return nil, err
+			return InternalComparison{}, err
 		}
-		out = append(out, InternalComparison{
+		return InternalComparison{
 			Variant: v.name,
 			HighRT:  r.Metrics.High.Mean(),
 			LowRT:   r.Metrics.Low.Mean(),
 			MeanRT:  r.MeanRT(),
 			MPL:     mpl,
-		})
-	}
-	return out, nil
+		}, nil
+	})
+	return out, err
 }
 
 // FigureInternal renders CompareInternalExternal as a Figure (Fig. 12

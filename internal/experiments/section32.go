@@ -34,17 +34,24 @@ func Section32RT(setupID int, utilization float64, mpls []int, opts RunOpts) (*F
 	}
 	s := Series{Name: "meanRT (s)"}
 	var noMPL float64
-	for _, m := range append(append([]int{}, mpls...), 0) {
-		r, err := RunOpen(setup, m, lambda, nil, workload.DBOptions{}, opts)
+	grid := append(append([]int{}, mpls...), 0) // trailing 0 = no-MPL reference
+	rts, err := Sweep(len(grid), func(i int) (float64, error) {
+		r, err := RunOpen(setup, grid[i], lambda, nil, workload.DBOptions{}, opts)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return r.MeanRT(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range grid {
 		if m == 0 {
-			noMPL = r.MeanRT()
+			noMPL = rts[i]
 			continue
 		}
 		s.X = append(s.X, float64(m))
-		s.Y = append(s.Y, r.MeanRT())
+		s.Y = append(s.Y, rts[i])
 	}
 	f.Series = append(f.Series, s)
 	// Find the paper's headline number: min MPL within 10% of no-MPL RT.
@@ -75,23 +82,30 @@ func C2Table(samples int, seed uint64) ([]C2Row, error) {
 	if samples <= 0 {
 		samples = 100000
 	}
-	var rows []C2Row
-	for _, spec := range workload.Table1() {
-		g, err := workload.NewGenerator(spec, seed)
-		if err != nil {
-			return nil, err
+	specs := workload.Table1()
+	// Rows 0..len(specs)-1 sample the Table 1 generators; the last two
+	// synthesize the production traces. Each row owns its generator and
+	// seed-derived RNG streams, so rows fan out on the sweep pool.
+	rows, err := Sweep(len(specs)+2, func(i int) (C2Row, error) {
+		switch {
+		case i < len(specs):
+			spec := specs[i]
+			g, err := workload.NewGenerator(spec, seed)
+			if err != nil {
+				return C2Row{}, err
+			}
+			var acc stats.Accumulator
+			for j := 0; j < samples; j++ {
+				acc.Add(g.Next().EstimatedDemand)
+			}
+			return C2Row{Source: spec.Name + " (" + spec.Benchmark + ")", C2: acc.C2()}, nil
+		case i == len(specs):
+			return C2Row{Source: "synthetic-retailer trace", C2: trace.SyntheticRetailer(samples, seed).DemandC2()}, nil
+		default:
+			return C2Row{Source: "synthetic-auction trace", C2: trace.SyntheticAuction(samples, seed).DemandC2()}, nil
 		}
-		var acc stats.Accumulator
-		for i := 0; i < samples; i++ {
-			acc.Add(g.Next().EstimatedDemand)
-		}
-		rows = append(rows, C2Row{Source: spec.Name + " (" + spec.Benchmark + ")", C2: acc.C2()})
-	}
-	rows = append(rows,
-		C2Row{Source: "synthetic-retailer trace", C2: trace.SyntheticRetailer(samples, seed).DemandC2()},
-		C2Row{Source: "synthetic-auction trace", C2: trace.SyntheticAuction(samples, seed).DemandC2()},
-	)
-	return rows, nil
+	})
+	return rows, err
 }
 
 // C2Figure renders C2Table as a Figure.

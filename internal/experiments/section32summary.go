@@ -49,7 +49,11 @@ func Section32Summary(tolerance float64, opts RunOpts) (*Figure, error) {
 // minMPLForRT measures the open system at each MPL (and without one)
 // and returns the smallest MPL within (1+tolerance) of the no-MPL mean
 // response time, plus that baseline RT. Returns the largest probed MPL
-// +1 when none qualifies.
+// +1 when none qualifies. With a parallel pool the probes (the no-MPL
+// reference plus every grid MPL) fan out at once; because each probe
+// is an independent deterministic run, scanning the merged results
+// yields the same answer as the sequential loop, which keeps its
+// early exit (DefaultWorkers == 1) to avoid probing past the answer.
 func minMPLForRT(setupID int, utilization, tolerance float64, mpls []int, opts RunOpts) (int, float64, error) {
 	setup, err := workload.SetupByID(setupID)
 	if err != nil {
@@ -60,19 +64,46 @@ func minMPLForRT(setupID int, utilization, tolerance float64, mpls []int, opts R
 		return 0, 0, err
 	}
 	lambda := utilization * base.Throughput()
-	noLimit, err := RunOpen(setup, 0, lambda, nil, workload.DBOptions{}, opts)
-	if err != nil {
-		return 0, 0, err
-	}
-	target := (1 + tolerance) * noLimit.MeanRT()
-	for _, m := range mpls {
+	probe := func(m int) (float64, error) {
 		r, err := RunOpen(setup, m, lambda, nil, workload.DBOptions{}, opts)
+		if err != nil {
+			return 0, err
+		}
+		return r.MeanRT(), nil
+	}
+	// rtAt fetches the RT for mpls[i]: lazily (sequential execution,
+	// preserving the early exit — probes past the answer cost real
+	// wall-clock and cannot change it) or from one up-front parallel
+	// sweep of the whole grid. The scan below is shared, so both modes
+	// apply the identical target and fallback.
+	var noLimitRT float64
+	var rtAt func(int) (float64, error)
+	if EffectiveWorkers() == 1 {
+		var err error
+		if noLimitRT, err = probe(0); err != nil {
+			return 0, 0, err
+		}
+		rtAt = func(i int) (float64, error) { return probe(mpls[i]) }
+	} else {
+		grid := append([]int{0}, mpls...) // index 0 = no-MPL reference
+		rts, err := Sweep(len(grid), func(i int) (float64, error) {
+			return probe(grid[i])
+		})
 		if err != nil {
 			return 0, 0, err
 		}
-		if r.MeanRT() <= target {
-			return m, noLimit.MeanRT(), nil
+		noLimitRT = rts[0]
+		rtAt = func(i int) (float64, error) { return rts[i+1], nil }
+	}
+	target := (1 + tolerance) * noLimitRT
+	for i, m := range mpls {
+		rt, err := rtAt(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		if rt <= target {
+			return m, noLimitRT, nil
 		}
 	}
-	return mpls[len(mpls)-1] + 1, noLimit.MeanRT(), nil
+	return mpls[len(mpls)-1] + 1, noLimitRT, nil
 }

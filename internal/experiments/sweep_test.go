@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		got, err := SweepWorkers(workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	got, err := Sweep(0, func(int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Sweep(0) = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestSweepErrorDeterministic(t *testing.T) {
+	// Two failing points: the lowest-indexed error must win no matter
+	// how the pool schedules them.
+	for _, workers := range []int{1, 8} {
+		_, err := SweepWorkers(workers, 50, func(i int) (int, error) {
+			if i == 7 || i == 31 {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "point 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want point 7's error", workers, err)
+		}
+	}
+}
+
+// TestSweepPanicPropagates pins the sequential loop's panic semantics
+// on the pool path: a model-bug panic inside a worker must surface as
+// a panic on the calling goroutine, not kill the process.
+func TestSweepPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "sweep point 3 panicked: boom") {
+			t.Errorf("propagated panic = %v, want point 3's boom", p)
+		}
+	}()
+	_, _ = SweepWorkers(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	t.Fatal("SweepWorkers returned instead of panicking")
+}
+
+// TestSweepErrorBeatsLaterPanic: outcomes are reported in index order,
+// so an error at a lower index wins over a panic at a higher one —
+// exactly what the sequential loop would have surfaced first.
+func TestSweepErrorBeatsLaterPanic(t *testing.T) {
+	_, err := SweepWorkers(4, 10, func(i int) (int, error) {
+		if i == 2 {
+			return 0, fmt.Errorf("point 2 failed")
+		}
+		if i == 9 {
+			panic("late panic")
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "point 2 failed" {
+		t.Fatalf("err = %v, want point 2's error", err)
+	}
+}
+
+func TestSweepErrorStopsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := SweepWorkers(2, 10, func(i int) (int, error) {
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestSweepDeterminismFigure2 is the headline determinism guarantee:
+// the parallel sweep's Figure 2 series must be bit-identical to the
+// sequential reference, because every sweep point owns its engine and
+// seed-derived RNG streams.
+func TestSweepDeterminismFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run figure regeneration")
+	}
+	opts := RunOpts{Warmup: 10, Measure: 60, Seed: 1}
+	defer func(w int) { DefaultWorkers = w }(DefaultWorkers)
+
+	DefaultWorkers = 1
+	seq, err := Figure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DefaultWorkers = 4 // real goroutine pool even on a 1-core machine
+	par, err := Figure2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFiguresIdentical(t, seq, par)
+}
+
+// TestSweepDeterminismPrioritization repeats the bit-identity check on
+// a prioritization experiment, whose per-point pipeline (baseline
+// probe, MPL search, prioritized run) is the most stateful driver.
+func TestSweepDeterminismPrioritization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run figure regeneration")
+	}
+	opts := RunOpts{Warmup: 10, Measure: 60, Seed: 1}
+	defer func(w int) { DefaultWorkers = w }(DefaultWorkers)
+
+	DefaultWorkers = 1
+	seq, err := Figure11(0.20, []int{1, 3, 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DefaultWorkers = 4 // real goroutine pool even on a 1-core machine
+	par, err := Figure11(0.20, []int{1, 3, 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFiguresIdentical(t, seq, par)
+}
+
+// assertFiguresIdentical requires exact float equality — the parallel
+// path must reproduce the sequential bits, not approximate them.
+func assertFiguresIdentical(t *testing.T, seq, par *Figure) {
+	t.Helper()
+	if len(seq.Series) != len(par.Series) {
+		t.Fatalf("series count: sequential %d, parallel %d", len(seq.Series), len(par.Series))
+	}
+	for i := range seq.Series {
+		s, p := seq.Series[i], par.Series[i]
+		if s.Name != p.Name {
+			t.Errorf("series %d name: %q vs %q", i, s.Name, p.Name)
+		}
+		if !reflect.DeepEqual(s.X, p.X) {
+			t.Errorf("series %q X diverges: %v vs %v", s.Name, s.X, p.X)
+		}
+		if !reflect.DeepEqual(s.Y, p.Y) {
+			t.Errorf("series %q Y diverges: %v vs %v", s.Name, s.Y, p.Y)
+		}
+	}
+	if !reflect.DeepEqual(seq.Notes, par.Notes) {
+		t.Errorf("notes diverge:\nsequential: %v\nparallel:   %v", seq.Notes, par.Notes)
+	}
+}

@@ -1,70 +1,86 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel is intentionally small: a monotonically advancing clock, a
-// binary-heap event queue with stable FIFO ordering among simultaneous
-// events, and cancellable event handles. All higher-level substrates
-// (CPU scheduler, disks, lock manager, workload generators) are built on
-// top of it. Simulated time is measured in seconds as float64.
+// concrete-typed 4-ary heap event queue with stable FIFO ordering among
+// simultaneous events, and cancellable, generation-checked event
+// handles. All higher-level substrates (CPU scheduler, disks, lock
+// manager, workload generators) are built on top of it. Simulated time
+// is measured in seconds as float64.
+//
+// The queue stores plain value slots ({time, seq, *event}) in a flat
+// slice — no interface{} boxing and no container/heap indirection — and
+// the event records behind them are recycled through a free list when
+// they fire or when a canceled event is discarded. In steady state the
+// kernel therefore schedules and fires events without allocating.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a scheduled callback. The callback runs when simulated time
-// reaches Time. Events scheduled for the same instant fire in the order
-// they were scheduled (stable by sequence number).
-type Event struct {
-	Time     float64
+// event is the pooled per-event record. The heap slots carry the
+// ordering keys; the record holds only what must live at a stable
+// address: the callback, the cancellation flag, and the generation
+// counter that invalidates stale handles after recycling.
+type event struct {
 	fn       func()
-	seq      uint64
-	index    int // heap index; -1 when not in the heap
+	gen      uint64
 	canceled bool
 }
 
-// Canceled reports whether the event was canceled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
+// Handle identifies one scheduled event. It is a value: copy it
+// freely. A Handle becomes stale once its event fires or its
+// cancellation is collected; Cancel and Pending on a stale handle are
+// safe no-ops, so holding a handle past its event's lifetime is fine.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
-type eventHeap []*Event
+// Pending reports whether the event is still scheduled and will fire
+// (not canceled, not yet fired).
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// Canceled reports whether the event was canceled and is still
+// awaiting lazy discard. Once the engine collects the cancellation
+// (or after the event fires) the handle is stale and Canceled reports
+// false.
+func (h Handle) Canceled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.canceled
+}
+
+// slot is one entry of the event queue: the ordering keys inline (so
+// heap comparisons stay within the slice) plus the pooled record.
+type slot struct {
+	time float64
+	seq  uint64
+	ev   *event
+}
+
+// before reports whether a fires before b: earlier time first, ties
+// broken FIFO by sequence number.
+func (a slot) before(b slot) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a single-threaded discrete-event simulation engine.
 // It is not safe for concurrent use; all model code runs inside event
-// callbacks on the engine's goroutine.
+// callbacks on the engine's goroutine. Independent engines are fully
+// isolated, so many runs may execute on separate goroutines at once
+// (see experiments.Sweep).
 type Engine struct {
 	now     float64
-	queue   eventHeap
+	queue   []slot // implicit 4-ary min-heap
+	free    []*event
 	seq     uint64
 	stopped bool
-	// Processed counts events that have fired (excluding canceled ones).
+	// processed counts events that have fired (excluding canceled ones).
 	processed uint64
 }
 
@@ -86,31 +102,42 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past (t < Now) panics: it always indicates a model bug, and silently
 // clamping would hide it.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
-	ev := &Event{Time: t, fn: fn, seq: e.seq}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.fn = fn
+	ev.canceled = false
+	h := Handle{ev: ev, gen: ev.gen}
+	e.push(slot{time: t, seq: e.seq, ev: ev})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return h
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
-func (e *Engine) After(d float64, fn func()) *Event {
+func (e *Engine) After(d float64, fn func()) Handle {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel marks ev as canceled. A canceled event is skipped when popped.
-// Canceling an already-fired or already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil {
-		return
+// Cancel marks the event as canceled. A canceled event is skipped and
+// recycled when it reaches the head of the queue. Canceling a stale
+// handle (already fired, already collected) or the zero Handle is a
+// no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.canceled = true
 	}
-	ev.canceled = true
 }
 
 // Stop halts the run loop after the current event callback returns.
@@ -119,17 +146,32 @@ func (e *Engine) Stop() { e.stopped = true }
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
 
+// recycle invalidates outstanding handles and returns the record to
+// the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // Step fires the next non-canceled event. It returns false when the
 // queue is empty or the engine is stopped.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
+		top := e.queue[0]
+		e.pop()
+		if top.ev.canceled {
+			e.recycle(top.ev)
 			continue
 		}
-		e.now = ev.Time
+		fn := top.ev.fn
+		// Recycle before firing: the callback may schedule new events,
+		// and the generation bump keeps any handle to this event stale.
+		e.recycle(top.ev)
+		e.now = top.time
 		e.processed++
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -137,18 +179,23 @@ func (e *Engine) Step() bool {
 
 // Run fires events until the queue drains, Stop is called, or the clock
 // passes until (exclusive). Pass math.Inf(1) for no time bound. It
-// returns the number of events fired during this call.
+// returns the number of events fired during this call. The clock never
+// moves backward: calling Run with until < Now fires nothing and
+// leaves the clock alone.
 func (e *Engine) Run(until float64) uint64 {
 	var fired uint64
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.peek()
-		if next == nil {
+	for !e.stopped {
+		next, ok := e.peek()
+		if !ok {
 			break
 		}
-		if next.Time > until {
+		if next.time > until {
 			// Leave the event queued; advance the clock to the bound so
-			// repeated Run calls observe monotonic time.
-			e.now = until
+			// repeated Run calls observe monotonic time — but never pull
+			// the clock backward when until is already in the past.
+			if until > e.now {
+				e.now = until
+			}
 			break
 		}
 		if e.Step() {
@@ -163,15 +210,63 @@ func (e *Engine) RunAll() uint64 {
 	return e.Run(math.Inf(1))
 }
 
-// peek returns the next non-canceled event without removing it, lazily
+// peek returns the next non-canceled slot without removing it, lazily
 // discarding canceled events at the top of the heap.
-func (e *Engine) peek() *Event {
+func (e *Engine) peek() (slot, bool) {
 	for len(e.queue) > 0 {
 		top := e.queue[0]
-		if !top.canceled {
-			return top
+		if !top.ev.canceled {
+			return top, true
 		}
-		heap.Pop(&e.queue)
+		e.pop()
+		e.recycle(top.ev)
 	}
-	return nil
+	return slot{}, false
+}
+
+// push inserts s into the 4-ary heap.
+func (e *Engine) push(s slot) {
+	e.queue = append(e.queue, s)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.queue[i].before(e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// pop removes the heap head.
+func (e *Engine) pop() {
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = slot{}
+	e.queue = e.queue[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.queue[c].before(e.queue[best]) {
+				best = c
+			}
+		}
+		if !e.queue[best].before(e.queue[i]) {
+			break
+		}
+		e.queue[i], e.queue[best] = e.queue[best], e.queue[i]
+		i = best
+	}
 }

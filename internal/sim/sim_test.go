@@ -42,19 +42,94 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.At(1.0, func() { fired = true })
+	if !ev.Pending() {
+		t.Error("Pending() = false before Cancel")
+	}
 	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	if ev.Pending() {
+		t.Error("Pending() = true after Cancel")
+	}
 	e.RunAll()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Error("Canceled() = false after Cancel")
+}
+
+func TestEngineCancelZeroHandleNoop(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(Handle{}) // must not panic
+	if (Handle{}).Pending() || (Handle{}).Canceled() {
+		t.Error("zero handle reports live state")
 	}
 }
 
-func TestEngineCancelNilNoop(t *testing.T) {
+// TestEngineStaleHandleCancel pins the pool-safety contract: after an
+// event fires, its record is recycled for new events, and canceling
+// the stale handle must not touch the new occupant.
+func TestEngineStaleHandleCancel(t *testing.T) {
 	e := NewEngine()
-	e.Cancel(nil) // must not panic
+	first := e.At(1.0, func() {})
+	e.RunAll()
+	if first.Pending() || first.Canceled() {
+		t.Error("fired handle still reports live state")
+	}
+	secondFired := false
+	second := e.At(2.0, func() { secondFired = true })
+	e.Cancel(first) // stale: must be a no-op even though the record was recycled
+	if !second.Pending() {
+		t.Error("stale Cancel invalidated a recycled event")
+	}
+	e.RunAll()
+	if !secondFired {
+		t.Error("recycled event did not fire after stale Cancel")
+	}
+}
+
+// TestEngineRunClockNeverRegresses pins the Run guard: calling Run
+// with a bound in the past fires nothing and leaves the clock alone.
+func TestEngineRunClockNeverRegresses(t *testing.T) {
+	e := NewEngine()
+	e.At(10.0, func() {})
+	e.RunAll()
+	if e.Now() != 10.0 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+	e.At(20.0, func() {})
+	if n := e.Run(5.0); n != 0 {
+		t.Errorf("Run(5) fired %d events, want 0", n)
+	}
+	if e.Now() != 10.0 {
+		t.Errorf("Now() = %v after Run(5), want 10 (clock must not move backward)", e.Now())
+	}
+	if n := e.RunAll(); n != 1 {
+		t.Errorf("RunAll fired %d events, want 1", n)
+	}
+}
+
+// TestEngineEventReuse exercises the free list across many
+// schedule/fire and schedule/cancel cycles, checking ordering and
+// counts survive recycling.
+func TestEngineEventReuse(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	for round := 0; round < 1000; round++ {
+		keep := e.After(1, func() { fired++ })
+		drop := e.After(0.5, func() { t.Error("canceled event fired") })
+		e.Cancel(drop)
+		if !keep.Pending() {
+			t.Fatal("live handle lost pending state")
+		}
+		e.RunAll()
+	}
+	if fired != 1000 {
+		t.Errorf("fired = %d, want 1000", fired)
+	}
+	if e.Processed() != 1000 {
+		t.Errorf("Processed() = %d, want 1000", e.Processed())
+	}
 }
 
 func TestEngineNestedScheduling(t *testing.T) {
