@@ -16,14 +16,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"extsched/internal/experiments"
@@ -50,7 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.DefaultWorkers = *workers
-	opts := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Seed: *seed}
+	// First SIGINT/SIGTERM cancels the sweep context: running points
+	// finish, queued points are skipped, and the run exits cleanly. A
+	// second signal kills the process (signal.NotifyContext restores
+	// default handling once the context is done).
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+	opts := experiments.RunOpts{Warmup: *warmup, Measure: *measure, Seed: *seed, Ctx: ctx}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -71,6 +81,10 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := run(id, *loss, *util, *setup, opts)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: interrupted, exiting\n", id)
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
 			os.Exit(1)

@@ -11,29 +11,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"extsched"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, executes one simulation, and writes the report to
+// out; split from main so tests can drive the tool in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		setupID  = flag.Int("setup", 0, "Table 2 setup id (1-17)")
-		wl       = flag.String("workload", "", "Table 1 workload name (with -cpus/-disks/-iso)")
-		cpus     = flag.Int("cpus", 1, "CPUs (with -workload)")
-		disks    = flag.Int("disks", 1, "data disks (with -workload)")
-		iso      = flag.String("iso", "RR", "isolation level: RR or UR")
-		mpl      = flag.Int("mpl", 0, "multiprogramming limit (0 = unlimited)")
-		policy   = flag.String("policy", "fifo", "external queue policy: fifo, priority, sjf")
-		clients  = flag.Int("clients", 100, "closed-system client population")
-		lambda   = flag.Float64("lambda", 0, "open-system arrival rate (0 = closed system)")
-		warmup   = flag.Float64("warmup", 50, "warmup simulated seconds")
-		measure  = flag.Float64("measure", 300, "measured simulated seconds")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		lockPrio = flag.Bool("internal-lock-prio", false, "internal lock prioritization (POW)")
-		cpuPrio  = flag.Bool("internal-cpu-prio", false, "internal CPU prioritization (renice)")
+		setupID  = fs.Int("setup", 0, "Table 2 setup id (1-17)")
+		wl       = fs.String("workload", "", "Table 1 workload name (with -cpus/-disks/-iso)")
+		cpus     = fs.Int("cpus", 1, "CPUs (with -workload)")
+		disks    = fs.Int("disks", 1, "data disks (with -workload)")
+		iso      = fs.String("iso", "RR", "isolation level: RR, UR or SI")
+		mpl      = fs.Int("mpl", 0, "multiprogramming limit (0 = unlimited)")
+		policy   = fs.String("policy", "fifo", "external queue policy: fifo, priority, sjf, wfq")
+		clients  = fs.Int("clients", 100, "closed-system client population")
+		lambda   = fs.Float64("lambda", 0, "open-system arrival rate (0 = closed system)")
+		warmup   = fs.Float64("warmup", 50, "warmup simulated seconds")
+		measure  = fs.Float64("measure", 300, "measured simulated seconds")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		lockPrio = fs.Bool("internal-lock-prio", false, "internal lock prioritization (POW)")
+		cpuPrio  = fs.Bool("internal-cpu-prio", false, "internal CPU prioritization (renice)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
 
 	sys, err := extsched.NewSystem(extsched.Config{
 		SetupID:              *setupID,
@@ -48,9 +65,9 @@ func main() {
 		Seed:                 *seed,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(sys.Setup())
+	fmt.Fprintln(out, sys.Setup())
 	var rep extsched.Report
 	if *lambda > 0 {
 		rep, err = sys.RunOpen(*lambda, *warmup, *measure)
@@ -58,22 +75,18 @@ func main() {
 		rep, err = sys.RunClosed(*clients, *warmup, *measure)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("mpl:              %d\n", sys.MPL())
-	fmt.Printf("completed:        %d txns in %.0f sim-seconds\n", rep.Completed, rep.SimSeconds)
-	fmt.Printf("throughput:       %.2f txn/s\n", rep.Throughput)
-	fmt.Printf("mean RT:          %.4f s (inside %.4f s, external wait %.4f s)\n",
+	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
+	fmt.Fprintf(out, "completed:        %d txns in %.0f sim-seconds\n", rep.Completed, rep.SimSeconds)
+	fmt.Fprintf(out, "throughput:       %.2f txn/s\n", rep.Throughput)
+	fmt.Fprintf(out, "mean RT:          %.4f s (inside %.4f s, external wait %.4f s)\n",
 		rep.MeanRT, rep.MeanInside, rep.ExternalW)
-	fmt.Printf("high-prio RT:     %.4f s\n", rep.HighRT)
-	fmt.Printf("low-prio RT:      %.4f s\n", rep.LowRT)
-	fmt.Printf("cpu util:         %.3f\n", rep.CPUUtil)
-	fmt.Printf("disk util:        %.3f\n", rep.DiskUtil)
-	fmt.Printf("lock waits:       %d (deadlocks %d, preemptions %d, restarts %d)\n",
+	fmt.Fprintf(out, "high-prio RT:     %.4f s\n", rep.HighRT)
+	fmt.Fprintf(out, "low-prio RT:      %.4f s\n", rep.LowRT)
+	fmt.Fprintf(out, "cpu util:         %.3f\n", rep.CPUUtil)
+	fmt.Fprintf(out, "disk util:        %.3f\n", rep.DiskUtil)
+	fmt.Fprintf(out, "lock waits:       %d (deadlocks %d, preemptions %d, restarts %d)\n",
 		rep.LockWaits, rep.Deadlocks, rep.Preemptions, rep.Restarts)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dbsim:", err)
-	os.Exit(1)
+	return nil
 }

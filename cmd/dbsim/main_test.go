@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTinyClosed drives one small closed-system simulation end to
+// end through the CLI surface.
+func TestRunTinyClosed(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-setup", "1", "-mpl", "5", "-clients", "20", "-warmup", "2", "-measure", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mpl:", "throughput:", "mean RT:", "cpu util:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "mpl:              5") {
+		t.Errorf("MPL not echoed:\n%s", s)
+	}
+}
+
+func TestRunTinyOpen(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-setup", "1", "-mpl", "10", "-lambda", "30", "-warmup", "2", "-measure", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "throughput:") {
+		t.Errorf("open-system output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cases := [][]string{
+		{},                                // neither setup nor workload
+		{"-setup", "99"},                  // unknown setup
+		{"-setup", "1", "-policy", "zzz"}, // unknown policy
+		{"-workload", "W_CPU-inventory", "-iso", "XX"}, // unknown isolation
+		{"-no-such-flag"}, // flag parse error
+	}
+	for i, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): invalid invocation accepted", i, args)
+		}
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "Usage") {
+		t.Errorf("-h did not print usage:\n%s", out.String())
+	}
+}

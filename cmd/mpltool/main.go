@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"extsched"
@@ -25,36 +26,52 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpltool:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the recommendation to out; split from
+// main so tests can drive the tool in-process.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mpltool", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		setupID   = flag.Int("setup", 0, "Table 2 setup id (1-17); overrides demands/hardware flags")
-		cpus      = flag.Int("cpus", 1, "number of CPUs")
-		disks     = flag.Int("disks", 1, "number of data disks")
-		cpuDemand = flag.Float64("cpu-demand", 0, "per-transaction CPU demand (seconds)")
-		ioDemand  = flag.Float64("io-demand", 0, "per-transaction disk demand (seconds)")
-		maxLoss   = flag.Float64("max-loss", 0.05, "acceptable fractional throughput loss")
-		lambda    = flag.Float64("lambda", 0, "open-system arrival rate for the RT criterion (0 = skip)")
-		meanDem   = flag.Float64("mean-demand", 0, "mean total service demand for the RT criterion")
-		c2        = flag.Float64("c2", 0, "squared coefficient of variation of demand")
-		maxRTInc  = flag.Float64("max-rt-increase", 0.1, "acceptable fractional RT increase over PS")
-		list      = flag.Bool("list", false, "list the Table 2 setups and exit")
+		setupID   = fs.Int("setup", 0, "Table 2 setup id (1-17); overrides demands/hardware flags")
+		cpus      = fs.Int("cpus", 1, "number of CPUs")
+		disks     = fs.Int("disks", 1, "number of data disks")
+		cpuDemand = fs.Float64("cpu-demand", 0, "per-transaction CPU demand (seconds)")
+		ioDemand  = fs.Float64("io-demand", 0, "per-transaction disk demand (seconds)")
+		maxLoss   = fs.Float64("max-loss", 0.05, "acceptable fractional throughput loss")
+		lambda    = fs.Float64("lambda", 0, "open-system arrival rate for the RT criterion (0 = skip)")
+		meanDem   = fs.Float64("mean-demand", 0, "mean total service demand for the RT criterion")
+		c2        = fs.Float64("c2", 0, "squared coefficient of variation of demand")
+		maxRTInc  = fs.Float64("max-rt-increase", 0.1, "acceptable fractional RT increase over PS")
+		list      = fs.Bool("list", false, "list the Table 2 setups and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil // usage already printed; -h is not a failure
+		}
+		return err
+	}
 
 	if *list {
 		for _, s := range extsched.Setups() {
-			fmt.Println(s)
+			fmt.Fprintln(out, s)
 		}
-		return
+		return nil
 	}
 	if *setupID != 0 {
 		s, err := workload.SetupByID(*setupID)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		*cpus, *disks = s.CPUs, s.Disks
 		*cpuDemand, *ioDemand = s.Demands()
-		fmt.Printf("%s\n", s)
-		fmt.Printf("demand estimates: cpu=%.4fs io=%.4fs per transaction (disk CV²=%.2f)\n",
+		fmt.Fprintf(out, "%s\n", s)
+		fmt.Fprintf(out, "demand estimates: cpu=%.4fs io=%.4fs per transaction (disk CV²=%.2f)\n",
 			*cpuDemand, *ioDemand, s.Workload.DiskService.C2())
 		// The setup knows its disks' service variability; use the
 		// CV²-aware model, as the controller's jump-start does.
@@ -69,28 +86,24 @@ func main() {
 			RTTolerance:        *maxRTInc,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("recommended MPL (CV²-aware jump-start model): %d\n", start)
-		return
+		fmt.Fprintf(out, "recommended MPL (CV²-aware jump-start model): %d\n", start)
+		return nil
 	}
 	if *cpuDemand == 0 && *ioDemand == 0 {
-		fatal(fmt.Errorf("need -cpu-demand and/or -io-demand (or -setup)"))
+		return fmt.Errorf("need -cpu-demand and/or -io-demand (or -setup)")
 	}
 	rec, err := extsched.RecommendMPL(*cpus, *disks, *cpuDemand, *ioDemand, *maxLoss,
 		*lambda, *meanDem, *c2, *maxRTInc)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("throughput criterion (MVA, <=%.0f%% loss): MPL >= %d\n", *maxLoss*100, rec.ThroughputMPL)
+	fmt.Fprintf(out, "throughput criterion (MVA, <=%.0f%% loss): MPL >= %d\n", *maxLoss*100, rec.ThroughputMPL)
 	if rec.ResponseTimeMPL > 0 {
-		fmt.Printf("response-time criterion (QBD, C²=%.1f, rho=%.2f): MPL >= %d\n",
+		fmt.Fprintf(out, "response-time criterion (QBD, C²=%.1f, rho=%.2f): MPL >= %d\n",
 			*c2, *lambda**meanDem, rec.ResponseTimeMPL)
 	}
-	fmt.Printf("recommended MPL: %d\n", rec.MPL)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mpltool:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "recommended MPL: %d\n", rec.MPL)
+	return nil
 }

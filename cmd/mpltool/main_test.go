@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out.String(), "\n"); n != 17 {
+		t.Errorf("listed %d setups, want 17", n)
+	}
+}
+
+func TestRunExplicitDemands(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-cpus", "1", "-disks", "4", "-cpu-demand", "0.001", "-io-demand", "0.2", "-max-loss", "0.05"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recommended MPL:") {
+		t.Errorf("missing recommendation in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "throughput criterion") {
+		t.Errorf("missing MVA criterion line:\n%s", out.String())
+	}
+}
+
+func TestRunSetupMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-setup", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recommended MPL (CV²-aware jump-start model):") {
+		t.Errorf("missing jump-start recommendation:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMissingDemands(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no-demand invocation accepted")
+	}
+}
+
+func TestRunRejectsBadSetup(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-setup", "99"}, &out); err == nil {
+		t.Error("unknown setup accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "Usage") {
+		t.Errorf("-h did not print usage:\n%s", out.String())
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/sim"
@@ -41,7 +41,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fe := core.New(eng, db, mpl, nil)
+		fe := dbfe.New(eng, db, mpl, nil)
 		fe.EnablePercentiles(20000, 1)
 		d, err := workload.NewTraceDriver(eng, fe, tr)
 		if err != nil {

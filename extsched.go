@@ -32,6 +32,7 @@ import (
 
 	"extsched/internal/controller"
 	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/lockmgr"
@@ -89,13 +90,53 @@ type Config struct {
 	Seed uint64
 }
 
+// Validate checks the config's standalone fields up front, before any
+// simulation state is built: limits must be non-negative, names must
+// be known. NewSystem calls it; call it directly to vet user-supplied
+// configs (CLI flags, API payloads) cheaply.
+func (c Config) Validate() error {
+	if c.SetupID == 0 && c.Workload == "" {
+		return fmt.Errorf("extsched: either SetupID or Workload is required")
+	}
+	if c.MPL < 0 {
+		return fmt.Errorf("extsched: MPL %d must be >= 0", c.MPL)
+	}
+	if c.CPUs < 0 || c.Disks < 0 {
+		return fmt.Errorf("extsched: CPUs %d and Disks %d must be >= 0", c.CPUs, c.Disks)
+	}
+	switch c.Policy {
+	case "", PolicyFIFO, PolicyPriority, PolicySJF, PolicyWFQ:
+	default:
+		return fmt.Errorf("extsched: unknown policy %q (want %s, %s, %s or %s)",
+			c.Policy, PolicyFIFO, PolicyPriority, PolicySJF, PolicyWFQ)
+	}
+	switch c.Isolation {
+	case "", "RR", "UR", "SI":
+	default:
+		return fmt.Errorf("extsched: unknown isolation %q (want RR, UR or SI)", c.Isolation)
+	}
+	if c.HighPriorityFraction < 0 || c.HighPriorityFraction > 1 {
+		return fmt.Errorf("extsched: HighPriorityFraction %v outside [0,1]", c.HighPriorityFraction)
+	}
+	if c.WFQHighWeight < 0 {
+		return fmt.Errorf("extsched: WFQHighWeight %v must be >= 0 (0 = default)", c.WFQHighWeight)
+	}
+	if c.QueueLimit < 0 {
+		return fmt.Errorf("extsched: QueueLimit %d must be >= 0", c.QueueLimit)
+	}
+	if c.PercentileSamples < 0 {
+		return fmt.Errorf("extsched: PercentileSamples %d must be >= 0", c.PercentileSamples)
+	}
+	return nil
+}
+
 // System is an assembled simulated DBMS with its external scheduler.
 type System struct {
 	cfg    Config
 	setup  workload.Setup
 	eng    *sim.Engine
 	db     *dbms.DB
-	fe     *core.Frontend
+	fe     *dbfe.Frontend
 	gen    *workload.Generator
 	closed *workload.ClosedDriver
 	open   *workload.OpenDriver
@@ -135,6 +176,9 @@ func resolveSetup(cfg Config) (workload.Setup, error) {
 
 // NewSystem builds a System from cfg.
 func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	setup, err := resolveSetup(cfg)
 	if err != nil {
 		return nil, err
@@ -142,22 +186,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	var policy core.Policy
-	switch cfg.Policy {
-	case "", PolicyFIFO:
-		policy = core.NewFIFO()
-	case PolicyPriority:
-		policy = core.NewPriority()
-	case PolicySJF:
-		policy = core.NewSJF()
-	case PolicyWFQ:
-		w := cfg.WFQHighWeight
-		if w <= 0 {
-			w = 4
-		}
-		policy = core.NewWFQ(map[lockmgr.Class]float64{lockmgr.High: w, lockmgr.Low: 1})
-	default:
-		return nil, fmt.Errorf("extsched: unknown policy %q", cfg.Policy)
+	w := cfg.WFQHighWeight
+	if w <= 0 {
+		w = 4
+	}
+	policy, err := core.NewPolicy(cfg.Policy, map[core.Class]float64{core.ClassHigh: w, core.ClassLow: 1})
+	if err != nil {
+		return nil, err
 	}
 	eng := sim.NewEngine()
 	db, err := dbms.New(eng, setup.BuildConfig(workload.DBOptions{
@@ -169,7 +204,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	fe := core.New(eng, db, cfg.MPL, policy)
+	fe := dbfe.New(eng, db, cfg.MPL, policy)
 	if cfg.QueueLimit > 0 {
 		fe.SetQueueLimit(cfg.QueueLimit)
 	}
@@ -313,12 +348,20 @@ func (s *System) AutoTune(clients int, maxLoss, referenceTput, horizon float64) 
 	s.closed = workload.NewClosedDriver(s.eng, s.fe, s.gen, clients, nil)
 	s.closed.Start()
 	s.eng.Run(horizon / 20) // warmup
-	ctl, err := controller.New(s.eng, s.fe, controller.Config{
+	ctl, err := controller.New(s.eng.Clock(), s.fe, controller.Config{
 		Targets:   controller.Targets{MaxThroughputLoss: maxLoss},
 		Reference: controller.Reference{MaxThroughput: referenceTput},
 	})
 	if err != nil {
 		return TuneResult{}, err
+	}
+	// Feed the controller the frontend's completion stream.
+	prev := s.fe.OnComplete
+	s.fe.OnComplete = func(t *dbfe.Txn) {
+		if prev != nil {
+			prev(t)
+		}
+		ctl.Observe()
 	}
 	for s.eng.Now() < horizon && !ctl.Converged() {
 		if s.eng.Run(s.eng.Now()+horizon/40) == 0 {

@@ -1,6 +1,7 @@
 package extsched
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -27,12 +28,52 @@ func TestNewSystemFromWorkloadName(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"empty", Config{}, "either SetupID or Workload"},
+		{"negative MPL", Config{SetupID: 1, MPL: -1}, "MPL -1"},
+		{"negative CPUs", Config{Workload: "W_CPU-inventory", CPUs: -2}, "CPUs -2"},
+		{"negative disks", Config{Workload: "W_CPU-inventory", Disks: -1}, "Disks -1"},
+		{"unknown policy", Config{SetupID: 1, Policy: "zzz"}, `policy "zzz"`},
+		{"unknown isolation", Config{Workload: "W_CPU-inventory", Isolation: "XX"}, `isolation "XX"`},
+		{"high fraction above 1", Config{SetupID: 1, HighPriorityFraction: 1.5}, "HighPriorityFraction"},
+		{"negative WFQ weight", Config{SetupID: 1, Policy: PolicyWFQ, WFQHighWeight: -3}, "WFQHighWeight"},
+		{"negative queue limit", Config{SetupID: 1, QueueLimit: -1}, "QueueLimit"},
+		{"negative percentile samples", Config{SetupID: 1, PercentileSamples: -5}, "PercentileSamples"},
+		{"valid minimal", Config{SetupID: 1}, ""},
+		{"valid full", Config{
+			Workload: "W_CPU-inventory", CPUs: 2, Disks: 1, Isolation: "SI",
+			MPL: 8, Policy: PolicyWFQ, WFQHighWeight: 3,
+			HighPriorityFraction: 0.2, QueueLimit: 50, PercentileSamples: 1000,
+		}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: invalid config accepted: %+v", tc.name, tc.cfg)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
 func TestNewSystemValidation(t *testing.T) {
 	cases := []Config{
 		{},                          // nothing specified
 		{Workload: "nope"},          // unknown workload
 		{SetupID: 99},               // unknown setup
 		{SetupID: 1, Policy: "zzz"}, // unknown policy
+		{SetupID: 1, MPL: -2},       // negative MPL (error, not panic)
 		{Workload: "W_CPU-inventory", Isolation: "XX"},
 	}
 	for i, cfg := range cases {

@@ -1,0 +1,106 @@
+package gate
+
+import (
+	"fmt"
+
+	"extsched/internal/controller"
+)
+
+// TuneConfig parameterizes the feedback controller (the paper's
+// Section 4.3 loop) for a live gate.
+type TuneConfig struct {
+	// MaxThroughputLoss is the acceptable fractional throughput loss
+	// versus the reference (e.g. 0.05 = keep 95%). Required, in [0,1).
+	MaxThroughputLoss float64
+	// ReferenceThroughput is the no-limit optimum in completions per
+	// second — measure it by running the gate unlimited (Limit 0) under
+	// representative load and reading Stats().Throughput, or supply a
+	// capacity-model estimate. Required.
+	ReferenceThroughput float64
+	// MaxRTIncrease and ReferenceRT enable the optional response-time
+	// criterion: mean response must stay within (1+MaxRTIncrease) ×
+	// ReferenceRT. Zero values disable it.
+	MaxRTIncrease float64
+	ReferenceRT   float64
+	// MinObservations gates window close; default 100 completions (the
+	// paper's choice). Lower it for quick-converging demos and tests.
+	MinObservations int
+	// MaxWindow caps a window's completions; default 50×MinObservations.
+	MaxWindow int
+	// MinLimit / MaxLimit clamp the search range; defaults 1 and 200.
+	MinLimit, MaxLimit int
+	// HoldWindows is the number of consecutive no-change reactions
+	// after which the controller declares convergence; default 2.
+	HoldWindows int
+}
+
+// TuneStatus reports the controller's progress.
+type TuneStatus struct {
+	// Enabled is false until EnableAutoTune succeeds.
+	Enabled bool
+	// Converged reports whether the loop has settled at the lowest
+	// feasible limit; Iterations counts completed reactions.
+	Converged  bool
+	Iterations int
+	// Limit is the current (possibly still-moving) MPL.
+	Limit int
+}
+
+// tuner pairs the controller with its wiring state.
+type tuner struct {
+	ctl *controller.Controller
+}
+
+// EnableAutoTune attaches the feedback controller to the gate's
+// completion stream: from now on every Release feeds an observation
+// window, and each closed window nudges the limit — up when the
+// throughput (or response-time) target is violated, down when both
+// are met with margin — converging on the lowest feasible limit. The
+// gate's limit must be >= 1 (the controller needs a finite starting
+// point; use JumpStart-style estimates or a modest guess — the
+// adaptive step recovers from misjudged starts). Enabling twice
+// replaces the previous controller and restarts the metrics window.
+func (g *Gate) EnableAutoTune(tc TuneConfig) error {
+	if g.fe.MPL() < 1 {
+		return fmt.Errorf("gate: auto-tune needs a finite starting limit (have %d); set Config.Limit or SetLimit first", g.fe.MPL())
+	}
+	ctl, err := controller.New(g.clock, g.fe, controller.Config{
+		Targets: controller.Targets{
+			MaxThroughputLoss: tc.MaxThroughputLoss,
+			MaxRTIncrease:     tc.MaxRTIncrease,
+		},
+		Reference: controller.Reference{
+			MaxThroughput: tc.ReferenceThroughput,
+			OptimalRT:     tc.ReferenceRT,
+		},
+		MinObservations: tc.MinObservations,
+		MaxWindow:       tc.MaxWindow,
+		MinMPL:          tc.MinLimit,
+		MaxMPL:          tc.MaxLimit,
+		HoldWindows:     tc.HoldWindows,
+	})
+	if err != nil {
+		return err
+	}
+	g.ctl.Store(&tuner{ctl: ctl})
+	return nil
+}
+
+// DisableAutoTune detaches the controller; the limit stays where the
+// loop left it.
+func (g *Gate) DisableAutoTune() { g.ctl.Store(nil) }
+
+// TuneStatus reports the controller's progress (zero value when
+// auto-tuning was never enabled).
+func (g *Gate) TuneStatus() TuneStatus {
+	t := g.ctl.Load()
+	if t == nil {
+		return TuneStatus{Limit: g.fe.MPL()}
+	}
+	return TuneStatus{
+		Enabled:    true,
+		Converged:  t.ctl.Converged(),
+		Iterations: t.ctl.Iterations(),
+		Limit:      g.fe.MPL(),
+	}
+}

@@ -1,0 +1,311 @@
+// Package gate is the external scheduling frontend for live traffic:
+// an MPL (multiprogramming-level) gate in front of any shared resource
+// — a database connection, a downstream RPC, a CPU-heavy handler —
+// that admits at most Limit concurrent units of work and queues the
+// rest in a reorderable external queue (FIFO, priority, shortest-job-
+// first, or weighted fair queueing).
+//
+// It is the wall-clock twin of the discrete-event simulation this
+// repository uses to reproduce Schroeder et al., "How to determine a
+// good multi-programming level for external scheduling" (ICDE 2006):
+// the gate, queue policies, metrics, and the Section 4.3 feedback
+// controller are the same code (internal/core, internal/controller)
+// the simulator runs in virtual time — only the clock and the backend
+// differ. What the paper shows for a simulated DBMS therefore carries
+// over verbatim: a low MPL barely costs throughput, collapses response
+// times under overload, and can be found automatically by feedback.
+//
+// Basic use:
+//
+//	g, _ := gate.New(gate.Config{Limit: 8})
+//	tk, err := g.Acquire(ctx)
+//	if err != nil {
+//		return err // canceled, or ErrQueueFull under admission control
+//	}
+//	defer tk.Release(gate.Result{})
+//	// ... at most 8 goroutines run here concurrently ...
+//
+// EnableAutoTune attaches the paper's feedback controller to the
+// gate's completion stream so the limit tracks the lowest value that
+// preserves throughput; Middleware wraps an http.Handler so every
+// request passes through the gate. All methods are safe for concurrent
+// use by any number of goroutines.
+package gate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"extsched/internal/core"
+	"extsched/internal/sim"
+)
+
+// Class is a small-integer priority class. ClassHigh receives strict
+// preference under the "priority" policy; WFQ accepts arbitrary
+// classes, one virtual queue per distinct value.
+type Class int
+
+const (
+	// ClassLow is the default (background) class.
+	ClassLow Class = 0
+	// ClassHigh is the preferred class.
+	ClassHigh Class = 1
+)
+
+// Policy names the built-in queue orderings.
+type Policy string
+
+const (
+	// FIFO dispatches in arrival order (the default).
+	FIFO Policy = "fifo"
+	// Priority dispatches ClassHigh items first, FIFO within a class.
+	Priority Policy = "priority"
+	// SJF dispatches the smallest SizeHint first.
+	SJF Policy = "sjf"
+	// WFQ shares dispatch capacity across classes in proportion to
+	// their weights, measured in SizeHint.
+	WFQ Policy = "wfq"
+)
+
+// ErrQueueFull is returned by Acquire when the gate runs in
+// admission-control mode (Config.QueueLimit > 0) and the queue is at
+// its limit — the paper's "drop instead of wait" contrast system.
+var ErrQueueFull = errors.New("gate: queue full")
+
+// Config assembles a gate.
+type Config struct {
+	// Limit is the initial MPL: the maximum number of concurrently
+	// admitted units of work. 0 means unlimited (pure accounting, no
+	// gating) — useful for measuring a reference throughput before
+	// enabling a limit or the auto-tuner.
+	Limit int
+	// Policy orders the waiting queue; default FIFO.
+	Policy Policy
+	// WFQWeights sets per-class weights for the WFQ policy (classes
+	// absent from the map get weight 1; nil means {ClassHigh: 4}).
+	WFQWeights map[Class]float64
+	// QueueLimit, when > 0, enables admission control: an Acquire that
+	// finds QueueLimit callers already waiting fails fast with
+	// ErrQueueFull instead of queueing.
+	QueueLimit int
+	// PercentileSamples, when > 0, reservoir-samples response times so
+	// Stats carries P50/P95/P99. Sampling is deterministic given Seed.
+	PercentileSamples int
+	// Seed drives the sampling reservoir; default 1.
+	Seed uint64
+
+	// clock overrides the time source (tests); nil = monotonic wall
+	// clock.
+	clock sim.Clock
+}
+
+// Request describes one unit of work for queue ordering.
+type Request struct {
+	// Class is the priority class (Priority and WFQ policies).
+	Class Class
+	// SizeHint estimates the work's duration in seconds (SJF orders by
+	// it, WFQ charges by it). Zero = unknown.
+	SizeHint float64
+}
+
+// Result reports the outcome of a released unit of work.
+type Result struct {
+	// Err, when non-nil, marks the guarded operation as failed; the
+	// gate counts it in Stats.Errors. The gate itself treats failed and
+	// successful completions alike (the slot is freed either way).
+	Err error
+}
+
+// Gate is a wall-clock MPL gate. Create it with New.
+type Gate struct {
+	fe    *core.Frontend
+	clock sim.Clock
+	ctl   atomic.Pointer[tuner]
+	errs  atomic.Uint64
+}
+
+// Ticket is one admitted unit of work. Callers must Release it exactly
+// once; a second Release is a no-op.
+type Ticket struct {
+	g        *Gate
+	item     core.Item
+	admitted chan struct{}
+	released atomic.Bool
+}
+
+// backend admits items by waking the Acquire that submitted them.
+type backend struct{}
+
+func (backend) Exec(it *core.Item) {
+	close(it.Payload.(*Ticket).admitted)
+}
+
+// New builds a gate from cfg.
+func New(cfg Config) (*Gate, error) {
+	if cfg.Limit < 0 {
+		return nil, fmt.Errorf("gate: Limit %d must be >= 0", cfg.Limit)
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("gate: QueueLimit %d must be >= 0", cfg.QueueLimit)
+	}
+	var weights map[core.Class]float64
+	if cfg.WFQWeights != nil {
+		weights = make(map[core.Class]float64, len(cfg.WFQWeights))
+		for c, w := range cfg.WFQWeights {
+			weights[core.Class(c)] = w
+		}
+	}
+	policy, err := core.NewPolicy(string(cfg.Policy), weights)
+	if err != nil {
+		return nil, fmt.Errorf("gate: %w", err)
+	}
+	clock := cfg.clock
+	if clock == nil {
+		clock = sim.NewWallClock()
+	}
+	g := &Gate{clock: clock}
+	g.fe = core.New(clock, backend{}, cfg.Limit, policy)
+	if cfg.QueueLimit > 0 {
+		g.fe.SetQueueLimit(cfg.QueueLimit)
+	}
+	if cfg.PercentileSamples > 0 {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		g.fe.EnablePercentiles(cfg.PercentileSamples, seed)
+	}
+	// The completion hook is installed once, before any traffic; the
+	// tuner pointer makes EnableAutoTune race-free afterwards.
+	g.fe.OnComplete = func(*core.Item) {
+		if t := g.ctl.Load(); t != nil {
+			t.ctl.Observe()
+		}
+	}
+	return g, nil
+}
+
+// Acquire waits for admission with default request attributes.
+func (g *Gate) Acquire(ctx context.Context) (*Ticket, error) {
+	return g.AcquireRequest(ctx, Request{})
+}
+
+// AcquireRequest waits until the gate admits the request, the context
+// is done, or — in admission-control mode — the queue is full. On
+// success the caller holds one of the gate's Limit slots and must
+// Release the ticket when the guarded work finishes.
+func (g *Gate) AcquireRequest(ctx context.Context, req Request) (*Ticket, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tk := &Ticket{g: g, admitted: make(chan struct{})}
+	it := &tk.item
+	it.Class = core.Class(req.Class)
+	it.SizeHint = req.SizeHint
+	it.Payload = tk
+	if !g.fe.Submit(it, nil) {
+		return nil, ErrQueueFull
+	}
+	select {
+	case <-tk.admitted:
+		return tk, nil
+	case <-ctx.Done():
+		if g.fe.CancelQueued(it) {
+			// Withdrawn while still queued: no slot was consumed.
+			return nil, ctx.Err()
+		}
+		// Admission raced the cancellation. The slot is ours; hand it
+		// back as a discard — the work never ran, so it must not
+		// register as a completion (which would feed the auto-tuner a
+		// fabricated near-zero response time) or as an error.
+		<-tk.admitted
+		tk.discard()
+		return nil, ctx.Err()
+	}
+}
+
+// Release frees the ticket's slot, recording res. The next waiting
+// request (per the queue policy) is admitted on the caller's
+// goroutine before Release returns.
+func (t *Ticket) Release(res Result) {
+	if t.released.Swap(true) {
+		return
+	}
+	if res.Err != nil {
+		t.g.errs.Add(1)
+	}
+	inside := t.g.clock.Now() - t.item.Dispatch
+	t.g.fe.Complete(&t.item, core.Outcome{InsideTime: inside})
+}
+
+// discard frees the slot of an admitted-but-never-used ticket without
+// touching the completion metrics (see AcquireRequest's cancellation
+// race).
+func (t *Ticket) discard() {
+	if t.released.Swap(true) {
+		return
+	}
+	t.g.fe.Discard(&t.item)
+}
+
+// Limit returns the current MPL (0 = unlimited).
+func (g *Gate) Limit() int { return g.fe.MPL() }
+
+// SetLimit changes the MPL. Raising it admits queued work immediately
+// (on the calling goroutine); lowering it takes effect as admitted
+// work releases — nothing is preempted.
+func (g *Gate) SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.fe.SetMPL(n)
+}
+
+// Stats is a point-in-time snapshot of the gate.
+type Stats struct {
+	// Limit is the current MPL; Inflight the admitted count; Queued
+	// the number of callers waiting.
+	Limit, Inflight, Queued int
+	// Completed counts releases in the current metrics window;
+	// Throughput is Completed per wall second over that window.
+	Completed  uint64
+	Throughput float64
+	// MeanResponse is the mean seconds from Acquire to Release
+	// (queueing included); MeanWait the external queueing portion.
+	MeanResponse, MeanWait float64
+	// P50/P95/P99 are response-time percentiles (zero unless
+	// Config.PercentileSamples was set).
+	P50, P95, P99 float64
+	// Dropped counts ErrQueueFull rejections; Canceled counts
+	// context-canceled acquires (withdrawn from the queue, or discarded
+	// right after an admission race); Errors counts releases with a
+	// non-nil Result.Err. All three are lifetime totals, not window
+	// totals.
+	Dropped, Canceled, Errors uint64
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() Stats {
+	m := g.fe.Metrics()
+	return Stats{
+		Limit:        g.fe.MPL(),
+		Inflight:     g.fe.Inside(),
+		Queued:       g.fe.QueueLen(),
+		Completed:    m.Completed,
+		Throughput:   m.Throughput(),
+		MeanResponse: m.All.Mean(),
+		MeanWait:     m.ExtWait.Mean(),
+		P50:          g.fe.ResponseTimePercentile(50),
+		P95:          g.fe.ResponseTimePercentile(95),
+		P99:          g.fe.ResponseTimePercentile(99),
+		Dropped:      g.fe.Dropped(),
+		Canceled:     g.fe.Canceled(),
+		Errors:       g.errs.Load(),
+	}
+}
+
+// ResetStats starts a fresh metrics window (Throughput, MeanResponse
+// and the percentiles reset; the lifetime counters do not).
+func (g *Gate) ResetStats() { g.fe.ResetMetrics() }

@@ -1,0 +1,94 @@
+package gate
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Middleware wraps next so every request passes through the gate: at
+// most Limit requests run concurrently, the rest queue per the gate's
+// policy. Requests rejected by admission control (ErrQueueFull) get
+// 503 Service Unavailable with a Retry-After header; requests whose
+// context dies while queued are abandoned without a response (the
+// client is gone). Responses with 5xx status are counted in
+// Stats.Errors.
+func Middleware(g *Gate, next http.Handler) http.Handler {
+	return MiddlewareClassify(g, nil, next)
+}
+
+// MiddlewareClassify is Middleware with per-request queue attributes:
+// classify maps each request to its priority class and size hint (for
+// the priority, SJF and WFQ policies). A nil classify treats every
+// request as ClassLow with unknown size.
+func MiddlewareClassify(g *Gate, classify func(*http.Request) Request, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if classify != nil {
+			req = classify(r)
+		}
+		tk, err := g.AcquireRequest(r.Context(), req)
+		if err != nil {
+			if err == ErrQueueFull {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+			}
+			// Context errors: the client canceled or timed out while
+			// queued; any response would go nowhere.
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				tk.Release(Result{Err: fmt.Errorf("gate: handler panicked: %v", p)})
+				panic(p)
+			}
+			var res Result
+			if sw.status >= 500 {
+				res.Err = fmt.Errorf("gate: handler returned status %d", sw.status)
+			}
+			tk.Release(res)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the response status for error accounting. It
+// forwards the optional ResponseWriter interfaces (Flusher, Hijacker,
+// Unwrap for http.ResponseController) so streaming and websocket
+// handlers keep working behind the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, fmt.Errorf("gate: underlying ResponseWriter does not implement http.Hijacker")
+}

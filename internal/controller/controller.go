@@ -15,10 +15,20 @@
 // from MVA (throughput) and the QBD response-time model gives the loop
 // a close-to-optimal starting MPL, which is what makes small constant
 // steps converge in under ten iterations.
+//
+// The loop is deliberately ignorant of what it tunes: it consumes a
+// completion stream (Observe, called once per completed item) and
+// drives anything that satisfies the Gate interface — the simulated
+// DBMS frontend and the wall-clock live gate both do. Time comes from
+// a sim.Clock, so one controller implementation serves deterministic
+// virtual-time experiments and real traffic alike. All methods are
+// safe for concurrent callers (live gates complete items from many
+// goroutines at once).
 package controller
 
 import (
 	"fmt"
+	"sync"
 
 	"extsched/internal/core"
 	"extsched/internal/dist"
@@ -27,6 +37,25 @@ import (
 	"extsched/internal/sim"
 	"extsched/internal/stats"
 )
+
+// Gate is the MPL-limited system under control: a settable limit plus
+// windowed completion metrics and the saturation signals the
+// representative-load gate needs. *core.Frontend implements it for
+// both the simulated DBMS and live traffic.
+type Gate interface {
+	// MPL returns the current limit.
+	MPL() int
+	// SetMPL changes the limit (the reaction phase's actuator).
+	SetMPL(int)
+	// Metrics snapshots the current observation window.
+	Metrics() core.Metrics
+	// ResetMetrics starts a fresh observation window.
+	ResetMetrics()
+	// QueueLen and Inside report instantaneous load (for the
+	// representative-load gate).
+	QueueLen() int
+	Inside() int
+}
 
 // Targets are the DBA-specified tolerances.
 type Targets struct {
@@ -158,10 +187,11 @@ type Decision struct {
 	TputOK, RTOK bool
 }
 
-// Controller drives a core.Frontend's MPL.
+// Controller drives a Gate's MPL from its completion stream.
 type Controller struct {
-	eng       *sim.Engine
-	fe        *core.Frontend
+	mu        sync.Mutex
+	clock     sim.Clock
+	gate      Gate
 	cfg       Config
 	history   []Decision
 	holdCount int
@@ -178,10 +208,11 @@ type Controller struct {
 	lastCompletion  float64
 }
 
-// New attaches a controller to fe, chaining any existing OnComplete
-// hook. The frontend's MPL should already be set to the jump-start
-// value (see JumpStart).
-func New(eng *sim.Engine, fe *core.Frontend, cfg Config) (*Controller, error) {
+// New builds a controller over g and opens its first observation
+// window (g.ResetMetrics). The gate's MPL should already be set to the
+// jump-start value (see JumpStart). The caller owns the wiring: invoke
+// Observe once per completion, e.g. from the gate's completion hook.
+func New(clock sim.Clock, g Gate, cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	if cfg.MaxThroughputLoss < 0 || cfg.MaxThroughputLoss >= 1 {
 		return nil, fmt.Errorf("controller: MaxThroughputLoss %v outside [0,1)", cfg.MaxThroughputLoss)
@@ -189,39 +220,47 @@ func New(eng *sim.Engine, fe *core.Frontend, cfg Config) (*Controller, error) {
 	if cfg.Reference.MaxThroughput <= 0 {
 		return nil, fmt.Errorf("controller: Reference.MaxThroughput required")
 	}
-	c := &Controller{eng: eng, fe: fe, cfg: cfg, floor: cfg.MinMPL - 1, step: cfg.Step}
-	prev := fe.OnComplete
-	fe.OnComplete = func(t *core.Txn) {
-		if prev != nil {
-			prev(t)
-		}
-		c.observe()
-	}
-	fe.ResetMetrics()
+	c := &Controller{clock: clock, gate: g, cfg: cfg, floor: cfg.MinMPL - 1, step: cfg.Step}
+	g.ResetMetrics()
 	return c, nil
 }
 
 // Converged reports whether the controller has settled.
-func (c *Controller) Converged() bool { return c.converged }
+func (c *Controller) Converged() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.converged
+}
 
 // Iterations returns the number of completed reactions.
-func (c *Controller) Iterations() int { return len(c.history) }
+func (c *Controller) Iterations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.history)
+}
 
 // History returns the reaction log.
-func (c *Controller) History() []Decision { return c.history }
+func (c *Controller) History() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.history
+}
 
-// observe runs after every completion; it closes the window and reacts
-// when the gates are satisfied.
-func (c *Controller) observe() {
+// Observe consumes one completion event: it closes the observation
+// window and reacts when the gates are satisfied. Call it once per
+// completed item, from any goroutine.
+func (c *Controller) Observe() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.converged {
 		return
 	}
-	now := c.eng.Now()
+	now := c.clock.Now()
 	if c.lastCompletion > 0 {
 		c.interCompletion.Add(now - c.lastCompletion)
 	}
 	c.lastCompletion = now
-	m := c.fe.Metrics()
+	m := c.gate.Metrics()
 	if int(m.Completed) < c.cfg.MinObservations {
 		return
 	}
@@ -234,8 +273,8 @@ func (c *Controller) observe() {
 		}
 	}
 	// Representative-load gate: an adjustment decision is meaningless
-	// if the DBMS wasn't kept busy by offered load during the window.
-	if c.fe.QueueLen() == 0 && c.fe.Inside() < c.fe.MPL() {
+	// if the backend wasn't kept busy by offered load during the window.
+	if c.gate.QueueLen() == 0 && c.gate.Inside() < c.gate.MPL() {
 		// Not saturated right now; restart the window rather than
 		// react to a possibly idle period.
 		c.resetWindow()
@@ -247,12 +286,12 @@ func (c *Controller) observe() {
 
 // resetWindow starts a fresh observation window.
 func (c *Controller) resetWindow() {
-	c.fe.ResetMetrics()
+	c.gate.ResetMetrics()
 	c.interCompletion.Reset()
 	c.lastCompletion = 0
 }
 
-// react implements the reaction phase.
+// react implements the reaction phase. Called with c.mu held.
 func (c *Controller) react(m core.Metrics) {
 	cfg := c.cfg
 	tput := m.Throughput()
@@ -263,7 +302,7 @@ func (c *Controller) react(m core.Metrics) {
 	if cfg.MaxRTIncrease > 0 && cfg.Reference.OptimalRT > 0 {
 		rtOK = rt <= (1+cfg.MaxRTIncrease)*cfg.Reference.OptimalRT
 	}
-	mpl := c.fe.MPL()
+	mpl := c.gate.MPL()
 	action := Hold
 	switch {
 	case !tputOK || !rtOK:
@@ -278,7 +317,7 @@ func (c *Controller) react(m core.Metrics) {
 		}
 		if step > 0 {
 			action = Increase
-			c.fe.SetMPL(mpl + step)
+			c.gate.SetMPL(mpl + step)
 		}
 	case mpl-1 > c.floor && c.comfortably(tput, tputTarget):
 		// Both targets met with margin and the next value down is not
@@ -288,7 +327,7 @@ func (c *Controller) react(m core.Metrics) {
 			step = mpl - c.floor - 1
 		}
 		action = Decrease
-		c.fe.SetMPL(mpl - step)
+		c.gate.SetMPL(mpl - step)
 	default:
 		action = Hold
 	}

@@ -3,15 +3,34 @@ package controller
 import (
 	"testing"
 
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/sim"
 	"extsched/internal/workload"
 )
 
+// attach builds a controller over fe and wires the frontend's
+// completion stream into it — the wiring every integration (extsched,
+// the live gate) now owns itself.
+func attach(t *testing.T, eng *sim.Engine, fe *dbfe.Frontend, cfg Config) *Controller {
+	t.Helper()
+	ctl, err := New(eng.Clock(), fe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := fe.OnComplete
+	fe.OnComplete = func(tx *dbfe.Txn) {
+		if prev != nil {
+			prev(tx)
+		}
+		ctl.Observe()
+	}
+	return ctl
+}
+
 // buildRig creates an engine, DB and frontend for a Table 2 setup.
-func buildRig(t *testing.T, setupID, mpl int, seed uint64) (*sim.Engine, *core.Frontend, workload.Setup) {
+func buildRig(t *testing.T, setupID, mpl int, seed uint64) (*sim.Engine, *dbfe.Frontend, workload.Setup) {
 	t.Helper()
 	setup, err := workload.SetupByID(setupID)
 	if err != nil {
@@ -22,7 +41,7 @@ func buildRig(t *testing.T, setupID, mpl int, seed uint64) (*sim.Engine, *core.F
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := core.New(eng, db, mpl, nil)
+	fe := dbfe.New(eng, db, mpl, nil)
 	gen, err := workload.NewGenerator(setup.Workload, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -102,10 +121,10 @@ func TestJumpStartValidation(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	eng, fe, _ := buildRig(t, 1, 5, 1)
 	_ = eng
-	if _, err := New(eng, fe, Config{Targets: Targets{MaxThroughputLoss: 0.05}}); err == nil {
+	if _, err := New(eng.Clock(), fe, Config{Targets: Targets{MaxThroughputLoss: 0.05}}); err == nil {
 		t.Error("missing reference accepted")
 	}
-	if _, err := New(eng, fe, Config{
+	if _, err := New(eng.Clock(), fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 1.5},
 		Reference: Reference{MaxThroughput: 10},
 	}); err == nil {
@@ -131,13 +150,10 @@ func TestConvergesFromJumpStart(t *testing.T) {
 	eng, fe, _ := buildRig(t, 1, start, 42)
 	// Warm up before attaching so the pool and lock state are hot.
 	eng.Run(20)
-	ctl, err := New(eng, fe, Config{
+	ctl := attach(t, eng, fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: refTput},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng.Run(2000)
 	if !ctl.Converged() {
 		t.Fatalf("controller did not converge; history: %+v", ctl.History())
@@ -166,13 +182,10 @@ func TestIncreasesWhenStartedTooLow(t *testing.T) {
 	refTput, _ := measureBaseline(t, 8, 5, 400)
 	eng, fe, _ := buildRig(t, 8, 1, 6)
 	eng.Run(50)
-	ctl, err := New(eng, fe, Config{
+	ctl := attach(t, eng, fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: refTput},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng.Run(4000)
 	if fe.MPL() <= 1 {
 		t.Errorf("MPL stayed at %d; expected increases (history %+v)", fe.MPL(), ctl.History())
@@ -192,13 +205,10 @@ func TestDecreasesWhenStartedTooHigh(t *testing.T) {
 	refTput, _ := measureBaseline(t, 1, 5, 120)
 	eng, fe, _ := buildRig(t, 1, 60, 8)
 	eng.Run(20)
-	ctl, err := New(eng, fe, Config{
+	ctl := attach(t, eng, fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: refTput},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng.Run(2000)
 	if fe.MPL() >= 60 {
 		t.Errorf("MPL stayed at %d; expected decreases (history %+v)", fe.MPL(), ctl.History())
@@ -221,16 +231,13 @@ func TestNoReactionWithoutLoad(t *testing.T) {
 	setup, _ := workload.SetupByID(1)
 	eng := sim.NewEngine()
 	db, _ := dbms.New(eng, setup.BuildConfig(workload.DBOptions{Seed: 3}))
-	fe := core.New(eng, db, 10, nil)
+	fe := dbfe.New(eng, db, 10, nil)
 	gen, _ := workload.NewGenerator(setup.Workload, 3)
 	workload.NewClosedDriver(eng, fe, gen, 2, dist.NewDeterministic(1)).Start()
-	ctl, err := New(eng, fe, Config{
+	ctl := attach(t, eng, fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: 80},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	eng.Run(500)
 	if ctl.Iterations() != 0 {
 		t.Errorf("controller reacted %d times on an idle system: %+v", ctl.Iterations(), ctl.History())
@@ -241,7 +248,7 @@ func TestHistoryRecordsMetrics(t *testing.T) {
 	refTput, _ := measureBaseline(t, 1, 5, 60)
 	eng, fe, _ := buildRig(t, 1, 3, 9)
 	eng.Run(10)
-	ctl, _ := New(eng, fe, Config{
+	ctl := attach(t, eng, fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: refTput},
 	})

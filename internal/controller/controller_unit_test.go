@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/sim"
@@ -11,7 +12,7 @@ import (
 
 // unitRig builds a minimal frontend for reaction-logic tests: a fast
 // CPU-bound DB driven manually.
-func unitRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
+func unitRig(t *testing.T, mpl int) (*sim.Engine, *dbfe.Frontend) {
 	t.Helper()
 	eng := sim.NewEngine()
 	db, err := dbms.New(eng, dbms.Config{
@@ -21,7 +22,7 @@ func unitRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return eng, core.New(eng, db, mpl, nil)
+	return eng, dbfe.New(eng, db, mpl, nil)
 }
 
 func TestConfigDefaults(t *testing.T) {
@@ -50,7 +51,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestNextStepAdaptive(t *testing.T) {
 	eng, fe := unitRig(t, 5)
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: 100},
 	})
@@ -79,7 +80,7 @@ func TestNextStepAdaptive(t *testing.T) {
 func TestNextStepConstantWhenDisabled(t *testing.T) {
 	eng, fe := unitRig(t, 5)
 	off := false
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:      Targets{MaxThroughputLoss: 0.05},
 		Reference:    Reference{MaxThroughput: 100},
 		AdaptiveStep: &off,
@@ -99,7 +100,7 @@ func TestNextStepConstantWhenDisabled(t *testing.T) {
 
 func TestReactIncreasesOnViolation(t *testing.T) {
 	eng, fe := unitRig(t, 3)
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: 100},
 	})
@@ -123,7 +124,7 @@ func TestReactIncreasesOnViolation(t *testing.T) {
 
 func TestReactDecreasesWithMargin(t *testing.T) {
 	eng, fe := unitRig(t, 10)
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05},
 		Reference: Reference{MaxThroughput: 100},
 	})
@@ -139,7 +140,7 @@ func TestReactDecreasesWithMargin(t *testing.T) {
 
 func TestReactHoldsAtBoundary(t *testing.T) {
 	eng, fe := unitRig(t, 4)
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:     Targets{MaxThroughputLoss: 0.05},
 		Reference:   Reference{MaxThroughput: 100},
 		HoldWindows: 2,
@@ -163,7 +164,7 @@ func TestReactHoldsAtBoundary(t *testing.T) {
 
 func TestReactRTViolation(t *testing.T) {
 	eng, fe := unitRig(t, 4)
-	ctl, err := New(eng, fe, Config{
+	ctl, err := New(eng.Clock(), fe, Config{
 		Targets:   Targets{MaxThroughputLoss: 0.05, MaxRTIncrease: 0.10},
 		Reference: Reference{MaxThroughput: 100, OptimalRT: 0.1},
 	})

@@ -1,87 +1,217 @@
 // Package core implements the paper's central mechanism: external
-// scheduling of database transactions (Fig. 1).
+// scheduling of work through an MPL gate (Fig. 1).
 //
-// A Frontend admits at most MPL transactions into the DBMS at a time;
+// A Frontend admits at most MPL work items into a Backend at a time;
 // the rest wait in an external queue that a pluggable Policy orders
-// (FIFO by default, Priority for the Section 5 experiments, SJF as the
-// "custom-tailored policy" extension the paper motivates). Response
-// time is measured the paper's way: from arrival at the frontend to
-// commit, including external queueing. The MPL can be changed at any
-// time (SetMPL), which is how the feedback controller drives the
-// system.
+// (FIFO by default, Priority for the Section 5 experiments, SJF and WFQ
+// as the "custom-tailored policy" extensions the paper motivates).
+// Response time is measured the paper's way: from arrival at the
+// frontend to completion, including external queueing. The MPL can be
+// changed at any time (SetMPL), which is how the feedback controller
+// drives the system.
+//
+// The frontend is backend-agnostic — the whole point of external
+// scheduling is that it needs nothing from the system it wraps beyond
+// "start this" and "tell me when it finished". The simulated DBMS
+// (internal/dbfe) and the wall-clock live gate (the top-level gate
+// package) are the two backends; both share this one gate, queue, and
+// metrics implementation. Time comes from a sim.Clock, so the same
+// code runs in deterministic virtual time and against real traffic.
+//
+// All frontend entry points are safe for concurrent callers. Under the
+// single-threaded simulator the mutex is never contended, so the
+// deterministic event order (and the zero-extra-allocation fast path)
+// is preserved exactly.
 package core
 
 import (
 	"fmt"
+	"sync"
 
-	"extsched/internal/dbms"
-	"extsched/internal/lockmgr"
 	"extsched/internal/sim"
 	"extsched/internal/stats"
 )
 
-// Txn is one transaction flowing through the frontend.
-type Txn struct {
-	Profile  dbms.TxnProfile
-	Arrival  float64 // time of Submit
-	Dispatch float64 // time admitted into the DBMS
-	Complete float64 // commit time
-	Result   dbms.Result
-	seq      uint64
-	done     func(*Txn)
+// Class is a small-integer priority class. ClassHigh receives strict
+// preference under PriorityPolicy and separate metrics accounting;
+// every other value is treated as "low". WFQ accepts arbitrary Class
+// values, one virtual queue per distinct class.
+type Class int
+
+const (
+	// ClassLow is the default (background) class.
+	ClassLow Class = 0
+	// ClassHigh is the preferred class of the paper's Section 5
+	// prioritization experiments.
+	ClassHigh Class = 1
+)
+
+// itemState tracks an item through the gate.
+type itemState uint8
+
+const (
+	itemIdle itemState = iota
+	itemQueued
+	itemDispatched
+	itemDone
+	itemCanceled
+)
+
+// Item is one unit of admitted work flowing through the frontend: a
+// simulated transaction, a live HTTP request, anything the backend can
+// execute. Callers allocate it (usually embedded in their own record),
+// fill Class/SizeHint/Payload, and hand it to Submit. The frontend owns
+// it until completion.
+type Item struct {
+	// Class is the external scheduling priority class.
+	Class Class
+	// SizeHint is the caller's a-priori estimate of the item's total
+	// service demand in seconds. SJF orders by it and WFQ charges by
+	// it; zero means unknown (WFQ then charges unit cost).
+	SizeHint float64
+	// Payload carries the caller's per-item context (the simulated
+	// transaction profile, a live request ticket). The frontend never
+	// touches it. Storing a pointer here does not allocate.
+	Payload any
+	// Arrival, Dispatch and Complete are clock timestamps stamped by
+	// the frontend: Submit time, admission time, and completion time.
+	Arrival, Dispatch, Complete float64
+	// Outcome is the backend's completion report.
+	Outcome Outcome
+	seq     uint64
+	state   itemState
+	done    func(*Item)
 }
 
-// Class returns the transaction's priority class.
-func (t *Txn) Class() lockmgr.Class { return t.Profile.Class }
-
 // ResponseTime is Complete − Arrival (external wait + inside time).
-func (t *Txn) ResponseTime() float64 { return t.Complete - t.Arrival }
+func (it *Item) ResponseTime() float64 { return it.Complete - it.Arrival }
 
 // ExternalWait is Dispatch − Arrival.
-func (t *Txn) ExternalWait() float64 { return t.Dispatch - t.Arrival }
+func (it *Item) ExternalWait() float64 { return it.Dispatch - it.Arrival }
 
-// Policy orders the external queue.
+// Outcome is what the backend reports when an item completes.
+type Outcome struct {
+	// InsideTime is the seconds spent between dispatch and completion
+	// as measured by the backend (queueing inside the backend included).
+	InsideTime float64
+	// Restarts counts internal retry cycles (deadlock aborts and the
+	// like in the simulated DBMS; retries of a guarded call live).
+	Restarts int
+}
+
+// Backend executes admitted items. Exec is called once per item when
+// the gate admits it; the backend must eventually call
+// Frontend.Complete for that item exactly once. Exec must not call
+// Complete synchronously from within itself.
+type Backend interface {
+	Exec(it *Item)
+}
+
+// Policy orders the external queue. Implementations are not safe for
+// concurrent use on their own; the Frontend serializes all access.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Push enqueues a transaction.
-	Push(*Txn)
-	// Pop removes and returns the next transaction to dispatch, or nil
-	// if empty.
-	Pop() *Txn
+	// Push enqueues an item.
+	Push(*Item)
+	// Pop removes and returns the next item to dispatch, or nil if
+	// empty.
+	Pop() *Item
 	// Len returns the queue length.
 	Len() int
 }
 
-// ring is a growable circular FIFO of transactions. Unlike the
-// reslicing `q = q[1:]` idiom, dequeues reuse the backing array
-// instead of abandoning its head, so a long run's queue churn stays
-// within one allocation instead of leaking backing arrays behind the
-// advancing slice window.
+// compactable is an optional Policy extension: drop queued items that
+// fail keep, preserving dispatch order among the kept. The frontend
+// uses it to purge canceled items in bulk — without it, a canceled
+// item is only discarded when it surfaces at the head of the queue,
+// which under SJF/WFQ (or a stalled backend) may be never. All
+// built-in policies implement it.
+type compactable interface {
+	compact(keep func(*Item) bool)
+}
+
+// discardAware is an optional Policy extension: notified when the
+// frontend discards a canceled item it popped, so the policy can undo
+// enqueue-time bookkeeping (WFQ refunds the class's virtual-time
+// charge).
+type discardAware interface {
+	discarded(*Item)
+}
+
+// PolicyNames lists the built-in policies for NewPolicy.
+const (
+	PolicyFIFO     = "fifo"
+	PolicyPriority = "priority"
+	PolicySJF      = "sjf"
+	PolicyWFQ      = "wfq"
+)
+
+// NewPolicy builds a built-in policy by name ("" = FIFO). wfqWeights
+// applies only to "wfq": per-class weights, nil for {ClassHigh: 4}.
+func NewPolicy(name string, wfqWeights map[Class]float64) (Policy, error) {
+	switch name {
+	case "", PolicyFIFO:
+		return NewFIFO(), nil
+	case PolicyPriority:
+		return NewPriority(), nil
+	case PolicySJF:
+		return NewSJF(), nil
+	case PolicyWFQ:
+		if wfqWeights == nil {
+			wfqWeights = map[Class]float64{ClassHigh: 4}
+		}
+		return NewWFQ(wfqWeights), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want fifo, priority, sjf or wfq)", name)
+	}
+}
+
+// ring is a growable circular FIFO of items. Unlike the reslicing
+// `q = q[1:]` idiom, dequeues reuse the backing array instead of
+// abandoning its head, so a long run's queue churn stays within one
+// allocation instead of leaking backing arrays behind the advancing
+// slice window.
 type ring struct {
-	buf        []*Txn
+	buf        []*Item
 	head, size int
 }
 
 func (r *ring) len() int { return r.size }
 
-func (r *ring) push(t *Txn) {
+func (r *ring) push(it *Item) {
 	if r.size == len(r.buf) {
 		r.grow()
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = t
+	r.buf[(r.head+r.size)%len(r.buf)] = it
 	r.size++
 }
 
-func (r *ring) pop() *Txn {
+func (r *ring) pop() *Item {
 	if r.size == 0 {
 		return nil
 	}
-	t := r.buf[r.head]
+	it := r.buf[r.head]
 	r.buf[r.head] = nil
 	r.head = (r.head + 1) % len(r.buf)
 	r.size--
-	return t
+	return it
+}
+
+// compact drops items failing keep, preserving order of the rest.
+func (r *ring) compact(keep func(*Item) bool) {
+	kept := 0
+	for i := 0; i < r.size; i++ {
+		it := r.buf[(r.head+i)%len(r.buf)]
+		if keep(it) {
+			r.buf[(r.head+kept)%len(r.buf)] = it
+			kept++
+		}
+	}
+	for i := kept; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = nil
+	}
+	r.size = kept
 }
 
 // grow doubles the capacity, unwrapping the live window to the front.
@@ -90,7 +220,7 @@ func (r *ring) grow() {
 	if capacity == 0 {
 		capacity = 16
 	}
-	buf := make([]*Txn, capacity)
+	buf := make([]*Item, capacity)
 	for i := 0; i < r.size; i++ {
 		buf[i] = r.buf[(r.head+i)%len(r.buf)]
 	}
@@ -105,13 +235,14 @@ type FIFOPolicy struct {
 // NewFIFO returns a FIFO policy.
 func NewFIFO() *FIFOPolicy { return &FIFOPolicy{} }
 
-func (p *FIFOPolicy) Name() string { return "fifo" }
-func (p *FIFOPolicy) Push(t *Txn)  { p.q.push(t) }
-func (p *FIFOPolicy) Pop() *Txn    { return p.q.pop() }
-func (p *FIFOPolicy) Len() int     { return p.q.len() }
+func (p *FIFOPolicy) Name() string                  { return "fifo" }
+func (p *FIFOPolicy) Push(it *Item)                 { p.q.push(it) }
+func (p *FIFOPolicy) Pop() *Item                    { return p.q.pop() }
+func (p *FIFOPolicy) Len() int                      { return p.q.len() }
+func (p *FIFOPolicy) compact(keep func(*Item) bool) { p.q.compact(keep) }
 
-// PriorityPolicy dispatches High-class transactions first, FIFO within
-// a class — the paper's Section 5 prioritization algorithm.
+// PriorityPolicy dispatches ClassHigh items first, FIFO within a class
+// — the paper's Section 5 prioritization algorithm.
 type PriorityPolicy struct {
 	high, low ring
 }
@@ -120,35 +251,39 @@ type PriorityPolicy struct {
 func NewPriority() *PriorityPolicy { return &PriorityPolicy{} }
 
 func (p *PriorityPolicy) Name() string { return "priority" }
-func (p *PriorityPolicy) Push(t *Txn) {
-	if t.Class() == lockmgr.High {
-		p.high.push(t)
+func (p *PriorityPolicy) Push(it *Item) {
+	if it.Class == ClassHigh {
+		p.high.push(it)
 	} else {
-		p.low.push(t)
+		p.low.push(it)
 	}
 }
-func (p *PriorityPolicy) Pop() *Txn {
-	if t := p.high.pop(); t != nil {
-		return t
+func (p *PriorityPolicy) Pop() *Item {
+	if it := p.high.pop(); it != nil {
+		return it
 	}
 	return p.low.pop()
 }
 func (p *PriorityPolicy) Len() int { return p.high.len() + p.low.len() }
+func (p *PriorityPolicy) compact(keep func(*Item) bool) {
+	p.high.compact(keep)
+	p.low.compact(keep)
+}
 
-// SJFPolicy dispatches the transaction with the smallest
-// EstimatedDemand first (ties by arrival). It demonstrates the paper's
-// point that the external queue admits arbitrary custom policies.
+// SJFPolicy dispatches the item with the smallest SizeHint first (ties
+// by arrival). It demonstrates the paper's point that the external
+// queue admits arbitrary custom policies.
 type SJFPolicy struct {
-	q []*Txn
+	q []*Item
 }
 
 // NewSJF returns a shortest-job-first policy.
 func NewSJF() *SJFPolicy { return &SJFPolicy{} }
 
 func (p *SJFPolicy) Name() string { return "sjf" }
-func (p *SJFPolicy) Push(t *Txn) {
-	p.q = append(p.q, t)
-	// Sift up in a slice-backed min-heap keyed by (demand, seq).
+func (p *SJFPolicy) Push(it *Item) {
+	p.q = append(p.q, it)
+	// Sift up in a slice-backed min-heap keyed by (size, seq).
 	i := len(p.q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -159,17 +294,21 @@ func (p *SJFPolicy) Push(t *Txn) {
 		i = parent
 	}
 }
-func (p *SJFPolicy) Pop() *Txn {
+func (p *SJFPolicy) Pop() *Item {
 	n := len(p.q)
 	if n == 0 {
 		return nil
 	}
-	t := p.q[0]
+	it := p.q[0]
 	p.q[0] = p.q[n-1]
 	p.q[n-1] = nil
 	p.q = p.q[:n-1]
-	// Sift down.
-	i := 0
+	p.siftDown(0)
+	return it
+}
+func (p *SJFPolicy) Len() int { return len(p.q) }
+
+func (p *SJFPolicy) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -180,18 +319,33 @@ func (p *SJFPolicy) Pop() *Txn {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
 		p.q[i], p.q[smallest] = p.q[smallest], p.q[i]
 		i = smallest
 	}
-	return t
 }
-func (p *SJFPolicy) Len() int { return len(p.q) }
 
-func sjfLess(a, b *Txn) bool {
-	if a.Profile.EstimatedDemand != b.Profile.EstimatedDemand {
-		return a.Profile.EstimatedDemand < b.Profile.EstimatedDemand
+func (p *SJFPolicy) compact(keep func(*Item) bool) {
+	kept := 0
+	for _, it := range p.q {
+		if keep(it) {
+			p.q[kept] = it
+			kept++
+		}
+	}
+	for i := kept; i < len(p.q); i++ {
+		p.q[i] = nil
+	}
+	p.q = p.q[:kept]
+	for i := kept/2 - 1; i >= 0; i-- {
+		p.siftDown(i)
+	}
+}
+
+func sjfLess(a, b *Item) bool {
+	if a.SizeHint != b.SizeHint {
+		return a.SizeHint < b.SizeHint
 	}
 	return a.seq < b.seq
 }
@@ -203,7 +357,7 @@ type Metrics struct {
 	All        stats.Accumulator // response time, all classes
 	High       stats.Accumulator // response time, high class
 	Low        stats.Accumulator // response time, low class
-	Inside     stats.Accumulator // time inside the DBMS
+	Inside     stats.Accumulator // time inside the backend
 	ExtWait    stats.Accumulator // external queue wait
 	Restarts   uint64
 	resetTime  float64
@@ -226,15 +380,18 @@ func (m Metrics) Throughput() float64 {
 	return float64(m.Completed) / m.windowTime
 }
 
-// Frontend is the external scheduler.
+// Frontend is the external scheduler: the MPL gate plus the reorderable
+// queue, generic over the executing backend and the time source. All
+// methods are safe for concurrent use.
 type Frontend struct {
-	eng    *sim.Engine
-	db     *dbms.DB
-	mpl    int // 0 means unlimited
-	policy Policy
-	seq    uint64
-	// inside counts transactions dispatched and not yet completed, as
-	// seen by the frontend (matches db.Inside()).
+	mu      sync.Mutex
+	clock   sim.Clock
+	backend Backend
+	mpl     int // 0 means unlimited
+	policy  Policy
+	seq     uint64
+	// inside counts items dispatched and not yet completed, as seen by
+	// the frontend.
 	inside  int
 	metrics Metrics
 	// queueLimit, when > 0, turns the frontend into the admission
@@ -243,61 +400,86 @@ type Frontend struct {
 	// scheduling proper never drops (queueLimit 0).
 	queueLimit int
 	dropped    uint64
+	// canceledQueued counts withdrawn items still sitting in the policy
+	// queue awaiting lazy discard; canceled counts all withdrawals.
+	canceledQueued int
+	canceled       uint64
 	// OnComplete, if set, observes every completion (used by drivers
-	// for closed-loop clients and by the controller).
-	OnComplete func(*Txn)
+	// for closed-loop clients and by controller wiring). Set hooks
+	// before traffic flows; they run outside the frontend lock.
+	OnComplete func(*Item)
 	// OnDrop, if set, observes admission-control rejections.
-	OnDrop func(*Txn)
+	OnDrop func(*Item)
 	// rtSample, when enabled, reservoir-samples response times for
 	// percentile reporting.
 	rtSample *stats.Reservoir
 }
 
-// New builds a frontend over db with the given MPL (0 = unlimited) and
-// policy (nil = FIFO).
-func New(eng *sim.Engine, db *dbms.DB, mpl int, policy Policy) *Frontend {
+// New builds a frontend over backend with the given MPL (0 = unlimited)
+// and policy (nil = FIFO), reading time from clock.
+func New(clock sim.Clock, backend Backend, mpl int, policy Policy) *Frontend {
 	if mpl < 0 {
 		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
 	}
 	if policy == nil {
 		policy = NewFIFO()
 	}
-	return &Frontend{eng: eng, db: db, mpl: mpl, policy: policy}
+	return &Frontend{clock: clock, backend: backend, mpl: mpl, policy: policy}
 }
 
 // MPL returns the current limit (0 = unlimited).
-func (f *Frontend) MPL() int { return f.mpl }
+func (f *Frontend) MPL() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mpl
+}
 
-// SetMPL changes the limit. Raising it dispatches queued transactions
-// immediately; lowering it takes effect as running transactions drain
-// (the paper's controller operates the same way — no preemption of
+// SetMPL changes the limit. Raising it dispatches queued items
+// immediately; lowering it takes effect as running items drain (the
+// paper's controller operates the same way — no preemption of
 // dispatched work).
 func (f *Frontend) SetMPL(mpl int) {
 	if mpl < 0 {
 		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
 	}
+	f.mu.Lock()
 	f.mpl = mpl
+	f.mu.Unlock()
 	f.dispatch()
 }
 
-// QueueLen returns the external queue length.
-func (f *Frontend) QueueLen() int { return f.policy.Len() }
+// QueueLen returns the external queue length (withdrawn items awaiting
+// lazy discard excluded).
+func (f *Frontend) QueueLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.policy.Len() - f.canceledQueued
+}
 
-// Inside returns the number of dispatched, uncommitted transactions.
-func (f *Frontend) Inside() int { return f.inside }
+// Inside returns the number of dispatched, uncompleted items.
+func (f *Frontend) Inside() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inside
+}
 
-// Policy returns the queue policy.
+// Policy returns the queue policy. The frontend still owns it; do not
+// call its methods while the frontend is in use.
 func (f *Frontend) Policy() Policy { return f.policy }
 
 // EnablePercentiles turns on reservoir sampling of response times
 // (capacity samples, deterministic given seed). Call before running.
 func (f *Frontend) EnablePercentiles(capacity int, seed uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.rtSample = stats.NewReservoir(capacity, sim.NewRNG(seed, 31))
 }
 
 // ResponseTimePercentile estimates the p-th percentile of response
 // times in the current window (0 when sampling is disabled or empty).
 func (f *Frontend) ResponseTimePercentile(p float64) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.rtSample == nil {
 		return 0
 	}
@@ -306,98 +488,216 @@ func (f *Frontend) ResponseTimePercentile(p float64) float64 {
 
 // Metrics returns a snapshot of the metrics window.
 func (f *Frontend) Metrics() Metrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	m := f.metrics
-	m.windowTime = f.eng.Now() - f.metrics.resetTime
+	m.windowTime = f.clock.Now() - f.metrics.resetTime
 	return m
 }
 
 // ResetMetrics starts a fresh measurement window (e.g. after warmup,
 // or per controller observation period).
 func (f *Frontend) ResetMetrics() {
-	f.metrics = Metrics{resetTime: f.eng.Now()}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.metrics = Metrics{resetTime: f.clock.Now()}
 	if f.rtSample != nil {
 		f.rtSample.Reset()
 	}
 }
 
-// Submit delivers a new transaction to the external scheduler.
-func (f *Frontend) Submit(profile dbms.TxnProfile) *Txn {
-	return f.SubmitCB(profile, nil)
+// Submit delivers a new item to the external scheduler. done, if not
+// nil, runs on the item's completion before the frontend-wide
+// OnComplete hook (used by closed-loop drivers to cycle their client).
+// Under a queue limit (admission-control mode) the item may be
+// rejected: Submit returns false, no callbacks are scheduled, and the
+// drop is counted (and reported to OnDrop).
+func (f *Frontend) Submit(it *Item, done func(*Item)) bool {
+	f.mu.Lock()
+	it.Arrival = f.clock.Now()
+	it.seq = f.seq
+	it.done = done
+	f.seq++
+	if f.queueLimit > 0 && f.policy.Len()-f.canceledQueued >= f.queueLimit {
+		f.dropped++
+		hook := f.OnDrop
+		f.mu.Unlock()
+		if hook != nil {
+			hook(it)
+		}
+		return false
+	}
+	it.state = itemQueued
+	f.policy.Push(it)
+	f.mu.Unlock()
+	f.dispatch()
+	return true
 }
 
-// SubmitCB is Submit with a per-transaction completion callback (used
-// by closed-loop drivers to cycle their client). cb runs before the
-// frontend-wide OnComplete hook. Under a queue limit (admission-
-// control mode) the transaction may be rejected: it is returned with
-// no callbacks scheduled and counted in Dropped.
-func (f *Frontend) SubmitCB(profile dbms.TxnProfile, cb func(*Txn)) *Txn {
-	t := &Txn{Profile: profile, Arrival: f.eng.Now(), seq: f.seq, done: cb}
-	f.seq++
-	if f.queueLimit > 0 && f.policy.Len() >= f.queueLimit {
-		f.dropped++
-		if f.OnDrop != nil {
-			f.OnDrop(t)
-		}
-		return t
+// compactThreshold bounds how many canceled items may linger in the
+// queue before a bulk purge: once they exceed it AND outnumber half
+// the queue, compact. Lazy head-of-queue discard alone is not enough —
+// under SJF/WFQ a canceled large item may never surface, and while the
+// backend stalls nothing surfaces at all.
+const compactThreshold = 64
+
+// CancelQueued withdraws a still-queued item (context cancellation in
+// live gates). It reports whether the item was withdrawn; false means
+// the item was already dispatched (or completed) and will complete
+// normally. Withdrawn items are discarded lazily — when they surface
+// at the head of the queue, or in bulk once enough accumulate —
+// costing no slot and no metrics.
+func (f *Frontend) CancelQueued(it *Item) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if it.state != itemQueued {
+		return false
 	}
-	f.policy.Push(t)
-	f.dispatch()
-	return t
+	it.state = itemCanceled
+	f.canceledQueued++
+	f.canceled++
+	if f.canceledQueued >= compactThreshold && f.canceledQueued*2 >= f.policy.Len() {
+		f.compactLocked()
+	}
+	return true
+}
+
+// compactLocked purges canceled items in bulk (policies that support
+// it). Called with f.mu held.
+func (f *Frontend) compactLocked() {
+	c, ok := f.policy.(compactable)
+	if !ok {
+		return
+	}
+	da, _ := f.policy.(discardAware)
+	c.compact(func(it *Item) bool {
+		if it.state != itemCanceled {
+			return true
+		}
+		f.canceledQueued--
+		if da != nil {
+			da.discarded(it)
+		}
+		return false
+	})
+}
+
+// Canceled returns the number of items withdrawn by CancelQueued.
+func (f *Frontend) Canceled() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.canceled
 }
 
 // SetQueueLimit enables admission-control mode: arrivals that find
-// limit transactions already queued are dropped. 0 disables dropping
-// (pure external scheduling).
+// limit items already queued are dropped. 0 disables dropping (pure
+// external scheduling).
 func (f *Frontend) SetQueueLimit(limit int) {
 	if limit < 0 {
 		panic(fmt.Sprintf("core: queue limit %d must be >= 0", limit))
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.queueLimit = limit
 }
 
 // Dropped returns the number of admission-control rejections.
-func (f *Frontend) Dropped() uint64 { return f.dropped }
+func (f *Frontend) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
 
-// dispatch admits queued transactions while the MPL allows.
+// dispatch admits queued items while the MPL allows. Backend.Exec runs
+// outside the lock, so backends may call back into the frontend (and
+// completions on other goroutines may interleave).
 func (f *Frontend) dispatch() {
-	for (f.mpl == 0 || f.inside < f.mpl) && f.policy.Len() > 0 {
-		t := f.policy.Pop()
-		if t == nil {
+	for {
+		f.mu.Lock()
+		var it *Item
+		for (f.mpl == 0 || f.inside < f.mpl) && f.policy.Len() > 0 {
+			cand := f.policy.Pop()
+			if cand == nil {
+				break
+			}
+			if cand.state == itemCanceled {
+				f.canceledQueued--
+				if da, ok := f.policy.(discardAware); ok {
+					da.discarded(cand)
+				}
+				continue
+			}
+			it = cand
+			break
+		}
+		if it == nil {
+			f.mu.Unlock()
 			return
 		}
-		t.Dispatch = f.eng.Now()
+		it.state = itemDispatched
+		it.Dispatch = f.clock.Now()
 		f.inside++
-		f.db.Exec(t.Profile, func(r dbms.Result) {
-			f.complete(t, r)
-		})
+		f.mu.Unlock()
+		f.backend.Exec(it)
 	}
 }
 
-// complete records a commit and refills the DBMS from the queue.
-func (f *Frontend) complete(t *Txn, r dbms.Result) {
-	t.Complete = f.eng.Now()
-	t.Result = r
+// Discard completes an admitted item WITHOUT recording it in the
+// metrics window — for work withdrawn right after admission (a live
+// caller whose context died in the instant between admission and
+// wake-up) that never actually ran. The slot is freed, the queue
+// refilled, and the withdrawal counted in Canceled; the done and
+// OnComplete hooks do not run, so a feedback controller's observation
+// window sees no fabricated near-zero response time.
+func (f *Frontend) Discard(it *Item) {
+	f.mu.Lock()
+	if it.state != itemDispatched {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("core: Discard on an item in state %d", it.state))
+	}
+	it.state = itemDone
+	it.Complete = f.clock.Now()
+	f.inside--
+	f.canceled++
+	f.mu.Unlock()
+	f.dispatch()
+}
+
+// Complete records an item's completion and refills the backend from
+// the queue. Backends call it exactly once per executed item.
+func (f *Frontend) Complete(it *Item, o Outcome) {
+	f.mu.Lock()
+	if it.state != itemDispatched {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("core: Complete on an item in state %d (double completion?)", it.state))
+	}
+	it.state = itemDone
+	it.Complete = f.clock.Now()
+	it.Outcome = o
 	f.inside--
 	m := &f.metrics
 	m.Completed++
-	rt := t.ResponseTime()
+	rt := it.ResponseTime()
 	m.All.Add(rt)
-	if t.Class() == lockmgr.High {
+	if it.Class == ClassHigh {
 		m.High.Add(rt)
 	} else {
 		m.Low.Add(rt)
 	}
-	m.Inside.Add(r.InsideTime)
-	m.ExtWait.Add(t.ExternalWait())
-	m.Restarts += uint64(r.Restarts)
+	m.Inside.Add(o.InsideTime)
+	m.ExtWait.Add(it.ExternalWait())
+	m.Restarts += uint64(o.Restarts)
 	if f.rtSample != nil {
 		f.rtSample.Add(rt)
 	}
-	if t.done != nil {
-		t.done(t)
+	done := it.done
+	hook := f.OnComplete
+	f.mu.Unlock()
+	if done != nil {
+		done(it)
 	}
-	if f.OnComplete != nil {
-		f.OnComplete(t)
+	if hook != nil {
+		hook(it)
 	}
 	f.dispatch()
 }

@@ -6,7 +6,7 @@ import "testing"
 // cycles, checking FIFO order and that popped slots are cleared.
 func TestRingWrapAround(t *testing.T) {
 	var r ring
-	mk := func(seq uint64) *Txn { return &Txn{seq: seq} }
+	mk := func(seq uint64) *Item { return &Item{seq: seq} }
 	next := uint64(0)
 	expect := uint64(0)
 	// Interleave bursts of pushes and pops so head wraps repeatedly.
@@ -51,7 +51,7 @@ func TestFIFOPolicyRing(t *testing.T) {
 		t.Error("Pop on empty FIFO != nil")
 	}
 	for i := uint64(0); i < 100; i++ {
-		p.Push(&Txn{seq: i})
+		p.Push(&Item{seq: i})
 	}
 	if p.Len() != 100 {
 		t.Fatalf("Len = %d, want 100", p.Len())

@@ -3,8 +3,6 @@ package core
 import (
 	"container/heap"
 	"math"
-
-	"extsched/internal/lockmgr"
 )
 
 // WFQPolicy implements start-time fair queueing over priority classes:
@@ -16,20 +14,20 @@ import (
 // priority starves the low class under backlog, WFQ guarantees it a
 // configurable fraction.
 //
-// Tags follow SFQ: a transaction's start tag is max(global virtual
-// time, its class's last finish tag); its finish tag adds
-// size/weight. Dispatch order is by start tag (ties by arrival), and
-// the global virtual time advances to the dispatched start tag.
+// Tags follow SFQ: an item's start tag is max(global virtual time, its
+// class's last finish tag); its finish tag adds size/weight. Dispatch
+// order is by start tag (ties by arrival), and the global virtual time
+// advances to the dispatched start tag.
 type WFQPolicy struct {
-	weights map[lockmgr.Class]float64
+	weights map[Class]float64
 	vtime   float64
-	classF  map[lockmgr.Class]float64
+	classF  map[Class]float64
 	q       wfqHeap
 }
 
-// wfqItem decorates a queued transaction with its tags.
+// wfqItem decorates a queued item with its tags.
 type wfqItem struct {
-	txn   *Txn
+	item  *Item
 	start float64
 	seq   uint64
 }
@@ -55,41 +53,74 @@ func (h *wfqHeap) Pop() any {
 
 // NewWFQ builds the policy with per-class weights (> 0). Classes
 // absent from the map default to weight 1.
-func NewWFQ(weights map[lockmgr.Class]float64) *WFQPolicy {
-	w := make(map[lockmgr.Class]float64, len(weights))
+func NewWFQ(weights map[Class]float64) *WFQPolicy {
+	w := make(map[Class]float64, len(weights))
 	for c, v := range weights {
 		if v <= 0 {
 			panic("core: WFQ weights must be positive")
 		}
 		w[c] = v
 	}
-	return &WFQPolicy{weights: w, classF: make(map[lockmgr.Class]float64)}
+	return &WFQPolicy{weights: w, classF: make(map[Class]float64)}
 }
 
 func (p *WFQPolicy) Name() string { return "wfq" }
 
-func (p *WFQPolicy) weight(c lockmgr.Class) float64 {
+func (p *WFQPolicy) weight(c Class) float64 {
 	if w, ok := p.weights[c]; ok {
 		return w
 	}
 	return 1
 }
 
-// Push tags the transaction and enqueues it.
-func (p *WFQPolicy) Push(t *Txn) {
-	c := t.Class()
-	start := math.Max(p.vtime, p.classF[c])
-	size := t.Profile.EstimatedDemand
+// charge is the virtual-time cost an item adds to its class's finish
+// tag: size over weight, unknown sizes costing one unit.
+func (p *WFQPolicy) charge(it *Item) float64 {
+	size := it.SizeHint
 	if size <= 0 {
 		size = 1 // unknown sizes get unit cost
 	}
-	p.classF[c] = start + size/p.weight(c)
-	heap.Push(&p.q, wfqItem{txn: t, start: start, seq: t.seq})
+	return size / p.weight(it.Class)
 }
 
-// Pop dispatches the transaction with the smallest start tag and
-// advances the virtual clock.
-func (p *WFQPolicy) Pop() *Txn {
+// Push tags the item and enqueues it.
+func (p *WFQPolicy) Push(it *Item) {
+	c := it.Class
+	start := math.Max(p.vtime, p.classF[c])
+	p.classF[c] = start + p.charge(it)
+	heap.Push(&p.q, wfqItem{item: it, start: start, seq: it.seq})
+}
+
+// discarded refunds a canceled item's enqueue-time charge, clamped to
+// the global virtual time, so a class whose callers cancel (timeouts
+// under saturation) does not permanently forfeit its weighted share of
+// future dispatches. The clamp keeps start tags valid; in the rare
+// case a same-class item was pushed after the canceled one, its
+// already-assigned later tag stands (a one-item ordering wrinkle, not
+// a share leak).
+func (p *WFQPolicy) discarded(it *Item) {
+	c := it.Class
+	p.classF[c] = math.Max(p.vtime, p.classF[c]-p.charge(it))
+}
+
+// compact drops queued items failing keep and restores the heap.
+func (p *WFQPolicy) compact(keep func(*Item) bool) {
+	kept := p.q[:0]
+	for _, wi := range p.q {
+		if keep(wi.item) {
+			kept = append(kept, wi)
+		}
+	}
+	for i := len(kept); i < len(p.q); i++ {
+		p.q[i] = wfqItem{}
+	}
+	p.q = kept
+	heap.Init(&p.q)
+}
+
+// Pop dispatches the item with the smallest start tag and advances the
+// virtual clock.
+func (p *WFQPolicy) Pop() *Item {
 	if p.q.Len() == 0 {
 		return nil
 	}
@@ -97,7 +128,7 @@ func (p *WFQPolicy) Pop() *Txn {
 	if it.start > p.vtime {
 		p.vtime = it.start
 	}
-	return it.txn
+	return it.item
 }
 
 func (p *WFQPolicy) Len() int { return p.q.Len() }

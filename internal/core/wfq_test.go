@@ -4,33 +4,28 @@ import (
 	"math"
 	"testing"
 
-	"extsched/internal/dbms"
-	"extsched/internal/lockmgr"
 	"extsched/internal/sim"
 )
 
-func wfqTxn(class lockmgr.Class, size float64, seq uint64) *Txn {
-	return &Txn{
-		Profile: dbms.TxnProfile{Class: class, EstimatedDemand: size},
-		seq:     seq,
-	}
+func wfqItem2(class Class, size float64, seq uint64) *Item {
+	return &Item{Class: class, SizeHint: size, seq: seq}
 }
 
 func TestWFQSharesBacklogByWeight(t *testing.T) {
 	// Persistent backlog of equal-size transactions in two classes with
 	// weights 3:1: among the first N dispatches, the high class should
 	// get ~3/4.
-	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 3, lockmgr.Low: 1})
+	p := NewWFQ(map[Class]float64{ClassHigh: 3, ClassLow: 1})
 	var seq uint64
 	for i := 0; i < 400; i++ {
-		p.Push(wfqTxn(lockmgr.High, 1, seq))
+		p.Push(wfqItem2(ClassHigh, 1, seq))
 		seq++
-		p.Push(wfqTxn(lockmgr.Low, 1, seq))
+		p.Push(wfqItem2(ClassLow, 1, seq))
 		seq++
 	}
 	high := 0
 	for i := 0; i < 200; i++ {
-		if p.Pop().Class() == lockmgr.High {
+		if p.Pop().Class == ClassHigh {
 			high++
 		}
 	}
@@ -43,16 +38,16 @@ func TestWFQSharesBacklogByWeight(t *testing.T) {
 func TestWFQNoStarvation(t *testing.T) {
 	// Unlike strict priority, WFQ keeps serving the low class even
 	// under continuous high-class pressure.
-	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 10, lockmgr.Low: 1})
+	p := NewWFQ(map[Class]float64{ClassHigh: 10, ClassLow: 1})
 	var seq uint64
 	for i := 0; i < 100; i++ {
-		p.Push(wfqTxn(lockmgr.High, 1, seq))
+		p.Push(wfqItem2(ClassHigh, 1, seq))
 		seq++
 	}
-	p.Push(wfqTxn(lockmgr.Low, 1, seq))
+	p.Push(wfqItem2(ClassLow, 1, seq))
 	lowSeen := false
 	for i := 0; i < 30 && p.Len() > 0; i++ {
-		if p.Pop().Class() == lockmgr.Low {
+		if p.Pop().Class == ClassLow {
 			lowSeen = true
 			break
 		}
@@ -65,17 +60,17 @@ func TestWFQNoStarvation(t *testing.T) {
 func TestWFQSizeAware(t *testing.T) {
 	// Equal weights but class A sends jobs 4x larger: B should get ~4x
 	// the dispatch COUNT (equal demand share).
-	p := NewWFQ(map[lockmgr.Class]float64{})
+	p := NewWFQ(map[Class]float64{})
 	var seq uint64
 	for i := 0; i < 400; i++ {
-		p.Push(wfqTxn(lockmgr.High, 4, seq))
+		p.Push(wfqItem2(ClassHigh, 4, seq))
 		seq++
-		p.Push(wfqTxn(lockmgr.Low, 1, seq))
+		p.Push(wfqItem2(ClassLow, 1, seq))
 		seq++
 	}
 	big := 0
 	for i := 0; i < 200; i++ {
-		if p.Pop().Class() == lockmgr.High {
+		if p.Pop().Class == ClassHigh {
 			big++
 		}
 	}
@@ -87,9 +82,9 @@ func TestWFQSizeAware(t *testing.T) {
 
 func TestWFQFIFOWithinClass(t *testing.T) {
 	p := NewWFQ(nil)
-	a := wfqTxn(lockmgr.Low, 1, 1)
-	b := wfqTxn(lockmgr.Low, 1, 2)
-	c := wfqTxn(lockmgr.Low, 1, 3)
+	a := wfqItem2(ClassLow, 1, 1)
+	b := wfqItem2(ClassLow, 1, 2)
+	c := wfqItem2(ClassLow, 1, 3)
 	p.Push(a)
 	p.Push(b)
 	p.Push(c)
@@ -99,16 +94,16 @@ func TestWFQFIFOWithinClass(t *testing.T) {
 }
 
 func TestWFQEmptyAndConservation(t *testing.T) {
-	p := NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 2})
+	p := NewWFQ(map[Class]float64{ClassHigh: 2})
 	if p.Pop() != nil || p.Len() != 0 {
 		t.Error("empty WFQ misbehaves")
 	}
 	g := sim.NewRNG(1, 0)
-	pushed := map[*Txn]bool{}
+	pushed := map[*Item]bool{}
 	var seq uint64
 	for i := 0; i < 3000; i++ {
 		if g.IntN(2) == 0 {
-			tx := wfqTxn(lockmgr.Class(g.IntN(4)), 0.1+g.Float64(), seq)
+			tx := wfqItem2(Class(g.IntN(4)), 0.1+g.Float64(), seq)
 			seq++
 			pushed[tx] = true
 			p.Push(tx)
@@ -129,7 +124,7 @@ func TestWFQEmptyAndConservation(t *testing.T) {
 
 func TestWFQZeroSizeDefaultsToUnit(t *testing.T) {
 	p := NewWFQ(nil)
-	p.Push(wfqTxn(lockmgr.Low, 0, 1)) // unknown size
+	p.Push(wfqItem2(ClassLow, 0, 1)) // unknown size
 	if p.Pop() == nil {
 		t.Error("zero-size transaction lost")
 	}
@@ -141,24 +136,24 @@ func TestWFQInvalidWeightPanics(t *testing.T) {
 			t.Error("non-positive weight did not panic")
 		}
 	}()
-	NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 0})
+	NewWFQ(map[Class]float64{ClassHigh: 0})
 }
 
 func TestWFQEndToEndSharing(t *testing.T) {
 	// Integration: saturated MPL-1 system, classes at weights 3:1 with
 	// equal-size jobs → completed counts near 3:1.
-	eng, fe := rig(t, 1, NewWFQ(map[lockmgr.Class]float64{lockmgr.High: 3, lockmgr.Low: 1}))
+	eng, fe := rig(t, 1, NewWFQ(map[Class]float64{ClassHigh: 3, ClassLow: 1}))
 	highDone, lowDone := 0, 0
-	fe.OnComplete = func(tx *Txn) {
-		if tx.Class() == lockmgr.High {
+	fe.OnComplete = func(it *Item) {
+		if it.Class == ClassHigh {
 			highDone++
 		} else {
 			lowDone++
 		}
 	}
 	for i := 0; i < 300; i++ {
-		fe.Submit(prof(0.01, lockmgr.High, uint64(1000+i)))
-		fe.Submit(prof(0.01, lockmgr.Low, uint64(2000+i)))
+		submit(fe, 0.01, ClassHigh)
+		submit(fe, 0.01, ClassLow)
 	}
 	eng.Run(1.5) // ~150 completions at 10ms each, backlog persists
 	ratio := float64(highDone) / float64(lowDone)

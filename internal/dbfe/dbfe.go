@@ -1,0 +1,121 @@
+// Package dbfe binds the backend-agnostic external scheduler
+// (internal/core) to the simulated DBMS (internal/dbms): the MPL gate
+// and queue policies come from core, transaction execution comes from
+// dbms, and the glue here adapts between the two — a dbms.TxnProfile
+// goes in, a generic core.Item flows through the gate, and the DBMS
+// executes the profile when the gate admits it.
+//
+// This is the simulator-side twin of the top-level gate package (the
+// live-traffic binding): both are thin Backends over the same core
+// frontend, which is what makes sim-vs-live parity claims meaningful.
+//
+// The binding adds no allocations on the per-transaction fast path
+// beyond the seed implementation: one Txn per submission (the
+// core.Item is embedded in it) and one completion closure per
+// dispatch, exactly as before the core refactor.
+package dbfe
+
+import (
+	"extsched/internal/core"
+	"extsched/internal/dbms"
+	"extsched/internal/lockmgr"
+	"extsched/internal/sim"
+)
+
+// Txn is one transaction flowing through the frontend.
+type Txn struct {
+	// Item is the generic gate record (timestamps, class, size hint).
+	Item core.Item
+	// Profile is the workload-generated transaction.
+	Profile dbms.TxnProfile
+	// Result is the DBMS's commit report (set at completion).
+	Result dbms.Result
+	done   func(*Txn)
+}
+
+// Class returns the transaction's priority class.
+func (t *Txn) Class() lockmgr.Class { return t.Profile.Class }
+
+// ResponseTime is Complete − Arrival (external wait + inside time).
+func (t *Txn) ResponseTime() float64 { return t.Item.ResponseTime() }
+
+// ExternalWait is Dispatch − Arrival.
+func (t *Txn) ExternalWait() float64 { return t.Item.ExternalWait() }
+
+// Frontend is the external scheduler over a simulated DBMS. It embeds
+// the generic core.Frontend, so all gate controls (SetMPL, QueueLen,
+// Metrics, SetQueueLimit, EnablePercentiles, …) are available directly.
+type Frontend struct {
+	*core.Frontend
+	db *dbms.DB
+	// OnComplete, if set, observes every committed transaction (used by
+	// drivers for closed-loop clients and by controller wiring).
+	OnComplete func(*Txn)
+	// OnDrop, if set, observes admission-control rejections.
+	OnDrop func(*Txn)
+}
+
+// backend executes admitted items on the simulated DBMS.
+type backend struct {
+	db *dbms.DB
+	fe *core.Frontend
+}
+
+func (b *backend) Exec(it *core.Item) {
+	t := it.Payload.(*Txn)
+	b.db.Exec(t.Profile, func(r dbms.Result) {
+		t.Result = r
+		b.fe.Complete(it, core.Outcome{InsideTime: r.InsideTime, Restarts: r.Restarts})
+	})
+}
+
+// New builds a frontend over db with the given MPL (0 = unlimited) and
+// policy (nil = FIFO), on the engine's virtual clock.
+func New(eng *sim.Engine, db *dbms.DB, mpl int, policy core.Policy) *Frontend {
+	f := &Frontend{db: db}
+	be := &backend{db: db}
+	f.Frontend = core.New(eng.Clock(), be, mpl, policy)
+	be.fe = f.Frontend
+	f.Frontend.OnComplete = func(it *core.Item) {
+		if f.OnComplete != nil {
+			f.OnComplete(it.Payload.(*Txn))
+		}
+	}
+	f.Frontend.OnDrop = func(it *core.Item) {
+		if f.OnDrop != nil {
+			f.OnDrop(it.Payload.(*Txn))
+		}
+	}
+	return f
+}
+
+// txnDone adapts the per-item completion callback to the Txn-level one.
+// A package-level func value, so passing it allocates nothing.
+func txnDone(it *core.Item) {
+	t := it.Payload.(*Txn)
+	t.done(t)
+}
+
+// Submit delivers a new transaction to the external scheduler.
+func (f *Frontend) Submit(profile dbms.TxnProfile) *Txn {
+	return f.SubmitCB(profile, nil)
+}
+
+// SubmitCB is Submit with a per-transaction completion callback (used
+// by closed-loop drivers to cycle their client). cb runs before the
+// frontend-wide OnComplete hook. Under a queue limit (admission-
+// control mode) the transaction may be rejected: it is returned with
+// no callbacks scheduled and counted in Dropped.
+func (f *Frontend) SubmitCB(profile dbms.TxnProfile, cb func(*Txn)) *Txn {
+	t := &Txn{Profile: profile, done: cb}
+	it := &t.Item
+	it.Class = core.Class(profile.Class)
+	it.SizeHint = profile.EstimatedDemand
+	it.Payload = t
+	var done func(*core.Item)
+	if cb != nil {
+		done = txnDone
+	}
+	f.Frontend.Submit(it, done)
+	return t
+}

@@ -25,7 +25,7 @@ func GroupCommitAblation(setupID int, mpls []int, opts RunOpts) (*Figure, error)
 	}
 	variants := []bool{false, true}
 	// Flatten (variant, MPL) into one parallel sweep.
-	tputs, err := Sweep(len(variants)*len(mpls), func(i int) (float64, error) {
+	tputs, err := SweepContext(opts.ctx(), len(variants)*len(mpls), func(i int) (float64, error) {
 		gc, m := variants[i/len(mpls)], mpls[i%len(mpls)]
 		r, err := RunClosed(setup, m, nil, workload.DBOptions{GroupCommit: gc}, opts)
 		if err != nil {
@@ -74,7 +74,7 @@ func POWAblation(opts RunOpts) (*Figure, error) {
 	high := Series{Name: "HighPrio RT (s)"}
 	low := Series{Name: "LowPrio RT (s)"}
 	preempt := Series{Name: "preemptions"}
-	results, err := Sweep(len(variants), func(i int) (RunResult, error) {
+	results, err := SweepContext(opts.ctx(), len(variants), func(i int) (RunResult, error) {
 		return RunClosed(setup, 0, nil, variants[i].dbo, opts)
 	})
 	if err != nil {
@@ -119,7 +119,7 @@ func PolicyComparison(setupID, mpl int, opts RunOpts) (*Figure, error) {
 		{"sjf", func() core.Policy { return core.NewSJF() }},
 		{"priority", func() core.Policy { return core.NewPriority() }},
 	}
-	results, err := Sweep(len(policies), func(i int) (RunResult, error) {
+	results, err := SweepContext(opts.ctx(), len(policies), func(i int) (RunResult, error) {
 		return RunClosed(setup, mpl, policies[i].mk(), workload.DBOptions{}, opts)
 	})
 	if err != nil {
@@ -162,7 +162,7 @@ func AdmissionComparison(setupID, mpl, queueLimit int, utilization float64, opts
 	completed := Series{Name: "completed/s"}
 	dropped := Series{Name: "dropped/s"}
 	limits := []int{0, queueLimit}
-	results, err := Sweep(len(limits), func(i int) (openLimitResult, error) {
+	results, err := SweepContext(opts.ctx(), len(limits), func(i int) (openLimitResult, error) {
 		return runOpenWithLimit(setup, mpl, lambda, limits[i], opts)
 	})
 	if err != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"extsched/internal/controller"
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/sim"
 	"extsched/internal/workload"
@@ -54,7 +54,7 @@ func RunController(setupID int, lossFrac float64, jumpStart bool, opts RunOpts) 
 	if err != nil {
 		return ControllerRun{}, err
 	}
-	fe := core.New(eng, db, start, nil)
+	fe := dbfe.New(eng, db, start, nil)
 	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
 	if err != nil {
 		return ControllerRun{}, err
@@ -62,12 +62,20 @@ func RunController(setupID int, lossFrac float64, jumpStart bool, opts RunOpts) 
 	workload.Prewarm(db, setup.Workload, opts.Seed)
 	workload.NewClosedDriver(eng, fe, gen, opts.Clients, nil).Start()
 	eng.Run(opts.Warmup)
-	ctl, err := controller.New(eng, fe, controller.Config{
+	ctl, err := controller.New(eng.Clock(), fe, controller.Config{
 		Targets:   controller.Targets{MaxThroughputLoss: lossFrac},
 		Reference: controller.Reference{MaxThroughput: base.Throughput()},
 	})
 	if err != nil {
 		return ControllerRun{}, err
+	}
+	// Feed the controller the frontend's completion stream.
+	prev := fe.OnComplete
+	fe.OnComplete = func(t *dbfe.Txn) {
+		if prev != nil {
+			prev(t)
+		}
+		ctl.Observe()
 	}
 	// Observation windows are CI-gated, so their length adapts to the
 	// workload's noise; give the loop a generous horizon.
@@ -109,7 +117,7 @@ func ControllerFigure(setupIDs []int, lossFrac float64, jumpStart bool, opts Run
 	allUnder10 := true
 	// Each convergence trial owns its engine, frontend, and controller,
 	// so the setups fan out across the sweep pool.
-	results, err := Sweep(len(setupIDs), func(i int) (ControllerRun, error) {
+	results, err := SweepContext(opts.ctx(), len(setupIDs), func(i int) (ControllerRun, error) {
 		r, err := RunController(setupIDs[i], lossFrac, jumpStart, opts)
 		if err != nil {
 			return ControllerRun{}, fmt.Errorf("setup %d: %w", setupIDs[i], err)

@@ -27,10 +27,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/sim"
 	"extsched/internal/workload"
@@ -123,6 +125,19 @@ type RunOpts struct {
 	Clients int
 	// Seed drives all randomness.
 	Seed uint64
+	// Ctx, when non-nil, cancels figure sweeps early: every Sweep a
+	// driver fans out checks it between points (see SweepContext).
+	// cmd/benchrunner wires SIGINT/SIGTERM here so a long "-exp all"
+	// run dies cleanly at the first interrupt.
+	Ctx context.Context
+}
+
+// ctx resolves the sweep context (Background when unset).
+func (o RunOpts) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o RunOpts) withDefaults(setup workload.Setup) RunOpts {
@@ -174,7 +189,7 @@ func (r RunResult) MeanRT() float64 { return r.Metrics.All.Mean() }
 
 // buildStack assembles engine + DB + frontend + generator for a setup,
 // with the buffer pool pre-warmed.
-func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (*sim.Engine, *dbms.DB, *core.Frontend, *workload.Generator, error) {
+func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (*sim.Engine, *dbms.DB, *dbfe.Frontend, *workload.Generator, error) {
 	if dbo.Seed == 0 {
 		dbo.Seed = opts.Seed
 	}
@@ -183,7 +198,7 @@ func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	fe := core.New(eng, db, mpl, policy)
+	fe := dbfe.New(eng, db, mpl, policy)
 	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
 	if err != nil {
 		return nil, nil, nil, nil, err

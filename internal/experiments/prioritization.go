@@ -155,7 +155,7 @@ func Figure11(lossFrac float64, setupIDs []int, opts RunOpts) (*Figure, error) {
 	var sumDiff, sumPen, sumOverall float64
 	// One sweep point per setup: each point runs the full pipeline
 	// (baseline probe, MPL search, prioritized run) independently.
-	results, err := Sweep(len(setupIDs), func(i int) (PrioritizationResult, error) {
+	results, err := SweepContext(opts.ctx(), len(setupIDs), func(i int) (PrioritizationResult, error) {
 		r, err := RunPrioritization(setupIDs[i], lossFrac, opts)
 		if err != nil {
 			return PrioritizationResult{}, fmt.Errorf("setup %d: %w", setupIDs[i], err)
@@ -231,7 +231,7 @@ func CompareInternalExternal(setupID int, opts RunOpts) ([]InternalComparison, e
 	// Variant 0 is the internal-prioritization run; 1..3 are the
 	// external runs at their loss-targeted MPLs (each embedding its own
 	// sequential MPL search). All four fan out in parallel.
-	out, err := Sweep(1+len(externals), func(i int) (InternalComparison, error) {
+	out, err := SweepContext(opts.ctx(), 1+len(externals), func(i int) (InternalComparison, error) {
 		if i == 0 {
 			internal, err := RunClosed(setup, 0, nil, internalOpts, opts)
 			if err != nil {

@@ -35,7 +35,7 @@ func Section32RT(setupID int, utilization float64, mpls []int, opts RunOpts) (*F
 	s := Series{Name: "meanRT (s)"}
 	var noMPL float64
 	grid := append(append([]int{}, mpls...), 0) // trailing 0 = no-MPL reference
-	rts, err := Sweep(len(grid), func(i int) (float64, error) {
+	rts, err := SweepContext(opts.ctx(), len(grid), func(i int) (float64, error) {
 		r, err := RunOpen(setup, grid[i], lambda, nil, workload.DBOptions{}, opts)
 		if err != nil {
 			return 0, err

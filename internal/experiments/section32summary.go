@@ -86,7 +86,7 @@ func minMPLForRT(setupID int, utilization, tolerance float64, mpls []int, opts R
 		rtAt = func(i int) (float64, error) { return probe(mpls[i]) }
 	} else {
 		grid := append([]int{0}, mpls...) // index 0 = no-MPL reference
-		rts, err := Sweep(len(grid), func(i int) (float64, error) {
+		rts, err := SweepContext(opts.ctx(), len(grid), func(i int) (float64, error) {
 			return probe(grid[i])
 		})
 		if err != nil {

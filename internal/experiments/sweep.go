@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -27,7 +28,18 @@ var DefaultWorkers = 0
 // (deterministic regardless of scheduling); remaining points may be
 // skipped.
 func Sweep[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return SweepWorkers(DefaultWorkers, n, fn)
+	return sweep(context.Background(), DefaultWorkers, n, fn)
+}
+
+// SweepContext is Sweep with cancellation: once ctx is done, workers
+// stop claiming new points and the call returns ctx.Err() (results of
+// already-finished points are discarded). A long figure sweep driven
+// by cmd/benchrunner dies at the first SIGINT this way instead of
+// grinding through hundreds of remaining simulation points. fn itself
+// is not interrupted mid-point; cancellation is checked between
+// points, so latency is bounded by one simulation run.
+func SweepContext[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep(ctx, DefaultWorkers, n, fn)
 }
 
 // EffectiveWorkers resolves DefaultWorkers to the pool size a Sweep
@@ -41,6 +53,11 @@ func EffectiveWorkers() int {
 
 // SweepWorkers is Sweep with an explicit pool size (0 = GOMAXPROCS).
 func SweepWorkers[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep(context.Background(), workers, n, fn)
+}
+
+// sweep is the shared worker-pool implementation.
+func sweep[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -53,6 +70,9 @@ func SweepWorkers[T any](workers, n int, fn func(i int) (T, error)) ([]T, error)
 	results := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -100,6 +120,9 @@ func SweepWorkers[T any](workers, n int, fn func(i int) (T, error)) ([]T, error)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -127,11 +150,17 @@ func SweepWorkers[T any](workers, n int, fn func(i int) (T, error)) ([]T, error)
 	wg.Wait()
 	// Report the lowest-indexed outcome, mirroring the sequential loop:
 	// it would have stopped at the first bad point, panic or error.
+	// Panics outrank cancellation (they are model bugs, not shutdown).
 	for i := 0; i < n; i++ {
 		if panics[i] != nil {
 			panic(fmt.Sprintf("experiments: sweep point %d panicked: %v\nworker stack:\n%s",
 				i, panics[i].value, panics[i].stack))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
@@ -163,7 +192,7 @@ func throughputGrid(ids []int, mpls []int, opts RunOpts) ([]Series, error) {
 			points = append(points, sweepPoint{setupID: id, mpl: m})
 		}
 	}
-	tputs, err := Sweep(len(points), func(i int) (float64, error) {
+	tputs, err := SweepContext(opts.ctx(), len(points), func(i int) (float64, error) {
 		p := points[i]
 		setup, err := workload.SetupByID(p.setupID)
 		if err != nil {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -168,5 +170,84 @@ func assertFiguresIdentical(t *testing.T, seq, par *Figure) {
 	}
 	if !reflect.DeepEqual(seq.Notes, par.Notes) {
 		t.Errorf("notes diverge:\nsequential: %v\nparallel:   %v", seq.Notes, par.Notes)
+	}
+}
+
+func TestSweepContextCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := SweepContext(ctx, 10, func(i int) (int, error) {
+		calls++
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("fn ran %d times under a dead context", calls)
+	}
+}
+
+func TestSweepContextCancelMidSweep(t *testing.T) {
+	// Cancel after a few points: the sweep must return ctx.Err() and
+	// stop claiming new points (running ones finish).
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := SweepContext(ctx, 1000, func(i int) (int, error) {
+		if started.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Errorf("all %d points ran despite cancellation", n)
+	}
+}
+
+func TestSweepContextSequentialPathCancels(t *testing.T) {
+	old := DefaultWorkers
+	DefaultWorkers = 1
+	defer func() { DefaultWorkers = old }()
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := SweepContext(ctx, 100, func(i int) (int, error) {
+		calls++
+		if i == 4 {
+			cancel()
+		}
+		return i, nil
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if calls != 5 {
+		t.Errorf("fn ran %d times, want 5 (cancel checked between points)", calls)
+	}
+}
+
+func TestSweepContextBackgroundCompletes(t *testing.T) {
+	out, err := SweepContext(context.Background(), 8, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunOptsCtxCancelsFigureDriver(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ThroughputVsMPL(1, []int{1, 2, 3}, RunOpts{Warmup: 1, Measure: 2, Ctx: ctx})
+	if err != context.Canceled {
+		t.Errorf("figure driver under dead context = %v, want context.Canceled", err)
 	}
 }

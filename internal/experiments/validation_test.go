@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/lockmgr"
@@ -35,10 +36,10 @@ func runOpenCPUOnly(t *testing.T, d dist.Distribution, lambda float64, mpl int, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := core.New(eng, db, mpl, nil)
+	fe := dbfe.New(eng, db, mpl, nil)
 	g := sim.NewRNG(8, 0)
 	var rts stats.Accumulator
-	fe.OnComplete = func(tx *core.Txn) { rts.Add(tx.ResponseTime()) }
+	fe.OnComplete = func(tx *dbfe.Txn) { rts.Add(tx.ResponseTime()) }
 	var key uint64 = 1 << 45
 	var arrive func(remaining int)
 	arrive = func(remaining int) {
@@ -129,7 +130,7 @@ func TestLittlesLawInFrontend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := core.New(eng, db, 3, nil)
+	fe := dbfe.New(eng, db, 3, nil)
 	g := sim.NewRNG(4, 0)
 	job := dist.FitH2(0.01, 5)
 	lambda := 60.0
@@ -143,7 +144,7 @@ func TestLittlesLawInFrontend(t *testing.T) {
 		lastT = now
 	}
 	var rts stats.Accumulator
-	fe.OnComplete = func(tx *core.Txn) {
+	fe.OnComplete = func(tx *dbfe.Txn) {
 		// OnComplete fires after the departure was subtracted from the
 		// frontend's counters; the elapsed interval still contained the
 		// departing transaction, so add it back for this sample.
@@ -189,7 +190,7 @@ func TestPriorityClassesConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := core.New(eng, db, 1, core.NewPriority())
+	fe := dbfe.New(eng, db, 1, core.NewPriority())
 	g := sim.NewRNG(6, 0)
 	job := dist.FitH2(0.01, 5)
 	var key uint64 = 1 << 47
@@ -246,11 +247,11 @@ func TestSimulatorMatchesErlangC(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fe := core.New(eng, db, 0, nil)
+		fe := dbfe.New(eng, db, 0, nil)
 		g := sim.NewRNG(18, 0)
 		job := dist.NewExponential(0.01) // mu = 100
 		var rts stats.Accumulator
-		fe.OnComplete = func(tx *core.Txn) { rts.Add(tx.ResponseTime()) }
+		fe.OnComplete = func(tx *dbfe.Txn) { rts.Add(tx.ResponseTime()) }
 		var key uint64 = 1 << 48
 		const n = 150000
 		var arrive func(remaining int)

@@ -1,0 +1,73 @@
+package sim
+
+import "time"
+
+// Clock abstracts time for components that must run both under the
+// deterministic virtual-time engine and against real time: the
+// external-scheduling frontend, the feedback controller, and anything
+// else that only needs "what time is it" and "call me later". Simulated
+// and wall implementations both measure time in float64 seconds since
+// an arbitrary epoch.
+type Clock interface {
+	// Now returns the current time in seconds since the clock's epoch.
+	Now() float64
+	// After schedules fn to run once, d seconds from now, and returns a
+	// Timer that can withdraw it. Non-positive d fires as soon as
+	// possible. Whether fn runs on the caller's goroutine (virtual
+	// time) or its own (wall time) is implementation-defined, so fn
+	// must be safe for either.
+	After(d float64, fn func()) Timer
+}
+
+// Timer is a pending Clock callback.
+type Timer interface {
+	// Cancel stops the callback if it has not fired yet. It is safe to
+	// call repeatedly, from any goroutine, and after the timer fired.
+	Cancel()
+}
+
+// Clock returns the engine's virtual-time view of the Clock interface.
+// Callbacks run on the engine's event loop, like any other event.
+func (e *Engine) Clock() Clock { return engineClock{e} }
+
+type engineClock struct{ e *Engine }
+
+func (c engineClock) Now() float64 { return c.e.Now() }
+
+func (c engineClock) After(d float64, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return engineTimer{e: c.e, h: c.e.After(d, fn)}
+}
+
+type engineTimer struct {
+	e *Engine
+	h Handle
+}
+
+func (t engineTimer) Cancel() { t.e.Cancel(t.h) }
+
+// WallClock is the live-traffic Clock: Now is the seconds elapsed
+// since NewWallClock on the runtime's monotonic source (immune to
+// system-time steps), and After fires on real timers. It is safe for
+// concurrent use by any number of goroutines.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a wall clock whose epoch is now.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+func (c *WallClock) Now() float64 { return time.Since(c.epoch).Seconds() }
+
+func (c *WallClock) After(d float64, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return wallTimer{t: time.AfterFunc(time.Duration(d*float64(time.Second)), fn)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) Cancel() { t.t.Stop() }

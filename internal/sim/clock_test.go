@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEngineClockNowTracksEngine(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Clock()
+	if c.Now() != 0 {
+		t.Fatalf("Now = %v at start, want 0", c.Now())
+	}
+	eng.At(5, func() {})
+	eng.RunAll()
+	if c.Now() != 5 {
+		t.Errorf("Now = %v after running to t=5", c.Now())
+	}
+}
+
+func TestEngineClockAfterFiresInVirtualTime(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Clock()
+	var at float64 = -1
+	c.After(3, func() { at = eng.Now() })
+	eng.RunAll()
+	if at != 3 {
+		t.Errorf("callback fired at %v, want 3", at)
+	}
+}
+
+func TestEngineClockCancel(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Clock()
+	fired := false
+	tm := c.After(1, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // repeated cancel is a no-op
+	eng.RunAll()
+	if fired {
+		t.Error("canceled timer fired")
+	}
+}
+
+func TestEngineClockNegativeDelayClamps(t *testing.T) {
+	eng := NewEngine()
+	eng.At(2, func() {})
+	eng.RunAll() // clock at 2
+	fired := false
+	eng.Clock().After(-1, func() { fired = true })
+	eng.RunAll()
+	if !fired {
+		t.Error("negative-delay callback never fired")
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("wall clock did not advance: %v -> %v", a, b)
+	}
+	if a < 0 || a > 1 {
+		t.Errorf("epoch-relative Now = %v, want near zero", a)
+	}
+}
+
+func TestWallClockAfterFires(t *testing.T) {
+	c := NewWallClock()
+	done := make(chan float64, 1)
+	c.After(0.001, func() { done <- c.Now() })
+	select {
+	case at := <-done:
+		if at < 0.001 {
+			t.Errorf("fired at %v, before the 1 ms delay", at)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestWallClockCancelStopsTimer(t *testing.T) {
+	c := NewWallClock()
+	fired := make(chan struct{}, 1)
+	tm := c.After(0.05, func() { fired <- struct{}{} })
+	tm.Cancel()
+	tm.Cancel()
+	select {
+	case <-fired:
+		t.Error("canceled wall timer fired")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestWallClockConcurrentUse(t *testing.T) {
+	c := NewWallClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = c.Now()
+				c.After(0.0001, func() {}).Cancel()
+			}
+		}()
+	}
+	wg.Wait()
+}

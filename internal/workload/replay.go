@@ -3,7 +3,7 @@ package workload
 import (
 	"fmt"
 
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/sim"
 	"extsched/internal/trace"
 )
@@ -15,7 +15,7 @@ import (
 // their own transaction logs to the tool to pick an MPL.
 type TraceDriver struct {
 	eng     *sim.Engine
-	fe      *core.Frontend
+	fe      *dbfe.Frontend
 	tr      *trace.Trace
 	stopped bool
 	started uint64
@@ -25,7 +25,7 @@ type TraceDriver struct {
 }
 
 // NewTraceDriver validates the trace and returns a replayer.
-func NewTraceDriver(eng *sim.Engine, fe *core.Frontend, tr *trace.Trace) (*TraceDriver, error) {
+func NewTraceDriver(eng *sim.Engine, fe *dbfe.Frontend, tr *trace.Trace) (*TraceDriver, error) {
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("workload: cannot replay an empty trace")
 	}

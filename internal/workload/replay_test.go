@@ -4,14 +4,14 @@ import (
 	"math"
 	"testing"
 
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/sim"
 	"extsched/internal/trace"
 )
 
-func replayRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
+func replayRig(t *testing.T, mpl int) (*sim.Engine, *dbfe.Frontend) {
 	t.Helper()
 	eng := sim.NewEngine()
 	db, err := dbms.New(eng, dbms.Config{
@@ -21,7 +21,7 @@ func replayRig(t *testing.T, mpl int) (*sim.Engine, *core.Frontend) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return eng, core.New(eng, db, mpl, nil)
+	return eng, dbfe.New(eng, db, mpl, nil)
 }
 
 func TestTraceDriverReplaysAll(t *testing.T) {
@@ -53,7 +53,7 @@ func TestTraceDriverTiming(t *testing.T) {
 	}
 	eng, fe := replayRig(t, 0)
 	var completions []float64
-	fe.OnComplete = func(tx *core.Txn) { completions = append(completions, tx.Arrival) }
+	fe.OnComplete = func(tx *dbfe.Txn) { completions = append(completions, tx.Item.Arrival) }
 	d, err := NewTraceDriver(eng, fe, tr)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +79,7 @@ func TestTraceDriverSpeedup(t *testing.T) {
 	}
 	eng, fe := replayRig(t, 0)
 	var arrivals []float64
-	fe.OnComplete = func(tx *core.Txn) { arrivals = append(arrivals, tx.Arrival) }
+	fe.OnComplete = func(tx *dbfe.Txn) { arrivals = append(arrivals, tx.Item.Arrival) }
 	d, err := NewTraceDriver(eng, fe, tr)
 	if err != nil {
 		t.Fatal(err)

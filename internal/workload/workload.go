@@ -19,7 +19,7 @@ import (
 	"slices"
 
 	"extsched/internal/bufferpool"
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/lockmgr"
@@ -237,7 +237,7 @@ func (g *Generator) NextWithClass(class lockmgr.Class) dbms.TxnProfile {
 // and repeats — the paper's Section 3.1 closed system with 100 clients.
 type ClosedDriver struct {
 	eng     *sim.Engine
-	fe      *core.Frontend
+	fe      *dbfe.Frontend
 	gen     *Generator
 	clients int
 	think   dist.Distribution
@@ -247,7 +247,7 @@ type ClosedDriver struct {
 
 // NewClosedDriver builds a driver with the given client count and
 // think-time distribution (use dist.NewDeterministic(0) for no think).
-func NewClosedDriver(eng *sim.Engine, fe *core.Frontend, gen *Generator, clients int, think dist.Distribution) *ClosedDriver {
+func NewClosedDriver(eng *sim.Engine, fe *dbfe.Frontend, gen *Generator, clients int, think dist.Distribution) *ClosedDriver {
 	if clients < 1 {
 		panic(fmt.Sprintf("workload: clients %d must be >= 1", clients))
 	}
@@ -271,7 +271,7 @@ func (d *ClosedDriver) cycle() {
 	if d.stopped {
 		return
 	}
-	d.fe.SubmitCB(d.gen.Next(), func(*core.Txn) {
+	d.fe.SubmitCB(d.gen.Next(), func(*dbfe.Txn) {
 		if d.stopped {
 			return
 		}
@@ -288,7 +288,7 @@ func (d *ClosedDriver) cycle() {
 // Section 3.2 open system.
 type OpenDriver struct {
 	eng     *sim.Engine
-	fe      *core.Frontend
+	fe      *dbfe.Frontend
 	gen     *Generator
 	lambda  float64
 	rng     *sim.RNG
@@ -299,7 +299,7 @@ type OpenDriver struct {
 
 // NewOpenDriver builds a Poisson driver with rate lambda (> 0)
 // transactions per second. limit caps total arrivals (0 = none).
-func NewOpenDriver(eng *sim.Engine, fe *core.Frontend, gen *Generator, lambda float64, limit uint64) *OpenDriver {
+func NewOpenDriver(eng *sim.Engine, fe *dbfe.Frontend, gen *Generator, lambda float64, limit uint64) *OpenDriver {
 	if lambda <= 0 {
 		panic(fmt.Sprintf("workload: lambda %v must be positive", lambda))
 	}

@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"extsched/internal/core"
+	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
 	"extsched/internal/lockmgr"
@@ -201,7 +201,7 @@ func TestClosedDriverPopulationInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe := core.New(eng, db, 5, nil)
+	fe := dbfe.New(eng, db, 5, nil)
 	g, _ := NewGenerator(spec, 5)
 	d := NewClosedDriver(eng, fe, g, 20, nil)
 	d.Start()
@@ -232,7 +232,7 @@ func TestClosedDriverThinkTime(t *testing.T) {
 		DiskService:     spec.DiskService,
 		LogService:      spec.LogService,
 	})
-	fe := core.New(eng, db, 0, nil)
+	fe := dbfe.New(eng, db, 0, nil)
 	g, _ := NewGenerator(spec, 6)
 	// Huge think time: with 10 clients and 100s thinks, throughput
 	// ≈ 10/100 = 0.1/s (service time negligible).
@@ -257,7 +257,7 @@ func TestOpenDriverPoissonRate(t *testing.T) {
 		DiskService:     spec.DiskService,
 		LogService:      spec.LogService,
 	})
-	fe := core.New(eng, db, 0, nil)
+	fe := dbfe.New(eng, db, 0, nil)
 	g, _ := NewGenerator(spec, 8)
 	d := NewOpenDriver(eng, fe, g, 20, 0)
 	d.Start()
@@ -279,7 +279,7 @@ func TestOpenDriverLimit(t *testing.T) {
 		DiskService:     spec.DiskService,
 		LogService:      spec.LogService,
 	})
-	fe := core.New(eng, db, 0, nil)
+	fe := dbfe.New(eng, db, 0, nil)
 	g, _ := NewGenerator(spec, 9)
 	d := NewOpenDriver(eng, fe, g, 100, 50)
 	d.Start()
@@ -329,7 +329,7 @@ func TestDriverValidation(t *testing.T) {
 	eng := sim.NewEngine()
 	spec := WCPUInventory()
 	db, _ := dbms.New(eng, dbms.Config{CPUs: 1, Disks: 1, BufferPoolPages: spec.BufferPoolPages})
-	fe := core.New(eng, db, 1, nil)
+	fe := dbfe.New(eng, db, 1, nil)
 	g, _ := NewGenerator(spec, 1)
 	func() {
 		defer func() {
