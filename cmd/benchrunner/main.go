@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open c2 controller controller-ablation all")
+		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open surge c2 controller controller-ablation all")
 		loss     = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
 		util     = flag.Float64("util", 0.7, "open-system utilization for rt-open")
 		setup    = flag.Int("setup", 3, "setup id for rt-open")
@@ -200,6 +200,8 @@ func run(id string, loss, util float64, setupID int, opts experiments.RunOpts) (
 		return experiments.FigureInternal(3, opts)
 	case "rt-open":
 		return experiments.Section32RT(setupID, util, []int{1, 2, 4, 6, 8, 10, 15, 20, 30}, opts)
+	case "surge":
+		return experiments.SurgeFigure(setupID, loss, opts)
 	case "rt-summary":
 		return experiments.Section32Summary(0.1, opts)
 	case "c2":

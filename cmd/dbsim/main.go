@@ -1,14 +1,25 @@
-// Command dbsim runs a single simulated-DBMS experiment and prints its
-// metrics — the quickest way to poke at one configuration.
+// Command dbsim runs a simulated-DBMS experiment and prints its
+// metrics — the quickest way to poke at one configuration, or to run a
+// scripted multi-phase scenario from a JSON file.
 //
 // Examples:
 //
 //	dbsim -setup 1 -mpl 5
 //	dbsim -workload W_CPU-browsing -cpus 2 -mpl 8 -policy priority
-//	dbsim -setup 8 -mpl 0 -measure 600      # no limit, long run
+//	dbsim -setup 8 -mpl 0 -measure 600          # no limit, long run
+//	dbsim -setup 1 -mpl 5 -scenario surge.json  # scripted traffic
+//	dbsim -setup 1 -scenario-example            # print a template file
+//
+// A scenario file is the JSON encoding of extsched.Scenario: a warmup,
+// a sample interval, and an ordered list of phases (closed, open,
+// ramp, burst, trace) with optional mid-phase events (set_mpl,
+// set_wfq_high_weight, enable_controller, disable_controller). With
+// -scenario, dbsim prints a per-phase report table and, when the
+// scenario sets sample_interval, the interval time series.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,12 +55,19 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		lockPrio = fs.Bool("internal-lock-prio", false, "internal lock prioritization (POW)")
 		cpuPrio  = fs.Bool("internal-cpu-prio", false, "internal CPU prioritization (renice)")
+		scenario = fs.String("scenario", "", "run the JSON scenario in this file instead of a single closed/open run")
+		example  = fs.Bool("scenario-example", false, "print an example scenario JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil // usage already printed; -h is not a failure
 		}
 		return err
+	}
+
+	if *example {
+		fmt.Fprint(out, exampleScenario)
+		return nil
 	}
 
 	sys, err := extsched.NewSystem(extsched.Config{
@@ -68,6 +86,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, sys.Setup())
+	if *scenario != "" {
+		return runScenarioFile(sys, *scenario, out)
+	}
 	var rep extsched.Report
 	if *lambda > 0 {
 		rep, err = sys.RunOpen(*lambda, *warmup, *measure)
@@ -78,6 +99,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
+	printReport(out, rep)
+	return nil
+}
+
+func printReport(out io.Writer, rep extsched.Report) {
 	fmt.Fprintf(out, "completed:        %d txns in %.0f sim-seconds\n", rep.Completed, rep.SimSeconds)
 	fmt.Fprintf(out, "throughput:       %.2f txn/s\n", rep.Throughput)
 	fmt.Fprintf(out, "mean RT:          %.4f s (inside %.4f s, external wait %.4f s)\n",
@@ -88,5 +114,93 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "disk util:        %.3f\n", rep.DiskUtil)
 	fmt.Fprintf(out, "lock waits:       %d (deadlocks %d, preemptions %d, restarts %d)\n",
 		rep.LockWaits, rep.Deadlocks, rep.Preemptions, rep.Restarts)
+}
+
+// runScenarioFile loads, runs and reports a JSON scenario.
+func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sc, err := extsched.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+	res, err := sys.Run(context.Background(), sc)
+	if err != nil {
+		return err
+	}
+	if sc.Name != "" {
+		fmt.Fprintf(out, "scenario: %s\n", sc.Name)
+	}
+	fmt.Fprintf(out, "%-12s %-8s %10s %10s %12s %12s %10s\n",
+		"phase", "kind", "sim-secs", "txns", "tput (tx/s)", "meanRT (s)", "queuedRT")
+	for _, ph := range res.Phases {
+		fmt.Fprintf(out, "%-12s %-8s %10.1f %10d %12.2f %12.4f %10.4f\n",
+			ph.Name, ph.Kind, ph.SimSeconds, ph.Completed, ph.Throughput, ph.MeanRT, ph.ExternalW)
+	}
+	fmt.Fprintf(out, "%-12s %-8s %10.1f %10d %12.2f %12.4f %10.4f\n",
+		"TOTAL", "", res.Total.SimSeconds, res.Total.Completed,
+		res.Total.Throughput, res.Total.MeanRT, res.Total.ExternalW)
+	if res.Tune != nil {
+		fmt.Fprintf(out, "controller:       start MPL %d -> final MPL %d, %d iterations, converged %v\n",
+			res.Tune.StartMPL, res.Tune.FinalMPL, res.Tune.Iterations, res.Tune.Converged)
+	}
+	fmt.Fprintf(out, "final mpl:        %d\n", res.FinalMPL)
+	if len(res.Snapshots) > 0 {
+		fmt.Fprintf(out, "\n%10s %-12s %6s %8s %8s %12s %12s\n",
+			"time", "phase", "MPL", "queued", "txns", "tput (tx/s)", "meanRT (s)")
+		for _, s := range res.Snapshots {
+			fmt.Fprintf(out, "%10.1f %-12s %6d %8d %8d %12.2f %12.4f\n",
+				s.Time, s.Phase, s.Limit, s.Queued, s.Completed, s.Throughput, s.MeanResponse)
+		}
+	}
 	return nil
 }
+
+// exampleScenario is a runnable template for -scenario files: a steady
+// closed phase that hands the MPL to the feedback controller, an open
+// ramp surge, and a synthesized bursty trace replay.
+const exampleScenario = `{
+  "name": "surge-demo",
+  "warmup": 30,
+  "sample_interval": 20,
+  "phases": [
+    {
+      "name": "steady",
+      "kind": "closed",
+      "duration": 200,
+      "clients": 100,
+      "events": [
+        {
+          "at": 0,
+          "enable_controller": {
+            "max_throughput_loss": 0.05,
+            "reference_throughput": 95
+          }
+        }
+      ]
+    },
+    {
+      "name": "surge",
+      "kind": "ramp",
+      "duration": 200,
+      "lambda": 50,
+      "lambda2": 120
+    },
+    {
+      "name": "replay",
+      "kind": "trace",
+      "duration": 200,
+      "trace_synth": {
+        "N": 20000,
+        "MeanDemand": 0.01,
+        "DemandC2": 2.0,
+        "Lambda": 80,
+        "Burstiness": 2,
+        "Seed": 7
+      }
+    }
+  ]
+}
+`

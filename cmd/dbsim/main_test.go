@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"extsched"
 )
 
 // TestRunTinyClosed drives one small closed-system simulation end to
@@ -58,5 +63,60 @@ func TestRunHelpIsNotAnError(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Usage") {
 		t.Errorf("-h did not print usage:\n%s", out.String())
+	}
+}
+
+// TestRunScenarioExample: the built-in template must itself be a valid,
+// runnable scenario.
+func TestRunScenarioExample(t *testing.T) {
+	var tmpl strings.Builder
+	if err := run([]string{"-scenario-example"}, &tmpl); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, []byte(tmpl.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the template so the test stays fast: parse, trim, rewrite.
+	sc, err := extsched.ParseScenario([]byte(tmpl.String()))
+	if err != nil {
+		t.Fatalf("template scenario invalid: %v", err)
+	}
+	sc.Warmup = 2
+	sc.SampleInterval = 5
+	for i := range sc.Phases {
+		sc.Phases[i].Duration = 15
+	}
+	sc.Phases[0].Events = nil // controller needs long windows; drop it
+	small, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, small, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-setup", "1", "-mpl", "5", "-scenario", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"scenario: surge-demo", "steady", "surge", "replay", "TOTAL", "final mpl:        5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("scenario output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-setup", "1", "-scenario", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"phases":[{"kind":"zigzag"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-setup", "1", "-scenario", bad}, &out); err == nil {
+		t.Error("invalid scenario accepted")
 	}
 }

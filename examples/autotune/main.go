@@ -20,23 +20,23 @@ func main() {
 	fmt.Printf("Auto-tuning the MPL for setup %d (IO bound, 4 disks), max %d%% throughput loss\n\n",
 		setupID, int(maxLoss*100))
 
-	// Step 1 — measure the no-MPL reference (deployments could instead
-	// probe periodically or use the model's bound).
-	ref, err := extsched.NewSystem(extsched.Config{SetupID: setupID, Seed: 1})
+	// One System serves all three steps: each run rebuilds pristine
+	// simulation state, so the probe, the tuning run, and the
+	// verification run stay independent.
+	sys, err := extsched.NewSystem(extsched.Config{SetupID: setupID, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := ref.RunClosed(100, 100, 800)
+
+	// Step 1 — measure the no-MPL reference (deployments could instead
+	// probe periodically or use the model's bound).
+	base, err := sys.RunClosed(100, 100, 800)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("reference (no MPL): %.2f tx/s, mean RT %.2fs\n", base.Throughput, base.MeanRT)
 
 	// Step 2 — run the jump-started feedback controller.
-	sys, err := extsched.NewSystem(extsched.Config{SetupID: setupID, Seed: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
 	res, err := sys.AutoTune(100, maxLoss, base.Throughput, 20000)
 	if err != nil {
 		log.Fatal(err)
@@ -46,11 +46,8 @@ func main() {
 		res.Converged, res.Iterations, res.FinalMPL)
 
 	// Step 3 — verify the tuned MPL holds the throughput target.
-	check, err := extsched.NewSystem(extsched.Config{SetupID: setupID, MPL: res.FinalMPL, Seed: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep, err := check.RunClosed(100, 100, 800)
+	sys.SetMPL(res.FinalMPL)
+	rep, err := sys.RunClosed(100, 100, 800)
 	if err != nil {
 		log.Fatal(err)
 	}

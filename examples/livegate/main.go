@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"extsched/gate"
+	"extsched/metrics"
 )
 
 const (
@@ -122,14 +123,23 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	deadline := time.Now().Add(15 * time.Second)
-	for !g.TuneStatus().Converged && time.Now().Before(deadline) {
-		time.Sleep(500 * time.Millisecond)
-		s := g.Stats()
+	// Stream the walk-down: Watch delivers the same metrics.Snapshot
+	// vocabulary the simulator's scenario observers receive.
+	converged := make(chan struct{})
+	var once sync.Once
+	stopWatch := g.Watch(0.5, metrics.ObserverFunc(func(s gate.Stats) {
 		st := g.TuneStatus()
 		fmt.Printf("  limit %3d   throughput %7.0f/s (%5.1f%% of ref)   queued %2d   iterations %d\n",
 			st.Limit, s.Throughput, 100*s.Throughput/ref.Throughput, s.Queued, st.Iterations)
+		if st.Converged {
+			once.Do(func() { close(converged) })
+		}
+	}))
+	select {
+	case <-converged:
+	case <-time.After(15 * time.Second):
 	}
+	stopWatch()
 
 	st := g.TuneStatus()
 	g.ResetStats()

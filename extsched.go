@@ -21,13 +21,21 @@
 //     and the benchmarks at the repository root).
 //
 // The System type in this package is the high-level entry point: it
-// assembles a simulated DBMS for one of the paper's Table 2 setups (or
-// a custom configuration), wraps it with the external scheduler, and
-// runs closed or open workloads. Lower-level building blocks live in
-// the internal packages and are exercised through System accessors.
+// binds a simulated DBMS configuration — one of the paper's Table 2
+// setups, or a custom one — to the external scheduler, and runs
+// declarative Scenarios against it: ordered phases of traffic (closed
+// populations, open Poisson, bursty MMPP, rate ramps, trace replays)
+// with mid-phase control events (MPL changes, queue reweighting, the
+// feedback controller). Each Run rebuilds pristine simulation state
+// from the Config's seed, so a System is reusable and repeated runs
+// are bit-identical. RunClosed, RunOpen and AutoTune are thin wrappers
+// over one-phase scenarios; streaming time-series metrics flow to
+// metrics.Observer implementations registered with Observe. Lower-
+// level building blocks live in the internal packages.
 package extsched
 
 import (
+	"context"
 	"fmt"
 
 	"extsched/internal/controller"
@@ -38,8 +46,10 @@ import (
 	"extsched/internal/lockmgr"
 	"extsched/internal/queueing/mva"
 	"extsched/internal/queueing/qbd"
+	"extsched/internal/runner"
 	"extsched/internal/sim"
 	"extsched/internal/workload"
+	"extsched/metrics"
 )
 
 // Policy names accepted by Config.Policy.
@@ -110,10 +120,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("extsched: unknown policy %q (want %s, %s, %s or %s)",
 			c.Policy, PolicyFIFO, PolicyPriority, PolicySJF, PolicyWFQ)
 	}
-	switch c.Isolation {
-	case "", "RR", "UR", "SI":
-	default:
-		return fmt.Errorf("extsched: unknown isolation %q (want RR, UR or SI)", c.Isolation)
+	if _, err := parseIsolation(c.Isolation); err != nil {
+		return err
 	}
 	if c.HighPriorityFraction < 0 || c.HighPriorityFraction > 1 {
 		return fmt.Errorf("extsched: HighPriorityFraction %v outside [0,1]", c.HighPriorityFraction)
@@ -130,16 +138,37 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// System is an assembled simulated DBMS with its external scheduler.
+// System binds a resolved configuration to the scenario engine. It
+// holds no simulation state between runs: Run (and the RunClosed /
+// RunOpen / AutoTune wrappers) each assemble a pristine engine, DBMS,
+// frontend and generator from the Config's seed, which is what makes a
+// System reusable and its runs reproducible. A System is not safe for
+// concurrent use; build one per goroutine (they are cheap — assembly
+// happens per run).
 type System struct {
-	cfg    Config
-	setup  workload.Setup
-	eng    *sim.Engine
-	db     *dbms.DB
-	fe     *dbfe.Frontend
-	gen    *workload.Generator
-	closed *workload.ClosedDriver
-	open   *workload.OpenDriver
+	cfg       Config
+	setup     workload.Setup
+	observers []metrics.Observer
+	// cur points at the executing run's stack while Run is on the
+	// call stack, so MPL/SetMPL work from observer callbacks.
+	cur *runner.Stack
+}
+
+// parseIsolation is the single source of truth for isolation-level
+// names ("" defaults to RR). Config.Validate and resolveSetup both use
+// it, so the accepted set cannot drift between validation and
+// assembly.
+func parseIsolation(name string) (dbms.Isolation, error) {
+	switch name {
+	case "", "RR":
+		return dbms.RR, nil
+	case "UR":
+		return dbms.UR, nil
+	case "SI":
+		return dbms.SI, nil
+	default:
+		return 0, fmt.Errorf("extsched: unknown isolation %q (want RR, UR or SI)", name)
+	}
 }
 
 // resolveSetup maps a Config to a workload.Setup.
@@ -161,20 +190,15 @@ func resolveSetup(cfg Config) (workload.Setup, error) {
 	if disks == 0 {
 		disks = 1
 	}
-	iso := dbms.RR
-	switch cfg.Isolation {
-	case "", "RR":
-	case "UR":
-		iso = dbms.UR
-	case "SI":
-		iso = dbms.SI
-	default:
-		return workload.Setup{}, fmt.Errorf("extsched: unknown isolation %q (want RR, UR or SI)", cfg.Isolation)
+	iso, err := parseIsolation(cfg.Isolation)
+	if err != nil {
+		return workload.Setup{}, err
 	}
 	return workload.Setup{ID: 0, Workload: spec, CPUs: cpus, Disks: disks, Isolation: iso}, nil
 }
 
-// NewSystem builds a System from cfg.
+// NewSystem validates cfg and resolves its setup. No simulation state
+// is built here — that happens per Run.
 func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -186,43 +210,71 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	// Vet the policy name and workload spec now, so configuration
+	// errors surface at construction rather than on the first Run.
+	if _, err := core.NewPolicy(cfg.Policy, nil); err != nil {
+		return nil, err
+	}
+	if err := setup.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, setup: setup}, nil
+}
+
+// Observe registers observers that every subsequent Run streams
+// interval snapshots to (when the scenario sets SampleInterval).
+// Observers are called synchronously on the simulation goroutine, so
+// they may inspect the System — or steer it via SetMPL — mid-run.
+func (s *System) Observe(obs ...metrics.Observer) {
+	s.observers = append(s.observers, obs...)
+}
+
+// buildStack assembles the pristine per-run simulation state.
+func (s *System) buildStack(mpl int) (runner.Stack, error) {
+	cfg := s.cfg
 	w := cfg.WFQHighWeight
 	if w <= 0 {
 		w = 4
 	}
 	policy, err := core.NewPolicy(cfg.Policy, map[core.Class]float64{core.ClassHigh: w, core.ClassLow: 1})
 	if err != nil {
-		return nil, err
+		return runner.Stack{}, err
 	}
 	eng := sim.NewEngine()
-	db, err := dbms.New(eng, setup.BuildConfig(workload.DBOptions{
+	db, err := dbms.New(eng, s.setup.BuildConfig(workload.DBOptions{
 		LockPolicy:  map[bool]lockmgr.Policy{true: lockmgr.PriorityFIFO, false: lockmgr.FIFO}[cfg.InternalLockPriority],
 		POW:         cfg.InternalLockPriority,
 		CPUPriority: cfg.InternalCPUPriority,
 		Seed:        cfg.Seed,
 	}))
 	if err != nil {
-		return nil, err
+		return runner.Stack{}, err
 	}
-	fe := dbfe.New(eng, db, cfg.MPL, policy)
+	fe := dbfe.New(eng, db, mpl, policy)
 	if cfg.QueueLimit > 0 {
 		fe.SetQueueLimit(cfg.QueueLimit)
 	}
-	if cfg.PercentileSamples > 0 {
-		fe.EnablePercentiles(cfg.PercentileSamples, cfg.Seed)
-	}
-	gen, err := workload.NewGenerator(setup.Workload, cfg.Seed)
+	gen, err := workload.NewGenerator(s.setup.Workload, cfg.Seed)
 	if err != nil {
-		return nil, err
+		return runner.Stack{}, err
 	}
 	if cfg.HighPriorityFraction > 0 {
 		gen.HighFrac = cfg.HighPriorityFraction
 	}
-	workload.Prewarm(db, setup.Workload, cfg.Seed)
-	return &System{cfg: cfg, setup: setup, eng: eng, db: db, fe: fe, gen: gen}, nil
+	workload.Prewarm(db, s.setup.Workload, cfg.Seed)
+	return runner.Stack{
+		Eng: eng, DB: db, FE: fe, Gen: gen,
+		PercentileSamples: cfg.PercentileSamples,
+		Seed:              cfg.Seed,
+	}, nil
 }
 
-// Report summarizes a measured run.
+// Report summarizes one measurement window. The windowing rule is
+// uniform across all run styles: the window opens when warmup ends and
+// closes when the scenario's last phase elapses, and a completion
+// counts if and only if it lands inside the window — work still in
+// flight at the close is excluded, and nothing completing later can
+// pollute the numbers.
 type Report struct {
 	SimSeconds    float64
 	Completed     uint64
@@ -243,94 +295,64 @@ type Report struct {
 	P50, P95, P99 float64 // response-time percentiles (PercentileSamples mode)
 }
 
-func (s *System) report(simSeconds float64) Report {
-	m := s.fe.Metrics()
-	st := s.db.Stats()
-	return Report{
-		SimSeconds:  simSeconds,
-		Completed:   m.Completed,
-		Throughput:  m.Throughput(),
-		MeanRT:      m.All.Mean(),
-		HighRT:      m.High.Mean(),
-		LowRT:       m.Low.Mean(),
-		MeanInside:  m.Inside.Mean(),
-		ExternalW:   m.ExtWait.Mean(),
-		Restarts:    m.Restarts,
-		CPUUtil:     s.db.CPUUtilization(),
-		DiskUtil:    s.db.DiskUtilization(),
-		DemandC2:    m.Inside.C2(),
-		LockWaits:   st.Lock.Waits,
-		Deadlocks:   st.Lock.Deadlocks,
-		Preemptions: st.Lock.Preemptions,
-		Dropped:     s.fe.Dropped(),
-		P50:         s.fe.ResponseTimePercentile(50),
-		P95:         s.fe.ResponseTimePercentile(95),
-		P99:         s.fe.ResponseTimePercentile(99),
-	}
-}
-
 // RunClosed drives the system with a fixed client population (the
-// paper's closed system; it uses 100 clients) for measure simulated
-// seconds after warmup seconds of warm-up.
+// paper's closed system; clients <= 0 means its 100) for measure
+// simulated seconds after warmup seconds of warm-up. It is a one-phase
+// Scenario; the System is reusable afterwards.
 func (s *System) RunClosed(clients int, warmup, measure float64) (Report, error) {
-	if clients <= 0 {
-		clients = 100
+	if clients < 0 {
+		clients = 0
 	}
-	if s.closed != nil || s.open != nil {
-		return Report{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
-	}
-	s.closed = workload.NewClosedDriver(s.eng, s.fe, s.gen, clients, nil)
-	s.closed.Start()
-	s.eng.Run(warmup)
-	s.fe.ResetMetrics()
-	start := s.eng.Now()
-	s.eng.Run(start + measure)
-	s.closed.Stop()
-	return s.report(s.eng.Now() - start), nil
+	res, err := s.Run(context.Background(), Scenario{
+		Warmup: warmup,
+		Phases: []Phase{{Kind: PhaseClosed, Clients: clients, Duration: measure}},
+	})
+	return res.Total, err
 }
 
-// RunOpen drives the system with Poisson arrivals at rate lambda.
+// RunOpen drives the system with Poisson arrivals at rate lambda. Like
+// every run, it reports exactly the measure-second window: work still
+// queued or executing when the window closes is not counted.
 func (s *System) RunOpen(lambda, warmup, measure float64) (Report, error) {
-	if s.closed != nil || s.open != nil {
-		return Report{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
-	}
-	s.open = workload.NewOpenDriver(s.eng, s.fe, s.gen, lambda, 0)
-	s.open.Start()
-	s.eng.Run(warmup)
-	s.fe.ResetMetrics()
-	start := s.eng.Now()
-	s.eng.Run(start + measure)
-	s.open.Stop()
-	s.eng.RunAll()
-	return s.report(measure), nil
+	res, err := s.Run(context.Background(), Scenario{
+		Warmup: warmup,
+		Phases: []Phase{{Kind: PhaseOpen, Lambda: lambda, Duration: measure}},
+	})
+	return res.Total, err
 }
 
-// SetMPL changes the MPL mid-run (the controller does this live).
-func (s *System) SetMPL(mpl int) { s.fe.SetMPL(mpl) }
+// SetMPL changes the MPL: of the executing run when called from an
+// observer callback mid-run, otherwise of the configuration the next
+// run starts from.
+func (s *System) SetMPL(mpl int) {
+	if st := s.cur; st != nil {
+		st.FE.SetMPL(mpl)
+		return
+	}
+	s.cfg.MPL = mpl
+}
 
-// MPL returns the current limit.
-func (s *System) MPL() int { return s.fe.MPL() }
+// MPL returns the current limit: the executing run's live value
+// mid-run, the configured starting value otherwise.
+func (s *System) MPL() int {
+	if st := s.cur; st != nil {
+		return st.FE.MPL()
+	}
+	return s.cfg.MPL
+}
 
 // Setup describes the resolved Table 2 setup.
 func (s *System) Setup() string { return s.setup.String() }
 
-// TuneResult reports an AutoTune run.
-type TuneResult struct {
-	StartMPL   int
-	FinalMPL   int
-	Iterations int
-	Converged  bool
-}
-
 // AutoTune runs the Section 4.3 controller against this system under a
 // closed workload until convergence (or until horizon simulated
 // seconds elapse). maxLoss is the DBA's acceptable throughput loss
-// (e.g. 0.05); referenceTput the no-MPL optimum (measure it with a
-// separate unlimited System run, or use RecommendMPL's model).
+// (e.g. 0.05); referenceTput the no-MPL optimum (measure it with an
+// unlimited run, or use RecommendMPL's model). It is a one-phase
+// scenario: the queueing models pick the starting MPL, an event at the
+// window's start hands control to the feedback loop, and the run stops
+// at convergence.
 func (s *System) AutoTune(clients int, maxLoss, referenceTput, horizon float64) (TuneResult, error) {
-	if s.closed != nil || s.open != nil {
-		return TuneResult{}, fmt.Errorf("extsched: system already driven; build a fresh System per run")
-	}
 	cpuD, ioD := s.setup.Demands()
 	start, err := controller.JumpStart(controller.JumpStartInput{
 		CPUs: s.setup.CPUs, Disks: s.setup.Disks,
@@ -341,40 +363,29 @@ func (s *System) AutoTune(clients int, maxLoss, referenceTput, horizon float64) 
 	if err != nil {
 		return TuneResult{}, err
 	}
-	s.fe.SetMPL(start)
-	if clients <= 0 {
-		clients = 100
+	if clients < 0 {
+		clients = 0
 	}
-	s.closed = workload.NewClosedDriver(s.eng, s.fe, s.gen, clients, nil)
-	s.closed.Start()
-	s.eng.Run(horizon / 20) // warmup
-	ctl, err := controller.New(s.eng.Clock(), s.fe, controller.Config{
-		Targets:   controller.Targets{MaxThroughputLoss: maxLoss},
-		Reference: controller.Reference{MaxThroughput: referenceTput},
-	})
+	warm := horizon / 20
+	res, err := s.runScenario(context.Background(), Scenario{
+		Warmup:         warm,
+		SampleInterval: horizon / 40, // convergence-check granularity
+		Phases: []Phase{{
+			Kind: PhaseClosed, Clients: clients, Duration: horizon - warm,
+			Events: []Event{{EnableController: &ControllerSpec{
+				MaxThroughputLoss:   maxLoss,
+				ReferenceThroughput: referenceTput,
+				StopOnConverge:      true,
+			}}},
+		}},
+	}, &start)
 	if err != nil {
 		return TuneResult{}, err
 	}
-	// Feed the controller the frontend's completion stream.
-	prev := s.fe.OnComplete
-	s.fe.OnComplete = func(t *dbfe.Txn) {
-		if prev != nil {
-			prev(t)
-		}
-		ctl.Observe()
+	if res.Tune == nil {
+		return TuneResult{}, fmt.Errorf("extsched: controller never engaged")
 	}
-	for s.eng.Now() < horizon && !ctl.Converged() {
-		if s.eng.Run(s.eng.Now()+horizon/40) == 0 {
-			break
-		}
-	}
-	s.closed.Stop()
-	return TuneResult{
-		StartMPL:   start,
-		FinalMPL:   s.fe.MPL(),
-		Iterations: ctl.Iterations(),
-		Converged:  ctl.Converged(),
-	}, nil
+	return *res.Tune, nil
 }
 
 // Recommendation is the output of the pure-model MPL tool.

@@ -101,9 +101,14 @@ func TestRunClosedReport(t *testing.T) {
 	if rep.MeanRT <= 0 || rep.CPUUtil <= 0 {
 		t.Errorf("report fields not populated: %+v", rep)
 	}
-	// Running twice on the same System is rejected.
-	if _, err := s.RunClosed(100, 1, 1); err == nil {
-		t.Error("second run on same System accepted")
+	// A System is re-runnable: the second run rebuilds pristine state
+	// and reproduces the first bit for bit.
+	rep2, err := s.RunClosed(100, 10, 60)
+	if err != nil {
+		t.Fatalf("second run on same System rejected: %v", err)
+	}
+	if rep2 != rep {
+		t.Errorf("re-run differs:\n%+v\nvs\n%+v", rep2, rep)
 	}
 }
 

@@ -36,10 +36,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"extsched/internal/core"
 	"extsched/internal/sim"
+	"extsched/metrics"
 )
 
 // Class is a small-integer priority class. ClassHigh receives strict
@@ -263,33 +265,23 @@ func (g *Gate) SetLimit(n int) {
 	g.fe.SetMPL(n)
 }
 
-// Stats is a point-in-time snapshot of the gate.
-type Stats struct {
-	// Limit is the current MPL; Inflight the admitted count; Queued
-	// the number of callers waiting.
-	Limit, Inflight, Queued int
-	// Completed counts releases in the current metrics window;
-	// Throughput is Completed per wall second over that window.
-	Completed  uint64
-	Throughput float64
-	// MeanResponse is the mean seconds from Acquire to Release
-	// (queueing included); MeanWait the external queueing portion.
-	MeanResponse, MeanWait float64
-	// P50/P95/P99 are response-time percentiles (zero unless
-	// Config.PercentileSamples was set).
-	P50, P95, P99 float64
-	// Dropped counts ErrQueueFull rejections; Canceled counts
-	// context-canceled acquires (withdrawn from the queue, or discarded
-	// right after an admission race); Errors counts releases with a
-	// non-nil Result.Err. All three are lifetime totals, not window
-	// totals.
-	Dropped, Canceled, Errors uint64
-}
+// Stats is a point-in-time snapshot of the gate. It is the shared
+// metrics.Snapshot vocabulary: the same fields a simulated Scenario run
+// streams to its observers, so live and simulated measurements compare
+// field for field. In a Stats value the completion counters cover the
+// whole current metrics window and Dropped/Canceled/Errors are
+// lifetime totals; HighResponse/LowResponse split the mean by class;
+// MeanInside is the admitted (dispatch-to-release) portion of the
+// response time. Only the fields a live gate genuinely cannot know —
+// Phase, CPUUtil, DiskUtil, Restarts — stay zero here.
+type Stats = metrics.Snapshot
 
 // Stats snapshots the gate.
 func (g *Gate) Stats() Stats {
 	m := g.fe.Metrics()
 	return Stats{
+		Time:         g.clock.Now(),
+		Window:       m.Window(),
 		Limit:        g.fe.MPL(),
 		Inflight:     g.fe.Inside(),
 		Queued:       g.fe.QueueLen(),
@@ -297,6 +289,9 @@ func (g *Gate) Stats() Stats {
 		Throughput:   m.Throughput(),
 		MeanResponse: m.All.Mean(),
 		MeanWait:     m.ExtWait.Mean(),
+		MeanInside:   m.Inside.Mean(),
+		HighResponse: m.High.Mean(),
+		LowResponse:  m.Low.Mean(),
 		P50:          g.fe.ResponseTimePercentile(50),
 		P95:          g.fe.ResponseTimePercentile(95),
 		P99:          g.fe.ResponseTimePercentile(99),
@@ -309,3 +304,49 @@ func (g *Gate) Stats() Stats {
 // ResetStats starts a fresh metrics window (Throughput, MeanResponse
 // and the percentiles reset; the lifetime counters do not).
 func (g *Gate) ResetStats() { g.fe.ResetMetrics() }
+
+// Watch streams the gate's Stats to o every interval seconds until the
+// returned stop function is called. Snapshots are cumulative (the same
+// values Stats returns at that instant), so Watch composes with
+// EnableAutoTune, whose controller owns the metrics-window resets.
+// OnInterval runs on a timer goroutine; o must be safe for that. stop
+// is idempotent and safe to call from any goroutine.
+func (g *Gate) Watch(interval float64, o metrics.Observer) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("gate: watch interval %v must be positive", interval))
+	}
+	w := &watcher{g: g, o: o, interval: interval}
+	w.mu.Lock()
+	w.timer = g.clock.After(interval, w.tick)
+	w.mu.Unlock()
+	return w.stop
+}
+
+// watcher reschedules itself after each emitted snapshot.
+type watcher struct {
+	g        *Gate
+	o        metrics.Observer
+	interval float64
+	mu       sync.Mutex
+	timer    sim.Timer
+	stopped  bool
+}
+
+func (w *watcher) tick() {
+	w.o.OnInterval(w.g.Stats())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		return
+	}
+	w.timer = w.g.clock.After(w.interval, w.tick)
+}
+
+func (w *watcher) stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	if w.timer != nil {
+		w.timer.Cancel()
+	}
+}

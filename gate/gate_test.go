@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	metricspkg "extsched/metrics"
 )
 
 func TestGateLimitsConcurrency(t *testing.T) {
@@ -397,5 +399,61 @@ func TestAutoTuneConvergesToCapacity(t *testing.T) {
 	// Scheduling noise can leave the loop a few steps above.
 	if st.Limit < capacity || st.Limit > 2*capacity {
 		t.Errorf("converged limit = %d, want in [%d,%d] (status %+v)", st.Limit, capacity, 2*capacity, st)
+	}
+}
+
+func TestWatchStreamsSnapshots(t *testing.T) {
+	g, err := New(Config{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var snaps []Stats
+	stop := g.Watch(0.02, metricspkg.ObserverFunc(func(s Stats) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	}))
+	defer stop()
+	// Drive some traffic while the watcher ticks.
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		tk, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+		tk.Release(Result{})
+	}
+	mu.Lock()
+	n := len(snaps)
+	var last Stats
+	if n > 0 {
+		last = snaps[n-1]
+	}
+	mu.Unlock()
+	if n < 3 {
+		t.Fatalf("watcher delivered %d snapshots in 150ms at 20ms intervals", n)
+	}
+	if last.Completed == 0 || last.Throughput <= 0 {
+		t.Errorf("snapshot carries no completions: %+v", last)
+	}
+	if last.Limit != 2 {
+		t.Errorf("snapshot limit = %d, want 2", last.Limit)
+	}
+	if last.Time <= 0 || last.Window <= 0 {
+		t.Errorf("snapshot missing time/window: %+v", last)
+	}
+	// stop() halts the stream: no further snapshots arrive.
+	stop()
+	mu.Lock()
+	n = len(snaps)
+	mu.Unlock()
+	time.Sleep(60 * time.Millisecond)
+	mu.Lock()
+	after := len(snaps)
+	mu.Unlock()
+	if after > n+1 { // one in-flight tick may slip in
+		t.Errorf("snapshots kept arriving after stop: %d -> %d", n, after)
 	}
 }

@@ -380,6 +380,11 @@ func (m Metrics) Throughput() float64 {
 	return float64(m.Completed) / m.windowTime
 }
 
+// Window returns the length in seconds of the metrics window the
+// snapshot covers (time since the last reset, for snapshots taken from
+// a live frontend).
+func (m Metrics) Window() float64 { return m.windowTime }
+
 // Frontend is the external scheduler: the MPL gate plus the reorderable
 // queue, generic over the executing backend and the time source. All
 // methods are safe for concurrent use.
@@ -466,6 +471,22 @@ func (f *Frontend) Inside() int {
 // Policy returns the queue policy. The frontend still owns it; do not
 // call its methods while the frontend is in use.
 func (f *Frontend) Policy() Policy { return f.policy }
+
+// SetWFQWeights reconfigures the per-class weights of a WFQ policy
+// mid-run (scenario events change policy weights this way). It reports
+// false when the frontend's policy is not WFQ. Already-queued items
+// keep the virtual-time tags they were charged at enqueue; the new
+// weights apply to subsequent arrivals.
+func (f *Frontend) SetWFQWeights(weights map[Class]float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.policy.(*WFQPolicy)
+	if !ok {
+		return false
+	}
+	p.SetWeights(weights)
+	return true
+}
 
 // EnablePercentiles turns on reservoir sampling of response times
 // (capacity samples, deterministic given seed). Call before running.

@@ -66,6 +66,22 @@ func NewWFQ(weights map[Class]float64) *WFQPolicy {
 
 func (p *WFQPolicy) Name() string { return "wfq" }
 
+// SetWeights replaces the per-class weights (> 0; classes absent from
+// the map revert to weight 1). Future charges use the new weights;
+// tags already assigned to queued items stand, so the change takes
+// effect over roughly one queue's worth of arrivals rather than
+// reshuffling the backlog.
+func (p *WFQPolicy) SetWeights(weights map[Class]float64) {
+	w := make(map[Class]float64, len(weights))
+	for c, v := range weights {
+		if v <= 0 {
+			panic("core: WFQ weights must be positive")
+		}
+		w[c] = v
+	}
+	p.weights = w
+}
+
 func (p *WFQPolicy) weight(c Class) float64 {
 	if w, ok := p.weights[c]; ok {
 		return w

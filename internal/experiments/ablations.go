@@ -87,7 +87,7 @@ func POWAblation(opts RunOpts) (*Figure, error) {
 		low.X = append(low.X, x)
 		low.Y = append(low.Y, r.Metrics.Low.Mean())
 		preempt.X = append(preempt.X, x)
-		preempt.Y = append(preempt.Y, float64(r.DBStats.Lock.Preemptions))
+		preempt.Y = append(preempt.Y, float64(r.Lock.Preemptions))
 		f.Notes = append(f.Notes, fmt.Sprintf("x=%d: %s", i, variants[i].name))
 	}
 	f.Series = []Series{high, low, preempt}
@@ -194,26 +194,14 @@ type openLimitResult struct {
 
 // runOpenWithLimit is RunOpen plus a frontend queue bound.
 func runOpenWithLimit(setup workload.Setup, mpl int, lambda float64, limit int, opts RunOpts) (openLimitResult, error) {
-	opts = opts.withDefaults(setup)
-	eng, db, fe, gen, err := buildStack(setup, mpl, nil, workload.DBOptions{Seed: opts.Seed}, opts)
+	opts.QueueLimit = limit
+	r, err := RunOpen(setup, mpl, lambda, nil, workload.DBOptions{}, opts)
 	if err != nil {
 		return openLimitResult{}, err
 	}
-	fe.SetQueueLimit(limit)
-	driver := workload.NewOpenDriver(eng, fe, gen, lambda, 0)
-	driver.Start()
-	eng.Run(opts.Warmup)
-	fe.ResetMetrics()
-	dropsBefore := fe.Dropped()
-	start := eng.Now()
-	eng.Run(start + opts.Measure)
-	driver.Stop()
-	eng.RunAll()
-	_ = db
-	m := fe.Metrics()
 	return openLimitResult{
-		tput:     m.Throughput(),
-		meanRT:   m.All.Mean(),
-		dropRate: float64(fe.Dropped()-dropsBefore) / opts.Measure,
+		tput:     r.Metrics.Throughput(),
+		meanRT:   r.Metrics.All.Mean(),
+		dropRate: float64(r.Dropped) / r.SimSeconds,
 	}, nil
 }

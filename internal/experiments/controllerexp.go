@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"extsched/internal/controller"
-	"extsched/internal/dbfe"
-	"extsched/internal/dbms"
-	"extsched/internal/sim"
+	"extsched/internal/runner"
 	"extsched/internal/workload"
 )
 
@@ -49,48 +47,31 @@ func RunController(setupID int, lossFrac float64, jumpStart bool, opts RunOpts) 
 			return ControllerRun{}, err
 		}
 	}
-	eng := sim.NewEngine()
-	db, err := dbms.New(eng, setup.BuildConfig(workload.DBOptions{Seed: opts.Seed}))
-	if err != nil {
-		return ControllerRun{}, err
-	}
-	fe := dbfe.New(eng, db, start, nil)
-	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
-	if err != nil {
-		return ControllerRun{}, err
-	}
-	workload.Prewarm(db, setup.Workload, opts.Seed)
-	workload.NewClosedDriver(eng, fe, gen, opts.Clients, nil).Start()
-	eng.Run(opts.Warmup)
-	ctl, err := controller.New(eng.Clock(), fe, controller.Config{
-		Targets:   controller.Targets{MaxThroughputLoss: lossFrac},
-		Reference: controller.Reference{MaxThroughput: base.Throughput()},
+	// A controller-enable event at the window's start hands the MPL to
+	// the feedback loop; observation windows are CI-gated, so their
+	// length adapts to the workload's noise — give the loop a generous
+	// horizon and stop at convergence.
+	out, err := RunPhases(setup, start, nil, workload.DBOptions{}, opts, runner.Spec{
+		Warmup:         opts.Warmup,
+		SampleInterval: opts.Measure / 10, // convergence-check granularity
+		Phases: []runner.Phase{{
+			Kind: runner.KindClosed, Clients: opts.Clients, Duration: 20 * opts.Measure,
+			Events: []runner.Event{{EnableController: &runner.ControllerSpec{
+				MaxThroughputLoss:   lossFrac,
+				ReferenceThroughput: base.Throughput(),
+				StopOnConverge:      true,
+			}}},
+		}},
 	})
 	if err != nil {
 		return ControllerRun{}, err
 	}
-	// Feed the controller the frontend's completion stream.
-	prev := fe.OnComplete
-	fe.OnComplete = func(t *dbfe.Txn) {
-		if prev != nil {
-			prev(t)
-		}
-		ctl.Observe()
-	}
-	// Observation windows are CI-gated, so their length adapts to the
-	// workload's noise; give the loop a generous horizon.
-	horizon := eng.Now() + 20*opts.Measure
-	for eng.Now() < horizon && !ctl.Converged() {
-		if eng.Run(eng.Now()+opts.Measure/10) == 0 {
-			break
-		}
-	}
 	return ControllerRun{
 		SetupID:    setupID,
 		StartMPL:   start,
-		FinalMPL:   fe.MPL(),
-		Iterations: ctl.Iterations(),
-		Converged:  ctl.Converged(),
+		FinalMPL:   out.Tune.FinalMPL,
+		Iterations: out.Tune.Iterations,
+		Converged:  out.Tune.Converged,
 	}, nil
 }
 

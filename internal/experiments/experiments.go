@@ -34,8 +34,10 @@ import (
 	"extsched/internal/core"
 	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
+	"extsched/internal/runner"
 	"extsched/internal/sim"
 	"extsched/internal/workload"
+	"extsched/metrics"
 )
 
 // Series is one named curve: Y[i] measured at X[i].
@@ -123,6 +125,11 @@ type RunOpts struct {
 	Measure float64
 	// Clients is the closed-system population; default 100 (paper).
 	Clients int
+	// QueueLimit, when > 0, switches the frontend to admission-control
+	// mode: arrivals beyond the limit are dropped (the related-work
+	// comparison of the ablations; pure external scheduling never
+	// drops).
+	QueueLimit int
 	// Seed drives all randomness.
 	Seed uint64
 	// Ctx, when non-nil, cancels figure sweeps early: every Sweep a
@@ -170,15 +177,23 @@ func (o RunOpts) withDefaults(setup workload.Setup) RunOpts {
 	return o
 }
 
-// RunResult is one measured closed-system run.
+// LockStats are the lock manager's counters over the measured window.
+type LockStats struct {
+	Waits, Deadlocks, Preemptions uint64
+}
+
+// RunResult is one measured run. All fields cover exactly the
+// measurement window (utilizations and lock counters included — the
+// warmup is excluded everywhere).
 type RunResult struct {
 	Setup      workload.Setup
 	MPL        int
 	Metrics    core.Metrics
-	DBStats    dbms.Stats
 	CPUUtil    float64
 	DiskUtil   float64
+	Dropped    uint64
 	SimSeconds float64
+	Lock       LockStats
 }
 
 // Throughput is the measured transaction rate.
@@ -199,6 +214,9 @@ func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.
 		return nil, nil, nil, nil, err
 	}
 	fe := dbfe.New(eng, db, mpl, policy)
+	if opts.QueueLimit > 0 {
+		fe.SetQueueLimit(opts.QueueLimit)
+	}
 	gen, err := workload.NewGenerator(setup.Workload, opts.Seed)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -207,60 +225,63 @@ func buildStack(setup workload.Setup, mpl int, policy core.Policy, dbo workload.
 	return eng, db, fe, gen, nil
 }
 
+// RunPhases measures a setup under an arbitrary phased scenario — the
+// general entry every specialized Run* helper builds on, and the one
+// scenario-shaped figures (Surge) drive directly. Observers receive
+// one windowed snapshot per spec.SampleInterval.
+func RunPhases(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts, spec runner.Spec, obs ...metrics.Observer) (runner.Outcome, error) {
+	eng, db, fe, gen, err := buildStack(setup, mpl, policy, dbo, opts)
+	if err != nil {
+		return runner.Outcome{}, err
+	}
+	st := runner.Stack{Eng: eng, DB: db, FE: fe, Gen: gen, Seed: opts.Seed}
+	return runner.Run(opts.ctx(), st, spec, obs...)
+}
+
+// runOne measures a single-phase scenario and shapes it as a RunResult.
+func runOne(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts, ph runner.Phase) (RunResult, error) {
+	out, err := RunPhases(setup, mpl, policy, dbo, opts, runner.Spec{
+		Warmup: opts.Warmup,
+		Phases: []runner.Phase{ph},
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Setup:      setup,
+		MPL:        mpl,
+		Metrics:    out.Total.CoreMetrics(),
+		CPUUtil:    out.Total.CPUUtil,
+		DiskUtil:   out.Total.DiskUtil,
+		Dropped:    out.Total.Dropped,
+		SimSeconds: out.Total.Window,
+		Lock: LockStats{
+			Waits:       out.Total.LockWaits,
+			Deadlocks:   out.Total.Deadlocks,
+			Preemptions: out.Total.Preemptions,
+		},
+	}, nil
+}
+
 // RunClosed measures a Table 2 setup at the given MPL (0 = no limit)
 // under the paper's closed system, with the given external policy
 // (nil = FIFO) and DB options.
 func RunClosed(setup workload.Setup, mpl int, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (RunResult, error) {
 	opts = opts.withDefaults(setup)
-	eng, db, fe, gen, err := buildStack(setup, mpl, policy, dbo, opts)
-	if err != nil {
-		return RunResult{}, err
-	}
-	driver := workload.NewClosedDriver(eng, fe, gen, opts.Clients, nil)
-	driver.Start()
-	eng.Run(opts.Warmup)
-	fe.ResetMetrics()
-	db.Pool().ResetStats()
-	measStart := eng.Now()
-	eng.Run(measStart + opts.Measure)
-	driver.Stop()
-	res := RunResult{
-		Setup:      setup,
-		MPL:        mpl,
-		Metrics:    fe.Metrics(),
-		DBStats:    db.Stats(),
-		CPUUtil:    db.CPUUtilization(),
-		DiskUtil:   db.DiskUtilization(),
-		SimSeconds: eng.Now() - measStart,
-	}
-	return res, nil
+	return runOne(setup, mpl, policy, dbo, opts, runner.Phase{
+		Kind: runner.KindClosed, Clients: opts.Clients, Duration: opts.Measure,
+	})
 }
 
 // RunOpen measures a setup under Poisson arrivals at the given rate.
+// The report covers exactly the measured window: transactions still
+// queued or executing when it closes are not counted (the runner's
+// windowing rule).
 func RunOpen(setup workload.Setup, mpl int, lambda float64, policy core.Policy, dbo workload.DBOptions, opts RunOpts) (RunResult, error) {
 	opts = opts.withDefaults(setup)
-	eng, db, fe, gen, err := buildStack(setup, mpl, policy, dbo, opts)
-	if err != nil {
-		return RunResult{}, err
-	}
-	driver := workload.NewOpenDriver(eng, fe, gen, lambda, 0)
-	driver.Start()
-	eng.Run(opts.Warmup)
-	fe.ResetMetrics()
-	measStart := eng.Now()
-	eng.Run(measStart + opts.Measure)
-	driver.Stop()
-	eng.RunAll() // drain in-flight transactions
-	res := RunResult{
-		Setup:      setup,
-		MPL:        mpl,
-		Metrics:    fe.Metrics(),
-		DBStats:    db.Stats(),
-		CPUUtil:    db.CPUUtilization(),
-		DiskUtil:   db.DiskUtilization(),
-		SimSeconds: opts.Measure,
-	}
-	return res, nil
+	return runOne(setup, mpl, policy, dbo, opts, runner.Phase{
+		Kind: runner.KindOpen, Lambda: lambda, Duration: opts.Measure,
+	})
 }
 
 // ThroughputVsMPL sweeps the MPL for one setup on the parallel Sweep

@@ -1,0 +1,681 @@
+// Package runner executes phased workload scenarios on an assembled
+// simulation stack. It is the engine behind the public Scenario API
+// (extsched.System.Run) and the experiment harness's single-phase
+// runs: one place that owns the measurement-window rule, phase
+// sequencing, mid-phase control events, and interval snapshot
+// streaming, so that every run in the repository measures the same way.
+//
+// # The windowing rule
+//
+// A run has exactly one measurement window: it opens when the warmup
+// (if any) ends and closes when the last phase's duration elapses. A
+// completion is counted if and only if it occurs inside the window —
+// work still in flight when the window closes is excluded, and nothing
+// that completes after the window (during a drain, say) can pollute
+// the metrics. The seed code's RunOpen violated this (it drained the
+// queue after the window and reported those completions against the
+// window's length, biasing throughput up and response times long);
+// TestWindowingRule in this package is the regression test for the
+// unified rule.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"extsched/internal/controller"
+	"extsched/internal/core"
+	"extsched/internal/dbfe"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+	"extsched/internal/stats"
+	"extsched/internal/trace"
+	"extsched/internal/workload"
+	"extsched/metrics"
+)
+
+// Kind names a phase's traffic source.
+type Kind string
+
+const (
+	// KindClosed is a fixed client population (think-submit-wait loop).
+	KindClosed Kind = "closed"
+	// KindOpen is a stationary Poisson arrival process.
+	KindOpen Kind = "open"
+	// KindRamp ramps the Poisson rate linearly from Lambda to Lambda2
+	// over the phase's duration.
+	KindRamp Kind = "ramp"
+	// KindBurst is a two-state Markov-modulated Poisson process with
+	// long-run mean rate Lambda (flash-crowd arrivals).
+	KindBurst Kind = "burst"
+	// KindTrace replays a recorded trace.
+	KindTrace Kind = "trace"
+)
+
+// ControllerSpec configures the Section 4.3 feedback controller when a
+// phase event enables it.
+type ControllerSpec struct {
+	// MaxThroughputLoss is the acceptable fractional throughput loss
+	// versus the reference (e.g. 0.05). Required.
+	MaxThroughputLoss float64
+	// ReferenceThroughput is the no-MPL optimum in completions per
+	// second. Required.
+	ReferenceThroughput float64
+	// MaxRTIncrease / ReferenceRT enable the optional response-time
+	// criterion; zero values disable it.
+	MaxRTIncrease float64
+	ReferenceRT   float64
+	// MinObservations gates window close; 0 = the paper's 100.
+	MinObservations int
+	// HoldWindows is the convergence hold count; 0 = 2.
+	HoldWindows int
+	// StopOnConverge ends the whole run as soon as the controller
+	// converges (the AutoTune workflow); the remaining phase time and
+	// any later phases are skipped.
+	StopOnConverge bool
+}
+
+// Event is a mid-phase control action, applied At seconds after the
+// phase's measured start (for the first phase, after warmup ends).
+// Exactly the actions a DBA could take against a live system: move the
+// MPL, reweight the queue, hand control to the feedback loop.
+type Event struct {
+	At float64
+	// SetMPL, when non-nil, changes the MPL (0 = unlimited).
+	SetMPL *int
+	// SetWFQHighWeight, when non-nil, reweights the WFQ policy's high
+	// class (low keeps weight 1). Ignored (with no error) when the
+	// frontend's policy is not WFQ.
+	SetWFQHighWeight *float64
+	// EnableController attaches the feedback controller to the
+	// completion stream; DisableController detaches it, freezing the
+	// MPL where the loop left it.
+	EnableController  *ControllerSpec
+	DisableController bool
+}
+
+// Phase is one segment of a scenario: a traffic source run for
+// Duration simulated seconds, with optional control events.
+type Phase struct {
+	// Name labels the phase in reports and snapshots (defaults to the
+	// kind).
+	Name string
+	Kind Kind
+	// Duration is the phase length in simulated seconds (>= 0; a
+	// zero-duration phase starts and stops its driver at one instant,
+	// injecting only what the driver does synchronously at start).
+	Duration float64
+	// Clients / ThinkTime configure KindClosed (0 clients = 100;
+	// ThinkTime is the mean of an exponential think time, 0 = none).
+	Clients   int
+	ThinkTime float64
+	// Lambda is the arrival rate for KindOpen/KindBurst and the
+	// starting rate for KindRamp; Lambda2 is KindRamp's ending rate.
+	Lambda, Lambda2 float64
+	// BurstFactor / BurstPeriod configure KindBurst: the on/off state
+	// rates differ by Factor², normalized so the long-run mean rate is
+	// exactly Lambda; sojourns are exponential with mean Period
+	// seconds. Defaults: factor 2, period 100 mean interarrivals.
+	BurstFactor, BurstPeriod float64
+	// Trace / TraceSpeedup configure KindTrace (Speedup 0 = 1).
+	Trace        *trace.Trace
+	TraceSpeedup float64
+	Events       []Event
+}
+
+// label returns the phase's display name.
+func (p Phase) label() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return string(p.Kind)
+}
+
+// Spec is a full scenario: warmup, then the phases in order.
+type Spec struct {
+	// Warmup is discarded simulated seconds driven by the FIRST
+	// phase's traffic source before the measurement window opens.
+	Warmup float64
+	// SampleInterval, when > 0, emits one metrics.Snapshot to every
+	// observer each interval (windowed: counters cover the interval).
+	SampleInterval float64
+	Phases         []Phase
+}
+
+// Validate checks the spec's shape without touching a stack.
+func (s Spec) Validate() error {
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("runner: scenario has no phases")
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("runner: warmup %v must be >= 0", s.Warmup)
+	}
+	if s.SampleInterval < 0 {
+		return fmt.Errorf("runner: sample interval %v must be >= 0", s.SampleInterval)
+	}
+	for i, ph := range s.Phases {
+		prefix := fmt.Sprintf("runner: phase %d (%s)", i, ph.label())
+		if ph.Duration < 0 {
+			return fmt.Errorf("%s: duration %v must be >= 0", prefix, ph.Duration)
+		}
+		switch ph.Kind {
+		case KindClosed:
+			if ph.Clients < 0 {
+				return fmt.Errorf("%s: clients %d must be >= 0", prefix, ph.Clients)
+			}
+			if ph.ThinkTime < 0 {
+				return fmt.Errorf("%s: think time %v must be >= 0", prefix, ph.ThinkTime)
+			}
+		case KindOpen:
+			if ph.Lambda <= 0 {
+				return fmt.Errorf("%s: lambda %v must be positive", prefix, ph.Lambda)
+			}
+		case KindRamp:
+			if ph.Lambda < 0 || ph.Lambda2 < 0 || (ph.Lambda == 0 && ph.Lambda2 == 0) {
+				return fmt.Errorf("%s: ramp rates %v -> %v must be >= 0 with a positive peak", prefix, ph.Lambda, ph.Lambda2)
+			}
+			if ph.Duration <= 0 {
+				return fmt.Errorf("%s: a ramp needs a positive duration", prefix)
+			}
+		case KindBurst:
+			if ph.Lambda <= 0 {
+				return fmt.Errorf("%s: lambda %v must be positive", prefix, ph.Lambda)
+			}
+			if ph.BurstFactor < 0 || (ph.BurstFactor > 0 && ph.BurstFactor < 1) {
+				return fmt.Errorf("%s: burst factor %v must be >= 1 (0 = default)", prefix, ph.BurstFactor)
+			}
+			if ph.BurstPeriod < 0 {
+				return fmt.Errorf("%s: burst period %v must be >= 0 (0 = default)", prefix, ph.BurstPeriod)
+			}
+		case KindTrace:
+			if ph.Trace == nil || ph.Trace.Len() == 0 {
+				return fmt.Errorf("%s: a trace phase needs a non-empty trace", prefix)
+			}
+			if err := ph.Trace.Validate(); err != nil {
+				return fmt.Errorf("%s: %w", prefix, err)
+			}
+			if ph.TraceSpeedup < 0 {
+				return fmt.Errorf("%s: trace speedup %v must be >= 0 (0 = 1)", prefix, ph.TraceSpeedup)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind %q (want %s, %s, %s, %s or %s)",
+				prefix, ph.Kind, KindClosed, KindOpen, KindRamp, KindBurst, KindTrace)
+		}
+		for j, ev := range ph.Events {
+			if ev.At < 0 {
+				return fmt.Errorf("%s event %d: offset %v must be >= 0", prefix, j, ev.At)
+			}
+			if ev.SetMPL != nil && *ev.SetMPL < 0 {
+				return fmt.Errorf("%s event %d: MPL %d must be >= 0", prefix, j, *ev.SetMPL)
+			}
+			if ev.SetWFQHighWeight != nil && *ev.SetWFQHighWeight <= 0 {
+				return fmt.Errorf("%s event %d: WFQ weight %v must be positive", prefix, j, *ev.SetWFQHighWeight)
+			}
+			if ev.EnableController != nil {
+				cs := ev.EnableController
+				if cs.MaxThroughputLoss < 0 || cs.MaxThroughputLoss >= 1 {
+					return fmt.Errorf("%s event %d: MaxThroughputLoss %v outside [0,1)", prefix, j, cs.MaxThroughputLoss)
+				}
+				if cs.ReferenceThroughput <= 0 {
+					return fmt.Errorf("%s event %d: ReferenceThroughput required", prefix, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stack is the assembled simulation the spec runs on. The runner owns
+// FE.OnComplete for the duration of the run.
+type Stack struct {
+	Eng *sim.Engine
+	DB  *dbms.DB
+	FE  *dbfe.Frontend
+	Gen *workload.Generator
+	// PercentileSamples, when > 0, reservoir-samples response times
+	// over the whole measurement window (deterministic given Seed).
+	PercentileSamples int
+	Seed              uint64
+}
+
+// Report aggregates one window (the whole run, or one phase's slice of
+// it). Accumulators expose mean/variance/C² etc.; counter fields are
+// deltas over the window.
+type Report struct {
+	// Window is the report's length in simulated seconds.
+	Window float64
+	// Completed counts completions inside the window.
+	Completed uint64
+	// All/High/Low accumulate response times (external queueing
+	// included); Inside the time within the backend; ExtWait the
+	// external queueing portion.
+	All, High, Low, Inside, ExtWait stats.Accumulator
+	// Restarts counts abort/restart cycles; Dropped admission-control
+	// rejections.
+	Restarts, Dropped uint64
+	// CPUUtil / DiskUtil are device utilizations over the window.
+	CPUUtil, DiskUtil float64
+	// LockWaits / Deadlocks / Preemptions are lock-manager deltas.
+	LockWaits, Deadlocks, Preemptions uint64
+	// P50/P95/P99 are run-so-far response-time percentiles (zero
+	// unless Stack.PercentileSamples was set).
+	P50, P95, P99 float64
+}
+
+// Throughput returns completions per second over the window.
+func (r Report) Throughput() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Window
+}
+
+// CoreMetrics converts the report to the core.Metrics vocabulary.
+func (r Report) CoreMetrics() core.Metrics {
+	return core.Metrics{
+		Completed: r.Completed,
+		All:       r.All,
+		High:      r.High,
+		Low:       r.Low,
+		Inside:    r.Inside,
+		ExtWait:   r.ExtWait,
+		Restarts:  r.Restarts,
+	}.WithWindow(r.Window)
+}
+
+// PhaseReport is one phase's slice of the measurement window.
+type PhaseReport struct {
+	Name string
+	Kind Kind
+	Report
+}
+
+// TuneReport summarizes a controller-enabled run.
+type TuneReport struct {
+	StartMPL   int
+	FinalMPL   int
+	Iterations int
+	Converged  bool
+}
+
+// Outcome is a completed run.
+type Outcome struct {
+	Total  Report
+	Phases []PhaseReport
+	// Tune is non-nil when an EnableController event fired.
+	Tune *TuneReport
+	// FinalMPL is the MPL when the run ended (events or the controller
+	// may have moved it from the configured value).
+	FinalMPL int
+}
+
+// mark captures the cumulative counters a windowed delta is taken
+// against.
+type mark struct {
+	t                  float64
+	dropped, canceled  uint64
+	waits, dl, preempt uint64
+	cpuBusy, diskBusy  float64 // utilization·time products
+}
+
+func takeMark(st Stack) mark {
+	m := mark{t: st.Eng.Now(), dropped: st.FE.Dropped(), canceled: st.FE.Canceled()}
+	if st.DB != nil {
+		s := st.DB.Stats()
+		m.waits, m.dl, m.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
+		m.cpuBusy = st.DB.CPUUtilization() * m.t
+		m.diskBusy = st.DB.DiskUtilization() * m.t
+	}
+	return m
+}
+
+// utilDelta recovers the utilization over (a.t, b.t] from two
+// cumulative-utilization marks.
+func utilDelta(aBusy, bBusy, at, bt float64) float64 {
+	if bt <= at {
+		return 0
+	}
+	return (bBusy - aBusy) / (bt - at)
+}
+
+// acc accumulates completions for one window scope.
+type acc struct {
+	completed                       uint64
+	all, high, low, inside, extwait stats.Accumulator
+	restarts                        uint64
+}
+
+func (a *acc) observe(t *dbfe.Txn) {
+	a.completed++
+	rt := t.Item.ResponseTime()
+	a.all.Add(rt)
+	if t.Item.Class == core.ClassHigh {
+		a.high.Add(rt)
+	} else {
+		a.low.Add(rt)
+	}
+	a.inside.Add(t.Item.Outcome.InsideTime)
+	a.extwait.Add(t.Item.ExternalWait())
+	a.restarts += uint64(t.Item.Outcome.Restarts)
+}
+
+func (a *acc) reset() { *a = acc{} }
+
+// report assembles a Report from an accumulator scope and its marks.
+func (a *acc) report(st Stack, from mark, res *stats.Reservoir) Report {
+	to := takeMark(st)
+	r := Report{
+		Window:      to.t - from.t,
+		Completed:   a.completed,
+		All:         a.all,
+		High:        a.high,
+		Low:         a.low,
+		Inside:      a.inside,
+		ExtWait:     a.extwait,
+		Restarts:    a.restarts,
+		Dropped:     to.dropped - from.dropped,
+		LockWaits:   to.waits - from.waits,
+		Deadlocks:   to.dl - from.dl,
+		Preemptions: to.preempt - from.preempt,
+		CPUUtil:     utilDelta(from.cpuBusy, to.cpuBusy, from.t, to.t),
+		DiskUtil:    utilDelta(from.diskBusy, to.diskBusy, from.t, to.t),
+	}
+	if res != nil {
+		r.P50 = res.Percentile(50)
+		r.P95 = res.Percentile(95)
+		r.P99 = res.Percentile(99)
+	}
+	return r
+}
+
+// buildDriver assembles the phase's traffic source.
+func buildDriver(st Stack, ph Phase) (workload.Driver, error) {
+	switch ph.Kind {
+	case KindClosed:
+		clients := ph.Clients
+		if clients <= 0 {
+			clients = 100
+		}
+		var think dist.Distribution
+		if ph.ThinkTime > 0 {
+			think = dist.NewExponential(ph.ThinkTime)
+		}
+		return workload.NewClosedDriver(st.Eng, st.FE, st.Gen, clients, think), nil
+	case KindOpen:
+		return workload.NewOpenDriver(st.Eng, st.FE, st.Gen, ph.Lambda, 0), nil
+	case KindRamp:
+		return workload.NewRampDriver(st.Eng, st.FE, st.Gen, ph.Lambda, ph.Lambda2, ph.Duration), nil
+	case KindBurst:
+		factor := ph.BurstFactor
+		if factor == 0 {
+			factor = 2
+		}
+		period := ph.BurstPeriod
+		if period == 0 {
+			period = 100 / ph.Lambda
+		}
+		return workload.NewBurstDriver(st.Eng, st.FE, st.Gen, ph.Lambda, factor, period), nil
+	case KindTrace:
+		d, err := workload.NewTraceDriver(st.Eng, st.FE, ph.Trace)
+		if err != nil {
+			return nil, err
+		}
+		if ph.TraceSpeedup > 0 {
+			d.Speedup = ph.TraceSpeedup
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("runner: unknown phase kind %q", ph.Kind)
+	}
+}
+
+// run carries the mutable state of one execution.
+type run struct {
+	st   Stack
+	spec Spec
+	obs  []metrics.Observer
+
+	measuring bool
+	total     acc
+	phase     acc
+	window    acc
+	res       *stats.Reservoir
+
+	totalMark, phaseMark, winMark mark
+	nextSnap                      float64
+
+	ctl            *controller.Controller
+	tune           *TuneReport
+	stopOnConverge bool
+}
+
+// Run executes spec on st. Observers receive one windowed Snapshot per
+// SampleInterval, synchronously on the simulation goroutine (they may
+// inspect or adjust the stack from the callback). ctx is checked at
+// every internal breakpoint — phase boundaries, events, snapshot ticks
+// — and a canceled run returns ctx.Err() with the partial Outcome
+// discarded.
+func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	r := &run{st: st, spec: spec, obs: obs}
+	if st.PercentileSamples > 0 {
+		seed := st.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r.res = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 31))
+	}
+	st.FE.OnComplete = func(t *dbfe.Txn) {
+		if r.measuring {
+			r.total.observe(t)
+			r.phase.observe(t)
+			r.window.observe(t)
+			if r.res != nil {
+				r.res.Add(t.Item.ResponseTime())
+			}
+		}
+		if r.ctl != nil {
+			r.ctl.Observe()
+			// StopOnConverge must not wait for the next breakpoint (a
+			// scenario without snapshot ticks may have none before the
+			// phase's end): halt the engine as soon as the loop settles.
+			// The run loop sees Converged() and finishes the run there.
+			if r.stopOnConverge && r.ctl.Converged() {
+				st.Eng.Stop()
+			}
+		}
+	}
+	out := Outcome{}
+	for i, ph := range spec.Phases {
+		driver, err := buildDriver(st, ph)
+		if err != nil {
+			return Outcome{}, err
+		}
+		driver.Start()
+		if i == 0 {
+			if spec.Warmup > 0 {
+				st.Eng.Run(st.Eng.Now() + spec.Warmup)
+				if err := ctx.Err(); err != nil {
+					return Outcome{}, err
+				}
+			}
+			r.beginMeasurement()
+		}
+		stopped, err := r.runPhase(ctx, ph)
+		driver.Stop()
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Phases = append(out.Phases, PhaseReport{
+			Name:   ph.label(),
+			Kind:   ph.Kind,
+			Report: r.phase.report(st, r.phaseMark, nil),
+		})
+		r.phase.reset()
+		r.phaseMark = takeMark(st)
+		if stopped {
+			break
+		}
+	}
+	r.measuring = false
+	out.Total = r.total.report(st, r.totalMark, r.res)
+	out.FinalMPL = st.FE.MPL()
+	if r.tune != nil {
+		t := *r.tune
+		if r.ctl != nil { // still attached; a disable event already froze t
+			t.FinalMPL = out.FinalMPL
+			t.Iterations = r.ctl.Iterations()
+			t.Converged = r.ctl.Converged()
+		}
+		out.Tune = &t
+	}
+	return out, nil
+}
+
+// beginMeasurement opens the measurement window at the engine's
+// current time.
+func (r *run) beginMeasurement() {
+	r.st.FE.ResetMetrics()
+	if r.st.DB != nil {
+		r.st.DB.Pool().ResetStats()
+	}
+	r.measuring = true
+	m := takeMark(r.st)
+	r.totalMark, r.phaseMark, r.winMark = m, m, m
+	r.nextSnap = m.t + r.spec.SampleInterval
+}
+
+// runPhase advances the engine through one phase's measured duration,
+// pausing at event and snapshot breakpoints. It reports whether the
+// run should stop early (controller convergence).
+func (r *run) runPhase(ctx context.Context, ph Phase) (stopEarly bool, err error) {
+	eng := r.st.Eng
+	phaseStart := eng.Now()
+	phaseEnd := phaseStart + ph.Duration
+	// Events fire in offset order, clamped into the phase.
+	evs := append([]Event(nil), ph.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	ei := 0
+	for {
+		t := phaseEnd
+		if ei < len(evs) {
+			if et := min(phaseStart+evs[ei].At, phaseEnd); et < t {
+				t = et
+			}
+		}
+		if r.spec.SampleInterval > 0 && r.nextSnap < t {
+			t = r.nextSnap
+		}
+		eng.Run(t)
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		// Apply everything due at this breakpoint: events first (a
+		// snapshot at the same instant observes their effect).
+		for ei < len(evs) && min(phaseStart+evs[ei].At, phaseEnd) <= t {
+			if err := r.applyEvent(evs[ei]); err != nil {
+				return false, err
+			}
+			ei++
+		}
+		if r.spec.SampleInterval > 0 && r.nextSnap <= t {
+			r.emitSnapshot(ph)
+			r.nextSnap += r.spec.SampleInterval
+		}
+		if r.stopOnConverge && r.ctl != nil && r.ctl.Converged() {
+			return true, nil
+		}
+		if t >= phaseEnd {
+			return false, nil
+		}
+	}
+}
+
+// applyEvent performs one control action at the engine's current time.
+func (r *run) applyEvent(ev Event) error {
+	fe := r.st.FE
+	if ev.SetMPL != nil {
+		fe.SetMPL(*ev.SetMPL)
+	}
+	if ev.SetWFQHighWeight != nil {
+		fe.SetWFQWeights(map[core.Class]float64{core.ClassHigh: *ev.SetWFQHighWeight, core.ClassLow: 1})
+	}
+	if ev.DisableController {
+		// Record the detached loop's outcome before dropping it, so the
+		// run's TuneReport survives the disable.
+		if r.ctl != nil && r.tune != nil {
+			r.tune.FinalMPL = fe.MPL()
+			r.tune.Iterations = r.ctl.Iterations()
+			r.tune.Converged = r.ctl.Converged()
+		}
+		r.ctl = nil
+		r.stopOnConverge = false
+	}
+	if cs := ev.EnableController; cs != nil {
+		ctl, err := controller.New(r.st.Eng.Clock(), fe, controller.Config{
+			Targets: controller.Targets{
+				MaxThroughputLoss: cs.MaxThroughputLoss,
+				MaxRTIncrease:     cs.MaxRTIncrease,
+			},
+			Reference: controller.Reference{
+				MaxThroughput: cs.ReferenceThroughput,
+				OptimalRT:     cs.ReferenceRT,
+			},
+			MinObservations: cs.MinObservations,
+			HoldWindows:     cs.HoldWindows,
+		})
+		if err != nil {
+			return err
+		}
+		r.ctl = ctl
+		r.stopOnConverge = cs.StopOnConverge
+		if r.tune == nil {
+			r.tune = &TuneReport{StartMPL: fe.MPL()}
+		}
+	}
+	return nil
+}
+
+// emitSnapshot sends the current interval window to every observer and
+// opens the next one.
+func (r *run) emitSnapshot(ph Phase) {
+	st := r.st
+	to := takeMark(st)
+	w := r.window
+	s := metrics.Snapshot{
+		Time:         to.t,
+		Window:       to.t - r.winMark.t,
+		Phase:        ph.label(),
+		Limit:        st.FE.MPL(),
+		Inflight:     st.FE.Inside(),
+		Queued:       st.FE.QueueLen(),
+		Completed:    w.completed,
+		MeanResponse: w.all.Mean(),
+		MeanWait:     w.extwait.Mean(),
+		MeanInside:   w.inside.Mean(),
+		HighResponse: w.high.Mean(),
+		LowResponse:  w.low.Mean(),
+		Restarts:     w.restarts,
+		Dropped:      to.dropped - r.winMark.dropped,
+		Canceled:     to.canceled - r.winMark.canceled,
+		CPUUtil:      utilDelta(r.winMark.cpuBusy, to.cpuBusy, r.winMark.t, to.t),
+		DiskUtil:     utilDelta(r.winMark.diskBusy, to.diskBusy, r.winMark.t, to.t),
+	}
+	if s.Window > 0 {
+		s.Throughput = float64(s.Completed) / s.Window
+	}
+	if r.res != nil {
+		s.P50 = r.res.Percentile(50)
+		s.P95 = r.res.Percentile(95)
+		s.P99 = r.res.Percentile(99)
+	}
+	for _, o := range r.obs {
+		o.OnInterval(s)
+	}
+	r.window.reset()
+	r.winMark = to
+}

@@ -179,9 +179,12 @@ func (e *Engine) Step() bool {
 
 // Run fires events until the queue drains, Stop is called, or the clock
 // passes until (exclusive). Pass math.Inf(1) for no time bound. It
-// returns the number of events fired during this call. The clock never
-// moves backward: calling Run with until < Now fires nothing and
-// leaves the clock alone.
+// returns the number of events fired during this call. Unless until is
+// infinite, the clock always ends at the bound (even when the queue
+// drains early — an idle system still experiences the passage of time,
+// which is what lets a scenario phase with no traffic elapse). The
+// clock never moves backward: calling Run with until < Now fires
+// nothing and leaves the clock alone.
 func (e *Engine) Run(until float64) uint64 {
 	var fired uint64
 	for !e.stopped {
@@ -190,17 +193,19 @@ func (e *Engine) Run(until float64) uint64 {
 			break
 		}
 		if next.time > until {
-			// Leave the event queued; advance the clock to the bound so
-			// repeated Run calls observe monotonic time — but never pull
-			// the clock backward when until is already in the past.
-			if until > e.now {
-				e.now = until
-			}
+			// Leave the event queued.
 			break
 		}
 		if e.Step() {
 			fired++
 		}
+	}
+	// Advance the clock to the bound so repeated Run calls observe
+	// monotonic time whether or not events (or any queue at all)
+	// remained — but never pull the clock backward when until is
+	// already in the past.
+	if !e.stopped && until > e.now && !math.IsInf(until, 1) {
+		e.now = until
 	}
 	return fired
 }

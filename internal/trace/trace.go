@@ -88,19 +88,29 @@ type SynthConfig struct {
 	Seed   uint64
 }
 
-// Synthesize generates a trace.
-func Synthesize(cfg SynthConfig) (*Trace, error) {
+// Validate checks the synthesis parameters without generating any
+// records — scenario validation uses it to vet large trace_synth
+// phases cheaply.
+func (cfg SynthConfig) Validate() error {
 	if cfg.N <= 0 || cfg.MeanDemand <= 0 || cfg.Lambda <= 0 {
-		return nil, fmt.Errorf("trace: invalid synthesis config %+v", cfg)
+		return fmt.Errorf("trace: invalid synthesis config %+v", cfg)
 	}
 	if cfg.DemandC2 <= 0 {
-		return nil, fmt.Errorf("trace: DemandC2 %v must be positive", cfg.DemandC2)
+		return fmt.Errorf("trace: DemandC2 %v must be positive", cfg.DemandC2)
+	}
+	if cfg.Burstiness != 0 && cfg.Burstiness < 1 {
+		return fmt.Errorf("trace: Burstiness %v must be >= 1", cfg.Burstiness)
+	}
+	return nil
+}
+
+// Synthesize generates a trace.
+func Synthesize(cfg SynthConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Burstiness == 0 {
 		cfg.Burstiness = 1
-	}
-	if cfg.Burstiness < 1 {
-		return nil, fmt.Errorf("trace: Burstiness %v must be >= 1", cfg.Burstiness)
 	}
 	if cfg.Source == "" {
 		cfg.Source = "synthetic"

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dbfe"
+	"extsched/internal/dbms"
+	"extsched/internal/dist"
+	"extsched/internal/sim"
+	"extsched/internal/trace"
+)
+
+// driverRig builds an engine + tiny DBMS + frontend + generator for
+// driver tests.
+func driverRig(t *testing.T, mpl int, seed uint64) (*sim.Engine, *dbfe.Frontend, *Generator) {
+	t.Helper()
+	eng := sim.NewEngine()
+	db, err := dbms.New(eng, dbms.Config{
+		CPUs: 1, Disks: 1,
+		LogService: dist.NewDeterministic(0),
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := dbfe.New(eng, db, mpl, nil)
+	gen, err := NewGenerator(WCPUInventory(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fe, gen
+}
+
+func TestRampDriverRateSchedule(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 1)
+	d := NewRampDriver(eng, fe, gen, 10, 50, 100)
+	d.Start()
+	if got := d.Rate(0); got != 10 {
+		t.Errorf("rate at start = %v, want 10", got)
+	}
+	if got := d.Rate(50); math.Abs(got-30) > 1e-12 {
+		t.Errorf("rate at midpoint = %v, want 30", got)
+	}
+	if got := d.Rate(1000); got != 50 {
+		t.Errorf("rate past the ramp = %v, want to hold at 50", got)
+	}
+}
+
+func TestRampDriverRampsArrivalCounts(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 1)
+	d := NewRampDriver(eng, fe, gen, 5, 100, 200)
+	d.Start()
+	eng.Run(100)
+	firstHalf := d.Arrived()
+	eng.Run(200)
+	secondHalf := d.Arrived() - firstHalf
+	d.Stop()
+	// First half mean rate ≈ 28.75/s, second ≈ 76.25/s: the counts must
+	// clearly reflect the ramp.
+	if float64(secondHalf) < 1.5*float64(firstHalf) {
+		t.Errorf("arrivals did not ramp: first half %d, second half %d", firstHalf, secondHalf)
+	}
+	// Totals near the integrated rate 10500 (wide tolerance for Poisson
+	// noise).
+	total := float64(firstHalf + secondHalf)
+	if total < 0.8*10500 || total > 1.2*10500 {
+		t.Errorf("total arrivals = %v, want ≈ 10500", total)
+	}
+}
+
+func TestRampDriverDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng, fe, gen := driverRig(t, 4, 7)
+		d := NewRampDriver(eng, fe, gen, 20, 80, 60)
+		d.Start()
+		eng.Run(60)
+		d.Stop()
+		return d.Arrived(), fe.Metrics().Completed
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Errorf("same-seed ramp runs differ: %d/%d vs %d/%d", a1, c1, a2, c2)
+	}
+}
+
+func TestRampDriverStopMidRamp(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 3)
+	d := NewRampDriver(eng, fe, gen, 50, 50, 10)
+	d.Start()
+	eng.Run(5)
+	d.Stop()
+	at := d.Arrived()
+	eng.RunAll()
+	if d.Arrived() != at {
+		t.Errorf("arrivals continued after Stop: %d -> %d", at, d.Arrived())
+	}
+	_ = fe
+}
+
+func TestBurstDriverMeanRateAndDeterminism(t *testing.T) {
+	run := func() uint64 {
+		eng, fe, gen := driverRig(t, 0, 5)
+		d := NewBurstDriver(eng, fe, gen, 40, 3, 5)
+		d.Start()
+		eng.Run(300)
+		d.Stop()
+		_ = fe
+		return d.Arrived()
+	}
+	a1 := run()
+	a2 := run()
+	if a1 != a2 {
+		t.Errorf("same-seed burst runs differ: %d vs %d", a1, a2)
+	}
+	// The MMPP is normalized: long-run mean rate is exactly lambda
+	// (40/s) → ≈ 12000 over 300s.
+	mean := 40.0 * 300
+	if f := float64(a1); f < 0.7*mean || f > 1.3*mean {
+		t.Errorf("burst arrivals = %v, want ≈ %v", f, mean)
+	}
+}
+
+func TestBurstDriverActuallyBursts(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 11)
+	d := NewBurstDriver(eng, fe, gen, 30, 4, 10)
+	d.Start()
+	// Sample arrivals per 5-second bucket; the on/off modulation must
+	// produce both clearly-high and clearly-low buckets.
+	var counts []uint64
+	prev := uint64(0)
+	for i := 0; i < 40; i++ {
+		eng.Run(float64(i+1) * 5)
+		counts = append(counts, d.Arrived()-prev)
+		prev = d.Arrived()
+	}
+	d.Stop()
+	_ = fe
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// hi/lo rate ratio is 16; even with sojourn mixing the extremes
+	// should differ by well over 2x.
+	if max < 2*min+1 {
+		t.Errorf("no burst structure: min bucket %d, max bucket %d", min, max)
+	}
+}
+
+func TestOpenDriverPauseResume(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 9)
+	d := NewOpenDriver(eng, fe, gen, 100, 0)
+	d.Start()
+	eng.Run(10)
+	atPause := d.Arrived()
+	if atPause == 0 {
+		t.Fatal("no arrivals before pause")
+	}
+	d.Pause()
+	eng.Run(20)
+	if d.Arrived() != atPause {
+		t.Errorf("arrivals while paused: %d -> %d", atPause, d.Arrived())
+	}
+	d.Resume()
+	eng.Run(30)
+	if d.Arrived() <= atPause {
+		t.Error("no arrivals after resume")
+	}
+	d.Stop()
+	// Pause/Resume after Stop are no-ops.
+	d.Pause()
+	d.Resume()
+	final := d.Arrived()
+	eng.RunAll()
+	if d.Arrived() != final {
+		t.Error("arrivals after Stop")
+	}
+}
+
+func TestClosedDriverPauseResume(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 13)
+	d := NewClosedDriver(eng, fe, gen, 20, nil)
+	d.Start()
+	eng.Run(10)
+	d.Pause()
+	// Let in-flight work drain fully; a paused closed system then goes
+	// quiet.
+	drainTo := 12.0
+	for fe.Inside() > 0 && drainTo < 100 {
+		eng.Run(drainTo)
+		drainTo += 1
+	}
+	parked := fe.Metrics().Completed
+	eng.Run(drainTo + 10)
+	if got := fe.Metrics().Completed; got != parked {
+		t.Errorf("completions while paused: %d -> %d", parked, got)
+	}
+	if fe.Inside() != 0 || fe.QueueLen() != 0 {
+		t.Errorf("paused closed system should drain: inside %d queued %d", fe.Inside(), fe.QueueLen())
+	}
+	d.Resume()
+	eng.Run(drainTo + 20)
+	if got := fe.Metrics().Completed; got <= parked {
+		t.Error("no completions after resume")
+	}
+	d.Stop()
+}
+
+func TestTraceDriverPausePreservesGaps(t *testing.T) {
+	tr := &trace.Trace{
+		Source: "hand",
+		Records: []trace.Record{
+			{Arrival: 0, Demand: 0.001},
+			{Arrival: 1, Demand: 0.001},
+			{Arrival: 2, Demand: 0.001},
+			{Arrival: 3, Demand: 0.001},
+		},
+	}
+	eng, fe := replayRig(t, 0)
+	var arrivals []float64
+	fe.OnComplete = func(tx *dbfe.Txn) { arrivals = append(arrivals, tx.Item.Arrival) }
+	d, err := NewTraceDriver(eng, fe, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.Run(1.5) // records at 0 and 1 fired
+	d.Pause()
+	eng.Run(10) // nothing fires while paused
+	if d.Started() != 2 {
+		t.Fatalf("started = %d during pause, want 2", d.Started())
+	}
+	d.Resume()
+	eng.RunAll()
+	if d.Started() != 4 {
+		t.Fatalf("started = %d after resume, want 4", d.Started())
+	}
+	// Record 2 was due at t=2, pause ended at t=10 → fires at 10; record
+	// 3 keeps its 1-second gap → 11.
+	want := []float64{0, 1, 10, 11}
+	for i, w := range want {
+		if math.Abs(arrivals[i]-w) > 1e-9 {
+			t.Errorf("arrival[%d] = %v, want %v", i, arrivals[i], w)
+		}
+	}
+	if !d.Done() {
+		t.Error("driver not done after full replay")
+	}
+}
+
+func TestTraceDriverDeterministic(t *testing.T) {
+	run := func() (uint64, float64) {
+		tr := trace.SyntheticRetailer(5000, 42)
+		eng, fe := replayRig(t, 4)
+		d, err := NewTraceDriver(eng, fe, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		eng.RunAll()
+		m := fe.Metrics()
+		return m.Completed, m.All.Mean()
+	}
+	c1, rt1 := run()
+	c2, rt2 := run()
+	if c1 != c2 || rt1 != rt2 {
+		t.Errorf("same-seed trace replays differ: %d/%v vs %d/%v", c1, rt1, c2, rt2)
+	}
+}
+
+// Compile-time checks: every driver implements the Driver interface.
+var (
+	_ Driver = (*ClosedDriver)(nil)
+	_ Driver = (*OpenDriver)(nil)
+	_ Driver = (*RampDriver)(nil)
+	_ Driver = (*BurstDriver)(nil)
+	_ Driver = (*TraceDriver)(nil)
+)

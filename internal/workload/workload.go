@@ -232,6 +232,27 @@ func (g *Generator) NextWithClass(class lockmgr.Class) dbms.TxnProfile {
 	return dbms.TxnProfile{Ops: ops, Class: class, EstimatedDemand: demand}
 }
 
+// Driver is the common control surface of the workload drivers, which
+// is what lets the scenario runner treat a phase's traffic source
+// uniformly. Start launches the traffic, Stop ends it for good, and
+// Pause/Resume suspend and revive it mid-run (a scenario phase that
+// silences one source while another takes over). All drivers are
+// single-goroutine: they run inside their engine's event loop.
+type Driver interface {
+	// Start launches the traffic at the engine's current time. Call
+	// exactly once.
+	Start()
+	// Stop permanently ends new submissions; in-flight work completes
+	// normally.
+	Stop()
+	// Pause suspends new submissions until Resume. Pausing a stopped
+	// driver is a no-op.
+	Pause()
+	// Resume revives a paused driver. Resuming a running or stopped
+	// driver is a no-op.
+	Resume()
+}
+
 // ClosedDriver runs a fixed population of clients against a frontend:
 // each client submits a transaction, waits for its completion, thinks,
 // and repeats — the paper's Section 3.1 closed system with 100 clients.
@@ -243,6 +264,10 @@ type ClosedDriver struct {
 	think   dist.Distribution
 	rng     *sim.RNG
 	stopped bool
+	paused  bool
+	// parked counts clients that completed a transaction while paused;
+	// Resume restarts exactly these.
+	parked int
 }
 
 // NewClosedDriver builds a driver with the given client count and
@@ -267,12 +292,41 @@ func (d *ClosedDriver) Start() {
 // Stop prevents clients from submitting further transactions.
 func (d *ClosedDriver) Stop() { d.stopped = true }
 
+// Pause parks each client as its current transaction (or think time)
+// finishes; no new transactions are submitted until Resume.
+func (d *ClosedDriver) Pause() {
+	if !d.stopped {
+		d.paused = true
+	}
+}
+
+// Resume restarts every parked client at the engine's current time.
+func (d *ClosedDriver) Resume() {
+	if d.stopped || !d.paused {
+		return
+	}
+	d.paused = false
+	n := d.parked
+	d.parked = 0
+	for i := 0; i < n; i++ {
+		d.cycle()
+	}
+}
+
 func (d *ClosedDriver) cycle() {
 	if d.stopped {
 		return
 	}
+	if d.paused {
+		d.parked++
+		return
+	}
 	d.fe.SubmitCB(d.gen.Next(), func(*dbfe.Txn) {
 		if d.stopped {
+			return
+		}
+		if d.paused {
+			d.parked++
 			return
 		}
 		z := d.think.Sample(d.rng)
@@ -293,6 +347,8 @@ type OpenDriver struct {
 	lambda  float64
 	rng     *sim.RNG
 	stopped bool
+	paused  bool
+	pending sim.Handle
 	arrived uint64
 	limit   uint64 // 0 = unlimited
 }
@@ -312,15 +368,34 @@ func (d *OpenDriver) Start() { d.next() }
 // Stop halts future arrivals.
 func (d *OpenDriver) Stop() { d.stopped = true }
 
+// Pause cancels the pending arrival; the Poisson process is memoryless,
+// so Resume simply draws a fresh exponential gap.
+func (d *OpenDriver) Pause() {
+	if d.stopped || d.paused {
+		return
+	}
+	d.paused = true
+	d.eng.Cancel(d.pending)
+}
+
+// Resume restarts arrivals from the engine's current time.
+func (d *OpenDriver) Resume() {
+	if d.stopped || !d.paused {
+		return
+	}
+	d.paused = false
+	d.next()
+}
+
 // Arrived returns the number of arrivals so far.
 func (d *OpenDriver) Arrived() uint64 { return d.arrived }
 
 func (d *OpenDriver) next() {
-	if d.stopped || (d.limit > 0 && d.arrived >= d.limit) {
+	if d.stopped || d.paused || (d.limit > 0 && d.arrived >= d.limit) {
 		return
 	}
-	d.eng.After(d.rng.ExpFloat64()/d.lambda, func() {
-		if d.stopped || (d.limit > 0 && d.arrived >= d.limit) {
+	d.pending = d.eng.After(d.rng.ExpFloat64()/d.lambda, func() {
+		if d.stopped || d.paused || (d.limit > 0 && d.arrived >= d.limit) {
 			return
 		}
 		d.arrived++

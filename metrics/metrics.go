@@ -1,0 +1,102 @@
+// Package metrics defines the shared measurement vocabulary of the
+// repository: one Snapshot type that both the discrete-event simulator
+// (extsched.System running a Scenario) and the wall-clock live gate
+// (package gate) emit, and the Observer interface through which callers
+// stream those snapshots during a run.
+//
+// Keeping the type here — below the two frontends, above the internal
+// machinery — is what makes sim-vs-live comparisons mechanical: a
+// dashboard, a regression harness, or a tuning script consumes the same
+// fields whether they came from simulated seconds or real ones. Fields
+// that only one side can populate (device utilizations exist only in
+// the simulator; Errors only in the live gate) are simply zero on the
+// other side.
+package metrics
+
+// Snapshot is a point-in-time view of an external-scheduling frontend:
+// the gate state at the snapshot instant plus the completion metrics of
+// the measurement window that produced it.
+//
+// Two window conventions are in use, and Window tells them apart:
+// streaming observers (Scenario runs, Gate.Watch) emit per-interval
+// snapshots whose counters cover only the Window seconds since the
+// previous snapshot, while Gate.Stats returns a cumulative snapshot
+// covering the whole current metrics window. Lifetime counters
+// (Dropped, Canceled, Errors) follow the same rule: deltas in interval
+// snapshots, totals in cumulative ones.
+type Snapshot struct {
+	// Time is the snapshot instant in seconds since the run (or gate)
+	// epoch — simulated seconds for the simulator, wall seconds live.
+	Time float64
+	// Window is the length in seconds of the measurement window the
+	// completion metrics below cover.
+	Window float64
+	// Phase names the scenario phase the snapshot was taken in (empty
+	// for live gates and single-phase runs without names).
+	Phase string
+
+	// Limit is the MPL at the snapshot instant (0 = unlimited);
+	// Inflight the number of admitted, uncompleted items; Queued the
+	// external queue length.
+	Limit, Inflight, Queued int
+
+	// Completed counts completions in the window; Throughput is
+	// Completed per second over the window.
+	Completed  uint64
+	Throughput float64
+
+	// MeanResponse is the mean seconds from submission to completion
+	// (external queueing included — the paper's definition); MeanWait
+	// the external-queue portion; MeanInside the portion spent inside
+	// the backend.
+	MeanResponse, MeanWait, MeanInside float64
+	// HighResponse / LowResponse split MeanResponse by priority class
+	// (zero when a class saw no completions in the window).
+	HighResponse, LowResponse float64
+
+	// P50/P95/P99 are response-time percentiles. They are populated
+	// only when percentile sampling is enabled, and — because the
+	// sampling reservoir spans the whole run — they always cover the
+	// run so far, not the interval window.
+	P50, P95, P99 float64
+
+	// Dropped counts admission-control rejections, Canceled withdrawn
+	// submissions, Errors failed completions (live gate Result.Err).
+	Dropped, Canceled, Errors uint64
+	// Restarts counts internal retry cycles (deadlock aborts in the
+	// simulated DBMS).
+	Restarts uint64
+
+	// CPUUtil / DiskUtil are the simulated device utilizations over the
+	// window (zero for live gates, which cannot see their backend).
+	CPUUtil, DiskUtil float64
+}
+
+// Observer receives streamed snapshots during a run. OnInterval is
+// called once per sample interval, in time order. Simulator runs call
+// it synchronously on the simulation goroutine, so implementations may
+// read (and adjust) the running system from inside the callback; live
+// gates call it from a timer goroutine, so implementations must be safe
+// for that.
+type Observer interface {
+	OnInterval(Snapshot)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Snapshot)
+
+// OnInterval calls f(s).
+func (f ObserverFunc) OnInterval(s Snapshot) { f(s) }
+
+// Collector is an Observer that appends every snapshot it receives —
+// the simplest way to capture a run's time series for later assertion
+// or plotting. Not safe for concurrent use; pair it with the simulator
+// (which observes synchronously) or add locking for live gates.
+type Collector struct {
+	Snapshots []Snapshot
+}
+
+// OnInterval appends s.
+func (c *Collector) OnInterval(s Snapshot) {
+	c.Snapshots = append(c.Snapshots, s)
+}

@@ -1,0 +1,360 @@
+package extsched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"extsched/internal/runner"
+	"extsched/internal/trace"
+	"extsched/metrics"
+)
+
+// Trace is a replayable transaction trace: ordered arrival timestamps
+// with per-transaction service demands. Build one from your own logs,
+// or synthesize one with TraceSynth / the cmd/tracegen tool.
+type Trace = trace.Trace
+
+// TraceRecord is one traced transaction.
+type TraceRecord = trace.Record
+
+// TraceSynth parameterizes synthetic trace generation (lognormal
+// demands fit to a mean and C², Poisson or burst-modulated arrivals) —
+// the JSON-friendly way to put a trace phase in a scenario file
+// without embedding records.
+type TraceSynth = trace.SynthConfig
+
+// Phase kinds accepted by Phase.Kind.
+const (
+	// PhaseClosed is a fixed client population: each client submits,
+	// waits, thinks, repeats (the paper's Section 3.1 closed system).
+	PhaseClosed = "closed"
+	// PhaseOpen is a stationary Poisson arrival process at rate Lambda
+	// (the paper's Section 3.2 open system).
+	PhaseOpen = "open"
+	// PhaseRamp ramps the arrival rate linearly from Lambda to Lambda2
+	// over the phase's duration — a load transition.
+	PhaseRamp = "ramp"
+	// PhaseBurst is a two-state Markov-modulated Poisson process with
+	// long-run mean rate Lambda — flash-crowd traffic.
+	PhaseBurst = "burst"
+	// PhaseTrace replays a trace (Phase.Trace or Phase.TraceSynth).
+	PhaseTrace = "trace"
+)
+
+// ControllerSpec configures the paper's Section 4.3 feedback
+// controller when an Event enables it mid-scenario.
+type ControllerSpec struct {
+	// MaxThroughputLoss is the acceptable fractional throughput loss
+	// versus the reference (e.g. 0.05 keeps 95%). Required.
+	MaxThroughputLoss float64 `json:"max_throughput_loss"`
+	// ReferenceThroughput is the no-MPL optimum in transactions per
+	// second (measure it with an unlimited run, or model it with
+	// RecommendMPL). Required.
+	ReferenceThroughput float64 `json:"reference_throughput"`
+	// MaxRTIncrease / ReferenceRT enable the optional response-time
+	// criterion; zero values disable it.
+	MaxRTIncrease float64 `json:"max_rt_increase,omitempty"`
+	ReferenceRT   float64 `json:"reference_rt,omitempty"`
+	// MinObservations gates observation-window close (0 = the paper's
+	// 100 completions); HoldWindows is the convergence hold count
+	// (0 = 2).
+	MinObservations int `json:"min_observations,omitempty"`
+	HoldWindows     int `json:"hold_windows,omitempty"`
+	// StopOnConverge ends the scenario as soon as the controller
+	// converges (the AutoTune workflow).
+	StopOnConverge bool `json:"stop_on_converge,omitempty"`
+}
+
+// Event is a mid-phase control action, applied At seconds after the
+// phase's measured start (for the first phase: after warmup ends).
+// Zero-valued action fields are skipped, so one Event can carry
+// several actions at one instant.
+type Event struct {
+	At float64 `json:"at"`
+	// SetMPL changes the multiprogramming limit (0 = unlimited).
+	SetMPL *int `json:"set_mpl,omitempty"`
+	// SetWFQHighWeight reweights the WFQ policy's high class (the low
+	// class keeps weight 1); ignored when the policy is not WFQ.
+	SetWFQHighWeight *float64 `json:"set_wfq_high_weight,omitempty"`
+	// EnableController attaches the feedback controller to the
+	// completion stream; DisableController detaches it, freezing the
+	// MPL where the loop left it.
+	EnableController  *ControllerSpec `json:"enable_controller,omitempty"`
+	DisableController bool            `json:"disable_controller,omitempty"`
+}
+
+// Phase is one segment of a Scenario: a traffic source run for
+// Duration simulated seconds, with optional mid-phase control events.
+// Which parameter fields apply depends on Kind; the rest are ignored.
+type Phase struct {
+	// Name labels the phase in reports and snapshots (default: Kind).
+	Name string `json:"name,omitempty"`
+	// Kind is one of PhaseClosed, PhaseOpen, PhaseRamp, PhaseBurst,
+	// PhaseTrace.
+	Kind string `json:"kind"`
+	// Duration is the phase length in simulated seconds (>= 0). A
+	// zero-duration phase starts and stops its traffic source at a
+	// single instant — useful to inject a one-shot burst of closed
+	// clients whose transactions drain into the next phase.
+	Duration float64 `json:"duration"`
+	// Clients is the closed population (0 = 100, the paper's choice);
+	// ThinkTime the mean exponential think time in seconds (0 = none).
+	Clients   int     `json:"clients,omitempty"`
+	ThinkTime float64 `json:"think_time,omitempty"`
+	// Lambda is the arrival rate in transactions/second for open and
+	// burst phases, and the starting rate of a ramp; Lambda2 is the
+	// ramp's ending rate.
+	Lambda  float64 `json:"lambda,omitempty"`
+	Lambda2 float64 `json:"lambda2,omitempty"`
+	// BurstFactor / BurstPeriod shape a burst phase: the on/off state
+	// rates differ by Factor², normalized so the long-run mean stays at
+	// Lambda; state sojourns are exponential with mean Period seconds
+	// (0s = defaults: factor 2, period 100 mean interarrivals).
+	BurstFactor float64 `json:"burst_factor,omitempty"`
+	BurstPeriod float64 `json:"burst_period,omitempty"`
+	// Trace embeds a trace to replay; TraceSynth synthesizes one
+	// instead (exactly one of the two for a trace phase). TraceSpeedup
+	// divides the trace's inter-arrival gaps (0 = 1).
+	Trace        *Trace      `json:"trace,omitempty"`
+	TraceSynth   *TraceSynth `json:"trace_synth,omitempty"`
+	TraceSpeedup float64     `json:"trace_speedup,omitempty"`
+	// Events are mid-phase control actions.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Scenario is a declarative description of one experiment: a warmup,
+// then an ordered list of traffic phases with mid-phase control
+// events. One System runs any number of scenarios, each on pristine
+// simulation state, so repeated runs of the same scenario with the
+// same Config.Seed are bit-identical.
+type Scenario struct {
+	// Name labels the scenario in output files (unused by the engine).
+	Name string `json:"name,omitempty"`
+	// Warmup is discarded simulated seconds driven by the first
+	// phase's traffic source before the measurement window opens.
+	Warmup float64 `json:"warmup,omitempty"`
+	// SampleInterval, when > 0, streams one windowed metrics.Snapshot
+	// to every observer each interval and records the series in
+	// Result.Snapshots.
+	SampleInterval float64 `json:"sample_interval,omitempty"`
+	Phases         []Phase `json:"phases"`
+}
+
+// spec translates the public scenario into the runner's vocabulary.
+// It is the single source of truth for scenario validation. With
+// materialize, TraceSynth phases are synthesized in full; without,
+// their configuration is validated and a one-record placeholder stands
+// in, so Validate (and ParseScenario) never pays the generation cost —
+// Run pays it exactly once.
+func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
+	spec := runner.Spec{Warmup: sc.Warmup, SampleInterval: sc.SampleInterval}
+	for i, ph := range sc.Phases {
+		rp := runner.Phase{
+			Name:         ph.Name,
+			Kind:         runner.Kind(ph.Kind),
+			Duration:     ph.Duration,
+			Clients:      ph.Clients,
+			ThinkTime:    ph.ThinkTime,
+			Lambda:       ph.Lambda,
+			Lambda2:      ph.Lambda2,
+			BurstFactor:  ph.BurstFactor,
+			BurstPeriod:  ph.BurstPeriod,
+			Trace:        ph.Trace,
+			TraceSpeedup: ph.TraceSpeedup,
+		}
+		if ph.Kind == PhaseTrace {
+			if ph.Trace != nil && ph.TraceSynth != nil {
+				return runner.Spec{}, fmt.Errorf("extsched: phase %d: set either Trace or TraceSynth, not both", i)
+			}
+			if ph.TraceSynth != nil {
+				if materialize {
+					tr, err := trace.Synthesize(*ph.TraceSynth)
+					if err != nil {
+						return runner.Spec{}, fmt.Errorf("extsched: phase %d: %w", i, err)
+					}
+					rp.Trace = tr
+				} else {
+					if err := ph.TraceSynth.Validate(); err != nil {
+						return runner.Spec{}, fmt.Errorf("extsched: phase %d: %w", i, err)
+					}
+					rp.Trace = &trace.Trace{
+						Source:  "placeholder",
+						Records: []trace.Record{{Arrival: 0, Demand: ph.TraceSynth.MeanDemand}},
+					}
+				}
+			}
+		}
+		for _, ev := range ph.Events {
+			re := runner.Event{
+				At:                ev.At,
+				SetMPL:            ev.SetMPL,
+				SetWFQHighWeight:  ev.SetWFQHighWeight,
+				DisableController: ev.DisableController,
+			}
+			if cs := ev.EnableController; cs != nil {
+				re.EnableController = &runner.ControllerSpec{
+					MaxThroughputLoss:   cs.MaxThroughputLoss,
+					ReferenceThroughput: cs.ReferenceThroughput,
+					MaxRTIncrease:       cs.MaxRTIncrease,
+					ReferenceRT:         cs.ReferenceRT,
+					MinObservations:     cs.MinObservations,
+					HoldWindows:         cs.HoldWindows,
+					StopOnConverge:      cs.StopOnConverge,
+				}
+			}
+			rp.Events = append(rp.Events, re)
+		}
+		spec.Phases = append(spec.Phases, rp)
+	}
+	if err := spec.Validate(); err != nil {
+		return runner.Spec{}, err
+	}
+	return spec, nil
+}
+
+// Validate checks the scenario (phase kinds, parameters, events,
+// TraceSynth configurations) without synthesizing any traces.
+func (sc Scenario) Validate() error {
+	_, err := sc.spec(false)
+	return err
+}
+
+// ParseScenario decodes a JSON scenario (as written by cmd/dbsim
+// -scenario files) and validates it. Unknown fields are rejected, so
+// typos in hand-written scenario files fail loudly.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("extsched: parsing scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// PhaseResult is one phase's slice of the measurement window.
+type PhaseResult struct {
+	Name string
+	Kind string
+	Report
+}
+
+// TuneResult reports a feedback-controller run (AutoTune, or any
+// scenario with an EnableController event).
+type TuneResult struct {
+	StartMPL   int
+	FinalMPL   int
+	Iterations int
+	Converged  bool
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	// Total aggregates the whole measurement window (warmup excluded;
+	// only work that completed inside the window counts — see the
+	// windowing rule in Report).
+	Total Report
+	// Phases slices the window per phase, in execution order. A run
+	// stopped early by controller convergence omits the unreached
+	// phases.
+	Phases []PhaseResult
+	// Snapshots is the interval time series (empty unless
+	// Scenario.SampleInterval was set).
+	Snapshots []metrics.Snapshot
+	// Tune is non-nil when the scenario enabled the controller.
+	Tune *TuneResult
+	// FinalMPL is the MPL when the run ended (mid-phase events or the
+	// controller may have moved it off Config.MPL).
+	FinalMPL int
+}
+
+// reportFrom converts a runner report to the public vocabulary.
+func reportFrom(r runner.Report) Report {
+	return Report{
+		SimSeconds:  r.Window,
+		Completed:   r.Completed,
+		Throughput:  r.Throughput(),
+		MeanRT:      r.All.Mean(),
+		HighRT:      r.High.Mean(),
+		LowRT:       r.Low.Mean(),
+		MeanInside:  r.Inside.Mean(),
+		ExternalW:   r.ExtWait.Mean(),
+		Restarts:    r.Restarts,
+		CPUUtil:     r.CPUUtil,
+		DiskUtil:    r.DiskUtil,
+		DemandC2:    r.Inside.C2(),
+		LockWaits:   r.LockWaits,
+		Deadlocks:   r.Deadlocks,
+		Preemptions: r.Preemptions,
+		Dropped:     r.Dropped,
+		P50:         r.P50,
+		P95:         r.P95,
+		P99:         r.P99,
+	}
+}
+
+// Run executes the scenario on pristine simulation state assembled
+// from the System's Config: every run rebuilds the engine, DBMS,
+// frontend, and generator from the same seed, so running the same
+// scenario twice — on one System or on two — produces bit-identical
+// Results. Observers registered with Observe (plus any passed here)
+// receive windowed snapshots each SampleInterval, synchronously on the
+// simulation goroutine. ctx cancels between breakpoints.
+func (s *System) Run(ctx context.Context, sc Scenario, obs ...metrics.Observer) (Result, error) {
+	return s.runScenario(ctx, sc, nil, obs...)
+}
+
+// runScenario is Run with an optional MPL override for the fresh stack
+// (AutoTune starts at the model's jump-start value, not Config.MPL).
+func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, obs ...metrics.Observer) (Result, error) {
+	spec, err := sc.spec(true)
+	if err != nil {
+		return Result{}, err
+	}
+	mpl := s.cfg.MPL
+	if initialMPL != nil {
+		mpl = *initialMPL
+	}
+	st, err := s.buildStack(mpl)
+	if err != nil {
+		return Result{}, err
+	}
+	s.cur = &st
+	defer func() { s.cur = nil }()
+	var collector *metrics.Collector
+	all := make([]metrics.Observer, 0, len(s.observers)+len(obs)+1)
+	all = append(all, s.observers...)
+	all = append(all, obs...)
+	if sc.SampleInterval > 0 {
+		collector = &metrics.Collector{}
+		all = append(all, collector)
+	}
+	out, err := runner.Run(ctx, st, spec, all...)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Total:    reportFrom(out.Total),
+		FinalMPL: out.FinalMPL,
+	}
+	for _, pr := range out.Phases {
+		res.Phases = append(res.Phases, PhaseResult{Name: pr.Name, Kind: string(pr.Kind), Report: reportFrom(pr.Report)})
+	}
+	if collector != nil {
+		res.Snapshots = collector.Snapshots
+	}
+	if out.Tune != nil {
+		res.Tune = &TuneResult{
+			StartMPL:   out.Tune.StartMPL,
+			FinalMPL:   out.Tune.FinalMPL,
+			Iterations: out.Tune.Iterations,
+			Converged:  out.Tune.Converged,
+		}
+	}
+	return res, nil
+}

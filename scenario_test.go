@@ -1,0 +1,334 @@
+package extsched
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"extsched/metrics"
+)
+
+// TestScenarioRerunBitIdentical is the acceptance test for the
+// re-runnable System: a three-phase scenario (closed -> open ramp ->
+// trace replay) run twice on ONE System produces bit-identical
+// Results, and an Observer receives at least 10 interval snapshots.
+func TestScenarioRerunBitIdentical(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 4, PercentileSamples: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:           "accept",
+		Warmup:         10,
+		SampleInterval: 10,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseClosed, Clients: 50, Duration: 40},
+			{Name: "surge", Kind: PhaseRamp, Lambda: 30, Lambda2: 90, Duration: 40},
+			{Name: "replay", Kind: PhaseTrace, Duration: 40, TraceSynth: &TraceSynth{
+				N: 4000, MeanDemand: 0.008, DemandC2: 2, Lambda: 80, Seed: 5,
+			}},
+		},
+	}
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("re-run on one System not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("observer streams differ between re-runs")
+	}
+	if len(obs1.Snapshots) < 10 {
+		t.Errorf("observer received %d snapshots, want >= 10", len(obs1.Snapshots))
+	}
+	if len(r1.Snapshots) != len(obs1.Snapshots) {
+		t.Errorf("Result.Snapshots has %d entries, observer saw %d", len(r1.Snapshots), len(obs1.Snapshots))
+	}
+	if len(r1.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(r1.Phases))
+	}
+	for i, name := range []string{"steady", "surge", "replay"} {
+		if r1.Phases[i].Name != name {
+			t.Errorf("phase %d = %q, want %q", i, r1.Phases[i].Name, name)
+		}
+		if r1.Phases[i].Completed == 0 {
+			t.Errorf("phase %q saw no completions", name)
+		}
+	}
+	if r1.Total.SimSeconds != 120 {
+		t.Errorf("total window = %v, want 120", r1.Total.SimSeconds)
+	}
+	if !(r1.Total.P50 > 0 && r1.Total.P50 <= r1.Total.P95 && r1.Total.P95 <= r1.Total.P99) {
+		t.Errorf("percentiles not ordered: %v %v %v", r1.Total.P50, r1.Total.P95, r1.Total.P99)
+	}
+	// A fresh System with the same Config reproduces the same Result
+	// too (determinism is a property of the Config, not the instance).
+	sys2, err := NewSystem(Config{SetupID: 1, MPL: 4, PercentileSamples: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := sys2.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Snapshots = nil // r3 ran without the extra observer, but Snapshots come from SampleInterval either way
+	r3.Snapshots = nil
+	if !reflect.DeepEqual(r1, r3) {
+		t.Error("fresh System with same Config differs from re-run")
+	}
+}
+
+// TestRunOpenWindowing is the regression test for the measurement
+// window at the public API level: under heavy overload, RunOpen must
+// report only in-window completions — the seed implementation drained
+// the backlog after Stop and counted those completions against the
+// window, inflating throughput beyond service capacity at the MPL.
+func TestRunOpenWindowing(t *testing.T) {
+	s, err := NewSystem(Config{SetupID: 1, MPL: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setup 1 serves ~95 tx/s unlimited; MPL 1 is slower. Offer 400/s.
+	rep, err := s.RunOpen(400, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimSeconds != 20 {
+		t.Errorf("window = %v, want 20", rep.SimSeconds)
+	}
+	// In-window completions can't outrun the service capacity; with the
+	// old post-window drain the reported rate exceeded it wildly.
+	if rep.Throughput > 150 {
+		t.Errorf("throughput %v exceeds any plausible service rate: post-window pollution", rep.Throughput)
+	}
+	if rep.Completed == 0 {
+		t.Error("no completions recorded")
+	}
+}
+
+func TestScenarioEvents(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpl := 12
+	var col metrics.Collector
+	res, err := sys.Run(context.Background(), Scenario{
+		SampleInterval: 10,
+		Phases: []Phase{{
+			Kind: PhaseClosed, Clients: 50, Duration: 60,
+			Events: []Event{{At: 30, SetMPL: &mpl}},
+		}},
+	}, &col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMPL != 12 {
+		t.Errorf("final MPL = %d, want 12", res.FinalMPL)
+	}
+	for _, s := range col.Snapshots {
+		want := 2
+		if s.Time >= 30 {
+			want = 12
+		}
+		if s.Limit != want {
+			t.Errorf("snapshot at %v: limit %d, want %d", s.Time, s.Limit, want)
+		}
+	}
+	// MPL() outside a run reports the configured value, untouched by
+	// the event.
+	if sys.MPL() != 2 {
+		t.Errorf("configured MPL = %d, want 2", sys.MPL())
+	}
+}
+
+func TestScenarioWFQWeightEvent(t *testing.T) {
+	sys, err := NewSystem(Config{
+		SetupID: 1, MPL: 2, Policy: PolicyWFQ,
+		WFQHighWeight: 1.0001, HighPriorityFraction: 0.5, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 16.0
+	res, err := sys.Run(context.Background(), Scenario{
+		Warmup: 10,
+		Phases: []Phase{
+			{Name: "even", Kind: PhaseClosed, Duration: 120},
+			{Name: "skewed", Kind: PhaseClosed, Duration: 120,
+				Events: []Event{{At: 0, SetWFQHighWeight: &w}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, skewed := res.Phases[0], res.Phases[1]
+	rEven := even.LowRT / even.HighRT
+	rSkewed := skewed.LowRT / skewed.HighRT
+	if rSkewed <= rEven {
+		t.Errorf("raising the high-class weight should widen differentiation: %v -> %v", rEven, rSkewed)
+	}
+}
+
+func TestScenarioZeroDurationPhase(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 5, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(context.Background(), Scenario{
+		Phases: []Phase{
+			{Name: "blip", Kind: PhaseClosed, Clients: 10, Duration: 0},
+			{Name: "main", Kind: PhaseOpen, Lambda: 40, Duration: 30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases[0].SimSeconds != 0 {
+		t.Errorf("zero-duration phase window = %v", res.Phases[0].SimSeconds)
+	}
+	if res.Total.SimSeconds != 30 || res.Total.Completed == 0 {
+		t.Errorf("main phase not measured: %+v", res.Total)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		sc      Scenario
+		wantErr string
+	}{
+		{"no phases", Scenario{}, "no phases"},
+		{"bad kind", Scenario{Phases: []Phase{{Kind: "zigzag", Duration: 1}}}, "unknown kind"},
+		{"open needs lambda", Scenario{Phases: []Phase{{Kind: PhaseOpen, Duration: 1}}}, "lambda"},
+		{"trace needs trace", Scenario{Phases: []Phase{{Kind: PhaseTrace, Duration: 1}}}, "trace"},
+		{"trace not both", Scenario{Phases: []Phase{{Kind: PhaseTrace, Duration: 1,
+			Trace:      &Trace{Records: []TraceRecord{{Arrival: 0, Demand: 1}}},
+			TraceSynth: &TraceSynth{N: 1, MeanDemand: 1, DemandC2: 1, Lambda: 1},
+		}}}, "not both"},
+		{"bad synth", Scenario{Phases: []Phase{{Kind: PhaseTrace, Duration: 1,
+			TraceSynth: &TraceSynth{N: -1}}}}, "invalid synthesis"},
+		{"negative duration", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: -2}}}, "duration"},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid scenario accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseScenarioJSON(t *testing.T) {
+	mpl := 8
+	sc := Scenario{
+		Name:           "roundtrip",
+		Warmup:         5,
+		SampleInterval: 2,
+		Phases: []Phase{
+			{Kind: PhaseClosed, Clients: 20, Duration: 10,
+				Events: []Event{{At: 5, SetMPL: &mpl}}},
+			{Kind: PhaseBurst, Lambda: 50, BurstFactor: 3, BurstPeriod: 2, Duration: 10},
+		},
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Errorf("round trip lost data:\n%+v\nvs\n%+v", sc, back)
+	}
+	// Unknown fields are rejected (typo protection for hand-written
+	// files).
+	if _, err := ParseScenario([]byte(`{"phases":[{"kind":"closed","duraton":5}]}`)); err == nil {
+		t.Error("typo'd field accepted")
+	}
+	// Invalid JSON and invalid scenarios are rejected.
+	if _, err := ParseScenario([]byte(`{`)); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := ParseScenario([]byte(`{"phases":[]}`)); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestScenarioContextCancel(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Run(ctx, Scenario{
+		SampleInterval: 1,
+		Phases:         []Phase{{Kind: PhaseClosed, Duration: 50}},
+	}); err == nil {
+		t.Error("canceled run reported success")
+	}
+	// The System is reusable after a canceled run.
+	if _, err := sys.RunClosed(20, 2, 10); err != nil {
+		t.Errorf("System unusable after cancellation: %v", err)
+	}
+}
+
+// TestAutoTuneMatchesScenarioController: AutoTune is now a wrapper
+// over a one-phase scenario with an EnableController event; verify the
+// long-form scenario produces the same behavior.
+func TestAutoTuneScenarioEquivalence(t *testing.T) {
+	mkSys := func() *System {
+		s, err := NewSystem(Config{SetupID: 1, Seed: 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base, err := mkSys().RunClosed(100, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := mkSys().AutoTune(100, 0.05, base.Throughput, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuned.Converged {
+		t.Fatalf("AutoTune did not converge: %+v", tuned)
+	}
+	// Long form: same scenario spelled out.
+	sys := mkSys()
+	res, err := sys.runScenario(context.Background(), Scenario{
+		Warmup:         100,
+		SampleInterval: 50,
+		Phases: []Phase{{
+			Kind: PhaseClosed, Duration: 1900,
+			Events: []Event{{EnableController: &ControllerSpec{
+				MaxThroughputLoss:   0.05,
+				ReferenceThroughput: base.Throughput,
+				StopOnConverge:      true,
+			}}},
+		}},
+	}, &tuned.StartMPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tune == nil {
+		t.Fatal("scenario run has no tune report")
+	}
+	if *res.Tune != tuned {
+		t.Errorf("wrapper and long-form scenario disagree: %+v vs %+v", tuned, *res.Tune)
+	}
+}
