@@ -11,6 +11,7 @@
 //	benchrunner -exp fig7                 # analytic, instant
 //	benchrunner -exp fig2 -measure 300    # simulated throughput sweep
 //	benchrunner -exp fig11 -loss 0.05
+//	benchrunner -exp dispatch -slow 0.25  # sharded dispatch policies
 //	benchrunner -exp fig2 -workers 1      # sequential reference run
 //	benchrunner -exp all -json bench.json # everything + JSON summary
 package main
@@ -35,7 +36,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open surge c2 controller controller-ablation all")
+		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open surge dispatch c2 controller controller-ablation all")
+		slow     = flag.Float64("slow", 0.25, "slow shard's relative speed for the dispatch experiment")
 		loss     = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
 		util     = flag.Float64("util", 0.7, "open-system utilization for rt-open")
 		setup    = flag.Int("setup", 3, "setup id for rt-open")
@@ -80,7 +82,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		fig, err := run(id, *loss, *util, *setup, opts)
+		fig, err := run(id, *loss, *util, *setup, *slow, opts)
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: interrupted, exiting\n", id)
 			os.Exit(130)
@@ -178,8 +180,10 @@ func sanitize(id string) string {
 	return r.Replace(id)
 }
 
-func run(id string, loss, util float64, setupID int, opts experiments.RunOpts) (*experiments.Figure, error) {
+func run(id string, loss, util float64, setupID int, slow float64, opts experiments.RunOpts) (*experiments.Figure, error) {
 	switch id {
+	case "dispatch":
+		return experiments.DispatchFigure(setupID, slow, opts)
 	case "fig2":
 		return experiments.Figure2(opts)
 	case "fig3":

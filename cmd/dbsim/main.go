@@ -9,13 +9,17 @@
 //	dbsim -setup 8 -mpl 0 -measure 600          # no limit, long run
 //	dbsim -setup 1 -mpl 5 -scenario surge.json  # scripted traffic
 //	dbsim -setup 1 -scenario-example            # print a template file
+//	dbsim -setup 1 -mpl 40 -shards 4 -shard-speeds 1,1,1,0.25 \
+//	      -dispatch jsq -lambda 250             # sharded dispatch
 //
 // A scenario file is the JSON encoding of extsched.Scenario: a warmup,
 // a sample interval, and an ordered list of phases (closed, open,
 // ramp, burst, trace) with optional mid-phase events (set_mpl,
-// set_wfq_high_weight, enable_controller, disable_controller). With
-// -scenario, dbsim prints a per-phase report table and, when the
-// scenario sets sample_interval, the interval time series.
+// set_wfq_high_weight, set_shard_speed, set_dispatch,
+// enable_controller, disable_controller). With -scenario, dbsim prints
+// a per-phase report table and, when the scenario sets
+// sample_interval, the interval time series; sharded systems (-shards)
+// append a per-shard table.
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"extsched"
 )
@@ -57,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		cpuPrio  = fs.Bool("internal-cpu-prio", false, "internal CPU prioritization (renice)")
 		scenario = fs.String("scenario", "", "run the JSON scenario in this file instead of a single closed/open run")
 		example  = fs.Bool("scenario-example", false, "print an example scenario JSON and exit")
+		shards   = fs.Int("shards", 0, "shard the system across this many backends (0 = unsharded)")
+		speeds   = fs.String("shard-speeds", "", "comma-separated per-shard speed multipliers (with -shards)")
+		dispatch = fs.String("dispatch", "", "dispatch policy with -shards: rr, jsq, lwl, affinity")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -66,10 +75,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *example {
-		fmt.Fprint(out, exampleScenario)
+		fmt.Fprint(out, extsched.ExampleScenarioJSON)
 		return nil
 	}
 
+	speedList, err := parseSpeeds(*speeds)
+	if err != nil {
+		return err
+	}
 	sys, err := extsched.NewSystem(extsched.Config{
 		SetupID:              *setupID,
 		Workload:             *wl,
@@ -80,27 +93,76 @@ func run(args []string, out io.Writer) error {
 		Policy:               *policy,
 		InternalLockPriority: *lockPrio,
 		InternalCPUPriority:  *cpuPrio,
-		Seed:                 *seed,
+		Shards: extsched.ShardSpec{
+			Count:    *shards,
+			Speeds:   speedList,
+			Dispatch: *dispatch,
+		},
+		Seed: *seed,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, sys.Setup())
+	if *shards > 0 {
+		fmt.Fprintf(out, "shards:           %d (dispatch %s)\n", *shards, dispatchName(*dispatch))
+	}
 	if *scenario != "" {
 		return runScenarioFile(sys, *scenario, out)
 	}
-	var rep extsched.Report
+	// A single closed/open run is a one-phase scenario; running it
+	// through Run keeps the per-shard slices for the report below.
+	sc := extsched.Scenario{Warmup: *warmup}
+	ph := extsched.Phase{Kind: extsched.PhaseClosed, Clients: *clients, Duration: *measure}
 	if *lambda > 0 {
-		rep, err = sys.RunOpen(*lambda, *warmup, *measure)
-	} else {
-		rep, err = sys.RunClosed(*clients, *warmup, *measure)
+		ph = extsched.Phase{Kind: extsched.PhaseOpen, Lambda: *lambda, Duration: *measure}
 	}
+	sc.Phases = []extsched.Phase{ph}
+	res, err := sys.Run(context.Background(), sc)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
-	printReport(out, rep)
+	printReport(out, res.Total)
+	printShards(out, res.Shards)
 	return nil
+}
+
+// dispatchName renders the dispatch policy flag ("" = default rr).
+func dispatchName(d string) string {
+	if d == "" {
+		return "rr"
+	}
+	return d
+}
+
+// parseSpeeds decodes the -shard-speeds CSV.
+func parseSpeeds(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -shard-speeds entry %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// printShards renders the per-shard slice table (no-op unsharded).
+func printShards(out io.Writer, shards []extsched.ShardResult) {
+	if len(shards) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n%6s %6s %10s %10s %12s %12s %8s\n",
+		"shard", "speed", "routed", "txns", "tput (tx/s)", "meanRT (s)", "cpu")
+	for _, sr := range shards {
+		fmt.Fprintf(out, "%6d %6.2f %10d %10d %12.2f %12.4f %8.3f\n",
+			sr.Shard, sr.Speed, sr.Dispatched, sr.Completed, sr.Throughput, sr.MeanRT, sr.CPUUtil)
+	}
 }
 
 func printReport(out io.Writer, rep extsched.Report) {
@@ -146,6 +208,7 @@ func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
 		fmt.Fprintf(out, "controller:       start MPL %d -> final MPL %d, %d iterations, converged %v\n",
 			res.Tune.StartMPL, res.Tune.FinalMPL, res.Tune.Iterations, res.Tune.Converged)
 	}
+	printShards(out, res.Shards)
 	fmt.Fprintf(out, "final mpl:        %d\n", res.FinalMPL)
 	if len(res.Snapshots) > 0 {
 		fmt.Fprintf(out, "\n%10s %-12s %6s %8s %8s %12s %12s\n",
@@ -157,50 +220,3 @@ func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
 	}
 	return nil
 }
-
-// exampleScenario is a runnable template for -scenario files: a steady
-// closed phase that hands the MPL to the feedback controller, an open
-// ramp surge, and a synthesized bursty trace replay.
-const exampleScenario = `{
-  "name": "surge-demo",
-  "warmup": 30,
-  "sample_interval": 20,
-  "phases": [
-    {
-      "name": "steady",
-      "kind": "closed",
-      "duration": 200,
-      "clients": 100,
-      "events": [
-        {
-          "at": 0,
-          "enable_controller": {
-            "max_throughput_loss": 0.05,
-            "reference_throughput": 95
-          }
-        }
-      ]
-    },
-    {
-      "name": "surge",
-      "kind": "ramp",
-      "duration": 200,
-      "lambda": 50,
-      "lambda2": 120
-    },
-    {
-      "name": "replay",
-      "kind": "trace",
-      "duration": 200,
-      "trace_synth": {
-        "N": 20000,
-        "MeanDemand": 0.01,
-        "DemandC2": 2.0,
-        "Lambda": 80,
-        "Burstiness": 2,
-        "Seed": 7
-      }
-    }
-  ]
-}
-`

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 
+	"extsched/internal/cluster"
 	"extsched/internal/controller"
 	"extsched/internal/core"
 	"extsched/internal/dbfe"
@@ -96,8 +97,28 @@ type Config struct {
 	// PercentileSamples, when > 0, reservoir-samples response times so
 	// Report carries P50/P95/P99.
 	PercentileSamples int
+	// Shards, when Count > 0, fronts a fleet of identical backends
+	// instead of one: every run builds Count DBMS+frontend pairs and a
+	// dispatch layer that routes each arriving transaction to one of
+	// them. MPL then reads as the cluster-wide limit (split across
+	// shards), and QueueLimit applies per shard.
+	Shards ShardSpec
 	// Seed fixes all randomness (default 1).
 	Seed uint64
+}
+
+// ShardSpec configures multi-backend sharded dispatch.
+type ShardSpec struct {
+	// Count is the number of shards (0 = unsharded single backend).
+	Count int
+	// Speeds are per-shard relative CPU speed multipliers (1 =
+	// nominal); empty means all 1, otherwise len must equal Count.
+	// Scenario SetShardSpeed events change them mid-run.
+	Speeds []float64
+	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl"
+	// or "affinity" (see internal/cluster). Scenario SetDispatch events
+	// switch it mid-run.
+	Dispatch string
 }
 
 // Validate checks the config's standalone fields up front, before any
@@ -134,6 +155,23 @@ func (c Config) Validate() error {
 	}
 	if c.PercentileSamples < 0 {
 		return fmt.Errorf("extsched: PercentileSamples %d must be >= 0", c.PercentileSamples)
+	}
+	if c.Shards.Count < 0 {
+		return fmt.Errorf("extsched: Shards.Count %d must be >= 0", c.Shards.Count)
+	}
+	if n := len(c.Shards.Speeds); n > 0 && n != c.Shards.Count {
+		return fmt.Errorf("extsched: Shards.Speeds has %d entries for %d shards", n, c.Shards.Count)
+	}
+	for i, s := range c.Shards.Speeds {
+		if s <= 0 {
+			return fmt.Errorf("extsched: shard %d speed %v must be positive", i, s)
+		}
+	}
+	if c.Shards.Count == 0 && (len(c.Shards.Speeds) > 0 || c.Shards.Dispatch != "") {
+		return fmt.Errorf("extsched: Shards.Speeds/Dispatch set without Shards.Count")
+	}
+	if _, err := cluster.NewPolicy(c.Shards.Dispatch); err != nil {
+		return err
 	}
 	return nil
 }
@@ -236,24 +274,14 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 	if w <= 0 {
 		w = 4
 	}
-	policy, err := core.NewPolicy(cfg.Policy, map[core.Class]float64{core.ClassHigh: w, core.ClassLow: 1})
-	if err != nil {
-		return runner.Stack{}, err
-	}
-	eng := sim.NewEngine()
-	db, err := dbms.New(eng, s.setup.BuildConfig(workload.DBOptions{
+	wfqWeights := map[core.Class]float64{core.ClassHigh: w, core.ClassLow: 1}
+	dbo := workload.DBOptions{
 		LockPolicy:  map[bool]lockmgr.Policy{true: lockmgr.PriorityFIFO, false: lockmgr.FIFO}[cfg.InternalLockPriority],
 		POW:         cfg.InternalLockPriority,
 		CPUPriority: cfg.InternalCPUPriority,
 		Seed:        cfg.Seed,
-	}))
-	if err != nil {
-		return runner.Stack{}, err
 	}
-	fe := dbfe.New(eng, db, mpl, policy)
-	if cfg.QueueLimit > 0 {
-		fe.SetQueueLimit(cfg.QueueLimit)
-	}
+	eng := sim.NewEngine()
 	gen, err := workload.NewGenerator(s.setup.Workload, cfg.Seed)
 	if err != nil {
 		return runner.Stack{}, err
@@ -261,12 +289,65 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 	if cfg.HighPriorityFraction > 0 {
 		gen.HighFrac = cfg.HighPriorityFraction
 	}
-	workload.Prewarm(db, s.setup.Workload, cfg.Seed)
-	return runner.Stack{
-		Eng: eng, DB: db, FE: fe, Gen: gen,
+	st := runner.Stack{
+		Eng: eng, Gen: gen,
 		PercentileSamples: cfg.PercentileSamples,
 		Seed:              cfg.Seed,
-	}, nil
+	}
+	if n := cfg.Shards.Count; n > 0 {
+		// Sharded: n identical DBMS+frontend pairs (per-shard queue
+		// policy instances — they are stateful) behind one dispatcher.
+		shards := make([]cluster.Shard, n)
+		for i := range shards {
+			speed := 1.0
+			if len(cfg.Shards.Speeds) > 0 {
+				speed = cfg.Shards.Speeds[i]
+			}
+			sdbo := dbo
+			sdbo.CPUSpeed = speed
+			sdbo.Seed = cluster.ShardSeed(cfg.Seed, i)
+			db, err := dbms.New(eng, s.setup.BuildConfig(sdbo))
+			if err != nil {
+				return runner.Stack{}, err
+			}
+			policy, err := core.NewPolicy(cfg.Policy, wfqWeights)
+			if err != nil {
+				return runner.Stack{}, err
+			}
+			fe := dbfe.New(eng, db, 0, policy)
+			if cfg.QueueLimit > 0 {
+				fe.SetQueueLimit(cfg.QueueLimit)
+			}
+			workload.Prewarm(db, s.setup.Workload, sdbo.Seed)
+			shards[i] = cluster.Shard{FE: fe, DB: db, Speed: speed}
+		}
+		dp, err := cluster.NewPolicy(cfg.Shards.Dispatch)
+		if err != nil {
+			return runner.Stack{}, err
+		}
+		disp, err := cluster.NewDispatcher(dp, shards)
+		if err != nil {
+			return runner.Stack{}, err
+		}
+		disp.SetMPL(mpl)
+		st.Cluster = disp
+		return st, nil
+	}
+	db, err := dbms.New(eng, s.setup.BuildConfig(dbo))
+	if err != nil {
+		return runner.Stack{}, err
+	}
+	policy, err := core.NewPolicy(cfg.Policy, wfqWeights)
+	if err != nil {
+		return runner.Stack{}, err
+	}
+	fe := dbfe.New(eng, db, mpl, policy)
+	if cfg.QueueLimit > 0 {
+		fe.SetQueueLimit(cfg.QueueLimit)
+	}
+	workload.Prewarm(db, s.setup.Workload, cfg.Seed)
+	st.DB, st.FE = db, fe
+	return st, nil
 }
 
 // Report summarizes one measurement window. The windowing rule is
@@ -323,10 +404,11 @@ func (s *System) RunOpen(lambda, warmup, measure float64) (Report, error) {
 
 // SetMPL changes the MPL: of the executing run when called from an
 // observer callback mid-run, otherwise of the configuration the next
-// run starts from.
+// run starts from. On a sharded system the value is the cluster-wide
+// limit.
 func (s *System) SetMPL(mpl int) {
 	if st := s.cur; st != nil {
-		st.FE.SetMPL(mpl)
+		st.Gate().SetMPL(mpl)
 		return
 	}
 	s.cfg.MPL = mpl
@@ -336,7 +418,7 @@ func (s *System) SetMPL(mpl int) {
 // mid-run, the configured starting value otherwise.
 func (s *System) MPL() int {
 	if st := s.cur; st != nil {
-		return st.FE.MPL()
+		return st.Gate().MPL()
 	}
 	return s.cfg.MPL
 }

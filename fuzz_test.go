@@ -1,0 +1,57 @@
+package extsched
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the scenario JSON decoder: whatever the
+// bytes, ParseScenario must never panic, and anything it accepts must
+// satisfy the contract that shields the executor — Validate passes
+// (so the runner spec builds) and the scenario survives a
+// marshal/re-parse round trip. Validate's finite-value checks exist
+// for exactly this boundary: the engine panics on NaN/Inf event
+// times, so nothing non-finite may get through (JSON cannot carry
+// NaN, but the API can — TestScenarioValidateRejectsNonFinite pins
+// that path).
+//
+// Seed corpus: the cmd/dbsim -scenario-example template plus scenarios
+// covering every phase kind and event type.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(ExampleScenarioJSON))
+	f.Add([]byte(`{"phases":[{"kind":"closed","duration":10,"clients":5,"think_time":0.1}]}`))
+	f.Add([]byte(`{"warmup":5,"sample_interval":1,"phases":[
+		{"kind":"open","duration":10,"lambda":50,
+		 "events":[{"at":2,"set_mpl":4},{"at":3,"set_wfq_high_weight":2.5}]},
+		{"kind":"ramp","duration":10,"lambda":10,"lambda2":90},
+		{"kind":"burst","duration":10,"lambda":40,"burst_factor":2,"burst_period":5}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"closed","duration":5,
+		"events":[{"at":1,"set_shard_speed":{"shard":1,"speed":0.25}},
+		          {"at":2,"set_dispatch":"jsq"},
+		          {"at":3,"enable_controller":{"max_throughput_loss":0.05,"reference_throughput":90}},
+		          {"at":4,"disable_controller":true}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"trace","duration":5,
+		"trace":{"Source":"x","Records":[{"Arrival":0,"Demand":0.01}]}}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"closed","duration":-1}]}`))
+	f.Add([]byte(`{"phases":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		// Accepted means validated: re-validating must agree, or the
+		// executor could be handed a spec Validate would have refused.
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("ParseScenario accepted a scenario Validate rejects: %v\ninput: %q", err, data)
+		}
+		// Round trip: the accepted value re-encodes and re-parses.
+		enc, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("marshal of accepted scenario failed: %v", err)
+		}
+		if _, err := ParseScenario(enc); err != nil {
+			t.Fatalf("re-parse of marshaled scenario failed: %v\nencoded: %s", err, enc)
+		}
+	})
+}

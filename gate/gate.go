@@ -255,6 +255,12 @@ func (t *Ticket) discard() {
 // Limit returns the current MPL (0 = unlimited).
 func (g *Gate) Limit() int { return g.fe.MPL() }
 
+// Inflight returns the number of admitted, unreleased units of work.
+func (g *Gate) Inflight() int { return g.fe.Inside() }
+
+// Queued returns the number of callers waiting in the external queue.
+func (g *Gate) Queued() int { return g.fe.QueueLen() }
+
 // SetLimit changes the MPL. Raising it admits queued work immediately
 // (on the calling goroutine); lowering it takes effect as admitted
 // work releases — nothing is preempted.
@@ -310,7 +316,9 @@ func (g *Gate) ResetStats() { g.fe.ResetMetrics() }
 // values Stats returns at that instant), so Watch composes with
 // EnableAutoTune, whose controller owns the metrics-window resets.
 // OnInterval runs on a timer goroutine; o must be safe for that. stop
-// is idempotent and safe to call from any goroutine.
+// is idempotent and safe to call from any goroutine (including from
+// the observer itself); a tick that began emitting just before stop
+// may still complete, but a tick firing after stop stays silent.
 func (g *Gate) Watch(interval float64, o metrics.Observer) (stop func()) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("gate: watch interval %v must be positive", interval))
@@ -333,6 +341,18 @@ type watcher struct {
 }
 
 func (w *watcher) tick() {
+	// Check stopped BEFORE emitting, not only when rescheduling: a
+	// timer that fired just after stop() must not deliver one last
+	// snapshot to an observer the caller is tearing down. (A tick that
+	// already passed this check may still overlap a concurrent stop —
+	// observers must tolerate that, as Watch documents — but a tick
+	// that fires after stop is now guaranteed silent.)
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
 	w.o.OnInterval(w.g.Stats())
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"extsched/internal/sim"
 	metricspkg "extsched/metrics"
 )
 
@@ -455,5 +456,122 @@ func TestWatchStreamsSnapshots(t *testing.T) {
 	mu.Unlock()
 	if after > n+1 { // one in-flight tick may slip in
 		t.Errorf("snapshots kept arriving after stop: %d -> %d", n, after)
+	}
+}
+
+// captureClock is a manual sim.Clock for deterministic watcher tests:
+// After only records the callback (never auto-fires), and its Timer's
+// Cancel is a no-op — modeling a wall timer that has already fired, so
+// stop()'s Cancel arrives too late to withdraw it.
+type captureClock struct {
+	t   float64
+	fns []func()
+}
+
+func (c *captureClock) Now() float64 { return c.t }
+func (c *captureClock) After(d float64, fn func()) sim.Timer {
+	c.fns = append(c.fns, fn)
+	return firedTimer{}
+}
+
+type firedTimer struct{}
+
+func (firedTimer) Cancel() {}
+
+// TestWatchStopSilencesLateTick deterministically pins the fix the
+// race test flushed out: a Watch tick whose timer fires AFTER stop()
+// (too late for Cancel to withdraw it) must not deliver a snapshot.
+func TestWatchStopSilencesLateTick(t *testing.T) {
+	ck := &captureClock{}
+	g, err := New(Config{Limit: 1, clock: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	stop := g.Watch(1, metricspkg.ObserverFunc(func(Stats) { emitted++ }))
+	if len(ck.fns) != 1 {
+		t.Fatalf("watcher armed %d timers, want 1", len(ck.fns))
+	}
+	ck.t = 1
+	ck.fns[0]() // tick 1: live — emits and rearms
+	if emitted != 1 || len(ck.fns) != 2 {
+		t.Fatalf("after first tick: emitted=%d timers=%d, want 1/2", emitted, len(ck.fns))
+	}
+	stop()
+	ck.t = 2
+	ck.fns[1]() // tick 2 fires after stop: must stay silent, not rearm
+	if emitted != 1 {
+		t.Errorf("tick after stop delivered a snapshot (emitted=%d)", emitted)
+	}
+	if len(ck.fns) != 2 {
+		t.Errorf("tick after stop rearmed a timer (%d timers)", len(ck.fns))
+	}
+}
+
+// TestWatchRace hammers Watch from every side at once — concurrent
+// Acquire/Release traffic, SetLimit flapping, overlapping watchers,
+// and stop racing the ticks — under -race in CI. (The post-stop
+// silence guarantee itself is pinned deterministically by
+// TestWatchStopSilencesLateTick; asserting it here would race the
+// legitimate one-tick overlap Watch documents.)
+func TestWatchRace(t *testing.T) {
+	g, err := New(Config{Limit: 4, PercentileSamples: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := metricspkg.ObserverFunc(func(s Stats) {
+		_ = s.Throughput // read fields concurrently with traffic
+	})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				tk, err := g.AcquireRequest(ctx, Request{SizeHint: 0.001})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tk.Release(Result{})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			g.SetLimit(2 + i%6)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Overlapping watchers starting and stopping while traffic flows.
+	for round := 0; round < 20; round++ {
+		stop1 := g.Watch(0.0005, obs)
+		stop2 := g.Watch(0.0007, obs)
+		time.Sleep(2 * time.Millisecond)
+		stop1()
+		stop2()
+		stop1() // idempotent
+	}
+	close(done)
+	wg.Wait()
+	s := g.Stats()
+	if s.Inflight != 0 {
+		t.Errorf("gate not drained: %+v", s)
 	}
 }

@@ -1,0 +1,328 @@
+package gate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"extsched/internal/cluster"
+	"extsched/internal/core"
+	"extsched/metrics"
+)
+
+// PoolConfig assembles a Pool: a fleet of member gates behind one
+// dispatch decision.
+type PoolConfig struct {
+	// Members is the number of member gates (>= 1).
+	Members int
+	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl"
+	// or "affinity" — the same policies the simulator's cluster
+	// dispatcher uses, so simulated dispatch findings carry over.
+	Dispatch string
+	// Speeds are per-member relative speed hints for the "lwl" policy
+	// (1 = nominal); empty means all 1, otherwise len must equal
+	// Members. Update mid-run with SetMemberSpeed when a member
+	// degrades.
+	Speeds []float64
+	// Member configures each member gate. Limit is PER MEMBER; so is
+	// QueueLimit. Percentile sampling seeds are decorrelated per member
+	// automatically.
+	Member Config
+}
+
+// Pool is the live-traffic twin of the simulator's sharded dispatcher:
+// Acquire routes each request to one member gate by the configured
+// policy, so a fleet of replicas (connection pools, downstream
+// backends) is gated and balanced by the same mechanism the paper's
+// experiments validate per backend. All methods are safe for
+// concurrent use.
+type Pool struct {
+	members []*Gate
+
+	// mu serializes routing decisions and the outstanding-work
+	// accounting behind them, so concurrent Acquires see consistent
+	// loads and stateful policies (round-robin) stay correct.
+	mu     sync.Mutex
+	policy cluster.Policy
+	work   []float64
+	speeds []float64
+	routed []uint64
+}
+
+// NewPool builds a pool of cfg.Members identical gates.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Members < 1 {
+		return nil, fmt.Errorf("gate: pool needs at least 1 member, got %d", cfg.Members)
+	}
+	if n := len(cfg.Speeds); n > 0 && n != cfg.Members {
+		return nil, fmt.Errorf("gate: pool has %d speeds for %d members", n, cfg.Members)
+	}
+	policy, err := cluster.NewPolicy(cfg.Dispatch)
+	if err != nil {
+		return nil, fmt.Errorf("gate: %w", err)
+	}
+	p := &Pool{
+		policy: policy,
+		work:   make([]float64, cfg.Members),
+		speeds: make([]float64, cfg.Members),
+		routed: make([]uint64, cfg.Members),
+	}
+	for i := 0; i < cfg.Members; i++ {
+		p.speeds[i] = 1
+		if len(cfg.Speeds) > 0 {
+			if cfg.Speeds[i] <= 0 {
+				return nil, fmt.Errorf("gate: member %d speed %v must be positive", i, cfg.Speeds[i])
+			}
+			p.speeds[i] = cfg.Speeds[i]
+		}
+		mc := cfg.Member
+		if mc.PercentileSamples > 0 {
+			seed := mc.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			mc.Seed = seed + uint64(i)
+		}
+		g, err := New(mc)
+		if err != nil {
+			return nil, err
+		}
+		p.members = append(p.members, g)
+	}
+	return p, nil
+}
+
+// Members returns the member count.
+func (p *Pool) Members() int { return len(p.members) }
+
+// Member returns member i's gate — for per-member tuning
+// (EnableAutoTune, SetLimit, Watch) and inspection. Routing state
+// stays with the pool; acquiring directly on a member bypasses the
+// dispatch policy's work accounting.
+func (p *Pool) Member(i int) *Gate { return p.members[i] }
+
+// SetDispatch switches the routing policy at runtime.
+func (p *Pool) SetDispatch(name string) error {
+	policy, err := cluster.NewPolicy(name)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	p.mu.Lock()
+	p.policy = policy
+	p.mu.Unlock()
+	return nil
+}
+
+// SetMemberSpeed updates member i's relative speed hint (the "lwl"
+// policy normalizes outstanding work by it).
+func (p *Pool) SetMemberSpeed(i int, speed float64) error {
+	if i < 0 || i >= len(p.members) {
+		return fmt.Errorf("gate: member %d out of range [0,%d)", i, len(p.members))
+	}
+	if speed <= 0 {
+		return fmt.Errorf("gate: member speed %v must be positive", speed)
+	}
+	p.mu.Lock()
+	p.speeds[i] = speed
+	p.mu.Unlock()
+	return nil
+}
+
+// route picks a member for req and charges its work accounting.
+func (p *Pool) route(req Request) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	loads := make([]cluster.Load, len(p.members))
+	for i, g := range p.members {
+		loads[i] = cluster.Load{
+			Backlog: g.Queued() + g.Inflight(),
+			Work:    p.work[i],
+			Speed:   p.speeds[i],
+		}
+	}
+	i := p.policy.Pick(loads, core.Class(req.Class), req.SizeHint)
+	if i < 0 || i >= len(p.members) {
+		panic(fmt.Sprintf("gate: dispatch policy %s picked member %d of %d", p.policy.Name(), i, len(p.members)))
+	}
+	p.work[i] += req.SizeHint
+	p.routed[i]++
+	return i
+}
+
+// unroute refunds a routing charge (the member rejected or the caller
+// gave up before admission).
+func (p *Pool) unroute(i int, size float64) {
+	p.mu.Lock()
+	p.work[i] -= size
+	if p.work[i] < 0 {
+		p.work[i] = 0
+	}
+	p.routed[i]--
+	p.mu.Unlock()
+}
+
+// finish settles a completed request's work charge.
+func (p *Pool) finish(i int, size float64) {
+	p.mu.Lock()
+	p.work[i] -= size
+	if p.work[i] < 0 {
+		p.work[i] = 0
+	}
+	p.mu.Unlock()
+}
+
+// Acquire waits for admission somewhere in the pool with default
+// request attributes.
+func (p *Pool) Acquire(ctx context.Context) (*PoolTicket, error) {
+	return p.AcquireRequest(ctx, Request{})
+}
+
+// AcquireRequest routes the request to a member chosen by the dispatch
+// policy, then waits for that member's admission. The routing decision
+// is made once, at submission — the pool does not re-route a request
+// that then waits behind the chosen member's queue (exactly the
+// semantics of the simulated dispatcher, and of a connection handed to
+// one replica). ErrQueueFull surfaces from the chosen member in
+// admission-control mode.
+func (p *Pool) AcquireRequest(ctx context.Context, req Request) (*PoolTicket, error) {
+	i := p.route(req)
+	tk, err := p.members[i].AcquireRequest(ctx, req)
+	if err != nil {
+		p.unroute(i, req.SizeHint)
+		return nil, err
+	}
+	return &PoolTicket{t: tk, p: p, member: i, size: req.SizeHint}, nil
+}
+
+// PoolTicket is one admitted unit of work plus the routing it arrived
+// by. Release it exactly once; a second Release is a no-op.
+type PoolTicket struct {
+	t      *Ticket
+	p      *Pool
+	member int
+	size   float64
+	once   sync.Once
+}
+
+// Member returns the index of the member gate that admitted the work.
+func (t *PoolTicket) Member() int { return t.member }
+
+// Release frees the slot on the admitting member and settles the
+// pool's work accounting.
+func (t *PoolTicket) Release(res Result) {
+	t.once.Do(func() {
+		t.p.finish(t.member, t.size)
+		t.t.Release(res)
+	})
+}
+
+// Routed returns the cumulative requests routed to each member
+// (rejected acquisitions excluded).
+func (p *Pool) Routed() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]uint64(nil), p.routed...)
+}
+
+// MemberStats snapshots every member gate, in member order.
+func (p *Pool) MemberStats() []Stats {
+	out := make([]Stats, len(p.members))
+	for i, g := range p.members {
+		out[i] = g.Stats()
+	}
+	return out
+}
+
+// Stats aggregates the pool: counters and queue lengths sum across
+// members, mean times are completion-weighted, and Limit is the
+// fleet-wide limit (0 if any member is unlimited). Per-class means and
+// percentiles are per-member quantities — read them from MemberStats.
+// Shards carries each member's instantaneous state; this is a
+// CUMULATIVE snapshot, so Shards[i].Dispatched is the lifetime routed
+// count (like Dropped/Canceled, it survives ResetStats) while
+// Shards[i].Completed covers the member's current metrics window.
+func (p *Pool) Stats() Stats {
+	members := p.MemberStats()
+	routed := p.Routed()
+	p.mu.Lock()
+	speeds := append([]float64(nil), p.speeds...)
+	p.mu.Unlock()
+	var out Stats
+	unlimited := false
+	var wResp, wWait, wInside float64
+	for i, m := range members {
+		if i == 0 || m.Time > out.Time {
+			out.Time = m.Time
+		}
+		if m.Window > out.Window {
+			out.Window = m.Window
+		}
+		if m.Limit == 0 {
+			unlimited = true
+		}
+		out.Limit += m.Limit
+		out.Inflight += m.Inflight
+		out.Queued += m.Queued
+		out.Completed += m.Completed
+		out.Throughput += m.Throughput
+		out.Dropped += m.Dropped
+		out.Canceled += m.Canceled
+		out.Errors += m.Errors
+		c := float64(m.Completed)
+		wResp += c * m.MeanResponse
+		wWait += c * m.MeanWait
+		wInside += c * m.MeanInside
+		out.Shards = append(out.Shards, metrics.ShardStat{
+			Shard:      i,
+			Speed:      speeds[i],
+			Limit:      m.Limit,
+			Inflight:   m.Inflight,
+			Queued:     m.Queued,
+			Dispatched: routed[i],
+			Completed:  m.Completed,
+		})
+	}
+	if unlimited {
+		out.Limit = 0
+	}
+	if out.Completed > 0 {
+		n := float64(out.Completed)
+		out.MeanResponse = wResp / n
+		out.MeanWait = wWait / n
+		out.MeanInside = wInside / n
+	}
+	return out
+}
+
+// Limit returns the fleet-wide limit: the sum of member limits, 0 if
+// any member is unlimited.
+func (p *Pool) Limit() int {
+	total := 0
+	for _, g := range p.members {
+		m := g.Limit()
+		if m == 0 {
+			return 0
+		}
+		total += m
+	}
+	return total
+}
+
+// SetLimit distributes a fleet-wide limit across the members (an even
+// share each, remainder to the lowest indices, at least 1 per member
+// when n > 0; 0 = all unlimited — see cluster.SplitMPL).
+func (p *Pool) SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for i, m := range cluster.SplitMPL(n, len(p.members)) {
+		p.members[i].SetLimit(m)
+	}
+}
+
+// ResetStats opens a fresh metrics window on every member.
+func (p *Pool) ResetStats() {
+	for _, g := range p.members {
+		g.ResetStats()
+	}
+}

@@ -1,0 +1,321 @@
+package gate
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRoundRobinSpreads(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 3, Member: Config{Limit: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var tickets []*PoolTicket
+	for i := 0; i < 6; i++ {
+		tk, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Member() != i%3 {
+			t.Errorf("acquire %d routed to member %d, want %d (round-robin)", i, tk.Member(), i%3)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, r := range p.Routed() {
+		if r != 2 {
+			t.Errorf("routed = %v, want 2 per member", p.Routed())
+			break
+		}
+	}
+	agg := p.Stats()
+	if agg.Inflight != 6 || agg.Limit != 6 {
+		t.Errorf("aggregate inflight=%d limit=%d, want 6/6", agg.Inflight, agg.Limit)
+	}
+	if len(agg.Shards) != 3 {
+		t.Fatalf("aggregate has %d shard stats, want 3", len(agg.Shards))
+	}
+	for _, tk := range tickets {
+		tk.Release(Result{})
+		tk.Release(Result{}) // double release is a no-op
+	}
+	agg = p.Stats()
+	if agg.Inflight != 0 || agg.Completed != 6 {
+		t.Errorf("after release: inflight=%d completed=%d, want 0/6", agg.Inflight, agg.Completed)
+	}
+}
+
+func TestPoolJSQAvoidsBusyMember(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 2, Dispatch: "jsq", Member: Config{Limit: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Load member 0 directly (bypassing the pool), then route through
+	// the pool: JSQ must prefer the idle member 1.
+	busy, err := p.Member(0).Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Release(Result{})
+	for i := 0; i < 3; i++ {
+		tk, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tk.Release(Result{})
+		if i == 0 && tk.Member() != 1 {
+			t.Errorf("JSQ routed to member %d with member 0 busy, want 1", tk.Member())
+		}
+	}
+}
+
+func TestPoolLeastWorkNormalizesBySpeed(t *testing.T) {
+	p, err := NewPool(PoolConfig{
+		Members: 2, Dispatch: "lwl", Speeds: []float64{1, 0.25},
+		Member: Config{Limit: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Equal outstanding work on both members reads as 4x the local
+	// service time on the slow one, so new work lands on member 0.
+	a, err := p.AcquireRequest(ctx, Request{SizeHint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release(Result{})
+	if a.Member() != 0 {
+		t.Fatalf("first request routed to %d, want 0 (tie toward lowest index)", a.Member())
+	}
+	b, err := p.AcquireRequest(ctx, Request{SizeHint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release(Result{})
+	if b.Member() != 1 {
+		t.Fatalf("second request routed to %d, want 1 (least work)", b.Member())
+	}
+	// work: member0=1, member1=1 -> normalized 1 vs 4: pick 0.
+	c, err := p.AcquireRequest(ctx, Request{SizeHint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(Result{})
+	if c.Member() != 0 {
+		t.Errorf("third request routed to %d, want 0 (slow member carries 4x normalized work)", c.Member())
+	}
+}
+
+func TestPoolAffinityPinsClasses(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 2, Dispatch: "affinity", Member: Config{Limit: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		class := Class(i % 2)
+		tk, err := p.AcquireRequest(ctx, Request{Class: class})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Member() != int(class) {
+			t.Errorf("class %d routed to member %d, want %d", class, tk.Member(), class)
+		}
+		tk.Release(Result{})
+	}
+}
+
+func TestPoolQueueFullRefundsRouting(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 1, Member: Config{Limit: 1, QueueLimit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tk, err := p.AcquireRequest(ctx, Request{SizeHint: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		q, err := p.AcquireRequest(ctx, Request{SizeHint: 5})
+		if err == nil {
+			q.Release(Result{})
+		}
+		queued <- err
+	}()
+	// Wait until the second request occupies the queue slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Member(0).Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_, err = p.AcquireRequest(ctx, Request{SizeHint: 5})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire: err = %v, want ErrQueueFull", err)
+	}
+	if got := p.Routed()[0]; got != 2 {
+		t.Errorf("routed = %d after rejected acquire, want 2 (refunded)", got)
+	}
+	tk.Release(Result{})
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	p.Stats() // must not panic with refunded accounting
+}
+
+func TestPoolInvalidConfig(t *testing.T) {
+	cases := []PoolConfig{
+		{Members: 0},
+		{Members: 2, Dispatch: "nope"},
+		{Members: 2, Speeds: []float64{1}},
+		{Members: 2, Speeds: []float64{1, -1}},
+		{Members: 1, Member: Config{Limit: -1}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPool(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	p, err := NewPool(PoolConfig{Members: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetDispatch("nope"); err == nil {
+		t.Error("SetDispatch accepted unknown policy")
+	}
+	if err := p.SetMemberSpeed(5, 1); err == nil {
+		t.Error("SetMemberSpeed accepted out-of-range member")
+	}
+	if err := p.SetMemberSpeed(0, 0); err == nil {
+		t.Error("SetMemberSpeed accepted zero speed")
+	}
+}
+
+func TestPoolSetLimitSplits(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 3, Member: Config{Limit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetLimit(7)
+	want := []int{3, 2, 2}
+	for i, w := range want {
+		if got := p.Member(i).Limit(); got != w {
+			t.Errorf("member %d limit = %d, want %d", i, got, w)
+		}
+	}
+	if p.Limit() != 7 {
+		t.Errorf("pool limit = %d, want 7", p.Limit())
+	}
+	p.SetLimit(0)
+	if p.Limit() != 0 {
+		t.Errorf("pool limit = %d, want 0 (unlimited)", p.Limit())
+	}
+	// A cluster-wide limit below the member count still keeps every
+	// member finite (never accidentally unlimited).
+	p.SetLimit(2)
+	for i := 0; i < 3; i++ {
+		if got := p.Member(i).Limit(); got < 1 {
+			t.Errorf("member %d limit = %d, want >= 1", i, got)
+		}
+	}
+}
+
+// TestPoolConcurrentStress drives a pool from many goroutines across
+// every policy while speeds and dispatch flip mid-flight — run under
+// -race in CI; the conservation check catches lost or double-counted
+// accounting.
+func TestPoolConcurrentStress(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 4, Dispatch: "jsq", Member: Config{Limit: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	const perWorker = 200
+	var wg sync.WaitGroup
+	var completed atomic.Uint64
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				switch i % 50 {
+				case 17:
+					_ = p.SetDispatch([]string{"rr", "jsq", "lwl", "affinity"}[rng.Intn(4)])
+				case 31:
+					_ = p.SetMemberSpeed(rng.Intn(4), 0.25+rng.Float64())
+				}
+				tk, err := p.AcquireRequest(context.Background(),
+					Request{Class: Class(rng.Intn(3)), SizeHint: rng.Float64()})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tk.Release(Result{})
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	agg := p.Stats()
+	if agg.Completed != completed.Load() {
+		t.Errorf("aggregate completed = %d, want %d", agg.Completed, completed.Load())
+	}
+	if agg.Inflight != 0 || agg.Queued != 0 {
+		t.Errorf("pool not drained: inflight=%d queued=%d", agg.Inflight, agg.Queued)
+	}
+	var routed uint64
+	for _, r := range p.Routed() {
+		routed += r
+	}
+	if routed != completed.Load() {
+		t.Errorf("routed sum = %d, want %d", routed, completed.Load())
+	}
+}
+
+// TestPoolCancellationRefunds cancels queued acquisitions mid-wait and
+// verifies the routing accounting is refunded, not leaked.
+func TestPoolCancellationRefunds(t *testing.T) {
+	p, err := NewPool(PoolConfig{Members: 2, Dispatch: "lwl", Member: Config{Limit: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a, _ := p.AcquireRequest(ctx, Request{SizeHint: 2})
+	b, _ := p.AcquireRequest(ctx, Request{SizeHint: 2})
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		tk, err := p.AcquireRequest(cctx, Request{SizeHint: 7})
+		if err == nil {
+			tk.Release(Result{})
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Member(0).Queued()+p.Member(1).Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: err = %v", err)
+	}
+	a.Release(Result{})
+	b.Release(Result{})
+	// All work charges settled: a fresh LWL acquire ties to member 0.
+	tk, err := p.AcquireRequest(ctx, Request{SizeHint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Release(Result{})
+	if tk.Member() != 0 {
+		t.Errorf("post-drain LWL routed to %d, want 0 (all charges refunded)", tk.Member())
+	}
+}

@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"fmt"
+
+	"extsched/internal/core"
+	"extsched/internal/dbfe"
+	"extsched/internal/dbms"
+)
+
+// ShardSeed derives shard i's backend seed from the run seed: distinct
+// per shard (replicas must not execute in RNG lockstep) and stable
+// across runs. It is THE seed derivation — extsched stack assembly and
+// the experiment drivers both use it, so figure runs and API runs with
+// the same seed build identical fleets.
+func ShardSeed(seed uint64, i int) uint64 {
+	return seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))
+}
+
+// Shard is one dispatch target: an MPL-gated frontend over its own
+// simulated backend. Speed is the shard's relative CPU speed (1 =
+// nominal); the dispatcher keeps it in sync with the DB's CPUSpeed so
+// work-aware policies can normalize.
+type Shard struct {
+	FE    *dbfe.Frontend
+	DB    *dbms.DB
+	Speed float64
+}
+
+// Dispatcher fans one admitted transaction stream out across shards.
+// It satisfies workload.Sink (drivers submit to it exactly as they
+// would to a single frontend) and controller.Gate (the feedback
+// controller tunes the cluster-wide MPL through it), which is what
+// lets every existing scenario construct — phases, events, AutoTune —
+// run unchanged against a fleet.
+//
+// Like the rest of the simulator it is single-goroutine: all entry
+// points run inside the engine's event loop, and every routing
+// decision is a pure function of simulation state plus the policy's
+// own deterministic state, so multi-shard runs rerun bit-identically.
+type Dispatcher struct {
+	shards []Shard
+	policy Policy
+	// mpl is the cluster-wide limit last requested via SetMPL (or
+	// derived from the shard gates at construction). MPL() reports it
+	// as-is so a feedback controller always observes its own
+	// actuations; the EFFECTIVE fleet cap is max(mpl, len(shards))
+	// when mpl > 0, because every shard keeps at least one slot (see
+	// SplitMPL).
+	mpl int
+	// work tracks outstanding size-hint seconds per shard (routed and
+	// not yet completed, at unit speed) for the least-work policy.
+	work []float64
+	// scratch is the reusable per-pick load view (the dispatcher is
+	// single-goroutine, like the engine it runs under), keeping the
+	// per-transaction routing path allocation-free.
+	scratch []Load
+	// routed counts arrivals routed to each shard (drops excluded).
+	routed []uint64
+	// OnComplete, if set, observes every completion with the index of
+	// the shard that executed it. Set before traffic flows.
+	OnComplete func(shard int, t *dbfe.Txn)
+	// OnDrop, if set, observes admission-control rejections (shard
+	// queue limits) with the shard that rejected.
+	OnDrop func(shard int, t *dbfe.Txn)
+}
+
+// NewDispatcher builds a dispatcher over shards (at least one) with
+// the given policy (nil = round-robin). The dispatcher takes ownership
+// of each shard frontend's OnComplete/OnDrop hooks; zero or negative
+// shard speeds default to 1.
+func NewDispatcher(policy Policy, shards []Shard) (*Dispatcher, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: dispatcher needs at least one shard")
+	}
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	d := &Dispatcher{
+		shards:  append([]Shard(nil), shards...),
+		policy:  policy,
+		work:    make([]float64, len(shards)),
+		scratch: make([]Load, len(shards)),
+		routed:  make([]uint64, len(shards)),
+	}
+	for i := range d.shards {
+		if d.shards[i].FE == nil {
+			return nil, fmt.Errorf("cluster: shard %d has no frontend", i)
+		}
+		if d.shards[i].Speed <= 0 {
+			d.shards[i].Speed = 1
+		}
+		i := i
+		d.shards[i].FE.OnComplete = func(t *dbfe.Txn) {
+			if d.OnComplete != nil {
+				d.OnComplete(i, t)
+			}
+		}
+		d.shards[i].FE.OnDrop = func(t *dbfe.Txn) {
+			// The drop fires synchronously inside SubmitCB, after the
+			// routing charge there: refund it. (The per-txn completion
+			// wrapper never runs for a dropped txn.)
+			d.settle(i, t.Item.SizeHint)
+			d.routed[i]--
+			if d.OnDrop != nil {
+				d.OnDrop(i, t)
+			}
+		}
+	}
+	// Derive the initial cluster-wide limit from the shard gates.
+	for i := range d.shards {
+		m := d.shards[i].FE.MPL()
+		if m == 0 {
+			d.mpl = 0
+			break
+		}
+		d.mpl += m
+	}
+	return d, nil
+}
+
+// settle refunds a shard's outstanding-work charge.
+func (d *Dispatcher) settle(i int, size float64) {
+	d.work[i] -= size
+	if d.work[i] < 0 {
+		d.work[i] = 0
+	}
+}
+
+// NumShards returns the shard count.
+func (d *Dispatcher) NumShards() int { return len(d.shards) }
+
+// Shards returns a copy of the shard descriptors.
+func (d *Dispatcher) Shards() []Shard { return append([]Shard(nil), d.shards...) }
+
+// PolicyName returns the active dispatch policy's name.
+func (d *Dispatcher) PolicyName() string { return d.policy.Name() }
+
+// SetPolicy switches the dispatch policy mid-run (scenario SetDispatch
+// events). nil resets to round-robin.
+func (d *Dispatcher) SetPolicy(p Policy) {
+	if p == nil {
+		p = &RoundRobin{}
+	}
+	d.policy = p
+}
+
+// SetSpeed changes shard i's relative CPU speed: the shard's DB slows
+// or recovers for CPU bursts starting after the call, and work-aware
+// policies renormalize immediately. Modeling a failed shard is
+// SetSpeed(i, small) — never zero; a zero-speed shard would strand
+// admitted work forever.
+func (d *Dispatcher) SetSpeed(i int, speed float64) error {
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", i, len(d.shards))
+	}
+	if speed <= 0 {
+		return fmt.Errorf("cluster: shard speed %v must be positive", speed)
+	}
+	d.shards[i].Speed = speed
+	if d.shards[i].DB != nil {
+		d.shards[i].DB.SetCPUSpeed(speed)
+	}
+	return nil
+}
+
+// loadsInto fills the reusable scratch view for one pick.
+func (d *Dispatcher) loadsInto() []Load {
+	loads := d.scratch[:len(d.shards)]
+	for i := range d.shards {
+		fe := d.shards[i].FE
+		loads[i] = Load{
+			Backlog: fe.QueueLen() + fe.Inside(),
+			Work:    d.work[i],
+			Speed:   d.shards[i].Speed,
+		}
+	}
+	return loads
+}
+
+// Loads snapshots the per-shard load views a dispatch decision sees.
+func (d *Dispatcher) Loads() []Load {
+	return append([]Load(nil), d.loadsInto()...)
+}
+
+// Routed returns the cumulative arrivals routed to each shard.
+func (d *Dispatcher) Routed() []uint64 { return append([]uint64(nil), d.routed...) }
+
+// Submit routes a transaction to a shard chosen by the policy.
+func (d *Dispatcher) Submit(p dbms.TxnProfile) *dbfe.Txn {
+	return d.SubmitCB(p, nil)
+}
+
+// SubmitCB is Submit with a per-transaction completion callback. The
+// routing decision is made at submission time from the shards' current
+// loads; under a shard queue limit the transaction may still be
+// dropped by the chosen shard (counted there, reported to OnDrop —
+// the dispatcher does not retry another shard).
+func (d *Dispatcher) SubmitCB(p dbms.TxnProfile, cb func(*dbfe.Txn)) *dbfe.Txn {
+	i := d.policy.Pick(d.loadsInto(), core.Class(p.Class), p.EstimatedDemand)
+	if i < 0 || i >= len(d.shards) {
+		panic(fmt.Sprintf("cluster: policy %s picked shard %d of %d", d.policy.Name(), i, len(d.shards)))
+	}
+	d.work[i] += p.EstimatedDemand
+	d.routed[i]++
+	// The work refund must land in the per-txn completion callback,
+	// which the gate runs BEFORE its frontend-wide OnComplete hook: a
+	// closed-loop client resubmitting from its own callback must see
+	// the just-freed shard's work already settled, or least-work
+	// routing would be steered away from exactly the shard that freed
+	// capacity.
+	return d.shards[i].FE.SubmitCB(p, func(t *dbfe.Txn) {
+		d.settle(i, t.Item.SizeHint)
+		if cb != nil {
+			cb(t)
+		}
+	})
+}
+
+// SplitMPL distributes a cluster-wide MPL across n shards: an even
+// share each, the remainder to the lowest indices, and at least 1 per
+// shard when total > 0 (an MPL of 0 means unlimited, which a nonzero
+// total must never silently grant — so the effective total is
+// max(total, n)). total <= 0 returns all zeros (every shard
+// unlimited).
+func SplitMPL(total, n int) []int {
+	out := make([]int, n)
+	if total <= 0 {
+		return out
+	}
+	base, rem := total/n, total%n
+	for i := range out {
+		m := base
+		if i < rem {
+			m++
+		}
+		if m < 1 {
+			m = 1
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// MPL returns the cluster-wide limit as last requested (0 =
+// unlimited). It deliberately reports the REQUESTED value, not the
+// sum of shard limits: SplitMPL floors every shard at one slot, so a
+// request below the shard count is physically clamped to it — but a
+// feedback controller probing downward must still observe its own
+// actuation, or it would livelock re-issuing the same decrease
+// forever.
+func (d *Dispatcher) MPL() int { return d.mpl }
+
+// SetMPL distributes a cluster-wide limit across the shards per
+// SplitMPL (each shard keeps at least one slot, so the effective
+// fleet cap is max(total, shards) when total > 0). This is the
+// feedback controller's actuator: the loop tunes one number and the
+// dispatcher keeps the fleet balanced.
+func (d *Dispatcher) SetMPL(total int) {
+	if total < 0 {
+		total = 0
+	}
+	d.mpl = total
+	for i, m := range SplitMPL(total, len(d.shards)) {
+		d.shards[i].FE.SetMPL(m)
+	}
+}
+
+// QueueLen returns the total external queue length across shards.
+func (d *Dispatcher) QueueLen() int {
+	n := 0
+	for i := range d.shards {
+		n += d.shards[i].FE.QueueLen()
+	}
+	return n
+}
+
+// Inside returns the total number of admitted, uncompleted items.
+func (d *Dispatcher) Inside() int {
+	n := 0
+	for i := range d.shards {
+		n += d.shards[i].FE.Inside()
+	}
+	return n
+}
+
+// Dropped returns the total admission-control rejections across shards.
+func (d *Dispatcher) Dropped() uint64 {
+	var n uint64
+	for i := range d.shards {
+		n += d.shards[i].FE.Dropped()
+	}
+	return n
+}
+
+// Canceled returns the total withdrawn submissions across shards.
+func (d *Dispatcher) Canceled() uint64 {
+	var n uint64
+	for i := range d.shards {
+		n += d.shards[i].FE.Canceled()
+	}
+	return n
+}
+
+// Metrics aggregates the shards' metrics windows into one cluster-wide
+// view (parallel Welford merges; the window length is shard 0's, since
+// all shards share one clock and reset together).
+func (d *Dispatcher) Metrics() core.Metrics {
+	var out core.Metrics
+	for i := range d.shards {
+		m := d.shards[i].FE.Metrics()
+		out.Completed += m.Completed
+		out.Restarts += m.Restarts
+		out.All.Merge(&m.All)
+		out.High.Merge(&m.High)
+		out.Low.Merge(&m.Low)
+		out.Inside.Merge(&m.Inside)
+		out.ExtWait.Merge(&m.ExtWait)
+		if i == 0 {
+			out = out.WithWindow(m.Window())
+		}
+	}
+	return out
+}
+
+// ResetMetrics opens a fresh metrics window on every shard.
+func (d *Dispatcher) ResetMetrics() {
+	for i := range d.shards {
+		d.shards[i].FE.ResetMetrics()
+	}
+}
+
+// SetWFQWeights reconfigures every shard's WFQ policy weights; false
+// when the shards' queue policy is not WFQ.
+func (d *Dispatcher) SetWFQWeights(weights map[core.Class]float64) bool {
+	ok := true
+	for i := range d.shards {
+		ok = d.shards[i].FE.SetWFQWeights(weights) && ok
+	}
+	return ok
+}

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"extsched/internal/core"
+	"extsched/internal/dbfe"
+	"extsched/internal/dbms"
+	"extsched/internal/sim"
+)
+
+// TestJSQPickIsMinimal is the pure property behind the routing
+// invariant: over random load vectors, JSQ always returns a member
+// whose backlog equals the minimum — it never routes to a strictly
+// longer queue — and ties break to the lowest index.
+func TestJSQPickIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var p JSQ
+	for trial := 0; trial < 2000; trial++ {
+		loads := make([]Load, 1+rng.Intn(8))
+		minB := int(^uint(0) >> 1)
+		for i := range loads {
+			loads[i] = Load{Backlog: rng.Intn(10), Work: rng.Float64() * 10, Speed: 1}
+			if loads[i].Backlog < minB {
+				minB = loads[i].Backlog
+			}
+		}
+		pick := p.Pick(loads, core.ClassLow, rng.Float64())
+		if loads[pick].Backlog != minB {
+			t.Fatalf("trial %d: JSQ picked backlog %d, min is %d (loads %+v)",
+				trial, loads[pick].Backlog, minB, loads)
+		}
+		for i := 0; i < pick; i++ {
+			if loads[i].Backlog == minB {
+				t.Fatalf("trial %d: JSQ picked %d but %d ties at %d", trial, pick, i, minB)
+			}
+		}
+	}
+}
+
+// TestLeastWorkPickIsMinimal: same property for LWL over
+// speed-normalized work.
+func TestLeastWorkPickIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var p LeastWork
+	for trial := 0; trial < 2000; trial++ {
+		loads := make([]Load, 1+rng.Intn(8))
+		for i := range loads {
+			loads[i] = Load{Backlog: rng.Intn(10), Work: rng.Float64() * 10, Speed: 0.25 + rng.Float64()}
+		}
+		pick := p.Pick(loads, core.ClassLow, rng.Float64())
+		for i, l := range loads {
+			if normWork(l) < normWork(loads[pick]) {
+				t.Fatalf("trial %d: LWL picked %d (%.3f) over %d (%.3f)",
+					trial, pick, normWork(loads[pick]), i, normWork(l))
+			}
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	loads := make([]Load, 3)
+	for i := 0; i < 9; i++ {
+		if got := p.Pick(loads, core.ClassLow, 0); got != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestAffinityPinsAndHandlesNegatives(t *testing.T) {
+	var p Affinity
+	loads := make([]Load, 3)
+	for class := -5; class <= 5; class++ {
+		got := p.Pick(loads, core.Class(class), 0)
+		if got < 0 || got >= 3 {
+			t.Fatalf("class %d picked out-of-range member %d", class, got)
+		}
+		want := ((class % 3) + 3) % 3
+		if got != want {
+			t.Fatalf("class %d -> member %d, want %d", class, got, want)
+		}
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range []string{"", "rr", "jsq", "lwl", "affinity"} {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("bogus"); err == nil {
+		t.Error("NewPolicy accepted unknown name")
+	}
+}
+
+func TestSplitMPL(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		total := rng.Intn(40)
+		parts := SplitMPL(total, n)
+		if len(parts) != n {
+			t.Fatalf("len = %d, want %d", len(parts), n)
+		}
+		sum, minP, maxP := 0, parts[0], parts[0]
+		for _, m := range parts {
+			sum += m
+			if m < minP {
+				minP = m
+			}
+			if m > maxP {
+				maxP = m
+			}
+		}
+		if total <= 0 {
+			if sum != 0 {
+				t.Fatalf("total %d: parts %v not all zero", total, parts)
+			}
+			continue
+		}
+		if minP < 1 {
+			t.Fatalf("total %d over %d shards: a shard got %d (accidentally unlimited)", total, n, minP)
+		}
+		want := total
+		if want < n {
+			want = n
+		}
+		if sum != want {
+			t.Fatalf("total %d over %d shards: parts %v sum to %d, want %d", total, n, parts, sum, want)
+		}
+		if maxP-minP > 1 {
+			t.Fatalf("total %d over %d shards: uneven split %v", total, n, parts)
+		}
+	}
+}
+
+// testCluster builds n real shards (tiny DBMS each) on one engine.
+func testCluster(t *testing.T, n int, policy Policy) (*sim.Engine, *Dispatcher) {
+	t.Helper()
+	eng := sim.NewEngine()
+	shards := make([]Shard, n)
+	for i := range shards {
+		db, err := dbms.New(eng, dbms.Config{CPUs: 1, Disks: 1, Seed: uint64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = Shard{FE: dbfe.New(eng, db, 2, nil), DB: db}
+	}
+	d, err := NewDispatcher(policy, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+// profile returns a minimal one-op transaction.
+func profile(rng *rand.Rand, key uint64) dbms.TxnProfile {
+	work := 0.001 + 0.01*rng.Float64()
+	return dbms.TxnProfile{
+		Ops:             []dbms.Op{{Key: key, CPUWork: work}},
+		EstimatedDemand: work,
+	}
+}
+
+// TestDispatcherRandomOpsInvariants drives a real 3-shard cluster with
+// a randomized schedule of submissions, engine steps, MPL moves, speed
+// changes and policy flips (seeded math/rand), checking after every
+// step that:
+//
+//   - JSQ routes only to minimum-backlog shards (checked at each
+//     submission while JSQ is active);
+//   - arrivals are conserved: routed = completed + inside + queued,
+//     per shard and in aggregate;
+//   - the dispatcher's aggregate views equal the sum of shard views.
+func TestDispatcherRandomOpsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		runDispatcherProperty(t, seed)
+	}
+}
+
+func runDispatcherProperty(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng, d := testCluster(t, 3, JSQ{})
+	jsqActive := true
+	completedPerShard := make([]uint64, 3)
+	d.OnComplete = func(shard int, tx *dbfe.Txn) { completedPerShard[shard]++ }
+
+	var key uint64
+	check := func(op string) {
+		shards := d.Shards()
+		routed := d.Routed()
+		var inside, queued int
+		for i, sh := range shards {
+			inside += sh.FE.Inside()
+			queued += sh.FE.QueueLen()
+			got := completedPerShard[i] + uint64(sh.FE.Inside()) + uint64(sh.FE.QueueLen())
+			if got != routed[i] {
+				t.Fatalf("seed %d after %s: shard %d conservation: completed %d + inside %d + queued %d != routed %d",
+					seed, op, i, completedPerShard[i], sh.FE.Inside(), sh.FE.QueueLen(), routed[i])
+			}
+		}
+		if d.Inside() != inside || d.QueueLen() != queued {
+			t.Fatalf("seed %d after %s: aggregate views (%d,%d) != shard sums (%d,%d)",
+				seed, op, d.Inside(), d.QueueLen(), inside, queued)
+		}
+	}
+
+	for op := 0; op < 600; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.55: // submit, verifying the routing invariant
+			loads := d.Loads()
+			before := d.Routed()
+			key++
+			d.Submit(profile(rng, key))
+			after := d.Routed()
+			picked := -1
+			for i := range after {
+				if after[i] != before[i] {
+					picked = i
+					break
+				}
+			}
+			if picked < 0 {
+				t.Fatalf("seed %d: submission routed nowhere", seed)
+			}
+			if jsqActive {
+				minB := loads[0].Backlog
+				for _, l := range loads {
+					if l.Backlog < minB {
+						minB = l.Backlog
+					}
+				}
+				if loads[picked].Backlog != minB {
+					t.Fatalf("seed %d: JSQ routed to shard %d with backlog %d, min %d",
+						seed, picked, loads[picked].Backlog, minB)
+				}
+			}
+			check("submit")
+		case r < 0.85: // advance time
+			eng.Run(eng.Now() + 0.02*rng.Float64())
+			check("run")
+		case r < 0.92:
+			d.SetMPL(rng.Intn(9))
+			check("setmpl")
+		case r < 0.97:
+			if err := d.SetSpeed(rng.Intn(3), 0.25+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+			check("setspeed")
+		default:
+			if rng.Intn(2) == 0 {
+				d.SetPolicy(JSQ{})
+				jsqActive = true
+			} else {
+				d.SetPolicy(&RoundRobin{})
+				jsqActive = false
+			}
+			check("setpolicy")
+		}
+	}
+	// Drain and verify total conservation.
+	d.SetMPL(0)
+	eng.Run(eng.Now() + 60)
+	check("drain")
+	if d.Inside() != 0 || d.QueueLen() != 0 {
+		t.Fatalf("seed %d: cluster not drained: inside %d queued %d", seed, d.Inside(), d.QueueLen())
+	}
+	var total uint64
+	for _, c := range completedPerShard {
+		total += c
+	}
+	if total != key {
+		t.Fatalf("seed %d: %d submitted, %d completed after drain", seed, key, total)
+	}
+	m := d.Metrics()
+	if m.Completed != total {
+		t.Fatalf("seed %d: aggregate metrics report %d completions, want %d", seed, m.Completed, total)
+	}
+}
+
+func TestDispatcherValidation(t *testing.T) {
+	if _, err := NewDispatcher(nil, nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := NewDispatcher(nil, []Shard{{}}); err == nil {
+		t.Error("shard without frontend accepted")
+	}
+	_, d := testCluster(t, 2, nil)
+	if err := d.SetSpeed(5, 1); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := d.SetSpeed(0, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if d.PolicyName() != PolicyRoundRobin {
+		t.Errorf("nil policy defaulted to %q, want rr", d.PolicyName())
+	}
+}
+
+// TestMPLReportsRequestedValue: MPL() echoes the requested cluster-
+// wide limit even when SplitMPL's one-slot-per-shard floor clamps the
+// effective total — a controller probing below the shard count must
+// observe its own actuation or it livelocks re-issuing the decrease.
+func TestMPLReportsRequestedValue(t *testing.T) {
+	_, d := testCluster(t, 3, nil) // shards built with MPL 2 each
+	if got := d.MPL(); got != 6 {
+		t.Fatalf("initial MPL = %d, want 6 (derived from shard gates)", got)
+	}
+	d.SetMPL(2) // below the shard count: effective 3, requested 2
+	if got := d.MPL(); got != 2 {
+		t.Errorf("MPL after SetMPL(2) = %d, want the requested 2", got)
+	}
+	for i, sh := range d.Shards() {
+		if sh.FE.MPL() != 1 {
+			t.Errorf("shard %d MPL = %d, want 1 (floor)", i, sh.FE.MPL())
+		}
+	}
+	d.SetMPL(0)
+	if got := d.MPL(); got != 0 {
+		t.Errorf("MPL after SetMPL(0) = %d, want 0", got)
+	}
+}
+
+// TestWorkSettledBeforeResubmit pins the least-work refund ordering:
+// a closed-loop client resubmitting from its own completion callback
+// must see the completing shard's outstanding work already settled,
+// so LWL routes back to the shard that just freed capacity.
+func TestWorkSettledBeforeResubmit(t *testing.T) {
+	eng, d := testCluster(t, 2, LeastWork{})
+	rng := rand.New(rand.NewSource(9))
+	// Charge shard 1 with a queued txn so it stays busier throughout.
+	d.Submit(dbms.TxnProfile{Ops: []dbms.Op{{Key: 1, CPUWork: 5}}, EstimatedDemand: 5})  // -> shard 0 (tie)
+	d.Submit(dbms.TxnProfile{Ops: []dbms.Op{{Key: 2, CPUWork: 10}}, EstimatedDemand: 9}) // -> shard 1
+	var sawWork float64 = -1
+	p := profile(rng, 3) // small txn, routed to shard 0 (work 5+d vs 9)
+	d.SubmitCB(dbms.TxnProfile{Ops: p.Ops, EstimatedDemand: 1}, func(tx *dbfe.Txn) {
+		// At this instant the completed txn's charge must be refunded.
+		sawWork = d.Loads()[0].Work
+	})
+	eng.Run(eng.Now() + 2) // small txn (<= ~0.011s service) completes first
+	if sawWork < 0 {
+		t.Fatal("completion callback never ran")
+	}
+	// Shard 0's work inside the callback is the remaining big txn's 5,
+	// not 5+1: the completed charge was settled before the callback.
+	if sawWork != 5 {
+		t.Errorf("work seen in completion callback = %v, want 5 (refund must precede callback)", sawWork)
+	}
+}

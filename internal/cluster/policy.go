@@ -1,0 +1,151 @@
+// Package cluster adds the multi-backend layer on top of the paper's
+// single-gate external scheduler: a Dispatcher fans one admitted
+// transaction stream out across N shard frontends (each its own MPL
+// gate over its own backend), and pluggable dispatch policies decide
+// which shard receives the next item. Schroeder et al. tune ONE gate;
+// real deployments front replica or shard fleets, where the dispatch
+// decision dominates tail latency as much as the MPL itself — a slow
+// shard behind a blind round-robin drags the aggregate p95 long before
+// it costs throughput.
+//
+// The policy vocabulary is deliberately tiny and side-effect free
+// (Pick reads per-member Load views and returns an index), so the same
+// four policies serve the deterministic simulator (Dispatcher, below)
+// and live wall-clock traffic (gate.Pool). Ties always break toward
+// the lowest index, which is what keeps multi-shard simulation runs
+// bit-identical across reruns.
+package cluster
+
+import (
+	"fmt"
+
+	"extsched/internal/core"
+)
+
+// Load is one member's state as seen by a dispatch decision.
+type Load struct {
+	// Backlog is the number of items at the member: external queue plus
+	// admitted-and-executing.
+	Backlog int
+	// Work is the outstanding size-hint seconds routed to the member
+	// and not yet completed (at unit speed).
+	Work float64
+	// Speed is the member's relative service speed (1 = nominal);
+	// work-aware policies normalize Work by it.
+	Speed float64
+}
+
+// Policy picks the member that receives the next item. Implementations
+// may keep state (round-robin's cursor) but must be deterministic:
+// equal inputs and history yield equal picks. A Policy instance
+// belongs to one dispatcher; do not share.
+type Policy interface {
+	// Name identifies the policy in reports and scenario files.
+	Name() string
+	// Pick returns the index of the member to dispatch to. loads is
+	// never empty; class and size describe the item (size 0 = unknown).
+	Pick(loads []Load, class core.Class, size float64) int
+}
+
+// Policy names accepted by NewPolicy (and scenario SetDispatch events).
+const (
+	// PolicyRoundRobin cycles through members in order, blind to load —
+	// the baseline every smarter policy is measured against.
+	PolicyRoundRobin = "rr"
+	// PolicyJSQ joins the shortest queue: the member with the smallest
+	// backlog (queued + executing), ties to the lowest index.
+	PolicyJSQ = "jsq"
+	// PolicyLeastWork routes to the member with the least outstanding
+	// size-hint work, normalized by member speed — JSQ's size-aware
+	// sibling, sharper when service demands are highly variable or the
+	// fleet is heterogeneous.
+	PolicyLeastWork = "lwl"
+	// PolicyAffinity pins each priority class to one member
+	// (index = class mod members): cache and isolation affinity at the
+	// cost of balance.
+	PolicyAffinity = "affinity"
+)
+
+// NewPolicy builds a built-in dispatch policy by name ("" = round-
+// robin). Each call returns a fresh instance.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", PolicyRoundRobin:
+		return &RoundRobin{}, nil
+	case PolicyJSQ:
+		return JSQ{}, nil
+	case PolicyLeastWork:
+		return LeastWork{}, nil
+	case PolicyAffinity:
+		return Affinity{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q (want %s, %s, %s or %s)",
+			name, PolicyRoundRobin, PolicyJSQ, PolicyLeastWork, PolicyAffinity)
+	}
+}
+
+// RoundRobin cycles through members in index order.
+type RoundRobin struct {
+	next int
+}
+
+func (p *RoundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *RoundRobin) Pick(loads []Load, _ core.Class, _ float64) int {
+	i := p.next % len(loads)
+	p.next = (i + 1) % len(loads)
+	return i
+}
+
+// JSQ joins the shortest queue.
+type JSQ struct{}
+
+func (JSQ) Name() string { return PolicyJSQ }
+
+func (JSQ) Pick(loads []Load, _ core.Class, _ float64) int {
+	best := 0
+	for i := 1; i < len(loads); i++ {
+		if loads[i].Backlog < loads[best].Backlog {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastWork routes to the member whose outstanding work, in member-
+// local service seconds (Work/Speed), is smallest.
+type LeastWork struct{}
+
+func (LeastWork) Name() string { return PolicyLeastWork }
+
+func (LeastWork) Pick(loads []Load, _ core.Class, _ float64) int {
+	best, bestW := 0, normWork(loads[0])
+	for i := 1; i < len(loads); i++ {
+		if w := normWork(loads[i]); w < bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// normWork is a member's outstanding work scaled to its speed.
+func normWork(l Load) float64 {
+	s := l.Speed
+	if s <= 0 {
+		s = 1
+	}
+	return l.Work / s
+}
+
+// Affinity pins class c to member c mod N.
+type Affinity struct{}
+
+func (Affinity) Name() string { return PolicyAffinity }
+
+func (Affinity) Pick(loads []Load, class core.Class, _ float64) int {
+	i := int(class) % len(loads)
+	if i < 0 {
+		i += len(loads)
+	}
+	return i
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+// TestFrontendRandomOpsInvariants is a property test over randomized
+// operation sequences (seeded math/rand, so a failure replays): any
+// interleaving of Submit, Complete, CancelQueued, SetMPL and
+// SetQueueLimit across every policy must preserve the gate's core
+// invariants:
+//
+//  1. admission respects the limit — at every dispatch instant,
+//     inside <= MPL (when finite);
+//  2. conservation — accepted submissions are exactly partitioned into
+//     completed + inside + queued + canceled;
+//  3. queue-length accounting never goes negative, and cancellations
+//     never complete.
+func TestFrontendRandomOpsInvariants(t *testing.T) {
+	for _, pol := range []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"fifo", func() Policy { return NewFIFO() }},
+		{"priority", func() Policy { return NewPriority() }},
+		{"sjf", func() Policy { return NewSJF() }},
+		{"wfq", func() Policy { return NewWFQ(map[Class]float64{ClassHigh: 4}) }},
+	} {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				runFrontendProperty(t, pol.mk(), seed)
+			}
+		})
+	}
+}
+
+func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+	mpl := rng.Intn(5) // 0 = unlimited
+	var fe *Frontend
+	var inflight []*Item
+	exec := backendFunc(func(it *Item) {
+		// Invariant 1: the gate never dispatches past a finite limit.
+		// Inside() already counts this item.
+		if m := fe.MPL(); m > 0 && fe.Inside() > m {
+			t.Fatalf("seed %d: dispatched with inside=%d > MPL=%d", seed, fe.Inside(), m)
+		}
+		inflight = append(inflight, it)
+	})
+	fe = New(eng.Clock(), exec, mpl, policy)
+
+	var accepted, completed, canceled uint64
+	var queued []*Item // accepted, not yet dispatched or canceled (our model)
+	completedSet := make(map[*Item]bool)
+	canceledSet := make(map[*Item]bool)
+
+	// remodel moves items our model thinks are queued but the gate has
+	// dispatched (admission happens inside Submit/SetMPL/Complete).
+	remodel := func() {
+		kept := queued[:0]
+		inDispatch := make(map[*Item]bool, len(inflight))
+		for _, it := range inflight {
+			inDispatch[it] = true
+		}
+		for _, it := range queued {
+			if !inDispatch[it] {
+				kept = append(kept, it)
+			}
+		}
+		queued = kept
+	}
+
+	check := func(op string) {
+		remodel()
+		// Invariant 3: externally visible accounting is non-negative
+		// and matches our model.
+		if fe.QueueLen() != len(queued) {
+			t.Fatalf("seed %d after %s: QueueLen=%d, model has %d", seed, op, fe.QueueLen(), len(queued))
+		}
+		if fe.Inside() != len(inflight) {
+			t.Fatalf("seed %d after %s: Inside=%d, model has %d", seed, op, fe.Inside(), len(inflight))
+		}
+		// Invariant 2: conservation.
+		if got := completed + uint64(len(inflight)) + uint64(len(queued)) + canceled; got != accepted {
+			t.Fatalf("seed %d after %s: completed %d + inside %d + queued %d + canceled %d != accepted %d",
+				seed, op, completed, len(inflight), len(queued), canceled, accepted)
+		}
+		if fe.Canceled() != canceled {
+			t.Fatalf("seed %d after %s: Canceled()=%d, model %d", seed, op, fe.Canceled(), canceled)
+		}
+	}
+
+	for op := 0; op < 2000; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.5: // submit
+			it := &Item{Class: Class(rng.Intn(3)), SizeHint: rng.Float64()}
+			if fe.Submit(it, nil) {
+				accepted++
+				queued = append(queued, it) // remodel() fixes immediate dispatch
+			}
+			check("submit")
+		case r < 0.8 && len(inflight) > 0: // complete a random inflight item
+			i := rng.Intn(len(inflight))
+			it := inflight[i]
+			inflight = append(inflight[:i], inflight[i+1:]...)
+			if completedSet[it] || canceledSet[it] {
+				t.Fatalf("seed %d: item finishing twice", seed)
+			}
+			completedSet[it] = true
+			completed++
+			fe.Complete(it, Outcome{InsideTime: rng.Float64()})
+			check("complete")
+		case r < 0.9 && len(queued) > 0: // cancel a random queued item
+			i := rng.Intn(len(queued))
+			it := queued[i]
+			if fe.CancelQueued(it) {
+				canceledSet[it] = true
+				canceled++
+				queued = append(queued[:i], queued[i+1:]...)
+			}
+			check("cancel")
+		case r < 0.97: // move the limit
+			fe.SetMPL(rng.Intn(6))
+			check("setmpl")
+		default: // flip admission control
+			fe.SetQueueLimit(rng.Intn(20))
+			check("setqueuelimit")
+		}
+	}
+	// Drain: complete everything inflight, raising the MPL to flush the
+	// queue; every queued item must eventually dispatch or stay
+	// canceled — nothing may vanish.
+	fe.SetQueueLimit(0)
+	fe.SetMPL(0)
+	for len(inflight) > 0 {
+		it := inflight[0]
+		inflight = inflight[1:]
+		completed++
+		fe.Complete(it, Outcome{})
+		remodel()
+	}
+	check("drain")
+	if fe.QueueLen() != 0 {
+		t.Fatalf("seed %d: %d items stranded in queue after drain", seed, fe.QueueLen())
+	}
+	for it := range canceledSet {
+		if completedSet[it] {
+			t.Fatalf("seed %d: canceled item also completed", seed)
+		}
+	}
+}

@@ -22,8 +22,10 @@ package runner
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
+	"extsched/internal/cluster"
 	"extsched/internal/controller"
 	"extsched/internal/core"
 	"extsched/internal/dbfe"
@@ -77,18 +79,35 @@ type ControllerSpec struct {
 	StopOnConverge bool
 }
 
+// ShardSpeed retargets one shard's relative CPU speed (a slowdown,
+// failure-in-slow-motion, or recovery).
+type ShardSpeed struct {
+	Shard int
+	Speed float64
+}
+
 // Event is a mid-phase control action, applied At seconds after the
 // phase's measured start (for the first phase, after warmup ends).
 // Exactly the actions a DBA could take against a live system: move the
-// MPL, reweight the queue, hand control to the feedback loop.
+// MPL, reweight the queue, hand control to the feedback loop, degrade
+// a shard, switch the dispatch policy.
 type Event struct {
 	At float64
-	// SetMPL, when non-nil, changes the MPL (0 = unlimited).
+	// SetMPL, when non-nil, changes the MPL (0 = unlimited). On a
+	// sharded stack the value is the cluster-wide limit, split across
+	// shards by cluster.SplitMPL.
 	SetMPL *int
 	// SetWFQHighWeight, when non-nil, reweights the WFQ policy's high
 	// class (low keeps weight 1). Ignored (with no error) when the
 	// frontend's policy is not WFQ.
 	SetWFQHighWeight *float64
+	// SetShardSpeed, when non-nil, changes one shard's relative CPU
+	// speed. Running on an unsharded stack is an error.
+	SetShardSpeed *ShardSpeed
+	// SetDispatch, when non-empty, switches the cluster's dispatch
+	// policy (cluster.NewPolicy names). Running on an unsharded stack
+	// is an error.
+	SetDispatch string
 	// EnableController attaches the feedback controller to the
 	// completion stream; DisableController detaches it, freezing the
 	// MPL where the loop left it.
@@ -144,19 +163,35 @@ type Spec struct {
 	Phases         []Phase
 }
 
+// finite reports whether every value is a finite float — the
+// executor schedules events at these offsets, and the engine (rightly)
+// panics on NaN/Inf times, so Validate must reject them first. JSON
+// cannot encode non-finite numbers, but scenarios built in code can.
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks the spec's shape without touching a stack.
 func (s Spec) Validate() error {
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("runner: scenario has no phases")
 	}
-	if s.Warmup < 0 {
-		return fmt.Errorf("runner: warmup %v must be >= 0", s.Warmup)
+	if s.Warmup < 0 || !finite(s.Warmup) {
+		return fmt.Errorf("runner: warmup %v must be finite and >= 0", s.Warmup)
 	}
-	if s.SampleInterval < 0 {
-		return fmt.Errorf("runner: sample interval %v must be >= 0", s.SampleInterval)
+	if s.SampleInterval < 0 || !finite(s.SampleInterval) {
+		return fmt.Errorf("runner: sample interval %v must be finite and >= 0", s.SampleInterval)
 	}
 	for i, ph := range s.Phases {
 		prefix := fmt.Sprintf("runner: phase %d (%s)", i, ph.label())
+		if !finite(ph.Duration, ph.ThinkTime, ph.Lambda, ph.Lambda2, ph.BurstFactor, ph.BurstPeriod, ph.TraceSpeedup) {
+			return fmt.Errorf("%s: parameters must be finite", prefix)
+		}
 		if ph.Duration < 0 {
 			return fmt.Errorf("%s: duration %v must be >= 0", prefix, ph.Duration)
 		}
@@ -204,14 +239,27 @@ func (s Spec) Validate() error {
 				prefix, ph.Kind, KindClosed, KindOpen, KindRamp, KindBurst, KindTrace)
 		}
 		for j, ev := range ph.Events {
-			if ev.At < 0 {
-				return fmt.Errorf("%s event %d: offset %v must be >= 0", prefix, j, ev.At)
+			if ev.At < 0 || !finite(ev.At) {
+				return fmt.Errorf("%s event %d: offset %v must be finite and >= 0", prefix, j, ev.At)
 			}
 			if ev.SetMPL != nil && *ev.SetMPL < 0 {
 				return fmt.Errorf("%s event %d: MPL %d must be >= 0", prefix, j, *ev.SetMPL)
 			}
-			if ev.SetWFQHighWeight != nil && *ev.SetWFQHighWeight <= 0 {
+			if ev.SetWFQHighWeight != nil && (*ev.SetWFQHighWeight <= 0 || !finite(*ev.SetWFQHighWeight)) {
 				return fmt.Errorf("%s event %d: WFQ weight %v must be positive", prefix, j, *ev.SetWFQHighWeight)
+			}
+			if ss := ev.SetShardSpeed; ss != nil {
+				if ss.Shard < 0 {
+					return fmt.Errorf("%s event %d: shard %d must be >= 0", prefix, j, ss.Shard)
+				}
+				if ss.Speed <= 0 || !finite(ss.Speed) {
+					return fmt.Errorf("%s event %d: shard speed %v must be positive", prefix, j, ss.Speed)
+				}
+			}
+			if ev.SetDispatch != "" {
+				if _, err := cluster.NewPolicy(ev.SetDispatch); err != nil {
+					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
 			}
 			if ev.EnableController != nil {
 				cs := ev.EnableController
@@ -227,17 +275,40 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Stack is the assembled simulation the spec runs on. The runner owns
-// FE.OnComplete for the duration of the run.
+// Stack is the assembled simulation the spec runs on. Exactly one of
+// two shapes: single-backend (DB + FE set, Cluster nil) or sharded
+// (Cluster set, DB/FE ignored). The runner owns the completion hooks
+// (FE.OnComplete or Cluster.OnComplete) for the duration of the run.
 type Stack struct {
 	Eng *sim.Engine
 	DB  *dbms.DB
 	FE  *dbfe.Frontend
-	Gen *workload.Generator
+	// Cluster, when non-nil, replaces DB/FE with a sharded dispatch
+	// fabric: drivers submit through it, control events address it, and
+	// the runner reports per-shard slices next to the aggregates.
+	Cluster *cluster.Dispatcher
+	Gen     *workload.Generator
 	// PercentileSamples, when > 0, reservoir-samples response times
 	// over the whole measurement window (deterministic given Seed).
 	PercentileSamples int
 	Seed              uint64
+}
+
+// Gate returns the control surface the MPL events and the feedback
+// controller act on: the lone frontend, or the cluster dispatcher.
+func (st Stack) Gate() controller.Gate {
+	if st.Cluster != nil {
+		return st.Cluster
+	}
+	return st.FE.Frontend
+}
+
+// sink returns what the workload drivers submit to.
+func (st Stack) sink() workload.Sink {
+	if st.Cluster != nil {
+		return st.Cluster
+	}
+	return st.FE
 }
 
 // Report aggregates one window (the whole run, or one phase's slice of
@@ -292,6 +363,18 @@ type PhaseReport struct {
 	Report
 }
 
+// ShardReport is one shard's slice of the whole measurement window
+// (sharded stacks only). Lock counters and device utilizations are the
+// shard's own; Dispatched counts the arrivals the dispatcher routed to
+// it inside the window.
+type ShardReport struct {
+	Shard int
+	// Speed is the shard's relative CPU speed when the run ended.
+	Speed      float64
+	Dispatched uint64
+	Report
+}
+
 // TuneReport summarizes a controller-enabled run.
 type TuneReport struct {
 	StartMPL   int
@@ -304,10 +387,15 @@ type TuneReport struct {
 type Outcome struct {
 	Total  Report
 	Phases []PhaseReport
+	// Shards holds each shard's slice of the whole window (nil for
+	// single-backend stacks).
+	Shards []ShardReport
 	// Tune is non-nil when an EnableController event fired.
 	Tune *TuneReport
 	// FinalMPL is the MPL when the run ended (events or the controller
-	// may have moved it from the configured value).
+	// may have moved it from the configured value). For sharded stacks
+	// it is the cluster-wide limit (sum of shard limits; 0 if any shard
+	// is unlimited).
 	FinalMPL int
 }
 
@@ -318,10 +406,45 @@ type mark struct {
 	dropped, canceled  uint64
 	waits, dl, preempt uint64
 	cpuBusy, diskBusy  float64 // utilization·time products
+	// shards are the per-shard cumulative counters (sharded stacks).
+	shards []shardMark
+}
+
+type shardMark struct {
+	routed, dropped, canceled uint64
+	waits, dl, preempt        uint64
+	cpuBusy, diskBusy         float64
 }
 
 func takeMark(st Stack) mark {
-	m := mark{t: st.Eng.Now(), dropped: st.FE.Dropped(), canceled: st.FE.Canceled()}
+	m := mark{t: st.Eng.Now()}
+	if c := st.Cluster; c != nil {
+		m.dropped, m.canceled = c.Dropped(), c.Canceled()
+		shards := c.Shards()
+		routed := c.Routed()
+		m.shards = make([]shardMark, len(shards))
+		n := float64(len(shards))
+		for i, sh := range shards {
+			sm := &m.shards[i]
+			sm.routed = routed[i]
+			sm.dropped, sm.canceled = sh.FE.Dropped(), sh.FE.Canceled()
+			if sh.DB != nil {
+				s := sh.DB.Stats()
+				sm.waits, sm.dl, sm.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
+				m.waits += sm.waits
+				m.dl += sm.dl
+				m.preempt += sm.preempt
+				sm.cpuBusy = sh.DB.CPUUtilization() * m.t
+				sm.diskBusy = sh.DB.DiskUtilization() * m.t
+				// The aggregate utilization is the fleet mean, so the
+				// windowed delta math below holds shard-count-free.
+				m.cpuBusy += sm.cpuBusy / n
+				m.diskBusy += sm.diskBusy / n
+			}
+		}
+		return m
+	}
+	m.dropped, m.canceled = st.FE.Dropped(), st.FE.Canceled()
 	if st.DB != nil {
 		s := st.DB.Stats()
 		m.waits, m.dl, m.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
@@ -392,6 +515,7 @@ func (a *acc) report(st Stack, from mark, res *stats.Reservoir) Report {
 
 // buildDriver assembles the phase's traffic source.
 func buildDriver(st Stack, ph Phase) (workload.Driver, error) {
+	sink := st.sink()
 	switch ph.Kind {
 	case KindClosed:
 		clients := ph.Clients
@@ -402,11 +526,11 @@ func buildDriver(st Stack, ph Phase) (workload.Driver, error) {
 		if ph.ThinkTime > 0 {
 			think = dist.NewExponential(ph.ThinkTime)
 		}
-		return workload.NewClosedDriver(st.Eng, st.FE, st.Gen, clients, think), nil
+		return workload.NewClosedDriver(st.Eng, sink, st.Gen, clients, think), nil
 	case KindOpen:
-		return workload.NewOpenDriver(st.Eng, st.FE, st.Gen, ph.Lambda, 0), nil
+		return workload.NewOpenDriver(st.Eng, sink, st.Gen, ph.Lambda, 0), nil
 	case KindRamp:
-		return workload.NewRampDriver(st.Eng, st.FE, st.Gen, ph.Lambda, ph.Lambda2, ph.Duration), nil
+		return workload.NewRampDriver(st.Eng, sink, st.Gen, ph.Lambda, ph.Lambda2, ph.Duration), nil
 	case KindBurst:
 		factor := ph.BurstFactor
 		if factor == 0 {
@@ -416,9 +540,9 @@ func buildDriver(st Stack, ph Phase) (workload.Driver, error) {
 		if period == 0 {
 			period = 100 / ph.Lambda
 		}
-		return workload.NewBurstDriver(st.Eng, st.FE, st.Gen, ph.Lambda, factor, period), nil
+		return workload.NewBurstDriver(st.Eng, sink, st.Gen, ph.Lambda, factor, period), nil
 	case KindTrace:
-		d, err := workload.NewTraceDriver(st.Eng, st.FE, ph.Trace)
+		d, err := workload.NewTraceDriver(st.Eng, sink, ph.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -442,6 +566,11 @@ type run struct {
 	phase     acc
 	window    acc
 	res       *stats.Reservoir
+	// shardTotal / winShard split the window per shard (sharded stacks
+	// only): whole-window accumulators for Outcome.Shards, and
+	// per-interval completion counts for Snapshot.Shards.
+	shardTotal []acc
+	winShard   []uint64
 
 	totalMark, phaseMark, winMark mark
 	nextSnap                      float64
@@ -449,6 +578,33 @@ type run struct {
 	ctl            *controller.Controller
 	tune           *TuneReport
 	stopOnConverge bool
+}
+
+// onComplete is the single completion observer for both stack shapes;
+// shard is 0 for single-backend stacks.
+func (r *run) onComplete(shard int, t *dbfe.Txn) {
+	if r.measuring {
+		r.total.observe(t)
+		r.phase.observe(t)
+		r.window.observe(t)
+		if r.shardTotal != nil {
+			r.shardTotal[shard].observe(t)
+			r.winShard[shard]++
+		}
+		if r.res != nil {
+			r.res.Add(t.Item.ResponseTime())
+		}
+	}
+	if r.ctl != nil {
+		r.ctl.Observe()
+		// StopOnConverge must not wait for the next breakpoint (a
+		// scenario without snapshot ticks may have none before the
+		// phase's end): halt the engine as soon as the loop settles.
+		// The run loop sees Converged() and finishes the run there.
+		if r.stopOnConverge && r.ctl.Converged() {
+			r.st.Eng.Stop()
+		}
+	}
 }
 
 // Run executes spec on st. Observers receive one windowed Snapshot per
@@ -469,25 +625,12 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 		r.res = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 31))
 	}
-	st.FE.OnComplete = func(t *dbfe.Txn) {
-		if r.measuring {
-			r.total.observe(t)
-			r.phase.observe(t)
-			r.window.observe(t)
-			if r.res != nil {
-				r.res.Add(t.Item.ResponseTime())
-			}
-		}
-		if r.ctl != nil {
-			r.ctl.Observe()
-			// StopOnConverge must not wait for the next breakpoint (a
-			// scenario without snapshot ticks may have none before the
-			// phase's end): halt the engine as soon as the loop settles.
-			// The run loop sees Converged() and finishes the run there.
-			if r.stopOnConverge && r.ctl.Converged() {
-				st.Eng.Stop()
-			}
-		}
+	if c := st.Cluster; c != nil {
+		r.shardTotal = make([]acc, c.NumShards())
+		r.winShard = make([]uint64, c.NumShards())
+		c.OnComplete = r.onComplete
+	} else {
+		st.FE.OnComplete = func(t *dbfe.Txn) { r.onComplete(0, t) }
 	}
 	out := Outcome{}
 	for i, ph := range spec.Phases {
@@ -523,7 +666,8 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 	}
 	r.measuring = false
 	out.Total = r.total.report(st, r.totalMark, r.res)
-	out.FinalMPL = st.FE.MPL()
+	out.Shards = r.shardReports()
+	out.FinalMPL = st.Gate().MPL()
 	if r.tune != nil {
 		t := *r.tune
 		if r.ctl != nil { // still attached; a disable event already froze t
@@ -539,9 +683,18 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 // beginMeasurement opens the measurement window at the engine's
 // current time.
 func (r *run) beginMeasurement() {
-	r.st.FE.ResetMetrics()
-	if r.st.DB != nil {
-		r.st.DB.Pool().ResetStats()
+	if c := r.st.Cluster; c != nil {
+		c.ResetMetrics()
+		for _, sh := range c.Shards() {
+			if sh.DB != nil {
+				sh.DB.Pool().ResetStats()
+			}
+		}
+	} else {
+		r.st.FE.ResetMetrics()
+		if r.st.DB != nil {
+			r.st.DB.Pool().ResetStats()
+		}
 	}
 	r.measuring = true
 	m := takeMark(r.st)
@@ -595,20 +748,47 @@ func (r *run) runPhase(ctx context.Context, ph Phase) (stopEarly bool, err error
 	}
 }
 
+// setWFQWeights reaches the queue policy on either stack shape.
+func (r *run) setWFQWeights(w map[core.Class]float64) {
+	if c := r.st.Cluster; c != nil {
+		c.SetWFQWeights(w)
+		return
+	}
+	r.st.FE.SetWFQWeights(w)
+}
+
 // applyEvent performs one control action at the engine's current time.
 func (r *run) applyEvent(ev Event) error {
-	fe := r.st.FE
+	gate := r.st.Gate()
 	if ev.SetMPL != nil {
-		fe.SetMPL(*ev.SetMPL)
+		gate.SetMPL(*ev.SetMPL)
 	}
 	if ev.SetWFQHighWeight != nil {
-		fe.SetWFQWeights(map[core.Class]float64{core.ClassHigh: *ev.SetWFQHighWeight, core.ClassLow: 1})
+		r.setWFQWeights(map[core.Class]float64{core.ClassHigh: *ev.SetWFQHighWeight, core.ClassLow: 1})
+	}
+	if ss := ev.SetShardSpeed; ss != nil {
+		if r.st.Cluster == nil {
+			return fmt.Errorf("runner: SetShardSpeed event on an unsharded system")
+		}
+		if err := r.st.Cluster.SetSpeed(ss.Shard, ss.Speed); err != nil {
+			return err
+		}
+	}
+	if ev.SetDispatch != "" {
+		if r.st.Cluster == nil {
+			return fmt.Errorf("runner: SetDispatch event on an unsharded system")
+		}
+		p, err := cluster.NewPolicy(ev.SetDispatch)
+		if err != nil {
+			return err
+		}
+		r.st.Cluster.SetPolicy(p)
 	}
 	if ev.DisableController {
 		// Record the detached loop's outcome before dropping it, so the
 		// run's TuneReport survives the disable.
 		if r.ctl != nil && r.tune != nil {
-			r.tune.FinalMPL = fe.MPL()
+			r.tune.FinalMPL = gate.MPL()
 			r.tune.Iterations = r.ctl.Iterations()
 			r.tune.Converged = r.ctl.Converged()
 		}
@@ -616,7 +796,7 @@ func (r *run) applyEvent(ev Event) error {
 		r.stopOnConverge = false
 	}
 	if cs := ev.EnableController; cs != nil {
-		ctl, err := controller.New(r.st.Eng.Clock(), fe, controller.Config{
+		ctl, err := controller.New(r.st.Eng.Clock(), gate, controller.Config{
 			Targets: controller.Targets{
 				MaxThroughputLoss: cs.MaxThroughputLoss,
 				MaxRTIncrease:     cs.MaxRTIncrease,
@@ -634,25 +814,92 @@ func (r *run) applyEvent(ev Event) error {
 		r.ctl = ctl
 		r.stopOnConverge = cs.StopOnConverge
 		if r.tune == nil {
-			r.tune = &TuneReport{StartMPL: fe.MPL()}
+			r.tune = &TuneReport{StartMPL: gate.MPL()}
 		}
 	}
 	return nil
+}
+
+// shardReports assembles each shard's slice of the whole measurement
+// window (nil for single-backend stacks).
+func (r *run) shardReports() []ShardReport {
+	c := r.st.Cluster
+	if c == nil {
+		return nil
+	}
+	to := takeMark(r.st)
+	from := r.totalMark
+	out := make([]ShardReport, c.NumShards())
+	for i, sh := range c.Shards() {
+		a := &r.shardTotal[i]
+		sr := ShardReport{Shard: i, Speed: sh.Speed}
+		sr.Report = Report{
+			Window:    to.t - from.t,
+			Completed: a.completed,
+			All:       a.all,
+			High:      a.high,
+			Low:       a.low,
+			Inside:    a.inside,
+			ExtWait:   a.extwait,
+			Restarts:  a.restarts,
+		}
+		if len(from.shards) == len(to.shards) && i < len(from.shards) {
+			f, t := from.shards[i], to.shards[i]
+			sr.Dispatched = t.routed - f.routed
+			sr.Dropped = t.dropped - f.dropped
+			sr.LockWaits = t.waits - f.waits
+			sr.Deadlocks = t.dl - f.dl
+			sr.Preemptions = t.preempt - f.preempt
+			sr.CPUUtil = utilDelta(f.cpuBusy, t.cpuBusy, from.t, to.t)
+			sr.DiskUtil = utilDelta(f.diskBusy, t.diskBusy, from.t, to.t)
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// shardStats assembles the per-shard slice of an interval snapshot and
+// opens the shards' next completion window.
+func (r *run) shardStats(to mark) []metrics.ShardStat {
+	c := r.st.Cluster
+	if c == nil {
+		return nil
+	}
+	out := make([]metrics.ShardStat, c.NumShards())
+	for i, sh := range c.Shards() {
+		ss := metrics.ShardStat{
+			Shard:     i,
+			Speed:     sh.Speed,
+			Limit:     sh.FE.MPL(),
+			Inflight:  sh.FE.Inside(),
+			Queued:    sh.FE.QueueLen(),
+			Completed: r.winShard[i],
+		}
+		if len(r.winMark.shards) == len(to.shards) && i < len(to.shards) {
+			ss.Dispatched = to.shards[i].routed - r.winMark.shards[i].routed
+			ss.CPUUtil = utilDelta(r.winMark.shards[i].cpuBusy, to.shards[i].cpuBusy, r.winMark.t, to.t)
+			ss.DiskUtil = utilDelta(r.winMark.shards[i].diskBusy, to.shards[i].diskBusy, r.winMark.t, to.t)
+		}
+		out[i] = ss
+		r.winShard[i] = 0
+	}
+	return out
 }
 
 // emitSnapshot sends the current interval window to every observer and
 // opens the next one.
 func (r *run) emitSnapshot(ph Phase) {
 	st := r.st
+	gate := st.Gate()
 	to := takeMark(st)
 	w := r.window
 	s := metrics.Snapshot{
 		Time:         to.t,
 		Window:       to.t - r.winMark.t,
 		Phase:        ph.label(),
-		Limit:        st.FE.MPL(),
-		Inflight:     st.FE.Inside(),
-		Queued:       st.FE.QueueLen(),
+		Limit:        gate.MPL(),
+		Inflight:     gate.Inside(),
+		Queued:       gate.QueueLen(),
 		Completed:    w.completed,
 		MeanResponse: w.all.Mean(),
 		MeanWait:     w.extwait.Mean(),
@@ -673,6 +920,7 @@ func (r *run) emitSnapshot(ph Phase) {
 		s.P95 = r.res.Percentile(95)
 		s.P99 = r.res.Percentile(99)
 	}
+	s.Shards = r.shardStats(to)
 	for _, o := range r.obs {
 		o.OnInterval(s)
 	}

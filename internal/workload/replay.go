@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 
-	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/sim"
 	"extsched/internal/trace"
@@ -23,7 +22,7 @@ import (
 // gaps are preserved across the gap.
 type TraceDriver struct {
 	eng      *sim.Engine
-	fe       *dbfe.Frontend
+	fe       Sink
 	tr       *trace.Trace
 	profiles []dbms.TxnProfile
 	stopped  bool
@@ -41,7 +40,7 @@ type TraceDriver struct {
 }
 
 // NewTraceDriver validates the trace and returns a replayer.
-func NewTraceDriver(eng *sim.Engine, fe *dbfe.Frontend, tr *trace.Trace) (*TraceDriver, error) {
+func NewTraceDriver(eng *sim.Engine, fe Sink, tr *trace.Trace) (*TraceDriver, error) {
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("workload: cannot replay an empty trace")
 	}

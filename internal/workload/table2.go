@@ -73,6 +73,9 @@ type DBOptions struct {
 	CPUPriority bool
 	// GroupCommit batches commit log writes (see dbms.Config).
 	GroupCommit bool
+	// CPUSpeed scales the CPU cores' speed (0 = 1, nominal) — cluster
+	// shards use it to model heterogeneous or degraded replicas.
+	CPUSpeed float64
 	// Seed drives all of the DB's internal randomness.
 	Seed uint64
 }
@@ -81,6 +84,7 @@ type DBOptions struct {
 func (s Setup) BuildConfig(opts DBOptions) dbms.Config {
 	return dbms.Config{
 		CPUs:            s.CPUs,
+		CPUSpeed:        opts.CPUSpeed,
 		Disks:           s.Disks,
 		DiskService:     s.Workload.DiskService,
 		LogService:      s.Workload.LogService,

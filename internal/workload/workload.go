@@ -232,6 +232,19 @@ func (g *Generator) NextWithClass(class lockmgr.Class) dbms.TxnProfile {
 	return dbms.TxnProfile{Ops: ops, Class: class, EstimatedDemand: demand}
 }
 
+// Sink accepts generated transactions: the single-backend frontend
+// (dbfe.Frontend) and the sharded cluster dispatcher
+// (cluster.Dispatcher) both satisfy it, which is what lets one driver
+// implementation feed either a lone DBMS or a whole fleet of shards.
+type Sink interface {
+	// Submit delivers a transaction for execution.
+	Submit(dbms.TxnProfile) *dbfe.Txn
+	// SubmitCB is Submit with a completion callback (closed-loop
+	// clients cycle on it). cb runs before the sink-wide completion
+	// hook.
+	SubmitCB(dbms.TxnProfile, func(*dbfe.Txn)) *dbfe.Txn
+}
+
 // Driver is the common control surface of the workload drivers, which
 // is what lets the scenario runner treat a phase's traffic source
 // uniformly. Start launches the traffic, Stop ends it for good, and
@@ -258,7 +271,7 @@ type Driver interface {
 // and repeats — the paper's Section 3.1 closed system with 100 clients.
 type ClosedDriver struct {
 	eng     *sim.Engine
-	fe      *dbfe.Frontend
+	fe      Sink
 	gen     *Generator
 	clients int
 	think   dist.Distribution
@@ -272,7 +285,7 @@ type ClosedDriver struct {
 
 // NewClosedDriver builds a driver with the given client count and
 // think-time distribution (use dist.NewDeterministic(0) for no think).
-func NewClosedDriver(eng *sim.Engine, fe *dbfe.Frontend, gen *Generator, clients int, think dist.Distribution) *ClosedDriver {
+func NewClosedDriver(eng *sim.Engine, fe Sink, gen *Generator, clients int, think dist.Distribution) *ClosedDriver {
 	if clients < 1 {
 		panic(fmt.Sprintf("workload: clients %d must be >= 1", clients))
 	}
@@ -342,7 +355,7 @@ func (d *ClosedDriver) cycle() {
 // Section 3.2 open system.
 type OpenDriver struct {
 	eng     *sim.Engine
-	fe      *dbfe.Frontend
+	fe      Sink
 	gen     *Generator
 	lambda  float64
 	rng     *sim.RNG
@@ -355,7 +368,7 @@ type OpenDriver struct {
 
 // NewOpenDriver builds a Poisson driver with rate lambda (> 0)
 // transactions per second. limit caps total arrivals (0 = none).
-func NewOpenDriver(eng *sim.Engine, fe *dbfe.Frontend, gen *Generator, lambda float64, limit uint64) *OpenDriver {
+func NewOpenDriver(eng *sim.Engine, fe Sink, gen *Generator, lambda float64, limit uint64) *OpenDriver {
 	if lambda <= 0 {
 		panic(fmt.Sprintf("workload: lambda %v must be positive", lambda))
 	}

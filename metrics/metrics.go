@@ -70,6 +70,34 @@ type Snapshot struct {
 	// CPUUtil / DiskUtil are the simulated device utilizations over the
 	// window (zero for live gates, which cannot see their backend).
 	CPUUtil, DiskUtil float64
+
+	// Shards carries per-member state when the frontend is a sharded
+	// cluster (nil for single-backend runs and plain live gates), in
+	// shard-index order.
+	Shards []ShardStat
+}
+
+// ShardStat is one dispatch member's slice of a Snapshot: instantaneous
+// gate state plus the member's share of the window's traffic.
+// Dispatched and Completed follow the enclosing Snapshot's window
+// convention: deltas in interval snapshots (Scenario streaming),
+// totals in cumulative ones (gate Pool.Stats, where Dispatched is a
+// lifetime count like Dropped/Canceled).
+type ShardStat struct {
+	// Shard is the member index.
+	Shard int
+	// Speed is the member's relative service speed at the snapshot
+	// instant (1 = nominal).
+	Speed float64
+	// Limit, Inflight and Queued mirror the Snapshot fields for this
+	// member alone.
+	Limit, Inflight, Queued int
+	// Dispatched counts arrivals routed to the member; Completed counts
+	// the member's completions.
+	Dispatched, Completed uint64
+	// CPUUtil / DiskUtil are the member's simulated device utilizations
+	// over the window.
+	CPUUtil, DiskUtil float64
 }
 
 // Observer receives streamed snapshots during a run. OnInterval is

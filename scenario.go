@@ -67,17 +67,33 @@ type ControllerSpec struct {
 	StopOnConverge bool `json:"stop_on_converge,omitempty"`
 }
 
+// ShardSpeedEvent retargets one shard's relative CPU speed mid-run:
+// model a replica slowing down (speed < 1), failing in slow motion
+// (speed ≪ 1), or recovering (speed back to 1).
+type ShardSpeedEvent struct {
+	Shard int     `json:"shard"`
+	Speed float64 `json:"speed"`
+}
+
 // Event is a mid-phase control action, applied At seconds after the
 // phase's measured start (for the first phase: after warmup ends).
 // Zero-valued action fields are skipped, so one Event can carry
 // several actions at one instant.
 type Event struct {
 	At float64 `json:"at"`
-	// SetMPL changes the multiprogramming limit (0 = unlimited).
+	// SetMPL changes the multiprogramming limit (0 = unlimited). On a
+	// sharded system it is the cluster-wide limit, split across shards.
 	SetMPL *int `json:"set_mpl,omitempty"`
 	// SetWFQHighWeight reweights the WFQ policy's high class (the low
 	// class keeps weight 1); ignored when the policy is not WFQ.
 	SetWFQHighWeight *float64 `json:"set_wfq_high_weight,omitempty"`
+	// SetShardSpeed changes one shard's relative CPU speed. Running it
+	// against an unsharded system is an error.
+	SetShardSpeed *ShardSpeedEvent `json:"set_shard_speed,omitempty"`
+	// SetDispatch switches the cluster's dispatch policy ("rr", "jsq",
+	// "lwl" or "affinity") mid-run. Running it against an unsharded
+	// system is an error.
+	SetDispatch string `json:"set_dispatch,omitempty"`
 	// EnableController attaches the feedback controller to the
 	// completion stream; DisableController detaches it, freezing the
 	// MPL where the loop left it.
@@ -191,7 +207,11 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 				At:                ev.At,
 				SetMPL:            ev.SetMPL,
 				SetWFQHighWeight:  ev.SetWFQHighWeight,
+				SetDispatch:       ev.SetDispatch,
 				DisableController: ev.DisableController,
+			}
+			if ss := ev.SetShardSpeed; ss != nil {
+				re.SetShardSpeed = &runner.ShardSpeed{Shard: ss.Shard, Speed: ss.Speed}
 			}
 			if cs := ev.EnableController; cs != nil {
 				re.EnableController = &runner.ControllerSpec{
@@ -244,6 +264,20 @@ type PhaseResult struct {
 	Report
 }
 
+// ShardResult is one shard's slice of the whole measurement window
+// (sharded systems only). Its Report covers only the transactions
+// the dispatcher routed to this shard; device utilizations and lock
+// counters are the shard's own.
+type ShardResult struct {
+	// Shard is the shard index; Speed its relative CPU speed when the
+	// run ended.
+	Shard int
+	Speed float64
+	// Dispatched counts arrivals routed to the shard in the window.
+	Dispatched uint64
+	Report
+}
+
 // TuneResult reports a feedback-controller run (AutoTune, or any
 // scenario with an EnableController event).
 type TuneResult struct {
@@ -263,6 +297,8 @@ type Result struct {
 	// stopped early by controller convergence omits the unreached
 	// phases.
 	Phases []PhaseResult
+	// Shards slices the window per shard (nil for unsharded systems).
+	Shards []ShardResult
 	// Snapshots is the interval time series (empty unless
 	// Scenario.SampleInterval was set).
 	Snapshots []metrics.Snapshot
@@ -272,6 +308,55 @@ type Result struct {
 	// controller may have moved it off Config.MPL).
 	FinalMPL int
 }
+
+// ExampleScenarioJSON is a runnable template for scenario files (cmd/
+// dbsim prints it with -scenario-example, and the fuzz corpus seeds
+// from it): a steady closed phase that hands the MPL to the feedback
+// controller, an open ramp surge, and a synthesized bursty trace
+// replay.
+const ExampleScenarioJSON = `{
+  "name": "surge-demo",
+  "warmup": 30,
+  "sample_interval": 20,
+  "phases": [
+    {
+      "name": "steady",
+      "kind": "closed",
+      "duration": 200,
+      "clients": 100,
+      "events": [
+        {
+          "at": 0,
+          "enable_controller": {
+            "max_throughput_loss": 0.05,
+            "reference_throughput": 95
+          }
+        }
+      ]
+    },
+    {
+      "name": "surge",
+      "kind": "ramp",
+      "duration": 200,
+      "lambda": 50,
+      "lambda2": 120
+    },
+    {
+      "name": "replay",
+      "kind": "trace",
+      "duration": 200,
+      "trace_synth": {
+        "N": 20000,
+        "MeanDemand": 0.01,
+        "DemandC2": 2.0,
+        "Lambda": 80,
+        "Burstiness": 2,
+        "Seed": 7
+      }
+    }
+  ]
+}
+`
 
 // reportFrom converts a runner report to the public vocabulary.
 func reportFrom(r runner.Report) Report {
@@ -344,6 +429,12 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 	}
 	for _, pr := range out.Phases {
 		res.Phases = append(res.Phases, PhaseResult{Name: pr.Name, Kind: string(pr.Kind), Report: reportFrom(pr.Report)})
+	}
+	for _, sr := range out.Shards {
+		res.Shards = append(res.Shards, ShardResult{
+			Shard: sr.Shard, Speed: sr.Speed, Dispatched: sr.Dispatched,
+			Report: reportFrom(sr.Report),
+		})
 	}
 	if collector != nil {
 		res.Snapshots = collector.Snapshots

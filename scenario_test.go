@@ -3,6 +3,7 @@ package extsched
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -330,5 +331,129 @@ func TestAutoTuneScenarioEquivalence(t *testing.T) {
 	}
 	if *res.Tune != tuned {
 		t.Errorf("wrapper and long-form scenario disagree: %+v vs %+v", tuned, *res.Tune)
+	}
+}
+
+// TestShardedScenarioRerunBitIdentical is the sharded-dispatch
+// acceptance test: a two-shard cluster whose shard 1 is slowed 4x
+// mid-phase (then recovers while the dispatch policy switches to JSQ),
+// run twice on ONE System, produces bit-identical Results — the
+// deterministic-rerun guarantee extends to multi-shard runs.
+func TestShardedScenarioRerunBitIdentical(t *testing.T) {
+	sys, err := NewSystem(Config{
+		SetupID: 1, MPL: 8, Seed: 21,
+		Shards: ShardSpec{Count: 2, Dispatch: "jsq"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := ShardSpeedEvent{Shard: 1, Speed: 0.25}
+	recover := ShardSpeedEvent{Shard: 1, Speed: 1}
+	sc := Scenario{
+		Name:           "shard-slowdown",
+		Warmup:         10,
+		SampleInterval: 10,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseClosed, Clients: 40, Duration: 60,
+				Events: []Event{{At: 20, SetShardSpeed: &slow}}},
+			{Name: "recovered", Kind: PhaseOpen, Lambda: 40, Duration: 60,
+				Events: []Event{{At: 10, SetShardSpeed: &recover, SetDispatch: "lwl"}}},
+		},
+	}
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("sharded re-run on one System not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("sharded observer streams differ between re-runs")
+	}
+	if len(r1.Shards) != 2 {
+		t.Fatalf("Shards = %d, want 2", len(r1.Shards))
+	}
+	var dispatched, completed uint64
+	for _, sr := range r1.Shards {
+		if sr.Dispatched == 0 || sr.Completed == 0 {
+			t.Errorf("shard %d idle: %+v", sr.Shard, sr.Report)
+		}
+		dispatched += sr.Dispatched
+		completed += sr.Completed
+	}
+	if completed != r1.Total.Completed {
+		t.Errorf("shard completions sum to %d, total %d", completed, r1.Total.Completed)
+	}
+	if r1.Shards[1].Speed != 1 {
+		t.Errorf("shard 1 final speed = %v, want 1 (recovered)", r1.Shards[1].Speed)
+	}
+	// Snapshots carry per-shard state, and the mid-phase slowdown is
+	// visible in them: some snapshot has shard 1 at speed 0.25.
+	sawSlow := false
+	for _, s := range obs1.Snapshots {
+		if len(s.Shards) != 2 {
+			t.Fatalf("snapshot at %v has %d shard stats, want 2", s.Time, len(s.Shards))
+		}
+		if s.Shards[1].Speed == 0.25 {
+			sawSlow = true
+		}
+	}
+	if !sawSlow {
+		t.Error("no snapshot observed shard 1 at speed 0.25")
+	}
+}
+
+// TestShardEventsRequireShards: shard-targeted events against an
+// unsharded system fail loudly, not silently.
+func TestShardEventsRequireShards(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run(context.Background(), Scenario{Phases: []Phase{{
+		Kind: PhaseClosed, Clients: 5, Duration: 1,
+		Events: []Event{{SetShardSpeed: &ShardSpeedEvent{Shard: 0, Speed: 0.5}}},
+	}}})
+	if err == nil || !strings.Contains(err.Error(), "unsharded") {
+		t.Errorf("SetShardSpeed on unsharded system: err = %v, want unsharded error", err)
+	}
+	_, err = sys.Run(context.Background(), Scenario{Phases: []Phase{{
+		Kind: PhaseClosed, Clients: 5, Duration: 1,
+		Events: []Event{{SetDispatch: "jsq"}},
+	}}})
+	if err == nil || !strings.Contains(err.Error(), "unsharded") {
+		t.Errorf("SetDispatch on unsharded system: err = %v, want unsharded error", err)
+	}
+}
+
+// TestScenarioValidateRejectsNonFinite: the engine panics when asked
+// to schedule events at NaN/Inf times, so Validate must reject every
+// non-finite parameter an API caller could smuggle in (JSON cannot
+// carry them, but code can).
+func TestScenarioValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []Scenario{
+		{Warmup: nan, Phases: []Phase{{Kind: PhaseClosed, Duration: 1}}},
+		{SampleInterval: inf, Phases: []Phase{{Kind: PhaseClosed, Duration: 1}}},
+		{Phases: []Phase{{Kind: PhaseClosed, Duration: nan}}},
+		{Phases: []Phase{{Kind: PhaseClosed, Duration: 1, ThinkTime: inf}}},
+		{Phases: []Phase{{Kind: PhaseOpen, Duration: 1, Lambda: nan}}},
+		{Phases: []Phase{{Kind: PhaseRamp, Duration: 1, Lambda: 1, Lambda2: inf}}},
+		{Phases: []Phase{{Kind: PhaseBurst, Duration: 1, Lambda: 5, BurstPeriod: inf}}},
+		{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{At: nan, SetMPL: new(int)}}}}},
+		{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetShardSpeed: &ShardSpeedEvent{Shard: 0, Speed: inf}}}}}},
+	}
+	for i, sc := range cases {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: non-finite scenario accepted: %+v", i, sc)
+		}
 	}
 }
