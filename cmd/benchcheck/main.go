@@ -1,0 +1,313 @@
+// Command benchcheck is the bench-regression gate: it re-measures the
+// repository's tracked performance metrics — kernel microbenchmarks
+// (ns/op and allocs/op), live-gate overhead, and the deterministic
+// summary numbers of the fig7, dispatch and slo figures — and compares
+// them against the committed BENCH_baseline.json with per-metric
+// tolerances. Any regression exits nonzero, which is what lets CI
+// refuse a PR that slows a hot path or silently changes a figure.
+//
+//	benchcheck                                  # compare against BENCH_baseline.json
+//	benchcheck -out BENCH_current.json          # also write the fresh measurements
+//	benchcheck -update                          # re-baseline (when a speedup lands,
+//	                                            # commit the refreshed file in the same PR)
+//
+// Two metric families behave differently:
+//
+//   - wall-time metrics (kind "time", direction lower-is-better) vary
+//     with the host; their tolerances are wide (default 25%) so only a
+//     real slowdown — the acceptance bar is catching a 30% one — trips
+//     them, and re-baselining on new hardware is expected;
+//   - alloc counts and figure summaries (kinds "allocs", "value") are
+//     hardware-independent: allocs tolerate zero drift, figure values
+//     a small band (they are deterministic given the seed, so drift
+//     means the simulation's behavior changed).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"extsched/gate"
+	"extsched/internal/experiments"
+	"extsched/internal/sim"
+)
+
+// Metric is one tracked measurement.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	// Kind is "time" (ns/op, host-dependent), "allocs" (allocs/op), or
+	// "value" (deterministic figure summary).
+	Kind string `json:"kind"`
+	// Tolerance is the allowed relative drift (e.g. 0.25 = 25%). For
+	// "time" and "allocs" only increases count against it
+	// (lower-is-better); for "value" any drift does.
+	Tolerance float64 `json:"tolerance"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note    string   `json:"note,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+func defaultTolerance(kind string) float64 {
+	switch kind {
+	case "time":
+		return 0.25
+	case "allocs":
+		return 0
+	default:
+		return 0.10
+	}
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+		outPath      = flag.String("out", "", "write the fresh measurements to this file")
+		update       = flag.Bool("update", false, "rewrite the baseline from the fresh measurements (keeps existing per-metric tolerances)")
+		timeTol      = flag.Float64("time-tolerance", 0, "override the tolerance of every \"time\"-kind metric (0 = use the baseline's). CI runs on whatever hardware it gets, so it widens these; local runs keep the strict per-metric values")
+	)
+	flag.Parse()
+
+	fresh, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		if err := writeBaseline(*outPath, Baseline{Note: baselineNote, Metrics: fresh}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+	}
+	if *update {
+		// Preserve hand-tuned tolerances for metrics that already exist.
+		if old, err := readBaseline(*baselinePath); err == nil {
+			tol := make(map[string]float64, len(old.Metrics))
+			for _, m := range old.Metrics {
+				tol[m.Name] = m.Tolerance
+			}
+			for i := range fresh {
+				if t, ok := tol[fresh[i].Name]; ok {
+					fresh[i].Tolerance = t
+				}
+			}
+		}
+		if err := writeBaseline(*baselinePath, Baseline{Note: baselineNote, Metrics: fresh}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: wrote %d metrics to %s\n", len(fresh), *baselinePath)
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	if *timeTol > 0 {
+		for i := range base.Metrics {
+			if base.Metrics[i].Kind == "time" {
+				base.Metrics[i].Tolerance = *timeTol
+			}
+		}
+	}
+	os.Exit(compare(base.Metrics, fresh))
+}
+
+const baselineNote = "regenerate with: go run ./cmd/benchcheck -update (see EXPERIMENTS.md for when re-baselining is legitimate)"
+
+// compare reports PASS/FAIL per metric and returns the exit code.
+func compare(base, fresh []Metric) int {
+	cur := make(map[string]Metric, len(fresh))
+	for _, m := range fresh {
+		cur[m.Name] = m
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	code := 0
+	fmt.Printf("%-40s %14s %14s %9s  %s\n", "metric", "baseline", "current", "drift", "verdict")
+	for _, b := range base {
+		c, ok := cur[b.Name]
+		if !ok {
+			fmt.Printf("%-40s %14.4g %14s %9s  FAIL (metric no longer measured)\n", b.Name, b.Value, "-", "-")
+			code = 1
+			continue
+		}
+		drift := 0.0
+		if b.Value != 0 {
+			drift = (c.Value - b.Value) / math.Abs(b.Value)
+		} else if c.Value != 0 {
+			drift = math.Inf(1)
+		}
+		bad := false
+		switch b.Kind {
+		case "time", "allocs":
+			bad = drift > b.Tolerance
+		default: // "value": deterministic — drift either way is a change
+			bad = math.Abs(drift) > b.Tolerance
+		}
+		verdict := "ok"
+		if bad {
+			verdict = "FAIL"
+			code = 1
+		} else if b.Kind == "time" && drift < -b.Tolerance {
+			verdict = "ok (improved — consider -update)"
+		}
+		fmt.Printf("%-40s %14.4g %14.4g %8.1f%%  %s\n", b.Name, b.Value, c.Value, drift*100, verdict)
+	}
+	for _, m := range fresh {
+		found := false
+		for _, b := range base {
+			if b.Name == m.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%-40s %14s %14.4g %9s  new metric (not in baseline; run -update)\n", m.Name, "-", m.Value, "-")
+		}
+	}
+	if code != 0 {
+		fmt.Println("benchcheck: REGRESSION against", "baseline")
+	}
+	return code
+}
+
+// measure runs every tracked measurement.
+func measure() ([]Metric, error) {
+	var out []Metric
+	add := func(name, kind string, value float64) {
+		out = append(out, Metric{Name: name, Value: value, Kind: kind, Tolerance: defaultTolerance(kind)})
+	}
+
+	// Kernel: one event scheduled and fired per op against a standing
+	// population (the repository-root BenchmarkEngineSchedule).
+	r := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			eng.After(float64(i)+0.5, fn)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.After(0.25, fn)
+			eng.Step()
+		}
+	})
+	add("kernel/engine_schedule/ns_op", "time", float64(r.NsPerOp()))
+	add("kernel/engine_schedule/allocs_op", "allocs", float64(r.AllocsPerOp()))
+
+	// Kernel: schedule→cancel→discard (free-list recycling path).
+	r = testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h := eng.After(1, fn)
+			eng.Cancel(h)
+			eng.Run(eng.Now())
+		}
+	})
+	add("kernel/engine_schedule_cancel/ns_op", "time", float64(r.NsPerOp()))
+	add("kernel/engine_schedule_cancel/allocs_op", "allocs", float64(r.AllocsPerOp()))
+
+	// Live gate: the uncontended Acquire/Release hot path (gate
+	// BenchmarkGateAcquireRelease, single-goroutine so the number is
+	// the pure per-call overhead).
+	g, err := gate.New(gate.Config{})
+	if err != nil {
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tk, err := g.Acquire(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tk.Release(gate.Result{})
+		}
+	})
+	add("gate/acquire_release/ns_op", "time", float64(r.NsPerOp()))
+	add("gate/acquire_release/allocs_op", "allocs", float64(r.AllocsPerOp()))
+
+	// Figure summaries: deterministic given the seed, so drift means
+	// the simulation's behavior changed, not the host.
+	opts := experiments.RunOpts{Warmup: 20, Measure: 120, Seed: 1}
+	fig7, err := experiments.Figure7()
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, fig7)
+	dispatch, err := experiments.DispatchFigure(3, 0.25, opts)
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, dispatch)
+	slo, err := experiments.SLOFigure(3, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, slo)
+	return out, nil
+}
+
+// addFigure folds each series of a figure into one tracked mean.
+func addFigure(out *[]Metric, f *experiments.Figure) {
+	for _, s := range f.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, y := range s.Y {
+			sum += y
+		}
+		*out = append(*out, Metric{
+			Name:      fmt.Sprintf("%s/%s/mean", f.ID, sanitize(s.Name)),
+			Value:     sum / float64(len(s.Y)),
+			Kind:      "value",
+			Tolerance: defaultTolerance("value"),
+		})
+	}
+}
+
+// sanitize makes a series name metric-friendly.
+func sanitize(name string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "", "/", "-", ",", "")
+	return r.Replace(name)
+}
+
+func readBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

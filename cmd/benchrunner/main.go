@@ -36,8 +36,9 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open surge dispatch c2 controller controller-ablation all")
+		exp      = flag.String("exp", "", "experiment: fig2 fig3 fig4 fig5 fig7 fig10 fig11 fig12 fig13 rt-open surge dispatch slo c2 controller controller-ablation all")
 		slow     = flag.Float64("slow", 0.25, "slow shard's relative speed for the dispatch experiment")
+		sloP95   = flag.Float64("slo-target", 0, "high-class p95 target in seconds for the slo experiment (0 = auto from baseline)")
 		loss     = flag.Float64("loss", 0.05, "throughput-loss threshold for fig11")
 		util     = flag.Float64("util", 0.7, "open-system utilization for rt-open")
 		setup    = flag.Int("setup", 3, "setup id for rt-open")
@@ -80,16 +81,35 @@ func main() {
 	if *jsonPath == "-" {
 		tableOut = os.Stderr
 	}
+	// A per-experiment failure must not vanish the whole -json summary:
+	// the experiments that did run are written out (with the failure
+	// recorded next to them) and the exit code stays nonzero, so a CI
+	// artifact is never silently empty.
+	writeOut := func(code int) {
+		if *jsonPath != "" {
+			if err := writeSummary(*jsonPath, summary); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		os.Exit(code)
+	}
+	exitCode := 0
 	for _, id := range ids {
 		start := time.Now()
-		fig, err := run(id, *loss, *util, *setup, *slow, opts)
+		fig, err := run(id, *loss, *util, *setup, *slow, *sloP95, opts)
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: interrupted, exiting\n", id)
-			os.Exit(130)
+			summary.Failures = append(summary.Failures, experimentFailure{ID: id, Error: "interrupted"})
+			writeOut(130)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
-			os.Exit(1)
+			summary.Failures = append(summary.Failures, experimentFailure{ID: id, Error: err.Error()})
+			exitCode = 1
+			continue
 		}
 		elapsed := time.Since(start)
 		summary.Experiments = append(summary.Experiments, experimentSummary{
@@ -121,12 +141,7 @@ func main() {
 		}
 		fmt.Fprintln(tableOut)
 	}
-	if *jsonPath != "" {
-		if err := writeSummary(*jsonPath, summary); err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	writeOut(exitCode)
 }
 
 // benchSummary is the -json output: one record per experiment with its
@@ -137,6 +152,14 @@ type benchSummary struct {
 	GOMAXPROCS  int                 `json:"gomaxprocs"`
 	Seed        uint64              `json:"seed"`
 	Experiments []experimentSummary `json:"experiments"`
+	// Failures lists the experiments that errored; a summary carrying
+	// any is partial and the process exited nonzero.
+	Failures []experimentFailure `json:"failures,omitempty"`
+}
+
+type experimentFailure struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
 }
 
 type experimentSummary struct {
@@ -180,10 +203,12 @@ func sanitize(id string) string {
 	return r.Replace(id)
 }
 
-func run(id string, loss, util float64, setupID int, slow float64, opts experiments.RunOpts) (*experiments.Figure, error) {
+func run(id string, loss, util float64, setupID int, slow, sloTarget float64, opts experiments.RunOpts) (*experiments.Figure, error) {
 	switch id {
 	case "dispatch":
 		return experiments.DispatchFigure(setupID, slow, opts)
+	case "slo":
+		return experiments.SLOFigure(setupID, sloTarget, opts)
 	case "fig2":
 		return experiments.Figure2(opts)
 	case "fig3":

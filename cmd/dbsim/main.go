@@ -11,12 +11,15 @@
 //	dbsim -setup 1 -scenario-example            # print a template file
 //	dbsim -setup 1 -mpl 40 -shards 4 -shard-speeds 1,1,1,0.25 \
 //	      -dispatch jsq -lambda 250             # sharded dispatch
+//	dbsim -setup 1 -mpl 16 -lambda 100 \
+//	      -slo 0.5 -deadline-low 2              # SLO partition + shedding
 //
 // A scenario file is the JSON encoding of extsched.Scenario: a warmup,
 // a sample interval, and an ordered list of phases (closed, open,
 // ramp, burst, trace) with optional mid-phase events (set_mpl,
 // set_wfq_high_weight, set_shard_speed, set_dispatch,
-// enable_controller, disable_controller). With -scenario, dbsim prints
+// enable_controller, disable_controller, set_slo, disable_slo,
+// set_class_limits, set_admit_deadline). With -scenario, dbsim prints
 // a per-phase report table and, when the scenario sets
 // sample_interval, the interval time series; sharded systems (-shards)
 // append a per-shard table.
@@ -66,6 +69,12 @@ func run(args []string, out io.Writer) error {
 		shards   = fs.Int("shards", 0, "shard the system across this many backends (0 = unsharded)")
 		speeds   = fs.String("shard-speeds", "", "comma-separated per-shard speed multipliers (with -shards)")
 		dispatch = fs.String("dispatch", "", "dispatch policy with -shards: rr, jsq, lwl, affinity")
+		sloT     = fs.Float64("slo", 0, "run under the latency-SLO controller: hold this p95 target in seconds for -slo-class (needs -mpl >= 2)")
+		sloClass = fs.String("slo-class", "high", "protected class for -slo: high or low")
+		sloPct   = fs.Float64("slo-percentile", 0, "controlled percentile for -slo (0 = 95)")
+		deadH    = fs.Float64("deadline-high", 0, "high-class admission deadline in seconds (0 = none)")
+		deadL    = fs.Float64("deadline-low", 0, "low-class admission deadline in seconds (0 = none)")
+		limits   = fs.String("class-limits", "", "static MPL partition as high,low (e.g. 4,12)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -83,6 +92,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var slo *extsched.SLOSpec
+	if *sloT > 0 {
+		slo = &extsched.SLOSpec{Class: *sloClass, Percentile: *sloPct, Target: *sloT}
+	}
+	var admit *extsched.AdmitDeadline
+	if *deadH > 0 || *deadL > 0 {
+		admit = &extsched.AdmitDeadline{High: *deadH, Low: *deadL}
+	}
+	classLimits, err := parseClassLimits(*limits)
+	if err != nil {
+		return err
+	}
 	sys, err := extsched.NewSystem(extsched.Config{
 		SetupID:              *setupID,
 		Workload:             *wl,
@@ -93,6 +114,9 @@ func run(args []string, out io.Writer) error {
 		Policy:               *policy,
 		InternalLockPriority: *lockPrio,
 		InternalCPUPriority:  *cpuPrio,
+		SLO:                  slo,
+		ClassLimits:          classLimits,
+		AdmitDeadline:        admit,
 		Shards: extsched.ShardSpec{
 			Count:    *shards,
 			Speeds:   speedList,
@@ -124,8 +148,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
 	printReport(out, res.Total)
+	printSLO(out, res.SLO)
 	printShards(out, res.Shards)
 	return nil
+}
+
+// printSLO renders the SLO controller's outcome (no-op without one).
+func printSLO(out io.Writer, slo *extsched.SLOResult) {
+	if slo == nil {
+		return
+	}
+	fmt.Fprintf(out, "slo:              %s class holds %d of the MPL (other %d), %d reactions, last window p95 %.4f s\n",
+		slo.Class, slo.SLOLimit, slo.OtherLimit, slo.Iterations, slo.LastMeasured)
 }
 
 // dispatchName renders the dispatch policy flag ("" = default rr).
@@ -134,6 +168,26 @@ func dispatchName(d string) string {
 		return "rr"
 	}
 	return d
+}
+
+// parseClassLimits decodes the -class-limits "high,low" pair.
+func parseClassLimits(s string) (*extsched.ClassLimits, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad -class-limits %q: want high,low", s)
+	}
+	h, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("bad -class-limits %q: %w", s, err)
+	}
+	l, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("bad -class-limits %q: %w", s, err)
+	}
+	return &extsched.ClassLimits{High: h, Low: l}, nil
 }
 
 // parseSpeeds decodes the -shard-speeds CSV.
@@ -176,6 +230,13 @@ func printReport(out io.Writer, rep extsched.Report) {
 	fmt.Fprintf(out, "disk util:        %.3f\n", rep.DiskUtil)
 	fmt.Fprintf(out, "lock waits:       %d (deadlocks %d, preemptions %d, restarts %d)\n",
 		rep.LockWaits, rep.Deadlocks, rep.Preemptions, rep.Restarts)
+	if rep.Shed > 0 || rep.Dropped > 0 {
+		fmt.Fprintf(out, "rejected:         %d shed past deadline (high %d, low %d), %d dropped\n",
+			rep.Shed, rep.ShedHigh, rep.ShedLow, rep.Dropped)
+	}
+	if rep.HighP95 > 0 || rep.LowP95 > 0 {
+		fmt.Fprintf(out, "p95 by class:     high %.4f s, low %.4f s\n", rep.HighP95, rep.LowP95)
+	}
 }
 
 // runScenarioFile loads, runs and reports a JSON scenario.
@@ -207,6 +268,11 @@ func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
 	if res.Tune != nil {
 		fmt.Fprintf(out, "controller:       start MPL %d -> final MPL %d, %d iterations, converged %v\n",
 			res.Tune.StartMPL, res.Tune.FinalMPL, res.Tune.Iterations, res.Tune.Converged)
+	}
+	printSLO(out, res.SLO)
+	if res.Total.Shed > 0 {
+		fmt.Fprintf(out, "shed:             %d txns past their admission deadline (high %d, low %d)\n",
+			res.Total.Shed, res.Total.ShedHigh, res.Total.ShedLow)
 	}
 	printShards(out, res.Shards)
 	fmt.Fprintf(out, "final mpl:        %d\n", res.FinalMPL)

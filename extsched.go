@@ -95,8 +95,23 @@ type Config struct {
 	// comparison; pure external scheduling never drops).
 	QueueLimit int
 	// PercentileSamples, when > 0, reservoir-samples response times so
-	// Report carries P50/P95/P99.
+	// Report carries P50/P95/P99 and the per-class HighP95/LowP95.
+	// Setting SLO or AdmitDeadline defaults it to 2048 — those features
+	// are judged by per-class tails, so the report must carry them.
 	PercentileSamples int
+	// SLO, when non-nil, runs every scenario under the latency-SLO
+	// controller from the start of its measurement window: the MPL is
+	// partitioned across the classes and the split steered to hold the
+	// protected class's percentile target. Requires MPL >= 2 and an
+	// unsharded system. Scenario SetSLO events can replace it mid-run.
+	SLO *SLOSpec
+	// ClassLimits, when non-nil, installs a static per-class MPL
+	// partition from the start (unsharded systems only).
+	ClassLimits *ClassLimits
+	// AdmitDeadline, when non-nil, sets per-class admission deadlines:
+	// transactions that cannot start in time are shed (counted in
+	// Report.Shed) instead of queueing unboundedly.
+	AdmitDeadline *AdmitDeadline
 	// Shards, when Count > 0, fronts a fleet of identical backends
 	// instead of one: every run builds Count DBMS+frontend pairs and a
 	// dispatch layer that routes each arriving transaction to one of
@@ -155,6 +170,34 @@ func (c Config) Validate() error {
 	}
 	if c.PercentileSamples < 0 {
 		return fmt.Errorf("extsched: PercentileSamples %d must be >= 0", c.PercentileSamples)
+	}
+	if s := c.SLO; s != nil {
+		rs, err := s.spec()
+		if err != nil {
+			return err
+		}
+		if err := rs.Validate(); err != nil {
+			return err
+		}
+		if c.MPL < 2 {
+			return fmt.Errorf("extsched: SLO control needs MPL >= 2 to partition, have %d", c.MPL)
+		}
+		if c.Shards.Count > 0 {
+			return fmt.Errorf("extsched: SLO control on a sharded system is not supported")
+		}
+	}
+	if cl := c.ClassLimits; cl != nil {
+		if cl.High < 1 || cl.Low < 1 {
+			return fmt.Errorf("extsched: class limits high=%d low=%d must both be >= 1", cl.High, cl.Low)
+		}
+		if c.Shards.Count > 0 {
+			return fmt.Errorf("extsched: ClassLimits on a sharded system is not supported")
+		}
+	}
+	if ad := c.AdmitDeadline; ad != nil {
+		if ad.High < 0 || ad.Low < 0 {
+			return fmt.Errorf("extsched: admit deadlines high=%v low=%v must be >= 0", ad.High, ad.Low)
+		}
 	}
 	if c.Shards.Count < 0 {
 		return fmt.Errorf("extsched: Shards.Count %d must be >= 0", c.Shards.Count)
@@ -294,6 +337,19 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 		PercentileSamples: cfg.PercentileSamples,
 		Seed:              cfg.Seed,
 	}
+	// An SLO or shedding config is judged by per-class tails: without
+	// sampling, Report.HighP95/LowP95 would read 0 while the controller
+	// steers on real percentiles. Default the sampling on.
+	if st.PercentileSamples == 0 && (cfg.SLO != nil || cfg.AdmitDeadline != nil) {
+		st.PercentileSamples = 2048
+	}
+	if cfg.SLO != nil {
+		rs, err := cfg.SLO.spec()
+		if err != nil {
+			return runner.Stack{}, err
+		}
+		st.SLO = &rs
+	}
 	if n := cfg.Shards.Count; n > 0 {
 		// Sharded: n identical DBMS+frontend pairs (per-shard queue
 		// policy instances — they are stateful) behind one dispatcher.
@@ -317,6 +373,10 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 			fe := dbfe.New(eng, db, 0, policy)
 			if cfg.QueueLimit > 0 {
 				fe.SetQueueLimit(cfg.QueueLimit)
+			}
+			if ad := cfg.AdmitDeadline; ad != nil {
+				fe.SetAdmitDeadline(core.ClassHigh, ad.High)
+				fe.SetAdmitDeadline(core.ClassLow, ad.Low)
 			}
 			workload.Prewarm(db, s.setup.Workload, sdbo.Seed)
 			shards[i] = cluster.Shard{FE: fe, DB: db, Speed: speed}
@@ -344,6 +404,13 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 	fe := dbfe.New(eng, db, mpl, policy)
 	if cfg.QueueLimit > 0 {
 		fe.SetQueueLimit(cfg.QueueLimit)
+	}
+	if cl := cfg.ClassLimits; cl != nil {
+		fe.SetClassLimits(map[core.Class]int{core.ClassHigh: cl.High, core.ClassLow: cl.Low})
+	}
+	if ad := cfg.AdmitDeadline; ad != nil {
+		fe.SetAdmitDeadline(core.ClassHigh, ad.High)
+		fe.SetAdmitDeadline(core.ClassLow, ad.Low)
 	}
 	workload.Prewarm(db, s.setup.Workload, cfg.Seed)
 	st.DB, st.FE = db, fe
@@ -373,7 +440,12 @@ type Report struct {
 	Deadlocks     uint64
 	Preemptions   uint64
 	Dropped       uint64  // admission-control rejections (QueueLimit mode)
+	Shed          uint64  // deadline-missed rejections (AdmitDeadline mode)
+	ShedHigh      uint64  // high-class share of Shed
+	ShedLow       uint64  // low-class share of Shed
 	P50, P95, P99 float64 // response-time percentiles (PercentileSamples mode)
+	HighP95       float64 // high-class p95 (PercentileSamples mode) — the SLO signal
+	LowP95        float64 // low-class p95 (PercentileSamples mode)
 }
 
 // RunClosed drives the system with a fixed client population (the

@@ -32,6 +32,17 @@ func FuzzParseScenario(f *testing.F) {
 		          {"at":4,"disable_controller":true}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"trace","duration":5,
 		"trace":{"Source":"x","Records":[{"Arrival":0,"Demand":0.01}]}}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"burst","duration":20,"lambda":100,
+		"events":[{"at":0,"set_slo":{"class":"high","percentile":95,"target":0.5,"min_observations":40,"margin":0.6}},
+		          {"at":1,"set_admit_deadline":{"low":2}},
+		          {"at":5,"set_class_limits":{"high":3,"low":5}},
+		          {"at":9,"disable_slo":true},
+		          {"at":10,"set_class_limits":{"high":0,"low":0}},
+		          {"at":11,"set_admit_deadline":{}}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":5,"lambda":10,
+		"events":[{"at":0,"set_slo":{"target":-1}}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":5,"lambda":10,
+		"events":[{"at":0,"set_class_limits":{"high":1,"low":0}}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"closed","duration":-1}]}`))
 	f.Add([]byte(`{"phases":[]}`))
 	f.Add([]byte(`not json`))

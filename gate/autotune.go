@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"extsched/internal/controller"
+	"extsched/internal/core"
 )
 
 // TuneConfig parameterizes the feedback controller (the paper's
@@ -60,9 +61,17 @@ type tuner struct {
 // point; use JumpStart-style estimates or a modest guess — the
 // adaptive step recovers from misjudged starts). Enabling twice
 // replaces the previous controller and restarts the metrics window.
+// Auto-tune and SLO tuning are mutually exclusive: both loops close
+// observation windows by resetting the gate's one metrics window, so
+// running them together would destroy each other's observations.
 func (g *Gate) EnableAutoTune(tc TuneConfig) error {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
 	if g.fe.MPL() < 1 {
 		return fmt.Errorf("gate: auto-tune needs a finite starting limit (have %d); set Config.Limit or SetLimit first", g.fe.MPL())
+	}
+	if g.slo.Load() != nil {
+		return fmt.Errorf("gate: auto-tune and SLO tuning share the metrics window; DisableSLOTune first")
 	}
 	ctl, err := controller.New(g.clock, g.fe, controller.Config{
 		Targets: controller.Targets{
@@ -88,7 +97,119 @@ func (g *Gate) EnableAutoTune(tc TuneConfig) error {
 
 // DisableAutoTune detaches the controller; the limit stays where the
 // loop left it.
-func (g *Gate) DisableAutoTune() { g.ctl.Store(nil) }
+func (g *Gate) DisableAutoTune() {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
+	g.ctl.Store(nil)
+}
+
+// SLOTuneConfig parameterizes the per-class latency-SLO controller for
+// a live gate: hold Class's Percentile-th response-time percentile at
+// or below Target seconds by partitioning the gate's limit across the
+// classes, leaving every slot the SLO does not need to OtherClass's
+// throughput. Combine with Config.AdmitDeadline on the other class to
+// shed un-startable work under overload.
+type SLOTuneConfig struct {
+	// Class is the protected class (usually ClassHigh).
+	Class Class
+	// OtherClass is the class slots are borrowed from; default
+	// ClassLow (or ClassHigh when Class is ClassLow).
+	OtherClass Class
+	// Percentile is the controlled percentile (0 = 95).
+	Percentile float64
+	// Target is the latency bound in seconds. Required, > 0.
+	Target float64
+	// MinObservations gates the SLO observation window (0 = 50).
+	MinObservations int
+	// Margin is the give-back hysteresis fraction (0 = 0.5).
+	Margin float64
+}
+
+// SLOTuneStatus reports the SLO loop's progress.
+type SLOTuneStatus struct {
+	// Enabled is false until EnableSLOTune succeeds.
+	Enabled bool
+	// SLOLimit / OtherLimit are the current slot partition; Iterations
+	// counts completed reactions; LastMeasured is the last closed
+	// window's measured percentile in seconds.
+	SLOLimit, OtherLimit int
+	Iterations           int
+	LastMeasured         float64
+}
+
+// sloTuner pairs the SLO controller with its wiring state.
+type sloTuner struct {
+	ctl *controller.SLOController
+}
+
+// EnableSLOTune attaches the latency-SLO controller to the gate's
+// completion stream: every Release feeds an observation window, and
+// each closed window nudges the class partition — a slot toward the
+// protected class while its percentile target is violated, a slot
+// back once it is met with margin. The gate needs a finite limit of at
+// least 2 (a partition has two sides) and percentile sampling enabled
+// (Config.PercentileSamples — the loop steers on the class
+// percentile). Enabling twice replaces the previous loop and restarts
+// the metrics window. SLO tuning and auto-tune are mutually
+// exclusive — both close observation windows by resetting the gate's
+// one metrics window — so move the limit with SetLimit (the SLO loop
+// re-spreads it at its next reaction) or alternate the loops.
+func (g *Gate) EnableSLOTune(tc SLOTuneConfig) error {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
+	if g.fe.MPL() < 2 {
+		return fmt.Errorf("gate: SLO tuning needs a limit >= 2 to partition (have %d); set Config.Limit or SetLimit first", g.fe.MPL())
+	}
+	if !g.fe.PercentilesEnabled() {
+		return fmt.Errorf("gate: SLO tuning steers on class percentiles; set Config.PercentileSamples")
+	}
+	if g.ctl.Load() != nil {
+		return fmt.Errorf("gate: SLO tuning and auto-tune share the metrics window; DisableAutoTune first")
+	}
+	ctl, err := controller.NewSLO(g.clock, g.fe, controller.SLOConfig{
+		Target: controller.SLOTarget{
+			Class:      core.Class(tc.Class),
+			Percentile: tc.Percentile,
+			Target:     tc.Target,
+		},
+		OtherClass:      core.Class(tc.OtherClass),
+		MinObservations: tc.MinObservations,
+		Margin:          tc.Margin,
+	})
+	if err != nil {
+		return err
+	}
+	g.slo.Store(&sloTuner{ctl: ctl})
+	return nil
+}
+
+// DisableSLOTune detaches the SLO loop; the class partition stays
+// where it left it (clear it with SetClassLimits(nil)).
+func (g *Gate) DisableSLOTune() {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
+	g.slo.Store(nil)
+}
+
+// SLOTuneStatus reports the SLO loop's state (zero value when SLO
+// tuning was never enabled).
+func (g *Gate) SLOTuneStatus() SLOTuneStatus {
+	s := g.slo.Load()
+	if s == nil {
+		return SLOTuneStatus{}
+	}
+	slo, other := s.ctl.Limits()
+	st := SLOTuneStatus{
+		Enabled:    true,
+		SLOLimit:   slo,
+		OtherLimit: other,
+		Iterations: s.ctl.Iterations(),
+	}
+	if h := s.ctl.History(); len(h) > 0 {
+		st.LastMeasured = h[len(h)-1].Measured
+	}
+	return st
+}
 
 // TuneStatus reports the controller's progress (zero value when
 // auto-tuning was never enabled).

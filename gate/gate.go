@@ -76,6 +76,15 @@ const (
 // its limit — the paper's "drop instead of wait" contrast system.
 var ErrQueueFull = errors.New("gate: queue full")
 
+// ErrDeadline is returned by Acquire when the request's class has an
+// admission deadline (Config.AdmitDeadline, SetAdmitDeadline) and the
+// gate could not admit the request in time: the ticket is shed —
+// rejected without ever holding a slot — and counted in Stats.Shed.
+// This is deadline-based load shedding: under overload the queue stops
+// accumulating work that could no longer start in time, which is what
+// keeps the waiting time of everything still admitted bounded.
+var ErrDeadline = errors.New("gate: admission deadline exceeded")
+
 // Config assembles a gate.
 type Config struct {
 	// Limit is the initial MPL: the maximum number of concurrently
@@ -92,6 +101,17 @@ type Config struct {
 	// finds QueueLimit callers already waiting fails fast with
 	// ErrQueueFull instead of queueing.
 	QueueLimit int
+	// AdmitDeadline sets per-class admission deadlines in seconds
+	// (classes absent from the map have none): an Acquire that cannot
+	// be admitted within its class's deadline fails with ErrDeadline
+	// instead of waiting longer. SetAdmitDeadline changes them later.
+	AdmitDeadline map[Class]float64
+	// ClassLimits, when non-nil, partitions the Limit across classes:
+	// class c holds at most ClassLimits[c] slots while other classes
+	// have waiting work (idle capacity is still lent across the
+	// partition — see core's work-conserving borrowing). Each limit
+	// must be >= 1. EnableSLOTune steers this partition automatically.
+	ClassLimits map[Class]int
 	// PercentileSamples, when > 0, reservoir-samples response times so
 	// Stats carries P50/P95/P99. Sampling is deterministic given Seed.
 	PercentileSamples int
@@ -124,8 +144,13 @@ type Result struct {
 type Gate struct {
 	fe    *core.Frontend
 	clock sim.Clock
-	ctl   atomic.Pointer[tuner]
-	errs  atomic.Uint64
+	// tuneMu serializes the Enable/Disable tune paths so the two
+	// loops' mutual-exclusion checks cannot race each other; the
+	// completion hot path only Loads the atomics.
+	tuneMu sync.Mutex
+	ctl    atomic.Pointer[tuner]
+	slo    atomic.Pointer[sloTuner]
+	errs   atomic.Uint64
 }
 
 // Ticket is one admitted unit of work. Callers must Release it exactly
@@ -135,6 +160,9 @@ type Ticket struct {
 	item     core.Item
 	admitted chan struct{}
 	released atomic.Bool
+	// shed is set (before admitted closes) when the ticket was
+	// deadline-shed instead of admitted.
+	shed atomic.Bool
 }
 
 // backend admits items by waking the Acquire that submitted them.
@@ -167,10 +195,38 @@ func New(cfg Config) (*Gate, error) {
 	if clock == nil {
 		clock = sim.NewWallClock()
 	}
+	for c, d := range cfg.AdmitDeadline {
+		if d < 0 {
+			return nil, fmt.Errorf("gate: class %d admit deadline %v must be >= 0", c, d)
+		}
+	}
+	for c, l := range cfg.ClassLimits {
+		if l < 1 {
+			return nil, fmt.Errorf("gate: class %d limit %d must be >= 1", c, l)
+		}
+	}
 	g := &Gate{clock: clock}
 	g.fe = core.New(clock, backend{}, cfg.Limit, policy)
 	if cfg.QueueLimit > 0 {
 		g.fe.SetQueueLimit(cfg.QueueLimit)
+	}
+	for c, d := range cfg.AdmitDeadline {
+		g.fe.SetAdmitDeadline(core.Class(c), d)
+	}
+	if cfg.ClassLimits != nil {
+		limits := make(map[core.Class]int, len(cfg.ClassLimits))
+		for c, l := range cfg.ClassLimits {
+			limits[core.Class(c)] = l
+		}
+		g.fe.SetClassLimits(limits)
+	}
+	// Deadline-shed tickets are woken through the shed hook: the item
+	// never dispatches, so the admitted channel would otherwise block
+	// its Acquire forever.
+	g.fe.OnShed = func(it *core.Item) {
+		tk := it.Payload.(*Ticket)
+		tk.shed.Store(true)
+		close(tk.admitted)
 	}
 	if cfg.PercentileSamples > 0 {
 		seed := cfg.Seed
@@ -180,10 +236,14 @@ func New(cfg Config) (*Gate, error) {
 		g.fe.EnablePercentiles(cfg.PercentileSamples, seed)
 	}
 	// The completion hook is installed once, before any traffic; the
-	// tuner pointer makes EnableAutoTune race-free afterwards.
+	// tuner pointers make EnableAutoTune / EnableSLOTune race-free
+	// afterwards.
 	g.fe.OnComplete = func(*core.Item) {
 		if t := g.ctl.Load(); t != nil {
 			t.ctl.Observe()
+		}
+		if s := g.slo.Load(); s != nil {
+			s.ctl.Observe()
 		}
 	}
 	return g, nil
@@ -195,9 +255,10 @@ func (g *Gate) Acquire(ctx context.Context) (*Ticket, error) {
 }
 
 // AcquireRequest waits until the gate admits the request, the context
-// is done, or — in admission-control mode — the queue is full. On
-// success the caller holds one of the gate's Limit slots and must
-// Release the ticket when the guarded work finishes.
+// is done, the request's class deadline passes (ErrDeadline), or — in
+// admission-control mode — the queue is full. On success the caller
+// holds one of the gate's Limit slots and must Release the ticket when
+// the guarded work finishes.
 func (g *Gate) AcquireRequest(ctx context.Context, req Request) (*Ticket, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -210,19 +271,41 @@ func (g *Gate) AcquireRequest(ctx context.Context, req Request) (*Ticket, error)
 	if !g.fe.Submit(it, nil) {
 		return nil, ErrQueueFull
 	}
+	// Submit stamped the class's admission deadline (if any); arm a
+	// timer so a waiter is woken with ErrDeadline the moment it passes,
+	// not whenever its dead ticket surfaces at the head of the queue.
+	var timer sim.Timer
+	if it.Deadline > 0 {
+		timer = g.clock.After(it.Deadline-g.clock.Now(), func() {
+			g.fe.ShedQueued(it)
+		})
+	}
 	select {
 	case <-tk.admitted:
+		if timer != nil {
+			timer.Cancel()
+		}
+		if tk.shed.Load() {
+			return nil, ErrDeadline
+		}
 		return tk, nil
 	case <-ctx.Done():
+		if timer != nil {
+			timer.Cancel()
+		}
 		if g.fe.CancelQueued(it) {
 			// Withdrawn while still queued: no slot was consumed.
 			return nil, ctx.Err()
 		}
-		// Admission raced the cancellation. The slot is ours; hand it
-		// back as a discard — the work never ran, so it must not
-		// register as a completion (which would feed the auto-tuner a
-		// fabricated near-zero response time) or as an error.
+		// Admission — or a shed — raced the cancellation. A shed ticket
+		// holds no slot; an admitted one must hand its slot back as a
+		// discard: the work never ran, so it must not register as a
+		// completion (which would feed the auto-tuner a fabricated
+		// near-zero response time) or as an error.
 		<-tk.admitted
+		if tk.shed.Load() {
+			return nil, ctx.Err()
+		}
 		tk.discard()
 		return nil, ctx.Err()
 	}
@@ -271,6 +354,58 @@ func (g *Gate) SetLimit(n int) {
 	g.fe.SetMPL(n)
 }
 
+// SetAdmitDeadline changes class c's admission deadline (0 clears it).
+// Applies to subsequent Acquires; waiters already queued keep the
+// deadline they arrived under.
+func (g *Gate) SetAdmitDeadline(c Class, seconds float64) error {
+	if seconds < 0 {
+		return fmt.Errorf("gate: admit deadline %v must be >= 0", seconds)
+	}
+	g.fe.SetAdmitDeadline(core.Class(c), seconds)
+	return nil
+}
+
+// SetClassLimits partitions the limit across classes (each present
+// limit >= 1; absent classes are uncapped; nil clears the partition).
+// Idle capacity is still lent across the partition, so the gate stays
+// work-conserving.
+func (g *Gate) SetClassLimits(limits map[Class]int) error {
+	for c, l := range limits {
+		if l < 1 {
+			return fmt.Errorf("gate: class %d limit %d must be >= 1", c, l)
+		}
+	}
+	var cl map[core.Class]int
+	if limits != nil {
+		cl = make(map[core.Class]int, len(limits))
+		for c, l := range limits {
+			cl[core.Class(c)] = l
+		}
+	}
+	g.fe.SetClassLimits(cl)
+	return nil
+}
+
+// ClassLimits returns the current per-class partition (nil when none).
+func (g *Gate) ClassLimits() map[Class]int {
+	cl := g.fe.ClassLimits()
+	if cl == nil {
+		return nil
+	}
+	out := make(map[Class]int, len(cl))
+	for c, l := range cl {
+		out[Class(c)] = l
+	}
+	return out
+}
+
+// ClassPercentile reports class c's p-th response-time percentile over
+// the current metrics window (0 unless Config.PercentileSamples is
+// set) — the signal an SLO is written against.
+func (g *Gate) ClassPercentile(c Class, p float64) float64 {
+	return g.fe.ClassResponseTimePercentile(core.Class(c), p)
+}
+
 // Stats is a point-in-time snapshot of the gate. It is the shared
 // metrics.Snapshot vocabulary: the same fields a simulated Scenario run
 // streams to its observers, so live and simulated measurements compare
@@ -285,7 +420,7 @@ type Stats = metrics.Snapshot
 // Stats snapshots the gate.
 func (g *Gate) Stats() Stats {
 	m := g.fe.Metrics()
-	return Stats{
+	s := Stats{
 		Time:         g.clock.Now(),
 		Window:       m.Window(),
 		Limit:        g.fe.MPL(),
@@ -301,10 +436,15 @@ func (g *Gate) Stats() Stats {
 		P50:          g.fe.ResponseTimePercentile(50),
 		P95:          g.fe.ResponseTimePercentile(95),
 		P99:          g.fe.ResponseTimePercentile(99),
+		HighP95:      g.fe.ClassResponseTimePercentile(core.ClassHigh, 95),
+		LowP95:       g.fe.ClassResponseTimePercentile(core.ClassLow, 95),
 		Dropped:      g.fe.Dropped(),
 		Canceled:     g.fe.Canceled(),
 		Errors:       g.errs.Load(),
 	}
+	s.Shed, s.ShedHigh = g.fe.ShedCounts()
+	s.ShedLow = s.Shed - s.ShedHigh
+	return s
 }
 
 // ResetStats starts a fresh metrics window (Throughput, MeanResponse

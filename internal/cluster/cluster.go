@@ -302,6 +302,33 @@ func (d *Dispatcher) Canceled() uint64 {
 	return n
 }
 
+// SetAdmitDeadline sets class c's admission deadline on every shard
+// (0 clears it). Deadlines are measured per shard from the routed
+// transaction's arrival there.
+func (d *Dispatcher) SetAdmitDeadline(c core.Class, seconds float64) {
+	for i := range d.shards {
+		d.shards[i].FE.SetAdmitDeadline(c, seconds)
+	}
+}
+
+// Shed returns the total deadline-shed count across shards.
+func (d *Dispatcher) Shed() uint64 {
+	var n uint64
+	for i := range d.shards {
+		n += d.shards[i].FE.Shed()
+	}
+	return n
+}
+
+// ShedByClass returns class c's share of the fleet's shed count.
+func (d *Dispatcher) ShedByClass(c core.Class) uint64 {
+	var n uint64
+	for i := range d.shards {
+		n += d.shards[i].FE.ShedByClass(c)
+	}
+	return n
+}
+
 // Metrics aggregates the shards' metrics windows into one cluster-wide
 // view (parallel Welford merges; the window length is shard 0's, since
 // all shards share one clock and reset together).

@@ -55,6 +55,7 @@ const (
 	itemDispatched
 	itemDone
 	itemCanceled
+	itemShed
 )
 
 // Item is one unit of admitted work flowing through the frontend: a
@@ -75,7 +76,16 @@ type Item struct {
 	Payload any
 	// Arrival, Dispatch and Complete are clock timestamps stamped by
 	// the frontend: Submit time, admission time, and completion time.
+	// For a shed item, Complete is the shed instant and Dispatch stays 0.
 	Arrival, Dispatch, Complete float64
+	// Deadline is the absolute latest clock time by which the item must
+	// START (be dispatched); 0 means none. Submit stamps it from the
+	// frontend's per-class admit deadlines when the caller left it zero;
+	// callers may pre-set an absolute deadline instead. An item that
+	// cannot start by its deadline is shed: it never executes, its done
+	// callback and the OnShed hook fire, and it is counted in Shed —
+	// not in the completion metrics.
+	Deadline float64
 	// Outcome is the backend's completion report.
 	Outcome Outcome
 	seq     uint64
@@ -85,6 +95,12 @@ type Item struct {
 
 // ResponseTime is Complete − Arrival (external wait + inside time).
 func (it *Item) ResponseTime() float64 { return it.Complete - it.Arrival }
+
+// WasShed reports whether the item was rejected by deadline shedding
+// instead of completing. Valid from the item's done callback (which
+// fires for sheds as well as completions) onward; not synchronized, so
+// do not call it while the item may still be queued.
+func (it *Item) WasShed() bool { return it.state == itemShed }
 
 // ExternalWait is Dispatch − Arrival.
 func (it *Item) ExternalWait() float64 { return it.Dispatch - it.Arrival }
@@ -399,25 +415,54 @@ type Frontend struct {
 	// the frontend.
 	inside  int
 	metrics Metrics
+	// insideClass splits inside by priority class (the class-limit
+	// accounting; always maintained so limits can be enabled mid-run).
+	insideClass map[Class]int
+	// classLimit, when non-nil, partitions the MPL across classes: a
+	// class at its limit does not dispatch while another class has
+	// eligible work, but capacity is never left idle (work-conserving
+	// borrowing — see dispatch). Classes absent from the map are
+	// uncapped (the global MPL still applies).
+	classLimit map[Class]int
+	// deferred holds items popped from the policy while their class was
+	// at its limit, per class, in policy-pop order; deferredOrder keeps
+	// the classes sorted so dispatch scans them deterministically.
+	deferred      map[Class]*ring
+	deferredOrder []Class
+	deferredCount int
+	// admitDeadline is the per-class relative admission deadline in
+	// seconds (absent = none): Submit stamps Item.Deadline from it.
+	admitDeadline map[Class]float64
+	// shed counts deadline-shed items, total and per class.
+	shed      uint64
+	shedClass map[Class]uint64
 	// queueLimit, when > 0, turns the frontend into the admission
 	// controller the paper contrasts itself with (Section 1): arrivals
 	// beyond the limit are DROPPED instead of queued. External
 	// scheduling proper never drops (queueLimit 0).
 	queueLimit int
 	dropped    uint64
-	// canceledQueued counts withdrawn items still sitting in the policy
-	// queue awaiting lazy discard; canceled counts all withdrawals.
-	canceledQueued int
-	canceled       uint64
+	// deadQueued counts withdrawn (canceled or shed) items still
+	// sitting in the policy queue or a deferred ring awaiting lazy
+	// discard; canceled counts all cancellations.
+	deadQueued int
+	canceled   uint64
 	// OnComplete, if set, observes every completion (used by drivers
 	// for closed-loop clients and by controller wiring). Set hooks
 	// before traffic flows; they run outside the frontend lock.
 	OnComplete func(*Item)
 	// OnDrop, if set, observes admission-control rejections.
 	OnDrop func(*Item)
+	// OnShed, if set, observes deadline sheds (after the item's own
+	// done callback, outside the frontend lock).
+	OnShed func(*Item)
 	// rtSample, when enabled, reservoir-samples response times for
-	// percentile reporting.
+	// percentile reporting; rtClass splits the sampling per class (the
+	// SLO controller steers on these).
 	rtSample *stats.Reservoir
+	rtClass  map[Class]*stats.Reservoir
+	rtCap    int
+	rtSeed   uint64
 }
 
 // New builds a frontend over backend with the given MPL (0 = unlimited)
@@ -429,7 +474,10 @@ func New(clock sim.Clock, backend Backend, mpl int, policy Policy) *Frontend {
 	if policy == nil {
 		policy = NewFIFO()
 	}
-	return &Frontend{clock: clock, backend: backend, mpl: mpl, policy: policy}
+	return &Frontend{
+		clock: clock, backend: backend, mpl: mpl, policy: policy,
+		insideClass: make(map[Class]int),
+	}
 }
 
 // MPL returns the current limit (0 = unlimited).
@@ -453,12 +501,113 @@ func (f *Frontend) SetMPL(mpl int) {
 	f.dispatch()
 }
 
+// SetClassLimits partitions the MPL across priority classes: class c
+// dispatches at most limits[c] concurrent items while other classes
+// have eligible work (capacity is never left idle — see dispatch's
+// work-conserving borrowing). Classes absent from the map are uncapped.
+// Every present limit must be >= 1. nil (or an empty map) clears the
+// partition. Raising or clearing limits dispatches deferred items
+// immediately; lowering takes effect as running items drain.
+func (f *Frontend) SetClassLimits(limits map[Class]int) {
+	for c, l := range limits {
+		if l < 1 {
+			panic(fmt.Sprintf("core: class %d limit %d must be >= 1", c, l))
+		}
+	}
+	f.mu.Lock()
+	if len(limits) == 0 {
+		f.classLimit = nil
+	} else {
+		f.classLimit = make(map[Class]int, len(limits))
+		for c, l := range limits {
+			f.classLimit[c] = l
+		}
+	}
+	f.mu.Unlock()
+	f.dispatch()
+}
+
+// ClassLimits returns a copy of the per-class limit partition (nil when
+// no partition is set).
+func (f *Frontend) ClassLimits() map[Class]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.classLimit == nil {
+		return nil
+	}
+	out := make(map[Class]int, len(f.classLimit))
+	for c, l := range f.classLimit {
+		out[c] = l
+	}
+	return out
+}
+
+// SetAdmitDeadline sets class c's admission deadline: an item of that
+// class that cannot be dispatched within seconds of its arrival is shed
+// (rejected without executing) instead of waiting forever — the paper's
+// overload answer, applied per class. 0 clears the class's deadline.
+// Applies to subsequent submissions; already-queued items keep the
+// deadline they were stamped with.
+func (f *Frontend) SetAdmitDeadline(c Class, seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("core: admit deadline %v must be >= 0", seconds))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if seconds == 0 {
+		delete(f.admitDeadline, c)
+		return
+	}
+	if f.admitDeadline == nil {
+		f.admitDeadline = make(map[Class]float64)
+	}
+	f.admitDeadline[c] = seconds
+}
+
+// AdmitDeadline returns class c's admission deadline in seconds (0 =
+// none).
+func (f *Frontend) AdmitDeadline(c Class) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.admitDeadline[c]
+}
+
+// Shed returns the number of items rejected by deadline shedding.
+func (f *Frontend) Shed() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shed
+}
+
+// ShedByClass returns class c's share of the shed count.
+func (f *Frontend) ShedByClass(c Class) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shedClass[c]
+}
+
+// ShedCounts returns the total and high-class shed counts as one
+// consistent snapshot. Concurrent reporters must use this instead of
+// separate Shed/ShedByClass calls: a shed landing between two
+// separately-locked reads would make the derived low-class share
+// underflow.
+func (f *Frontend) ShedCounts() (total, high uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shed, f.shedClass[ClassHigh]
+}
+
 // QueueLen returns the external queue length (withdrawn items awaiting
-// lazy discard excluded).
+// lazy discard excluded; class-deferred items included — they are still
+// waiting).
 func (f *Frontend) QueueLen() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.policy.Len() - f.canceledQueued
+	return f.queueLenLocked()
+}
+
+func (f *Frontend) queueLenLocked() int {
+	return f.policy.Len() + f.deferredCount - f.deadQueued
 }
 
 // Inside returns the number of dispatched, uncompleted items.
@@ -488,12 +637,35 @@ func (f *Frontend) SetWFQWeights(weights map[Class]float64) bool {
 	return true
 }
 
-// EnablePercentiles turns on reservoir sampling of response times
-// (capacity samples, deterministic given seed). Call before running.
+// EnablePercentiles turns on reservoir sampling of response times,
+// overall and per class (capacity samples each, deterministic given
+// seed). Enable before running for whole-run percentiles; enabling
+// mid-run samples from that point on.
 func (f *Frontend) EnablePercentiles(capacity int, seed uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rtSample = stats.NewReservoir(capacity, sim.NewRNG(seed, 31))
+	f.rtClass = make(map[Class]*stats.Reservoir)
+	f.rtCap, f.rtSeed = capacity, seed
+}
+
+// PercentilesEnabled reports whether response-time sampling is on.
+func (f *Frontend) PercentilesEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rtSample != nil
+}
+
+// classReservoirLocked lazily builds class c's sampling reservoir. The
+// RNG stream is derived from the class alone, so creation order cannot
+// perturb determinism.
+func (f *Frontend) classReservoirLocked(c Class) *stats.Reservoir {
+	r := f.rtClass[c]
+	if r == nil {
+		r = stats.NewReservoir(f.rtCap, sim.NewRNG(f.rtSeed, 37+2*uint64(int64(c)&0xffff)))
+		f.rtClass[c] = r
+	}
+	return r
 }
 
 // ResponseTimePercentile estimates the p-th percentile of response
@@ -505,6 +677,23 @@ func (f *Frontend) ResponseTimePercentile(p float64) float64 {
 		return 0
 	}
 	return f.rtSample.Percentile(p)
+}
+
+// ClassResponseTimePercentile estimates the p-th percentile of class
+// c's response times in the current window (0 when sampling is disabled
+// or the class saw no completions) — the SLO controller's feedback
+// signal.
+func (f *Frontend) ClassResponseTimePercentile(c Class, p float64) float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rtClass == nil {
+		return 0
+	}
+	r := f.rtClass[c]
+	if r == nil {
+		return 0
+	}
+	return r.Percentile(p)
 }
 
 // Metrics returns a snapshot of the metrics window.
@@ -525,6 +714,9 @@ func (f *Frontend) ResetMetrics() {
 	if f.rtSample != nil {
 		f.rtSample.Reset()
 	}
+	for _, r := range f.rtClass {
+		r.Reset()
+	}
 }
 
 // Submit delivers a new item to the external scheduler. done, if not
@@ -539,7 +731,12 @@ func (f *Frontend) Submit(it *Item, done func(*Item)) bool {
 	it.seq = f.seq
 	it.done = done
 	f.seq++
-	if f.queueLimit > 0 && f.policy.Len()-f.canceledQueued >= f.queueLimit {
+	if it.Deadline == 0 && f.admitDeadline != nil {
+		if d, ok := f.admitDeadline[it.Class]; ok {
+			it.Deadline = it.Arrival + d
+		}
+	}
+	if f.queueLimit > 0 && f.queueLenLocked() >= f.queueLimit {
 		f.dropped++
 		hook := f.OnDrop
 		f.mu.Unlock()
@@ -564,10 +761,9 @@ const compactThreshold = 64
 
 // CancelQueued withdraws a still-queued item (context cancellation in
 // live gates). It reports whether the item was withdrawn; false means
-// the item was already dispatched (or completed) and will complete
-// normally. Withdrawn items are discarded lazily — when they surface
-// at the head of the queue, or in bulk once enough accumulate —
-// costing no slot and no metrics.
+// the item was already dispatched, completed, or shed. Withdrawn items
+// are discarded lazily — when they surface at the head of the queue,
+// or in bulk once enough accumulate — costing no slot and no metrics.
 func (f *Frontend) CancelQueued(it *Item) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -575,32 +771,95 @@ func (f *Frontend) CancelQueued(it *Item) bool {
 		return false
 	}
 	it.state = itemCanceled
-	f.canceledQueued++
+	f.deadQueued++
 	f.canceled++
-	if f.canceledQueued >= compactThreshold && f.canceledQueued*2 >= f.policy.Len() {
-		f.compactLocked()
-	}
+	f.maybeCompactLocked()
 	return true
 }
 
-// compactLocked purges canceled items in bulk (policies that support
-// it). Called with f.mu held.
-func (f *Frontend) compactLocked() {
-	c, ok := f.policy.(compactable)
-	if !ok {
-		return
-	}
-	da, _ := f.policy.(discardAware)
-	c.compact(func(it *Item) bool {
-		if it.state != itemCanceled {
-			return true
-		}
-		f.canceledQueued--
-		if da != nil {
-			da.discarded(it)
-		}
+// ShedQueued withdraws a still-queued item as a deadline shed — the
+// live gate's deadline timers use it to reject a ticket the moment its
+// deadline passes instead of waiting for it to surface at the head of
+// the queue. It reports whether the item was shed; false means the
+// item was already dispatched, completed, canceled, or shed. Unlike
+// the lazy dispatch-time shed, the caller's done callback and the
+// OnShed hook fire before ShedQueued returns.
+func (f *Frontend) ShedQueued(it *Item) bool {
+	f.mu.Lock()
+	if it.state != itemQueued {
+		f.mu.Unlock()
 		return false
-	})
+	}
+	it.state = itemShed
+	f.shedLocked(it)
+	f.deadQueued++
+	f.maybeCompactLocked()
+	hook := f.OnShed
+	f.mu.Unlock()
+	notifyShed(it, hook)
+	return true
+}
+
+// shedLocked stamps and counts a shed. Called with f.mu held; the item
+// must already be marked itemShed.
+func (f *Frontend) shedLocked(it *Item) {
+	it.Complete = f.clock.Now()
+	f.shed++
+	if f.shedClass == nil {
+		f.shedClass = make(map[Class]uint64)
+	}
+	f.shedClass[it.Class]++
+}
+
+// notifyShed delivers a shed item's callbacks (outside the lock): the
+// per-item done callback first — it fires for sheds exactly as for
+// completions, so closed-loop clients cycle; WasShed distinguishes —
+// then the frontend-wide OnShed hook.
+func notifyShed(it *Item, hook func(*Item)) {
+	if it.done != nil {
+		it.done(it)
+	}
+	if hook != nil {
+		hook(it)
+	}
+}
+
+// maybeCompactLocked purges withdrawn items in bulk once they exceed
+// the threshold AND outnumber half the waiting items. Called with f.mu
+// held.
+func (f *Frontend) maybeCompactLocked() {
+	if f.deadQueued >= compactThreshold && f.deadQueued*2 >= f.policy.Len()+f.deferredCount {
+		f.compactLocked()
+	}
+}
+
+// compactLocked purges canceled and shed items in bulk — from the
+// policy queue (policies that support it) and the class-deferred
+// rings. Called with f.mu held.
+func (f *Frontend) compactLocked() {
+	if c, ok := f.policy.(compactable); ok {
+		da, _ := f.policy.(discardAware)
+		c.compact(func(it *Item) bool {
+			if it.state != itemCanceled && it.state != itemShed {
+				return true
+			}
+			f.deadQueued--
+			if da != nil {
+				da.discarded(it)
+			}
+			return false
+		})
+	}
+	for _, c := range f.deferredOrder {
+		f.deferred[c].compact(func(it *Item) bool {
+			if it.state != itemCanceled && it.state != itemShed {
+				return true
+			}
+			f.deadQueued--
+			f.deferredCount--
+			return false
+		})
+	}
 }
 
 // Canceled returns the number of items withdrawn by CancelQueued.
@@ -629,38 +888,151 @@ func (f *Frontend) Dropped() uint64 {
 	return f.dropped
 }
 
-// dispatch admits queued items while the MPL allows. Backend.Exec runs
-// outside the lock, so backends may call back into the frontend (and
-// completions on other goroutines may interleave).
+// dispatch admits queued items while the MPL allows. Backend.Exec and
+// the shed callbacks run outside the lock, so backends may call back
+// into the frontend (and completions on other goroutines may
+// interleave).
 func (f *Frontend) dispatch() {
 	for {
 		f.mu.Lock()
-		var it *Item
-		for (f.mpl == 0 || f.inside < f.mpl) && f.policy.Len() > 0 {
-			cand := f.policy.Pop()
-			if cand == nil {
-				break
-			}
-			if cand.state == itemCanceled {
-				f.canceledQueued--
-				if da, ok := f.policy.(discardAware); ok {
-					da.discarded(cand)
-				}
-				continue
-			}
-			it = cand
-			break
+		it, shedList := f.nextDispatchLocked()
+		if it != nil {
+			it.state = itemDispatched
+			it.Dispatch = f.clock.Now()
+			f.inside++
+			f.insideClass[it.Class]++
+		}
+		hook := f.OnShed
+		f.mu.Unlock()
+		for _, s := range shedList {
+			notifyShed(s, hook)
 		}
 		if it == nil {
-			f.mu.Unlock()
 			return
 		}
-		it.state = itemDispatched
-		it.Dispatch = f.clock.Now()
-		f.inside++
-		f.mu.Unlock()
 		f.backend.Exec(it)
 	}
+}
+
+// classEligibleLocked reports whether class c may dispatch under the
+// current partition. Called with f.mu held.
+func (f *Frontend) classEligibleLocked(c Class) bool {
+	if f.classLimit == nil {
+		return true
+	}
+	lim, ok := f.classLimit[c]
+	return !ok || f.insideClass[c] < lim
+}
+
+// deferLocked parks a popped item whose class is at its limit,
+// preserving policy-pop order within the class. Called with f.mu held.
+func (f *Frontend) deferLocked(it *Item) {
+	if f.deferred == nil {
+		f.deferred = make(map[Class]*ring)
+	}
+	r := f.deferred[it.Class]
+	if r == nil {
+		r = &ring{}
+		f.deferred[it.Class] = r
+		i := 0
+		for i < len(f.deferredOrder) && f.deferredOrder[i] < it.Class {
+			i++
+		}
+		f.deferredOrder = append(f.deferredOrder, 0)
+		copy(f.deferredOrder[i+1:], f.deferredOrder[i:])
+		f.deferredOrder[i] = it.Class
+	}
+	r.push(it)
+	f.deferredCount++
+}
+
+// popDeferredLocked pops the next live, unexpired item from class c's
+// deferred ring, shedding expired ones into shedList. Called with f.mu
+// held.
+func (f *Frontend) popDeferredLocked(c Class, now float64, shedList *[]*Item) *Item {
+	r := f.deferred[c]
+	for r != nil && r.len() > 0 {
+		cand := r.pop()
+		f.deferredCount--
+		if cand.state == itemCanceled || cand.state == itemShed {
+			// Withdrawn after deferral; its WFQ charge (if any) was
+			// settled when the policy popped it, so just drop it.
+			f.deadQueued--
+			continue
+		}
+		if cand.Deadline > 0 && now > cand.Deadline {
+			cand.state = itemShed
+			f.shedLocked(cand)
+			*shedList = append(*shedList, cand)
+			continue
+		}
+		return cand
+	}
+	return nil
+}
+
+// nextDispatchLocked picks the next item to dispatch, or nil. Expired
+// items encountered along the way are shed and returned for callback
+// delivery outside the lock. Called with f.mu held.
+//
+// Selection order: (1) class-deferred items whose class has room —
+// they were popped by the policy first, so they go first; (2) the
+// policy queue, deferring items whose class is at its limit; (3) if
+// capacity would otherwise idle while only class-blocked work waits,
+// borrow: dispatch a deferred item past its class limit. Both
+// deferred scans visit classes highest-first: larger Class values are
+// the preferred ones repository-wide (ClassHigh > ClassLow), so a
+// spare slot must never go to deferred low-class work while
+// high-class work waits. Step 3 is what makes the partition
+// work-conserving — class limits shape contention between classes,
+// they never throttle the whole gate below its MPL.
+func (f *Frontend) nextDispatchLocked() (it *Item, shedList []*Item) {
+	if f.mpl != 0 && f.inside >= f.mpl {
+		return nil, nil
+	}
+	now := f.clock.Now()
+	for i := len(f.deferredOrder) - 1; i >= 0; i-- {
+		c := f.deferredOrder[i]
+		if !f.classEligibleLocked(c) {
+			continue
+		}
+		if cand := f.popDeferredLocked(c, now, &shedList); cand != nil {
+			return cand, shedList
+		}
+	}
+	for {
+		cand := f.policy.Pop()
+		if cand == nil {
+			break
+		}
+		if cand.state == itemCanceled || cand.state == itemShed {
+			f.deadQueued--
+			if da, ok := f.policy.(discardAware); ok {
+				da.discarded(cand)
+			}
+			continue
+		}
+		if cand.Deadline > 0 && now > cand.Deadline {
+			cand.state = itemShed
+			f.shedLocked(cand)
+			if da, ok := f.policy.(discardAware); ok {
+				da.discarded(cand)
+			}
+			shedList = append(shedList, cand)
+			continue
+		}
+		if !f.classEligibleLocked(cand.Class) {
+			f.deferLocked(cand)
+			continue
+		}
+		return cand, shedList
+	}
+	for i := len(f.deferredOrder) - 1; i >= 0; i-- {
+		if cand := f.popDeferredLocked(f.deferredOrder[i], now, &shedList); cand != nil {
+			return cand, shedList
+		}
+	}
+	return nil, shedList
 }
 
 // Discard completes an admitted item WITHOUT recording it in the
@@ -679,6 +1051,7 @@ func (f *Frontend) Discard(it *Item) {
 	it.state = itemDone
 	it.Complete = f.clock.Now()
 	f.inside--
+	f.insideClass[it.Class]--
 	f.canceled++
 	f.mu.Unlock()
 	f.dispatch()
@@ -696,6 +1069,7 @@ func (f *Frontend) Complete(it *Item, o Outcome) {
 	it.Complete = f.clock.Now()
 	it.Outcome = o
 	f.inside--
+	f.insideClass[it.Class]--
 	m := &f.metrics
 	m.Completed++
 	rt := it.ResponseTime()
@@ -710,6 +1084,7 @@ func (f *Frontend) Complete(it *Item, o Outcome) {
 	m.Restarts += uint64(o.Restarts)
 	if f.rtSample != nil {
 		f.rtSample.Add(rt)
+		f.classReservoirLocked(it.Class).Add(rt)
 	}
 	done := it.done
 	hook := f.OnComplete

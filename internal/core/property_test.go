@@ -16,9 +16,16 @@ import (
 //  1. admission respects the limit — at every dispatch instant,
 //     inside <= MPL (when finite);
 //  2. conservation — accepted submissions are exactly partitioned into
-//     completed + inside + queued + canceled;
+//     completed + inside + queued + canceled + shed;
 //  3. queue-length accounting never goes negative, and cancellations
-//     never complete.
+//     never complete;
+//  4. shed items never dispatch, and items never both shed and
+//     complete.
+//
+// The op mix includes the PR 5 additions: per-class admission
+// deadlines with clock advancement (lazy dispatch-time shedding),
+// eager ShedQueued, and class-limit partitions with work-conserving
+// borrowing.
 func TestFrontendRandomOpsInvariants(t *testing.T) {
 	for _, pol := range []struct {
 		name string
@@ -31,7 +38,11 @@ func TestFrontendRandomOpsInvariants(t *testing.T) {
 	} {
 		pol := pol
 		t.Run(pol.name, func(t *testing.T) {
-			for seed := int64(1); seed <= 5; seed++ {
+			seeds := int64(5)
+			if !testing.Short() {
+				seeds = 20 // nightly soak: 4x the op sequences
+			}
+			for seed := int64(1); seed <= seeds; seed++ {
 				runFrontendProperty(t, pol.mk(), seed)
 			}
 		})
@@ -51,14 +62,35 @@ func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
 		if m := fe.MPL(); m > 0 && fe.Inside() > m {
 			t.Fatalf("seed %d: dispatched with inside=%d > MPL=%d", seed, fe.Inside(), m)
 		}
+		// Invariant 4: a deadline-expired item never dispatches.
+		if it.Deadline > 0 && eng.Now() > it.Deadline {
+			t.Fatalf("seed %d: dispatched an item %v past its deadline %v", seed, eng.Now(), it.Deadline)
+		}
 		inflight = append(inflight, it)
 	})
 	fe = New(eng.Clock(), exec, mpl, policy)
 
-	var accepted, completed, canceled uint64
+	var accepted, completed, canceled, shed uint64
 	var queued []*Item // accepted, not yet dispatched or canceled (our model)
 	completedSet := make(map[*Item]bool)
 	canceledSet := make(map[*Item]bool)
+	shedSet := make(map[*Item]bool)
+
+	// The shed hook keeps the model in lockstep: a shed item leaves the
+	// queue the instant the gate rejects it.
+	fe.OnShed = func(it *Item) {
+		if shedSet[it] || completedSet[it] || canceledSet[it] {
+			t.Fatalf("seed %d: item shed after already finishing", seed)
+		}
+		shedSet[it] = true
+		shed++
+		for i, q := range queued {
+			if q == it {
+				queued = append(queued[:i], queued[i+1:]...)
+				break
+			}
+		}
+	}
 
 	// remodel moves items our model thinks are queued but the gate has
 	// dispatched (admission happens inside Submit/SetMPL/Complete).
@@ -86,37 +118,40 @@ func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
 		if fe.Inside() != len(inflight) {
 			t.Fatalf("seed %d after %s: Inside=%d, model has %d", seed, op, fe.Inside(), len(inflight))
 		}
-		// Invariant 2: conservation.
-		if got := completed + uint64(len(inflight)) + uint64(len(queued)) + canceled; got != accepted {
-			t.Fatalf("seed %d after %s: completed %d + inside %d + queued %d + canceled %d != accepted %d",
-				seed, op, completed, len(inflight), len(queued), canceled, accepted)
+		// Invariant 2: conservation (shed included).
+		if got := completed + uint64(len(inflight)) + uint64(len(queued)) + canceled + shed; got != accepted {
+			t.Fatalf("seed %d after %s: completed %d + inside %d + queued %d + canceled %d + shed %d != accepted %d",
+				seed, op, completed, len(inflight), len(queued), canceled, shed, accepted)
 		}
 		if fe.Canceled() != canceled {
 			t.Fatalf("seed %d after %s: Canceled()=%d, model %d", seed, op, fe.Canceled(), canceled)
+		}
+		if fe.Shed() != shed {
+			t.Fatalf("seed %d after %s: Shed()=%d, model %d", seed, op, fe.Shed(), shed)
 		}
 	}
 
 	for op := 0; op < 2000; op++ {
 		switch r := rng.Float64(); {
-		case r < 0.5: // submit
+		case r < 0.45: // submit (Submit stamps any class deadline)
 			it := &Item{Class: Class(rng.Intn(3)), SizeHint: rng.Float64()}
 			if fe.Submit(it, nil) {
 				accepted++
 				queued = append(queued, it) // remodel() fixes immediate dispatch
 			}
 			check("submit")
-		case r < 0.8 && len(inflight) > 0: // complete a random inflight item
+		case r < 0.75 && len(inflight) > 0: // complete a random inflight item
 			i := rng.Intn(len(inflight))
 			it := inflight[i]
 			inflight = append(inflight[:i], inflight[i+1:]...)
-			if completedSet[it] || canceledSet[it] {
+			if completedSet[it] || canceledSet[it] || shedSet[it] {
 				t.Fatalf("seed %d: item finishing twice", seed)
 			}
 			completedSet[it] = true
 			completed++
 			fe.Complete(it, Outcome{InsideTime: rng.Float64()})
 			check("complete")
-		case r < 0.9 && len(queued) > 0: // cancel a random queued item
+		case r < 0.83 && len(queued) > 0: // cancel a random queued item
 			i := rng.Intn(len(queued))
 			it := queued[i]
 			if fe.CancelQueued(it) {
@@ -125,7 +160,27 @@ func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
 				queued = append(queued[:i], queued[i+1:]...)
 			}
 			check("cancel")
-		case r < 0.97: // move the limit
+		case r < 0.86 && len(queued) > 0: // eager-shed a random queued item
+			it := queued[rng.Intn(len(queued))]
+			fe.ShedQueued(it) // the OnShed hook updates the model
+			check("shedqueued")
+		case r < 0.89: // advance the clock (expires queued deadlines)
+			eng.Run(eng.Now() + rng.Float64())
+			check("advance")
+		case r < 0.92: // move a class's admission deadline (0 clears)
+			fe.SetAdmitDeadline(Class(rng.Intn(3)), float64(rng.Intn(3))*rng.Float64())
+			check("setdeadline")
+		case r < 0.95: // repartition (or clear) the class limits
+			if rng.Intn(3) == 0 {
+				fe.SetClassLimits(nil)
+			} else {
+				fe.SetClassLimits(map[Class]int{
+					Class(0): 1 + rng.Intn(3),
+					Class(1): 1 + rng.Intn(3),
+				})
+			}
+			check("setclasslimits")
+		case r < 0.98: // move the limit
 			fe.SetMPL(rng.Intn(6))
 			check("setmpl")
 		default: // flip admission control
@@ -134,9 +189,10 @@ func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
 		}
 	}
 	// Drain: complete everything inflight, raising the MPL to flush the
-	// queue; every queued item must eventually dispatch or stay
-	// canceled — nothing may vanish.
+	// queue; every queued item must eventually dispatch, stay canceled,
+	// or shed at the gate — nothing may vanish.
 	fe.SetQueueLimit(0)
+	fe.SetClassLimits(nil)
 	fe.SetMPL(0)
 	for len(inflight) > 0 {
 		it := inflight[0]
@@ -152,6 +208,11 @@ func runFrontendProperty(t *testing.T, policy Policy, seed int64) {
 	for it := range canceledSet {
 		if completedSet[it] {
 			t.Fatalf("seed %d: canceled item also completed", seed)
+		}
+	}
+	for it := range shedSet {
+		if completedSet[it] || canceledSet[it] {
+			t.Fatalf("seed %d: shed item also completed or canceled", seed)
 		}
 	}
 }

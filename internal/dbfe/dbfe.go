@@ -53,6 +53,11 @@ type Frontend struct {
 	OnComplete func(*Txn)
 	// OnDrop, if set, observes admission-control rejections.
 	OnDrop func(*Txn)
+	// OnShed, if set, observes deadline sheds (transactions rejected
+	// because they could not start by their admission deadline). The
+	// per-transaction SubmitCB callback fires for sheds too — check
+	// Item.WasShed to tell a shed from a commit.
+	OnShed func(*Txn)
 }
 
 // backend executes admitted items on the simulated DBMS.
@@ -84,6 +89,11 @@ func New(eng *sim.Engine, db *dbms.DB, mpl int, policy core.Policy) *Frontend {
 	f.Frontend.OnDrop = func(it *core.Item) {
 		if f.OnDrop != nil {
 			f.OnDrop(it.Payload.(*Txn))
+		}
+	}
+	f.Frontend.OnShed = func(it *core.Item) {
+		if f.OnShed != nil {
+			f.OnShed(it.Payload.(*Txn))
 		}
 	}
 	return f

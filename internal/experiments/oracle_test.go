@@ -82,14 +82,23 @@ func TestOracleClosedVsMVA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Populations around the knee N* = (Z+D)/D = 11.
-	for _, n := range []int{4, 12, 30} {
+	// Populations around the knee N* = (Z+D)/D = 11. The nightly soak
+	// (no -short) extends the sweep deeper into saturation and doubles
+	// the measured horizon; PR CI runs the -short bounds so the test
+	// step stays fast.
+	pops := []int{4, 12, 30}
+	horizon := 2000.0
+	if !testing.Short() {
+		pops = append(pops, 60, 100)
+		horizon = 4000
+	}
+	for _, n := range pops {
 		out, err := RunPhases(setup, 0, nil, workload.DBOptions{},
 			RunOpts{Seed: 3, Warmup: 1, Measure: 1, Clients: n}, // explicit spec below
 			runner.Spec{
 				Warmup: 100,
 				Phases: []runner.Phase{{
-					Kind: runner.KindClosed, Clients: n, ThinkTime: think, Duration: 2000,
+					Kind: runner.KindClosed, Clients: n, ThinkTime: think, Duration: horizon,
 				}},
 			})
 		if err != nil {
@@ -123,12 +132,16 @@ func TestOracleOpenVsMMC(t *testing.T) {
 		t.Fatal(err)
 	}
 	model := p.MeanResponse()
+	horizon := 2000.0
+	if !testing.Short() {
+		horizon = 6000 // nightly soak: 3x the arrivals, tighter CI
+	}
 	out, err := RunPhases(setup, 0, nil, workload.DBOptions{},
 		RunOpts{Seed: 5, Warmup: 1, Measure: 1},
 		runner.Spec{
 			Warmup: 100,
 			Phases: []runner.Phase{{
-				Kind: runner.KindOpen, Lambda: p.Lambda, Duration: 2000,
+				Kind: runner.KindOpen, Lambda: p.Lambda, Duration: horizon,
 			}},
 		})
 	if err != nil {

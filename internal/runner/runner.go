@@ -86,6 +86,38 @@ type ShardSpeed struct {
 	Speed float64
 }
 
+// SLOSpec configures the per-class latency-SLO controller when a phase
+// event (or Stack.SLO) enables it: partition the MPL across classes
+// and steer the split so Class's Percentile-th response-time
+// percentile stays at or below Target seconds.
+type SLOSpec struct {
+	// Class is the protected class; the partition's other side is the
+	// complementary class (high protects against low and vice versa).
+	Class core.Class
+	// Percentile is the controlled percentile (0 = 95).
+	Percentile float64
+	// Target is the latency bound in seconds. Required, > 0.
+	Target float64
+	// MinObservations gates SLO observation-window close (0 = 50).
+	MinObservations int
+	// Margin is the give-back hysteresis fraction (0 = 0.5).
+	Margin float64
+}
+
+// ClassLimits is a static MPL partition: High and Low concurrent slots
+// for the two priority classes. Both zero clears the partition.
+type ClassLimits struct {
+	High, Low int
+}
+
+// AdmitDeadline sets per-class admission deadlines in seconds (the
+// deadline-shedding mechanism): a transaction that cannot start within
+// its class's deadline of arriving is shed. Zero clears that class's
+// deadline.
+type AdmitDeadline struct {
+	High, Low float64
+}
+
 // Event is a mid-phase control action, applied At seconds after the
 // phase's measured start (for the first phase, after warmup ends).
 // Exactly the actions a DBA could take against a live system: move the
@@ -113,6 +145,17 @@ type Event struct {
 	// MPL where the loop left it.
 	EnableController  *ControllerSpec
 	DisableController bool
+	// SetSLO attaches (or replaces) the per-class latency-SLO
+	// controller; DisableSLO detaches it, freezing the class partition
+	// where the loop left it. Unsharded stacks only.
+	SetSLO     *SLOSpec
+	DisableSLO bool
+	// SetClassLimits installs a static MPL partition (unsharded stacks
+	// only; both-zero clears it).
+	SetClassLimits *ClassLimits
+	// SetAdmitDeadline changes the per-class admission deadlines (both
+	// stack shapes; zero clears a class's deadline).
+	SetAdmitDeadline *AdmitDeadline
 }
 
 // Phase is one segment of a scenario: a traffic source run for
@@ -270,7 +313,62 @@ func (s Spec) Validate() error {
 					return fmt.Errorf("%s event %d: ReferenceThroughput required", prefix, j)
 				}
 			}
+			if ev.SetSLO != nil {
+				if err := ev.SetSLO.Validate(); err != nil {
+					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
+			}
+			if cl := ev.SetClassLimits; cl != nil {
+				if err := cl.Validate(); err != nil {
+					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
+			}
+			if ad := ev.SetAdmitDeadline; ad != nil {
+				if err := ad.Validate(); err != nil {
+					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
+			}
 		}
+	}
+	return nil
+}
+
+// Validate checks an SLOSpec's standalone fields.
+func (s SLOSpec) Validate() error {
+	if !finite(s.Target, s.Percentile, s.Margin) {
+		return fmt.Errorf("runner: SLO parameters must be finite")
+	}
+	if s.Target <= 0 {
+		return fmt.Errorf("runner: SLO target %v must be positive seconds", s.Target)
+	}
+	if s.Percentile < 0 || s.Percentile >= 100 {
+		return fmt.Errorf("runner: SLO percentile %v outside [0,100) (0 = 95)", s.Percentile)
+	}
+	if s.Margin < 0 || s.Margin >= 1 {
+		return fmt.Errorf("runner: SLO margin %v outside [0,1) (0 = 0.5)", s.Margin)
+	}
+	if s.MinObservations < 0 {
+		return fmt.Errorf("runner: SLO MinObservations %d must be >= 0", s.MinObservations)
+	}
+	return nil
+}
+
+// Validate checks a ClassLimits partition: both limits >= 1, or both
+// zero (clear).
+func (cl ClassLimits) Validate() error {
+	if cl.High == 0 && cl.Low == 0 {
+		return nil
+	}
+	if cl.High < 1 || cl.Low < 1 {
+		return fmt.Errorf("runner: class limits high=%d low=%d must both be >= 1 (or both 0 to clear)", cl.High, cl.Low)
+	}
+	return nil
+}
+
+// Validate checks admission deadlines: finite, >= 0.
+func (ad AdmitDeadline) Validate() error {
+	if !finite(ad.High, ad.Low) || ad.High < 0 || ad.Low < 0 {
+		return fmt.Errorf("runner: admit deadlines high=%v low=%v must be finite and >= 0", ad.High, ad.Low)
 	}
 	return nil
 }
@@ -292,6 +390,11 @@ type Stack struct {
 	// over the whole measurement window (deterministic given Seed).
 	PercentileSamples int
 	Seed              uint64
+	// SLO, when non-nil, attaches the latency-SLO controller for the
+	// whole run, from the moment the measurement window opens (an
+	// event-free way to run a scenario under SLO control; scenario
+	// SetSLO events can still replace it). Unsharded stacks only.
+	SLO *SLOSpec
 }
 
 // Gate returns the control surface the MPL events and the feedback
@@ -326,13 +429,18 @@ type Report struct {
 	// Restarts counts abort/restart cycles; Dropped admission-control
 	// rejections.
 	Restarts, Dropped uint64
+	// Shed counts deadline-missed rejections in the window;
+	// ShedHigh/ShedLow split it by class.
+	Shed, ShedHigh, ShedLow uint64
 	// CPUUtil / DiskUtil are device utilizations over the window.
 	CPUUtil, DiskUtil float64
 	// LockWaits / Deadlocks / Preemptions are lock-manager deltas.
 	LockWaits, Deadlocks, Preemptions uint64
 	// P50/P95/P99 are run-so-far response-time percentiles (zero
-	// unless Stack.PercentileSamples was set).
-	P50, P95, P99 float64
+	// unless Stack.PercentileSamples was set); HighP95/LowP95 split the
+	// tail by priority class — the SLO signal.
+	P50, P95, P99   float64
+	HighP95, LowP95 float64
 }
 
 // Throughput returns completions per second over the window.
@@ -383,6 +491,20 @@ type TuneReport struct {
 	Converged  bool
 }
 
+// SLOReport summarizes an SLO-controlled run: the final class
+// partition and the loop's activity.
+type SLOReport struct {
+	// Class is the protected class; SLOLimit/OtherLimit the final slot
+	// partition (they sum to the final MPL).
+	Class                core.Class
+	SLOLimit, OtherLimit int
+	// Iterations counts completed SLO reactions; LastMeasured is the
+	// last closed window's measured percentile (0 before any window
+	// closed).
+	Iterations   int
+	LastMeasured float64
+}
+
 // Outcome is a completed run.
 type Outcome struct {
 	Total  Report
@@ -392,6 +514,9 @@ type Outcome struct {
 	Shards []ShardReport
 	// Tune is non-nil when an EnableController event fired.
 	Tune *TuneReport
+	// SLO is non-nil when the latency-SLO controller ran (Stack.SLO or
+	// a SetSLO event).
+	SLO *SLOReport
 	// FinalMPL is the MPL when the run ended (events or the controller
 	// may have moved it from the configured value). For sharded stacks
 	// it is the cluster-wide limit (sum of shard limits; 0 if any shard
@@ -402,16 +527,18 @@ type Outcome struct {
 // mark captures the cumulative counters a windowed delta is taken
 // against.
 type mark struct {
-	t                  float64
-	dropped, canceled  uint64
-	waits, dl, preempt uint64
-	cpuBusy, diskBusy  float64 // utilization·time products
+	t                       float64
+	dropped, canceled       uint64
+	shed, shedHigh, shedLow uint64
+	waits, dl, preempt      uint64
+	cpuBusy, diskBusy       float64 // utilization·time products
 	// shards are the per-shard cumulative counters (sharded stacks).
 	shards []shardMark
 }
 
 type shardMark struct {
 	routed, dropped, canceled uint64
+	shed, shedHigh, shedLow   uint64
 	waits, dl, preempt        uint64
 	cpuBusy, diskBusy         float64
 }
@@ -428,6 +555,12 @@ func takeMark(st Stack) mark {
 			sm := &m.shards[i]
 			sm.routed = routed[i]
 			sm.dropped, sm.canceled = sh.FE.Dropped(), sh.FE.Canceled()
+			sm.shed = sh.FE.Shed()
+			sm.shedHigh = sh.FE.ShedByClass(core.ClassHigh)
+			sm.shedLow = sm.shed - sm.shedHigh
+			m.shed += sm.shed
+			m.shedHigh += sm.shedHigh
+			m.shedLow += sm.shedLow
 			if sh.DB != nil {
 				s := sh.DB.Stats()
 				sm.waits, sm.dl, sm.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
@@ -445,6 +578,9 @@ func takeMark(st Stack) mark {
 		return m
 	}
 	m.dropped, m.canceled = st.FE.Dropped(), st.FE.Canceled()
+	m.shed = st.FE.Shed()
+	m.shedHigh = st.FE.ShedByClass(core.ClassHigh)
+	m.shedLow = m.shed - m.shedHigh
 	if st.DB != nil {
 		s := st.DB.Stats()
 		m.waits, m.dl, m.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
@@ -487,7 +623,7 @@ func (a *acc) observe(t *dbfe.Txn) {
 func (a *acc) reset() { *a = acc{} }
 
 // report assembles a Report from an accumulator scope and its marks.
-func (a *acc) report(st Stack, from mark, res *stats.Reservoir) Report {
+func (a *acc) report(st Stack, from mark, res, resHigh, resLow *stats.Reservoir) Report {
 	to := takeMark(st)
 	r := Report{
 		Window:      to.t - from.t,
@@ -499,6 +635,9 @@ func (a *acc) report(st Stack, from mark, res *stats.Reservoir) Report {
 		ExtWait:     a.extwait,
 		Restarts:    a.restarts,
 		Dropped:     to.dropped - from.dropped,
+		Shed:        to.shed - from.shed,
+		ShedHigh:    to.shedHigh - from.shedHigh,
+		ShedLow:     to.shedLow - from.shedLow,
 		LockWaits:   to.waits - from.waits,
 		Deadlocks:   to.dl - from.dl,
 		Preemptions: to.preempt - from.preempt,
@@ -509,6 +648,12 @@ func (a *acc) report(st Stack, from mark, res *stats.Reservoir) Report {
 		r.P50 = res.Percentile(50)
 		r.P95 = res.Percentile(95)
 		r.P99 = res.Percentile(99)
+	}
+	if resHigh != nil {
+		r.HighP95 = resHigh.Percentile(95)
+	}
+	if resLow != nil {
+		r.LowP95 = resLow.Percentile(95)
 	}
 	return r
 }
@@ -566,6 +711,9 @@ type run struct {
 	phase     acc
 	window    acc
 	res       *stats.Reservoir
+	// resHigh / resLow sample response times per class (run-so-far,
+	// like res) for the HighP95/LowP95 report and snapshot fields.
+	resHigh, resLow *stats.Reservoir
 	// shardTotal / winShard split the window per shard (sharded stacks
 	// only): whole-window accumulators for Outcome.Shards, and
 	// per-interval completion counts for Snapshot.Shards.
@@ -578,6 +726,10 @@ type run struct {
 	ctl            *controller.Controller
 	tune           *TuneReport
 	stopOnConverge bool
+
+	slo      *controller.SLOController
+	sloSpec  SLOSpec
+	sloFinal *SLOReport
 }
 
 // onComplete is the single completion observer for both stack shapes;
@@ -593,7 +745,15 @@ func (r *run) onComplete(shard int, t *dbfe.Txn) {
 		}
 		if r.res != nil {
 			r.res.Add(t.Item.ResponseTime())
+			if t.Item.Class == core.ClassHigh {
+				r.resHigh.Add(t.Item.ResponseTime())
+			} else {
+				r.resLow.Add(t.Item.ResponseTime())
+			}
 		}
+	}
+	if r.slo != nil {
+		r.slo.Observe()
 	}
 	if r.ctl != nil {
 		r.ctl.Observe()
@@ -624,6 +784,8 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 			seed = 1
 		}
 		r.res = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 31))
+		r.resHigh = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 37))
+		r.resLow = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 41))
 	}
 	if c := st.Cluster; c != nil {
 		r.shardTotal = make([]acc, c.NumShards())
@@ -647,6 +809,11 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 				}
 			}
 			r.beginMeasurement()
+			if st.SLO != nil {
+				if err := r.attachSLO(*st.SLO); err != nil {
+					return Outcome{}, err
+				}
+			}
 		}
 		stopped, err := r.runPhase(ctx, ph)
 		driver.Stop()
@@ -656,7 +823,7 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		out.Phases = append(out.Phases, PhaseReport{
 			Name:   ph.label(),
 			Kind:   ph.Kind,
-			Report: r.phase.report(st, r.phaseMark, nil),
+			Report: r.phase.report(st, r.phaseMark, nil, nil, nil),
 		})
 		r.phase.reset()
 		r.phaseMark = takeMark(st)
@@ -665,7 +832,7 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 	}
 	r.measuring = false
-	out.Total = r.total.report(st, r.totalMark, r.res)
+	out.Total = r.total.report(st, r.totalMark, r.res, r.resHigh, r.resLow)
 	out.Shards = r.shardReports()
 	out.FinalMPL = st.Gate().MPL()
 	if r.tune != nil {
@@ -677,8 +844,69 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 		out.Tune = &t
 	}
+	if r.slo != nil {
+		out.SLO = r.sloReport()
+	} else if r.sloFinal != nil {
+		out.SLO = r.sloFinal
+	}
 	return out, nil
 }
+
+// sloReport snapshots the attached SLO loop's state.
+func (r *run) sloReport() *SLOReport {
+	slo, other := r.slo.Limits()
+	rep := &SLOReport{
+		Class:      r.sloSpec.Class,
+		SLOLimit:   slo,
+		OtherLimit: other,
+		Iterations: r.slo.Iterations(),
+	}
+	if h := r.slo.History(); len(h) > 0 {
+		rep.LastMeasured = h[len(h)-1].Measured
+	}
+	return rep
+}
+
+// attachSLO builds and wires the latency-SLO controller. The stack
+// must be unsharded (the partition and the per-class percentile signal
+// live on the lone frontend), and the frontend gets percentile
+// sampling enabled on the spot if the configuration did not already.
+func (r *run) attachSLO(spec SLOSpec) error {
+	if r.st.Cluster != nil {
+		return fmt.Errorf("runner: SLO control on a sharded system is not supported")
+	}
+	if r.ctl != nil {
+		return fmt.Errorf("runner: the SLO loop and the throughput controller share the metrics window; disable the controller first")
+	}
+	fe := r.st.FE.Frontend
+	if !fe.PercentilesEnabled() {
+		seed := r.st.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		fe.EnablePercentiles(sloSampleCapacity, seed)
+	}
+	slo, err := controller.NewSLO(r.st.Eng.Clock(), fe, controller.SLOConfig{
+		Target: controller.SLOTarget{
+			Class:      spec.Class,
+			Percentile: spec.Percentile,
+			Target:     spec.Target,
+		},
+		MinObservations: spec.MinObservations,
+		Margin:          spec.Margin,
+	})
+	if err != nil {
+		return err
+	}
+	r.slo = slo
+	r.sloSpec = spec
+	return nil
+}
+
+// sloSampleCapacity is the reservoir size attachSLO enables when the
+// stack has no percentile sampling of its own: large enough for a
+// stable p95 over a 50-completion window, small enough to be free.
+const sloSampleCapacity = 2048
 
 // beginMeasurement opens the measurement window at the engine's
 // current time.
@@ -784,6 +1012,37 @@ func (r *run) applyEvent(ev Event) error {
 		}
 		r.st.Cluster.SetPolicy(p)
 	}
+	if ad := ev.SetAdmitDeadline; ad != nil {
+		if c := r.st.Cluster; c != nil {
+			c.SetAdmitDeadline(core.ClassHigh, ad.High)
+			c.SetAdmitDeadline(core.ClassLow, ad.Low)
+		} else {
+			r.st.FE.SetAdmitDeadline(core.ClassHigh, ad.High)
+			r.st.FE.SetAdmitDeadline(core.ClassLow, ad.Low)
+		}
+	}
+	if cl := ev.SetClassLimits; cl != nil {
+		if r.st.Cluster != nil {
+			return fmt.Errorf("runner: SetClassLimits event on a sharded system")
+		}
+		if cl.High == 0 && cl.Low == 0 {
+			r.st.FE.SetClassLimits(nil)
+		} else {
+			r.st.FE.SetClassLimits(map[core.Class]int{
+				core.ClassHigh: cl.High,
+				core.ClassLow:  cl.Low,
+			})
+		}
+	}
+	// Both disables run before either enable, so one event can hand
+	// control from one loop to the other ({disable_controller,
+	// set_slo} and {disable_slo, enable_controller} both work).
+	if ev.DisableSLO {
+		if r.slo != nil {
+			r.sloFinal = r.sloReport()
+			r.slo = nil
+		}
+	}
 	if ev.DisableController {
 		// Record the detached loop's outcome before dropping it, so the
 		// run's TuneReport survives the disable.
@@ -795,7 +1054,15 @@ func (r *run) applyEvent(ev Event) error {
 		r.ctl = nil
 		r.stopOnConverge = false
 	}
+	if ev.SetSLO != nil {
+		if err := r.attachSLO(*ev.SetSLO); err != nil {
+			return err
+		}
+	}
 	if cs := ev.EnableController; cs != nil {
+		if r.slo != nil {
+			return fmt.Errorf("runner: the throughput controller and the SLO loop share the metrics window; disable the SLO loop first")
+		}
 		ctl, err := controller.New(r.st.Eng.Clock(), gate, controller.Config{
 			Targets: controller.Targets{
 				MaxThroughputLoss: cs.MaxThroughputLoss,
@@ -909,6 +1176,9 @@ func (r *run) emitSnapshot(ph Phase) {
 		Restarts:     w.restarts,
 		Dropped:      to.dropped - r.winMark.dropped,
 		Canceled:     to.canceled - r.winMark.canceled,
+		Shed:         to.shed - r.winMark.shed,
+		ShedHigh:     to.shedHigh - r.winMark.shedHigh,
+		ShedLow:      to.shedLow - r.winMark.shedLow,
 		CPUUtil:      utilDelta(r.winMark.cpuBusy, to.cpuBusy, r.winMark.t, to.t),
 		DiskUtil:     utilDelta(r.winMark.diskBusy, to.diskBusy, r.winMark.t, to.t),
 	}
@@ -919,6 +1189,8 @@ func (r *run) emitSnapshot(ph Phase) {
 		s.P50 = r.res.Percentile(50)
 		s.P95 = r.res.Percentile(95)
 		s.P99 = r.res.Percentile(99)
+		s.HighP95 = r.resHigh.Percentile(95)
+		s.LowP95 = r.resLow.Percentile(95)
 	}
 	s.Shards = r.shardStats(to)
 	for _, o := range r.obs {

@@ -59,10 +59,21 @@ type Snapshot struct {
 	// sampling reservoir spans the whole run — they always cover the
 	// run so far, not the interval window.
 	P50, P95, P99 float64
+	// HighP95 / LowP95 split the 95th percentile by priority class —
+	// the signal a latency SLO is written against. Like P50/P95/P99
+	// they need percentile sampling and cover the run so far.
+	HighP95, LowP95 float64
 
 	// Dropped counts admission-control rejections, Canceled withdrawn
 	// submissions, Errors failed completions (live gate Result.Err).
 	Dropped, Canceled, Errors uint64
+	// Shed counts deadline-missed rejections: work that could not be
+	// dispatched by its per-class admission deadline and was rejected
+	// without executing (gate.ErrDeadline live; scenario admit-deadline
+	// events simulated). ShedHigh/ShedLow split it by priority class.
+	// Window conventions follow Dropped: deltas in interval snapshots,
+	// totals in cumulative ones.
+	Shed, ShedHigh, ShedLow uint64
 	// Restarts counts internal retry cycles (deadlock aborts in the
 	// simulated DBMS).
 	Restarts uint64

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"extsched/internal/core"
 	"extsched/internal/runner"
 	"extsched/internal/trace"
 	"extsched/metrics"
@@ -75,6 +76,77 @@ type ShardSpeedEvent struct {
 	Speed float64 `json:"speed"`
 }
 
+// SLOSpec configures the per-class latency-SLO controller: it
+// partitions the MPL across the two priority classes (work-conserving
+// — unused slots are lent across the partition) and steers the split
+// so the protected class's response-time percentile stays at or below
+// Target, leaving every remaining slot to the other class's
+// throughput. Pair it with AdmitDeadline to shed un-startable work
+// under overload; the partition shapes contention, the deadline bounds
+// the backlog.
+type SLOSpec struct {
+	// Class is the protected class: "high" (default) or "low".
+	Class string `json:"class,omitempty"`
+	// Percentile is the controlled response-time percentile (0 = 95).
+	Percentile float64 `json:"percentile,omitempty"`
+	// Target is the latency bound in seconds. Required, > 0.
+	Target float64 `json:"target"`
+	// MinObservations gates the SLO observation window (0 = 50
+	// completions, at least a tenth of them from the protected class).
+	MinObservations int `json:"min_observations,omitempty"`
+	// Margin is the give-back hysteresis: a slot returns to the other
+	// class only while the measured percentile is below Margin×Target
+	// (0 = 0.5).
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// parseClass resolves a JSON class name ("" defaults to high — the
+// protected class is almost always the high-priority one).
+func parseClass(name string) (core.Class, error) {
+	switch name {
+	case "", "high":
+		return core.ClassHigh, nil
+	case "low":
+		return core.ClassLow, nil
+	default:
+		return 0, fmt.Errorf("extsched: unknown class %q (want high or low)", name)
+	}
+}
+
+// spec translates the public SLO spec to the runner's vocabulary.
+func (s SLOSpec) spec() (runner.SLOSpec, error) {
+	class, err := parseClass(s.Class)
+	if err != nil {
+		return runner.SLOSpec{}, err
+	}
+	return runner.SLOSpec{
+		Class:           class,
+		Percentile:      s.Percentile,
+		Target:          s.Target,
+		MinObservations: s.MinObservations,
+		Margin:          s.Margin,
+	}, nil
+}
+
+// ClassLimits is a static MPL partition: at most High high-class and
+// Low low-class transactions dispatched concurrently (each >= 1), with
+// work-conserving borrowing when one class has no waiting work. Both
+// zero clears the partition.
+type ClassLimits struct {
+	High int `json:"high"`
+	Low  int `json:"low"`
+}
+
+// AdmitDeadline sets per-class admission deadlines in seconds: a
+// transaction that cannot START within its class's deadline of
+// arriving is shed — rejected without executing, counted in
+// Report.Shed — instead of queueing unboundedly. Zero disables a
+// class's deadline.
+type AdmitDeadline struct {
+	High float64 `json:"high,omitempty"`
+	Low  float64 `json:"low,omitempty"`
+}
+
 // Event is a mid-phase control action, applied At seconds after the
 // phase's measured start (for the first phase: after warmup ends).
 // Zero-valued action fields are skipped, so one Event can carry
@@ -99,6 +171,19 @@ type Event struct {
 	// MPL where the loop left it.
 	EnableController  *ControllerSpec `json:"enable_controller,omitempty"`
 	DisableController bool            `json:"disable_controller,omitempty"`
+	// SetSLO attaches (or replaces) the latency-SLO controller;
+	// DisableSLO detaches it, freezing the class partition where the
+	// loop left it. Running either against a sharded system is an
+	// error.
+	SetSLO     *SLOSpec `json:"set_slo,omitempty"`
+	DisableSLO bool     `json:"disable_slo,omitempty"`
+	// SetClassLimits installs a static per-class MPL partition (error
+	// on sharded systems; high and low both zero clears it).
+	SetClassLimits *ClassLimits `json:"set_class_limits,omitempty"`
+	// SetAdmitDeadline changes the per-class admission deadlines (zero
+	// clears a class's deadline). Works on sharded systems too — each
+	// shard sheds against its own queue.
+	SetAdmitDeadline *AdmitDeadline `json:"set_admit_deadline,omitempty"`
 }
 
 // Phase is one segment of a Scenario: a traffic source run for
@@ -209,9 +294,23 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 				SetWFQHighWeight:  ev.SetWFQHighWeight,
 				SetDispatch:       ev.SetDispatch,
 				DisableController: ev.DisableController,
+				DisableSLO:        ev.DisableSLO,
 			}
 			if ss := ev.SetShardSpeed; ss != nil {
 				re.SetShardSpeed = &runner.ShardSpeed{Shard: ss.Shard, Speed: ss.Speed}
+			}
+			if slo := ev.SetSLO; slo != nil {
+				rs, err := slo.spec()
+				if err != nil {
+					return runner.Spec{}, fmt.Errorf("extsched: phase %d: %w", i, err)
+				}
+				re.SetSLO = &rs
+			}
+			if cl := ev.SetClassLimits; cl != nil {
+				re.SetClassLimits = &runner.ClassLimits{High: cl.High, Low: cl.Low}
+			}
+			if ad := ev.SetAdmitDeadline; ad != nil {
+				re.SetAdmitDeadline = &runner.AdmitDeadline{High: ad.High, Low: ad.Low}
 			}
 			if cs := ev.EnableController; cs != nil {
 				re.EnableController = &runner.ControllerSpec{
@@ -287,6 +386,20 @@ type TuneResult struct {
 	Converged  bool
 }
 
+// SLOResult reports a latency-SLO-controlled run (Config.SLO, or any
+// scenario with a SetSLO event).
+type SLOResult struct {
+	// Class is the protected class ("high" or "low").
+	Class string
+	// SLOLimit / OtherLimit are the final slot partition; they sum to
+	// the final MPL.
+	SLOLimit, OtherLimit int
+	// Iterations counts completed SLO reactions; LastMeasured is the
+	// last closed window's measured percentile in seconds.
+	Iterations   int
+	LastMeasured float64
+}
+
 // Result is a completed scenario run.
 type Result struct {
 	// Total aggregates the whole measurement window (warmup excluded;
@@ -304,6 +417,8 @@ type Result struct {
 	Snapshots []metrics.Snapshot
 	// Tune is non-nil when the scenario enabled the controller.
 	Tune *TuneResult
+	// SLO is non-nil when the latency-SLO controller ran.
+	SLO *SLOResult
 	// FinalMPL is the MPL when the run ended (mid-phase events or the
 	// controller may have moved it off Config.MPL).
 	FinalMPL int
@@ -377,9 +492,14 @@ func reportFrom(r runner.Report) Report {
 		Deadlocks:   r.Deadlocks,
 		Preemptions: r.Preemptions,
 		Dropped:     r.Dropped,
+		Shed:        r.Shed,
+		ShedHigh:    r.ShedHigh,
+		ShedLow:     r.ShedLow,
 		P50:         r.P50,
 		P95:         r.P95,
 		P99:         r.P99,
+		HighP95:     r.HighP95,
+		LowP95:      r.LowP95,
 	}
 }
 
@@ -445,6 +565,19 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 			FinalMPL:   out.Tune.FinalMPL,
 			Iterations: out.Tune.Iterations,
 			Converged:  out.Tune.Converged,
+		}
+	}
+	if out.SLO != nil {
+		class := "high"
+		if out.SLO.Class == core.ClassLow {
+			class = "low"
+		}
+		res.SLO = &SLOResult{
+			Class:        class,
+			SLOLimit:     out.SLO.SLOLimit,
+			OtherLimit:   out.SLO.OtherLimit,
+			Iterations:   out.SLO.Iterations,
+			LastMeasured: out.SLO.LastMeasured,
 		}
 	}
 	return res, nil

@@ -218,6 +218,16 @@ func TestScenarioValidation(t *testing.T) {
 		{"bad synth", Scenario{Phases: []Phase{{Kind: PhaseTrace, Duration: 1,
 			TraceSynth: &TraceSynth{N: -1}}}}, "invalid synthesis"},
 		{"negative duration", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: -2}}}, "duration"},
+		{"slo needs target", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetSLO: &SLOSpec{}}}}}}, "target"},
+		{"slo bad class", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetSLO: &SLOSpec{Class: "platinum", Target: 1}}}}}}, "class"},
+		{"slo bad percentile", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetSLO: &SLOSpec{Target: 1, Percentile: 100}}}}}}, "percentile"},
+		{"class limit below 1", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetClassLimits: &ClassLimits{High: 1}}}}}}, "class limits"},
+		{"negative deadline", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{SetAdmitDeadline: &AdmitDeadline{Low: -1}}}}}}, "deadline"},
 	}
 	for _, tc := range cases {
 		err := tc.sc.Validate()
@@ -405,6 +415,111 @@ func TestShardedScenarioRerunBitIdentical(t *testing.T) {
 	}
 	if !sawSlow {
 		t.Error("no snapshot observed shard 1 at speed 0.25")
+	}
+}
+
+// TestSLOScenarioRerunBitIdentical is the SLO acceptance test: a
+// scenario that hands the MPL partition to the latency-SLO controller,
+// arms a low-class admission deadline, and drives a transiently
+// overloading burst — run twice on ONE System — produces bit-identical
+// Results, sheds work deterministically, and ends with a partition
+// that respects the invariant (limits sum to the MPL, each >= 1).
+func TestSLOScenarioRerunBitIdentical(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 12, PercentileSamples: 2000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:           "slo-shedding",
+		Warmup:         10,
+		SampleInterval: 10,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseOpen, Lambda: 65, Duration: 60,
+				Events: []Event{{
+					SetSLO:           &SLOSpec{Class: "high", Target: 0.4},
+					SetAdmitDeadline: &AdmitDeadline{Low: 1.5},
+				}}},
+			{Name: "burst", Kind: PhaseBurst, Lambda: 105, BurstFactor: 3, BurstPeriod: 15, Duration: 60},
+			{Name: "recover", Kind: PhaseOpen, Lambda: 55, Duration: 60},
+		},
+	}
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("SLO re-run on one System not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("SLO observer streams differ between re-runs")
+	}
+	if len(obs1.Snapshots) < 10 {
+		t.Errorf("observer received %d snapshots, want >= 10", len(obs1.Snapshots))
+	}
+	// The burst overload must actually shed low-class work, and the
+	// shed counters must be consistent in both the totals and the
+	// snapshot deltas.
+	if r1.Total.Shed == 0 || r1.Total.ShedLow == 0 {
+		t.Errorf("burst shed nothing: %+v", r1.Total)
+	}
+	if r1.Total.Shed != r1.Total.ShedHigh+r1.Total.ShedLow {
+		t.Errorf("shed split %d+%d != total %d", r1.Total.ShedHigh, r1.Total.ShedLow, r1.Total.Shed)
+	}
+	var snapShed uint64
+	for _, s := range obs1.Snapshots {
+		snapShed += s.Shed
+	}
+	if snapShed != r1.Total.Shed {
+		t.Errorf("snapshot shed deltas sum to %d, total %d", snapShed, r1.Total.Shed)
+	}
+	// The SLO controller ran and its final partition covers the MPL.
+	if r1.SLO == nil {
+		t.Fatal("no SLO report")
+	}
+	if r1.SLO.Class != "high" || r1.SLO.Iterations == 0 {
+		t.Errorf("SLO report: %+v", r1.SLO)
+	}
+	if r1.SLO.SLOLimit+r1.SLO.OtherLimit != r1.FinalMPL || r1.SLO.SLOLimit < 1 || r1.SLO.OtherLimit < 1 {
+		t.Errorf("partition %d+%d violates the invariant against MPL %d",
+			r1.SLO.SLOLimit, r1.SLO.OtherLimit, r1.FinalMPL)
+	}
+	// The whole point: the protected class's tail stays far below the
+	// unprotected one's under overload.
+	if !(r1.Total.HighP95 > 0 && r1.Total.HighP95 < r1.Total.LowP95) {
+		t.Errorf("class p95s high %v vs low %v — SLO class not protected", r1.Total.HighP95, r1.Total.LowP95)
+	}
+}
+
+// TestSLOEventsRequireUnsharded: the SLO partition lives on the lone
+// frontend; pointing it at a sharded system fails loudly.
+func TestSLOEventsRequireUnsharded(t *testing.T) {
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 8, Seed: 1, Shards: ShardSpec{Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ev := range map[string]Event{
+		"set_slo":          {SetSLO: &SLOSpec{Target: 0.5}},
+		"set_class_limits": {SetClassLimits: &ClassLimits{High: 2, Low: 6}},
+	} {
+		_, err := sys.Run(context.Background(), Scenario{Phases: []Phase{{
+			Kind: PhaseClosed, Clients: 5, Duration: 1, Events: []Event{ev},
+		}}})
+		if err == nil || !strings.Contains(err.Error(), "sharded") {
+			t.Errorf("%s on sharded system: err = %v, want sharded error", name, err)
+		}
+	}
+	// Admission deadlines DO work sharded (each shard sheds its own
+	// queue).
+	if _, err := sys.Run(context.Background(), Scenario{Phases: []Phase{{
+		Kind: PhaseClosed, Clients: 5, Duration: 1,
+		Events: []Event{{SetAdmitDeadline: &AdmitDeadline{Low: 0.5}}},
+	}}}); err != nil {
+		t.Errorf("set_admit_deadline on sharded system: %v", err)
 	}
 }
 
