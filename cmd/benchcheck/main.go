@@ -1,7 +1,7 @@
 // Command benchcheck is the bench-regression gate: it re-measures the
 // repository's tracked performance metrics — kernel microbenchmarks
 // (ns/op and allocs/op), live-gate overhead, and the deterministic
-// summary numbers of the fig7, dispatch and slo figures — and compares
+// summary numbers of the fig7, dispatch, slo and churn figures — and compares
 // them against the committed BENCH_baseline.json with per-metric
 // tolerances. Any regression exits nonzero, which is what lets CI
 // refuse a PR that slows a hot path or silently changes a figure.
@@ -264,6 +264,11 @@ func measure() ([]Metric, error) {
 		return nil, err
 	}
 	addFigure(&out, slo)
+	churn, err := experiments.ChurnFigure(3, opts)
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, churn)
 	return out, nil
 }
 

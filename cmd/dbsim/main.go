@@ -13,16 +13,21 @@
 //	      -dispatch jsq -lambda 250             # sharded dispatch
 //	dbsim -setup 1 -mpl 16 -lambda 100 \
 //	      -slo 0.5 -deadline-low 2              # SLO partition + shedding
+//	dbsim -setup 1 -mpl 40 -shards 4 -dispatch jsq -lambda 250 \
+//	      -recovery resubmit -retry-budget 3 \
+//	      -fail-shard 100:3 -recover-shard 200:3  # crash + recover
 //
 // A scenario file is the JSON encoding of extsched.Scenario: a warmup,
 // a sample interval, and an ordered list of phases (closed, open,
 // ramp, burst, trace) with optional mid-phase events (set_mpl,
 // set_wfq_high_weight, set_shard_speed, set_dispatch,
 // enable_controller, disable_controller, set_slo, disable_slo,
-// set_class_limits, set_admit_deadline). With -scenario, dbsim prints
-// a per-phase report table and, when the scenario sets
-// sample_interval, the interval time series; sharded systems (-shards)
-// append a per-shard table.
+// set_class_limits, set_admit_deadline, shard_fail, shard_recover,
+// shard_add, shard_remove) and an optional per-phase churn generator
+// (mtbf/mttr). With -scenario, dbsim prints a per-phase report table
+// and, when the scenario sets sample_interval, the interval time
+// series; sharded systems (-shards) append a per-shard table with
+// lifecycle state and availability.
 package main
 
 import (
@@ -69,6 +74,8 @@ func run(args []string, out io.Writer) error {
 		shards   = fs.Int("shards", 0, "shard the system across this many backends (0 = unsharded)")
 		speeds   = fs.String("shard-speeds", "", "comma-separated per-shard speed multipliers (with -shards)")
 		dispatch = fs.String("dispatch", "", "dispatch policy with -shards: rr, jsq, lwl, affinity")
+		recovery = fs.String("recovery", "", "shard-failure recovery with -shards: resubmit or shed")
+		budget   = fs.Int("retry-budget", 0, "resubmission attempts per txn with -recovery=resubmit (0 = default 3)")
 		sloT     = fs.Float64("slo", 0, "run under the latency-SLO controller: hold this p95 target in seconds for -slo-class (needs -mpl >= 2)")
 		sloClass = fs.String("slo-class", "high", "protected class for -slo: high or low")
 		sloPct   = fs.Float64("slo-percentile", 0, "controlled percentile for -slo (0 = 95)")
@@ -76,6 +83,9 @@ func run(args []string, out io.Writer) error {
 		deadL    = fs.Float64("deadline-low", 0, "low-class admission deadline in seconds (0 = none)")
 		limits   = fs.String("class-limits", "", "static MPL partition as high,low (e.g. 4,12)")
 	)
+	var fails, recovers shardTimes
+	fs.Var(&fails, "fail-shard", "crash a shard at t:idx sim-seconds into the run (repeatable, e.g. -fail-shard 100:3)")
+	fs.Var(&recovers, "recover-shard", "recover a shard at t:idx (repeatable, pairs with -fail-shard)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil // usage already printed; -h is not a failure
@@ -104,6 +114,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var rec *extsched.RecoverySpec
+	if *recovery != "" {
+		rec = &extsched.RecoverySpec{Mode: *recovery, RetryBudget: *budget}
+		if rec.Mode == extsched.RecoveryResubmit && rec.RetryBudget == 0 {
+			rec.RetryBudget = 3
+		}
+	} else if *budget != 0 {
+		return fmt.Errorf("-retry-budget needs -recovery=resubmit")
+	}
 	sys, err := extsched.NewSystem(extsched.Config{
 		SetupID:              *setupID,
 		Workload:             *wl,
@@ -122,7 +141,8 @@ func run(args []string, out io.Writer) error {
 			Speeds:   speedList,
 			Dispatch: *dispatch,
 		},
-		Seed: *seed,
+		Recovery: rec,
+		Seed:     *seed,
 	})
 	if err != nil {
 		return err
@@ -132,6 +152,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "shards:           %d (dispatch %s)\n", *shards, dispatchName(*dispatch))
 	}
 	if *scenario != "" {
+		if len(fails) > 0 || len(recovers) > 0 {
+			return fmt.Errorf("-fail-shard/-recover-shard apply to single runs; put shard_fail/shard_recover events in the scenario file instead")
+		}
 		return runScenarioFile(sys, *scenario, out)
 	}
 	// A single closed/open run is a one-phase scenario; running it
@@ -140,6 +163,14 @@ func run(args []string, out io.Writer) error {
 	ph := extsched.Phase{Kind: extsched.PhaseClosed, Clients: *clients, Duration: *measure}
 	if *lambda > 0 {
 		ph = extsched.Phase{Kind: extsched.PhaseOpen, Lambda: *lambda, Duration: *measure}
+	}
+	for _, st := range fails {
+		idx := st.shard
+		ph.Events = append(ph.Events, extsched.Event{At: st.at, ShardFail: &idx})
+	}
+	for _, st := range recovers {
+		idx := st.shard
+		ph.Events = append(ph.Events, extsched.Event{At: st.at, ShardRecover: &idx})
 	}
 	sc.Phases = []extsched.Phase{ph}
 	res, err := sys.Run(context.Background(), sc)
@@ -190,6 +221,41 @@ func parseClassLimits(s string) (*extsched.ClassLimits, error) {
 	return &extsched.ClassLimits{High: h, Low: l}, nil
 }
 
+// shardTime is one -fail-shard/-recover-shard occurrence: a sim-time
+// offset into the measured run and a shard index.
+type shardTime struct {
+	at    float64
+	shard int
+}
+
+// shardTimes collects repeated t:idx flag values.
+type shardTimes []shardTime
+
+func (s *shardTimes) String() string {
+	var parts []string
+	for _, st := range *s {
+		parts = append(parts, fmt.Sprintf("%g:%d", st.at, st.shard))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *shardTimes) Set(v string) error {
+	at, idxStr, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("bad value %q: want t:idx (e.g. 100:3)", v)
+	}
+	t, err := strconv.ParseFloat(strings.TrimSpace(at), 64)
+	if err != nil || t < 0 {
+		return fmt.Errorf("bad time in %q: want seconds >= 0", v)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+	if err != nil || idx < 0 {
+		return fmt.Errorf("bad shard index in %q", v)
+	}
+	*s = append(*s, shardTime{at: t, shard: idx})
+	return nil
+}
+
 // parseSpeeds decodes the -shard-speeds CSV.
 func parseSpeeds(s string) ([]float64, error) {
 	if s == "" {
@@ -211,11 +277,16 @@ func printShards(out io.Writer, shards []extsched.ShardResult) {
 	if len(shards) == 0 {
 		return
 	}
-	fmt.Fprintf(out, "\n%6s %6s %10s %10s %12s %12s %8s\n",
-		"shard", "speed", "routed", "txns", "tput (tx/s)", "meanRT (s)", "cpu")
+	fmt.Fprintf(out, "\n%6s %6s %8s %6s %10s %10s %12s %12s %8s\n",
+		"shard", "speed", "state", "avail", "routed", "txns", "tput (tx/s)", "meanRT (s)", "cpu")
 	for _, sr := range shards {
-		fmt.Fprintf(out, "%6d %6.2f %10d %10d %12.2f %12.4f %8.3f\n",
-			sr.Shard, sr.Speed, sr.Dispatched, sr.Completed, sr.Throughput, sr.MeanRT, sr.CPUUtil)
+		state := sr.State
+		if state == "" {
+			state = "up"
+		}
+		fmt.Fprintf(out, "%6d %6.2f %8s %6.3f %10d %10d %12.2f %12.4f %8.3f\n",
+			sr.Shard, sr.Speed, state, sr.Availability, sr.Dispatched, sr.Completed,
+			sr.Throughput, sr.MeanRT, sr.CPUUtil)
 	}
 }
 
@@ -236,6 +307,10 @@ func printReport(out io.Writer, rep extsched.Report) {
 	}
 	if rep.HighP95 > 0 || rep.LowP95 > 0 {
 		fmt.Fprintf(out, "p95 by class:     high %.4f s, low %.4f s\n", rep.HighP95, rep.LowP95)
+	}
+	if rep.Failed > 0 || rep.Resubmitted > 0 || rep.Retries > 0 {
+		fmt.Fprintf(out, "shard faults:     %d txns lost, %d resubmitted (%d retries)\n",
+			rep.Failed, rep.Resubmitted, rep.Retries)
 	}
 }
 

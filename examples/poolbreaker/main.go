@@ -1,0 +1,132 @@
+// Pool breaker demo: a self-healing live gate pool surviving the death
+// of one of its members.
+//
+// Three replica backends sit behind a gate.Pool with a fleet-wide MPL
+// of 12 and the circuit breaker armed. Mid-run, replica 2 is killed:
+// every request it serves starts failing. After a handful of
+// consecutive failures its breaker trips — routing skips it, and the
+// two survivors absorb its share of the fleet limit, so admitted
+// concurrency against the healthy backends is unchanged. Once the
+// replica is revived, the next half-open probe succeeds, the breaker
+// closes, and the even limit split returns — all without the clients
+// doing anything but retrying errors.
+//
+//	go run ./examples/poolbreaker
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+import (
+	"extsched/gate"
+)
+
+const (
+	members  = 3
+	clients  = 24
+	holdTime = 2 * time.Millisecond
+)
+
+// replica is one fake backend; dead replicas fail every query.
+type replica struct {
+	dead atomic.Bool
+}
+
+func (r *replica) query() error {
+	time.Sleep(holdTime)
+	if r.dead.Load() {
+		return errors.New("replica down")
+	}
+	return nil
+}
+
+func main() {
+	p, err := gate.NewPool(gate.PoolConfig{
+		Members:  members,
+		Dispatch: "jsq",
+		Breaker:  &gate.BreakerConfig{Threshold: 5, ProbeInterval: 0.5},
+		Member:   gate.Config{Limit: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	backends := make([]*replica, members)
+	for i := range backends {
+		backends[i] = &replica{}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tk, err := p.Acquire(context.Background())
+				if errors.Is(err, gate.ErrMemberDown) {
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				if err != nil {
+					return
+				}
+				qerr := backends[tk.Member()].query()
+				tk.Release(gate.Result{Err: qerr})
+			}
+		}()
+	}
+
+	show := func(tag string) {
+		st := p.Stats()
+		fmt.Printf("%-22s", tag)
+		for _, s := range st.Shards {
+			fmt.Printf("  member %d: %-4s limit %2d avail %4.0f%%",
+				s.Shard, s.State, s.Limit, 100*s.Availability)
+		}
+		fmt.Printf("  errors %d\n", st.Errors)
+	}
+
+	fmt.Printf("%d replicas behind one pool, fleet limit %d, breaker threshold 5, probe every 0.5s\n\n",
+		members, p.Limit())
+	time.Sleep(300 * time.Millisecond)
+	show("steady state")
+
+	fmt.Println("\nkilling replica 2 ...")
+	backends[2].dead.Store(true)
+	// Wait for the breaker to trip: five consecutive failures at a few
+	// milliseconds per query arrive almost immediately.
+	deadline := time.Now().Add(3 * time.Second)
+	for p.MemberState(2) != "down" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	show("after the trip")
+	fmt.Println("  -> routing skips member 2; survivors hold the whole fleet limit")
+
+	// Failed probes keep it down while the replica stays dead.
+	time.Sleep(1200 * time.Millisecond)
+	show("while down (probing)")
+
+	fmt.Println("\nreviving replica 2 ...")
+	backends[2].dead.Store(false)
+	deadline = time.Now().Add(3 * time.Second)
+	for p.MemberState(2) != "up" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	show("after recovery")
+	fmt.Println("  -> one successful half-open probe closed the breaker and the even split returned")
+
+	close(stop)
+	wg.Wait()
+}

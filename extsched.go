@@ -112,6 +112,11 @@ type Config struct {
 	// transactions that cannot start in time are shed (counted in
 	// Report.Shed) instead of queueing unboundedly.
 	AdmitDeadline *AdmitDeadline
+	// Recovery configures what happens to the work a failed shard held
+	// when a scenario injects faults (shard_fail events or a churn
+	// phase). Nil sheds: the work is lost and counted in Report.Failed.
+	// Sharded systems only.
+	Recovery *RecoverySpec
 	// Shards, when Count > 0, fronts a fleet of identical backends
 	// instead of one: every run builds Count DBMS+frontend pairs and a
 	// dispatch layer that routes each arriving transaction to one of
@@ -120,6 +125,31 @@ type Config struct {
 	Shards ShardSpec
 	// Seed fixes all randomness (default 1).
 	Seed uint64
+}
+
+// Recovery modes accepted by RecoverySpec.Mode.
+const (
+	// RecoveryShed loses a dead shard's work: each txn's callback fires
+	// with failure marked, and the loss is counted in Report.Failed.
+	RecoveryShed = "shed"
+	// RecoveryResubmit re-routes a dead shard's work to surviving
+	// shards after a deterministic capped exponential backoff, up to
+	// RetryBudget attempts per transaction.
+	RecoveryResubmit = "resubmit"
+)
+
+// RecoverySpec configures the sharded fault model's recovery policy.
+type RecoverySpec struct {
+	// Mode is RecoveryShed (default) or RecoveryResubmit.
+	Mode string `json:"mode,omitempty"`
+	// RetryBudget is the maximum recovery attempts per logical
+	// transaction; required >= 1 for resubmit mode.
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// BackoffBase and BackoffCap bound the backoff schedule in seconds:
+	// attempt k waits min(cap, base·2^(k−1)) scaled by deterministic
+	// jitter in [0.5, 1). Zero values default to 0.05 s / 2 s.
+	BackoffBase float64 `json:"backoff_base,omitempty"`
+	BackoffCap  float64 `json:"backoff_cap,omitempty"`
 }
 
 // ShardSpec configures multi-backend sharded dispatch.
@@ -212,6 +242,30 @@ func (c Config) Validate() error {
 	}
 	if c.Shards.Count == 0 && (len(c.Shards.Speeds) > 0 || c.Shards.Dispatch != "") {
 		return fmt.Errorf("extsched: Shards.Speeds/Dispatch set without Shards.Count")
+	}
+	if r := c.Recovery; r != nil {
+		if c.Shards.Count == 0 {
+			return fmt.Errorf("extsched: Recovery set without Shards.Count")
+		}
+		switch r.Mode {
+		case "", RecoveryShed:
+			// The budget and backoff are resubmit-mode knobs.
+		case RecoveryResubmit:
+			if r.RetryBudget < 1 {
+				return fmt.Errorf("extsched: resubmit recovery needs RetryBudget >= 1, have %d", r.RetryBudget)
+			}
+		default:
+			return fmt.Errorf("extsched: unknown recovery mode %q (want %s or %s)", r.Mode, RecoveryShed, RecoveryResubmit)
+		}
+		if r.RetryBudget < 0 {
+			return fmt.Errorf("extsched: RetryBudget %d must be >= 0", r.RetryBudget)
+		}
+		if r.BackoffBase < 0 || r.BackoffCap < 0 {
+			return fmt.Errorf("extsched: backoff base %v and cap %v must be >= 0", r.BackoffBase, r.BackoffCap)
+		}
+		if r.BackoffBase > 0 && r.BackoffCap > 0 && r.BackoffBase > r.BackoffCap {
+			return fmt.Errorf("extsched: backoff base %v exceeds cap %v", r.BackoffBase, r.BackoffCap)
+		}
 	}
 	if _, err := cluster.NewPolicy(c.Shards.Dispatch); err != nil {
 		return err
@@ -353,22 +407,19 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 	if n := cfg.Shards.Count; n > 0 {
 		// Sharded: n identical DBMS+frontend pairs (per-shard queue
 		// policy instances — they are stateful) behind one dispatcher.
-		shards := make([]cluster.Shard, n)
-		for i := range shards {
-			speed := 1.0
-			if len(cfg.Shards.Speeds) > 0 {
-				speed = cfg.Shards.Speeds[i]
-			}
+		// makeShard also serves scenario shard_add events, which grow
+		// the fleet mid-run with index-seeded nominal-speed members.
+		makeShard := func(i int, speed float64) (cluster.Shard, error) {
 			sdbo := dbo
 			sdbo.CPUSpeed = speed
 			sdbo.Seed = cluster.ShardSeed(cfg.Seed, i)
 			db, err := dbms.New(eng, s.setup.BuildConfig(sdbo))
 			if err != nil {
-				return runner.Stack{}, err
+				return cluster.Shard{}, err
 			}
 			policy, err := core.NewPolicy(cfg.Policy, wfqWeights)
 			if err != nil {
-				return runner.Stack{}, err
+				return cluster.Shard{}, err
 			}
 			fe := dbfe.New(eng, db, 0, policy)
 			if cfg.QueueLimit > 0 {
@@ -379,7 +430,19 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 				fe.SetAdmitDeadline(core.ClassLow, ad.Low)
 			}
 			workload.Prewarm(db, s.setup.Workload, sdbo.Seed)
-			shards[i] = cluster.Shard{FE: fe, DB: db, Speed: speed}
+			return cluster.Shard{FE: fe, DB: db, Speed: speed}, nil
+		}
+		shards := make([]cluster.Shard, n)
+		for i := range shards {
+			speed := 1.0
+			if len(cfg.Shards.Speeds) > 0 {
+				speed = cfg.Shards.Speeds[i]
+			}
+			sh, err := makeShard(i, speed)
+			if err != nil {
+				return runner.Stack{}, err
+			}
+			shards[i] = sh
 		}
 		dp, err := cluster.NewPolicy(cfg.Shards.Dispatch)
 		if err != nil {
@@ -391,6 +454,15 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 		}
 		disp.SetMPL(mpl)
 		st.Cluster = disp
+		st.NewShard = func(i int) (cluster.Shard, error) { return makeShard(i, 1) }
+		rp := cluster.RecoveryPolicy{Seed: cfg.Seed}
+		if r := cfg.Recovery; r != nil {
+			rp.Resubmit = r.Mode == RecoveryResubmit
+			rp.RetryBudget = r.RetryBudget
+			rp.BackoffBase = r.BackoffBase
+			rp.BackoffCap = r.BackoffCap
+		}
+		st.Recovery = &rp
 		return st, nil
 	}
 	db, err := dbms.New(eng, s.setup.BuildConfig(dbo))
@@ -443,6 +515,9 @@ type Report struct {
 	Shed          uint64  // deadline-missed rejections (AdmitDeadline mode)
 	ShedHigh      uint64  // high-class share of Shed
 	ShedLow       uint64  // low-class share of Shed
+	Failed        uint64  // txns terminally lost to shard failures
+	Resubmitted   uint64  // logical txns re-routed to a survivor at least once
+	Retries       uint64  // resubmission events (one txn can retry several times)
 	P50, P95, P99 float64 // response-time percentiles (PercentileSamples mode)
 	HighP95       float64 // high-class p95 (PercentileSamples mode) — the SLO signal
 	LowP95        float64 // low-class p95 (PercentileSamples mode)

@@ -43,6 +43,17 @@ func FuzzParseScenario(f *testing.F) {
 		"events":[{"at":0,"set_slo":{"target":-1}}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"open","duration":5,"lambda":10,
 		"events":[{"at":0,"set_class_limits":{"high":1,"low":0}}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":20,"lambda":100,
+		"events":[{"at":2,"shard_fail":3},
+		          {"at":5,"shard_add":true},
+		          {"at":8,"shard_recover":3},
+		          {"at":12,"shard_remove":4}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":30,"lambda":50,
+		"churn":{"mtbf":10,"mttr":2,"seed":7}}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":30,"lambda":50,
+		"churn":{"mtbf":10,"mttr":-2}}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"closed","duration":5,"clients":2,
+		"events":[{"at":1,"shard_fail":-1}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"closed","duration":-1}]}`))
 	f.Add([]byte(`{"phases":[]}`))
 	f.Add([]byte(`not json`))

@@ -2,12 +2,57 @@ package gate
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"extsched/internal/cluster"
 	"extsched/internal/core"
+	"extsched/internal/sim"
 	"extsched/metrics"
+)
+
+// ErrMemberDown is returned by a Pool Acquire when the circuit breaker
+// has tripped every member: there is no healthy backend to route to
+// and no probe due yet.
+var ErrMemberDown = errors.New("gate: all pool members down")
+
+// BreakerConfig arms per-member health tracking on a Pool: a
+// consecutive-failure circuit breaker with half-open probing. A member
+// whose released work fails (Result.Err != nil) Threshold times in a
+// row trips open — routing skips it and the surviving members absorb
+// its share of the fleet limit. After ProbeInterval seconds, exactly
+// one request is let through as a probe (half-open): if it succeeds
+// the breaker closes and the member takes its capacity back; if it
+// fails the member stays down for another interval.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips a member
+	// (0 = 5).
+	Threshold int
+	// ProbeInterval is how long a tripped member stays unrouted before
+	// a probe is allowed, in seconds (0 = 1).
+	ProbeInterval float64
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.Threshold <= 0 {
+		b.Threshold = 5
+	}
+	if b.ProbeInterval <= 0 {
+		b.ProbeInterval = 1
+	}
+	return b
+}
+
+// memberHealth is one member's breaker state.
+type memberHealth uint8
+
+const (
+	memberUp memberHealth = iota
+	// memberOpen is a tripped breaker: no traffic until a probe is due.
+	memberOpen
+	// memberProbing has one half-open probe request in flight.
+	memberProbing
 )
 
 // PoolConfig assembles a Pool: a fleet of member gates behind one
@@ -24,6 +69,11 @@ type PoolConfig struct {
 	// Members. Update mid-run with SetMemberSpeed when a member
 	// degrades.
 	Speeds []float64
+	// Breaker, when non-nil, arms the per-member circuit breaker: a
+	// member that keeps failing is tripped out of the dispatch set, its
+	// limit share moves to the survivors, and half-open probes bring it
+	// back when it recovers.
+	Breaker *BreakerConfig
 	// Member configures each member gate. Limit is PER MEMBER; so is
 	// QueueLimit. Percentile sampling seeds are decorrelated per member
 	// automatically.
@@ -38,15 +88,32 @@ type PoolConfig struct {
 // concurrent use.
 type Pool struct {
 	members []*Gate
+	clock   sim.Clock
 
 	// mu serializes routing decisions and the outstanding-work
 	// accounting behind them, so concurrent Acquires see consistent
-	// loads and stateful policies (round-robin) stay correct.
+	// loads and stateful policies (round-robin) stay correct. The
+	// breaker state lives under the same lock: health transitions are
+	// routing decisions.
 	mu     sync.Mutex
 	policy cluster.Policy
 	work   []float64
 	speeds []float64
 	routed []uint64
+	// idx maps filtered (healthy-only) policy picks back to member
+	// indices when the breaker is armed.
+	idx []int
+
+	// breaker is nil when health tracking is disabled. fleetLimit is
+	// the requested fleet-wide limit the breaker re-splits across
+	// healthy members on every trip and recovery (0 = unlimited).
+	breaker     *BreakerConfig
+	fleetLimit  int
+	health      []memberHealth
+	consecFails []int
+	downSince   []float64 // trip instant (clock seconds), per member
+	downAccum   []float64 // accumulated down seconds through last recovery
+	epoch       float64   // clock instant the pool was built
 }
 
 // NewPool builds a pool of cfg.Members identical gates.
@@ -61,11 +128,29 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gate: %w", err)
 	}
+	clock := cfg.Member.clock
+	if clock == nil {
+		clock = sim.NewWallClock()
+	}
 	p := &Pool{
 		policy: policy,
+		clock:  clock,
 		work:   make([]float64, cfg.Members),
 		speeds: make([]float64, cfg.Members),
 		routed: make([]uint64, cfg.Members),
+		idx:    make([]int, 0, cfg.Members),
+	}
+	if cfg.Breaker != nil {
+		b := cfg.Breaker.withDefaults()
+		p.breaker = &b
+		p.health = make([]memberHealth, cfg.Members)
+		p.consecFails = make([]int, cfg.Members)
+		p.downSince = make([]float64, cfg.Members)
+		p.downAccum = make([]float64, cfg.Members)
+		p.epoch = clock.Now()
+		if cfg.Member.Limit > 0 {
+			p.fleetLimit = cfg.Member.Limit * cfg.Members
+		}
 	}
 	for i := 0; i < cfg.Members; i++ {
 		p.speeds[i] = 1
@@ -128,25 +213,49 @@ func (p *Pool) SetMemberSpeed(i int, speed float64) error {
 	return nil
 }
 
-// route picks a member for req and charges its work accounting.
-func (p *Pool) route(req Request) int {
+// route picks a member for req and charges its work accounting. With
+// the breaker armed it reports whether the pick is a half-open probe;
+// ErrMemberDown when every member is tripped and no probe is due.
+func (p *Pool) route(req Request) (member int, probe bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	loads := make([]cluster.Load, len(p.members))
+	if p.breaker != nil {
+		// A due probe takes the request: half-open means exactly one
+		// real request tests the tripped member.
+		now := p.clock.Now()
+		for i, h := range p.health {
+			if h == memberOpen && now-p.downSince[i] >= p.breaker.ProbeInterval {
+				p.health[i] = memberProbing
+				p.work[i] += req.SizeHint
+				p.routed[i]++
+				return i, true, nil
+			}
+		}
+	}
+	loads := make([]cluster.Load, 0, len(p.members))
+	idx := p.idx[:0]
 	for i, g := range p.members {
-		loads[i] = cluster.Load{
+		if p.breaker != nil && p.health[i] != memberUp {
+			continue
+		}
+		loads = append(loads, cluster.Load{
 			Backlog: g.Queued() + g.Inflight(),
 			Work:    p.work[i],
 			Speed:   p.speeds[i],
-		}
+		})
+		idx = append(idx, i)
 	}
-	i := p.policy.Pick(loads, core.Class(req.Class), req.SizeHint)
-	if i < 0 || i >= len(p.members) {
-		panic(fmt.Sprintf("gate: dispatch policy %s picked member %d of %d", p.policy.Name(), i, len(p.members)))
+	if len(loads) == 0 {
+		return 0, false, ErrMemberDown
 	}
+	j := p.policy.Pick(loads, core.Class(req.Class), req.SizeHint)
+	if j < 0 || j >= len(idx) {
+		panic(fmt.Sprintf("gate: dispatch policy %s picked member %d of %d", p.policy.Name(), j, len(idx)))
+	}
+	i := idx[j]
 	p.work[i] += req.SizeHint
 	p.routed[i]++
-	return i
+	return i, false, nil
 }
 
 // unroute refunds a routing charge (the member rejected or the caller
@@ -185,13 +294,25 @@ func (p *Pool) Acquire(ctx context.Context) (*PoolTicket, error) {
 // one replica). ErrQueueFull surfaces from the chosen member in
 // admission-control mode.
 func (p *Pool) AcquireRequest(ctx context.Context, req Request) (*PoolTicket, error) {
-	i := p.route(req)
+	i, probe, err := p.route(req)
+	if err != nil {
+		return nil, err
+	}
 	tk, err := p.members[i].AcquireRequest(ctx, req)
 	if err != nil {
 		p.unroute(i, req.SizeHint)
+		if probe {
+			// The probe never reached the backend — re-open the breaker
+			// and let the next interval try again.
+			p.mu.Lock()
+			if p.health[i] == memberProbing {
+				p.reopenLocked(i)
+			}
+			p.mu.Unlock()
+		}
 		return nil, err
 	}
-	return &PoolTicket{t: tk, p: p, member: i, size: req.SizeHint}, nil
+	return &PoolTicket{t: tk, p: p, member: i, size: req.SizeHint, probe: probe}, nil
 }
 
 // PoolTicket is one admitted unit of work plus the routing it arrived
@@ -201,6 +322,7 @@ type PoolTicket struct {
 	p      *Pool
 	member int
 	size   float64
+	probe  bool
 	once   sync.Once
 }
 
@@ -208,12 +330,125 @@ type PoolTicket struct {
 func (t *PoolTicket) Member() int { return t.member }
 
 // Release frees the slot on the admitting member and settles the
-// pool's work accounting.
+// pool's work accounting. With the breaker armed, res.Err feeds the
+// member's health: consecutive failures trip it, a successful probe
+// closes it again.
 func (t *PoolTicket) Release(res Result) {
 	t.once.Do(func() {
 		t.p.finish(t.member, t.size)
 		t.t.Release(res)
+		t.p.recordResult(t.member, t.probe, res.Err != nil)
 	})
+}
+
+// recordResult applies one released request's outcome to member i's
+// breaker state.
+func (p *Pool) recordResult(i int, probe, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.breaker == nil {
+		return
+	}
+	if failed {
+		p.consecFails[i]++
+		switch p.health[i] {
+		case memberProbing:
+			// Failed probe: stay open for another interval.
+			p.reopenLocked(i)
+		case memberUp:
+			if p.consecFails[i] >= p.breaker.Threshold {
+				p.health[i] = memberOpen
+				p.downSince[i] = p.clock.Now()
+				p.resplitLocked()
+			}
+		}
+		return
+	}
+	p.consecFails[i] = 0
+	if p.health[i] == memberProbing {
+		// Successful probe: close the breaker and take capacity back.
+		p.downAccum[i] += p.clock.Now() - p.downSince[i]
+		p.health[i] = memberUp
+		p.resplitLocked()
+	}
+}
+
+// reopenLocked re-trips member i after a failed probe, banking the
+// down time so far so availability accounting stays continuous across
+// the downSince reset. Callers hold p.mu.
+func (p *Pool) reopenLocked(i int) {
+	now := p.clock.Now()
+	p.downAccum[i] += now - p.downSince[i]
+	p.health[i] = memberOpen
+	p.downSince[i] = now
+}
+
+// resplitLocked redistributes the fleet limit across the currently
+// healthy members: a tripped member keeps a single slot (enough to
+// admit the half-open probe) while the survivors absorb the rest, and
+// the split reverts when it recovers. Callers hold p.mu. A fleetLimit
+// of 0 means unlimited members; nothing to move.
+func (p *Pool) resplitLocked() {
+	if p.fleetLimit == 0 {
+		return
+	}
+	healthy := 0
+	for _, h := range p.health {
+		if h == memberUp {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		// Leave the last split in place: a fleet with no healthy
+		// members routes nothing anyway, and probes must still be
+		// admitted when they come due.
+		return
+	}
+	shares := cluster.SplitMPL(p.fleetLimit, healthy)
+	j := 0
+	for i, h := range p.health {
+		if h == memberUp {
+			p.members[i].SetLimit(shares[j])
+			j++
+		} else {
+			p.members[i].SetLimit(1)
+		}
+	}
+}
+
+// availabilityLocked is the fraction of the pool's lifetime member i
+// spent closed (routable). Callers hold p.mu and the breaker is armed.
+func (p *Pool) availabilityLocked(i int, now float64) float64 {
+	elapsed := now - p.epoch
+	if elapsed <= 0 {
+		return 1
+	}
+	down := p.downAccum[i]
+	if p.health[i] != memberUp {
+		down += now - p.downSince[i]
+	}
+	if down < 0 {
+		down = 0
+	}
+	if down > elapsed {
+		down = elapsed
+	}
+	return (elapsed - down) / elapsed
+}
+
+// MemberState reports member i's breaker state: "up" when routable,
+// "down" when tripped (including while a half-open probe is in
+// flight). Without a breaker every member is always "up".
+func (p *Pool) MemberState(i int) string {
+	if i < 0 || i >= len(p.members) {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.breaker == nil || p.health[i] == memberUp {
+		return "up"
+	}
+	return "down"
 }
 
 // Routed returns the cumulative requests routed to each member
@@ -246,6 +481,21 @@ func (p *Pool) Stats() Stats {
 	routed := p.Routed()
 	p.mu.Lock()
 	speeds := append([]float64(nil), p.speeds...)
+	var states []string
+	var avail []float64
+	if p.breaker != nil {
+		now := p.clock.Now()
+		states = make([]string, len(p.members))
+		avail = make([]float64, len(p.members))
+		for i, h := range p.health {
+			if h == memberUp {
+				states[i] = "up"
+			} else {
+				states[i] = "down"
+			}
+			avail[i] = p.availabilityLocked(i, now)
+		}
+	}
 	p.mu.Unlock()
 	var out Stats
 	unlimited := false
@@ -272,15 +522,21 @@ func (p *Pool) Stats() Stats {
 		wResp += c * m.MeanResponse
 		wWait += c * m.MeanWait
 		wInside += c * m.MeanInside
-		out.Shards = append(out.Shards, metrics.ShardStat{
-			Shard:      i,
-			Speed:      speeds[i],
-			Limit:      m.Limit,
-			Inflight:   m.Inflight,
-			Queued:     m.Queued,
-			Dispatched: routed[i],
-			Completed:  m.Completed,
-		})
+		ss := metrics.ShardStat{
+			Shard:        i,
+			Speed:        speeds[i],
+			Limit:        m.Limit,
+			Inflight:     m.Inflight,
+			Queued:       m.Queued,
+			Dispatched:   routed[i],
+			Completed:    m.Completed,
+			Availability: 1,
+		}
+		if states != nil {
+			ss.State = states[i]
+			ss.Availability = avail[i]
+		}
+		out.Shards = append(out.Shards, ss)
 	}
 	if unlimited {
 		out.Limit = 0
@@ -310,10 +566,25 @@ func (p *Pool) Limit() int {
 
 // SetLimit distributes a fleet-wide limit across the members (an even
 // share each, remainder to the lowest indices, at least 1 per member
-// when n > 0; 0 = all unlimited — see cluster.SplitMPL).
+// when n > 0; 0 = all unlimited — see cluster.SplitMPL). With the
+// breaker armed the split covers only the healthy members, and the
+// pool remembers n so capacity keeps following trips and recoveries.
 func (p *Pool) SetLimit(n int) {
 	if n < 0 {
 		n = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.breaker != nil {
+		p.fleetLimit = n
+		if n == 0 {
+			for _, g := range p.members {
+				g.SetLimit(0)
+			}
+			return
+		}
+		p.resplitLocked()
+		return
 	}
 	for i, m := range cluster.SplitMPL(n, len(p.members)) {
 		p.members[i].SetLimit(m)

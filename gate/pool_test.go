@@ -319,3 +319,205 @@ func TestPoolCancellationRefunds(t *testing.T) {
 		t.Errorf("post-drain LWL routed to %d, want 0 (all charges refunded)", tk.Member())
 	}
 }
+
+// TestPoolBreakerTripsAndReclaims walks the full breaker lifecycle on
+// a deterministic clock: consecutive failures trip one member, the
+// survivor absorbs its share of the fleet limit, a half-open probe
+// after the interval closes the breaker, and the split reverts.
+func TestPoolBreakerTripsAndReclaims(t *testing.T) {
+	ck := &captureClock{}
+	p, err := NewPool(PoolConfig{
+		Members:  2,
+		Breaker:  &BreakerConfig{Threshold: 3, ProbeInterval: 10},
+		Member:   Config{Limit: 4, clock: ck},
+		Dispatch: "rr",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Fail every request member 1 serves; member 0 keeps succeeding, so
+	// only member 1's consecutive-failure count grows.
+	fails := 0
+	for fails < 3 {
+		tk, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Member() == 1 {
+			tk.Release(Result{Err: errors.New("backend down")})
+			fails++
+		} else {
+			tk.Release(Result{})
+		}
+	}
+	if got := p.MemberState(1); got != "down" {
+		t.Fatalf("member 1 state = %q after %d consecutive failures, want down", got, fails)
+	}
+	if got := p.MemberState(0); got != "up" {
+		t.Fatalf("member 0 state = %q, want up", got)
+	}
+	// Capacity reclaimed: the survivor holds the whole fleet limit, the
+	// tripped member keeps one probe slot.
+	if got := p.Member(0).Limit(); got != 8 {
+		t.Errorf("survivor limit = %d, want 8 (full fleet limit)", got)
+	}
+	if got := p.Member(1).Limit(); got != 1 {
+		t.Errorf("tripped member limit = %d, want 1 (probe slot)", got)
+	}
+	// All traffic avoids the tripped member until a probe is due.
+	for i := 0; i < 6; i++ {
+		tk, err := p.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Member() != 0 {
+			t.Fatalf("acquire %d routed to tripped member", i)
+		}
+		tk.Release(Result{})
+	}
+
+	// Probe due: exactly one request tests member 1. A failed probe
+	// re-trips for a full interval.
+	ck.t = 10
+	tk, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Member() != 1 {
+		t.Fatalf("probe routed to member %d, want 1", tk.Member())
+	}
+	if got := p.MemberState(1); got != "down" {
+		t.Errorf("member 1 state = %q while probing, want down", got)
+	}
+	tk.Release(Result{Err: errors.New("still down")})
+	ck.t = 15 // half an interval later: no probe yet
+	tk, err = p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Member() != 0 {
+		t.Fatal("request routed to re-tripped member before its interval elapsed")
+	}
+	tk.Release(Result{})
+
+	// Second probe succeeds: breaker closes within one probe interval
+	// of the member recovering, and the fleet limit re-splits evenly.
+	ck.t = 20
+	tk, err = p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Member() != 1 {
+		t.Fatalf("second probe routed to member %d, want 1", tk.Member())
+	}
+	tk.Release(Result{})
+	if got := p.MemberState(1); got != "up" {
+		t.Fatalf("member 1 state = %q after successful probe, want up", got)
+	}
+	if a, b := p.Member(0).Limit(), p.Member(1).Limit(); a != 4 || b != 4 {
+		t.Errorf("limits after recovery = %d/%d, want 4/4", a, b)
+	}
+	// Availability: member 1 was down from its trip (t=0 era) until
+	// t=20 of a 20-second lifetime; member 0 never tripped.
+	st := p.Stats()
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats has %d shards, want 2", len(st.Shards))
+	}
+	if st.Shards[0].Availability != 1 || st.Shards[0].State != "up" {
+		t.Errorf("member 0 stat = %q/%v, want up/1", st.Shards[0].State, st.Shards[0].Availability)
+	}
+	// Member 1 tripped while the manual clock still read 0 and came
+	// back at t=20, so it was down for the entire nonzero span.
+	if a := st.Shards[1].Availability; a != 0 {
+		t.Errorf("member 1 availability = %v, want 0 (down for the whole clocked span)", a)
+	}
+}
+
+// TestPoolBreakerAllDown pins ErrMemberDown: with every member tripped
+// and no probe due, Acquire fails fast instead of blocking, and the
+// due probe reopens the path.
+func TestPoolBreakerAllDown(t *testing.T) {
+	ck := &captureClock{}
+	p, err := NewPool(PoolConfig{
+		Members: 1,
+		Breaker: &BreakerConfig{Threshold: 1, ProbeInterval: 5},
+		Member:  Config{Limit: 2, clock: ck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tk, err := p.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release(Result{Err: errors.New("boom")})
+	if _, err := p.Acquire(ctx); !errors.Is(err, ErrMemberDown) {
+		t.Fatalf("acquire with whole fleet down: err = %v, want ErrMemberDown", err)
+	}
+	ck.t = 5
+	tk, err = p.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("probe after interval: %v", err)
+	}
+	tk.Release(Result{})
+	if got := p.MemberState(0); got != "up" {
+		t.Errorf("member state = %q after successful probe, want up", got)
+	}
+}
+
+// TestPoolBreakerStress hammers a breaker-armed pool from many
+// goroutines with a flaky member — run under -race in CI. The
+// assertions are conservation-shaped: the pool drains, and every
+// member ends in a defined state.
+func TestPoolBreakerStress(t *testing.T) {
+	p, err := NewPool(PoolConfig{
+		Members:  4,
+		Dispatch: "jsq",
+		Breaker:  &BreakerConfig{Threshold: 4, ProbeInterval: 0.001},
+		Member:   Config{Limit: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 150
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				tk, err := p.AcquireRequest(context.Background(),
+					Request{SizeHint: rng.Float64()})
+				if errors.Is(err, ErrMemberDown) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Member 3 fails 90% of the time: it flaps between
+				// tripped and probing throughout the run.
+				if tk.Member() == 3 && rng.Intn(10) != 0 {
+					tk.Release(Result{Err: errors.New("flaky")})
+				} else {
+					tk.Release(Result{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	agg := p.Stats()
+	if agg.Inflight != 0 || agg.Queued != 0 {
+		t.Errorf("pool not drained: inflight=%d queued=%d", agg.Inflight, agg.Queued)
+	}
+	for i := 0; i < p.Members(); i++ {
+		if s := p.MemberState(i); s != "up" && s != "down" {
+			t.Errorf("member %d state = %q, want up or down", i, s)
+		}
+	}
+}

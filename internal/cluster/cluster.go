@@ -6,7 +6,72 @@ import (
 	"extsched/internal/core"
 	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
+	"extsched/internal/sim"
 )
+
+// ShardState is a shard's lifecycle state. New work routes only to Up
+// shards; a Draining shard finishes what it holds and then goes Down;
+// a Down shard holds nothing (its outstanding work was failed over or
+// lost when it went down) and receives nothing until recovered.
+type ShardState uint8
+
+const (
+	// ShardUp is the normal serving state.
+	ShardUp ShardState = iota
+	// ShardDraining takes no new work but keeps serving its queue and
+	// in-flight transactions; it transitions to ShardDown on its own
+	// once empty (graceful removal).
+	ShardDraining
+	// ShardDown is a crashed or removed shard: unavailable, empty, and
+	// skipped by every dispatch decision.
+	ShardDown
+)
+
+// String names the state for reports ("up", "draining", "down").
+func (s ShardState) String() string {
+	switch s {
+	case ShardUp:
+		return "up"
+	case ShardDraining:
+		return "draining"
+	case ShardDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// RecoveryPolicy configures what happens to the in-flight and queued
+// work a shard holds when it fails. The zero value sheds: the work is
+// lost, counted in Failed, and each txn's submitter callback fires with
+// Item.WasFailed reporting true (so closed-loop clients cycle).
+type RecoveryPolicy struct {
+	// Resubmit, when true, re-routes failed work to surviving shards
+	// through the normal dispatch path after a capped exponential
+	// backoff, instead of shedding it.
+	Resubmit bool
+	// RetryBudget is the maximum number of recovery attempts per
+	// logical transaction (must be >= 1 when Resubmit is set); a txn
+	// whose budget is exhausted is shed terminally.
+	RetryBudget int
+	// BackoffBase and BackoffCap bound the backoff schedule: attempt k
+	// waits min(BackoffCap, BackoffBase·2^(k−1)) seconds, scaled by a
+	// deterministic jitter factor in [0.5, 1). Defaults 0.05 s / 2 s.
+	BackoffBase, BackoffCap float64
+	// Seed drives the jitter stream (deterministic given the seed and
+	// the failure event order, so churn runs rerun bit-identically).
+	Seed uint64
+}
+
+func (rp RecoveryPolicy) withDefaults() RecoveryPolicy {
+	if rp.BackoffBase <= 0 {
+		rp.BackoffBase = 0.05
+	}
+	if rp.BackoffCap <= 0 {
+		rp.BackoffCap = 2
+	}
+	return rp
+}
 
 // ShardSeed derives shard i's backend seed from the run seed: distinct
 // per shard (replicas must not execute in RNG lockstep) and stable
@@ -38,9 +103,57 @@ type Shard struct {
 // points run inside the engine's event loop, and every routing
 // decision is a pure function of simulation state plus the policy's
 // own deterministic state, so multi-shard runs rerun bit-identically.
+//
+// # Lifecycle and faults
+//
+// Each shard carries a ShardState. Dispatch policies only ever see the
+// Up shards (the load view handed to Pick is filtered, and the picked
+// index mapped back), so no transaction is ever routed to a draining
+// or down shard. FailShard crashes a shard: its queued and in-flight
+// work is withdrawn (counted in the gate's Failed counters) and handed
+// to the RecoveryPolicy — resubmitted to survivors with deterministic
+// capped exponential backoff and a per-txn retry budget, or shed
+// terminally (the submitter's callback fires either way, so
+// closed-loop clients never stall). RemoveShard drains gracefully;
+// AddShard grows the fleet mid-run; RecoverShard returns a down shard
+// to service. Every lifecycle change re-splits the requested
+// cluster-wide MPL across the Up shards (SplitMPL), so survivors
+// absorb a dead shard's capacity and return it on recovery.
 type Dispatcher struct {
 	shards []Shard
 	policy Policy
+	// state tracks each shard's lifecycle (index-parallel to shards;
+	// slots are never deleted, so shard indices are stable for the
+	// lifetime of the dispatcher — a removed shard's index goes Down
+	// and stays).
+	state []ShardState
+	// eng schedules recovery backoff timers and provides the clock for
+	// availability accounting; set by SetRecovery, nil until then
+	// (lifecycle operations require it).
+	eng *sim.Engine
+	rec RecoveryPolicy
+	rng *sim.RNG
+	// upSince / upAccum track per-shard availability: upAccum is the
+	// accumulated up-seconds through the last transition, upSince the
+	// instant the shard last became (or stayed) non-Down. Draining
+	// counts as up — the shard is still serving.
+	upSince, upAccum []float64
+	// doneFn caches one completion wrapper per shard (the wrapper only
+	// needs the shard index, so submissions allocate no closure).
+	doneFn []func(*dbfe.Txn)
+	// idxScratch maps filtered (eligible-only) pick indices back to
+	// real shard indices.
+	idxScratch []int
+	// pendingRetry counts txns sitting in a recovery backoff — failed
+	// off a dead shard, not yet resubmitted. They are part of the
+	// fleet's conservation balance: accepted == completed + inside +
+	// queued + pendingRetry + canceled + shed + failed.
+	pendingRetry int
+	// failedTxns counts terminal losses (shed-mode crash losses, retry
+	// budgets exhausted, submissions that found no live shard);
+	// resubmitted counts logical txns resubmitted at least once;
+	// retries counts resubmission events.
+	failedTxns, resubmitted, retries uint64
 	// mpl is the cluster-wide limit last requested via SetMPL (or
 	// derived from the shard gates at construction). MPL() reports it
 	// as-is so a feedback controller always observes its own
@@ -77,11 +190,16 @@ func NewDispatcher(policy Policy, shards []Shard) (*Dispatcher, error) {
 		policy = &RoundRobin{}
 	}
 	d := &Dispatcher{
-		shards:  append([]Shard(nil), shards...),
-		policy:  policy,
-		work:    make([]float64, len(shards)),
-		scratch: make([]Load, len(shards)),
-		routed:  make([]uint64, len(shards)),
+		shards:     append([]Shard(nil), shards...),
+		policy:     policy,
+		state:      make([]ShardState, len(shards)),
+		work:       make([]float64, len(shards)),
+		scratch:    make([]Load, len(shards)),
+		routed:     make([]uint64, len(shards)),
+		upSince:    make([]float64, len(shards)),
+		upAccum:    make([]float64, len(shards)),
+		doneFn:     make([]func(*dbfe.Txn), len(shards)),
+		idxScratch: make([]int, len(shards)),
 	}
 	for i := range d.shards {
 		if d.shards[i].FE == nil {
@@ -90,22 +208,7 @@ func NewDispatcher(policy Policy, shards []Shard) (*Dispatcher, error) {
 		if d.shards[i].Speed <= 0 {
 			d.shards[i].Speed = 1
 		}
-		i := i
-		d.shards[i].FE.OnComplete = func(t *dbfe.Txn) {
-			if d.OnComplete != nil {
-				d.OnComplete(i, t)
-			}
-		}
-		d.shards[i].FE.OnDrop = func(t *dbfe.Txn) {
-			// The drop fires synchronously inside SubmitCB, after the
-			// routing charge there: refund it. (The per-txn completion
-			// wrapper never runs for a dropped txn.)
-			d.settle(i, t.Item.SizeHint)
-			d.routed[i]--
-			if d.OnDrop != nil {
-				d.OnDrop(i, t)
-			}
-		}
+		d.installHooks(i)
 	}
 	// Derive the initial cluster-wide limit from the shard gates.
 	for i := range d.shards {
@@ -117,6 +220,43 @@ func NewDispatcher(policy Policy, shards []Shard) (*Dispatcher, error) {
 		d.mpl += m
 	}
 	return d, nil
+}
+
+// installHooks takes ownership of shard i's frontend hooks and builds
+// its per-shard completion wrapper.
+func (d *Dispatcher) installHooks(i int) {
+	fe := d.shards[i].FE
+	d.doneFn[i] = func(t *dbfe.Txn) {
+		// The work refund must land here, BEFORE the submitter's own
+		// callback: a closed-loop client resubmitting from its callback
+		// must see the just-freed shard's work already settled, or
+		// least-work routing would be steered away from exactly the
+		// shard that freed capacity.
+		d.settle(i, t.Item.SizeHint)
+		if t.UserCB != nil {
+			t.UserCB(t)
+		}
+	}
+	fe.OnComplete = func(t *dbfe.Txn) {
+		if d.OnComplete != nil {
+			d.OnComplete(i, t)
+		}
+		d.maybeFinishDrain(i)
+	}
+	fe.OnDrop = func(t *dbfe.Txn) {
+		// The drop fires synchronously inside SubmitCB, after the
+		// routing charge there: refund it. (The per-txn completion
+		// wrapper never runs for a dropped txn.)
+		d.settle(i, t.Item.SizeHint)
+		d.routed[i]--
+		if d.OnDrop != nil {
+			d.OnDrop(i, t)
+		}
+	}
+	fe.OnShed = func(t *dbfe.Txn) {
+		// A shed can be what empties a draining shard.
+		d.maybeFinishDrain(i)
+	}
 }
 
 // settle refunds a shard's outstanding-work charge.
@@ -147,8 +287,10 @@ func (d *Dispatcher) SetPolicy(p Policy) {
 
 // SetSpeed changes shard i's relative CPU speed: the shard's DB slows
 // or recovers for CPU bursts starting after the call, and work-aware
-// policies renormalize immediately. Modeling a failed shard is
-// SetSpeed(i, small) — never zero; a zero-speed shard would strand
+// policies renormalize immediately. Speed models degradation (a shard
+// limping at 0.25x), not failure — an outright crash is FailShard,
+// which withdraws the shard's work and hands it to the recovery
+// policy. Speed must stay positive; a zero-speed shard would strand
 // admitted work forever.
 func (d *Dispatcher) SetSpeed(i int, speed float64) error {
 	if i < 0 || i >= len(d.shards) {
@@ -192,29 +334,78 @@ func (d *Dispatcher) Submit(p dbms.TxnProfile) *dbfe.Txn {
 }
 
 // SubmitCB is Submit with a per-transaction completion callback. The
-// routing decision is made at submission time from the shards' current
-// loads; under a shard queue limit the transaction may still be
-// dropped by the chosen shard (counted there, reported to OnDrop —
-// the dispatcher does not retry another shard).
+// routing decision is made at submission time from the Up shards'
+// current loads (draining and down shards are skipped); under a shard
+// queue limit the transaction may still be dropped by the chosen shard
+// (counted there, reported to OnDrop — admission control is per shard,
+// only crashes re-route). When no shard is Up the txn falls back to
+// the lowest-index draining shard; when the whole fleet is down it
+// fails terminally: the callback fires with Item.WasFailed true and
+// the loss is counted in Failed.
 func (d *Dispatcher) SubmitCB(p dbms.TxnProfile, cb func(*dbfe.Txn)) *dbfe.Txn {
-	i := d.policy.Pick(d.loadsInto(), core.Class(p.Class), p.EstimatedDemand)
-	if i < 0 || i >= len(d.shards) {
-		panic(fmt.Sprintf("cluster: policy %s picked shard %d of %d", d.policy.Name(), i, len(d.shards)))
+	i := d.pickShard(core.Class(p.Class), p.EstimatedDemand)
+	if i < 0 {
+		t := &dbfe.Txn{Profile: p, UserCB: cb}
+		d.failTerminally(t)
+		return t
 	}
+	return d.submitTo(i, p, cb)
+}
+
+// submitTo routes one txn to shard i, charging the routing accounting.
+func (d *Dispatcher) submitTo(i int, p dbms.TxnProfile, cb func(*dbfe.Txn)) *dbfe.Txn {
 	d.work[i] += p.EstimatedDemand
 	d.routed[i]++
-	// The work refund must land in the per-txn completion callback,
-	// which the gate runs BEFORE its frontend-wide OnComplete hook: a
-	// closed-loop client resubmitting from its own callback must see
-	// the just-freed shard's work already settled, or least-work
-	// routing would be steered away from exactly the shard that freed
-	// capacity.
-	return d.shards[i].FE.SubmitCB(p, func(t *dbfe.Txn) {
-		d.settle(i, t.Item.SizeHint)
-		if cb != nil {
-			cb(t)
+	t := d.shards[i].FE.SubmitCB(p, d.doneFn[i])
+	// Safe after SubmitCB: the txn's own callbacks cannot have fired
+	// yet (completions are asynchronous engine events, and a fresh
+	// submission can never be past its own admission deadline).
+	t.UserCB = cb
+	return t
+}
+
+// pickShard asks the policy for a shard, showing it only the eligible
+// (Up) shards and mapping the pick back to a real index. With no Up
+// shard it falls back to the lowest-index Draining shard (still
+// serving); -1 means the whole fleet is down.
+func (d *Dispatcher) pickShard(class core.Class, size float64) int {
+	loads := d.scratch[:0]
+	idx := d.idxScratch[:0]
+	for i := range d.shards {
+		if d.state[i] != ShardUp {
+			continue
 		}
-	})
+		fe := d.shards[i].FE
+		loads = append(loads, Load{
+			Backlog: fe.QueueLen() + fe.Inside(),
+			Work:    d.work[i],
+			Speed:   d.shards[i].Speed,
+		})
+		idx = append(idx, i)
+	}
+	if len(loads) == 0 {
+		for i := range d.shards {
+			if d.state[i] == ShardDraining {
+				return i
+			}
+		}
+		return -1
+	}
+	j := d.policy.Pick(loads, class, size)
+	if j < 0 || j >= len(idx) {
+		panic(fmt.Sprintf("cluster: policy %s picked member %d of %d", d.policy.Name(), j, len(idx)))
+	}
+	return idx[j]
+}
+
+// failTerminally accounts and delivers a terminal loss: work the
+// recovery policy gave up on (or that had no live shard to go to).
+func (d *Dispatcher) failTerminally(t *dbfe.Txn) {
+	t.Item.MarkFailed()
+	d.failedTxns++
+	if t.UserCB != nil {
+		t.UserCB(t)
+	}
 }
 
 // SplitMPL distributes a cluster-wide MPL across n shards: an even
@@ -251,18 +442,37 @@ func SplitMPL(total, n int) []int {
 // forever.
 func (d *Dispatcher) MPL() int { return d.mpl }
 
-// SetMPL distributes a cluster-wide limit across the shards per
+// SetMPL distributes a cluster-wide limit across the Up shards per
 // SplitMPL (each shard keeps at least one slot, so the effective
-// fleet cap is max(total, shards) when total > 0). This is the
+// fleet cap is max(total, up-shards) when total > 0). This is the
 // feedback controller's actuator: the loop tunes one number and the
-// dispatcher keeps the fleet balanced.
+// dispatcher keeps the fleet balanced. Draining shards keep the limit
+// they had (they need slots to finish draining); down shards hold no
+// work, so their gate value is irrelevant until recovery re-splits.
 func (d *Dispatcher) SetMPL(total int) {
 	if total < 0 {
 		total = 0
 	}
 	d.mpl = total
-	for i, m := range SplitMPL(total, len(d.shards)) {
-		d.shards[i].FE.SetMPL(m)
+	d.resplit()
+}
+
+// resplit redistributes the requested cluster-wide MPL across the Up
+// shards — called on SetMPL and on every lifecycle transition, which
+// is how survivors absorb a dead shard's share and hand it back on
+// recovery.
+func (d *Dispatcher) resplit() {
+	idx := d.idxScratch[:0]
+	for i := range d.shards {
+		if d.state[i] == ShardUp {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	for k, m := range SplitMPL(d.mpl, len(idx)) {
+		d.shards[idx[k]].FE.SetMPL(m)
 	}
 }
 
@@ -365,4 +575,263 @@ func (d *Dispatcher) SetWFQWeights(weights map[core.Class]float64) bool {
 		ok = d.shards[i].FE.SetWFQWeights(weights) && ok
 	}
 	return ok
+}
+
+// SetRecovery arms the fault model: eng schedules recovery backoff
+// timers and provides the availability clock; rp decides what happens
+// to a dead shard's work. It must be called (once, before traffic
+// flows) for the lifecycle operations — FailShard, RecoverShard,
+// AddShard, RemoveShard — to be usable.
+func (d *Dispatcher) SetRecovery(eng *sim.Engine, rp RecoveryPolicy) error {
+	if eng == nil {
+		return fmt.Errorf("cluster: SetRecovery needs an engine")
+	}
+	if rp.Resubmit && rp.RetryBudget < 1 {
+		return fmt.Errorf("cluster: resubmit recovery needs a retry budget >= 1 (got %d)", rp.RetryBudget)
+	}
+	rp = rp.withDefaults()
+	if rp.BackoffBase > rp.BackoffCap {
+		return fmt.Errorf("cluster: backoff base %v exceeds cap %v", rp.BackoffBase, rp.BackoffCap)
+	}
+	d.eng = eng
+	d.rec = rp
+	d.rng = sim.NewRNG(rp.Seed, 101)
+	now := eng.Now()
+	for i := range d.upSince {
+		d.upSince[i] = now
+	}
+	return nil
+}
+
+// RecoveryEnabled reports whether SetRecovery has armed the fault
+// model.
+func (d *Dispatcher) RecoveryEnabled() bool { return d.eng != nil }
+
+// State returns shard i's lifecycle state (ShardDown for out-of-range
+// indices, which only ever name removed history in callers).
+func (d *Dispatcher) State(i int) ShardState {
+	if i < 0 || i >= len(d.state) {
+		return ShardDown
+	}
+	return d.state[i]
+}
+
+// States returns a copy of every shard's lifecycle state.
+func (d *Dispatcher) States() []ShardState { return append([]ShardState(nil), d.state...) }
+
+// UpSeconds returns shard i's cumulative up time (serving or draining)
+// since SetRecovery, in clock seconds. Windowed availability is a
+// delta of this over the window length.
+func (d *Dispatcher) UpSeconds(i int) float64 {
+	if d.eng == nil || i < 0 || i >= len(d.shards) {
+		return 0
+	}
+	up := d.upAccum[i]
+	if d.state[i] != ShardDown {
+		up += d.eng.Now() - d.upSince[i]
+	}
+	return up
+}
+
+// Failed returns the terminal losses: txns shed by the recovery policy
+// (crash with shed mode, retry budget exhausted) or submitted while
+// the whole fleet was down.
+func (d *Dispatcher) Failed() uint64 { return d.failedTxns }
+
+// Resubmitted returns the number of logical txns resubmitted at least
+// once after a shard failure.
+func (d *Dispatcher) Resubmitted() uint64 { return d.resubmitted }
+
+// Retries returns the total resubmission events (a txn bounced through
+// two failures counts twice).
+func (d *Dispatcher) Retries() uint64 { return d.retries }
+
+// PendingRetries returns the txns currently waiting out a recovery
+// backoff — failed off a dead shard and not yet resubmitted.
+func (d *Dispatcher) PendingRetries() int { return d.pendingRetry }
+
+// lifecycleReady guards the lifecycle entry points.
+func (d *Dispatcher) lifecycleReady(i int) error {
+	if d.eng == nil {
+		return fmt.Errorf("cluster: lifecycle operations need SetRecovery first")
+	}
+	if i < 0 || i >= len(d.shards) {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", i, len(d.shards))
+	}
+	return nil
+}
+
+// markDown transitions shard i to Down, closing its availability
+// accrual.
+func (d *Dispatcher) markDown(i int) {
+	if d.state[i] == ShardDown {
+		return
+	}
+	d.upAccum[i] += d.eng.Now() - d.upSince[i]
+	d.state[i] = ShardDown
+}
+
+// FailShard crashes shard i: it goes Down immediately, the remaining
+// Up shards absorb its MPL share, and every transaction it held —
+// queued or in flight — is withdrawn and handed to the recovery
+// policy. Failing an already-down shard is a no-op.
+func (d *Dispatcher) FailShard(i int) error {
+	if err := d.lifecycleReady(i); err != nil {
+		return err
+	}
+	if d.state[i] == ShardDown {
+		return nil
+	}
+	d.markDown(i)
+	d.resplit()
+	failed := d.shards[i].FE.Fail()
+	for _, t := range failed {
+		// The routing charge for withdrawn work must be refunded here:
+		// the completion wrapper that normally settles it will never
+		// run for a failed txn.
+		d.settle(i, t.Item.SizeHint)
+	}
+	for _, t := range failed {
+		d.disposeFailed(t)
+	}
+	return nil
+}
+
+// disposeFailed routes one withdrawn txn per the recovery policy:
+// resubmit with backoff while budget remains, terminal loss otherwise.
+func (d *Dispatcher) disposeFailed(t *dbfe.Txn) {
+	if !d.rec.Resubmit || t.Attempts >= d.rec.RetryBudget {
+		d.failTerminally(t)
+		return
+	}
+	d.scheduleResubmit(t)
+}
+
+// scheduleResubmit arms t's next recovery attempt after a capped
+// exponential backoff with deterministic jitter. The attempt is
+// consumed when the timer fires.
+func (d *Dispatcher) scheduleResubmit(t *dbfe.Txn) {
+	k := t.Attempts + 1 // 1-indexed attempt about to be made
+	delay := d.rec.BackoffBase
+	for j := 1; j < k; j++ {
+		delay *= 2
+		if delay >= d.rec.BackoffCap {
+			delay = d.rec.BackoffCap
+			break
+		}
+	}
+	if delay > d.rec.BackoffCap {
+		delay = d.rec.BackoffCap
+	}
+	delay *= 0.5 + 0.5*d.rng.Float64()
+	d.pendingRetry++
+	d.eng.After(delay, func() { d.fireResubmit(t) })
+}
+
+// fireResubmit performs one recovery attempt: resubmit through the
+// normal dispatch path (original arrival preserved, so the reported
+// response time spans the outage). If no shard can take the work right
+// now, the attempt is still consumed and the next backoff armed —
+// until the budget runs out.
+func (d *Dispatcher) fireResubmit(old *dbfe.Txn) {
+	d.pendingRetry--
+	i := d.pickShard(core.Class(old.Profile.Class), old.Profile.EstimatedDemand)
+	if i < 0 {
+		old.Attempts++
+		if old.Attempts >= d.rec.RetryBudget {
+			d.failTerminally(old)
+			return
+		}
+		d.scheduleResubmit(old)
+		return
+	}
+	if old.Attempts == 0 {
+		d.resubmitted++
+	}
+	d.retries++
+	t := d.submitTo(i, old.Profile, old.UserCB)
+	t.Attempts = old.Attempts + 1
+	// Preserve the original arrival so the txn's reported latency spans
+	// the outage (safe post-submit: completions are asynchronous).
+	t.Item.Arrival = old.Item.Arrival
+}
+
+// RecoverShard returns a down shard to service (it rejoins the
+// dispatch set and takes back its MPL share) or cancels a drain in
+// progress. Recovering an Up shard is a no-op.
+func (d *Dispatcher) RecoverShard(i int) error {
+	if err := d.lifecycleReady(i); err != nil {
+		return err
+	}
+	switch d.state[i] {
+	case ShardUp:
+		return nil
+	case ShardDown:
+		d.upSince[i] = d.eng.Now()
+	}
+	d.state[i] = ShardUp
+	d.resplit()
+	return nil
+}
+
+// RemoveShard drains shard i out of the fleet: no new work routes to
+// it, its MPL share moves to the remaining Up shards now, and once its
+// queue and in-flight work finish it goes Down on its own. Removing a
+// draining shard is a no-op; removing a down shard is an error (it
+// holds nothing to drain).
+func (d *Dispatcher) RemoveShard(i int) error {
+	if err := d.lifecycleReady(i); err != nil {
+		return err
+	}
+	switch d.state[i] {
+	case ShardDraining:
+		return nil
+	case ShardDown:
+		return fmt.Errorf("cluster: shard %d is down, nothing to drain", i)
+	}
+	d.state[i] = ShardDraining
+	d.resplit()
+	d.maybeFinishDrain(i)
+	return nil
+}
+
+// maybeFinishDrain completes a graceful removal once the draining
+// shard is empty.
+func (d *Dispatcher) maybeFinishDrain(i int) {
+	if d.state[i] != ShardDraining {
+		return
+	}
+	fe := d.shards[i].FE
+	if fe.Inside() == 0 && fe.QueueLen() == 0 {
+		d.markDown(i)
+	}
+}
+
+// AddShard grows the fleet mid-run: the shard joins Up, the requested
+// cluster-wide MPL re-splits to include it, and dispatch sees it from
+// the next pick on. Returns the new shard's index. Requires
+// SetRecovery (the availability clock must be armed).
+func (d *Dispatcher) AddShard(s Shard) (int, error) {
+	if d.eng == nil {
+		return 0, fmt.Errorf("cluster: lifecycle operations need SetRecovery first")
+	}
+	if s.FE == nil {
+		return 0, fmt.Errorf("cluster: new shard has no frontend")
+	}
+	if s.Speed <= 0 {
+		s.Speed = 1
+	}
+	i := len(d.shards)
+	d.shards = append(d.shards, s)
+	d.state = append(d.state, ShardUp)
+	d.work = append(d.work, 0)
+	d.scratch = append(d.scratch, Load{})
+	d.routed = append(d.routed, 0)
+	d.upSince = append(d.upSince, d.eng.Now())
+	d.upAccum = append(d.upAccum, 0)
+	d.doneFn = append(d.doneFn, nil)
+	d.idxScratch = append(d.idxScratch, 0)
+	d.installHooks(i)
+	d.resplit()
+	return i, nil
 }

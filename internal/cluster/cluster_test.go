@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"extsched/internal/core"
@@ -348,5 +349,176 @@ func TestWorkSettledBeforeResubmit(t *testing.T) {
 	// not 5+1: the completed charge was settled before the callback.
 	if sawWork != 5 {
 		t.Errorf("work seen in completion callback = %v, want 5 (refund must precede callback)", sawWork)
+	}
+}
+
+// TestDispatcherChurnInvariants drives a real fleet through a
+// randomized schedule of submissions, engine steps, crashes,
+// recoveries, drains and shard additions with resubmit recovery armed
+// (seeded math/rand), checking after every step that:
+//
+//   - no transaction is dispatched to a non-Up shard while an Up shard
+//     exists (and the draining fallback / terminal failure ordering
+//     holds when none does);
+//   - arrivals are conserved per shard: routed = completed + inside +
+//     queued + withdrawn-by-crash;
+//   - logical transactions are conserved in aggregate: submitted =
+//     finished + lost + inside + queued + awaiting-retry;
+//   - no transaction ever exceeds its retry budget.
+func TestDispatcherChurnInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		runChurnProperty(t, seed)
+	}
+}
+
+func runChurnProperty(t *testing.T, seed int64) {
+	t.Helper()
+	const budget = 2
+	rng := rand.New(rand.NewSource(seed))
+	eng, d := testCluster(t, 3, JSQ{})
+	if err := d.SetRecovery(eng, RecoveryPolicy{Resubmit: true, RetryBudget: budget, Seed: uint64(seed)}); err != nil {
+		t.Fatal(err)
+	}
+	completed := make([]uint64, 3)
+	d.OnComplete = func(shard int, tx *dbfe.Txn) {
+		for shard >= len(completed) {
+			completed = append(completed, 0)
+		}
+		completed[shard]++
+	}
+	var submitted, done, lost uint64
+	cb := func(tx *dbfe.Txn) {
+		if tx.Attempts > budget {
+			t.Fatalf("seed %d: txn finished after %d attempts, budget %d", seed, tx.Attempts, budget)
+		}
+		if tx.Item.WasFailed() {
+			lost++
+		} else {
+			done++
+		}
+	}
+	check := func(op string) {
+		routed := d.Routed()
+		shards := d.Shards()
+		var inside, queued uint64
+		for i, sh := range shards {
+			in, q := uint64(sh.FE.Inside()), uint64(sh.FE.QueueLen())
+			inside += in
+			queued += q
+			var comp uint64
+			if i < len(completed) {
+				comp = completed[i]
+			}
+			if got := comp + in + q + sh.FE.Failed(); got != routed[i] {
+				t.Fatalf("seed %d after %s: shard %d conservation: completed %d + inside %d + queued %d + withdrawn %d != routed %d",
+					seed, op, i, comp, in, q, sh.FE.Failed(), routed[i])
+			}
+		}
+		if got := done + lost + inside + queued + uint64(d.PendingRetries()); got != submitted {
+			t.Fatalf("seed %d after %s: logical conservation: done %d + lost %d + inside %d + queued %d + pending %d != submitted %d",
+				seed, op, done, lost, inside, queued, d.PendingRetries(), submitted)
+		}
+		if d.Failed() != lost {
+			t.Fatalf("seed %d after %s: Failed() = %d, callbacks saw %d terminal losses",
+				seed, op, d.Failed(), lost)
+		}
+	}
+
+	var key uint64
+	addSeq := 0
+	for op := 0; op < 800; op++ {
+		n := d.NumShards()
+		switch r := rng.Float64(); {
+		case r < 0.5: // submit, verifying the eligibility invariant
+			states := d.States()
+			before := d.Routed()
+			key++
+			submitted++
+			tx := d.SubmitCB(profile(rng, key), cb)
+			after := d.Routed()
+			picked := -1
+			for i := range after {
+				if after[i] != before[i] {
+					picked = i
+					break
+				}
+			}
+			upExists := false
+			for _, s := range states {
+				if s == ShardUp {
+					upExists = true
+				}
+			}
+			switch {
+			case picked < 0:
+				if !tx.Item.WasFailed() {
+					t.Fatalf("seed %d: submission routed nowhere but not failed", seed)
+				}
+			case upExists && states[picked] != ShardUp:
+				t.Fatalf("seed %d: routed to shard %d in state %s while an Up shard exists",
+					seed, picked, states[picked])
+			case !upExists && states[picked] != ShardDraining:
+				t.Fatalf("seed %d: no Up shard, yet routed to shard %d in state %s",
+					seed, picked, states[picked])
+			}
+			check("submit")
+		case r < 0.8: // advance time (backoff timers fire here)
+			eng.Run(eng.Now() + 0.05*rng.Float64())
+			check("run")
+		case r < 0.86:
+			if err := d.FailShard(rng.Intn(n)); err != nil {
+				t.Fatal(err)
+			}
+			check("fail")
+		case r < 0.92:
+			if err := d.RecoverShard(rng.Intn(n)); err != nil {
+				t.Fatal(err)
+			}
+			check("recover")
+		case r < 0.95:
+			// Removing a down shard is a (deliberate) error; any other
+			// failure is a bug.
+			if err := d.RemoveShard(rng.Intn(n)); err != nil && !strings.Contains(err.Error(), "down") {
+				t.Fatal(err)
+			}
+			check("remove")
+		case r < 0.97:
+			if n >= 6 {
+				continue
+			}
+			addSeq++
+			db, err := dbms.New(eng, dbms.Config{CPUs: 1, Disks: 1, Seed: uint64(1000*seed) + uint64(addSeq)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AddShard(Shard{FE: dbfe.New(eng, db, 2, nil), DB: db}); err != nil {
+				t.Fatal(err)
+			}
+			check("add")
+		default:
+			d.SetMPL(rng.Intn(9))
+			check("setmpl")
+		}
+	}
+
+	// Drain: bring every shard back, lift the limit, and run past the
+	// longest possible backoff chain. Every logical txn must finish or
+	// be accounted a terminal loss.
+	for i := 0; i < d.NumShards(); i++ {
+		if d.State(i) == ShardDown {
+			if err := d.RecoverShard(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d.SetMPL(0)
+	eng.Run(eng.Now() + 120)
+	check("drain")
+	if d.Inside() != 0 || d.QueueLen() != 0 || d.PendingRetries() != 0 {
+		t.Fatalf("seed %d: not drained: inside %d queued %d pending %d",
+			seed, d.Inside(), d.QueueLen(), d.PendingRetries())
+	}
+	if done+lost != submitted {
+		t.Fatalf("seed %d: %d submitted, %d finished + %d lost", seed, submitted, done, lost)
 	}
 }

@@ -56,6 +56,7 @@ const (
 	itemDone
 	itemCanceled
 	itemShed
+	itemFailed
 )
 
 // Item is one unit of admitted work flowing through the frontend: a
@@ -101,6 +102,19 @@ func (it *Item) ResponseTime() float64 { return it.Complete - it.Arrival }
 // fires for sheds as well as completions) onward; not synchronized, so
 // do not call it while the item may still be queued.
 func (it *Item) WasShed() bool { return it.state == itemShed }
+
+// WasFailed reports whether the item was lost to a backend failure
+// (FailQueued/FailDispatched) instead of completing. Same validity
+// caveats as WasShed.
+func (it *Item) WasFailed() bool { return it.state == itemFailed }
+
+// MarkFailed force-marks an item as failed. For items a frontend does
+// NOT currently own: work that could not be routed anywhere (the
+// cluster dispatcher with every shard down) or that was already
+// withdrawn by FailQueued/FailDispatched and is now being declared
+// terminally lost. Never call it on a queued or dispatched item — the
+// owning frontend's accounting would be corrupted.
+func (it *Item) MarkFailed() { it.state = itemFailed }
 
 // ExternalWait is Dispatch − Arrival.
 func (it *Item) ExternalWait() float64 { return it.Dispatch - it.Arrival }
@@ -442,11 +456,17 @@ type Frontend struct {
 	// scheduling proper never drops (queueLimit 0).
 	queueLimit int
 	dropped    uint64
-	// deadQueued counts withdrawn (canceled or shed) items still
-	// sitting in the policy queue or a deferred ring awaiting lazy
+	// deadQueued counts withdrawn (canceled, shed, or failed) items
+	// still sitting in the policy queue or a deferred ring awaiting lazy
 	// discard; canceled counts all cancellations.
 	deadQueued int
 	canceled   uint64
+	// failed counts items lost to a backend failure: queued or
+	// dispatched work withdrawn by FailQueued/FailDispatched when the
+	// backend behind this frontend dies. With failures in play the
+	// conservation invariant reads
+	// accepted == completed + inside + queued + canceled + shed + failed.
+	failed uint64
 	// OnComplete, if set, observes every completion (used by drivers
 	// for closed-loop clients and by controller wiring). Set hooks
 	// before traffic flows; they run outside the frontend lock.
@@ -840,7 +860,7 @@ func (f *Frontend) compactLocked() {
 	if c, ok := f.policy.(compactable); ok {
 		da, _ := f.policy.(discardAware)
 		c.compact(func(it *Item) bool {
-			if it.state != itemCanceled && it.state != itemShed {
+			if it.state != itemCanceled && it.state != itemShed && it.state != itemFailed {
 				return true
 			}
 			f.deadQueued--
@@ -852,7 +872,7 @@ func (f *Frontend) compactLocked() {
 	}
 	for _, c := range f.deferredOrder {
 		f.deferred[c].compact(func(it *Item) bool {
-			if it.state != itemCanceled && it.state != itemShed {
+			if it.state != itemCanceled && it.state != itemShed && it.state != itemFailed {
 				return true
 			}
 			f.deadQueued--
@@ -867,6 +887,56 @@ func (f *Frontend) Canceled() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.canceled
+}
+
+// Failed returns the number of items lost to backend failures
+// (FailQueued + FailDispatched).
+func (f *Frontend) Failed() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// FailQueued withdraws a still-queued item because the backend behind
+// the frontend died: the item never executes and is counted in Failed.
+// It reports whether the item was withdrawn; false means the item was
+// already dispatched, completed, canceled, or shed. Like CancelQueued
+// the discard is lazy and no callbacks fire — the caller (the cluster
+// dispatcher's recovery policy) decides whether to resubmit the work
+// elsewhere or deliver a terminal failure.
+func (f *Frontend) FailQueued(it *Item) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if it.state != itemQueued {
+		return false
+	}
+	it.state = itemFailed
+	it.Complete = f.clock.Now()
+	f.deadQueued++
+	f.failed++
+	f.maybeCompactLocked()
+	return true
+}
+
+// FailDispatched withdraws an admitted, uncompleted item because the
+// backend executing it died: the slot is freed, the loss is counted in
+// Failed, and — as with FailQueued — no callbacks fire. The backend
+// must never call Complete for the item afterwards (simulated backends
+// suppress the late completion; see dbfe). Panics unless the item is
+// currently dispatched.
+func (f *Frontend) FailDispatched(it *Item) {
+	f.mu.Lock()
+	if it.state != itemDispatched {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("core: FailDispatched on an item in state %d", it.state))
+	}
+	it.state = itemFailed
+	it.Complete = f.clock.Now()
+	f.inside--
+	f.insideClass[it.Class]--
+	f.failed++
+	f.mu.Unlock()
+	f.dispatch()
 }
 
 // SetQueueLimit enables admission-control mode: arrivals that find
@@ -954,7 +1024,7 @@ func (f *Frontend) popDeferredLocked(c Class, now float64, shedList *[]*Item) *I
 	for r != nil && r.len() > 0 {
 		cand := r.pop()
 		f.deferredCount--
-		if cand.state == itemCanceled || cand.state == itemShed {
+		if cand.state == itemCanceled || cand.state == itemShed || cand.state == itemFailed {
 			// Withdrawn after deferral; its WFQ charge (if any) was
 			// settled when the policy popped it, so just drop it.
 			f.deadQueued--
@@ -1005,7 +1075,7 @@ func (f *Frontend) nextDispatchLocked() (it *Item, shedList []*Item) {
 		if cand == nil {
 			break
 		}
-		if cand.state == itemCanceled || cand.state == itemShed {
+		if cand.state == itemCanceled || cand.state == itemShed || cand.state == itemFailed {
 			f.deadQueued--
 			if da, ok := f.policy.(discardAware); ok {
 				da.discarded(cand)

@@ -118,11 +118,44 @@ type AdmitDeadline struct {
 	High, Low float64
 }
 
+// ChurnSpec is a deterministic MTBF/MTTR fault generator for one
+// phase: each shard independently alternates exponential up times
+// (mean MTBF seconds) and down times (mean MTTR seconds), drawn from a
+// seeded per-shard stream, so the same spec and seed produce the same
+// failure schedule on every run. The generated fail events are
+// guarded: a failure that would take the last Up shard down is skipped
+// (the fleet never churns itself completely dark). Sharded stacks
+// only.
+type ChurnSpec struct {
+	// MTBF is the per-shard mean time between failures in simulated
+	// seconds (> 0).
+	MTBF float64
+	// MTTR is the per-shard mean time to recovery in simulated seconds
+	// (> 0).
+	MTTR float64
+	// Seed drives the failure schedule (0 = the stack seed).
+	Seed uint64
+}
+
+// Validate checks a churn generator's parameters.
+func (c ChurnSpec) Validate() error {
+	if !finite(c.MTBF, c.MTTR) {
+		return fmt.Errorf("runner: churn MTBF/MTTR must be finite")
+	}
+	if c.MTBF <= 0 {
+		return fmt.Errorf("runner: churn MTBF %v must be positive", c.MTBF)
+	}
+	if c.MTTR <= 0 {
+		return fmt.Errorf("runner: churn MTTR %v must be positive", c.MTTR)
+	}
+	return nil
+}
+
 // Event is a mid-phase control action, applied At seconds after the
 // phase's measured start (for the first phase, after warmup ends).
 // Exactly the actions a DBA could take against a live system: move the
 // MPL, reweight the queue, hand control to the feedback loop, degrade
-// a shard, switch the dispatch policy.
+// a shard, switch the dispatch policy, crash or drain or add a shard.
 type Event struct {
 	At float64
 	// SetMPL, when non-nil, changes the MPL (0 = unlimited). On a
@@ -156,6 +189,24 @@ type Event struct {
 	// SetAdmitDeadline changes the per-class admission deadlines (both
 	// stack shapes; zero clears a class's deadline).
 	SetAdmitDeadline *AdmitDeadline
+	// ShardFail, when non-nil, crashes that shard: it goes Down, its
+	// MPL share moves to the survivors, and the work it held is handed
+	// to the stack's recovery policy (resubmit with backoff, or shed —
+	// see Stack.Recovery). Sharded stacks only.
+	ShardFail *int
+	// ShardRecover, when non-nil, returns a Down shard to service (or
+	// cancels a drain). Sharded stacks only.
+	ShardRecover *int
+	// ShardRemove, when non-nil, drains that shard gracefully: no new
+	// work routes to it and it goes Down once empty. Sharded stacks
+	// only.
+	ShardRemove *int
+	// ShardAdd, when true, joins a fresh shard built by Stack.NewShard.
+	// Sharded stacks only.
+	ShardAdd bool
+	// churn marks a generator-synthesized fail event, which is skipped
+	// if it would take the last Up shard down.
+	churn bool
 }
 
 // Phase is one segment of a scenario: a traffic source run for
@@ -184,7 +235,11 @@ type Phase struct {
 	// Trace / TraceSpeedup configure KindTrace (Speedup 0 = 1).
 	Trace        *trace.Trace
 	TraceSpeedup float64
-	Events       []Event
+	// Churn, when non-nil, runs the deterministic MTBF/MTTR fault
+	// generator for this phase's duration (sharded stacks only); the
+	// generated fail/recover events merge with Events.
+	Churn  *ChurnSpec
+	Events []Event
 }
 
 // label returns the phase's display name.
@@ -281,6 +336,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("%s: unknown kind %q (want %s, %s, %s, %s or %s)",
 				prefix, ph.Kind, KindClosed, KindOpen, KindRamp, KindBurst, KindTrace)
 		}
+		if ph.Churn != nil {
+			if err := ph.Churn.Validate(); err != nil {
+				return fmt.Errorf("%s: %w", prefix, err)
+			}
+		}
 		for j, ev := range ph.Events {
 			if ev.At < 0 || !finite(ev.At) {
 				return fmt.Errorf("%s event %d: offset %v must be finite and >= 0", prefix, j, ev.At)
@@ -326,6 +386,18 @@ func (s Spec) Validate() error {
 			if ad := ev.SetAdmitDeadline; ad != nil {
 				if err := ad.Validate(); err != nil {
 					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
+			}
+			for _, sh := range []struct {
+				name string
+				idx  *int
+			}{
+				{"shard_fail", ev.ShardFail},
+				{"shard_recover", ev.ShardRecover},
+				{"shard_remove", ev.ShardRemove},
+			} {
+				if sh.idx != nil && *sh.idx < 0 {
+					return fmt.Errorf("%s event %d: %s shard %d must be >= 0", prefix, j, sh.name, *sh.idx)
 				}
 			}
 		}
@@ -385,7 +457,17 @@ type Stack struct {
 	// fabric: drivers submit through it, control events address it, and
 	// the runner reports per-shard slices next to the aggregates.
 	Cluster *cluster.Dispatcher
-	Gen     *workload.Generator
+	// Recovery configures what happens to the work a failed shard held
+	// (sharded stacks only). Nil arms the zero policy — shed: the work
+	// is lost and counted in Failed. The runner arms the cluster's
+	// fault model unconditionally, so every sharded run reports
+	// lifecycle state and availability.
+	Recovery *cluster.RecoveryPolicy
+	// NewShard, when non-nil, builds the shard a ShardAdd event joins
+	// (index is the position the new shard will occupy). A ShardAdd
+	// event without a factory is an error.
+	NewShard func(index int) (cluster.Shard, error)
+	Gen      *workload.Generator
 	// PercentileSamples, when > 0, reservoir-samples response times
 	// over the whole measurement window (deterministic given Seed).
 	PercentileSamples int
@@ -432,6 +514,10 @@ type Report struct {
 	// Shed counts deadline-missed rejections in the window;
 	// ShedHigh/ShedLow split it by class.
 	Shed, ShedHigh, ShedLow uint64
+	// Failed counts transactions terminally lost to shard failures in
+	// the window; Resubmitted counts logical txns re-routed to a
+	// survivor at least once; Retries counts resubmission events.
+	Failed, Resubmitted, Retries uint64
 	// CPUUtil / DiskUtil are device utilizations over the window.
 	CPUUtil, DiskUtil float64
 	// LockWaits / Deadlocks / Preemptions are lock-manager deltas.
@@ -480,6 +566,12 @@ type ShardReport struct {
 	// Speed is the shard's relative CPU speed when the run ended.
 	Speed      float64
 	Dispatched uint64
+	// State is the shard's lifecycle state when the run ended ("up",
+	// "draining", "down").
+	State string
+	// Availability is the fraction of the measurement window the shard
+	// was serving (a shard added mid-run accrues only from its join).
+	Availability float64
 	Report
 }
 
@@ -531,6 +623,7 @@ type mark struct {
 	dropped, canceled       uint64
 	shed, shedHigh, shedLow uint64
 	waits, dl, preempt      uint64
+	failed, resub, retries  uint64
 	cpuBusy, diskBusy       float64 // utilization·time products
 	// shards are the per-shard cumulative counters (sharded stacks).
 	shards []shardMark
@@ -541,12 +634,14 @@ type shardMark struct {
 	shed, shedHigh, shedLow   uint64
 	waits, dl, preempt        uint64
 	cpuBusy, diskBusy         float64
+	upSec                     float64
 }
 
 func takeMark(st Stack) mark {
 	m := mark{t: st.Eng.Now()}
 	if c := st.Cluster; c != nil {
 		m.dropped, m.canceled = c.Dropped(), c.Canceled()
+		m.failed, m.resub, m.retries = c.Failed(), c.Resubmitted(), c.Retries()
 		shards := c.Shards()
 		routed := c.Routed()
 		m.shards = make([]shardMark, len(shards))
@@ -554,6 +649,7 @@ func takeMark(st Stack) mark {
 		for i, sh := range shards {
 			sm := &m.shards[i]
 			sm.routed = routed[i]
+			sm.upSec = c.UpSeconds(i)
 			sm.dropped, sm.canceled = sh.FE.Dropped(), sh.FE.Canceled()
 			sm.shed = sh.FE.Shed()
 			sm.shedHigh = sh.FE.ShedByClass(core.ClassHigh)
@@ -641,6 +737,9 @@ func (a *acc) report(st Stack, from mark, res, resHigh, resLow *stats.Reservoir)
 		LockWaits:   to.waits - from.waits,
 		Deadlocks:   to.dl - from.dl,
 		Preemptions: to.preempt - from.preempt,
+		Failed:      to.failed - from.failed,
+		Resubmitted: to.resub - from.resub,
+		Retries:     to.retries - from.retries,
 		CPUUtil:     utilDelta(from.cpuBusy, to.cpuBusy, from.t, to.t),
 		DiskUtil:    utilDelta(from.diskBusy, to.diskBusy, from.t, to.t),
 	}
@@ -740,6 +839,12 @@ func (r *run) onComplete(shard int, t *dbfe.Txn) {
 		r.phase.observe(t)
 		r.window.observe(t)
 		if r.shardTotal != nil {
+			// A shard_add event can grow the fleet past the slices sized
+			// at run start.
+			for shard >= len(r.shardTotal) {
+				r.shardTotal = append(r.shardTotal, acc{})
+				r.winShard = append(r.winShard, 0)
+			}
 			r.shardTotal[shard].observe(t)
 			r.winShard[shard]++
 		}
@@ -788,6 +893,20 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		r.resLow = stats.NewReservoir(st.PercentileSamples, sim.NewRNG(seed, 41))
 	}
 	if c := st.Cluster; c != nil {
+		// Arm the fault model unconditionally: lifecycle events and the
+		// churn generator need it, and an armed-but-unfailed fleet
+		// behaves identically to an unarmed one (every shard Up, the
+		// filtered dispatch view is the identity).
+		rp := cluster.RecoveryPolicy{}
+		if st.Recovery != nil {
+			rp = *st.Recovery
+		}
+		if rp.Seed == 0 {
+			rp.Seed = st.Seed
+		}
+		if err := c.SetRecovery(st.Eng, rp); err != nil {
+			return Outcome{}, err
+		}
 		r.shardTotal = make([]acc, c.NumShards())
 		r.winShard = make([]uint64, c.NumShards())
 		c.OnComplete = r.onComplete
@@ -930,6 +1049,42 @@ func (r *run) beginMeasurement() {
 	r.nextSnap = m.t + r.spec.SampleInterval
 }
 
+// churnEvents precomputes one phase's failure schedule: per shard, an
+// alternating sequence of exponential up/down sojourns truncated at
+// the phase end, emitted as guarded fail/recover events. The schedule
+// is a pure function of (spec, shard count, duration, seed), so churn
+// phases rerun bit-identically.
+func churnEvents(ch ChurnSpec, shards int, dur float64, stackSeed uint64) []Event {
+	seed := ch.Seed
+	if seed == 0 {
+		seed = stackSeed
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	var out []Event
+	for i := 0; i < shards; i++ {
+		rng := sim.NewRNG(seed, uint64(211+i))
+		exp := func(mean float64) float64 {
+			return -mean * math.Log(1-rng.Float64())
+		}
+		t := exp(ch.MTBF)
+		for t < dur {
+			idx := i
+			out = append(out, Event{At: t, ShardFail: &idx, churn: true})
+			t += exp(ch.MTTR)
+			if t >= dur {
+				// Never leave a churned shard down past its phase: the
+				// generator owns only this phase's window.
+				t = dur
+			}
+			out = append(out, Event{At: t, ShardRecover: &idx, churn: true})
+			t += exp(ch.MTBF)
+		}
+	}
+	return out
+}
+
 // runPhase advances the engine through one phase's measured duration,
 // pausing at event and snapshot breakpoints. It reports whether the
 // run should stop early (controller convergence).
@@ -939,6 +1094,12 @@ func (r *run) runPhase(ctx context.Context, ph Phase) (stopEarly bool, err error
 	phaseEnd := phaseStart + ph.Duration
 	// Events fire in offset order, clamped into the phase.
 	evs := append([]Event(nil), ph.Events...)
+	if ph.Churn != nil {
+		if r.st.Cluster == nil {
+			return false, fmt.Errorf("runner: churn phase on an unsharded system")
+		}
+		evs = append(evs, churnEvents(*ph.Churn, r.st.Cluster.NumShards(), ph.Duration, r.st.Seed)...)
+	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	ei := 0
 	for {
@@ -1011,6 +1172,60 @@ func (r *run) applyEvent(ev Event) error {
 			return err
 		}
 		r.st.Cluster.SetPolicy(p)
+	}
+	if ev.ShardAdd {
+		if r.st.Cluster == nil {
+			return fmt.Errorf("runner: ShardAdd event on an unsharded system")
+		}
+		if r.st.NewShard == nil {
+			return fmt.Errorf("runner: ShardAdd event needs a Stack.NewShard factory")
+		}
+		sh, err := r.st.NewShard(r.st.Cluster.NumShards())
+		if err != nil {
+			return err
+		}
+		if _, err := r.st.Cluster.AddShard(sh); err != nil {
+			return err
+		}
+	}
+	if ev.ShardFail != nil {
+		c := r.st.Cluster
+		if c == nil {
+			return fmt.Errorf("runner: ShardFail event on an unsharded system")
+		}
+		skip := false
+		if ev.churn {
+			// Generator-synthesized failures never take the last Up
+			// shard down; an explicit scenario event may.
+			up := 0
+			for _, s := range c.States() {
+				if s == cluster.ShardUp {
+					up++
+				}
+			}
+			skip = up <= 1 && c.State(*ev.ShardFail) == cluster.ShardUp
+		}
+		if !skip {
+			if err := c.FailShard(*ev.ShardFail); err != nil {
+				return err
+			}
+		}
+	}
+	if ev.ShardRecover != nil {
+		if r.st.Cluster == nil {
+			return fmt.Errorf("runner: ShardRecover event on an unsharded system")
+		}
+		if err := r.st.Cluster.RecoverShard(*ev.ShardRecover); err != nil {
+			return err
+		}
+	}
+	if ev.ShardRemove != nil {
+		if r.st.Cluster == nil {
+			return fmt.Errorf("runner: ShardRemove event on an unsharded system")
+		}
+		if err := r.st.Cluster.RemoveShard(*ev.ShardRemove); err != nil {
+			return err
+		}
 	}
 	if ad := ev.SetAdmitDeadline; ad != nil {
 		if c := r.st.Cluster; c != nil {
@@ -1098,20 +1313,27 @@ func (r *run) shardReports() []ShardReport {
 	from := r.totalMark
 	out := make([]ShardReport, c.NumShards())
 	for i, sh := range c.Shards() {
-		a := &r.shardTotal[i]
-		sr := ShardReport{Shard: i, Speed: sh.Speed}
-		sr.Report = Report{
-			Window:    to.t - from.t,
-			Completed: a.completed,
-			All:       a.all,
-			High:      a.high,
-			Low:       a.low,
-			Inside:    a.inside,
-			ExtWait:   a.extwait,
-			Restarts:  a.restarts,
+		sr := ShardReport{Shard: i, Speed: sh.Speed, State: c.State(i).String()}
+		sr.Report = Report{Window: to.t - from.t}
+		if i < len(r.shardTotal) {
+			a := &r.shardTotal[i]
+			sr.Completed = a.completed
+			sr.All = a.all
+			sr.High = a.high
+			sr.Low = a.low
+			sr.Inside = a.inside
+			sr.ExtWait = a.extwait
+			sr.Restarts = a.restarts
 		}
-		if len(from.shards) == len(to.shards) && i < len(from.shards) {
-			f, t := from.shards[i], to.shards[i]
+		// A shard added mid-run is missing from the opening mark; its
+		// cumulative counters started at zero when it joined, so the
+		// whole-window delta is just the closing value.
+		var f shardMark
+		if i < len(from.shards) {
+			f = from.shards[i]
+		}
+		if i < len(to.shards) {
+			t := to.shards[i]
 			sr.Dispatched = t.routed - f.routed
 			sr.Dropped = t.dropped - f.dropped
 			sr.LockWaits = t.waits - f.waits
@@ -1119,6 +1341,9 @@ func (r *run) shardReports() []ShardReport {
 			sr.Preemptions = t.preempt - f.preempt
 			sr.CPUUtil = utilDelta(f.cpuBusy, t.cpuBusy, from.t, to.t)
 			sr.DiskUtil = utilDelta(f.diskBusy, t.diskBusy, from.t, to.t)
+			if w := to.t - from.t; w > 0 {
+				sr.Availability = (t.upSec - f.upSec) / w
+			}
 		}
 		out[i] = sr
 	}
@@ -1135,20 +1360,33 @@ func (r *run) shardStats(to mark) []metrics.ShardStat {
 	out := make([]metrics.ShardStat, c.NumShards())
 	for i, sh := range c.Shards() {
 		ss := metrics.ShardStat{
-			Shard:     i,
-			Speed:     sh.Speed,
-			Limit:     sh.FE.MPL(),
-			Inflight:  sh.FE.Inside(),
-			Queued:    sh.FE.QueueLen(),
-			Completed: r.winShard[i],
+			Shard:    i,
+			Speed:    sh.Speed,
+			Limit:    sh.FE.MPL(),
+			Inflight: sh.FE.Inside(),
+			Queued:   sh.FE.QueueLen(),
+			State:    c.State(i).String(),
 		}
-		if len(r.winMark.shards) == len(to.shards) && i < len(to.shards) {
-			ss.Dispatched = to.shards[i].routed - r.winMark.shards[i].routed
-			ss.CPUUtil = utilDelta(r.winMark.shards[i].cpuBusy, to.shards[i].cpuBusy, r.winMark.t, to.t)
-			ss.DiskUtil = utilDelta(r.winMark.shards[i].diskBusy, to.shards[i].diskBusy, r.winMark.t, to.t)
+		if i < len(r.winShard) {
+			ss.Completed = r.winShard[i]
+			r.winShard[i] = 0
+		}
+		// As in shardReports, a shard added mid-window is simply absent
+		// from the opening mark: its counters delta from zero.
+		var f shardMark
+		if i < len(r.winMark.shards) {
+			f = r.winMark.shards[i]
+		}
+		if i < len(to.shards) {
+			t := to.shards[i]
+			ss.Dispatched = t.routed - f.routed
+			ss.CPUUtil = utilDelta(f.cpuBusy, t.cpuBusy, r.winMark.t, to.t)
+			ss.DiskUtil = utilDelta(f.diskBusy, t.diskBusy, r.winMark.t, to.t)
+			if w := to.t - r.winMark.t; w > 0 {
+				ss.Availability = (t.upSec - f.upSec) / w
+			}
 		}
 		out[i] = ss
-		r.winShard[i] = 0
 	}
 	return out
 }
@@ -1179,6 +1417,9 @@ func (r *run) emitSnapshot(ph Phase) {
 		Shed:         to.shed - r.winMark.shed,
 		ShedHigh:     to.shedHigh - r.winMark.shedHigh,
 		ShedLow:      to.shedLow - r.winMark.shedLow,
+		Failed:       to.failed - r.winMark.failed,
+		Resubmitted:  to.resub - r.winMark.resub,
+		Retries:      to.retries - r.winMark.retries,
 		CPUUtil:      utilDelta(r.winMark.cpuBusy, to.cpuBusy, r.winMark.t, to.t),
 		DiskUtil:     utilDelta(r.winMark.diskBusy, to.diskBusy, r.winMark.t, to.t),
 	}

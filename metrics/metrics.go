@@ -78,6 +78,16 @@ type Snapshot struct {
 	// simulated DBMS).
 	Restarts uint64
 
+	// Failed counts transactions terminally lost to backend failures:
+	// work a dead shard held that the recovery policy shed (or whose
+	// retry budget ran out), plus submissions that found no live
+	// backend. Resubmitted counts logical transactions re-routed to a
+	// survivor at least once after a failure; Retries counts individual
+	// resubmission events (a txn bounced through two failures counts
+	// twice). All three follow the Dropped window conventions: deltas
+	// in interval snapshots, totals in cumulative ones.
+	Failed, Resubmitted, Retries uint64
+
 	// CPUUtil / DiskUtil are the simulated device utilizations over the
 	// window (zero for live gates, which cannot see their backend).
 	CPUUtil, DiskUtil float64
@@ -109,6 +119,14 @@ type ShardStat struct {
 	// CPUUtil / DiskUtil are the member's simulated device utilizations
 	// over the window.
 	CPUUtil, DiskUtil float64
+	// State is the member's lifecycle state at the snapshot instant
+	// ("up", "draining", "down"; empty when the frontend has no
+	// lifecycle — plain live gates, unsharded runs).
+	State string
+	// Availability is the fraction of the window the member was
+	// serving (1 when the fault model is not armed). Like the traffic
+	// counters it follows the enclosing Snapshot's window convention.
+	Availability float64
 }
 
 // Observer receives streamed snapshots during a run. OnInterval is

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"extsched/internal/core"
 	"extsched/internal/runner"
@@ -184,6 +185,37 @@ type Event struct {
 	// clears a class's deadline). Works on sharded systems too — each
 	// shard sheds against its own queue.
 	SetAdmitDeadline *AdmitDeadline `json:"set_admit_deadline,omitempty"`
+	// ShardFail crashes that shard: it goes down, survivors absorb its
+	// MPL share, and the work it held goes to Config.Recovery (resubmit
+	// with backoff, or shed). Error on unsharded systems.
+	ShardFail *int `json:"shard_fail,omitempty"`
+	// ShardRecover returns a down shard to service (or cancels a
+	// drain). Error on unsharded systems.
+	ShardRecover *int `json:"shard_recover,omitempty"`
+	// ShardRemove drains that shard gracefully: no new work routes to
+	// it and it leaves the fleet once empty. Error on unsharded
+	// systems.
+	ShardRemove *int `json:"shard_remove,omitempty"`
+	// ShardAdd joins a fresh shard (same workload and queue policy as
+	// the rest of the fleet, nominal speed, seeded by its index). Error
+	// on unsharded systems.
+	ShardAdd bool `json:"shard_add,omitempty"`
+}
+
+// ChurnSpec runs a deterministic MTBF/MTTR fault generator for one
+// phase: each shard independently alternates exponential up times
+// (mean MTBF) and down times (mean MTTR), from a seeded schedule that
+// reruns bit-identically. A generated failure that would take the last
+// up shard down is skipped. Sharded systems only.
+type ChurnSpec struct {
+	// MTBF is the per-shard mean time between failures in simulated
+	// seconds (> 0).
+	MTBF float64 `json:"mtbf"`
+	// MTTR is the per-shard mean time to recovery in simulated seconds
+	// (> 0).
+	MTTR float64 `json:"mttr"`
+	// Seed drives the failure schedule (0 = Config.Seed).
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // Phase is one segment of a Scenario: a traffic source run for
@@ -221,6 +253,9 @@ type Phase struct {
 	Trace        *Trace      `json:"trace,omitempty"`
 	TraceSynth   *TraceSynth `json:"trace_synth,omitempty"`
 	TraceSpeedup float64     `json:"trace_speedup,omitempty"`
+	// Churn, when non-nil, runs the MTBF/MTTR fault generator for this
+	// phase (sharded systems only).
+	Churn *ChurnSpec `json:"churn,omitempty"`
 	// Events are mid-phase control actions.
 	Events []Event `json:"events,omitempty"`
 }
@@ -265,6 +300,9 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 			Trace:        ph.Trace,
 			TraceSpeedup: ph.TraceSpeedup,
 		}
+		if ch := ph.Churn; ch != nil {
+			rp.Churn = &runner.ChurnSpec{MTBF: ch.MTBF, MTTR: ch.MTTR, Seed: ch.Seed}
+		}
 		if ph.Kind == PhaseTrace {
 			if ph.Trace != nil && ph.TraceSynth != nil {
 				return runner.Spec{}, fmt.Errorf("extsched: phase %d: set either Trace or TraceSynth, not both", i)
@@ -295,6 +333,10 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 				SetDispatch:       ev.SetDispatch,
 				DisableController: ev.DisableController,
 				DisableSLO:        ev.DisableSLO,
+				ShardFail:         ev.ShardFail,
+				ShardRecover:      ev.ShardRecover,
+				ShardRemove:       ev.ShardRemove,
+				ShardAdd:          ev.ShardAdd,
 			}
 			if ss := ev.SetShardSpeed; ss != nil {
 				re.SetShardSpeed = &runner.ShardSpeed{Shard: ss.Shard, Speed: ss.Speed}
@@ -374,6 +416,13 @@ type ShardResult struct {
 	Speed float64
 	// Dispatched counts arrivals routed to the shard in the window.
 	Dispatched uint64
+	// State is the shard's lifecycle state when the run ended ("up",
+	// "draining", "down").
+	State string
+	// Availability is the fraction of the measurement window the shard
+	// was serving (1 when the scenario never touched it; a shard added
+	// mid-run accrues only from its join).
+	Availability float64
 	Report
 }
 
@@ -495,6 +544,9 @@ func reportFrom(r runner.Report) Report {
 		Shed:        r.Shed,
 		ShedHigh:    r.ShedHigh,
 		ShedLow:     r.ShedLow,
+		Failed:      r.Failed,
+		Resubmitted: r.Resubmitted,
+		Retries:     r.Retries,
 		P50:         r.P50,
 		P95:         r.P95,
 		P99:         r.P99,
@@ -514,11 +566,60 @@ func (s *System) Run(ctx context.Context, sc Scenario, obs ...metrics.Observer) 
 	return s.runScenario(ctx, sc, nil, obs...)
 }
 
+// checkShardEvents vets the scenario's lifecycle actions against this
+// System's fleet: lifecycle events need a sharded config, and fail/
+// recover/remove targets must name a shard that exists by the time the
+// event fires (the starting fleet plus any earlier shard_add events).
+// Validation the scenario alone cannot do — only the System knows the
+// shard count.
+func (s *System) checkShardEvents(sc Scenario) error {
+	n := s.cfg.Shards.Count
+	for i, ph := range sc.Phases {
+		if n == 0 {
+			if ph.Churn != nil {
+				return fmt.Errorf("extsched: phase %d: churn on an unsharded system", i)
+			}
+			for j, ev := range ph.Events {
+				if ev.ShardFail != nil || ev.ShardRecover != nil || ev.ShardRemove != nil || ev.ShardAdd {
+					return fmt.Errorf("extsched: phase %d event %d: shard lifecycle event on an unsharded system", i, j)
+				}
+			}
+			continue
+		}
+		// Walk the events in firing order, growing the known fleet at
+		// each shard_add.
+		evs := append([]Event(nil), ph.Events...)
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+		for j, ev := range evs {
+			if ev.ShardAdd {
+				n++
+			}
+			for _, tgt := range []struct {
+				name string
+				idx  *int
+			}{
+				{"shard_fail", ev.ShardFail},
+				{"shard_recover", ev.ShardRecover},
+				{"shard_remove", ev.ShardRemove},
+			} {
+				if tgt.idx != nil && *tgt.idx >= n {
+					return fmt.Errorf("extsched: phase %d event %d: %s targets unknown shard %d (fleet has %d)",
+						i, j, tgt.name, *tgt.idx, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // runScenario is Run with an optional MPL override for the fresh stack
 // (AutoTune starts at the model's jump-start value, not Config.MPL).
 func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, obs ...metrics.Observer) (Result, error) {
 	spec, err := sc.spec(true)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := s.checkShardEvents(sc); err != nil {
 		return Result{}, err
 	}
 	mpl := s.cfg.MPL
@@ -553,6 +654,7 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 	for _, sr := range out.Shards {
 		res.Shards = append(res.Shards, ShardResult{
 			Shard: sr.Shard, Speed: sr.Speed, Dispatched: sr.Dispatched,
+			State: sr.State, Availability: sr.Availability,
 			Report: reportFrom(sr.Report),
 		})
 	}

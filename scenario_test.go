@@ -201,6 +201,9 @@ func TestScenarioZeroDurationPhase(t *testing.T) {
 	}
 }
 
+// intp is a literal-int pointer helper for event tables.
+func intp(v int) *int { return &v }
+
 func TestScenarioValidation(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -228,6 +231,14 @@ func TestScenarioValidation(t *testing.T) {
 			Events: []Event{{SetClassLimits: &ClassLimits{High: 1}}}}}}, "class limits"},
 		{"negative deadline", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
 			Events: []Event{{SetAdmitDeadline: &AdmitDeadline{Low: -1}}}}}}, "deadline"},
+		{"negative mttr", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Churn: &ChurnSpec{MTBF: 10, MTTR: -2}}}}, "MTTR"},
+		{"zero mtbf", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Churn: &ChurnSpec{MTTR: 2}}}}, "MTBF"},
+		{"negative fail index", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{ShardFail: intp(-1)}}}}}, "shard_fail"},
+		{"negative recover index", Scenario{Phases: []Phase{{Kind: PhaseClosed, Duration: 1,
+			Events: []Event{{ShardRecover: intp(-3)}}}}}, "shard_recover"},
 	}
 	for _, tc := range cases {
 		err := tc.sc.Validate()
@@ -570,5 +581,88 @@ func TestScenarioValidateRejectsNonFinite(t *testing.T) {
 		if err := sc.Validate(); err == nil {
 			t.Errorf("case %d: non-finite scenario accepted: %+v", i, sc)
 		}
+	}
+}
+
+// TestChurnScenarioRerunBitIdentical is the fault-model determinism
+// gate: a 4-shard system loses one shard mid-burst and gets it back,
+// with resubmit recovery (seeded backoff) armed — run twice on one
+// System, everything must match bit for bit, including the retry
+// timers and availability accounting.
+func TestChurnScenarioRerunBitIdentical(t *testing.T) {
+	sys, err := NewSystem(Config{
+		SetupID: 1, MPL: 12, Seed: 21,
+		Shards:   ShardSpec{Count: 4, Dispatch: "jsq"},
+		Recovery: &RecoverySpec{Mode: RecoveryResubmit, RetryBudget: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 3
+	sc := Scenario{
+		Name:           "churn",
+		Warmup:         10,
+		SampleInterval: 15,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseOpen, Lambda: 280, Duration: 60},
+			{Name: "burst", Kind: PhaseBurst, Lambda: 330, BurstFactor: 2,
+				BurstPeriod: 10, Duration: 60,
+				Events: []Event{
+					{At: 15, ShardFail: &victim},
+					{At: 40, ShardRecover: &victim},
+				}},
+			{Name: "recovered", Kind: PhaseOpen, Lambda: 220, Duration: 60},
+		},
+	}
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("churn re-run on one System not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("churn observer streams differ between re-runs")
+	}
+	if len(r1.Shards) != 4 {
+		t.Fatalf("Shards = %d, want 4", len(r1.Shards))
+	}
+	// The outage is visible: the victim's availability dips below 1
+	// while the survivors stay at 1, and it ends the run back up.
+	v := r1.Shards[victim]
+	if v.State != "up" {
+		t.Errorf("victim final state = %q, want up (recovered)", v.State)
+	}
+	if v.Availability >= 1 {
+		t.Errorf("victim availability = %v, want < 1 (it was down 25s)", v.Availability)
+	}
+	for i, sr := range r1.Shards {
+		if i != victim && sr.Availability != 1 {
+			t.Errorf("survivor %d availability = %v, want 1", i, sr.Availability)
+		}
+	}
+	// The fault model actually fired: the burst keeps the victim busy
+	// at the kill instant, so work was withdrawn and resubmitted (and
+	// with budget 3 on a healthy remainder, nothing is lost).
+	if r1.Total.Resubmitted == 0 {
+		t.Error("no transactions resubmitted — the kill found an empty shard, weaken the test by raising load")
+	}
+	if r1.Total.Retries < r1.Total.Resubmitted {
+		t.Errorf("retries %d < resubmitted %d", r1.Total.Retries, r1.Total.Resubmitted)
+	}
+	// A mid-outage snapshot shows the victim down.
+	sawDown := false
+	for _, s := range obs1.Snapshots {
+		if len(s.Shards) == 4 && s.Shards[victim].State == "down" {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Error("no snapshot caught the victim in the down state")
 	}
 }

@@ -1,0 +1,87 @@
+package extsched
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"extsched/metrics"
+)
+
+// TestChurnSoakFlatHeap is the nightly leak check for the fault model:
+// an eight-shard system runs a long open-load phase under the
+// MTBF/MTTR churn generator with resubmit recovery armed, and the
+// observer samples the garbage-collected heap as the run progresses.
+// Every fault allocates — withdrawn attempts, retry timers, backoff
+// RNG state, availability records — so a leak anywhere in the
+// fail/recover/resubmit cycle shows up as monotonic heap growth over
+// the hundreds of generated faults. The run must end with a heap no
+// larger than its early steady state (within tolerance), and the churn
+// must actually have fired.
+func TestChurnSoakFlatHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: long churny run, skipped with -short (nightly runs it in full)")
+	}
+	const shards = 8
+	sys, err := NewSystem(Config{
+		SetupID: 1, MPL: 5 * shards, Seed: 33,
+		Shards:   ShardSpec{Count: shards, Dispatch: "jsq"},
+		Recovery: &RecoverySpec{Mode: RecoveryResubmit, RetryBudget: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MTBF 40 / MTTR 8 over 1500 simulated seconds generates a few
+	// hundred fail/recover cycles; λ is sized so the fleet keeps
+	// headroom with the expected one-to-two shards down at a time.
+	sc := Scenario{
+		Name:           "churn-soak",
+		Warmup:         20,
+		SampleInterval: 25,
+		Phases: []Phase{
+			{Name: "soak", Kind: PhaseOpen, Lambda: 400, Duration: 1500,
+				Churn: &ChurnSpec{MTBF: 40, MTTR: 8, Seed: 7}},
+		},
+	}
+	var heap []uint64
+	obs := metrics.ObserverFunc(func(s metrics.Snapshot) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap = append(heap, ms.HeapAlloc)
+	})
+	res, err := sys.Run(context.Background(), sc, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Resubmitted == 0 {
+		t.Fatal("soak generated no resubmissions — churn never caught the system busy; raise the load")
+	}
+	if len(heap) < 16 {
+		t.Fatalf("only %d heap samples; need enough to compare early vs late", len(heap))
+	}
+	// Compare the late-run heap against the early steady state. The
+	// first quarter is excluded (warmup and lazily-grown buffers —
+	// percentile reservoirs, snapshot slices — are still filling); from
+	// there the heap must be flat: mean of the last quarter within 1.5x
+	// of the second quarter's mean, plus a small absolute slack so a
+	// tiny baseline heap doesn't make the ratio twitchy.
+	q := len(heap) / 4
+	mean := func(xs []uint64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += float64(x)
+		}
+		return sum / float64(len(xs))
+	}
+	early := mean(heap[q : 2*q])
+	late := mean(heap[3*q:])
+	const slack = 4 << 20
+	if late > early*1.5+slack {
+		t.Errorf("heap grew across the soak: early mean %.0f bytes, late mean %.0f bytes (want late <= 1.5*early + %d)",
+			early, late, slack)
+	}
+	t.Logf("soak: resubmitted %d, retries %d, lost %d; heap early %.1f MiB late %.1f MiB",
+		res.Total.Resubmitted, res.Total.Retries, res.Total.Failed,
+		early/(1<<20), late/(1<<20))
+}
