@@ -1,7 +1,9 @@
 // Command benchcheck is the bench-regression gate: it re-measures the
 // repository's tracked performance metrics — kernel microbenchmarks
-// (ns/op and allocs/op), live-gate overhead, and the deterministic
-// summary numbers of the fig7, dispatch, slo and churn figures — and compares
+// (ns/op and allocs/op), live-gate overhead (serial plus RunParallel
+// contention sweeps at GOMAXPROCS 2/4/8, and the Pool fast path), and
+// the deterministic summary numbers of the fig7, dispatch, slo and
+// churn figures — and compares
 // them against the committed BENCH_baseline.json with per-metric
 // tolerances. Any regression exits nonzero, which is what lets CI
 // refuse a PR that slows a hot path or silently changes a figure.
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -245,6 +248,67 @@ func measure() ([]Metric, error) {
 	})
 	add("gate/acquire_release/ns_op", "time", float64(r.NsPerOp()))
 	add("gate/acquire_release/allocs_op", "allocs", float64(r.AllocsPerOp()))
+
+	// Live gate under contention: the same uncontended-admission path
+	// driven from N goroutines on N procs (gate
+	// BenchmarkGateAcquireReleaseParallel at -cpu 2,4,8). On a 1-core
+	// runner the goroutines timeslice, so ns/op is not a scaling
+	// number there — but allocs/op must still be exactly 0, and a
+	// gross slowdown (a lock sneaking back onto the fast path) still
+	// trips the wide time tolerance.
+	prev := runtime.GOMAXPROCS(0)
+	for _, n := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(n)
+		gp, err := gate.New(gate.Config{})
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			return nil, err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					tk, err := gp.Acquire(ctx)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					tk.Release(gate.Result{})
+				}
+			})
+		})
+		add(fmt.Sprintf("gate/acquire_release_parallel_cpu%d/ns_op", n), "time", float64(r.NsPerOp()))
+		add(fmt.Sprintf("gate/acquire_release_parallel_cpu%d/allocs_op", n), "allocs", float64(r.AllocsPerOp()))
+	}
+
+	// Pool fast path: routing (one short mutexed pick) plus the member
+	// gate's lock-free admission, 4 members round-robin on 4 procs.
+	runtime.GOMAXPROCS(4)
+	pl, err := gate.NewPool(gate.PoolConfig{Members: 4, Dispatch: "rr"})
+	if err != nil {
+		runtime.GOMAXPROCS(prev)
+		return nil, err
+	}
+	r = testing.Benchmark(func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				tk, err := pl.Acquire(ctx)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				tk.Release(gate.Result{})
+			}
+		})
+	})
+	runtime.GOMAXPROCS(prev)
+	add("gate/pool_acquire_release_parallel_cpu4/ns_op", "time", float64(r.NsPerOp()))
+	add("gate/pool_acquire_release_parallel_cpu4/allocs_op", "allocs", float64(r.AllocsPerOp()))
 
 	// Figure summaries: deterministic given the seed, so drift means
 	// the simulation's behavior changed, not the host.

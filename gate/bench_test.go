@@ -5,11 +5,32 @@ import (
 	"testing"
 )
 
-// BenchmarkGateAcquireRelease measures the uncontended fast path: an
-// unlimited gate, so every Acquire admits immediately and Release
-// never wakes a waiter. This is the pure overhead the gate adds to a
-// guarded call (one Ticket + channel allocation, two mutexed hops).
+// BenchmarkGateAcquireRelease measures the uncontended serial fast
+// path: an unlimited gate, so every Acquire admits on the lock-free
+// word and Release never wakes a waiter. This is the pure overhead the
+// gate adds to a guarded call — target 0 allocs/op (ticket slots come
+// from the per-gate pool).
 func BenchmarkGateAcquireRelease(b *testing.B) {
+	g, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk, err := g.Acquire(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tk.Release(Result{})
+	}
+}
+
+// BenchmarkGateAcquireReleaseParallel is the same uncontended path
+// under RunParallel — run with -cpu 2,4,8 to see how the lock-free
+// admit word scales. With no queue the goroutines contend only on the
+// CAS, so throughput should stay near-flat per core.
+func BenchmarkGateAcquireReleaseParallel(b *testing.B) {
 	g, err := New(Config{})
 	if err != nil {
 		b.Fatal(err)
@@ -28,9 +49,32 @@ func BenchmarkGateAcquireRelease(b *testing.B) {
 	})
 }
 
+// BenchmarkGatePoolAcquireReleaseParallel sends the same uncontended
+// traffic through a Pool (round-robin over 4 unlimited members), so
+// the routing lock plus the member fast path is what's measured.
+func BenchmarkGatePoolAcquireReleaseParallel(b *testing.B) {
+	p, err := NewPool(PoolConfig{Members: 4, Dispatch: "rr"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tk, err := p.Acquire(ctx)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			tk.Release(Result{})
+		}
+	})
+}
+
 // BenchmarkGateAcquireReleaseContended runs more goroutines than
 // slots, so most Acquires queue and every Release hands its slot to a
-// waiter — the handoff path a saturated service lives on.
+// waiter — the handoff (mutex + policy) path a saturated service
+// lives on.
 func BenchmarkGateAcquireReleaseContended(b *testing.B) {
 	g, err := New(Config{Limit: 4})
 	if err != nil {

@@ -144,6 +144,9 @@ type Result struct {
 type Gate struct {
 	fe    *core.Frontend
 	clock sim.Clock
+	// slots recycles ticketSlots so the uncontended Acquire/Release
+	// round trip allocates nothing.
+	slots sync.Pool
 	// tuneMu serializes the Enable/Disable tune paths so the two
 	// loops' mutual-exclusion checks cannot race each other; the
 	// completion hot path only Loads the atomics.
@@ -153,23 +156,41 @@ type Gate struct {
 	errs   atomic.Uint64
 }
 
-// Ticket is one admitted unit of work. Callers must Release it exactly
-// once; a second Release is a no-op.
-type Ticket struct {
-	g        *Gate
-	item     core.Item
+// ticketSlot is the reusable per-acquisition record behind a Ticket.
+// Slots cycle through a per-gate sync.Pool; the generation counter is
+// what keeps a stale Ticket (one whose slot has since been reused)
+// from touching the new acquisition: Release claims the slot with a
+// CAS from the generation the Ticket was issued at, so only the first
+// Release of the current generation does anything.
+type ticketSlot struct {
+	g    *Gate
+	item core.Item
+	// admitted carries the admission (or shed) wake-up: capacity 1,
+	// one token per submission, consumed before the slot is reused.
 	admitted chan struct{}
-	released atomic.Bool
-	// shed is set (before admitted closes) when the ticket was
-	// deadline-shed instead of admitted.
-	shed atomic.Bool
+	gen      atomic.Uint64
+	// shed is set (before the admitted token is sent) when the ticket
+	// was deadline-shed instead of admitted.
+	shed bool
+	// noPool marks a slot that armed a deadline timer: the timer
+	// callback may still run arbitrarily late with a reference to the
+	// slot's item, so the slot must not be recycled.
+	noPool bool
+}
+
+// Ticket is one admitted unit of work. Callers must Release it exactly
+// once; further Releases (from any copy of the Ticket) are no-ops. The
+// zero Ticket is inert.
+type Ticket struct {
+	s   *ticketSlot
+	gen uint64
 }
 
 // backend admits items by waking the Acquire that submitted them.
 type backend struct{}
 
 func (backend) Exec(it *core.Item) {
-	close(it.Payload.(*Ticket).admitted)
+	it.Payload.(*ticketSlot).admitted <- struct{}{}
 }
 
 // New builds a gate from cfg.
@@ -206,6 +227,9 @@ func New(cfg Config) (*Gate, error) {
 		}
 	}
 	g := &Gate{clock: clock}
+	g.slots.New = func() any {
+		return &ticketSlot{g: g, admitted: make(chan struct{}, 1)}
+	}
 	g.fe = core.New(clock, backend{}, cfg.Limit, policy)
 	if cfg.QueueLimit > 0 {
 		g.fe.SetQueueLimit(cfg.QueueLimit)
@@ -222,11 +246,12 @@ func New(cfg Config) (*Gate, error) {
 	}
 	// Deadline-shed tickets are woken through the shed hook: the item
 	// never dispatches, so the admitted channel would otherwise block
-	// its Acquire forever.
+	// its Acquire forever. The channel send orders the shed flag for
+	// the waking goroutine.
 	g.fe.OnShed = func(it *core.Item) {
-		tk := it.Payload.(*Ticket)
-		tk.shed.Store(true)
-		close(tk.admitted)
+		s := it.Payload.(*ticketSlot)
+		s.shed = true
+		s.admitted <- struct{}{}
 	}
 	if cfg.PercentileSamples > 0 {
 		seed := cfg.Seed
@@ -250,7 +275,7 @@ func New(cfg Config) (*Gate, error) {
 }
 
 // Acquire waits for admission with default request attributes.
-func (g *Gate) Acquire(ctx context.Context) (*Ticket, error) {
+func (g *Gate) Acquire(ctx context.Context) (Ticket, error) {
 	return g.AcquireRequest(ctx, Request{})
 }
 
@@ -259,89 +284,122 @@ func (g *Gate) Acquire(ctx context.Context) (*Ticket, error) {
 // admission-control mode — the queue is full. On success the caller
 // holds one of the gate's Limit slots and must Release the ticket when
 // the guarded work finishes.
-func (g *Gate) AcquireRequest(ctx context.Context, req Request) (*Ticket, error) {
+//
+// When a slot is free and nothing is waiting, admission is a lock-free
+// CAS on the frontend's gate word plus a pooled ticket slot: no mutex,
+// no channel operation, no allocation. The queueing path below is
+// taken only when the request must actually wait (or a policy feature
+// — class partitions, admit deadlines — needs the ordered slow path).
+func (g *Gate) AcquireRequest(ctx context.Context, req Request) (Ticket, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return Ticket{}, err
 	}
-	tk := &Ticket{g: g, admitted: make(chan struct{})}
-	it := &tk.item
+	s := g.slots.Get().(*ticketSlot)
+	it := &s.item
 	it.Class = core.Class(req.Class)
 	it.SizeHint = req.SizeHint
-	it.Payload = tk
+	it.Payload = s
+	if g.fe.TryAcquire(it) {
+		return Ticket{s: s, gen: s.gen.Load()}, nil
+	}
 	if !g.fe.Submit(it, nil) {
-		return nil, ErrQueueFull
+		g.putSlot(s)
+		return Ticket{}, ErrQueueFull
 	}
 	// Submit stamped the class's admission deadline (if any); arm a
 	// timer so a waiter is woken with ErrDeadline the moment it passes,
 	// not whenever its dead ticket surfaces at the head of the queue.
 	var timer sim.Timer
 	if it.Deadline > 0 {
+		// The timer callback holds the item past this acquisition's
+		// lifetime (Cancel cannot un-run a callback already in flight),
+		// so this slot retires instead of returning to the pool.
+		s.noPool = true
 		timer = g.clock.After(it.Deadline-g.clock.Now(), func() {
 			g.fe.ShedQueued(it)
 		})
 	}
 	select {
-	case <-tk.admitted:
+	case <-s.admitted:
 		if timer != nil {
 			timer.Cancel()
 		}
-		if tk.shed.Load() {
-			return nil, ErrDeadline
+		if s.shed {
+			// The shed item may still sit in the queue awaiting lazy
+			// discard, so the slot is not reusable; drop it.
+			return Ticket{}, ErrDeadline
 		}
-		return tk, nil
+		return Ticket{s: s, gen: s.gen.Load()}, nil
 	case <-ctx.Done():
 		if timer != nil {
 			timer.Cancel()
 		}
 		if g.fe.CancelQueued(it) {
-			// Withdrawn while still queued: no slot was consumed.
-			return nil, ctx.Err()
+			// Withdrawn while still queued: no slot was consumed. The
+			// canceled item stays referenced by the queue until its lazy
+			// discard, so the ticket slot must not be recycled.
+			return Ticket{}, ctx.Err()
 		}
 		// Admission — or a shed — raced the cancellation. A shed ticket
 		// holds no slot; an admitted one must hand its slot back as a
 		// discard: the work never ran, so it must not register as a
 		// completion (which would feed the auto-tuner a fabricated
 		// near-zero response time) or as an error.
-		<-tk.admitted
-		if tk.shed.Load() {
-			return nil, ctx.Err()
+		<-s.admitted
+		if s.shed {
+			return Ticket{}, ctx.Err()
 		}
-		tk.discard()
-		return nil, ctx.Err()
+		g.fe.Discard(it)
+		g.putSlot(s)
+		return Ticket{}, ctx.Err()
 	}
+}
+
+// putSlot resets a settled slot — no queue references, admitted token
+// consumed — and returns it to the pool.
+func (g *Gate) putSlot(s *ticketSlot) {
+	if s.noPool {
+		return
+	}
+	s.item = core.Item{}
+	s.shed = false
+	g.slots.Put(s)
 }
 
 // Release frees the ticket's slot, recording res. The next waiting
 // request (per the queue policy) is admitted on the caller's
-// goroutine before Release returns.
-func (t *Ticket) Release(res Result) {
-	if t.released.Swap(true) {
-		return
+// goroutine before Release returns. On the uncontended path this is a
+// lock-free CAS plus the metrics update — no mutex, no allocation.
+func (t Ticket) Release(res Result) { t.release(res) }
+
+// release performs the first-Release work and reports whether this
+// call was the one that claimed the ticket (false: already released,
+// or the zero Ticket).
+func (t Ticket) release(res Result) bool {
+	s := t.s
+	if s == nil || !s.gen.CompareAndSwap(t.gen, t.gen+1) {
+		return false
 	}
+	g := s.g
 	if res.Err != nil {
-		t.g.errs.Add(1)
+		g.errs.Add(1)
 	}
-	inside := t.g.clock.Now() - t.item.Dispatch
-	t.g.fe.Complete(&t.item, core.Outcome{InsideTime: inside})
+	inside := g.clock.Now() - s.item.Dispatch
+	g.fe.Complete(&s.item, core.Outcome{InsideTime: inside})
+	g.putSlot(s)
+	return true
 }
 
-// discard frees the slot of an admitted-but-never-used ticket without
-// touching the completion metrics (see AcquireRequest's cancellation
-// race).
-func (t *Ticket) discard() {
-	if t.released.Swap(true) {
-		return
-	}
-	t.g.fe.Discard(&t.item)
-}
-
-// Limit returns the current MPL (0 = unlimited).
+// Limit returns the current MPL (0 = unlimited). Lock-free —
+// hot-path-safe.
 func (g *Gate) Limit() int { return g.fe.MPL() }
 
 // Inflight returns the number of admitted, unreleased units of work.
+// Lock-free — hot-path-safe.
 func (g *Gate) Inflight() int { return g.fe.Inside() }
 
 // Queued returns the number of callers waiting in the external queue.
+// Takes the queue lock briefly; fine for reporters, avoid per-request.
 func (g *Gate) Queued() int { return g.fe.QueueLen() }
 
 // SetLimit changes the MPL. Raising it admits queued work immediately
@@ -387,6 +445,8 @@ func (g *Gate) SetClassLimits(limits map[Class]int) error {
 }
 
 // ClassLimits returns the current per-class partition (nil when none).
+// Allocates a fresh map per call; per-request readers should use
+// ClassLimit instead.
 func (g *Gate) ClassLimits() map[Class]int {
 	cl := g.fe.ClassLimits()
 	if cl == nil {
@@ -397,6 +457,14 @@ func (g *Gate) ClassLimits() map[Class]int {
 		out[Class(c)] = l
 	}
 	return out
+}
+
+// ClassLimit returns class c's limit under the current partition (ok
+// false when the class is uncapped or no partition is set). Unlike
+// ClassLimits it allocates nothing.
+func (g *Gate) ClassLimit(c Class) (limit int, ok bool) {
+	l, ok := g.fe.ClassLimit(core.Class(c))
+	return l, ok
 }
 
 // ClassPercentile reports class c's p-th response-time percentile over
@@ -417,7 +485,11 @@ func (g *Gate) ClassPercentile(c Class, p float64) float64 {
 // Phase, CPUUtil, DiskUtil, Restarts — stay zero here.
 type Stats = metrics.Snapshot
 
-// Stats snapshots the gate.
+// Stats snapshots the gate. The snapshot is assembled without
+// allocating (the percentile estimators reuse internal scratch), so
+// periodic reporters can call it freely; it does take the gate's
+// internal locks briefly, so it is a reporting call, not a per-request
+// one — per-request code should stick to Limit/Inflight.
 func (g *Gate) Stats() Stats {
 	m := g.fe.Metrics()
 	s := Stats{

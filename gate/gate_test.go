@@ -29,7 +29,7 @@ func TestGateLimitsConcurrency(t *testing.T) {
 		t.Fatalf("inflight = %d, want 2", got)
 	}
 	// A third Acquire must block until a slot frees.
-	third := make(chan *Ticket, 1)
+	third := make(chan Ticket, 1)
 	go func() {
 		tk, err := g.Acquire(ctx)
 		if err != nil {
@@ -61,7 +61,7 @@ func TestUnlimitedGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tks []*Ticket
+	var tks []Ticket
 	for i := 0; i < 50; i++ {
 		tk, err := g.Acquire(context.Background())
 		if err != nil {
@@ -87,7 +87,7 @@ func TestQueueFullDrops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued := make(chan *Ticket, 1)
+	queued := make(chan Ticket, 1)
 	go func() {
 		q, err := g.Acquire(ctx) // fills the queue
 		if err != nil {
@@ -573,5 +573,151 @@ func TestWatchRace(t *testing.T) {
 	s := g.Stats()
 	if s.Inflight != 0 {
 		t.Errorf("gate not drained: %+v", s)
+	}
+}
+
+// TestSetLimitShrinkUnderLoad verifies SetLimit races cleanly with the
+// lock-free counter: shrinking below the current inflight count must
+// not underflow, must block new admissions until the overshoot drains,
+// and must not strand queued waiters afterwards.
+func TestSetLimitShrinkUnderLoad(t *testing.T) {
+	g, err := New(Config{Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var held []Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := g.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, tk)
+	}
+	g.SetLimit(2)
+	if got := g.Inflight(); got != 4 {
+		t.Fatalf("Inflight=%d after shrink, want 4 (overshoot drains, never truncates)", got)
+	}
+	admitted := make(chan Ticket, 1)
+	go func() {
+		tk, err := g.Acquire(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- tk
+	}()
+	// 4, then 3, then 2 inflight: all still >= the new limit of 2, so
+	// the waiter must stay queued.
+	held[0].Release(Result{})
+	held[1].Release(Result{})
+	select {
+	case <-admitted:
+		t.Fatal("waiter admitted while inflight >= shrunken limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	held[2].Release(Result{}) // 1 < 2: the waiter must wake now
+	select {
+	case tk := <-admitted:
+		tk.Release(Result{})
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter stranded after the overshoot drained")
+	}
+	held[3].Release(Result{})
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight=%d after drain, want 0 (underflow check)", got)
+	}
+}
+
+// TestSetLimitShrinkConcurrentHammer flips the limit while goroutines
+// hammer Acquire/Release across the fast and slow paths; run with
+// -race. The invariant is only that nothing underflows, deadlocks, or
+// strands: every Acquire eventually returns and the gate drains to 0.
+func TestSetLimitShrinkConcurrentHammer(t *testing.T) {
+	g, err := New(Config{Limit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	go func() {
+		limits := []int{8, 2, 5, 1, 8, 3}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				g.SetLimit(0)
+				return
+			default:
+				g.SetLimit(limits[i%len(limits)])
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tk, err := g.Acquire(ctx)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tk.Release(Result{})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight=%d after drain, want 0", got)
+	}
+	if got := g.Queued(); got != 0 {
+		t.Fatalf("Queued=%d after drain, want 0", got)
+	}
+}
+
+// TestAcquireReleaseZeroAlloc pins the live fast path at zero
+// allocations per op — ticket slots are pooled and the admission word
+// is lock-free, so a warm gate must not touch the heap.
+func TestAcquireReleaseZeroAlloc(t *testing.T) {
+	g, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(100, func() {
+		tk, err := g.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.Release(Result{})
+	}); n != 0 {
+		t.Errorf("Acquire+Release allocates %v/op, want 0", n)
+	}
+}
+
+// TestHotAccessorsZeroAlloc pins the accessors documented as
+// hot-path-safe: Limit, Inflight, Queued and ClassLimit must not
+// allocate (Stats and ClassLimits are reporting calls and may).
+func TestHotAccessorsZeroAlloc(t *testing.T) {
+	g, err := New(Config{Limit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetClassLimits(map[Class]int{0: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = g.Limit()
+		_ = g.Inflight()
+		_ = g.Queued()
+		_, _ = g.ClassLimit(0)
+	}); n != 0 {
+		t.Errorf("hot accessors allocate %v/op, want 0", n)
 	}
 }

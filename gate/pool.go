@@ -101,8 +101,10 @@ type Pool struct {
 	speeds []float64
 	routed []uint64
 	// idx maps filtered (healthy-only) policy picks back to member
-	// indices when the breaker is armed.
-	idx []int
+	// indices when the breaker is armed; loads is the matching
+	// per-route scratch (both under mu), so routing allocates nothing.
+	idx   []int
+	loads []cluster.Load
 
 	// breaker is nil when health tracking is disabled. fleetLimit is
 	// the requested fleet-wide limit the breaker re-splits across
@@ -139,6 +141,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		speeds: make([]float64, cfg.Members),
 		routed: make([]uint64, cfg.Members),
 		idx:    make([]int, 0, cfg.Members),
+		loads:  make([]cluster.Load, 0, cfg.Members),
 	}
 	if cfg.Breaker != nil {
 		b := cfg.Breaker.withDefaults()
@@ -232,7 +235,7 @@ func (p *Pool) route(req Request) (member int, probe bool, err error) {
 			}
 		}
 	}
-	loads := make([]cluster.Load, 0, len(p.members))
+	loads := p.loads[:0]
 	idx := p.idx[:0]
 	for i, g := range p.members {
 		if p.breaker != nil && p.health[i] != memberUp {
@@ -282,7 +285,7 @@ func (p *Pool) finish(i int, size float64) {
 
 // Acquire waits for admission somewhere in the pool with default
 // request attributes.
-func (p *Pool) Acquire(ctx context.Context) (*PoolTicket, error) {
+func (p *Pool) Acquire(ctx context.Context) (PoolTicket, error) {
 	return p.AcquireRequest(ctx, Request{})
 }
 
@@ -293,10 +296,10 @@ func (p *Pool) Acquire(ctx context.Context) (*PoolTicket, error) {
 // semantics of the simulated dispatcher, and of a connection handed to
 // one replica). ErrQueueFull surfaces from the chosen member in
 // admission-control mode.
-func (p *Pool) AcquireRequest(ctx context.Context, req Request) (*PoolTicket, error) {
+func (p *Pool) AcquireRequest(ctx context.Context, req Request) (PoolTicket, error) {
 	i, probe, err := p.route(req)
 	if err != nil {
-		return nil, err
+		return PoolTicket{}, err
 	}
 	tk, err := p.members[i].AcquireRequest(ctx, req)
 	if err != nil {
@@ -310,35 +313,36 @@ func (p *Pool) AcquireRequest(ctx context.Context, req Request) (*PoolTicket, er
 			}
 			p.mu.Unlock()
 		}
-		return nil, err
+		return PoolTicket{}, err
 	}
-	return &PoolTicket{t: tk, p: p, member: i, size: req.SizeHint, probe: probe}, nil
+	return PoolTicket{t: tk, p: p, member: i, size: req.SizeHint, probe: probe}, nil
 }
 
 // PoolTicket is one admitted unit of work plus the routing it arrived
-// by. Release it exactly once; a second Release is a no-op.
+// by. It is a small value (copy freely); Release it exactly once — a
+// second Release on any copy is a no-op, claimed by the underlying
+// member ticket's generation counter. The zero PoolTicket is inert.
 type PoolTicket struct {
-	t      *Ticket
+	t      Ticket
 	p      *Pool
 	member int
 	size   float64
 	probe  bool
-	once   sync.Once
 }
 
 // Member returns the index of the member gate that admitted the work.
-func (t *PoolTicket) Member() int { return t.member }
+func (t PoolTicket) Member() int { return t.member }
 
 // Release frees the slot on the admitting member and settles the
 // pool's work accounting. With the breaker armed, res.Err feeds the
 // member's health: consecutive failures trip it, a successful probe
 // closes it again.
-func (t *PoolTicket) Release(res Result) {
-	t.once.Do(func() {
-		t.p.finish(t.member, t.size)
-		t.t.Release(res)
-		t.p.recordResult(t.member, t.probe, res.Err != nil)
-	})
+func (t PoolTicket) Release(res Result) {
+	if t.p == nil || !t.t.release(res) {
+		return
+	}
+	t.p.finish(t.member, t.size)
+	t.p.recordResult(t.member, t.probe, res.Err != nil)
 }
 
 // recordResult applies one released request's outcome to member i's

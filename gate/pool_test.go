@@ -16,7 +16,7 @@ func TestPoolRoundRobinSpreads(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	var tickets []*PoolTicket
+	var tickets []PoolTicket
 	for i := 0; i < 6; i++ {
 		tk, err := p.Acquire(ctx)
 		if err != nil {

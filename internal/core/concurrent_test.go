@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+// admitSignal mirrors the live gate's per-item ticket slot: Backend.Exec
+// (a queued item dispatching) and the OnShed hook each deliver exactly
+// one token on ch, and shed is written before the send so the receiver
+// reads it race-free. The submitter that owns the item is the only
+// receiver — exactly the gate's semantics, where the acquirer owns the
+// item until it hands the ticket back.
+type admitSignal struct {
+	ch   chan struct{}
+	shed atomic.Bool
+}
+
+// TestFrontendConcurrentInvariants is the concurrent twin of
+// TestFrontendRandomOpsInvariants: N goroutines drive the frontend
+// through the same lifecycle the live gate uses — TryAcquire fast
+// admits, Submit with a per-item admitted channel, CancelQueued races,
+// Discard after admission — while another goroutine flaps class
+// limits and admit deadlines to force slow-flag transitions under
+// load. Run it with -race: the assertions are
+//
+//  1. inside <= MPL observed at every admission (fast path included);
+//  2. conservation after the drain —
+//     accepted == completed + canceled + shed, cross-checked against
+//     the frontend's own counters;
+//  3. no item is ever signaled twice or completed twice (the buffered
+//     channel would deadlock or panic the state machine).
+func TestFrontendConcurrentInvariants(t *testing.T) {
+	const mpl = 8
+	workers := 8
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+
+	var fe *Frontend
+	checkInside := func() {
+		if got := fe.Inside(); got > mpl {
+			t.Errorf("inside=%d > MPL=%d", got, mpl)
+		}
+	}
+	exec := backendFunc(func(it *Item) {
+		checkInside()
+		it.Payload.(*admitSignal).ch <- struct{}{}
+	})
+	fe = New(sim.NewWallClock(), exec, mpl, NewFIFO())
+
+	var shedCount atomic.Uint64
+	fe.OnShed = func(it *Item) {
+		s := it.Payload.(*admitSignal)
+		s.shed.Store(true)
+		shedCount.Add(1)
+		s.ch <- struct{}{}
+	}
+
+	var accepted, completed, canceled atomic.Uint64
+	stop := make(chan struct{})
+
+	// Flapper: arms and clears class partitions and admit deadlines,
+	// which toggles the slow flag and the deadlineArmed gate — every
+	// submitter keeps crossing the fast/slow boundary.
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				fe.SetClassLimits(nil)
+				fe.SetAdmitDeadline(ClassHigh, 0)
+				fe.SetAdmitDeadline(ClassLow, 0)
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				fe.SetClassLimits(map[Class]int{ClassHigh: 1 + rng.Intn(3), ClassLow: 1 + rng.Intn(3)})
+			case 1:
+				fe.SetClassLimits(nil)
+			case 2:
+				fe.SetAdmitDeadline(Class(rng.Intn(2)), 0.5)
+			case 3:
+				fe.SetAdmitDeadline(ClassHigh, 0)
+				fe.SetAdmitDeadline(ClassLow, 0)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				sig := &admitSignal{ch: make(chan struct{}, 1)}
+				it := &Item{Class: Class(rng.Intn(2)), SizeHint: rng.Float64(), Payload: sig}
+				if rng.Intn(2) == 0 && fe.TryAcquire(it) {
+					// Fast admit: the caller owns the slot.
+					checkInside()
+					accepted.Add(1)
+					if rng.Intn(16) == 0 {
+						fe.Discard(it)
+						canceled.Add(1)
+					} else {
+						fe.Complete(it, Outcome{InsideTime: rng.Float64()})
+						completed.Add(1)
+					}
+					continue
+				}
+				if !fe.Submit(it, nil) {
+					continue // not accepted (queue limit — unused here)
+				}
+				accepted.Add(1)
+				if rng.Intn(4) == 0 && fe.CancelQueued(it) {
+					canceled.Add(1)
+					continue
+				}
+				// Either it dispatched (Exec sent the token) or a
+				// deadline shed it (OnShed sent the token). Exactly one
+				// sender ever touches sig.ch.
+				<-sig.ch
+				if sig.shed.Load() {
+					continue // counted by the hook
+				}
+				if rng.Intn(16) == 0 {
+					fe.Discard(it)
+					canceled.Add(1)
+				} else {
+					fe.Complete(it, Outcome{InsideTime: rng.Float64()})
+					completed.Add(1)
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	flapWG.Wait()
+
+	// Every submitter resolved its own items before exiting, so the
+	// gate must be empty — anything left queued or inside leaked.
+	if got := fe.Inside(); got != 0 {
+		t.Errorf("Inside=%d after drain, want 0", got)
+	}
+	if got := fe.QueueLen(); got != 0 {
+		t.Errorf("QueueLen=%d after drain, want 0", got)
+	}
+	acc, comp, canc, shed := accepted.Load(), completed.Load(), canceled.Load(), shedCount.Load()
+	if comp+canc+shed != acc {
+		t.Errorf("conservation: completed %d + canceled %d + shed %d != accepted %d", comp, canc, shed, acc)
+	}
+	if got := fe.Canceled(); got != canc {
+		t.Errorf("Canceled()=%d, model %d", got, canc)
+	}
+	if got := fe.Shed(); got != shed {
+		t.Errorf("Shed()=%d, model %d", got, shed)
+	}
+	if got := fe.Metrics().Completed; got != comp {
+		t.Errorf("Metrics().Completed=%d, model %d", got, comp)
+	}
+}

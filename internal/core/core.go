@@ -18,15 +18,36 @@
 // metrics implementation. Time comes from a sim.Clock, so the same
 // code runs in deterministic virtual time and against real traffic.
 //
-// All frontend entry points are safe for concurrent callers. Under the
-// single-threaded simulator the mutex is never contended, so the
-// deterministic event order (and the zero-extra-allocation fast path)
-// is preserved exactly.
+// All frontend entry points are safe for concurrent callers.
+//
+// # Fast path vs slow path
+//
+// The frontend keeps its gate state — the inside count, the MPL limit,
+// and a "slow" flag — packed into one atomic word. An admission that
+// finds the slow flag clear and a free slot claims it with a single
+// CAS, and a completion that finds the flag clear frees its slot the
+// same way: neither takes the mutex, queues, or allocates. The slow
+// flag is set (only ever under the mutex) whenever anything that needs
+// the mutex's ordering is in play: items waiting in the policy queue
+// or a deferred ring, a class-limit partition, or a per-class admit
+// deadline (tracked separately). Because the flag lives in the same
+// word as the counters, every fast-path CAS validates it for free: a
+// concurrent transition to slow invalidates in-flight fast CASes, and
+// the slow path always re-dispatches under the mutex after setting the
+// flag, so a released slot is never lost to a waiter. Items with a
+// pre-set Deadline or a class outside the small tracked range also
+// take the slow path.
+//
+// Under the single-threaded simulator the fast path makes the same
+// state transitions in the same order as the mutex path did, so the
+// deterministic event order (and every same-seed fingerprint) is
+// preserved exactly.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"extsched/internal/sim"
 	"extsched/internal/stats"
@@ -415,6 +436,35 @@ func (m Metrics) Throughput() float64 {
 // a live frontend).
 func (m Metrics) Window() float64 { return m.windowTime }
 
+// The gate word packs the whole fast-path state into one uint64 so a
+// single CAS can atomically check the limit, claim or free a slot, and
+// validate that the slow path is not engaged:
+//
+//	bits 0..29   inside (dispatched, uncompleted items)
+//	bits 30..60  limit  (the MPL; 0 = unlimited)
+//	bit  62      slow flag (queue/deferred work, or a class partition)
+const (
+	insideBits = 30
+	insideMask = (uint64(1) << insideBits) - 1
+	limitShift = insideBits
+	limitBits  = 31
+	limitMask  = (uint64(1) << limitBits) - 1
+	slowFlag   = uint64(1) << 62
+)
+
+// MaxMPL is the largest representable MPL limit.
+const MaxMPL = int(limitMask)
+
+// trackedClasses is the number of small non-negative classes whose
+// inside counts live in a fixed array of atomics (so the lock-free
+// fast path can maintain them). Items of any other class still work —
+// they just always take the mutex path, where a map tracks them.
+const trackedClasses = 8
+
+func unpack(s uint64) (inside, limit int) {
+	return int(s & insideMask), int((s >> limitShift) & limitMask)
+}
+
 // Frontend is the external scheduler: the MPL gate plus the reorderable
 // queue, generic over the executing backend and the time source. All
 // methods are safe for concurrent use.
@@ -422,16 +472,30 @@ type Frontend struct {
 	mu      sync.Mutex
 	clock   sim.Clock
 	backend Backend
-	mpl     int // 0 means unlimited
 	policy  Policy
 	seq     uint64
-	// inside counts items dispatched and not yet completed, as seen by
-	// the frontend.
-	inside  int
-	metrics Metrics
-	// insideClass splits inside by priority class (the class-limit
-	// accounting; always maintained so limits can be enabled mid-run).
-	insideClass map[Class]int
+	// word is the packed gate state (see insideBits and friends): the
+	// inside count, the MPL limit, and the slow flag, maintained with
+	// CAS so the uncontended admit/complete path never locks mu. The
+	// flag bit itself only transitions under mu (updateSlowLocked).
+	word atomic.Uint64
+	// metricsMu guards metrics and the response-time reservoirs. It is
+	// deliberately separate from mu: the completion fast path records
+	// metrics under this tiny lock without touching the queue lock, and
+	// keeping one lock (rather than sharded cells) preserves the exact
+	// sequential accumulation order the deterministic simulator
+	// fingerprints depend on.
+	metricsMu sync.Mutex
+	metrics   Metrics
+	// classInside splits inside by priority class for classes in
+	// [0, trackedClasses) — atomics so the fast path can maintain them;
+	// classInsideX (under mu) tracks any exotic class values.
+	classInside  [trackedClasses]atomic.Int64
+	classInsideX map[Class]int
+	// deadlineArmed counts classes with an admit deadline configured.
+	// Nonzero forces every submission through the slow path, where the
+	// deadline map can be read under mu.
+	deadlineArmed atomic.Int32
 	// classLimit, when non-nil, partitions the MPL across classes: a
 	// class at its limit does not dispatch while another class has
 	// eligible work, but capacity is never left idle (work-conserving
@@ -478,7 +542,8 @@ type Frontend struct {
 	OnShed func(*Item)
 	// rtSample, when enabled, reservoir-samples response times for
 	// percentile reporting; rtClass splits the sampling per class (the
-	// SLO controller steers on these).
+	// SLO controller steers on these). Guarded by metricsMu, like the
+	// accumulators they ride along with.
 	rtSample *stats.Reservoir
 	rtClass  map[Class]*stats.Reservoir
 	rtCap    int
@@ -488,36 +553,44 @@ type Frontend struct {
 // New builds a frontend over backend with the given MPL (0 = unlimited)
 // and policy (nil = FIFO), reading time from clock.
 func New(clock sim.Clock, backend Backend, mpl int, policy Policy) *Frontend {
-	if mpl < 0 {
-		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
+	if mpl < 0 || mpl > MaxMPL {
+		panic(fmt.Sprintf("core: MPL %d must be in [0, %d]", mpl, MaxMPL))
 	}
 	if policy == nil {
 		policy = NewFIFO()
 	}
-	return &Frontend{
-		clock: clock, backend: backend, mpl: mpl, policy: policy,
-		insideClass: make(map[Class]int),
-	}
+	f := &Frontend{clock: clock, backend: backend, policy: policy}
+	f.word.Store(uint64(mpl) << limitShift)
+	return f
 }
 
-// MPL returns the current limit (0 = unlimited).
+// MPL returns the current limit (0 = unlimited). Lock-free.
 func (f *Frontend) MPL() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.mpl
+	_, limit := unpack(f.word.Load())
+	return limit
 }
 
 // SetMPL changes the limit. Raising it dispatches queued items
 // immediately; lowering it takes effect as running items drain (the
 // paper's controller operates the same way — no preemption of
-// dispatched work).
+// dispatched work). Because the limit shares the atomic gate word with
+// the inside count, shrinking below the current inside count is safe
+// under concurrency: admissions compare against the limit in the same
+// CAS that claims a slot, so the count can overshoot neither the old
+// nor the new limit, and it simply drains down (no underflow, no
+// stranded waiters — the post-shrink dispatch and every release keep
+// waking the queue).
 func (f *Frontend) SetMPL(mpl int) {
-	if mpl < 0 {
-		panic(fmt.Sprintf("core: MPL %d must be >= 0", mpl))
+	if mpl < 0 || mpl > MaxMPL {
+		panic(fmt.Sprintf("core: MPL %d must be in [0, %d]", mpl, MaxMPL))
 	}
-	f.mu.Lock()
-	f.mpl = mpl
-	f.mu.Unlock()
+	for {
+		s := f.word.Load()
+		ns := (s &^ (limitMask << limitShift)) | uint64(mpl)<<limitShift
+		if f.word.CompareAndSwap(s, ns) {
+			break
+		}
+	}
 	f.dispatch()
 }
 
@@ -543,12 +616,14 @@ func (f *Frontend) SetClassLimits(limits map[Class]int) {
 			f.classLimit[c] = l
 		}
 	}
+	f.updateSlowLocked()
 	f.mu.Unlock()
 	f.dispatch()
 }
 
 // ClassLimits returns a copy of the per-class limit partition (nil when
-// no partition is set).
+// no partition is set). Allocates a fresh map per call — reporters on a
+// hot path should use ClassLimit instead.
 func (f *Frontend) ClassLimits() map[Class]int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -560,6 +635,16 @@ func (f *Frontend) ClassLimits() map[Class]int {
 		out[c] = l
 	}
 	return out
+}
+
+// ClassLimit returns class c's limit under the current partition (ok
+// false when the class is uncapped or no partition is set). Unlike
+// ClassLimits it allocates nothing.
+func (f *Frontend) ClassLimit(c Class) (limit int, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	limit, ok = f.classLimit[c]
+	return limit, ok
 }
 
 // SetAdmitDeadline sets class c's admission deadline: an item of that
@@ -574,14 +659,21 @@ func (f *Frontend) SetAdmitDeadline(c Class, seconds float64) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	_, had := f.admitDeadline[c]
 	if seconds == 0 {
 		delete(f.admitDeadline, c)
+		if had {
+			f.deadlineArmed.Add(-1)
+		}
 		return
 	}
 	if f.admitDeadline == nil {
 		f.admitDeadline = make(map[Class]float64)
 	}
 	f.admitDeadline[c] = seconds
+	if !had {
+		f.deadlineArmed.Add(1)
+	}
 }
 
 // AdmitDeadline returns class c's admission deadline in seconds (0 =
@@ -631,10 +723,10 @@ func (f *Frontend) queueLenLocked() int {
 }
 
 // Inside returns the number of dispatched, uncompleted items.
+// Lock-free.
 func (f *Frontend) Inside() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.inside
+	inside, _ := unpack(f.word.Load())
+	return inside
 }
 
 // Policy returns the queue policy. The frontend still owns it; do not
@@ -662,8 +754,8 @@ func (f *Frontend) SetWFQWeights(weights map[Class]float64) bool {
 // seed). Enable before running for whole-run percentiles; enabling
 // mid-run samples from that point on.
 func (f *Frontend) EnablePercentiles(capacity int, seed uint64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	f.rtSample = stats.NewReservoir(capacity, sim.NewRNG(seed, 31))
 	f.rtClass = make(map[Class]*stats.Reservoir)
 	f.rtCap, f.rtSeed = capacity, seed
@@ -671,14 +763,14 @@ func (f *Frontend) EnablePercentiles(capacity int, seed uint64) {
 
 // PercentilesEnabled reports whether response-time sampling is on.
 func (f *Frontend) PercentilesEnabled() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	return f.rtSample != nil
 }
 
 // classReservoirLocked lazily builds class c's sampling reservoir. The
 // RNG stream is derived from the class alone, so creation order cannot
-// perturb determinism.
+// perturb determinism. Called with metricsMu held.
 func (f *Frontend) classReservoirLocked(c Class) *stats.Reservoir {
 	r := f.rtClass[c]
 	if r == nil {
@@ -691,8 +783,8 @@ func (f *Frontend) classReservoirLocked(c Class) *stats.Reservoir {
 // ResponseTimePercentile estimates the p-th percentile of response
 // times in the current window (0 when sampling is disabled or empty).
 func (f *Frontend) ResponseTimePercentile(p float64) float64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	if f.rtSample == nil {
 		return 0
 	}
@@ -704,8 +796,8 @@ func (f *Frontend) ResponseTimePercentile(p float64) float64 {
 // or the class saw no completions) — the SLO controller's feedback
 // signal.
 func (f *Frontend) ClassResponseTimePercentile(c Class, p float64) float64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	if f.rtClass == nil {
 		return 0
 	}
@@ -718,8 +810,8 @@ func (f *Frontend) ClassResponseTimePercentile(c Class, p float64) float64 {
 
 // Metrics returns a snapshot of the metrics window.
 func (f *Frontend) Metrics() Metrics {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	m := f.metrics
 	m.windowTime = f.clock.Now() - f.metrics.resetTime
 	return m
@@ -728,8 +820,8 @@ func (f *Frontend) Metrics() Metrics {
 // ResetMetrics starts a fresh measurement window (e.g. after warmup,
 // or per controller observation period).
 func (f *Frontend) ResetMetrics() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.metricsMu.Lock()
+	defer f.metricsMu.Unlock()
 	f.metrics = Metrics{resetTime: f.clock.Now()}
 	if f.rtSample != nil {
 		f.rtSample.Reset()
@@ -739,6 +831,60 @@ func (f *Frontend) ResetMetrics() {
 	}
 }
 
+// tryFastAdmit is the lock-free admission path: when the slow flag is
+// clear (no queued or deferred work, no class partition) and nothing
+// forces the mutex's ordering — no admit deadlines armed, no pre-set
+// item deadline, a tracked class — a single CAS on the gate word
+// claims a free slot and the item is dispatched on the spot, with
+// Arrival == Dispatch. Returns false when the caller must go through
+// the mutex path instead; it has then not touched the item.
+//
+// Fast admissions skip seq assignment: seq only breaks ties between
+// QUEUED items (SJF order, WFQ heap), and a fast-admitted item is
+// never queued, so the relative order among queued items is unchanged.
+func (f *Frontend) tryFastAdmit(it *Item) bool {
+	if it.Class < 0 || int(it.Class) >= trackedClasses || it.Deadline != 0 {
+		return false
+	}
+	if f.deadlineArmed.Load() != 0 {
+		return false
+	}
+	for {
+		s := f.word.Load()
+		if s&slowFlag != 0 {
+			return false
+		}
+		inside, limit := unpack(s)
+		if uint64(inside) == insideMask || (limit != 0 && inside >= limit) {
+			return false
+		}
+		if f.word.CompareAndSwap(s, s+1) {
+			now := f.clock.Now()
+			it.Arrival, it.Dispatch = now, now
+			it.state = itemDispatched
+			f.classInside[it.Class].Add(1)
+			return true
+		}
+		// The word moved under us (a racing admit, release, or a
+		// slow-flag transition): reload and re-validate.
+	}
+}
+
+// TryAcquire is the admission fast path for callers that handle the
+// admitted work synchronously (the live gate): on success the item is
+// dispatched — Arrival == Dispatch == now — WITHOUT Backend.Exec being
+// called, the caller owns the slot, and it must call Complete (or
+// Discard) for the item exactly once. It returns false, leaving the
+// item untouched, whenever the fast path is unavailable (waiters
+// queued, class limits or admit deadlines armed, the item carries a
+// Deadline or an untracked class, or the gate is full); the caller
+// must then go through Submit. TryAcquire never queues and never
+// allocates.
+func (f *Frontend) TryAcquire(it *Item) bool {
+	it.done = nil
+	return f.tryFastAdmit(it)
+}
+
 // Submit delivers a new item to the external scheduler. done, if not
 // nil, runs on the item's completion before the frontend-wide
 // OnComplete hook (used by closed-loop drivers to cycle their client).
@@ -746,6 +892,15 @@ func (f *Frontend) ResetMetrics() {
 // rejected: Submit returns false, no callbacks are scheduled, and the
 // drop is counted (and reported to OnDrop).
 func (f *Frontend) Submit(it *Item, done func(*Item)) bool {
+	if f.tryFastAdmit(it) {
+		// Admitted without the mutex: a free slot, an empty queue, and
+		// nothing slow-path-only in play. Same timestamps, same
+		// counters, same Exec as the queue-then-immediately-dispatch
+		// path below — just no lock and no seq.
+		it.done = done
+		f.backend.Exec(it)
+		return true
+	}
 	f.mu.Lock()
 	it.Arrival = f.clock.Now()
 	it.seq = f.seq
@@ -767,9 +922,35 @@ func (f *Frontend) Submit(it *Item, done func(*Item)) bool {
 	}
 	it.state = itemQueued
 	f.policy.Push(it)
+	// Raise the slow flag BEFORE unlocking: from here on a concurrent
+	// fast release must fall into the mutex path (its CAS sees the
+	// flag), and the dispatch below always re-checks the limit — so a
+	// slot freed at any point around this push is never lost.
+	f.updateSlowLocked()
 	f.mu.Unlock()
 	f.dispatch()
 	return true
+}
+
+// updateSlowLocked recomputes the slow flag from the queue state:
+// set while anything sits in the policy queue or a deferred ring
+// (withdrawn items awaiting lazy discard included — they still occupy
+// the policy) or while a class partition is armed. Called with f.mu
+// held, as the last word-state mutation before every unlock — the flag
+// only ever transitions under the mutex, which is what makes the
+// fast-path CAS ordering sound.
+func (f *Frontend) updateSlowLocked() {
+	want := f.policy.Len()+f.deferredCount > 0 || f.classLimit != nil
+	for {
+		s := f.word.Load()
+		ns := s &^ slowFlag
+		if want {
+			ns = s | slowFlag
+		}
+		if ns == s || f.word.CompareAndSwap(s, ns) {
+			return
+		}
+	}
 }
 
 // compactThreshold bounds how many canceled items may linger in the
@@ -794,6 +975,7 @@ func (f *Frontend) CancelQueued(it *Item) bool {
 	f.deadQueued++
 	f.canceled++
 	f.maybeCompactLocked()
+	f.updateSlowLocked()
 	return true
 }
 
@@ -814,6 +996,7 @@ func (f *Frontend) ShedQueued(it *Item) bool {
 	f.shedLocked(it)
 	f.deadQueued++
 	f.maybeCompactLocked()
+	f.updateSlowLocked()
 	hook := f.OnShed
 	f.mu.Unlock()
 	notifyShed(it, hook)
@@ -915,6 +1098,7 @@ func (f *Frontend) FailQueued(it *Item) bool {
 	f.deadQueued++
 	f.failed++
 	f.maybeCompactLocked()
+	f.updateSlowLocked()
 	return true
 }
 
@@ -932,8 +1116,8 @@ func (f *Frontend) FailDispatched(it *Item) {
 	}
 	it.state = itemFailed
 	it.Complete = f.clock.Now()
-	f.inside--
-	f.insideClass[it.Class]--
+	f.releaseSlot()
+	f.decClassLocked(it.Class)
 	f.failed++
 	f.mu.Unlock()
 	f.dispatch()
@@ -969,9 +1153,10 @@ func (f *Frontend) dispatch() {
 		if it != nil {
 			it.state = itemDispatched
 			it.Dispatch = f.clock.Now()
-			f.inside++
-			f.insideClass[it.Class]++
+			f.claimSlotLocked()
+			f.incClassLocked(it.Class)
 		}
+		f.updateSlowLocked()
 		hook := f.OnShed
 		f.mu.Unlock()
 		for _, s := range shedList {
@@ -984,6 +1169,67 @@ func (f *Frontend) dispatch() {
 	}
 }
 
+// claimSlotLocked increments the inside count for an item popped by
+// nextDispatchLocked. The limit was checked there; between that check
+// and this increment only releases can race (the slow flag is set
+// while anything is queued, which disables fast admissions, and other
+// dispatchers need the mutex we hold), and releases only shrink the
+// count — so the claim cannot overshoot. Called with f.mu held.
+func (f *Frontend) claimSlotLocked() {
+	for {
+		s := f.word.Load()
+		if s&insideMask == insideMask {
+			panic("core: inside count overflow")
+		}
+		if f.word.CompareAndSwap(s, s+1) {
+			return
+		}
+	}
+}
+
+// releaseSlot decrements the inside count (a completion, discard, or
+// dispatched-failure freeing its slot). Safe with or without f.mu: the
+// CAS retries around any racing word mutation.
+func (f *Frontend) releaseSlot() {
+	for {
+		s := f.word.Load()
+		if s&insideMask == 0 {
+			panic("core: inside count underflow")
+		}
+		if f.word.CompareAndSwap(s, s-1) {
+			return
+		}
+	}
+}
+
+// insideOfClassLocked reads class c's inside count. Called with f.mu
+// held (tracked classes are atomics, but the exotic-class map is not).
+func (f *Frontend) insideOfClassLocked(c Class) int {
+	if c >= 0 && int(c) < trackedClasses {
+		return int(f.classInside[c].Load())
+	}
+	return f.classInsideX[c]
+}
+
+func (f *Frontend) incClassLocked(c Class) {
+	if c >= 0 && int(c) < trackedClasses {
+		f.classInside[c].Add(1)
+		return
+	}
+	if f.classInsideX == nil {
+		f.classInsideX = make(map[Class]int)
+	}
+	f.classInsideX[c]++
+}
+
+func (f *Frontend) decClassLocked(c Class) {
+	if c >= 0 && int(c) < trackedClasses {
+		f.classInside[c].Add(-1)
+		return
+	}
+	f.classInsideX[c]--
+}
+
 // classEligibleLocked reports whether class c may dispatch under the
 // current partition. Called with f.mu held.
 func (f *Frontend) classEligibleLocked(c Class) bool {
@@ -991,7 +1237,7 @@ func (f *Frontend) classEligibleLocked(c Class) bool {
 		return true
 	}
 	lim, ok := f.classLimit[c]
-	return !ok || f.insideClass[c] < lim
+	return !ok || f.insideOfClassLocked(c) < lim
 }
 
 // deferLocked parks a popped item whose class is at its limit,
@@ -1057,7 +1303,7 @@ func (f *Frontend) popDeferredLocked(c Class, now float64, shedList *[]*Item) *I
 // work-conserving — class limits shape contention between classes,
 // they never throttle the whole gate below its MPL.
 func (f *Frontend) nextDispatchLocked() (it *Item, shedList []*Item) {
-	if f.mpl != 0 && f.inside >= f.mpl {
+	if inside, limit := unpack(f.word.Load()); limit != 0 && inside >= limit {
 		return nil, nil
 	}
 	now := f.clock.Now()
@@ -1120,8 +1366,8 @@ func (f *Frontend) Discard(it *Item) {
 	}
 	it.state = itemDone
 	it.Complete = f.clock.Now()
-	f.inside--
-	f.insideClass[it.Class]--
+	f.releaseSlot()
+	f.decClassLocked(it.Class)
 	f.canceled++
 	f.mu.Unlock()
 	f.dispatch()
@@ -1129,7 +1375,40 @@ func (f *Frontend) Discard(it *Item) {
 
 // Complete records an item's completion and refills the backend from
 // the queue. Backends call it exactly once per executed item.
+//
+// When the slow flag is clear at the instant of the slot-freeing CAS —
+// nothing queued, no class partition — the completion never takes the
+// queue mutex: the CAS frees the slot, metrics are recorded under
+// metricsMu, the callbacks run, and there is nobody to dispatch. If
+// anything was waiting, the flag was set (it is only cleared under the
+// mutex once the queue is empty), the CAS fails or the flag check
+// does, and the completion falls through to the mutex path, whose
+// dispatch wakes the queue. Either way the conservation invariant
+// (accepted == completed + inside + queued + canceled + shed + failed)
+// holds at every linearization point of the gate word.
 func (f *Frontend) Complete(it *Item, o Outcome) {
+	if it.state != itemDispatched {
+		panic(fmt.Sprintf("core: Complete on an item in state %d (double completion?)", it.state))
+	}
+	if c := it.Class; c >= 0 && int(c) < trackedClasses {
+		for {
+			s := f.word.Load()
+			if s&slowFlag != 0 {
+				break // waiters or a partition: take the mutex path
+			}
+			if s&insideMask == 0 {
+				panic("core: inside count underflow")
+			}
+			if f.word.CompareAndSwap(s, s-1) {
+				it.state = itemDone
+				it.Complete = f.clock.Now()
+				it.Outcome = o
+				f.classInside[c].Add(-1)
+				f.finishCompletion(it, o)
+				return
+			}
+		}
+	}
 	f.mu.Lock()
 	if it.state != itemDispatched {
 		f.mu.Unlock()
@@ -1138,11 +1417,22 @@ func (f *Frontend) Complete(it *Item, o Outcome) {
 	it.state = itemDone
 	it.Complete = f.clock.Now()
 	it.Outcome = o
-	f.inside--
-	f.insideClass[it.Class]--
+	f.releaseSlot()
+	f.decClassLocked(it.Class)
+	f.mu.Unlock()
+	f.finishCompletion(it, o)
+	f.dispatch()
+}
+
+// finishCompletion records a completed item in the metrics window and
+// delivers its callbacks. Shared by the fast and slow completion
+// paths; called WITHOUT f.mu held (metricsMu is taken here, and the
+// hooks may re-enter the frontend).
+func (f *Frontend) finishCompletion(it *Item, o Outcome) {
+	rt := it.ResponseTime()
+	f.metricsMu.Lock()
 	m := &f.metrics
 	m.Completed++
-	rt := it.ResponseTime()
 	m.All.Add(rt)
 	if it.Class == ClassHigh {
 		m.High.Add(rt)
@@ -1156,14 +1446,11 @@ func (f *Frontend) Complete(it *Item, o Outcome) {
 		f.rtSample.Add(rt)
 		f.classReservoirLocked(it.Class).Add(rt)
 	}
-	done := it.done
-	hook := f.OnComplete
-	f.mu.Unlock()
-	if done != nil {
-		done(it)
+	f.metricsMu.Unlock()
+	if it.done != nil {
+		it.done(it)
 	}
-	if hook != nil {
+	if hook := f.OnComplete; hook != nil {
 		hook(it)
 	}
-	f.dispatch()
 }

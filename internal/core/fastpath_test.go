@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+// TestFastPathZeroAlloc pins the lock-free admission path's allocation
+// count at zero: both TryAcquire+Complete (the live gate's synchronous
+// path) and Submit+Complete on an uncontended frontend must not
+// allocate — the whole point of the packed-word fast path.
+func TestFastPathZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	fe := New(eng.Clock(), backendFunc(func(it *Item) {}), 0, NewFIFO())
+
+	it := &Item{Class: ClassHigh}
+	if n := testing.AllocsPerRun(100, func() {
+		if !fe.TryAcquire(it) {
+			t.Fatal("TryAcquire failed on an unlimited gate")
+		}
+		fe.Complete(it, Outcome{})
+	}); n != 0 {
+		t.Errorf("TryAcquire+Complete allocates %v/op, want 0", n)
+	}
+
+	done := false
+	exec := backendFunc(func(it *Item) { done = true })
+	fe2 := New(eng.Clock(), exec, 0, NewFIFO())
+	it2 := &Item{Class: ClassLow}
+	if n := testing.AllocsPerRun(100, func() {
+		done = false
+		if !fe2.Submit(it2, nil) {
+			t.Fatal("Submit failed on an unlimited gate")
+		}
+		if !done {
+			t.Fatal("Submit fast path did not Exec synchronously")
+		}
+		fe2.Complete(it2, Outcome{})
+	}); n != 0 {
+		t.Errorf("Submit+Complete allocates %v/op, want 0", n)
+	}
+}
+
+// TestTryAcquireFallsBack enumerates every condition that must push an
+// admission off the lock-free path: TryAcquire returns false (leaving
+// the item untouched) whenever correctness needs the mutex.
+func TestTryAcquireFallsBack(t *testing.T) {
+	eng := sim.NewEngine()
+
+	t.Run("gate full", func(t *testing.T) {
+		fe := New(eng.Clock(), backendFunc(func(*Item) {}), 1, NewFIFO())
+		a := &Item{}
+		if !fe.TryAcquire(a) {
+			t.Fatal("first TryAcquire should admit")
+		}
+		if fe.TryAcquire(&Item{}) {
+			t.Error("TryAcquire admitted past MPL=1")
+		}
+		fe.Complete(a, Outcome{})
+	})
+
+	t.Run("queued waiter", func(t *testing.T) {
+		var execs []*Item
+		var fe *Frontend
+		fe = New(eng.Clock(), backendFunc(func(it *Item) { execs = append(execs, it) }), 1, NewFIFO())
+		a := &Item{}
+		if !fe.TryAcquire(a) {
+			t.Fatal("first TryAcquire should admit")
+		}
+		b := &Item{}
+		fe.Submit(b, nil) // queues behind a
+		if fe.QueueLen() != 1 {
+			t.Fatalf("QueueLen=%d, want 1", fe.QueueLen())
+		}
+		fe.Complete(a, Outcome{})
+		if len(execs) != 1 || execs[0] != b {
+			t.Fatal("queued item did not dispatch on Complete")
+		}
+		fe.Complete(b, Outcome{})
+		// Queue drained: the slow flag must have cleared, so the fast
+		// path works again.
+		c := &Item{}
+		if !fe.TryAcquire(c) {
+			t.Error("TryAcquire still slow after the queue drained")
+		}
+		fe.Complete(c, Outcome{})
+	})
+
+	t.Run("class limits armed", func(t *testing.T) {
+		fe := New(eng.Clock(), backendFunc(func(*Item) {}), 4, NewFIFO())
+		fe.SetClassLimits(map[Class]int{ClassHigh: 2})
+		if fe.TryAcquire(&Item{}) {
+			t.Error("TryAcquire bypassed an armed class partition")
+		}
+		fe.SetClassLimits(nil)
+		it := &Item{}
+		if !fe.TryAcquire(it) {
+			t.Error("TryAcquire still slow after partition cleared")
+		}
+		fe.Complete(it, Outcome{})
+	})
+
+	t.Run("admit deadline armed", func(t *testing.T) {
+		fe := New(eng.Clock(), backendFunc(func(*Item) {}), 4, NewFIFO())
+		fe.SetAdmitDeadline(ClassHigh, 1.5)
+		if fe.TryAcquire(&Item{Class: ClassLow}) {
+			t.Error("TryAcquire bypassed an armed admit deadline (any class forces slow)")
+		}
+		fe.SetAdmitDeadline(ClassHigh, 0)
+		it := &Item{}
+		if !fe.TryAcquire(it) {
+			t.Error("TryAcquire still slow after deadline cleared")
+		}
+		fe.Complete(it, Outcome{})
+	})
+
+	t.Run("pre-set item deadline", func(t *testing.T) {
+		fe := New(eng.Clock(), backendFunc(func(*Item) {}), 4, NewFIFO())
+		if fe.TryAcquire(&Item{Deadline: 99}) {
+			t.Error("TryAcquire admitted an item carrying a deadline")
+		}
+	})
+
+	t.Run("untracked class", func(t *testing.T) {
+		fe := New(eng.Clock(), backendFunc(func(*Item) {}), 4, NewFIFO())
+		if fe.TryAcquire(&Item{Class: Class(trackedClasses)}) {
+			t.Error("TryAcquire admitted an exotic class outside the tracked array")
+		}
+		if fe.TryAcquire(&Item{Class: -1}) {
+			t.Error("TryAcquire admitted a negative class")
+		}
+	})
+}
+
+// TestSetMPLShrinkBelowInflight verifies the lock-free counter's shrink
+// semantics: lowering the limit below the current inflight count must
+// not underflow, must not admit anything until the overshoot drains,
+// and must not strand queued waiters once it has.
+func TestSetMPLShrinkBelowInflight(t *testing.T) {
+	eng := sim.NewEngine()
+	var execs []*Item
+	fe := New(eng.Clock(), backendFunc(func(it *Item) { execs = append(execs, it) }), 4, NewFIFO())
+
+	var inside []*Item
+	for i := 0; i < 4; i++ {
+		it := &Item{}
+		if !fe.TryAcquire(it) {
+			t.Fatalf("admit %d failed below MPL", i)
+		}
+		inside = append(inside, it)
+	}
+	fe.SetMPL(2)
+	if got := fe.Inside(); got != 4 {
+		t.Fatalf("Inside=%d after shrink, want 4 (overshoot drains, never truncates)", got)
+	}
+	if fe.TryAcquire(&Item{}) {
+		t.Fatal("TryAcquire admitted while inflight exceeds the shrunken limit")
+	}
+	q := &Item{}
+	fe.Submit(q, nil) // queues: 4 inside >= limit 2
+	if len(execs) != 0 || fe.QueueLen() != 1 {
+		t.Fatalf("submit during overshoot: execs=%d queued=%d, want 0/1", len(execs), fe.QueueLen())
+	}
+	fe.Complete(inside[0], Outcome{}) // 3 >= 2: still no room
+	fe.Complete(inside[1], Outcome{}) // 2 >= 2: still no room
+	if len(execs) != 0 {
+		t.Fatalf("queued item dispatched while inside >= limit")
+	}
+	fe.Complete(inside[2], Outcome{}) // 1 < 2: waiter must wake
+	if len(execs) != 1 || execs[0] != q {
+		t.Fatalf("queued item stranded after the overshoot drained (execs=%d)", len(execs))
+	}
+	fe.Complete(inside[3], Outcome{})
+	fe.Complete(q, Outcome{})
+	if got := fe.Inside(); got != 0 {
+		t.Fatalf("Inside=%d after drain, want 0 (underflow check)", got)
+	}
+	if fe.QueueLen() != 0 {
+		t.Fatalf("QueueLen=%d after drain, want 0", fe.QueueLen())
+	}
+}

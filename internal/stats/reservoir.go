@@ -12,6 +12,9 @@ type Reservoir struct {
 	seen     int64
 	items    []float64
 	rng      *sim.RNG
+	// scratch is reused by Percentile so repeated percentile queries
+	// (e.g. a stats snapshot on every report tick) allocate only once.
+	scratch []float64
 }
 
 // NewReservoir returns a reservoir holding up to capacity samples,
@@ -46,9 +49,17 @@ func (r *Reservoir) Seen() int64 { return r.seen }
 // Len returns the current sample size.
 func (r *Reservoir) Len() int { return len(r.items) }
 
-// Percentile estimates the p-th percentile from the sample.
+// Percentile estimates the p-th percentile from the sample. It copies
+// the sample into an internal scratch buffer (grown once to capacity),
+// so steady-state calls are allocation-free. Not safe for concurrent
+// use — callers serialize access to the reservoir anyway.
 func (r *Reservoir) Percentile(p float64) float64 {
-	return Percentile(r.items, p)
+	if cap(r.scratch) < len(r.items) {
+		r.scratch = make([]float64, 0, r.capacity)
+	}
+	r.scratch = r.scratch[:len(r.items)]
+	copy(r.scratch, r.items)
+	return PercentileInPlace(r.scratch, p)
 }
 
 // Snapshot returns a copy of the sample.

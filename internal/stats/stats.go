@@ -171,28 +171,38 @@ var tTable90 = []float64{
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) of values using
-// linear interpolation between closest ranks. It sorts a copy.
+// linear interpolation between closest ranks. It sorts a copy; callers
+// who own a scratch buffer can use PercentileInPlace instead.
 func Percentile(values []float64, p float64) float64 {
 	if len(values) == 0 {
 		return 0
 	}
 	v := make([]float64, len(values))
 	copy(v, values)
-	sort.Float64s(v)
+	return PercentileInPlace(v, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts
+// values in place and allocates nothing.
+func PercentileInPlace(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sort.Float64s(values)
 	if p <= 0 {
-		return v[0]
+		return values[0]
 	}
 	if p >= 100 {
-		return v[len(v)-1]
+		return values[len(values)-1]
 	}
-	rank := p / 100 * float64(len(v)-1)
+	rank := p / 100 * float64(len(values)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return v[lo]
+		return values[lo]
 	}
 	frac := rank - float64(lo)
-	return v[lo]*(1-frac) + v[hi]*frac
+	return values[lo]*(1-frac) + values[hi]*frac
 }
 
 // MeanOf returns the mean of values (0 if empty).
