@@ -1,0 +1,215 @@
+package extsched
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"extsched/metrics"
+)
+
+// TestAutoscaleScenarioRerunBitIdentical is the autoscaler determinism
+// gate: a diurnal ramp (morning ramp-up, midday peak, evening ramp-
+// down, overnight trough) on a sampled-dispatch fleet bounded [4, 64],
+// run twice on ONE System. Everything must match bit for bit — the
+// controller's tick schedule, the power-of-d sampling stream, and the
+// shard build order all have to be pure functions of the seed — and
+// the trajectory must actually exercise both directions: the peak
+// forces scale-ups, the trough gives the capacity back.
+func TestAutoscaleScenarioRerunBitIdentical(t *testing.T) {
+	sys, err := NewSystem(Config{
+		SetupID: 1, MPL: 12, Seed: 31,
+		Shards: ShardSpec{Count: 4, Dispatch: "jsq-d:3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:           "diurnal",
+		Warmup:         5,
+		SampleInterval: 15,
+		Autoscale: &AutoscaleSpec{
+			Min: 4, Max: 64,
+			Interval:  2,
+			HighWater: 6, LowWater: 1.5,
+			BreachWindows: 2, CalmWindows: 4,
+			Cooldown:    3,
+			MPLPerShard: 3,
+		},
+		Phases: []Phase{
+			{Name: "morning", Kind: PhaseRamp, Lambda: 80, Lambda2: 600, Duration: 60},
+			{Name: "peak", Kind: PhaseOpen, Lambda: 600, Duration: 40},
+			{Name: "evening", Kind: PhaseRamp, Lambda: 600, Lambda2: 50, Duration: 60},
+			{Name: "night", Kind: PhaseOpen, Lambda: 50, Duration: 60},
+		},
+	}
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("autoscale re-run on one System not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("autoscale observer streams differ between re-runs")
+	}
+	as := r1.Autoscale
+	if as == nil {
+		t.Fatal("Result.Autoscale is nil on an autoscaled run")
+	}
+	if as.ScaleUps == 0 {
+		t.Error("no scale-ups — the peak never breached the high water mark")
+	}
+	if as.ScaleDowns == 0 {
+		t.Error("no scale-downs — the trough never drained capacity")
+	}
+	if as.PeakFleet <= 4 {
+		t.Errorf("peak fleet %d never grew past the starting 4", as.PeakFleet)
+	}
+	if as.MinFleet < 4 {
+		t.Errorf("min fleet %d dipped below Min=4", as.MinFleet)
+	}
+	if as.FinalFleet < 4 || as.FinalFleet > 64 {
+		t.Errorf("final fleet %d outside [4, 64]", as.FinalFleet)
+	}
+	// The capacity bill must be visibly smaller than running the peak
+	// fleet for the whole window.
+	window := r1.Total.SimSeconds
+	if fixed := float64(as.PeakFleet) * window; as.ShardSeconds >= fixed {
+		t.Errorf("shard-seconds %.0f not below the fixed-peak-fleet bill %.0f", as.ShardSeconds, fixed)
+	}
+	// Snapshots carry the fleet trajectory: some interval saw more than
+	// the starting fleet up, and the deltas sum to the report's totals.
+	var ups, downs uint64
+	peakUp := 0
+	for _, s := range obs1.Snapshots {
+		ups += s.ScaleUps
+		downs += s.ScaleDowns
+		if s.FleetUp > peakUp {
+			peakUp = s.FleetUp
+		}
+		if s.FleetSize < s.FleetUp {
+			t.Fatalf("snapshot at t=%v: fleet size %d < up %d", s.Time, s.FleetSize, s.FleetUp)
+		}
+	}
+	if ups != as.ScaleUps || downs != as.ScaleDowns {
+		t.Errorf("snapshot action deltas sum to %d/%d, report says %d/%d", ups, downs, as.ScaleUps, as.ScaleDowns)
+	}
+	if peakUp <= 4 {
+		t.Errorf("no snapshot caught the grown fleet (peak observed %d)", peakUp)
+	}
+}
+
+// TestAutoscaleLargeFleetOpenLoop is the N>=1000 scale gate: a
+// thousand-shard fleet under sampled dispatch completes an open-loop
+// scenario, per-interval snapshots stay bounded (the per-member slice
+// is elided above the snapshot threshold while the aggregate fleet
+// fields still report), and the whole-run per-shard report is intact.
+func TestAutoscaleLargeFleetOpenLoop(t *testing.T) {
+	// W_IO-browsing has the smallest buffer pool of the Table 1
+	// workloads (100 MB), which is what makes a 1000-backend build
+	// affordable inside the default test suite.
+	const n = 1000
+	sys, err := NewSystem(Config{
+		Workload: "W_IO-browsing", MPL: 2 * n, Seed: 7,
+		Shards: ShardSpec{Count: n, Dispatch: "jsq-d:3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:           "large-fleet",
+		SampleInterval: 2,
+		Phases: []Phase{
+			{Name: "steady", Kind: PhaseOpen, Lambda: 500, Duration: 6},
+		},
+	}
+	var obs metrics.Collector
+	res, err := sys.Run(context.Background(), sc, &obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Completed == 0 {
+		t.Fatal("no completions on the large fleet")
+	}
+	if len(res.Shards) != n {
+		t.Fatalf("Shards = %d, want %d", len(res.Shards), n)
+	}
+	if len(obs.Snapshots) == 0 {
+		t.Fatal("no snapshots")
+	}
+	for _, s := range obs.Snapshots {
+		if s.Shards != nil {
+			t.Fatalf("snapshot at t=%v carries %d per-shard stats; want them elided above the threshold", s.Time, len(s.Shards))
+		}
+		if s.FleetSize != n || s.FleetUp != n {
+			t.Fatalf("snapshot at t=%v: fleet %d/%d, want %d/%d", s.Time, s.FleetUp, s.FleetSize, n, n)
+		}
+	}
+	// Sampled dispatch spreads the (sparse) load: no shard may hog it.
+	var routed uint64
+	maxRouted := uint64(0)
+	for _, sr := range res.Shards {
+		routed += sr.Dispatched
+		if sr.Dispatched > maxRouted {
+			maxRouted = sr.Dispatched
+		}
+	}
+	if routed == 0 {
+		t.Fatal("dispatcher routed nothing")
+	}
+	if maxRouted > routed/10 {
+		t.Errorf("one shard took %d of %d arrivals — sampled dispatch is not spreading", maxRouted, routed)
+	}
+}
+
+// TestAutoscaleScenarioValidation: malformed autoscale specs and
+// misplaced ones fail loudly before any simulation state is built.
+func TestAutoscaleScenarioValidation(t *testing.T) {
+	phases := []Phase{{Kind: PhaseOpen, Lambda: 10, Duration: 1}}
+	bad := []Scenario{
+		{Autoscale: &AutoscaleSpec{Min: 0, Max: 4}, Phases: phases},
+		{Autoscale: &AutoscaleSpec{Min: 8, Max: 4}, Phases: phases},
+		{Autoscale: &AutoscaleSpec{Min: 1, Max: 4, Interval: -1}, Phases: phases},
+		{Autoscale: &AutoscaleSpec{Min: 1, Max: 4, HighWater: 2, LowWater: 3}, Phases: phases},
+		{Autoscale: &AutoscaleSpec{Min: 1, Max: 4, MPLPerShard: -2}, Phases: phases},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: bad autoscale spec accepted: %+v", i, sc.Autoscale)
+		}
+	}
+	// Sampled-dispatch event names validate with their width: a
+	// malformed d must be refused at Validate, not at dispatch time.
+	for i, name := range []string{"jsq-d:0", "jsq-d:-2", "jsq-d:banana", "lwl-d:"} {
+		sc := Scenario{Phases: []Phase{{Kind: PhaseOpen, Lambda: 10, Duration: 1,
+			Events: []Event{{At: 0.5, SetDispatch: name}}}}}
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d: set_dispatch %q accepted", i, name)
+		}
+	}
+	for i, name := range []string{"jsq-d", "jsq-d:3", "lwl-d:2"} {
+		sc := Scenario{Phases: []Phase{{Kind: PhaseOpen, Lambda: 10, Duration: 1,
+			Events: []Event{{At: 0.5, SetDispatch: name}}}}}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("case %d: set_dispatch %q rejected: %v", i, name, err)
+		}
+	}
+	good := Scenario{Autoscale: &AutoscaleSpec{Min: 1, Max: 4}, Phases: phases}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("minimal autoscale spec rejected: %v", err)
+	}
+	// Well-formed but pointed at an unsharded system: rejected at Run.
+	sys, err := NewSystem(Config{SetupID: 1, MPL: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(context.Background(), good); err == nil {
+		t.Error("autoscale on an unsharded system accepted")
+	}
+}

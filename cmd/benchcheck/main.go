@@ -1,9 +1,11 @@
 // Command benchcheck is the bench-regression gate: it re-measures the
 // repository's tracked performance metrics — kernel microbenchmarks
 // (ns/op and allocs/op), live-gate overhead (serial plus RunParallel
-// contention sweeps at GOMAXPROCS 2/4/8, and the Pool fast path), and
-// the deterministic summary numbers of the fig7, dispatch, slo and
-// churn figures — and compares
+// contention sweeps at GOMAXPROCS 2/4/8, and the Pool fast path),
+// dispatch-policy pick cost at fleet sizes 8 and 1000 (the sampled
+// "jsq-d" path must stay allocation-free and flat in N), and the
+// deterministic summary numbers of the fig7, dispatch, slo, churn and
+// autoscale figures — and compares
 // them against the committed BENCH_baseline.json with per-metric
 // tolerances. Any regression exits nonzero, which is what lets CI
 // refuse a PR that slows a hot path or silently changes a figure.
@@ -38,6 +40,7 @@ import (
 	"testing"
 
 	"extsched/gate"
+	"extsched/internal/cluster"
 	"extsched/internal/experiments"
 	"extsched/internal/sim"
 )
@@ -310,6 +313,55 @@ func measure() ([]Metric, error) {
 	add("gate/pool_acquire_release_parallel_cpu4/ns_op", "time", float64(r.NsPerOp()))
 	add("gate/pool_acquire_release_parallel_cpu4/allocs_op", "allocs", float64(r.AllocsPerOp()))
 
+	// Dispatch pick cost: the per-transaction routing decision at fleet
+	// sizes 8 and 1000 for full-scan jsq versus sampled jsq-d. The
+	// sampled path is what makes thousand-shard fleets tractable, so it
+	// must stay allocation-free, and its N=1000 cost within 2x of its
+	// N=8 cost (the scaling ratio metric carries a hand-tuned tolerance
+	// of 1.0: it only fails when the ratio doubles, i.e. the pick cost
+	// stops being flat in N).
+	pickCost := func(policyName string, n int) (nsOp, allocsOp float64, err error) {
+		p, err := cluster.NewPolicySeeded(policyName, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		loads := make([]cluster.Load, n)
+		for i := range loads {
+			loads[i] = cluster.Load{Backlog: (i * 7) % 13, Work: float64((i * 5) % 11), Speed: 1}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := p.Pick(loads, 0, 1)
+				loads[j].Backlog++
+				loads[(i+j)%n].Backlog--
+			}
+		})
+		return float64(r.NsPerOp()), float64(r.AllocsPerOp()), nil
+	}
+	var sampledNs [2]float64
+	for i, n := range []int{8, 1000} {
+		ns, _, err := pickCost("jsq", n)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("dispatch_pick/jsq_n%d/ns_op", n), "time", ns)
+		ns, allocs, err := pickCost("jsq-d:3", n)
+		if err != nil {
+			return nil, err
+		}
+		sampledNs[i] = ns
+		add(fmt.Sprintf("dispatch_pick/jsq-d_n%d/ns_op", n), "time", ns)
+		add(fmt.Sprintf("dispatch_pick/jsq-d_n%d/allocs_op", n), "allocs", allocs)
+	}
+	out = append(out, Metric{
+		Name:      "dispatch_pick/jsq-d_n1000_vs_n8_ratio",
+		Value:     sampledNs[1] / sampledNs[0],
+		Kind:      "time",
+		Tolerance: 1.0,
+	})
+
 	// Figure summaries: deterministic given the seed, so drift means
 	// the simulation's behavior changed, not the host.
 	opts := experiments.RunOpts{Warmup: 20, Measure: 120, Seed: 1}
@@ -333,6 +385,11 @@ func measure() ([]Metric, error) {
 		return nil, err
 	}
 	addFigure(&out, churn)
+	autoscale, err := experiments.AutoscaleFigure(3, opts)
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, autoscale)
 	return out, nil
 }
 

@@ -16,6 +16,8 @@
 //	dbsim -setup 1 -mpl 40 -shards 4 -dispatch jsq -lambda 250 \
 //	      -recovery resubmit -retry-budget 3 \
 //	      -fail-shard 100:3 -recover-shard 200:3  # crash + recover
+//	dbsim -setup 1 -mpl 24 -shards 8 -dispatch jsq-d:3 -lambda 200 \
+//	      -autoscale 2:8                          # autoscaled fleet
 //
 // A scenario file is the JSON encoding of extsched.Scenario: a warmup,
 // a sample interval, and an ordered list of phases (closed, open,
@@ -73,7 +75,8 @@ func run(args []string, out io.Writer) error {
 		example  = fs.Bool("scenario-example", false, "print an example scenario JSON and exit")
 		shards   = fs.Int("shards", 0, "shard the system across this many backends (0 = unsharded)")
 		speeds   = fs.String("shard-speeds", "", "comma-separated per-shard speed multipliers (with -shards)")
-		dispatch = fs.String("dispatch", "", "dispatch policy with -shards: rr, jsq, lwl, affinity")
+		dispatch = fs.String("dispatch", "", "dispatch policy with -shards: rr, jsq, lwl, affinity, or sampled jsq-d / lwl-d (optionally with a width, e.g. jsq-d:3)")
+		ascale   = fs.String("autoscale", "", "autoscale the fleet between min:max Up shards with -shards (e.g. -autoscale 2:8)")
 		recovery = fs.String("recovery", "", "shard-failure recovery with -shards: resubmit or shed")
 		budget   = fs.Int("retry-budget", 0, "resubmission attempts per txn with -recovery=resubmit (0 = default 3)")
 		sloT     = fs.Float64("slo", 0, "run under the latency-SLO controller: hold this p95 target in seconds for -slo-class (needs -mpl >= 2)")
@@ -99,6 +102,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	speedList, err := parseSpeeds(*speeds)
+	if err != nil {
+		return err
+	}
+	autoscale, err := parseAutoscale(*ascale)
 	if err != nil {
 		return err
 	}
@@ -143,6 +150,9 @@ func run(args []string, out io.Writer) error {
 		},
 		Recovery: rec,
 		Seed:     *seed,
+		// Sharded reports carry a per-shard p95 column (a constant-
+		// memory P² estimator per shard), which needs percentile mode.
+		PercentileSamples: percentileSamples(*shards),
 	})
 	if err != nil {
 		return err
@@ -155,11 +165,11 @@ func run(args []string, out io.Writer) error {
 		if len(fails) > 0 || len(recovers) > 0 {
 			return fmt.Errorf("-fail-shard/-recover-shard apply to single runs; put shard_fail/shard_recover events in the scenario file instead")
 		}
-		return runScenarioFile(sys, *scenario, out)
+		return runScenarioFile(sys, *scenario, autoscale, out)
 	}
 	// A single closed/open run is a one-phase scenario; running it
 	// through Run keeps the per-shard slices for the report below.
-	sc := extsched.Scenario{Warmup: *warmup}
+	sc := extsched.Scenario{Warmup: *warmup, Autoscale: autoscale}
 	ph := extsched.Phase{Kind: extsched.PhaseClosed, Clients: *clients, Duration: *measure}
 	if *lambda > 0 {
 		ph = extsched.Phase{Kind: extsched.PhaseOpen, Lambda: *lambda, Duration: *measure}
@@ -180,8 +190,25 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
 	printReport(out, res.Total)
 	printSLO(out, res.SLO)
-	printShards(out, res.Shards)
+	printAutoscale(out, res.Autoscale)
+	printShards(out, res.Shards, fleetUp(res))
 	return nil
+}
+
+// fleetUp is the serving shard count when the run ended: the
+// autoscaler's final fleet when one ran, otherwise the shards that
+// finished in the up state.
+func fleetUp(res extsched.Result) int {
+	if res.Autoscale != nil {
+		return res.Autoscale.FinalFleet
+	}
+	n := 0
+	for _, sr := range res.Shards {
+		if sr.State == "" || sr.State == "up" {
+			n++
+		}
+	}
+	return n
 }
 
 // printSLO renders the SLO controller's outcome (no-op without one).
@@ -256,6 +283,39 @@ func (s *shardTimes) Set(v string) error {
 	return nil
 }
 
+// percentileSamples enables percentile tracking for sharded runs (the
+// per-shard table's p95RT column reads 0 without it); unsharded runs
+// keep the config's own default (on when -slo or a deadline arms it).
+func percentileSamples(shards int) int {
+	if shards > 0 {
+		return 2048
+	}
+	return 0
+}
+
+// parseAutoscale decodes the -autoscale "min:max" fleet bounds; the
+// rest of the spec (watermarks, windows, cooldown) keeps the package
+// defaults. Bound sanity (min >= 1, min <= max) is checked by scenario
+// validation so the error message is shared with JSON scenarios.
+func parseAutoscale(s string) (*extsched.AutoscaleSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	minStr, maxStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -autoscale %q: want min:max (e.g. 2:8)", s)
+	}
+	lo, err := strconv.Atoi(strings.TrimSpace(minStr))
+	if err != nil {
+		return nil, fmt.Errorf("bad -autoscale min in %q: %w", s, err)
+	}
+	hi, err := strconv.Atoi(strings.TrimSpace(maxStr))
+	if err != nil {
+		return nil, fmt.Errorf("bad -autoscale max in %q: %w", s, err)
+	}
+	return &extsched.AutoscaleSpec{Min: lo, Max: hi}, nil
+}
+
 // parseSpeeds decodes the -shard-speeds CSV.
 func parseSpeeds(s string) ([]float64, error) {
 	if s == "" {
@@ -272,21 +332,34 @@ func parseSpeeds(s string) ([]float64, error) {
 	return out, nil
 }
 
-// printShards renders the per-shard slice table (no-op unsharded).
-func printShards(out io.Writer, shards []extsched.ShardResult) {
+// printAutoscale renders the fleet controller's outcome (no-op when
+// the run had no autoscaler).
+func printAutoscale(out io.Writer, a *extsched.AutoscaleResult) {
+	if a == nil {
+		return
+	}
+	fmt.Fprintf(out, "autoscale:        fleet ended at %d (peak %d, min %d), %d scale-ups, %d scale-downs, %.0f shard-seconds billed\n",
+		a.FinalFleet, a.PeakFleet, a.MinFleet, a.ScaleUps, a.ScaleDowns, a.ShardSeconds)
+}
+
+// printShards renders the per-shard slice table (no-op unsharded). The
+// fleet column shows how many shards were serving alongside this one
+// at the end of the run — under an autoscaler, parked shards show the
+// state that explains their zero-routed rows.
+func printShards(out io.Writer, shards []extsched.ShardResult, fleetUp int) {
 	if len(shards) == 0 {
 		return
 	}
-	fmt.Fprintf(out, "\n%6s %6s %8s %6s %10s %10s %12s %12s %8s\n",
-		"shard", "speed", "state", "avail", "routed", "txns", "tput (tx/s)", "meanRT (s)", "cpu")
+	fmt.Fprintf(out, "\n%6s %6s %8s %6s %6s %10s %10s %12s %12s %10s %8s\n",
+		"shard", "speed", "state", "avail", "fleet", "routed", "txns", "tput (tx/s)", "meanRT (s)", "p95RT (s)", "cpu")
 	for _, sr := range shards {
 		state := sr.State
 		if state == "" {
 			state = "up"
 		}
-		fmt.Fprintf(out, "%6d %6.2f %8s %6.3f %10d %10d %12.2f %12.4f %8.3f\n",
-			sr.Shard, sr.Speed, state, sr.Availability, sr.Dispatched, sr.Completed,
-			sr.Throughput, sr.MeanRT, sr.CPUUtil)
+		fmt.Fprintf(out, "%6d %6.2f %8s %6.3f %6d %10d %10d %12.2f %12.4f %10.4f %8.3f\n",
+			sr.Shard, sr.Speed, state, sr.Availability, fleetUp, sr.Dispatched, sr.Completed,
+			sr.Throughput, sr.MeanRT, sr.P95, sr.CPUUtil)
 	}
 }
 
@@ -314,8 +387,9 @@ func printReport(out io.Writer, rep extsched.Report) {
 	}
 }
 
-// runScenarioFile loads, runs and reports a JSON scenario.
-func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
+// runScenarioFile loads, runs and reports a JSON scenario; a non-nil
+// autoscale (the -autoscale flag) overrides the file's spec.
+func runScenarioFile(sys *extsched.System, path string, autoscale *extsched.AutoscaleSpec, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -323,6 +397,9 @@ func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
 	sc, err := extsched.ParseScenario(data)
 	if err != nil {
 		return err
+	}
+	if autoscale != nil {
+		sc.Autoscale = autoscale
 	}
 	res, err := sys.Run(context.Background(), sc)
 	if err != nil {
@@ -345,18 +422,32 @@ func runScenarioFile(sys *extsched.System, path string, out io.Writer) error {
 			res.Tune.StartMPL, res.Tune.FinalMPL, res.Tune.Iterations, res.Tune.Converged)
 	}
 	printSLO(out, res.SLO)
+	printAutoscale(out, res.Autoscale)
 	if res.Total.Shed > 0 {
 		fmt.Fprintf(out, "shed:             %d txns past their admission deadline (high %d, low %d)\n",
 			res.Total.Shed, res.Total.ShedHigh, res.Total.ShedLow)
 	}
-	printShards(out, res.Shards)
+	printShards(out, res.Shards, fleetUp(res))
 	fmt.Fprintf(out, "final mpl:        %d\n", res.FinalMPL)
 	if len(res.Snapshots) > 0 {
-		fmt.Fprintf(out, "\n%10s %-12s %6s %8s %8s %12s %12s\n",
-			"time", "phase", "MPL", "queued", "txns", "tput (tx/s)", "meanRT (s)")
+		// Sharded runs carry fleet gauges in every snapshot; the fleet
+		// column makes an autoscaled run's shape readable at a glance.
+		withFleet := res.Snapshots[0].FleetSize > 0
+		if withFleet {
+			fmt.Fprintf(out, "\n%10s %-12s %6s %6s %8s %8s %12s %12s\n",
+				"time", "phase", "MPL", "fleet", "queued", "txns", "tput (tx/s)", "meanRT (s)")
+		} else {
+			fmt.Fprintf(out, "\n%10s %-12s %6s %8s %8s %12s %12s\n",
+				"time", "phase", "MPL", "queued", "txns", "tput (tx/s)", "meanRT (s)")
+		}
 		for _, s := range res.Snapshots {
-			fmt.Fprintf(out, "%10.1f %-12s %6d %8d %8d %12.2f %12.4f\n",
-				s.Time, s.Phase, s.Limit, s.Queued, s.Completed, s.Throughput, s.MeanResponse)
+			if withFleet {
+				fmt.Fprintf(out, "%10.1f %-12s %6d %6d %8d %8d %12.2f %12.4f\n",
+					s.Time, s.Phase, s.Limit, s.FleetUp, s.Queued, s.Completed, s.Throughput, s.MeanResponse)
+			} else {
+				fmt.Fprintf(out, "%10.1f %-12s %6d %8d %8d %12.2f %12.4f\n",
+					s.Time, s.Phase, s.Limit, s.Queued, s.Completed, s.Throughput, s.MeanResponse)
+			}
 		}
 	}
 	return nil

@@ -107,6 +107,49 @@ func TestRunScenarioExample(t *testing.T) {
 	}
 }
 
+// TestRunAutoscaledFleet drives a sharded open run with sampled
+// dispatch and the -autoscale flag end to end: the report must carry
+// the autoscale summary line and the per-shard table's fleet and
+// p95 columns.
+func TestRunAutoscaledFleet(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-setup", "1", "-mpl", "12", "-shards", "4",
+		"-dispatch", "jsq-d:3", "-lambda", "120", "-autoscale", "2:4",
+		"-warmup", "2", "-measure", "20"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"dispatch jsq-d:3", "autoscale:        fleet ended at", "scale-ups", "shard-seconds billed", "fleet", "p95RT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunAutoscaleFlagErrors: malformed -autoscale values and specs
+// the scenario validator rejects must fail loudly, not silently run
+// a fixed fleet.
+func TestRunAutoscaleFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-autoscale", "2"},       // no colon
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-autoscale", "x:4"},     // bad min
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-autoscale", "2:y"},     // bad max
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-autoscale", "4:2"},     // min > max
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-autoscale", "0:4"},     // min < 1
+		{"-setup", "1", "-mpl", "8", "-autoscale", "2:4"},                     // unsharded
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-dispatch", "jsq-d:0"},  // bad sample width
+		{"-setup", "1", "-mpl", "8", "-shards", "4", "-dispatch", "jsq-d:xx"}, // non-numeric width
+	}
+	for i, args := range cases {
+		var out strings.Builder
+		args = append(args, "-warmup", "1", "-measure", "5", "-lambda", "50")
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): invalid invocation accepted", i, args)
+		}
+	}
+}
+
 func TestRunScenarioErrors(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-setup", "1", "-scenario", "/nonexistent.json"}, &out); err == nil {

@@ -160,9 +160,12 @@ type ShardSpec struct {
 	// nominal); empty means all 1, otherwise len must equal Count.
 	// Scenario SetShardSpeed events change them mid-run.
 	Speeds []float64
-	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl"
-	// or "affinity" (see internal/cluster). Scenario SetDispatch events
-	// switch it mid-run.
+	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl",
+	// "affinity", or the sampled power-of-d variants "jsq-d"/"lwl-d"
+	// with an optional width suffix like "jsq-d:3" (see
+	// internal/cluster). Sampled policies draw from a dedicated seeded
+	// stream, so runs stay bit-identical. Scenario SetDispatch events
+	// switch the policy mid-run.
 	Dispatch string
 }
 
@@ -444,7 +447,7 @@ func (s *System) buildStack(mpl int) (runner.Stack, error) {
 			}
 			shards[i] = sh
 		}
-		dp, err := cluster.NewPolicy(cfg.Shards.Dispatch)
+		dp, err := cluster.NewPolicySeeded(cfg.Shards.Dispatch, cfg.Seed)
 		if err != nil {
 			return runner.Stack{}, err
 		}

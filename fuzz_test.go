@@ -50,6 +50,19 @@ func FuzzParseScenario(f *testing.F) {
 		          {"at":12,"shard_remove":4}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"open","duration":30,"lambda":50,
 		"churn":{"mtbf":10,"mttr":2,"seed":7}}]}`))
+	f.Add([]byte(`{"autoscale":{"min":2,"max":8,"interval":0.5,"high_water":6,
+		"low_water":1,"breach_windows":2,"calm_windows":6,"cooldown":1,"mpl_per_shard":3},
+		"phases":[{"kind":"ramp","duration":20,"lambda":10,"lambda2":200}]}`))
+	f.Add([]byte(`{"autoscale":{"min":8,"max":2},
+		"phases":[{"kind":"open","duration":10,"lambda":50}]}`))
+	f.Add([]byte(`{"autoscale":{"min":0,"max":4},
+		"phases":[{"kind":"open","duration":10,"lambda":50}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":10,"lambda":50,
+		"events":[{"at":1,"set_dispatch":"jsq-d:3"},{"at":2,"set_dispatch":"lwl-d"}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":10,"lambda":50,
+		"events":[{"at":1,"set_dispatch":"jsq-d:0"}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"open","duration":10,"lambda":50,
+		"events":[{"at":1,"set_dispatch":"jsq-d:banana"}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"open","duration":30,"lambda":50,
 		"churn":{"mtbf":10,"mttr":-2}}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"closed","duration":5,"clients":2,

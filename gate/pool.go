@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"extsched/internal/autoscale"
 	"extsched/internal/cluster"
 	"extsched/internal/core"
 	"extsched/internal/sim"
@@ -60,9 +61,13 @@ const (
 type PoolConfig struct {
 	// Members is the number of member gates (>= 1).
 	Members int
-	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl"
-	// or "affinity" — the same policies the simulator's cluster
-	// dispatcher uses, so simulated dispatch findings carry over.
+	// Dispatch names the routing policy: "rr" (default), "jsq", "lwl",
+	// "affinity", or the sampled variants "jsq-d" / "lwl-d" (optionally
+	// with a sample width, e.g. "jsq-d:3") — the same policies the
+	// simulator's cluster dispatcher uses, so simulated dispatch
+	// findings carry over. Sampled policies draw their candidate picks
+	// from a dedicated RNG stream seeded by Member.Seed, so two pools
+	// built alike route alike.
 	Dispatch string
 	// Speeds are per-member relative speed hints for the "lwl" policy
 	// (1 = nominal); empty means all 1, otherwise len must equal
@@ -74,6 +79,10 @@ type PoolConfig struct {
 	// limit share moves to the survivors, and half-open probes bring it
 	// back when it recovers.
 	Breaker *BreakerConfig
+	// Autoscale, when non-nil, arms the fleet autoscaler: the active
+	// member set grows and shrinks with observed backlog inside
+	// [Min, Max]. See AutoscaleConfig.
+	Autoscale *AutoscaleConfig
 	// Member configures each member gate. Limit is PER MEMBER; so is
 	// QueueLimit. Percentile sampling seeds are decorrelated per member
 	// automatically.
@@ -97,6 +106,9 @@ type Pool struct {
 	// routing decisions.
 	mu     sync.Mutex
 	policy cluster.Policy
+	// seed feeds sampled dispatch policies ("jsq-d") their RNG stream,
+	// at build time and on every SetDispatch swap.
+	seed   uint64
 	work   []float64
 	speeds []float64
 	routed []uint64
@@ -105,6 +117,17 @@ type Pool struct {
 	// per-route scratch (both under mu), so routing allocates nothing.
 	idx   []int
 	loads []cluster.Load
+
+	// asc is nil when autoscaling is off. active is the size of the
+	// routable lowest-index prefix of members (len(members) when asc is
+	// nil); ascNext the clock instant of the next controller
+	// evaluation. memberLimit remembers the per-member limit the pool
+	// was built with so scale actions can retarget the breaker's fleet
+	// limit.
+	asc         *autoscale.Controller
+	active      int
+	ascNext     float64
+	memberLimit int
 
 	// breaker is nil when health tracking is disabled. fleetLimit is
 	// the requested fleet-wide limit the breaker re-splits across
@@ -126,7 +149,11 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if n := len(cfg.Speeds); n > 0 && n != cfg.Members {
 		return nil, fmt.Errorf("gate: pool has %d speeds for %d members", n, cfg.Members)
 	}
-	policy, err := cluster.NewPolicy(cfg.Dispatch)
+	seed := cfg.Member.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	policy, err := cluster.NewPolicySeeded(cfg.Dispatch, seed)
 	if err != nil {
 		return nil, fmt.Errorf("gate: %w", err)
 	}
@@ -135,13 +162,16 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		clock = sim.NewWallClock()
 	}
 	p := &Pool{
-		policy: policy,
-		clock:  clock,
-		work:   make([]float64, cfg.Members),
-		speeds: make([]float64, cfg.Members),
-		routed: make([]uint64, cfg.Members),
-		idx:    make([]int, 0, cfg.Members),
-		loads:  make([]cluster.Load, 0, cfg.Members),
+		policy:      policy,
+		seed:        seed,
+		clock:       clock,
+		work:        make([]float64, cfg.Members),
+		speeds:      make([]float64, cfg.Members),
+		routed:      make([]uint64, cfg.Members),
+		idx:         make([]int, 0, cfg.Members),
+		loads:       make([]cluster.Load, 0, cfg.Members),
+		active:      cfg.Members,
+		memberLimit: cfg.Member.Limit,
 	}
 	if cfg.Breaker != nil {
 		b := cfg.Breaker.withDefaults()
@@ -177,6 +207,11 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		}
 		p.members = append(p.members, g)
 	}
+	if cfg.Autoscale != nil {
+		if err := p.armAutoscale(*cfg.Autoscale); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -189,9 +224,10 @@ func (p *Pool) Members() int { return len(p.members) }
 // dispatch policy's work accounting.
 func (p *Pool) Member(i int) *Gate { return p.members[i] }
 
-// SetDispatch switches the routing policy at runtime.
+// SetDispatch switches the routing policy at runtime. Sampled policies
+// ("jsq-d") resume from the pool's dispatch seed.
 func (p *Pool) SetDispatch(name string) error {
-	policy, err := cluster.NewPolicy(name)
+	policy, err := cluster.NewPolicySeeded(name, p.seed)
 	if err != nil {
 		return fmt.Errorf("gate: %w", err)
 	}
@@ -222,11 +258,19 @@ func (p *Pool) SetMemberSpeed(i int, speed float64) error {
 func (p *Pool) route(req Request) (member int, probe bool, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.asc != nil {
+		p.autoscaleLocked(p.clock.Now())
+	}
 	if p.breaker != nil {
 		// A due probe takes the request: half-open means exactly one
-		// real request tests the tripped member.
+		// real request tests the tripped member. Parked members are not
+		// probed — they rejoin (tripped state and all) when the
+		// autoscaler reactivates them.
 		now := p.clock.Now()
 		for i, h := range p.health {
+			if i >= p.active {
+				break
+			}
 			if h == memberOpen && now-p.downSince[i] >= p.breaker.ProbeInterval {
 				p.health[i] = memberProbing
 				p.work[i] += req.SizeHint
@@ -238,6 +282,9 @@ func (p *Pool) route(req Request) (member int, probe bool, err error) {
 	loads := p.loads[:0]
 	idx := p.idx[:0]
 	for i, g := range p.members {
+		if i >= p.active {
+			break
+		}
 		if p.breaker != nil && p.health[i] != memberUp {
 			continue
 		}
@@ -388,16 +435,22 @@ func (p *Pool) reopenLocked(i int) {
 }
 
 // resplitLocked redistributes the fleet limit across the currently
-// healthy members: a tripped member keeps a single slot (enough to
-// admit the half-open probe) while the survivors absorb the rest, and
-// the split reverts when it recovers. Callers hold p.mu. A fleetLimit
-// of 0 means unlimited members; nothing to move.
+// healthy ACTIVE members: a tripped member keeps a single slot (enough
+// to admit the half-open probe) while the survivors absorb the rest,
+// and the split reverts when it recovers. Parked members keep whatever
+// limit they have — they receive no traffic, and an outstanding queue
+// on a freshly parked member drains under its existing limit. Callers
+// hold p.mu. A fleetLimit of 0 means unlimited members; nothing to
+// move.
 func (p *Pool) resplitLocked() {
 	if p.fleetLimit == 0 {
 		return
 	}
 	healthy := 0
-	for _, h := range p.health {
+	for i, h := range p.health {
+		if i >= p.active {
+			break
+		}
 		if h == memberUp {
 			healthy++
 		}
@@ -411,6 +464,9 @@ func (p *Pool) resplitLocked() {
 	shares := cluster.SplitMPL(p.fleetLimit, healthy)
 	j := 0
 	for i, h := range p.health {
+		if i >= p.active {
+			break
+		}
 		if h == memberUp {
 			p.members[i].SetLimit(shares[j])
 			j++
@@ -440,15 +496,20 @@ func (p *Pool) availabilityLocked(i int, now float64) float64 {
 	return (elapsed - down) / elapsed
 }
 
-// MemberState reports member i's breaker state: "up" when routable,
-// "down" when tripped (including while a half-open probe is in
-// flight). Without a breaker every member is always "up".
+// MemberState reports member i's routing state: "up" when routable,
+// "down" when the breaker tripped it (including while a half-open
+// probe is in flight), "parked" when the autoscaler has it outside the
+// active set. Without a breaker or autoscaler every member is always
+// "up".
 func (p *Pool) MemberState(i int) string {
 	if i < 0 || i >= len(p.members) {
 		return ""
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.asc != nil && i >= p.active {
+		return "parked"
+	}
 	if p.breaker == nil || p.health[i] == memberUp {
 		return "up"
 	}
@@ -487,17 +548,21 @@ func (p *Pool) Stats() Stats {
 	speeds := append([]float64(nil), p.speeds...)
 	var states []string
 	var avail []float64
-	if p.breaker != nil {
+	if p.breaker != nil || p.asc != nil {
 		now := p.clock.Now()
 		states = make([]string, len(p.members))
 		avail = make([]float64, len(p.members))
-		for i, h := range p.health {
-			if h == memberUp {
-				states[i] = "up"
-			} else {
-				states[i] = "down"
+		for i := range p.members {
+			states[i], avail[i] = "up", 1
+			if p.breaker != nil {
+				if p.health[i] != memberUp {
+					states[i] = "down"
+				}
+				avail[i] = p.availabilityLocked(i, now)
 			}
-			avail[i] = p.availabilityLocked(i, now)
+			if p.asc != nil && i >= p.active {
+				states[i] = "parked"
+			}
 		}
 	}
 	p.mu.Unlock()

@@ -1,0 +1,166 @@
+package autoscale
+
+import "testing"
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Min: 0, Max: 4},                            // min < 1
+		{Min: -1, Max: 4},                           // negative min
+		{Min: 8, Max: 4},                            // min > max
+		{Min: 1, Max: 4, Interval: -1},              // negative interval
+		{Min: 1, Max: 4, HighWater: -2},             // negative high water
+		{Min: 1, Max: 4, LowWater: -1},              // negative low water
+		{Min: 1, Max: 4, HighWater: 4, LowWater: 4}, // low == high
+		{Min: 1, Max: 4, HighWater: 4, LowWater: 9}, // low > high
+		{Min: 1, Max: 4, BreachWindows: -2},         // negative windows
+		{Min: 1, Max: 4, CalmWindows: -1},           // negative windows
+		{Min: 1, Max: 4, Cooldown: -0.5},            // negative cooldown
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	good := Config{Min: 2, Max: 16}
+	if err := good.Validate(); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := mustNew(t, Config{Min: 1, Max: 8})
+	cfg := c.Config()
+	if cfg.Interval != 1 || cfg.HighWater != 8 || cfg.LowWater != 2 {
+		t.Errorf("defaults: interval %v high %v low %v", cfg.Interval, cfg.HighWater, cfg.LowWater)
+	}
+	if cfg.BreachWindows != 2 || cfg.CalmWindows != 6 || cfg.Cooldown != 2 {
+		t.Errorf("defaults: breach %d calm %d cooldown %v", cfg.BreachWindows, cfg.CalmWindows, cfg.Cooldown)
+	}
+}
+
+// TestScaleUpNeedsConsecutiveBreaches: K-1 breaches then a calm reading
+// must not scale; K consecutive breaches must.
+func TestScaleUpNeedsConsecutiveBreaches(t *testing.T) {
+	c := mustNew(t, Config{Min: 1, Max: 8, HighWater: 10, LowWater: 2, BreachWindows: 3, CalmWindows: 100, Cooldown: 0.001})
+	now := 0.0
+	tick := func(sig float64) Decision {
+		now++
+		return c.Observe(now, 4, sig)
+	}
+	if d := tick(20); d != Hold {
+		t.Fatalf("1st breach: %v", d)
+	}
+	if d := tick(20); d != Hold {
+		t.Fatalf("2nd breach: %v", d)
+	}
+	if d := tick(5); d != Hold { // dead band resets the run
+		t.Fatalf("mid-band: %v", d)
+	}
+	if d := tick(20); d != Hold {
+		t.Fatalf("breach after reset: %v", d)
+	}
+	if d := tick(20); d != Hold {
+		t.Fatalf("2nd breach after reset: %v", d)
+	}
+	if d := tick(20); d != ScaleUp {
+		t.Fatalf("3rd consecutive breach: %v, want scale-up", d)
+	}
+	if c.ScaleUps() != 1 {
+		t.Fatalf("ScaleUps = %d", c.ScaleUps())
+	}
+}
+
+// TestScaleDownIsSlower: the calm hold is longer than the breach
+// window, and only sustained calm drains capacity.
+func TestScaleDownIsSlower(t *testing.T) {
+	c := mustNew(t, Config{Min: 2, Max: 8, HighWater: 10, LowWater: 2, BreachWindows: 2, CalmWindows: 5, Cooldown: 0.001})
+	now := 0.0
+	for i := 0; i < 4; i++ {
+		now++
+		if d := c.Observe(now, 6, 1); d != Hold {
+			t.Fatalf("calm %d: %v", i, d)
+		}
+	}
+	now++
+	if d := c.Observe(now, 6, 1); d != ScaleDown {
+		t.Fatalf("5th calm: %v, want scale-down", d)
+	}
+	if c.ScaleDowns() != 1 {
+		t.Fatalf("ScaleDowns = %d", c.ScaleDowns())
+	}
+}
+
+// TestCooldownSuppresses: after an action, further triggers hold until
+// the cooldown elapses.
+func TestCooldownSuppresses(t *testing.T) {
+	c := mustNew(t, Config{Min: 1, Max: 8, HighWater: 10, LowWater: 2, BreachWindows: 1, CalmWindows: 100, Cooldown: 10})
+	if d := c.Observe(1, 2, 50); d != ScaleUp {
+		t.Fatalf("first breach: %v", d)
+	}
+	for now := 2.0; now < 11; now++ {
+		if d := c.Observe(now, 3, 50); d != Hold {
+			t.Fatalf("t=%v inside cooldown: %v", now, d)
+		}
+	}
+	if d := c.Observe(11.5, 3, 50); d != ScaleUp {
+		t.Fatalf("after cooldown: %v, want scale-up", d)
+	}
+}
+
+// TestBoundsClampAndOverride: never above Max or below Min, and a fleet
+// outside its bounds is corrected immediately, cooldown or not.
+func TestBoundsClampAndOverride(t *testing.T) {
+	c := mustNew(t, Config{Min: 2, Max: 4, HighWater: 10, LowWater: 2, BreachWindows: 1, CalmWindows: 1, Cooldown: 100})
+	if d := c.Observe(1, 4, 50); d != Hold {
+		t.Fatalf("at max under load: %v, want hold", d)
+	}
+	if d := c.Observe(2, 2, 0); d != Hold {
+		t.Fatalf("at min while calm: %v, want hold", d)
+	}
+	// Below min: immediate correction even though nothing breached and a
+	// huge cooldown is configured.
+	if d := c.Observe(3, 1, 5); d != ScaleUp {
+		t.Fatalf("below min: %v, want scale-up", d)
+	}
+	if d := c.Observe(3.1, 6, 5); d != ScaleDown {
+		t.Fatalf("above max: %v, want scale-down", d)
+	}
+}
+
+// TestDeterministicReplay: the controller is pure state — the same
+// observation sequence yields the same decision sequence.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Min: 2, Max: 10, HighWater: 8, LowWater: 2, BreachWindows: 2, CalmWindows: 4, Cooldown: 3}
+	run := func() []Decision {
+		c := mustNew(t, cfg)
+		var out []Decision
+		up := 4
+		for i := 0; i < 200; i++ {
+			sig := float64((i * 37 % 23)) // deterministic pseudo-load
+			d := c.Observe(float64(i), up, sig)
+			switch d {
+			case ScaleUp:
+				up++
+			case ScaleDown:
+				up--
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -141,9 +141,16 @@ type Dispatcher struct {
 	// doneFn caches one completion wrapper per shard (the wrapper only
 	// needs the shard index, so submissions allocate no closure).
 	doneFn []func(*dbfe.Txn)
-	// idxScratch maps filtered (eligible-only) pick indices back to
-	// real shard indices.
-	idxScratch []int
+	// upIdx caches the Up shards' indices in ascending order; upDirty
+	// marks it stale. Lifecycle transitions are rare and dispatch is
+	// per-transaction, so the cache turns the eligibility filter from
+	// O(N) per pick into O(N) per transition — the prerequisite for
+	// sampled policies' O(d) routing at N>=1000.
+	upIdx   []int
+	upDirty bool
+	// loadAtFn is the cached method value handed to IndexedPolicy picks
+	// (bound once so the per-transaction path allocates nothing).
+	loadAtFn func(int) Load
 	// pendingRetry counts txns sitting in a recovery backoff — failed
 	// off a dead shard, not yet resubmitted. They are part of the
 	// fleet's conservation balance: accepted == completed + inside +
@@ -190,17 +197,19 @@ func NewDispatcher(policy Policy, shards []Shard) (*Dispatcher, error) {
 		policy = &RoundRobin{}
 	}
 	d := &Dispatcher{
-		shards:     append([]Shard(nil), shards...),
-		policy:     policy,
-		state:      make([]ShardState, len(shards)),
-		work:       make([]float64, len(shards)),
-		scratch:    make([]Load, len(shards)),
-		routed:     make([]uint64, len(shards)),
-		upSince:    make([]float64, len(shards)),
-		upAccum:    make([]float64, len(shards)),
-		doneFn:     make([]func(*dbfe.Txn), len(shards)),
-		idxScratch: make([]int, len(shards)),
+		shards:  append([]Shard(nil), shards...),
+		policy:  policy,
+		state:   make([]ShardState, len(shards)),
+		work:    make([]float64, len(shards)),
+		scratch: make([]Load, len(shards)),
+		routed:  make([]uint64, len(shards)),
+		upSince: make([]float64, len(shards)),
+		upAccum: make([]float64, len(shards)),
+		doneFn:  make([]func(*dbfe.Txn), len(shards)),
+		upIdx:   make([]int, 0, len(shards)),
+		upDirty: true,
 	}
+	d.loadAtFn = d.loadAtUp
 	for i := range d.shards {
 		if d.shards[i].FE == nil {
 			return nil, fmt.Errorf("cluster: shard %d has no frontend", i)
@@ -364,26 +373,50 @@ func (d *Dispatcher) submitTo(i int, p dbms.TxnProfile, cb func(*dbfe.Txn)) *dbf
 	return t
 }
 
+// upShards returns the cached ascending list of Up shard indices,
+// rebuilding it after a lifecycle transition marked it stale.
+func (d *Dispatcher) upShards() []int {
+	if d.upDirty {
+		d.upIdx = d.upIdx[:0]
+		for i := range d.shards {
+			if d.state[i] == ShardUp {
+				d.upIdx = append(d.upIdx, i)
+			}
+		}
+		d.upDirty = false
+	}
+	return d.upIdx
+}
+
+// UpCount returns the number of Up shards — the fleet size an
+// autoscaler reasons about (draining and down shards are capacity
+// already leaving or gone).
+func (d *Dispatcher) UpCount() int { return len(d.upShards()) }
+
+// loadAtUp reads eligible member j's load (j indexes upIdx, the
+// filtered view an IndexedPolicy picks over).
+func (d *Dispatcher) loadAtUp(j int) Load {
+	i := d.upIdx[j]
+	fe := d.shards[i].FE
+	return Load{
+		Backlog: fe.QueueLen() + fe.Inside(),
+		Work:    d.work[i],
+		Speed:   d.shards[i].Speed,
+	}
+}
+
 // pickShard asks the policy for a shard, showing it only the eligible
 // (Up) shards and mapping the pick back to a real index. With no Up
 // shard it falls back to the lowest-index Draining shard (still
 // serving); -1 means the whole fleet is down.
+//
+// Policies implementing IndexedPolicy (the sampled jsq-d/lwl-d) take
+// the O(d) path: no load view is materialized, only the d sampled
+// members are read. Full-scan policies get the identical filtered
+// []Load they always did, so existing runs stay bit-identical.
 func (d *Dispatcher) pickShard(class core.Class, size float64) int {
-	loads := d.scratch[:0]
-	idx := d.idxScratch[:0]
-	for i := range d.shards {
-		if d.state[i] != ShardUp {
-			continue
-		}
-		fe := d.shards[i].FE
-		loads = append(loads, Load{
-			Backlog: fe.QueueLen() + fe.Inside(),
-			Work:    d.work[i],
-			Speed:   d.shards[i].Speed,
-		})
-		idx = append(idx, i)
-	}
-	if len(loads) == 0 {
+	up := d.upShards()
+	if len(up) == 0 {
 		for i := range d.shards {
 			if d.state[i] == ShardDraining {
 				return i
@@ -391,11 +424,37 @@ func (d *Dispatcher) pickShard(class core.Class, size float64) int {
 		}
 		return -1
 	}
-	j := d.policy.Pick(loads, class, size)
-	if j < 0 || j >= len(idx) {
-		panic(fmt.Sprintf("cluster: policy %s picked member %d of %d", d.policy.Name(), j, len(idx)))
+	if ip, ok := d.policy.(IndexedPolicy); ok {
+		j := ip.PickIndexed(len(up), d.loadAtFn, class, size)
+		if j < 0 || j >= len(up) {
+			panic(fmt.Sprintf("cluster: policy %s picked member %d of %d", d.policy.Name(), j, len(up)))
+		}
+		return up[j]
 	}
-	return idx[j]
+	loads := d.scratch[:0]
+	for _, i := range up {
+		fe := d.shards[i].FE
+		loads = append(loads, Load{
+			Backlog: fe.QueueLen() + fe.Inside(),
+			Work:    d.work[i],
+			Speed:   d.shards[i].Speed,
+		})
+	}
+	j := d.policy.Pick(loads, class, size)
+	if j < 0 || j >= len(up) {
+		panic(fmt.Sprintf("cluster: policy %s picked member %d of %d", d.policy.Name(), j, len(up)))
+	}
+	return up[j]
+}
+
+// Pick returns the shard the active policy would route a transaction
+// of the given class and size hint to right now, WITHOUT submitting
+// anything (-1 = whole fleet down). It is the dry-run entry the
+// dispatch benchmarks use to measure routing cost in isolation; note
+// that stateful policies (round-robin's cursor, sampled policies' RNG
+// stream) still advance.
+func (d *Dispatcher) Pick(class core.Class, size float64) int {
+	return d.pickShard(class, size)
 }
 
 // failTerminally accounts and delivers a terminal loss: work the
@@ -462,12 +521,7 @@ func (d *Dispatcher) SetMPL(total int) {
 // is how survivors absorb a dead shard's share and hand it back on
 // recovery.
 func (d *Dispatcher) resplit() {
-	idx := d.idxScratch[:0]
-	for i := range d.shards {
-		if d.state[i] == ShardUp {
-			idx = append(idx, i)
-		}
-	}
+	idx := d.upShards()
 	if len(idx) == 0 {
 		return
 	}
@@ -669,6 +723,7 @@ func (d *Dispatcher) markDown(i int) {
 	}
 	d.upAccum[i] += d.eng.Now() - d.upSince[i]
 	d.state[i] = ShardDown
+	d.upDirty = true
 }
 
 // FailShard crashes shard i: it goes Down immediately, the remaining
@@ -770,6 +825,7 @@ func (d *Dispatcher) RecoverShard(i int) error {
 		d.upSince[i] = d.eng.Now()
 	}
 	d.state[i] = ShardUp
+	d.upDirty = true
 	d.resplit()
 	return nil
 }
@@ -790,6 +846,7 @@ func (d *Dispatcher) RemoveShard(i int) error {
 		return fmt.Errorf("cluster: shard %d is down, nothing to drain", i)
 	}
 	d.state[i] = ShardDraining
+	d.upDirty = true
 	d.resplit()
 	d.maybeFinishDrain(i)
 	return nil
@@ -830,7 +887,7 @@ func (d *Dispatcher) AddShard(s Shard) (int, error) {
 	d.upSince = append(d.upSince, d.eng.Now())
 	d.upAccum = append(d.upAccum, 0)
 	d.doneFn = append(d.doneFn, nil)
-	d.idxScratch = append(d.idxScratch, 0)
+	d.upDirty = true
 	d.installHooks(i)
 	d.resplit()
 	return i, nil

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"extsched/internal/autoscale"
 	"extsched/internal/core"
 	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
@@ -86,13 +87,15 @@ func TestAffinityPinsAndHandlesNegatives(t *testing.T) {
 }
 
 func TestNewPolicyNames(t *testing.T) {
-	for _, name := range []string{"", "rr", "jsq", "lwl", "affinity"} {
+	for _, name := range []string{"", "rr", "jsq", "lwl", "affinity", "jsq-d", "lwl-d", "jsq-d:3", "lwl-d:8"} {
 		if _, err := NewPolicy(name); err != nil {
 			t.Errorf("NewPolicy(%q): %v", name, err)
 		}
 	}
-	if _, err := NewPolicy("bogus"); err == nil {
-		t.Error("NewPolicy accepted unknown name")
+	for _, name := range []string{"bogus", "jsq-d:0", "lwl-d:nope", "rr:2"} {
+		if _, err := NewPolicy(name); err == nil {
+			t.Errorf("NewPolicy accepted %q", name)
+		}
 	}
 }
 
@@ -367,15 +370,44 @@ func TestWorkSettledBeforeResubmit(t *testing.T) {
 //   - no transaction ever exceeds its retry budget.
 func TestDispatcherChurnInvariants(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
-		runChurnProperty(t, seed)
+		runChurnProperty(t, seed, "jsq")
 	}
 }
 
-func runChurnProperty(t *testing.T, seed int64) {
+// TestDispatcherChurnInvariantsSampled re-runs the full churn property
+// battery under the sampled policies: the eligibility check inside
+// (never route to a non-Up shard while an Up one exists) is exactly the
+// "jsq-d never routes to a down/draining shard" guarantee, and the
+// conservation balances must survive sampling just as they do full
+// scans.
+func TestDispatcherChurnInvariantsSampled(t *testing.T) {
+	for _, policy := range []string{"jsq-d:2", "lwl-d:3"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			runChurnProperty(t, seed, policy)
+		}
+	}
+}
+
+func runChurnProperty(t *testing.T, seed int64, policyName string) {
 	t.Helper()
 	const budget = 2
 	rng := rand.New(rand.NewSource(seed))
-	eng, d := testCluster(t, 3, JSQ{})
+	pol, err := NewPolicySeeded(policyName, uint64(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, d := testCluster(t, 3, pol)
+	// An autoscale controller drives some of the lifecycle ops below,
+	// exactly as the runner's tick does: recover-or-add on ScaleUp,
+	// drain-highest on ScaleDown.
+	asc, err := autoscale.New(autoscale.Config{
+		Min: 1, Max: 6, Interval: 0.05,
+		HighWater: 4, LowWater: 1,
+		BreachWindows: 1, CalmWindows: 2, Cooldown: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := d.SetRecovery(eng, RecoveryPolicy{Resubmit: true, RetryBudget: budget, Seed: uint64(seed)}); err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +514,7 @@ func runChurnProperty(t *testing.T, seed int64) {
 				t.Fatal(err)
 			}
 			check("remove")
-		case r < 0.97:
+		case r < 0.965:
 			if n >= 6 {
 				continue
 			}
@@ -495,6 +527,45 @@ func runChurnProperty(t *testing.T, seed int64) {
 				t.Fatal(err)
 			}
 			check("add")
+		case r < 0.985: // one autoscaler evaluation, acted on like the runner does
+			up := d.UpCount()
+			sig := 0.0
+			if up > 0 {
+				sig = float64(d.Inside()+d.QueueLen()) / float64(up)
+			}
+			switch asc.Observe(eng.Now(), up, sig) {
+			case autoscale.ScaleUp:
+				recovered := false
+				for i := 0; i < d.NumShards(); i++ {
+					if d.State(i) == ShardDown {
+						if err := d.RecoverShard(i); err != nil {
+							t.Fatal(err)
+						}
+						recovered = true
+						break
+					}
+				}
+				if !recovered && d.NumShards() < 6 {
+					addSeq++
+					db, err := dbms.New(eng, dbms.Config{CPUs: 1, Disks: 1, Seed: uint64(2000*seed) + uint64(addSeq)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := d.AddShard(Shard{FE: dbfe.New(eng, db, 2, nil), DB: db}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case autoscale.ScaleDown:
+				for i := d.NumShards() - 1; i >= 0; i-- {
+					if d.State(i) == ShardUp {
+						if err := d.RemoveShard(i); err != nil {
+							t.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+			check("autoscale")
 		default:
 			d.SetMPL(rng.Intn(9))
 			check("setmpl")

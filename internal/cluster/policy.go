@@ -18,8 +18,11 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"extsched/internal/core"
+	"extsched/internal/sim"
 )
 
 // Load is one member's state as seen by a dispatch decision.
@@ -64,12 +67,78 @@ const (
 	// (index = class mod members): cache and isolation affinity at the
 	// cost of balance.
 	PolicyAffinity = "affinity"
+	// PolicyJSQSampled is power-of-d-choices JSQ ("jsq-d", optionally
+	// "jsq-d:<d>", default d=2): sample d distinct members from a
+	// seeded deterministic stream and join the shortest queue among
+	// them, ties to the lowest member index. O(d) per pick instead of
+	// O(N) — the only dispatch shape that stays affordable at N>=1000.
+	PolicyJSQSampled = "jsq-d"
+	// PolicyLeastWorkSampled is the size-aware sibling ("lwl-d",
+	// "lwl-d:<d>"): least speed-normalized work among d sampled members.
+	PolicyLeastWorkSampled = "lwl-d"
 )
 
+// sampleStream is the dedicated RNG stream id for sampled dispatch
+// (kept distinct from recovery backoff 101, reservoirs 31/37/41/424242
+// and churn 211+i, so arming one feature never perturbs another's
+// draws).
+const sampleStream = 509
+
+// defaultSampleD is the classic power-of-two-choices default.
+const defaultSampleD = 2
+
+// ParsePolicyName splits a dispatch policy name into its base name and
+// sample width d. Plain policies return d=0; "jsq-d"/"lwl-d" return
+// the default d=2; "jsq-d:<d>"/"lwl-d:<d>" parse d and reject d < 1
+// loudly. It validates the name without instantiating anything.
+func ParsePolicyName(name string) (base string, d int, err error) {
+	base = name
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		base = name[:i]
+		if base != PolicyJSQSampled && base != PolicyLeastWorkSampled {
+			return "", 0, fmt.Errorf("cluster: policy %q does not take a parameter", name)
+		}
+		d, err = strconv.Atoi(name[i+1:])
+		if err != nil {
+			return "", 0, fmt.Errorf("cluster: bad sample width in policy %q: %v", name, err)
+		}
+		if d < 1 {
+			return "", 0, fmt.Errorf("cluster: policy %q needs a sample width >= 1 (got %d)", name, d)
+		}
+		return base, d, nil
+	}
+	switch base {
+	case PolicyJSQSampled, PolicyLeastWorkSampled:
+		return base, defaultSampleD, nil
+	case "", PolicyRoundRobin, PolicyJSQ, PolicyLeastWork, PolicyAffinity:
+		return base, 0, nil
+	default:
+		return "", 0, fmt.Errorf("cluster: unknown dispatch policy %q (want %s, %s, %s, %s, %s[:d] or %s[:d])",
+			name, PolicyRoundRobin, PolicyJSQ, PolicyLeastWork, PolicyAffinity,
+			PolicyJSQSampled, PolicyLeastWorkSampled)
+	}
+}
+
 // NewPolicy builds a built-in dispatch policy by name ("" = round-
-// robin). Each call returns a fresh instance.
+// robin). Each call returns a fresh instance. Sampled policies get
+// seed 0 — validation-only call sites may use this, but anything that
+// actually routes traffic should call NewPolicySeeded so the sampling
+// stream follows the run seed.
 func NewPolicy(name string) (Policy, error) {
-	switch name {
+	return NewPolicySeeded(name, 0)
+}
+
+// NewPolicySeeded is NewPolicy with the experiment seed: sampled
+// policies ("jsq-d", "lwl-d") draw their member samples from
+// sim.NewRNG(seed, sampleStream), so equal seeds replay the identical
+// sampling sequence and multi-shard runs stay bit-identical. The seed
+// is ignored by the deterministic full-scan policies.
+func NewPolicySeeded(name string, seed uint64) (Policy, error) {
+	base, d, err := ParsePolicyName(name)
+	if err != nil {
+		return nil, err
+	}
+	switch base {
 	case "", PolicyRoundRobin:
 		return &RoundRobin{}, nil
 	case PolicyJSQ:
@@ -78,9 +147,12 @@ func NewPolicy(name string) (Policy, error) {
 		return LeastWork{}, nil
 	case PolicyAffinity:
 		return Affinity{}, nil
+	case PolicyJSQSampled:
+		return newSampled(PolicyJSQSampled, d, seed), nil
+	case PolicyLeastWorkSampled:
+		return newSampled(PolicyLeastWorkSampled, d, seed), nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown dispatch policy %q (want %s, %s, %s or %s)",
-			name, PolicyRoundRobin, PolicyJSQ, PolicyLeastWork, PolicyAffinity)
+		return nil, fmt.Errorf("cluster: unknown dispatch policy %q", name)
 	}
 }
 
@@ -148,4 +220,121 @@ func (Affinity) Pick(loads []Load, class core.Class, _ float64) int {
 		i += len(loads)
 	}
 	return i
+}
+
+// IndexedPolicy is the O(d) pick entry: instead of a fully
+// materialized []Load (O(N) to build per transaction), the policy is
+// handed the member count and a random-access load reader and touches
+// only the members it actually samples. The Dispatcher prefers this
+// path when the policy provides it; Pick remains for callers that
+// already hold a load slice (gate.Pool's filtered view).
+type IndexedPolicy interface {
+	Policy
+	// PickIndexed returns a member index in [0,n). at(i) returns member
+	// i's current load; implementations must call it O(d) times.
+	PickIndexed(n int, at func(int) Load, class core.Class, size float64) int
+}
+
+// Sampled is power-of-d-choices dispatch: sample D distinct members
+// from a seeded deterministic stream, then route to the best of the
+// sample — smallest backlog (jsq-d) or least speed-normalized work
+// (lwl-d), ties to the lowest member index. When the member count is
+// within 2·D a full scan is both cheaper than rejection sampling and
+// strictly better, so small fleets degrade to exact JSQ/LWL (and
+// consume no random draws, keeping the stream aligned across fleets
+// that never exceed the threshold).
+type Sampled struct {
+	name string
+	d    int
+	work bool // compare normWork instead of Backlog
+	rng  *sim.RNG
+	// samp holds the last pick's sampled member indices (scratch; also
+	// what the whitebox property tests inspect to verify best-of-sample).
+	samp []int
+}
+
+// newSampled builds a sampled policy (name is jsq-d or lwl-d, d >= 1).
+func newSampled(name string, d int, seed uint64) *Sampled {
+	return &Sampled{
+		name: name,
+		d:    d,
+		work: name == PolicyLeastWorkSampled,
+		rng:  sim.NewRNG(seed, sampleStream),
+		samp: make([]int, 0, d),
+	}
+}
+
+// Name reports the parameterized form ("jsq-d:3") so reports and
+// round-tripped scenarios keep the width.
+func (p *Sampled) Name() string { return fmt.Sprintf("%s:%d", p.name, p.d) }
+
+// D returns the sample width.
+func (p *Sampled) D() int { return p.d }
+
+// sample fills p.samp with min(d, n) distinct member indices. For
+// n <= 2d it lists every member (exact scan, no draws); otherwise it
+// rejection-samples, which terminates fast because at least half the
+// population is always unsampled.
+func (p *Sampled) sample(n int) {
+	p.samp = p.samp[:0]
+	if n <= 2*p.d {
+		for i := 0; i < n; i++ {
+			p.samp = append(p.samp, i)
+		}
+		return
+	}
+	for len(p.samp) < p.d {
+		c := p.rng.IntN(n)
+		dup := false
+		for _, s := range p.samp {
+			if s == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			p.samp = append(p.samp, c)
+		}
+	}
+}
+
+// better reports whether load a beats load b under the policy's
+// criterion; strict, so ties resolve to the earlier (lower) index.
+func (p *Sampled) better(a, b Load) bool {
+	if p.work {
+		return normWork(a) < normWork(b)
+	}
+	return a.Backlog < b.Backlog
+}
+
+// PickIndexed samples d members and returns the best, reading only the
+// sampled loads. Ties break to the lowest member index (the explicit
+// i < best clause), so the winner is independent of the random order
+// the sample was drawn in and reruns stay bit-identical.
+func (p *Sampled) PickIndexed(n int, at func(int) Load, _ core.Class, _ float64) int {
+	p.sample(n)
+	best := -1
+	var bestLoad Load
+	for _, i := range p.samp {
+		l := at(i)
+		if best < 0 || p.better(l, bestLoad) || (!p.better(bestLoad, l) && i < best) {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// Pick is the slice form of PickIndexed for callers that already built
+// a load view (gate.Pool). Same sampling stream, same tie rule.
+func (p *Sampled) Pick(loads []Load, _ core.Class, _ float64) int {
+	p.sample(len(loads))
+	best := -1
+	var bestLoad Load
+	for _, i := range p.samp {
+		l := loads[i]
+		if best < 0 || p.better(l, bestLoad) || (!p.better(bestLoad, l) && i < best) {
+			best, bestLoad = i, l
+		}
+	}
+	return best
 }

@@ -11,33 +11,46 @@ import (
 	"extsched/internal/workload"
 )
 
+// buildShard assembles one simulated backend (DBMS + frontend) on eng
+// at the given relative CPU speed, derived deterministically from the
+// base seed and the shard index.
+func buildShard(eng *sim.Engine, setup workload.Setup, dbo workload.DBOptions, speed float64, idx int, opts RunOpts) (cluster.Shard, error) {
+	sdbo := dbo
+	sdbo.CPUSpeed = speed
+	sdbo.Seed = cluster.ShardSeed(dbo.Seed, idx)
+	db, err := dbms.New(eng, setup.BuildConfig(sdbo))
+	if err != nil {
+		return cluster.Shard{}, err
+	}
+	fe := dbfe.New(eng, db, 0, nil)
+	if opts.QueueLimit > 0 {
+		fe.SetQueueLimit(opts.QueueLimit)
+	}
+	workload.Prewarm(db, setup.Workload, sdbo.Seed)
+	return cluster.Shard{FE: fe, DB: db, Speed: speed}, nil
+}
+
 // buildShardedStack assembles a sharded dispatch stack: one engine,
 // len(speeds) DBMS+frontend pairs at the given relative CPU speeds,
 // and a dispatcher with the named policy. mplTotal is the cluster-wide
-// MPL (split across shards).
+// MPL (split across shards). The stack carries a NewShard factory so
+// autoscaled specs can grow the fleet past the built set; policies are
+// seed-aware, so sampled dispatch ("jsq-d") reruns bit-identically
+// while the plain policies ignore the seed entirely.
 func buildShardedStack(setup workload.Setup, speeds []float64, dispatch string, mplTotal int, dbo workload.DBOptions, opts RunOpts) (runner.Stack, error) {
 	if dbo.Seed == 0 {
 		dbo.Seed = opts.Seed
 	}
-	baseSeed := dbo.Seed
 	eng := sim.NewEngine()
 	shards := make([]cluster.Shard, len(speeds))
 	for i, speed := range speeds {
-		sdbo := dbo
-		sdbo.CPUSpeed = speed
-		sdbo.Seed = cluster.ShardSeed(baseSeed, i)
-		db, err := dbms.New(eng, setup.BuildConfig(sdbo))
+		sh, err := buildShard(eng, setup, dbo, speed, i, opts)
 		if err != nil {
 			return runner.Stack{}, err
 		}
-		fe := dbfe.New(eng, db, 0, nil)
-		if opts.QueueLimit > 0 {
-			fe.SetQueueLimit(opts.QueueLimit)
-		}
-		workload.Prewarm(db, setup.Workload, sdbo.Seed)
-		shards[i] = cluster.Shard{FE: fe, DB: db, Speed: speed}
+		shards[i] = sh
 	}
-	policy, err := cluster.NewPolicy(dispatch)
+	policy, err := cluster.NewPolicySeeded(dispatch, opts.Seed)
 	if err != nil {
 		return runner.Stack{}, err
 	}
@@ -50,7 +63,11 @@ func buildShardedStack(setup workload.Setup, speeds []float64, dispatch string, 
 	if err != nil {
 		return runner.Stack{}, err
 	}
-	return runner.Stack{Eng: eng, Cluster: disp, Gen: gen, Seed: opts.Seed}, nil
+	st := runner.Stack{Eng: eng, Cluster: disp, Gen: gen, Seed: opts.Seed}
+	st.NewShard = func(i int) (cluster.Shard, error) {
+		return buildShard(eng, setup, dbo, 1, i, opts)
+	}
+	return st, nil
 }
 
 // DispatchPoint is one measured sharded run.

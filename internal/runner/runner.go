@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 
+	"extsched/internal/autoscale"
 	"extsched/internal/cluster"
 	"extsched/internal/controller"
 	"extsched/internal/core"
@@ -250,6 +251,61 @@ func (p Phase) label() string {
 	return string(p.Kind)
 }
 
+// AutoscaleSpec arms the fleet autoscaler for the whole run: a
+// hysteresis controller (internal/autoscale) ticking every Interval
+// simulated seconds from the moment the measurement window opens,
+// reading the fleet's mean per-up-shard backlog ((queued+inflight)/up)
+// and growing or draining the shard set within [Min, Max]. Scale-ups
+// reuse a parked (Down or Draining) slot first and only build a fresh
+// shard through Stack.NewShard when every slot is serving; scale-downs
+// drain the highest-index Up shard. Sharded stacks only.
+type AutoscaleSpec struct {
+	// Min / Max bound the Up fleet size (1 <= Min <= Max).
+	Min, Max int
+	// Interval is the controller tick period in simulated seconds
+	// (0 = 1).
+	Interval float64
+	// HighWater / LowWater are the per-up-shard backlog watermarks:
+	// signal >= HighWater for BreachWindows consecutive ticks scales
+	// up, signal <= LowWater for CalmWindows ticks scales down, and
+	// the band between them holds. Zero values take the
+	// internal/autoscale defaults (HighWater 8, LowWater HighWater/4).
+	HighWater, LowWater float64
+	// BreachWindows / CalmWindows are the consecutive-tick thresholds
+	// (0 = defaults: 2, and 3x BreachWindows).
+	BreachWindows, CalmWindows int
+	// Cooldown is the minimum time between actions in simulated
+	// seconds (0 = 2x Interval).
+	Cooldown float64
+	// MPLPerShard, when > 0, retargets the cluster-wide MPL to
+	// MPLPerShard slots per Up shard after every fleet change, so
+	// admitted concurrency scales with capacity instead of staying
+	// pinned at the configured total.
+	MPLPerShard int
+}
+
+// config translates the spec to the controller's vocabulary.
+func (a AutoscaleSpec) config() autoscale.Config {
+	return autoscale.Config{
+		Min:           a.Min,
+		Max:           a.Max,
+		Interval:      a.Interval,
+		HighWater:     a.HighWater,
+		LowWater:      a.LowWater,
+		BreachWindows: a.BreachWindows,
+		CalmWindows:   a.CalmWindows,
+		Cooldown:      a.Cooldown,
+	}
+}
+
+// Validate checks an autoscale spec without touching a stack.
+func (a AutoscaleSpec) Validate() error {
+	if a.MPLPerShard < 0 {
+		return fmt.Errorf("runner: autoscale MPL per shard %d must be >= 0", a.MPLPerShard)
+	}
+	return a.config().Validate()
+}
+
 // Spec is a full scenario: warmup, then the phases in order.
 type Spec struct {
 	// Warmup is discarded simulated seconds driven by the FIRST
@@ -258,7 +314,10 @@ type Spec struct {
 	// SampleInterval, when > 0, emits one metrics.Snapshot to every
 	// observer each interval (windowed: counters cover the interval).
 	SampleInterval float64
-	Phases         []Phase
+	// Autoscale, when non-nil, arms the fleet autoscaler for the whole
+	// run (sharded stacks only).
+	Autoscale *AutoscaleSpec
+	Phases    []Phase
 }
 
 // finite reports whether every value is a finite float — the
@@ -284,6 +343,11 @@ func (s Spec) Validate() error {
 	}
 	if s.SampleInterval < 0 || !finite(s.SampleInterval) {
 		return fmt.Errorf("runner: sample interval %v must be finite and >= 0", s.SampleInterval)
+	}
+	if s.Autoscale != nil {
+		if err := s.Autoscale.Validate(); err != nil {
+			return err
+		}
 	}
 	for i, ph := range s.Phases {
 		prefix := fmt.Sprintf("runner: phase %d (%s)", i, ph.label())
@@ -572,6 +636,12 @@ type ShardReport struct {
 	// Availability is the fraction of the measurement window the shard
 	// was serving (a shard added mid-run accrues only from its join).
 	Availability float64
+	// P95 is the shard's own response-time 95th percentile, estimated
+	// with a constant-memory P² quantile tracker (percentile mode only;
+	// 0 otherwise). Unlike the aggregate reservoir percentiles this
+	// costs O(1) memory per shard, which is what keeps per-shard
+	// reporting affordable at thousand-shard fleets.
+	P95 float64
 	Report
 }
 
@@ -597,6 +667,19 @@ type SLOReport struct {
 	LastMeasured float64
 }
 
+// AutoscaleReport summarizes an autoscaled run's fleet trajectory.
+type AutoscaleReport struct {
+	// ScaleUps / ScaleDowns count controller actions over the run.
+	ScaleUps, ScaleDowns uint64
+	// FinalFleet is the Up shard count when the run ended; PeakFleet
+	// and MinFleet the extremes observed at controller ticks.
+	FinalFleet, PeakFleet, MinFleet int
+	// ShardSeconds is the total shard-up time accrued inside the
+	// measurement window (summed over all slots) — the capacity bill
+	// an autoscaled fleet is trying to shrink versus a fixed one.
+	ShardSeconds float64
+}
+
 // Outcome is a completed run.
 type Outcome struct {
 	Total  Report
@@ -609,6 +692,9 @@ type Outcome struct {
 	// SLO is non-nil when the latency-SLO controller ran (Stack.SLO or
 	// a SetSLO event).
 	SLO *SLOReport
+	// Autoscale is non-nil when Spec.Autoscale armed the fleet
+	// autoscaler.
+	Autoscale *AutoscaleReport
 	// FinalMPL is the MPL when the run ended (events or the controller
 	// may have moved it from the configured value). For sharded stacks
 	// it is the cluster-wide limit (sum of shard limits; 0 if any shard
@@ -818,6 +904,11 @@ type run struct {
 	// per-interval completion counts for Snapshot.Shards.
 	shardTotal []acc
 	winShard   []uint64
+	// shardP95 tracks each shard's own response-time p95 with a P²
+	// estimator — five markers per shard instead of a full reservoir,
+	// which keeps per-shard percentiles O(1) memory at thousand-shard
+	// fleets (percentile mode only, like res).
+	shardP95 []*stats.P2
 
 	totalMark, phaseMark, winMark mark
 	nextSnap                      float64
@@ -829,6 +920,18 @@ type run struct {
 	slo      *controller.SLOController
 	sloSpec  SLOSpec
 	sloFinal *SLOReport
+
+	// asc is the armed fleet autoscaler; ascErr the first error a tick
+	// hit (the tick runs inside an engine callback and cannot return
+	// one, so it stops the engine and parks the error here for the
+	// breakpoint loop to surface).
+	asc                 *autoscale.Controller
+	ascSpec             AutoscaleSpec
+	ascErr              error
+	peakFleet, minFleet int
+	// snapUps / snapDowns are the action counters at the last emitted
+	// snapshot (interval snapshots report deltas).
+	snapUps, snapDowns uint64
 }
 
 // onComplete is the single completion observer for both stack shapes;
@@ -847,6 +950,12 @@ func (r *run) onComplete(shard int, t *dbfe.Txn) {
 			}
 			r.shardTotal[shard].observe(t)
 			r.winShard[shard]++
+			if r.shardP95 != nil {
+				for shard >= len(r.shardP95) {
+					r.shardP95 = append(r.shardP95, stats.NewP2(0.95))
+				}
+				r.shardP95[shard].Add(t.Item.ResponseTime())
+			}
 		}
 		if r.res != nil {
 			r.res.Add(t.Item.ResponseTime())
@@ -909,6 +1018,12 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 		r.shardTotal = make([]acc, c.NumShards())
 		r.winShard = make([]uint64, c.NumShards())
+		if st.PercentileSamples > 0 {
+			r.shardP95 = make([]*stats.P2, c.NumShards())
+			for i := range r.shardP95 {
+				r.shardP95[i] = stats.NewP2(0.95)
+			}
+		}
 		c.OnComplete = r.onComplete
 	} else {
 		st.FE.OnComplete = func(t *dbfe.Txn) { r.onComplete(0, t) }
@@ -921,10 +1036,22 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 		driver.Start()
 		if i == 0 {
+			// The autoscaler is live from the first arrival, warmup
+			// included: a fleet frozen at its starting size while warmup
+			// load climbs would open the measurement window buried under
+			// a backlog the controller was never allowed to absorb.
+			if spec.Autoscale != nil {
+				if err := r.armAutoscale(*spec.Autoscale); err != nil {
+					return Outcome{}, err
+				}
+			}
 			if spec.Warmup > 0 {
 				st.Eng.Run(st.Eng.Now() + spec.Warmup)
 				if err := ctx.Err(); err != nil {
 					return Outcome{}, err
+				}
+				if r.ascErr != nil {
+					return Outcome{}, r.ascErr
 				}
 			}
 			r.beginMeasurement()
@@ -968,7 +1095,145 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 	} else if r.sloFinal != nil {
 		out.SLO = r.sloFinal
 	}
+	if r.asc != nil {
+		out.Autoscale = r.autoscaleReport()
+	}
 	return out, nil
+}
+
+// armAutoscale builds the fleet controller and starts its tick timer
+// at the engine's current time (the measurement-window open).
+func (r *run) armAutoscale(spec AutoscaleSpec) error {
+	c := r.st.Cluster
+	if c == nil {
+		return fmt.Errorf("runner: autoscale on an unsharded system")
+	}
+	if spec.Max > c.NumShards() && r.st.NewShard == nil {
+		return fmt.Errorf("runner: autoscale max %d exceeds the %d built shards and the stack has no NewShard factory", spec.Max, c.NumShards())
+	}
+	asc, err := autoscale.New(spec.config())
+	if err != nil {
+		return err
+	}
+	r.asc = asc
+	r.ascSpec = spec
+	up := c.UpCount()
+	r.peakFleet, r.minFleet = up, up
+	interval := asc.Config().Interval
+	var tick func()
+	tick = func() {
+		r.autoscaleTick()
+		r.st.Eng.After(interval, tick)
+	}
+	r.st.Eng.After(interval, tick)
+	return nil
+}
+
+// autoscaleTick is one controller observation, run inside an engine
+// callback: read the fleet signal, apply the decision, track extremes.
+func (r *run) autoscaleTick() {
+	if r.ascErr != nil {
+		return
+	}
+	c := r.st.Cluster
+	up := c.UpCount()
+	sig := 0.0
+	if up > 0 {
+		sig = float64(c.Inside()+c.QueueLen()) / float64(up)
+	}
+	switch r.asc.Observe(r.st.Eng.Now(), up, sig) {
+	case autoscale.ScaleUp:
+		r.ascErr = r.scaleUp()
+	case autoscale.ScaleDown:
+		r.ascErr = r.scaleDown()
+	}
+	if r.ascErr != nil {
+		// Surface the failure at the next breakpoint instead of ticking
+		// a broken fleet to the phase end.
+		r.st.Eng.Stop()
+		return
+	}
+	if up := c.UpCount(); up > r.peakFleet {
+		r.peakFleet = up
+	} else if up < r.minFleet {
+		r.minFleet = up
+	}
+}
+
+// scaleUp adds one serving shard: reuse a parked (Draining or Down)
+// slot first — recovering one is instant capacity and keeps the slot
+// count bounded over long oscillations — and only build a fresh shard
+// through the factory when every slot is Up.
+func (r *run) scaleUp() error {
+	c := r.st.Cluster
+	n := c.NumShards()
+	for i := 0; i < n; i++ {
+		if c.State(i) != cluster.ShardUp {
+			if err := c.RecoverShard(i); err != nil {
+				return err
+			}
+			return r.retargetMPL()
+		}
+	}
+	if r.st.NewShard == nil {
+		// Every built slot is serving and there is nothing to grow
+		// with; armAutoscale only allows this when Max <= built shards,
+		// so the controller is simply clamped here.
+		return nil
+	}
+	sh, err := r.st.NewShard(n)
+	if err != nil {
+		return err
+	}
+	if _, err := c.AddShard(sh); err != nil {
+		return err
+	}
+	return r.retargetMPL()
+}
+
+// scaleDown drains the highest-index Up shard (the slot a later
+// scale-up is least likely to reuse first, keeping low indexes warm).
+func (r *run) scaleDown() error {
+	c := r.st.Cluster
+	for i := c.NumShards() - 1; i >= 0; i-- {
+		if c.State(i) == cluster.ShardUp {
+			if err := c.RemoveShard(i); err != nil {
+				return err
+			}
+			return r.retargetMPL()
+		}
+	}
+	return nil
+}
+
+// retargetMPL re-splits the cluster MPL after a fleet change when the
+// spec scales admitted concurrency with capacity.
+func (r *run) retargetMPL() error {
+	if r.ascSpec.MPLPerShard <= 0 {
+		return nil
+	}
+	r.st.Cluster.SetMPL(r.ascSpec.MPLPerShard * r.st.Cluster.UpCount())
+	return nil
+}
+
+// autoscaleReport assembles the run's fleet trajectory summary.
+func (r *run) autoscaleReport() *AutoscaleReport {
+	rep := &AutoscaleReport{
+		ScaleUps:   r.asc.ScaleUps(),
+		ScaleDowns: r.asc.ScaleDowns(),
+		FinalFleet: r.st.Cluster.UpCount(),
+		PeakFleet:  r.peakFleet,
+		MinFleet:   r.minFleet,
+	}
+	to := takeMark(r.st)
+	for i, t := range to.shards {
+		var f shardMark
+		if i < len(r.totalMark.shards) {
+			f = r.totalMark.shards[i]
+		}
+		rep.ShardSeconds += t.upSec - f.upSec
+	}
+	return rep
 }
 
 // sloReport snapshots the attached SLO loop's state.
@@ -1116,6 +1381,9 @@ func (r *run) runPhase(ctx context.Context, ph Phase) (stopEarly bool, err error
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		if r.ascErr != nil {
+			return false, r.ascErr
+		}
 		// Apply everything due at this breakpoint: events first (a
 		// snapshot at the same instant observes their effect).
 		for ei < len(evs) && min(phaseStart+evs[ei].At, phaseEnd) <= t {
@@ -1167,7 +1435,9 @@ func (r *run) applyEvent(ev Event) error {
 		if r.st.Cluster == nil {
 			return fmt.Errorf("runner: SetDispatch event on an unsharded system")
 		}
-		p, err := cluster.NewPolicy(ev.SetDispatch)
+		// Seed the policy from the stack so sampled dispatch (jsq-d,
+		// lwl-d) reruns bit-identically.
+		p, err := cluster.NewPolicySeeded(ev.SetDispatch, r.st.Seed)
 		if err != nil {
 			return err
 		}
@@ -1325,6 +1595,9 @@ func (r *run) shardReports() []ShardReport {
 			sr.ExtWait = a.extwait
 			sr.Restarts = a.restarts
 		}
+		if i < len(r.shardP95) && r.shardP95[i].Count() > 0 {
+			sr.P95 = r.shardP95[i].Quantile()
+		}
 		// A shard added mid-run is missing from the opening mark; its
 		// cumulative counters started at zero when it joined, so the
 		// whole-window delta is just the closing value.
@@ -1350,11 +1623,27 @@ func (r *run) shardReports() []ShardReport {
 	return out
 }
 
+// maxSnapshotShards bounds the per-member slice an interval snapshot
+// carries: above this fleet size a collector holding the run's time
+// series would grow O(N) per interval, so snapshots keep only the
+// aggregate (and fleet-size) fields. Whole-run per-shard reports in
+// the Outcome are unaffected — they are emitted once, not per tick.
+const maxSnapshotShards = 128
+
 // shardStats assembles the per-shard slice of an interval snapshot and
 // opens the shards' next completion window.
 func (r *run) shardStats(to mark) []metrics.ShardStat {
 	c := r.st.Cluster
 	if c == nil {
+		return nil
+	}
+	if c.NumShards() > maxSnapshotShards {
+		// Elide the slice but still close the shards' completion
+		// window, or the first small-fleet snapshot after a shrink
+		// would double-count.
+		for i := range r.winShard {
+			r.winShard[i] = 0
+		}
 		return nil
 	}
 	out := make([]metrics.ShardStat, c.NumShards())
@@ -1432,6 +1721,16 @@ func (r *run) emitSnapshot(ph Phase) {
 		s.P99 = r.res.Percentile(99)
 		s.HighP95 = r.resHigh.Percentile(95)
 		s.LowP95 = r.resLow.Percentile(95)
+	}
+	if c := st.Cluster; c != nil {
+		s.FleetSize = c.NumShards()
+		s.FleetUp = c.UpCount()
+	}
+	if r.asc != nil {
+		ups, downs := r.asc.ScaleUps(), r.asc.ScaleDowns()
+		s.ScaleUps = ups - r.snapUps
+		s.ScaleDowns = downs - r.snapDowns
+		r.snapUps, r.snapDowns = ups, downs
 	}
 	s.Shards = r.shardStats(to)
 	for _, o := range r.obs {

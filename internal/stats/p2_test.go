@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/sim"
+)
+
+// TestP2TracksKnownQuantiles: the estimator must land within a few
+// percent (relative) of the exact sample quantile on smooth heavy- and
+// light-tailed streams — the accuracy class the original Jain–Chlamtac
+// paper reports.
+func TestP2TracksKnownQuantiles(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(rng *sim.RNG) float64
+	}{
+		{"uniform", func(rng *sim.RNG) float64 { return rng.Float64() }},
+		{"exponential", func(rng *sim.RNG) float64 { return rng.ExpFloat64() }},
+		{"lognormal", func(rng *sim.RNG) float64 { return math.Exp(rng.NormFloat64()) }},
+	}
+	for _, dist := range dists {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			rng := sim.NewRNG(7, 99)
+			est := NewP2(q)
+			all := make([]float64, 0, 50000)
+			for i := 0; i < 50000; i++ {
+				x := dist.draw(rng)
+				est.Add(x)
+				all = append(all, x)
+			}
+			exact := Percentile(all, q*100)
+			got := est.Quantile()
+			relErr := math.Abs(got-exact) / exact
+			if relErr > 0.05 {
+				t.Errorf("%s q=%v: P2 %.4f vs exact %.4f (rel err %.3f)", dist.name, q, got, exact, relErr)
+			}
+		}
+	}
+}
+
+// TestP2SmallStreams: fewer than five observations are exact, and the
+// empty estimator reports zero.
+func TestP2SmallStreams(t *testing.T) {
+	est := NewP2(0.95)
+	if est.Quantile() != 0 || est.Count() != 0 {
+		t.Fatalf("empty estimator: q=%v n=%d", est.Quantile(), est.Count())
+	}
+	est.Add(3)
+	if est.Quantile() != 3 {
+		t.Errorf("one sample: %v, want 3", est.Quantile())
+	}
+	est.Add(1)
+	est.Add(2)
+	// Exact p95 of {1,2,3} by linear interpolation.
+	want := Percentile([]float64{1, 2, 3}, 95)
+	if got := est.Quantile(); got != want {
+		t.Errorf("three samples: %v, want %v", got, want)
+	}
+}
+
+// TestP2Deterministic: equal streams give equal estimates, and Reset
+// restores the initial state.
+func TestP2Deterministic(t *testing.T) {
+	feed := func(e *P2) {
+		rng := sim.NewRNG(11, 3)
+		for i := 0; i < 10000; i++ {
+			e.Add(rng.ExpFloat64())
+		}
+	}
+	a, b := NewP2(0.95), NewP2(0.95)
+	feed(a)
+	feed(b)
+	if a.Quantile() != b.Quantile() {
+		t.Fatalf("same stream diverged: %v vs %v", a.Quantile(), b.Quantile())
+	}
+	a.Reset()
+	if a.Quantile() != 0 || a.Count() != 0 {
+		t.Fatalf("reset left state: q=%v n=%d", a.Quantile(), a.Count())
+	}
+	feed(a)
+	if a.Quantile() != b.Quantile() {
+		t.Fatalf("post-reset stream diverged: %v vs %v", a.Quantile(), b.Quantile())
+	}
+}
+
+// TestP2RejectsBadQuantile: out-of-range targets panic loudly at
+// construction, not quietly at query time.
+func TestP2RejectsBadQuantile(t *testing.T) {
+	for _, q := range []float64{-0.1, 0, 1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}

@@ -92,9 +92,22 @@ type Snapshot struct {
 	// window (zero for live gates, which cannot see their backend).
 	CPUUtil, DiskUtil float64
 
+	// FleetSize is the total number of shard slots (including draining
+	// and down members) and FleetUp the number currently serving, both
+	// at the snapshot instant. Zero for single-backend runs and plain
+	// live gates. ScaleUps / ScaleDowns count autoscaler actions and
+	// follow the Dropped window conventions: deltas in interval
+	// snapshots, totals in cumulative ones. All four stay zero when no
+	// autoscaler is armed (FleetSize/FleetUp still report for any
+	// sharded frontend).
+	FleetSize, FleetUp   int
+	ScaleUps, ScaleDowns uint64
+
 	// Shards carries per-member state when the frontend is a sharded
-	// cluster (nil for single-backend runs and plain live gates), in
-	// shard-index order.
+	// cluster, in shard-index order. It is nil for single-backend runs
+	// and plain live gates — and also elided above a fleet-size
+	// threshold (see the runner), so that per-snapshot memory stays
+	// bounded at N>=1000; the aggregate fields above remain populated.
 	Shards []ShardStat
 }
 

@@ -164,8 +164,9 @@ type Event struct {
 	// against an unsharded system is an error.
 	SetShardSpeed *ShardSpeedEvent `json:"set_shard_speed,omitempty"`
 	// SetDispatch switches the cluster's dispatch policy ("rr", "jsq",
-	// "lwl" or "affinity") mid-run. Running it against an unsharded
-	// system is an error.
+	// "lwl", "affinity", or the sampled "jsq-d"/"lwl-d" with an
+	// optional width like "jsq-d:3") mid-run. Running it against an
+	// unsharded system is an error.
 	SetDispatch string `json:"set_dispatch,omitempty"`
 	// EnableController attaches the feedback controller to the
 	// completion stream; DisableController detaches it, freezing the
@@ -200,6 +201,42 @@ type Event struct {
 	// the rest of the fleet, nominal speed, seeded by its index). Error
 	// on unsharded systems.
 	ShardAdd bool `json:"shard_add,omitempty"`
+}
+
+// AutoscaleSpec arms the fleet autoscaler for the whole scenario: a
+// hysteresis controller ticking every Interval simulated seconds from
+// the moment the measurement window opens, reading the mean
+// per-up-shard backlog ((queued+inflight)/up shards) and growing or
+// draining the shard fleet within [Min, Max]. Scale-ups reuse a parked
+// (down or draining) shard first and only build a fresh one when every
+// slot is serving; scale-downs drain the highest-index up shard.
+// Sharded systems only.
+type AutoscaleSpec struct {
+	// Min / Max bound the serving fleet size (1 <= Min <= Max).
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Interval is the controller tick period in simulated seconds
+	// (0 = 1).
+	Interval float64 `json:"interval,omitempty"`
+	// HighWater / LowWater are the per-up-shard backlog watermarks:
+	// at or above HighWater for BreachWindows consecutive ticks scales
+	// up, at or below LowWater for CalmWindows ticks scales down, and
+	// the band between them holds. Zeros default to HighWater 8 and
+	// LowWater HighWater/4.
+	HighWater float64 `json:"high_water,omitempty"`
+	LowWater  float64 `json:"low_water,omitempty"`
+	// BreachWindows / CalmWindows are the consecutive-tick thresholds
+	// (0s = defaults: 2, and 3x BreachWindows — scaling down is
+	// deliberately slower than scaling up).
+	BreachWindows int `json:"breach_windows,omitempty"`
+	CalmWindows   int `json:"calm_windows,omitempty"`
+	// Cooldown is the minimum time between actions in simulated
+	// seconds (0 = 2x Interval).
+	Cooldown float64 `json:"cooldown,omitempty"`
+	// MPLPerShard, when > 0, retargets the cluster-wide MPL to this
+	// many slots per up shard after every fleet change, so admitted
+	// concurrency scales with capacity.
+	MPLPerShard int `json:"mpl_per_shard,omitempty"`
 }
 
 // ChurnSpec runs a deterministic MTBF/MTTR fault generator for one
@@ -275,7 +312,10 @@ type Scenario struct {
 	// to every observer each interval and records the series in
 	// Result.Snapshots.
 	SampleInterval float64 `json:"sample_interval,omitempty"`
-	Phases         []Phase `json:"phases"`
+	// Autoscale, when non-nil, arms the fleet autoscaler for the whole
+	// run (sharded systems only).
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	Phases    []Phase        `json:"phases"`
 }
 
 // spec translates the public scenario into the runner's vocabulary.
@@ -286,6 +326,19 @@ type Scenario struct {
 // Run pays it exactly once.
 func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 	spec := runner.Spec{Warmup: sc.Warmup, SampleInterval: sc.SampleInterval}
+	if a := sc.Autoscale; a != nil {
+		spec.Autoscale = &runner.AutoscaleSpec{
+			Min:           a.Min,
+			Max:           a.Max,
+			Interval:      a.Interval,
+			HighWater:     a.HighWater,
+			LowWater:      a.LowWater,
+			BreachWindows: a.BreachWindows,
+			CalmWindows:   a.CalmWindows,
+			Cooldown:      a.Cooldown,
+			MPLPerShard:   a.MPLPerShard,
+		}
+	}
 	for i, ph := range sc.Phases {
 		rp := runner.Phase{
 			Name:         ph.Name,
@@ -423,6 +476,12 @@ type ShardResult struct {
 	// was serving (1 when the scenario never touched it; a shard added
 	// mid-run accrues only from its join).
 	Availability float64
+	// P95 is the shard's own response-time 95th percentile, estimated
+	// with a constant-memory P² tracker (PercentileSamples mode only, 0
+	// otherwise). The estimator holds five markers per shard instead of
+	// a sample reservoir, so per-shard tails stay reportable at
+	// thousand-shard fleets without O(N·samples) memory.
+	P95 float64
 	Report
 }
 
@@ -449,6 +508,19 @@ type SLOResult struct {
 	LastMeasured float64
 }
 
+// AutoscaleResult reports an autoscaled run's fleet trajectory.
+type AutoscaleResult struct {
+	// ScaleUps / ScaleDowns count controller actions over the run.
+	ScaleUps, ScaleDowns uint64
+	// FinalFleet is the serving shard count when the run ended;
+	// PeakFleet / MinFleet the extremes observed at controller ticks.
+	FinalFleet, PeakFleet, MinFleet int
+	// ShardSeconds is the total shard-up time accrued inside the
+	// measurement window, summed over all slots — the capacity bill an
+	// autoscaled fleet shrinks versus a fixed one.
+	ShardSeconds float64
+}
+
 // Result is a completed scenario run.
 type Result struct {
 	// Total aggregates the whole measurement window (warmup excluded;
@@ -468,6 +540,9 @@ type Result struct {
 	Tune *TuneResult
 	// SLO is non-nil when the latency-SLO controller ran.
 	SLO *SLOResult
+	// Autoscale is non-nil when Scenario.Autoscale armed the fleet
+	// autoscaler.
+	Autoscale *AutoscaleResult
 	// FinalMPL is the MPL when the run ended (mid-phase events or the
 	// controller may have moved it off Config.MPL).
 	FinalMPL int
@@ -574,6 +649,9 @@ func (s *System) Run(ctx context.Context, sc Scenario, obs ...metrics.Observer) 
 // shard count.
 func (s *System) checkShardEvents(sc Scenario) error {
 	n := s.cfg.Shards.Count
+	if sc.Autoscale != nil && n == 0 {
+		return fmt.Errorf("extsched: autoscale on an unsharded system")
+	}
 	for i, ph := range sc.Phases {
 		if n == 0 {
 			if ph.Churn != nil {
@@ -654,7 +732,7 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 	for _, sr := range out.Shards {
 		res.Shards = append(res.Shards, ShardResult{
 			Shard: sr.Shard, Speed: sr.Speed, Dispatched: sr.Dispatched,
-			State: sr.State, Availability: sr.Availability,
+			State: sr.State, Availability: sr.Availability, P95: sr.P95,
 			Report: reportFrom(sr.Report),
 		})
 	}
@@ -667,6 +745,16 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 			FinalMPL:   out.Tune.FinalMPL,
 			Iterations: out.Tune.Iterations,
 			Converged:  out.Tune.Converged,
+		}
+	}
+	if out.Autoscale != nil {
+		res.Autoscale = &AutoscaleResult{
+			ScaleUps:     out.Autoscale.ScaleUps,
+			ScaleDowns:   out.Autoscale.ScaleDowns,
+			FinalFleet:   out.Autoscale.FinalFleet,
+			PeakFleet:    out.Autoscale.PeakFleet,
+			MinFleet:     out.Autoscale.MinFleet,
+			ShardSeconds: out.Autoscale.ShardSeconds,
 		}
 	}
 	if out.SLO != nil {

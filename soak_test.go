@@ -85,3 +85,88 @@ func TestChurnSoakFlatHeap(t *testing.T) {
 		res.Total.Resubmitted, res.Total.Retries, res.Total.Failed,
 		early/(1<<20), late/(1<<20))
 }
+
+// TestLargeFleetSoakBoundedMetrics is the nightly memory check for the
+// N >= 1000 path: a 1000-shard fleet under sampled dispatch runs a
+// long open phase with percentile tracking on, and the
+// garbage-collected heap must stay flat as transactions accumulate.
+// The metric state is designed to be bounded — the class reservoirs
+// share a fixed sample budget and the per-shard p95 estimators are
+// constant-memory P² trackers (five markers each, regardless of how
+// many observations stream through) — so heap growth proportional to
+// completions would mean one of them regressed to O(samples).
+func TestLargeFleetSoakBoundedMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: long 1000-shard run, skipped with -short (nightly runs it in full)")
+	}
+	// W_IO-browsing has the smallest buffer pool of the Table 1
+	// workloads, which keeps the 1000-backend build affordable.
+	const shards = 1000
+	sys, err := NewSystem(Config{
+		Workload: "W_IO-browsing", MPL: 2 * shards, Seed: 9,
+		PercentileSamples: 4000,
+		Shards:            ShardSpec{Count: shards, Dispatch: "jsq-d:3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:           "large-fleet-soak",
+		Warmup:         5,
+		SampleInterval: 2,
+		Phases: []Phase{
+			{Name: "soak", Kind: PhaseOpen, Lambda: 1000, Duration: 80},
+		},
+	}
+	var heap []uint64
+	obs := metrics.ObserverFunc(func(s metrics.Snapshot) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap = append(heap, ms.HeapAlloc)
+	})
+	res, err := sys.Run(context.Background(), sc, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Completed == 0 {
+		t.Fatal("no completions on the large fleet")
+	}
+	if len(heap) < 16 {
+		t.Fatalf("only %d heap samples; need enough to compare early vs late", len(heap))
+	}
+	// Percentile tracking must actually have run at this scale: the
+	// class reservoirs feed the run-level p95 and the per-shard P²
+	// estimators feed the shard table.
+	if res.Total.P95 <= 0 {
+		t.Error("run-level p95 missing despite PercentileSamples")
+	}
+	withP95 := 0
+	for _, sr := range res.Shards {
+		if sr.P95 > 0 {
+			withP95++
+		}
+	}
+	if withP95 < shards/2 {
+		t.Errorf("only %d of %d shards report a P² p95; sampled dispatch should have fed most of the fleet", withP95, shards)
+	}
+	// Same flat-heap rule as the churn soak: late-run mean within 1.5x
+	// of the early steady state plus a small absolute slack.
+	q := len(heap) / 4
+	mean := func(xs []uint64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += float64(x)
+		}
+		return sum / float64(len(xs))
+	}
+	early := mean(heap[q : 2*q])
+	late := mean(heap[3*q:])
+	const slack = 8 << 20
+	if late > early*1.5+slack {
+		t.Errorf("heap grew across the soak: early mean %.0f bytes, late mean %.0f bytes (want late <= 1.5*early + %d)",
+			early, late, slack)
+	}
+	t.Logf("large-fleet soak: completed %d, shards with p95 %d; heap early %.1f MiB late %.1f MiB",
+		res.Total.Completed, withP95, early/(1<<20), late/(1<<20))
+}
