@@ -317,7 +317,15 @@ type Spec struct {
 	// Autoscale, when non-nil, arms the fleet autoscaler for the whole
 	// run (sharded stacks only).
 	Autoscale *AutoscaleSpec
-	Phases    []Phase
+	// ParallelShards opts a sharded run into the conservative parallel
+	// engine: each shard advances on its own sim.Engine on its own
+	// goroutine, synchronized in bounded windows at the dispatcher
+	// boundary (Stack.Par must be set on sharded stacks). Snapshot and
+	// windowing rules are unchanged — every breakpoint still observes
+	// all clocks standing at the same instant. On an unsharded stack
+	// the knob is a no-op (there is only one engine to run).
+	ParallelShards bool
+	Phases         []Phase
 }
 
 // finite reports whether every value is a finite float — the
@@ -541,6 +549,13 @@ type Stack struct {
 	// event-free way to run a scenario under SLO control; scenario
 	// SetSLO events can still replace it). Unsharded stacks only.
 	SLO *SLOSpec
+	// Par, when non-nil, is the conservative parallel ensemble over Eng
+	// (the coordinator) and the shards' member engines. The runner
+	// drives it instead of Eng whenever Spec.ParallelShards is set,
+	// switching the horizon rule per phase (lockstep for closed-loop
+	// phases, coordinator-horizon otherwise). Requires a sharded stack
+	// whose shards were each built on their own engine (Shard.Eng set).
+	Par *sim.ParallelEngine
 }
 
 // Gate returns the control surface the MPL events and the feedback
@@ -992,6 +1007,26 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		return Outcome{}, err
 	}
 	r := &run{st: st, spec: spec, obs: obs}
+	if st.Par != nil {
+		if st.Cluster == nil {
+			return Outcome{}, fmt.Errorf("runner: a parallel ensemble needs a sharded stack")
+		}
+		// The feedback controller actuates SetMPL from inside the
+		// per-completion observation path; replayed at window bounds its
+		// actuations would land at different instants than a sequential
+		// run's, so the combination is refused rather than silently
+		// diverging.
+		for i, ph := range spec.Phases {
+			for _, ev := range ph.Events {
+				if ev.EnableController != nil {
+					return Outcome{}, fmt.Errorf("runner: phase %d (%s): the feedback controller is not supported with ParallelShards", i, ph.label())
+				}
+			}
+		}
+		defer st.Par.Close()
+	} else if spec.ParallelShards && st.Cluster != nil {
+		return Outcome{}, fmt.Errorf("runner: ParallelShards needs a stack assembled with a parallel ensemble (Stack.Par)")
+	}
 	if st.PercentileSamples > 0 {
 		seed := st.Seed
 		if seed == 0 {
@@ -1034,6 +1069,13 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		if err != nil {
 			return Outcome{}, err
 		}
+		if st.Par != nil {
+			// Closed-loop phases feed completions straight back into
+			// submissions, so the window horizon must cover member events
+			// too (lockstep); autonomous-arrival phases are bounded by the
+			// coordinator's own next event.
+			st.Par.SetLockstep(ph.Kind == KindClosed)
+		}
 		driver.Start()
 		if i == 0 {
 			// The autoscaler is live from the first arrival, warmup
@@ -1046,7 +1088,7 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 				}
 			}
 			if spec.Warmup > 0 {
-				st.Eng.Run(st.Eng.Now() + spec.Warmup)
+				r.advance(st.Eng.Now() + spec.Warmup)
 				if err := ctx.Err(); err != nil {
 					return Outcome{}, err
 				}
@@ -1350,6 +1392,19 @@ func churnEvents(ch ChurnSpec, shards int, dur float64, stackSeed uint64) []Even
 	return out
 }
 
+// advance drives the stack's engine(s) to the inclusive bound t: the
+// conservative parallel ensemble when the stack has one, the lone
+// engine otherwise. Either way, when it returns every clock stands at
+// t and all cross-engine messages up to t have been delivered, so
+// breakpoint work (events, snapshots) observes one consistent instant.
+func (r *run) advance(t float64) {
+	if r.st.Par != nil {
+		r.st.Par.Run(t)
+		return
+	}
+	r.st.Eng.Run(t)
+}
+
 // runPhase advances the engine through one phase's measured duration,
 // pausing at event and snapshot breakpoints. It reports whether the
 // run should stop early (controller convergence).
@@ -1377,7 +1432,7 @@ func (r *run) runPhase(ctx context.Context, ph Phase) (stopEarly bool, err error
 		if r.spec.SampleInterval > 0 && r.nextSnap < t {
 			t = r.nextSnap
 		}
-		eng.Run(t)
+		r.advance(t)
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}

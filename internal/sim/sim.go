@@ -73,13 +73,17 @@ func (a slot) before(b slot) bool {
 // It is not safe for concurrent use; all model code runs inside event
 // callbacks on the engine's goroutine. Independent engines are fully
 // isolated, so many runs may execute on separate goroutines at once
-// (see experiments.Sweep).
+// (see experiments.Sweep and ParallelEngine).
 type Engine struct {
 	now     float64
 	queue   []slot // implicit 4-ary min-heap
 	free    []*event
 	seq     uint64
 	stopped bool
+	// live counts scheduled events that will still fire: canceled
+	// events leave it at Cancel time even though their slots are only
+	// discarded lazily when they surface at the heap head.
+	live int
 	// processed counts events that have fired (excluding canceled ones).
 	processed uint64
 }
@@ -95,19 +99,56 @@ func (e *Engine) Now() float64 { return e.now }
 // Processed returns the number of events fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently scheduled (including
-// canceled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events currently scheduled that will
+// still fire. Canceled events stop counting the moment they are
+// canceled, even though their heap slots are discarded lazily — so a
+// zero return really does mean the engine has no live work, which is
+// what parallel termination detection relies on.
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past (t < Now) panics: it always indicates a model bug, and silently
-// clamping would hide it.
-func (e *Engine) At(t float64, fn func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+// NextEventTime returns the absolute time of the earliest live event,
+// or +Inf when none is scheduled. Canceled events surfacing at the
+// heap head are discarded on the way.
+func (e *Engine) NextEventTime() float64 {
+	next, ok := e.peek()
+	if !ok {
+		return math.Inf(1)
 	}
+	return next.time
+}
+
+// AdvanceTo moves the clock forward to t without firing anything. It
+// is the conservative-parallel primitive: a coordinator that has
+// proven (via the lookahead horizon) that no event exists before t may
+// jump straight there before delivering a cross-engine message
+// timestamped t. Moving backward is a no-op; jumping over a live event
+// panics, because that would reorder the very events the horizon was
+// supposed to protect.
+func (e *Engine) AdvanceTo(t float64) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: advancing clock to non-finite time %v", t))
+	}
+	if t <= e.now {
+		return
+	}
+	if next, ok := e.peek(); ok && next.time < t {
+		panic(fmt.Sprintf("sim: advancing clock to %v past pending event at %v", t, next.time))
+	}
+	e.now = t
+}
+
+// At schedules fn to run at absolute simulated time t. Non-finite t
+// panics, as does scheduling in the past (t < Now): both always
+// indicate a model bug, and silently clamping would hide it. The
+// non-finite check runs first so At(NaN) reports the real problem
+// rather than tripping (or sliding past) the in-the-past comparison,
+// whose outcome against NaN is a coin toss of comparison semantics.
+func (e *Engine) At(t float64, fn func()) Handle {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	var ev *event
 	if n := len(e.free); n > 0 {
@@ -122,6 +163,7 @@ func (e *Engine) At(t float64, fn func()) Handle {
 	h := Handle{ev: ev, gen: ev.gen}
 	e.push(slot{time: t, seq: e.seq, ev: ev})
 	e.seq++
+	e.live++
 	return h
 }
 
@@ -135,8 +177,9 @@ func (e *Engine) After(d float64, fn func()) Handle {
 // handle (already fired, already collected) or the zero Handle is a
 // no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.ev != nil && h.ev.gen == h.gen {
+	if h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled {
 		h.ev.canceled = true
+		e.live--
 	}
 }
 
@@ -171,20 +214,26 @@ func (e *Engine) Step() bool {
 		e.recycle(top.ev)
 		e.now = top.time
 		e.processed++
+		e.live--
 		fn()
 		return true
 	}
 	return false
 }
 
-// Run fires events until the queue drains, Stop is called, or the clock
-// passes until (exclusive). Pass math.Inf(1) for no time bound. It
-// returns the number of events fired during this call. Unless until is
+// Run fires events until the queue drains, Stop is called, or the
+// next event lies strictly after until. The bound is inclusive: an
+// event scheduled at exactly until fires, and only events later than
+// until stay queued. Pass math.Inf(1) for no time bound. It returns
+// the number of events fired during this call. Unless until is
 // infinite, the clock always ends at the bound (even when the queue
 // drains early — an idle system still experiences the passage of time,
 // which is what lets a scenario phase with no traffic elapse). The
 // clock never moves backward: calling Run with until < Now fires
-// nothing and leaves the clock alone.
+// nothing and leaves the clock alone. The parallel window barrier
+// (ParallelEngine) depends on this edge being exact: every engine in a
+// window runs to the same inclusive bound, so a same-instant cascade
+// at the bound is fired by whichever pass owns it, never dropped.
 func (e *Engine) Run(until float64) uint64 {
 	var fired uint64
 	for !e.stopped {

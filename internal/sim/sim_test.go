@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -169,6 +170,162 @@ func TestEngineRunUntil(t *testing.T) {
 	n = e.RunAll()
 	if n != 5 {
 		t.Errorf("fired %d more events, want 5", n)
+	}
+}
+
+// TestEngineRunBoundInclusive pins the Run contract the parallel
+// window barrier depends on: an event scheduled at exactly the bound
+// fires, and the clock lands on the bound. The doc used to say
+// "(exclusive)" while the loop fired inclusively — this test keeps the
+// intended (inclusive) semantics from regressing either way.
+func TestEngineRunBoundInclusive(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	e.At(4.0, func() { fired = append(fired, 4) })
+	e.At(5.0, func() { fired = append(fired, 5) })
+	e.At(5.0, func() {
+		fired = append(fired, 5)
+		// A same-instant cascade scheduled at the bound from inside a
+		// bound event must fire within the same Run call.
+		e.At(5.0, func() { fired = append(fired, 5) })
+	})
+	e.At(math.Nextafter(5.0, 6.0), func() { fired = append(fired, 6) })
+	if n := e.Run(5.0); n != 4 {
+		t.Errorf("Run(5) fired %d events, want 4 (events at exactly the bound are inclusive)", n)
+	}
+	if e.Now() != 5.0 {
+		t.Errorf("Now() = %v, want the clock to land on the bound 5.0", e.Now())
+	}
+	want := []float64{4, 5, 5, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if n := e.RunAll(); n != 1 {
+		t.Errorf("event just after the bound fired %d times in RunAll, want 1", n)
+	}
+}
+
+// TestEnginePendingExcludesCanceled pins the live-event counter:
+// canceling the only queued event must make Pending report zero
+// immediately, even though the heap slot is discarded lazily —
+// otherwise "queue drained?" checks (parallel termination detection)
+// spuriously report pending work.
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	h := e.At(1.0, func() { t.Error("canceled event fired") })
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d before Cancel, want 1", e.Pending())
+	}
+	e.Cancel(h)
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after canceling the only event, want 0", e.Pending())
+	}
+	// Double-cancel must not drive the counter negative.
+	e.Cancel(h)
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after double Cancel, want 0", e.Pending())
+	}
+	if got := e.NextEventTime(); !math.IsInf(got, 1) {
+		t.Errorf("NextEventTime() = %v with only a canceled event, want +Inf", got)
+	}
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after RunAll, want 0", e.Pending())
+	}
+	// And firing still decrements: schedule two, cancel one, fire one.
+	h2 := e.At(2.0, func() {})
+	e.At(3.0, func() {})
+	e.Cancel(h2)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d with one live + one canceled, want 1", e.Pending())
+	}
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after draining, want 0", e.Pending())
+	}
+}
+
+// TestEngineAtPanicMessages table-tests the two At guards: non-finite
+// times must trip the non-finite panic (checked first, so At(NaN)
+// never depends on how NaN compares against the clock), and finite
+// past times must trip the in-the-past panic.
+func TestEngineAtPanicMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		t    float64
+		want string
+	}{
+		{"nan", math.NaN(), "non-finite time"},
+		{"pos-inf", math.Inf(1), "non-finite time"},
+		{"neg-inf", math.Inf(-1), "non-finite time"},
+		{"past", 1.0, "before now"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine()
+			e.At(5.0, func() {})
+			e.RunAll() // clock at 5, so t=1 is in the past
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("At(%v) did not panic", tc.t)
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("At(%v) panicked with %T, want string", tc.t, r)
+				}
+				if !strings.Contains(msg, tc.want) {
+					t.Errorf("At(%v) panic %q, want it to mention %q", tc.t, msg, tc.want)
+				}
+			}()
+			e.At(tc.t, func() {})
+		})
+	}
+}
+
+// TestEngineAdvanceTo pins the conservative-sync primitive: forward
+// jumps below the next event are fine, backward jumps are no-ops, and
+// jumping over a live event panics.
+func TestEngineAdvanceTo(t *testing.T) {
+	e := NewEngine()
+	e.AdvanceTo(3.0)
+	if e.Now() != 3.0 {
+		t.Fatalf("Now() = %v after AdvanceTo(3), want 3", e.Now())
+	}
+	e.AdvanceTo(1.0) // backward: no-op
+	if e.Now() != 3.0 {
+		t.Errorf("Now() = %v after backward AdvanceTo, want 3", e.Now())
+	}
+	h := e.At(5.0, func() {})
+	e.AdvanceTo(5.0) // exactly the next event time is allowed
+	if e.Now() != 5.0 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdvanceTo past a live event did not panic")
+			}
+		}()
+		e.AdvanceTo(6.0)
+	}()
+	// A canceled event is not a barrier.
+	e.Cancel(h)
+	e.AdvanceTo(7.0)
+	if e.Now() != 7.0 {
+		t.Errorf("Now() = %v after AdvanceTo over a canceled event, want 7", e.Now())
+	}
+	if got := e.NextEventTime(); !math.IsInf(got, 1) {
+		t.Errorf("NextEventTime() = %v, want +Inf", got)
+	}
+	e.At(9.0, func() {})
+	if got := e.NextEventTime(); got != 9.0 {
+		t.Errorf("NextEventTime() = %v, want 9", got)
 	}
 }
 

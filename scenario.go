@@ -315,7 +315,15 @@ type Scenario struct {
 	// Autoscale, when non-nil, arms the fleet autoscaler for the whole
 	// run (sharded systems only).
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
-	Phases    []Phase        `json:"phases"`
+	// ParallelShards, when true, runs each shard's frontend+backend
+	// pair on its own simulation engine in its own goroutine,
+	// synchronized conservatively at the dispatcher boundary. The run
+	// is deterministic and produces the same Result (and Snapshots) as
+	// the sequential engine for the same Config.Seed. Unsharded systems
+	// ignore the knob. The feedback controller (EnableController) is
+	// not supported in this mode.
+	ParallelShards bool    `json:"parallel_shards,omitempty"`
+	Phases         []Phase `json:"phases"`
 }
 
 // spec translates the public scenario into the runner's vocabulary.
@@ -325,7 +333,11 @@ type Scenario struct {
 // in, so Validate (and ParseScenario) never pays the generation cost —
 // Run pays it exactly once.
 func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
-	spec := runner.Spec{Warmup: sc.Warmup, SampleInterval: sc.SampleInterval}
+	spec := runner.Spec{
+		Warmup:         sc.Warmup,
+		SampleInterval: sc.SampleInterval,
+		ParallelShards: sc.ParallelShards,
+	}
 	if a := sc.Autoscale; a != nil {
 		spec.Autoscale = &runner.AutoscaleSpec{
 			Min:           a.Min,
@@ -408,6 +420,9 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 				re.SetAdmitDeadline = &runner.AdmitDeadline{High: ad.High, Low: ad.Low}
 			}
 			if cs := ev.EnableController; cs != nil {
+				if sc.ParallelShards {
+					return runner.Spec{}, fmt.Errorf("extsched: phase %d: enable_controller is not supported with parallel_shards (the controller actuates per completion, which has no deterministic parallel equivalent)", i)
+				}
 				re.EnableController = &runner.ControllerSpec{
 					MaxThroughputLoss:   cs.MaxThroughputLoss,
 					ReferenceThroughput: cs.ReferenceThroughput,
@@ -704,7 +719,7 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 	if initialMPL != nil {
 		mpl = *initialMPL
 	}
-	st, err := s.buildStack(mpl)
+	st, err := s.buildStack(mpl, sc.ParallelShards && s.cfg.Shards.Count > 0)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,234 @@
+package extsched
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"extsched/metrics"
+)
+
+// parallelFingerprint is one entry in the cross-engine equivalence
+// battery: a Config and a Scenario lifted verbatim from the repo's
+// fingerprint determinism tests.
+type parallelFingerprint struct {
+	name string
+	cfg  Config
+	sc   Scenario
+}
+
+// parallelFingerprints returns the five fingerprint scenarios (the
+// same Config+Scenario pairs the sequential determinism gates run).
+// Building them in a function keeps each subtest on pristine values.
+func parallelFingerprints() []parallelFingerprint {
+	slow := ShardSpeedEvent{Shard: 1, Speed: 0.25}
+	recover := ShardSpeedEvent{Shard: 1, Speed: 1}
+	victim := 3
+	return []parallelFingerprint{
+		{
+			name: "fig7",
+			cfg:  Config{SetupID: 1, MPL: 4, PercentileSamples: 2000, Seed: 11},
+			sc: Scenario{
+				Name:           "accept",
+				Warmup:         10,
+				SampleInterval: 10,
+				Phases: []Phase{
+					{Name: "steady", Kind: PhaseClosed, Clients: 50, Duration: 40},
+					{Name: "surge", Kind: PhaseRamp, Lambda: 30, Lambda2: 90, Duration: 40},
+					{Name: "replay", Kind: PhaseTrace, Duration: 40, TraceSynth: &TraceSynth{
+						N: 4000, MeanDemand: 0.008, DemandC2: 2, Lambda: 80, Seed: 5,
+					}},
+				},
+			},
+		},
+		{
+			name: "sharded-dispatch",
+			cfg: Config{
+				SetupID: 1, MPL: 8, Seed: 21,
+				Shards: ShardSpec{Count: 2, Dispatch: "jsq"},
+			},
+			sc: Scenario{
+				Name:           "shard-slowdown",
+				Warmup:         10,
+				SampleInterval: 10,
+				Phases: []Phase{
+					{Name: "steady", Kind: PhaseClosed, Clients: 40, Duration: 60,
+						Events: []Event{{At: 20, SetShardSpeed: &slow}}},
+					{Name: "recovered", Kind: PhaseOpen, Lambda: 40, Duration: 60,
+						Events: []Event{{At: 10, SetShardSpeed: &recover, SetDispatch: "lwl"}}},
+				},
+			},
+		},
+		{
+			name: "slo-shedding",
+			cfg:  Config{SetupID: 1, MPL: 12, PercentileSamples: 2000, Seed: 31},
+			sc: Scenario{
+				Name:           "slo-shedding",
+				Warmup:         10,
+				SampleInterval: 10,
+				Phases: []Phase{
+					{Name: "steady", Kind: PhaseOpen, Lambda: 65, Duration: 60,
+						Events: []Event{{
+							SetSLO:           &SLOSpec{Class: "high", Target: 0.4},
+							SetAdmitDeadline: &AdmitDeadline{Low: 1.5},
+						}}},
+					{Name: "burst", Kind: PhaseBurst, Lambda: 105, BurstFactor: 3, BurstPeriod: 15, Duration: 60},
+					{Name: "recover", Kind: PhaseOpen, Lambda: 55, Duration: 60},
+				},
+			},
+		},
+		{
+			name: "churn",
+			cfg: Config{
+				SetupID: 1, MPL: 12, Seed: 21,
+				Shards:   ShardSpec{Count: 4, Dispatch: "jsq"},
+				Recovery: &RecoverySpec{Mode: RecoveryResubmit, RetryBudget: 3},
+			},
+			sc: Scenario{
+				Name:           "churn",
+				Warmup:         10,
+				SampleInterval: 15,
+				Phases: []Phase{
+					{Name: "steady", Kind: PhaseOpen, Lambda: 280, Duration: 60},
+					{Name: "burst", Kind: PhaseBurst, Lambda: 330, BurstFactor: 2,
+						BurstPeriod: 10, Duration: 60,
+						Events: []Event{
+							{At: 15, ShardFail: &victim},
+							{At: 40, ShardRecover: &victim},
+						}},
+					{Name: "recovered", Kind: PhaseOpen, Lambda: 220, Duration: 60},
+				},
+			},
+		},
+		{
+			name: "autoscale",
+			cfg: Config{
+				SetupID: 1, MPL: 12, Seed: 31,
+				Shards: ShardSpec{Count: 4, Dispatch: "jsq-d:3"},
+			},
+			sc: Scenario{
+				Name:           "diurnal",
+				Warmup:         5,
+				SampleInterval: 15,
+				Autoscale: &AutoscaleSpec{
+					Min: 4, Max: 64,
+					Interval:  2,
+					HighWater: 6, LowWater: 1.5,
+					BreachWindows: 2, CalmWindows: 4,
+					Cooldown:    3,
+					MPLPerShard: 3,
+				},
+				Phases: []Phase{
+					{Name: "morning", Kind: PhaseRamp, Lambda: 80, Lambda2: 600, Duration: 60},
+					{Name: "peak", Kind: PhaseOpen, Lambda: 600, Duration: 40},
+					{Name: "evening", Kind: PhaseRamp, Lambda: 600, Lambda2: 50, Duration: 60},
+					{Name: "night", Kind: PhaseOpen, Lambda: 50, Duration: 60},
+				},
+			},
+		},
+	}
+}
+
+// TestParallelEquivalenceBattery is the tentpole acceptance gate for
+// conservative-parallel runs: every fingerprint scenario, run once
+// sequentially and once with ParallelShards on (each on a fresh System
+// with the same Config), produces a DeepEqual Result and snapshot
+// stream. Per-shard streams stay bit-identical because each shard's
+// event order is untouched by the decomposition; the aggregate matches
+// because the member→coordinator replay reproduces the sequential
+// interleaving. Run under -race with -cpu 2,4 in CI, so the window
+// workers get real parallelism.
+func TestParallelEquivalenceBattery(t *testing.T) {
+	for _, fp := range parallelFingerprints() {
+		fp := fp
+		t.Run(fp.name, func(t *testing.T) {
+			t.Parallel()
+			seqSys, err := NewSystem(fp.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seqObs metrics.Collector
+			seqRes, err := seqSys.Run(context.Background(), fp.sc, &seqObs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			parSys, err := NewSystem(fp.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psc := fp.sc
+			psc.ParallelShards = true
+			var parObs metrics.Collector
+			parRes, err := parSys.Run(context.Background(), psc, &parObs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("parallel Result differs from sequential:\nseq: %+v\npar: %+v", seqRes.Total, parRes.Total)
+				for i := range seqRes.Shards {
+					if i < len(parRes.Shards) && !reflect.DeepEqual(seqRes.Shards[i], parRes.Shards[i]) {
+						t.Errorf("shard %d:\nseq: %+v\npar: %+v", i, seqRes.Shards[i], parRes.Shards[i])
+					}
+				}
+			}
+			if !reflect.DeepEqual(seqObs.Snapshots, parObs.Snapshots) {
+				n := len(seqObs.Snapshots)
+				if m := len(parObs.Snapshots); m != n {
+					t.Fatalf("snapshot counts differ: seq %d, par %d", n, m)
+				}
+				for i := range seqObs.Snapshots {
+					if !reflect.DeepEqual(seqObs.Snapshots[i], parObs.Snapshots[i]) {
+						t.Errorf("snapshot %d differs:\nseq: %+v\npar: %+v", i, seqObs.Snapshots[i], parObs.Snapshots[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRerunBitIdentical pins that a parallel run is also
+// deterministic against itself: two ParallelShards runs on one System
+// are bit-identical, independent of goroutine scheduling.
+func TestParallelRerunBitIdentical(t *testing.T) {
+	fp := parallelFingerprints()[3] // churn: failures + retries + 4 shards
+	sys, err := NewSystem(fp.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := fp.sc
+	sc.ParallelShards = true
+	var obs1, obs2 metrics.Collector
+	r1, err := sys.Run(context.Background(), sc, &obs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sys.Run(context.Background(), sc, &obs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("parallel re-run not bit-identical:\n%+v\nvs\n%+v", r1.Total, r2.Total)
+	}
+	if !reflect.DeepEqual(obs1.Snapshots, obs2.Snapshots) {
+		t.Error("parallel observer streams differ between re-runs")
+	}
+}
+
+// TestParallelControllerRejected pins the documented restriction: the
+// feedback controller actuates per completion, so enable_controller
+// with parallel_shards must fail scenario validation.
+func TestParallelControllerRejected(t *testing.T) {
+	sc := Scenario{
+		ParallelShards: true,
+		Phases: []Phase{
+			{Kind: PhaseOpen, Lambda: 10, Duration: 5,
+				Events: []Event{{EnableController: &ControllerSpec{MaxThroughputLoss: 0.2}}}},
+		},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("enable_controller with parallel_shards validated, want error")
+	}
+}
