@@ -6,8 +6,8 @@
 // contention sweeps at GOMAXPROCS 2/4/8, and the Pool fast path),
 // dispatch-policy pick cost at fleet sizes 8 and 1000 (the sampled
 // "jsq-d" path must stay allocation-free and flat in N), and the
-// deterministic summary numbers of the fig7, dispatch, slo, churn and
-// autoscale figures — and compares
+// deterministic summary numbers of the fig7, dispatch, slo, churn,
+// autoscale and fairness figures — and compares
 // them against the committed BENCH_baseline.json with per-metric
 // tolerances. Any regression exits nonzero, which is what lets CI
 // refuse a PR that slows a hot path or silently changes a figure.
@@ -428,6 +428,11 @@ func measure() ([]Metric, error) {
 		return nil, err
 	}
 	addFigure(&out, autoscale)
+	fair, err := experiments.FairnessFigure(2, opts)
+	if err != nil {
+		return nil, err
+	}
+	addFigure(&out, fair)
 	return out, nil
 }
 

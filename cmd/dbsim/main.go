@@ -190,6 +190,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mpl:              %d\n", sys.MPL())
 	printReport(out, res.Total)
 	printSLO(out, res.SLO)
+	printTenants(out, res)
 	printAutoscale(out, res.Autoscale)
 	printShards(out, res.Shards, fleetUp(res))
 	return nil
@@ -332,6 +333,27 @@ func parseSpeeds(s string) ([]float64, error) {
 	return out, nil
 }
 
+// printTenants renders the per-tenant breakdown and the fairness
+// loop's outcome (nothing for runs without registered tenants).
+func printTenants(out io.Writer, res extsched.Result) {
+	if len(res.Total.Classes) > 0 {
+		fmt.Fprintf(out, "\n%-12s %6s %10s %8s %12s %12s\n",
+			"tenant", "class", "txns", "shed", "meanRT (s)", "p95 (s)")
+		for _, c := range res.Total.Classes {
+			name := c.Name
+			if name == "" {
+				name = "-"
+			}
+			fmt.Fprintf(out, "%-12s %6d %10d %8d %12.4f %12.4f\n",
+				name, c.Class, c.Completed, c.Shed, c.MeanRT, c.P95)
+		}
+	}
+	if fr := res.Fairness; fr != nil {
+		fmt.Fprintf(out, "fairness:         final limits %v, %d iterations, %d slot moves\n",
+			fr.Limits, fr.Iterations, fr.Moves)
+	}
+}
+
 // printAutoscale renders the fleet controller's outcome (no-op when
 // the run had no autoscaler).
 func printAutoscale(out io.Writer, a *extsched.AutoscaleResult) {
@@ -398,6 +420,9 @@ func runScenarioFile(sys *extsched.System, path string, autoscale *extsched.Auto
 	if err != nil {
 		return err
 	}
+	for _, d := range sc.Deprecations() {
+		fmt.Fprintf(os.Stderr, "dbsim: deprecated: %s\n", d)
+	}
 	if autoscale != nil {
 		sc.Autoscale = autoscale
 	}
@@ -422,6 +447,7 @@ func runScenarioFile(sys *extsched.System, path string, autoscale *extsched.Auto
 			res.Tune.StartMPL, res.Tune.FinalMPL, res.Tune.Iterations, res.Tune.Converged)
 	}
 	printSLO(out, res.SLO)
+	printTenants(out, res)
 	printAutoscale(out, res.Autoscale)
 	if res.Total.Shed > 0 {
 		fmt.Fprintf(out, "shed:             %d txns past their admission deadline (high %d, low %d)\n",

@@ -553,6 +553,11 @@ type Report struct {
 	P50, P95, P99 float64 // response-time percentiles (PercentileSamples mode)
 	HighP95       float64 // high-class p95 (PercentileSamples mode) — the SLO signal
 	LowP95        float64 // low-class p95 (PercentileSamples mode)
+	// Classes is the per-tenant breakdown of the window, in ascending
+	// class-ID order: one entry per class that completed or shed work.
+	// The N-tenant generalization of the High/Low fields above (which
+	// remain for two-class runs).
+	Classes []ClassResult
 }
 
 // RunClosed drives the system with a fixed client population (the

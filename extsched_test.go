@@ -1,6 +1,7 @@
 package extsched
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -107,7 +108,7 @@ func TestRunClosedReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("second run on same System rejected: %v", err)
 	}
-	if rep2 != rep {
+	if !reflect.DeepEqual(rep2, rep) {
 		t.Errorf("re-run differs:\n%+v\nvs\n%+v", rep2, rep)
 	}
 }

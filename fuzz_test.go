@@ -67,6 +67,33 @@ func FuzzParseScenario(f *testing.F) {
 		"churn":{"mtbf":10,"mttr":-2}}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"closed","duration":5,"clients":2,
 		"events":[{"at":1,"shard_fail":-1}]}]}`))
+	f.Add([]byte(`{"tenants":[
+		{"name":"batch","weight":1,"share":0.6},
+		{"name":"web","weight":4,"share":0.3,"slo_target":1.5},
+		{"name":"api","share":0.1,"size_mean":0.02,"size_c2":4}],
+		"fairness":{"strict":true,"min_observations":60,"hysteresis":2,"weights":{"web":8}},
+		"phases":[{"kind":"open","duration":20,"lambda":40,
+		"events":[{"at":2,"set_weights":{"web":2,"batch":1}},
+		          {"at":4,"set_tenant_deadlines":{"batch":3}},
+		          {"at":6,"disable_fairness":true},
+		          {"at":8,"set_tenant_limits":{"web":3,"batch":1,"api":1}},
+		          {"at":10,"set_tenant_limits":{}},
+		          {"at":12,"enable_fairness":{"strict":true}}]}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"diurnal","duration":40,"lambda":50,
+		"diurnal_amp":0.5,"diurnal_period":20}]}`))
+	f.Add([]byte(`{"phases":[{"kind":"flash","duration":30,"lambda":40,
+		"flash_factor":5,"flash_at":10,"flash_duration":4}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","share":0.5},{"name":"a","share":0.5}],
+		"phases":[{"kind":"open","duration":5,"lambda":10}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","share":0.9},{"name":"b","share":0.3}],
+		"phases":[{"kind":"open","duration":5,"lambda":10}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"only","share":1}],
+		"phases":[{"kind":"open","duration":5,"lambda":10}]}`))
+	f.Add([]byte(`{"fairness":{"strict":true},
+		"phases":[{"kind":"open","duration":5,"lambda":10}]}`))
+	f.Add([]byte(`{"tenants":[{"name":"a","share":0.5},{"name":"b","share":0.5}],
+		"phases":[{"kind":"open","duration":5,"lambda":10,
+		"events":[{"at":1,"set_weights":{"ghost":2}}]}]}`))
 	f.Add([]byte(`{"phases":[{"kind":"closed","duration":-1}]}`))
 	f.Add([]byte(`{"phases":[]}`))
 	f.Add([]byte(`not json`))

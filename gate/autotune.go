@@ -73,6 +73,9 @@ func (g *Gate) EnableAutoTune(tc TuneConfig) error {
 	if g.slo.Load() != nil {
 		return fmt.Errorf("gate: auto-tune and SLO tuning share the metrics window; DisableSLOTune first")
 	}
+	if g.fair.Load() != nil {
+		return fmt.Errorf("gate: auto-tune and fairness share the metrics window; DisableFairness first")
+	}
 	ctl, err := controller.New(g.clock, g.fe, controller.Config{
 		Targets: controller.Targets{
 			MaxThroughputLoss: tc.MaxThroughputLoss,
@@ -165,6 +168,9 @@ func (g *Gate) EnableSLOTune(tc SLOTuneConfig) error {
 	}
 	if g.ctl.Load() != nil {
 		return fmt.Errorf("gate: SLO tuning and auto-tune share the metrics window; DisableAutoTune first")
+	}
+	if g.fair.Load() != nil {
+		return fmt.Errorf("gate: SLO tuning and fairness share the metrics window; DisableFairness first")
 	}
 	ctl, err := controller.NewSLO(g.clock, g.fe, controller.SLOConfig{
 		Target: controller.SLOTarget{

@@ -1,0 +1,126 @@
+package gate
+
+import (
+	"fmt"
+
+	"extsched/internal/core"
+	"extsched/internal/fairness"
+)
+
+// FairnessConfig parameterizes the N-tenant weighted max-min fairness
+// loop for a live gate: partition the gate's limit across the weighted
+// tenant classes and steer the split so each tenant's weight-normalized
+// attained service equalizes. The mechanism is the same class-partition
+// machinery the SLO loop drives (work-conserving — idle slots are still
+// lent across the partition), with the policy generalized from one
+// protected class to N weighted tenants.
+type FairnessConfig struct {
+	// Weights maps each governed tenant class to its relative share
+	// weight (every weight > 0; >= 2 classes). Nil means "govern the
+	// registered tenants": the classes and weights passed to
+	// RegisterClass.
+	Weights map[Class]float64
+	// MinObservations gates fairness-window close (0 = 50).
+	MinObservations int
+	// Hysteresis is the imbalance ratio a busy donor must exceed before
+	// a slot moves (0 = 1.2; must be >= 1 otherwise).
+	Hysteresis float64
+	// Strict makes the partition a hard cap: a tenant at its limit
+	// never borrows idle capacity. Trades utilization for latency
+	// isolation. Default false (work-conserving borrowing).
+	Strict bool
+}
+
+// FairnessStatus reports the fairness loop's progress.
+type FairnessStatus struct {
+	// Enabled is false until EnableFairness succeeds.
+	Enabled bool
+	// Limits is the current per-tenant slot partition (sums to the
+	// gate's limit).
+	Limits map[Class]int
+	// Iterations counts completed reactions; Moves how many of them
+	// actually moved a slot.
+	Iterations, Moves int
+}
+
+// fairTuner pairs the fairness controller with its wiring state.
+type fairTuner struct {
+	ctl *fairness.Controller
+}
+
+// EnableFairness attaches the weighted max-min fairness controller to
+// the gate's completion stream: every Release feeds an observation
+// window, and each closed window moves at most one slot from the most-
+// overserved tenant (idle tenants donate first) to the most-underserved
+// one. Two invariants hold after every reaction: the per-tenant limits
+// sum to the gate's limit, and every governed tenant keeps at least one
+// slot — an aggressor can never capture the whole gate. The gate needs
+// a finite limit of at least one slot per governed tenant. Enabling
+// twice replaces the previous loop and restarts the metrics window.
+// Fairness, auto-tune and SLO tuning are mutually exclusive: all three
+// close observation windows by resetting the gate's one metrics window.
+func (g *Gate) EnableFairness(fc FairnessConfig) error {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
+	if g.ctl.Load() != nil {
+		return fmt.Errorf("gate: fairness and auto-tune share the metrics window; DisableAutoTune first")
+	}
+	if g.slo.Load() != nil {
+		return fmt.Errorf("gate: fairness and SLO tuning share the metrics window; DisableSLOTune first")
+	}
+	weights := make(map[core.Class]float64, len(fc.Weights))
+	if fc.Weights == nil {
+		for _, t := range g.fe.Tenants() {
+			weights[t.Class] = t.Weight
+		}
+		if len(weights) < 2 {
+			return fmt.Errorf("gate: fairness over registered tenants needs >= 2 RegisterClass calls (have %d); or pass explicit Weights", len(weights))
+		}
+	} else {
+		for c, w := range fc.Weights {
+			weights[core.Class(c)] = w
+		}
+	}
+	ctl, err := fairness.New(g.fe, fairness.Config{
+		Weights:         weights,
+		MinObservations: fc.MinObservations,
+		Hysteresis:      fc.Hysteresis,
+		Strict:          fc.Strict,
+	})
+	if err != nil {
+		return err
+	}
+	g.fair.Store(&fairTuner{ctl: ctl})
+	return nil
+}
+
+// DisableFairness detaches the fairness loop; the tenant partition
+// stays where it left it (clear it with SetClassLimits(nil)), but a
+// strict partition relaxes back to work-conserving — a frozen hard cap
+// with no controller rebalancing it could idle capacity forever.
+func (g *Gate) DisableFairness() {
+	g.tuneMu.Lock()
+	defer g.tuneMu.Unlock()
+	g.fair.Store(nil)
+	g.fe.SetStrictPartition(false)
+}
+
+// FairnessStatus reports the fairness loop's state (zero value when
+// fairness was never enabled).
+func (g *Gate) FairnessStatus() FairnessStatus {
+	f := g.fair.Load()
+	if f == nil {
+		return FairnessStatus{}
+	}
+	limits := f.ctl.Limits()
+	out := make(map[Class]int, len(limits))
+	for c, l := range limits {
+		out[Class(c)] = l
+	}
+	return FairnessStatus{
+		Enabled:    true,
+		Limits:     out,
+		Iterations: f.ctl.Iterations(),
+		Moves:      f.ctl.Moves(),
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -153,6 +154,7 @@ type Gate struct {
 	tuneMu sync.Mutex
 	ctl    atomic.Pointer[tuner]
 	slo    atomic.Pointer[sloTuner]
+	fair   atomic.Pointer[fairTuner]
 	errs   atomic.Uint64
 }
 
@@ -269,6 +271,9 @@ func New(cfg Config) (*Gate, error) {
 		}
 		if s := g.slo.Load(); s != nil {
 			s.ctl.Observe()
+		}
+		if f := g.fair.Load(); f != nil {
+			f.ctl.Observe()
 		}
 	}
 	return g, nil
@@ -474,19 +479,84 @@ func (g *Gate) ClassPercentile(c Class, p float64) float64 {
 	return g.fe.ClassResponseTimePercentile(core.Class(c), p)
 }
 
+// Tenant describes one registered tenant class.
+type Tenant struct {
+	// Class is the tenant's priority class ID.
+	Class Class
+	// Name labels the tenant in Stats.Classes.
+	Name string
+	// Weight is the tenant's relative fair share (EnableFairness uses
+	// it when no explicit weights are given).
+	Weight float64
+	// SLOTarget is the tenant's advisory latency target in seconds
+	// (0 = none).
+	SLOTarget float64
+}
+
+// RegisterClass registers a named tenant and returns its class ID
+// (sequential from 0, so the first two registrations land on ClassLow
+// and ClassHigh). Weight is the tenant's relative fair share (> 0);
+// sloTarget an advisory latency target in seconds (>= 0; 0 = none).
+// Registration only names the class and records its weight — any class
+// ID may be used in a Request without registering — but EnableFairness
+// with nil Weights governs exactly the registered tenants.
+func (g *Gate) RegisterClass(name string, weight, sloTarget float64) (Class, error) {
+	if weight <= 0 {
+		return 0, fmt.Errorf("gate: tenant %q weight %v must be > 0", name, weight)
+	}
+	if sloTarget < 0 {
+		return 0, fmt.Errorf("gate: tenant %q SLO target %v must be >= 0", name, sloTarget)
+	}
+	return Class(g.fe.RegisterClass(name, weight, sloTarget)), nil
+}
+
+// Tenants returns the registered tenants in registration (= class ID)
+// order; nil when none were registered.
+func (g *Gate) Tenants() []Tenant {
+	ts := g.fe.Tenants()
+	if ts == nil {
+		return nil
+	}
+	out := make([]Tenant, len(ts))
+	for i, t := range ts {
+		out[i] = Tenant{Class: Class(t.Class), Name: t.Name, Weight: t.Weight, SLOTarget: t.SLOTarget}
+	}
+	return out
+}
+
+// TenantName returns the registered name for a class (empty when the
+// class was never registered).
+func (g *Gate) TenantName(c Class) string { return g.fe.TenantName(core.Class(c)) }
+
+// SetWFQWeights reweights the WFQ policy per class (classes absent from
+// the map keep their current weight). Returns an error for a
+// non-positive weight; reports ok=false (with no error) when the gate's
+// policy is not WFQ.
+func (g *Gate) SetWFQWeights(weights map[Class]float64) (ok bool, err error) {
+	cw := make(map[core.Class]float64, len(weights))
+	for c, w := range weights {
+		if w <= 0 {
+			return false, fmt.Errorf("gate: class %d WFQ weight %v must be > 0", c, w)
+		}
+		cw[core.Class(c)] = w
+	}
+	return g.fe.SetWFQWeights(cw), nil
+}
+
 // Stats is a point-in-time snapshot of the gate. It is the shared
 // metrics.Snapshot vocabulary: the same fields a simulated Scenario run
 // streams to its observers, so live and simulated measurements compare
 // field for field. In a Stats value the completion counters cover the
 // whole current metrics window and Dropped/Canceled/Errors are
-// lifetime totals; HighResponse/LowResponse split the mean by class;
+// lifetime totals; Classes splits the window per tenant class (the
+// deprecated HighResponse()/LowResponse() accessors derive from it);
 // MeanInside is the admitted (dispatch-to-release) portion of the
 // response time. Only the fields a live gate genuinely cannot know —
 // Phase, CPUUtil, DiskUtil, Restarts — stay zero here.
 type Stats = metrics.Snapshot
 
-// Stats snapshots the gate. The snapshot is assembled without
-// allocating (the percentile estimators reuse internal scratch), so
+// Stats snapshots the gate. The per-class slice is the only per-call
+// allocation (the percentile estimators reuse internal scratch), so
 // periodic reporters can call it freely; it does take the gate's
 // internal locks briefly, so it is a reporting call, not a per-request
 // one — per-request code should stick to Limit/Inflight.
@@ -503,20 +573,50 @@ func (g *Gate) Stats() Stats {
 		MeanResponse: m.All.Mean(),
 		MeanWait:     m.ExtWait.Mean(),
 		MeanInside:   m.Inside.Mean(),
-		HighResponse: m.High.Mean(),
-		LowResponse:  m.Low.Mean(),
 		P50:          g.fe.ResponseTimePercentile(50),
 		P95:          g.fe.ResponseTimePercentile(95),
 		P99:          g.fe.ResponseTimePercentile(99),
-		HighP95:      g.fe.ClassResponseTimePercentile(core.ClassHigh, 95),
-		LowP95:       g.fe.ClassResponseTimePercentile(core.ClassLow, 95),
 		Dropped:      g.fe.Dropped(),
 		Canceled:     g.fe.Canceled(),
 		Errors:       g.errs.Load(),
 	}
-	s.Shed, s.ShedHigh = g.fe.ShedCounts()
-	s.ShedLow = s.Shed - s.ShedHigh
+	s.Shed = g.fe.Shed()
+	s.Classes = g.classStats(m)
 	return s
+}
+
+// classStats assembles the per-tenant slice of a Stats snapshot: every
+// class that completed work this window or ever shed any, ascending.
+func (g *Gate) classStats(m core.Metrics) []metrics.ClassStat {
+	shed := g.fe.ShedClasses()
+	ids := make(map[core.Class]struct{}, len(m.Classes)+len(shed))
+	for _, cm := range m.Classes {
+		ids[cm.Class] = struct{}{}
+	}
+	for c := range shed {
+		ids[c] = struct{}{}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	classes := make([]core.Class, 0, len(ids))
+	for c := range ids {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]metrics.ClassStat, len(classes))
+	for i, c := range classes {
+		cm := m.ClassMetric(c)
+		out[i] = metrics.ClassStat{
+			Class:     int(c),
+			Name:      g.fe.TenantName(c),
+			Completed: cm.Completed(),
+			Shed:      shed[c],
+			Mean:      cm.RT.Mean(),
+			P95:       g.fe.ClassResponseTimePercentile(c, 95),
+		}
+	}
+	return out
 }
 
 // ResetStats starts a fresh metrics window (Throughput, MeanResponse

@@ -625,6 +625,7 @@ func (d *Dispatcher) ShedByClass(c core.Class) uint64 {
 // all shards share one clock and reset together).
 func (d *Dispatcher) Metrics() core.Metrics {
 	var out core.Metrics
+	windows := make([][]core.ClassMetric, 0, len(d.shards))
 	for i := range d.shards {
 		m := d.shards[i].FE.Metrics()
 		out.Completed += m.Completed
@@ -634,8 +635,27 @@ func (d *Dispatcher) Metrics() core.Metrics {
 		out.Low.Merge(&m.Low)
 		out.Inside.Merge(&m.Inside)
 		out.ExtWait.Merge(&m.ExtWait)
+		if len(m.Classes) > 0 {
+			windows = append(windows, m.Classes)
+		}
 		if i == 0 {
 			out = out.WithWindow(m.Window())
+		}
+	}
+	out.Classes = core.MergeClassMetrics(windows...)
+	return out
+}
+
+// ShedClasses aggregates the shards' per-class shed counts (nil when
+// nothing was shed anywhere).
+func (d *Dispatcher) ShedClasses() map[core.Class]uint64 {
+	var out map[core.Class]uint64
+	for i := range d.shards {
+		for c, n := range d.shards[i].FE.ShedClasses() {
+			if out == nil {
+				out = make(map[core.Class]uint64)
+			}
+			out[c] += n
 		}
 	}
 	return out

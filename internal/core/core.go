@@ -404,15 +404,77 @@ func sjfLess(a, b *Item) bool {
 // Metrics aggregates frontend measurements. Response times include
 // external queueing (the paper's definition).
 type Metrics struct {
-	Completed  uint64
-	All        stats.Accumulator // response time, all classes
-	High       stats.Accumulator // response time, high class
-	Low        stats.Accumulator // response time, low class
-	Inside     stats.Accumulator // time inside the backend
-	ExtWait    stats.Accumulator // external queue wait
-	Restarts   uint64
+	Completed uint64
+	All       stats.Accumulator // response time, all classes
+	High      stats.Accumulator // response time, high class
+	Low       stats.Accumulator // response time, low class
+	Inside    stats.Accumulator // time inside the backend
+	ExtWait   stats.Accumulator // external queue wait
+	Restarts  uint64
+	// Classes carries one response-time accumulator per class that
+	// completed anything in the window, in ascending class-ID order —
+	// the N-tenant generalization of the High/Low pair above (which is
+	// kept so the historical two-class figures stay bit-identical).
+	// Exotic classes (outside the fast-path tracked range) appear here
+	// too; historically they were lumped into Low.
+	Classes    []ClassMetric
 	resetTime  float64
 	windowTime float64
+}
+
+// ClassMetric is one class's (tenant's) slice of a Metrics window.
+type ClassMetric struct {
+	// Class is the class ID.
+	Class Class
+	// RT accumulates the class's response times (count, mean,
+	// variance); merge windows or shards with RT.Merge.
+	RT stats.Accumulator
+}
+
+// Completed returns the class's completion count (RT observation
+// count).
+func (m ClassMetric) Completed() uint64 { return uint64(m.RT.Count()) }
+
+// ClassMetric finds class c's entry in Classes (zero value when the
+// class completed nothing in the window).
+func (m Metrics) ClassMetric(c Class) ClassMetric {
+	for _, cm := range m.Classes {
+		if cm.Class == c {
+			return cm
+		}
+	}
+	return ClassMetric{Class: c}
+}
+
+// MergeClassMetrics merges per-class accumulators from several Metrics
+// windows (e.g. the shards of a cluster) into one ascending-class-ID
+// slice — the per-class analogue of merging the All accumulators.
+func MergeClassMetrics(windows ...[]ClassMetric) []ClassMetric {
+	var out []ClassMetric
+	for _, w := range windows {
+		for _, cm := range w {
+			idx := -1
+			for i := range out {
+				if out[i].Class == cm.Class {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				// Insert sorted by class ID.
+				i := 0
+				for i < len(out) && out[i].Class < cm.Class {
+					i++
+				}
+				out = append(out, ClassMetric{})
+				copy(out[i+1:], out[i:])
+				out[i] = cm
+				continue
+			}
+			out[idx].RT.Merge(&cm.RT)
+		}
+	}
+	return out
 }
 
 // WithWindow returns a copy of m whose Throughput is computed over the
@@ -502,6 +564,11 @@ type Frontend struct {
 	// borrowing — see dispatch). Classes absent from the map are
 	// uncapped (the global MPL still applies).
 	classLimit map[Class]int
+	// strictLimit makes the class partition a hard cap: a class at its
+	// limit never borrows idle capacity (dispatch skips its borrowing
+	// step). Trades utilization for latency isolation — the fairness
+	// controller's strict mode sets it.
+	strictLimit bool
 	// deferred holds items popped from the policy while their class was
 	// at its limit, per class, in policy-pop order; deferredOrder keeps
 	// the classes sorted so dispatch scans them deterministically.
@@ -548,6 +615,76 @@ type Frontend struct {
 	rtClass  map[Class]*stats.Reservoir
 	rtCap    int
 	rtSeed   uint64
+	// classAcc accumulates response times per class (any class ID, not
+	// just the tracked range — this is where exotic classes get correct
+	// accounting instead of being lumped into Low). Guarded by
+	// metricsMu; entries are inserted once per class, so the completion
+	// fast path stays allocation-free in steady state.
+	classAcc map[Class]*stats.Accumulator
+	// tenantMu guards the tenant registry, which is append-only:
+	// RegisterClass hands out sequential class IDs.
+	tenantMu sync.Mutex
+	tenants  []Tenant
+}
+
+// Tenant is one registered tenant: a class ID bound to a human name, a
+// WFQ/fairness weight, and an optional SLO target.
+type Tenant struct {
+	// Class is the tenant's class ID (sequential from 0 in
+	// registration order).
+	Class Class
+	// Name is the tenant's human-readable name.
+	Name string
+	// Weight is the tenant's relative share weight (WFQ weight,
+	// fairness-controller share). Must be > 0.
+	Weight float64
+	// SLOTarget is the tenant's p95 response-time target in seconds
+	// (0 = none declared).
+	SLOTarget float64
+}
+
+// RegisterClass adds a tenant to the registry and returns its class ID
+// (sequential from 0 in registration order). weight must be > 0;
+// sloTarget is an optional p95 target in seconds (0 = none). The
+// registry is pure metadata: it names classes in reports and seeds
+// controller weights, but items of unregistered classes flow through
+// the gate exactly as before.
+func (f *Frontend) RegisterClass(name string, weight, sloTarget float64) Class {
+	if weight <= 0 {
+		panic(fmt.Sprintf("core: tenant %q weight %v must be > 0", name, weight))
+	}
+	if sloTarget < 0 {
+		panic(fmt.Sprintf("core: tenant %q SLO target %v must be >= 0", name, sloTarget))
+	}
+	f.tenantMu.Lock()
+	defer f.tenantMu.Unlock()
+	c := Class(len(f.tenants))
+	f.tenants = append(f.tenants, Tenant{Class: c, Name: name, Weight: weight, SLOTarget: sloTarget})
+	return c
+}
+
+// Tenants returns a copy of the tenant registry in class-ID order
+// (nil when nothing is registered).
+func (f *Frontend) Tenants() []Tenant {
+	f.tenantMu.Lock()
+	defer f.tenantMu.Unlock()
+	if len(f.tenants) == 0 {
+		return nil
+	}
+	out := make([]Tenant, len(f.tenants))
+	copy(out, f.tenants)
+	return out
+}
+
+// TenantName returns the registered name of class c ("" when
+// unregistered).
+func (f *Frontend) TenantName(c Class) string {
+	f.tenantMu.Lock()
+	defer f.tenantMu.Unlock()
+	if c >= 0 && int(c) < len(f.tenants) {
+		return f.tenants[c].Name
+	}
+	return ""
 }
 
 // New builds a frontend over backend with the given MPL (0 = unlimited)
@@ -619,6 +756,29 @@ func (f *Frontend) SetClassLimits(limits map[Class]int) {
 	f.updateSlowLocked()
 	f.mu.Unlock()
 	f.dispatch()
+}
+
+// SetStrictPartition switches the class partition between
+// work-conserving (the default: a class at its limit may still borrow
+// capacity that would otherwise idle) and strict (limits are hard
+// caps — a class at its limit waits even while slots sit idle). Strict
+// partitions trade utilization for latency isolation: an overloaded
+// tenant's backlog can no longer keep the backend saturated, so the
+// other tenants' in-DBMS times stay near their uncontended levels. No
+// effect while no partition is set.
+func (f *Frontend) SetStrictPartition(strict bool) {
+	f.mu.Lock()
+	f.strictLimit = strict
+	f.mu.Unlock()
+	// Relaxing to work-conserving may unblock deferred work at once.
+	f.dispatch()
+}
+
+// StrictPartition reports whether class limits are hard caps.
+func (f *Frontend) StrictPartition() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.strictLimit
 }
 
 // ClassLimits returns a copy of the per-class limit partition (nil when
@@ -707,6 +867,22 @@ func (f *Frontend) ShedCounts() (total, high uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.shed, f.shedClass[ClassHigh]
+}
+
+// ShedClasses returns a copy of the per-class shed counts as one
+// consistent snapshot (nil when nothing was shed) — the N-tenant
+// generalization of ShedCounts.
+func (f *Frontend) ShedClasses() map[Class]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.shedClass) == 0 {
+		return nil
+	}
+	out := make(map[Class]uint64, len(f.shedClass))
+	for c, n := range f.shedClass {
+		out[c] = n
+	}
+	return out
 }
 
 // QueueLen returns the external queue length (withdrawn items awaiting
@@ -814,6 +990,19 @@ func (f *Frontend) Metrics() Metrics {
 	defer f.metricsMu.Unlock()
 	m := f.metrics
 	m.windowTime = f.clock.Now() - f.metrics.resetTime
+	if len(f.classAcc) > 0 {
+		m.Classes = make([]ClassMetric, 0, len(f.classAcc))
+		for c, acc := range f.classAcc {
+			cm := ClassMetric{Class: c, RT: *acc}
+			i := 0
+			for i < len(m.Classes) && m.Classes[i].Class < c {
+				i++
+			}
+			m.Classes = append(m.Classes, ClassMetric{})
+			copy(m.Classes[i+1:], m.Classes[i:])
+			m.Classes[i] = cm
+		}
+	}
 	return m
 }
 
@@ -828,6 +1017,9 @@ func (f *Frontend) ResetMetrics() {
 	}
 	for _, r := range f.rtClass {
 		r.Reset()
+	}
+	for _, acc := range f.classAcc {
+		acc.Reset()
 	}
 }
 
@@ -1301,7 +1493,9 @@ func (f *Frontend) popDeferredLocked(c Class, now float64, shedList *[]*Item) *I
 // spare slot must never go to deferred low-class work while
 // high-class work waits. Step 3 is what makes the partition
 // work-conserving — class limits shape contention between classes,
-// they never throttle the whole gate below its MPL.
+// they never throttle the whole gate below its MPL. A strict
+// partition (SetStrictPartition) skips step 3: limits become hard
+// caps and capacity may idle while only at-limit classes hold work.
 func (f *Frontend) nextDispatchLocked() (it *Item, shedList []*Item) {
 	if inside, limit := unpack(f.word.Load()); limit != 0 && inside >= limit {
 		return nil, nil
@@ -1342,6 +1536,9 @@ func (f *Frontend) nextDispatchLocked() (it *Item, shedList []*Item) {
 			continue
 		}
 		return cand, shedList
+	}
+	if f.strictLimit {
+		return nil, shedList
 	}
 	for i := len(f.deferredOrder) - 1; i >= 0; i-- {
 		if cand := f.popDeferredLocked(f.deferredOrder[i], now, &shedList); cand != nil {
@@ -1439,6 +1636,15 @@ func (f *Frontend) finishCompletion(it *Item, o Outcome) {
 	} else {
 		m.Low.Add(rt)
 	}
+	acc := f.classAcc[it.Class]
+	if acc == nil {
+		if f.classAcc == nil {
+			f.classAcc = make(map[Class]*stats.Accumulator)
+		}
+		acc = &stats.Accumulator{}
+		f.classAcc[it.Class] = acc
+	}
+	acc.Add(rt)
 	m.Inside.Add(o.InsideTime)
 	m.ExtWait.Add(it.ExternalWait())
 	m.Restarts += uint64(o.Restarts)

@@ -144,6 +144,50 @@ func TestClassLimitsPartition(t *testing.T) {
 	}
 }
 
+// TestStrictPartitionNeverBorrows: under SetStrictPartition(true) a
+// class at its limit holds even while capacity idles — the hard-cap
+// mode the fairness controller's strict option drives. Relaxing back
+// to work-conserving dispatches the deferred backlog at once.
+func TestStrictPartitionNeverBorrows(t *testing.T) {
+	eng := sim.NewEngine()
+	var executed []*Item
+	fe := New(eng.Clock(), backendFunc(func(it *Item) { executed = append(executed, it) }), 2, NewFIFO())
+	fe.SetClassLimits(map[Class]int{ClassHigh: 1, ClassLow: 1})
+	fe.SetStrictPartition(true)
+	if !fe.StrictPartition() {
+		t.Fatal("StrictPartition not reported")
+	}
+
+	// Two low items: the first takes the low share, the second must NOT
+	// borrow the idle high slot — strict limits are hard caps.
+	a, b := &Item{Class: ClassLow}, &Item{Class: ClassLow}
+	fe.Submit(a, nil)
+	fe.Submit(b, nil)
+	if len(executed) != 1 {
+		t.Fatalf("dispatched %d, want 1 (no borrowing under strict)", len(executed))
+	}
+	if got := fe.Inside(); got != 1 {
+		t.Fatalf("Inside = %d, want 1 with a slot idling", got)
+	}
+
+	// A high arrival takes the idle high slot as usual.
+	h := &Item{Class: ClassHigh}
+	fe.Submit(h, nil)
+	if len(executed) != 2 || executed[1] != h {
+		t.Fatalf("high item not dispatched into its own share")
+	}
+	fe.Complete(h, Outcome{})
+	if len(executed) != 2 {
+		t.Fatalf("freed high slot went to deferred low work under strict")
+	}
+
+	// Relaxing to work-conserving lends the idle slot immediately.
+	fe.SetStrictPartition(false)
+	if len(executed) != 3 || executed[2] != b {
+		t.Fatalf("relaxing strict did not dispatch the deferred low item")
+	}
+}
+
 // TestClassLimitsValidation: limits below 1 are a programming error.
 func TestClassLimitsValidation(t *testing.T) {
 	eng := sim.NewEngine()

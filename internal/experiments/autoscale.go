@@ -110,7 +110,7 @@ func AutoscaleFigure(setupID int, opts RunOpts) (*Figure, error) {
 		o.fleet = Series{Name: "fleet size " + c.label}
 		out, err := runner.Run(opts.ctx(), st, spec(c.asc), metrics.ObserverFunc(func(s metrics.Snapshot) {
 			o.rt.X = append(o.rt.X, s.Time)
-			o.rt.Y = append(o.rt.Y, s.HighResponse)
+			o.rt.Y = append(o.rt.Y, s.HighResponse())
 			o.fleet.X = append(o.fleet.X, s.Time)
 			o.fleet.Y = append(o.fleet.Y, float64(s.FleetUp))
 		}))

@@ -107,7 +107,7 @@ func ChurnFigure(setupID int, opts RunOpts) (*Figure, error) {
 		o.series = Series{Name: "high mean RT " + c.label}
 		out, err := runner.Run(opts.ctx(), st, spec(), metrics.ObserverFunc(func(s metrics.Snapshot) {
 			o.series.X = append(o.series.X, s.Time)
-			o.series.Y = append(o.series.Y, s.HighResponse)
+			o.series.Y = append(o.series.Y, s.HighResponse())
 		}))
 		if err != nil {
 			return churnOutcome{}, err

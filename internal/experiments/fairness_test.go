@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFairnessFigureIsolation is the multi-tenant acceptance test: an
+// aggressor at ten times a victim's arrival rate must not move any
+// victim's p95 past 2x its no-aggressor baseline when the fairness
+// controller governs the gate, while the plain shared gate blows far
+// past that bound.
+func TestFairnessFigureIsolation(t *testing.T) {
+	f, err := FairnessFigure(2, RunOpts{Warmup: 20, Measure: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range f.Notes {
+		t.Log(n)
+	}
+	ratios := f.Series[len(f.Series)-1]
+	if ratios.Name != "worst victim p95 ratio vs baseline (off, on)" {
+		t.Fatalf("last series is %q, want the worst-ratio series", ratios.Name)
+	}
+	off, on := ratios.Y[0], ratios.Y[1]
+	if on > 2 {
+		t.Errorf("fairness-on worst victim p95 ratio %.2fx, want <= 2x of the no-aggressor baseline", on)
+	}
+	if off <= 2 {
+		t.Errorf("fairness-off worst victim p95 ratio %.2fx, want the shared gate to blow the 2x bound", off)
+	}
+	// The contrast is the figure's point: the shared gate is not
+	// marginally worse, it is unbounded-queue worse.
+	if off < 5*on {
+		t.Errorf("fairness-off %.2fx vs fairness-on %.2fx: want a >= 5x contrast", off, on)
+	}
+}
+
+// TestFairnessFigureDeterministic: the fairness figure reruns
+// bit-identically, controller trajectory included, like every other
+// figure in the repository.
+func TestFairnessFigureDeterministic(t *testing.T) {
+	opts := RunOpts{Warmup: 10, Measure: 60, Seed: 7}
+	a, err := FairnessFigure(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FairnessFigure(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fairness figure not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"extsched/internal/dbfe"
 	"extsched/internal/dbms"
 	"extsched/internal/dist"
+	"extsched/internal/fairness"
 	"extsched/internal/sim"
 	"extsched/internal/stats"
 	"extsched/internal/trace"
@@ -55,6 +56,15 @@ const (
 	KindBurst Kind = "burst"
 	// KindTrace replays a recorded trace.
 	KindTrace Kind = "trace"
+	// KindDiurnal is a non-homogeneous Poisson process whose rate
+	// follows a sine around Lambda (DiurnalAmp / DiurnalPeriod), the
+	// shape of a day's multi-tenant traffic; an optional flash-crowd
+	// window (FlashFactor / FlashAt / FlashDuration) may overlay it.
+	KindDiurnal Kind = "diurnal"
+	// KindFlash is a stationary Poisson process at Lambda with one
+	// flash-crowd window during which the rate is multiplied by
+	// FlashFactor; an optional diurnal sine may overlay it.
+	KindFlash Kind = "flash"
 )
 
 // ControllerSpec configures the Section 4.3 feedback controller when a
@@ -103,6 +113,47 @@ type SLOSpec struct {
 	MinObservations int
 	// Margin is the give-back hysteresis fraction (0 = 0.5).
 	Margin float64
+}
+
+// FairnessSpec configures the N-tenant weighted max-min fairness
+// controller (internal/fairness) when a phase event or Stack.Fairness
+// enables it: partition the MPL across the weighted tenant classes and
+// steer the split so each tenant's weight-normalized attained service
+// equalizes. Unsharded stacks only (the class partition lives on the
+// lone frontend), and mutually exclusive with the SLO loop and the
+// throughput controller — all three share the metrics window.
+type FairnessSpec struct {
+	// Weights maps each governed tenant class to its relative share
+	// weight. Required: >= 2 entries, every weight > 0.
+	Weights map[core.Class]float64
+	// MinObservations gates fairness-window close (0 = 50).
+	MinObservations int
+	// Hysteresis is the imbalance ratio a busy donor must exceed before
+	// a slot moves (0 = 1.2; must be >= 1 otherwise).
+	Hysteresis float64
+	// Strict makes the partition a hard cap: a tenant at its limit
+	// never borrows idle capacity. Trades utilization for latency
+	// isolation. Default false (work-conserving borrowing).
+	Strict bool
+}
+
+// Validate checks a FairnessSpec's standalone fields.
+func (f FairnessSpec) Validate() error {
+	if len(f.Weights) < 2 {
+		return fmt.Errorf("runner: fairness needs >= 2 weighted classes, got %d", len(f.Weights))
+	}
+	for c, w := range f.Weights {
+		if w <= 0 || !finite(w) {
+			return fmt.Errorf("runner: fairness class %d weight %v must be positive", c, w)
+		}
+	}
+	if !finite(f.Hysteresis) || (f.Hysteresis != 0 && f.Hysteresis < 1) {
+		return fmt.Errorf("runner: fairness hysteresis %v must be >= 1 (0 = default)", f.Hysteresis)
+	}
+	if f.MinObservations < 0 {
+		return fmt.Errorf("runner: fairness MinObservations %d must be >= 0", f.MinObservations)
+	}
+	return nil
 }
 
 // ClassLimits is a static MPL partition: High and Low concurrent slots
@@ -166,7 +217,29 @@ type Event struct {
 	// SetWFQHighWeight, when non-nil, reweights the WFQ policy's high
 	// class (low keeps weight 1). Ignored (with no error) when the
 	// frontend's policy is not WFQ.
+	//
+	// Deprecated: the two-class shorthand is superseded by SetWeights,
+	// which reweights arbitrary tenant classes.
 	SetWFQHighWeight *float64
+	// SetWeights, when non-empty, reweights the WFQ policy per class
+	// (classes absent from the map keep their current weight). Ignored
+	// (with no error) when the frontend's policy is not WFQ.
+	SetWeights map[core.Class]float64
+	// SetTenantLimits, when non-nil, installs a static MPL partition
+	// over arbitrary tenant classes (each limit >= 1; an empty map
+	// clears the partition). Unsharded stacks only. The generalization
+	// of SetClassLimits.
+	SetTenantLimits map[core.Class]int
+	// SetTenantDeadlines, when non-nil, sets per-class admission
+	// deadlines for arbitrary tenant classes (seconds; zero clears that
+	// class's deadline). Both stack shapes. The generalization of
+	// SetAdmitDeadline.
+	SetTenantDeadlines map[core.Class]float64
+	// EnableFairness attaches the weighted max-min fairness controller
+	// to the completion stream; DisableFairness detaches it, freezing
+	// the class partition where the loop left it. Unsharded stacks only.
+	EnableFairness  *FairnessSpec
+	DisableFairness bool
 	// SetShardSpeed, when non-nil, changes one shard's relative CPU
 	// speed. Running on an unsharded stack is an error.
 	SetShardSpeed *ShardSpeed
@@ -233,6 +306,17 @@ type Phase struct {
 	// exactly Lambda; sojourns are exponential with mean Period
 	// seconds. Defaults: factor 2, period 100 mean interarrivals.
 	BurstFactor, BurstPeriod float64
+	// DiurnalAmp / DiurnalPeriod configure KindDiurnal (required there:
+	// amplitude in (0,1], period > 0; optional overlay on KindFlash):
+	// the rate swings between Lambda·(1−Amp) and Lambda·(1+Amp) with
+	// the given period in seconds.
+	DiurnalAmp, DiurnalPeriod float64
+	// FlashFactor / FlashAt / FlashDuration configure KindFlash
+	// (required there: factor >= 1, duration > 0; optional overlay on
+	// KindDiurnal): for FlashDuration seconds starting FlashAt seconds
+	// into the phase, the instantaneous rate is multiplied by
+	// FlashFactor.
+	FlashFactor, FlashAt, FlashDuration float64
 	// Trace / TraceSpeedup configure KindTrace (Speedup 0 = 1).
 	Trace        *trace.Trace
 	TraceSpeedup float64
@@ -359,7 +443,8 @@ func (s Spec) Validate() error {
 	}
 	for i, ph := range s.Phases {
 		prefix := fmt.Sprintf("runner: phase %d (%s)", i, ph.label())
-		if !finite(ph.Duration, ph.ThinkTime, ph.Lambda, ph.Lambda2, ph.BurstFactor, ph.BurstPeriod, ph.TraceSpeedup) {
+		if !finite(ph.Duration, ph.ThinkTime, ph.Lambda, ph.Lambda2, ph.BurstFactor, ph.BurstPeriod, ph.TraceSpeedup,
+			ph.DiurnalAmp, ph.DiurnalPeriod, ph.FlashFactor, ph.FlashAt, ph.FlashDuration) {
 			return fmt.Errorf("%s: parameters must be finite", prefix)
 		}
 		if ph.Duration < 0 {
@@ -404,9 +489,43 @@ func (s Spec) Validate() error {
 			if ph.TraceSpeedup < 0 {
 				return fmt.Errorf("%s: trace speedup %v must be >= 0 (0 = 1)", prefix, ph.TraceSpeedup)
 			}
+		case KindDiurnal:
+			if ph.Lambda <= 0 {
+				return fmt.Errorf("%s: lambda %v must be positive", prefix, ph.Lambda)
+			}
+			if ph.DiurnalAmp <= 0 || ph.DiurnalAmp > 1 {
+				return fmt.Errorf("%s: diurnal amplitude %v must be in (0,1]", prefix, ph.DiurnalAmp)
+			}
+			if ph.DiurnalPeriod <= 0 {
+				return fmt.Errorf("%s: diurnal period %v must be positive", prefix, ph.DiurnalPeriod)
+			}
+			if ph.FlashFactor != 0 && ph.FlashFactor < 1 {
+				return fmt.Errorf("%s: flash factor %v must be >= 1 (0 = none)", prefix, ph.FlashFactor)
+			}
+			if ph.FlashAt < 0 || ph.FlashDuration < 0 {
+				return fmt.Errorf("%s: flash window [%v, +%v) must be >= 0", prefix, ph.FlashAt, ph.FlashDuration)
+			}
+		case KindFlash:
+			if ph.Lambda <= 0 {
+				return fmt.Errorf("%s: lambda %v must be positive", prefix, ph.Lambda)
+			}
+			if ph.FlashFactor < 1 {
+				return fmt.Errorf("%s: flash factor %v must be >= 1", prefix, ph.FlashFactor)
+			}
+			if ph.FlashAt < 0 || ph.FlashDuration <= 0 {
+				return fmt.Errorf("%s: flash window [%v, +%v) needs a positive duration and offset >= 0", prefix, ph.FlashAt, ph.FlashDuration)
+			}
+			if ph.DiurnalAmp != 0 {
+				if ph.DiurnalAmp < 0 || ph.DiurnalAmp > 1 {
+					return fmt.Errorf("%s: diurnal amplitude %v must be in (0,1] (0 = none)", prefix, ph.DiurnalAmp)
+				}
+				if ph.DiurnalPeriod <= 0 {
+					return fmt.Errorf("%s: diurnal period %v must be positive", prefix, ph.DiurnalPeriod)
+				}
+			}
 		default:
-			return fmt.Errorf("%s: unknown kind %q (want %s, %s, %s, %s or %s)",
-				prefix, ph.Kind, KindClosed, KindOpen, KindRamp, KindBurst, KindTrace)
+			return fmt.Errorf("%s: unknown kind %q (want %s, %s, %s, %s, %s, %s or %s)",
+				prefix, ph.Kind, KindClosed, KindOpen, KindRamp, KindBurst, KindTrace, KindDiurnal, KindFlash)
 		}
 		if ph.Churn != nil {
 			if err := ph.Churn.Validate(); err != nil {
@@ -422,6 +541,26 @@ func (s Spec) Validate() error {
 			}
 			if ev.SetWFQHighWeight != nil && (*ev.SetWFQHighWeight <= 0 || !finite(*ev.SetWFQHighWeight)) {
 				return fmt.Errorf("%s event %d: WFQ weight %v must be positive", prefix, j, *ev.SetWFQHighWeight)
+			}
+			for c, w := range ev.SetWeights {
+				if w <= 0 || !finite(w) {
+					return fmt.Errorf("%s event %d: class %d WFQ weight %v must be positive", prefix, j, c, w)
+				}
+			}
+			for c, l := range ev.SetTenantLimits {
+				if l < 1 {
+					return fmt.Errorf("%s event %d: class %d tenant limit %d must be >= 1", prefix, j, c, l)
+				}
+			}
+			for c, d := range ev.SetTenantDeadlines {
+				if d < 0 || !finite(d) {
+					return fmt.Errorf("%s event %d: class %d admit deadline %v must be finite and >= 0", prefix, j, c, d)
+				}
+			}
+			if ev.EnableFairness != nil {
+				if err := ev.EnableFairness.Validate(); err != nil {
+					return fmt.Errorf("%s event %d: %w", prefix, j, err)
+				}
 			}
 			if ss := ev.SetShardSpeed; ss != nil {
 				if ss.Shard < 0 {
@@ -549,6 +688,15 @@ type Stack struct {
 	// event-free way to run a scenario under SLO control; scenario
 	// SetSLO events can still replace it). Unsharded stacks only.
 	SLO *SLOSpec
+	// Fairness, when non-nil, attaches the N-tenant max-min fairness
+	// controller for the whole run, from the moment the measurement
+	// window opens. Unsharded stacks only; mutually exclusive with SLO.
+	Fairness *FairnessSpec
+	// ClassNames labels tenant classes in per-class reports and
+	// snapshots. Classes absent from the map fall back to the
+	// frontend's tenant registry (core.Frontend.RegisterClass) on
+	// unsharded stacks, then to the empty string.
+	ClassNames map[core.Class]string
 	// Par, when non-nil, is the conservative parallel ensemble over Eng
 	// (the coordinator) and the shards' member engines. The runner
 	// drives it instead of Eng whenever Spec.ParallelShards is set,
@@ -606,6 +754,26 @@ type Report struct {
 	// tail by priority class — the SLO signal.
 	P50, P95, P99   float64
 	HighP95, LowP95 float64
+	// Classes is the per-tenant breakdown of the window, in ascending
+	// class-ID order: one entry for every class that completed or shed
+	// work. The N-tenant generalization of the High/Low fields above
+	// (which remain for the two-class figures).
+	Classes []ClassReport
+}
+
+// ClassReport is one tenant class's slice of a Report window.
+type ClassReport struct {
+	Class core.Class
+	// Name is the registered tenant name (Stack.ClassNames or the
+	// frontend's tenant registry; empty when neither knows the class).
+	Name string
+	// Completed counts the class's completions in the window; Shed its
+	// deadline-shed rejections.
+	Completed, Shed uint64
+	// Mean is the class's mean response time; P95 its run-so-far 95th
+	// percentile (0 unless Stack.PercentileSamples is set — and only in
+	// whole-run reports, phase slices have no per-class reservoir).
+	Mean, P95 float64
 }
 
 // Throughput returns completions per second over the window.
@@ -682,6 +850,17 @@ type SLOReport struct {
 	LastMeasured float64
 }
 
+// FairnessReport summarizes a fairness-controlled run: the final
+// tenant partition and the loop's activity.
+type FairnessReport struct {
+	// Limits is the final per-tenant slot partition (sums to the final
+	// MPL).
+	Limits map[core.Class]int
+	// Iterations counts completed fairness reactions; Moves how many of
+	// them actually moved a slot.
+	Iterations, Moves int
+}
+
 // AutoscaleReport summarizes an autoscaled run's fleet trajectory.
 type AutoscaleReport struct {
 	// ScaleUps / ScaleDowns count controller actions over the run.
@@ -707,6 +886,9 @@ type Outcome struct {
 	// SLO is non-nil when the latency-SLO controller ran (Stack.SLO or
 	// a SetSLO event).
 	SLO *SLOReport
+	// Fairness is non-nil when the max-min fairness controller ran
+	// (Stack.Fairness or an EnableFairness event).
+	Fairness *FairnessReport
 	// Autoscale is non-nil when Spec.Autoscale armed the fleet
 	// autoscaler.
 	Autoscale *AutoscaleReport
@@ -723,9 +905,11 @@ type mark struct {
 	t                       float64
 	dropped, canceled       uint64
 	shed, shedHigh, shedLow uint64
-	waits, dl, preempt      uint64
-	failed, resub, retries  uint64
-	cpuBusy, diskBusy       float64 // utilization·time products
+	// shedClass splits shed by tenant class (nil while nothing shed).
+	shedClass              map[core.Class]uint64
+	waits, dl, preempt     uint64
+	failed, resub, retries uint64
+	cpuBusy, diskBusy      float64 // utilization·time products
 	// shards are the per-shard cumulative counters (sharded stacks).
 	shards []shardMark
 }
@@ -758,6 +942,12 @@ func takeMark(st Stack) mark {
 			m.shed += sm.shed
 			m.shedHigh += sm.shedHigh
 			m.shedLow += sm.shedLow
+			for c, n := range sh.FE.ShedClasses() {
+				if m.shedClass == nil {
+					m.shedClass = make(map[core.Class]uint64)
+				}
+				m.shedClass[c] += n
+			}
 			if sh.DB != nil {
 				s := sh.DB.Stats()
 				sm.waits, sm.dl, sm.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
@@ -778,6 +968,7 @@ func takeMark(st Stack) mark {
 	m.shed = st.FE.Shed()
 	m.shedHigh = st.FE.ShedByClass(core.ClassHigh)
 	m.shedLow = m.shed - m.shedHigh
+	m.shedClass = st.FE.ShedClasses()
 	if st.DB != nil {
 		s := st.DB.Stats()
 		m.waits, m.dl, m.preempt = s.Lock.Waits, s.Lock.Deadlocks, s.Lock.Preemptions
@@ -801,6 +992,9 @@ type acc struct {
 	completed                       uint64
 	all, high, low, inside, extwait stats.Accumulator
 	restarts                        uint64
+	// classes accumulates response times per tenant class (lazily: nil
+	// until the first completion, one entry per distinct class seen).
+	classes map[core.Class]*stats.Accumulator
 }
 
 func (a *acc) observe(t *dbfe.Txn) {
@@ -812,15 +1006,87 @@ func (a *acc) observe(t *dbfe.Txn) {
 	} else {
 		a.low.Add(rt)
 	}
+	ca := a.classes[t.Item.Class]
+	if ca == nil {
+		if a.classes == nil {
+			a.classes = make(map[core.Class]*stats.Accumulator)
+		}
+		ca = &stats.Accumulator{}
+		a.classes[t.Item.Class] = ca
+	}
+	ca.Add(rt)
 	a.inside.Add(t.Item.Outcome.InsideTime)
 	a.extwait.Add(t.Item.ExternalWait())
 	a.restarts += uint64(t.Item.Outcome.Restarts)
 }
 
-func (a *acc) reset() { *a = acc{} }
+func (a *acc) reset() {
+	classes := a.classes
+	*a = acc{}
+	// Keep the map (reset in place) so steady-state windows allocate
+	// nothing per interval.
+	for _, ca := range classes {
+		ca.Reset()
+	}
+	a.classes = classes
+}
+
+// className resolves a class's display name: the stack's explicit map
+// first, then the unsharded frontend's tenant registry.
+func className(st Stack, c core.Class) string {
+	if n, ok := st.ClassNames[c]; ok {
+		return n
+	}
+	if st.Cluster == nil && st.FE != nil {
+		return st.FE.TenantName(c)
+	}
+	return ""
+}
+
+// classReports assembles the per-tenant breakdown of one window: every
+// class that completed or shed work between the marks, ascending.
+// resClass, when non-nil, supplies run-so-far per-class percentiles.
+func classReports(st Stack, a *acc, from, to mark, resClass map[core.Class]*stats.Reservoir) []ClassReport {
+	ids := make(map[core.Class]struct{}, len(a.classes))
+	for c, ca := range a.classes {
+		if ca.Count() > 0 {
+			ids[c] = struct{}{}
+		}
+	}
+	for c, n := range to.shedClass {
+		if n > from.shedClass[c] {
+			ids[c] = struct{}{}
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	classes := make([]core.Class, 0, len(ids))
+	for c := range ids {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]ClassReport, len(classes))
+	for i, c := range classes {
+		cr := ClassReport{
+			Class: c,
+			Name:  className(st, c),
+			Shed:  to.shedClass[c] - from.shedClass[c],
+		}
+		if ca := a.classes[c]; ca != nil {
+			cr.Completed = uint64(ca.Count())
+			cr.Mean = ca.Mean()
+		}
+		if rv := resClass[c]; rv != nil {
+			cr.P95 = rv.Percentile(95)
+		}
+		out[i] = cr
+	}
+	return out
+}
 
 // report assembles a Report from an accumulator scope and its marks.
-func (a *acc) report(st Stack, from mark, res, resHigh, resLow *stats.Reservoir) Report {
+func (a *acc) report(st Stack, from mark, res, resHigh, resLow *stats.Reservoir, resClass map[core.Class]*stats.Reservoir) Report {
 	to := takeMark(st)
 	r := Report{
 		Window:      to.t - from.t,
@@ -855,6 +1121,7 @@ func (a *acc) report(st Stack, from mark, res, resHigh, resLow *stats.Reservoir)
 	if resLow != nil {
 		r.LowP95 = resLow.Percentile(95)
 	}
+	r.Classes = classReports(st, a, from, to, resClass)
 	return r
 }
 
@@ -886,6 +1153,15 @@ func buildDriver(st Stack, ph Phase) (workload.Driver, error) {
 			period = 100 / ph.Lambda
 		}
 		return workload.NewBurstDriver(st.Eng, sink, st.Gen, ph.Lambda, factor, period), nil
+	case KindDiurnal, KindFlash:
+		return workload.NewShapedDriver(st.Eng, sink, st.Gen, workload.ShapedConfig{
+			Base:          ph.Lambda,
+			Amp:           ph.DiurnalAmp,
+			Period:        ph.DiurnalPeriod,
+			FlashFactor:   ph.FlashFactor,
+			FlashAt:       ph.FlashAt,
+			FlashDuration: ph.FlashDuration,
+		}), nil
 	case KindTrace:
 		d, err := workload.NewTraceDriver(st.Eng, sink, ph.Trace)
 		if err != nil {
@@ -914,6 +1190,12 @@ type run struct {
 	// resHigh / resLow sample response times per class (run-so-far,
 	// like res) for the HighP95/LowP95 report and snapshot fields.
 	resHigh, resLow *stats.Reservoir
+	// resClass samples response times per tenant class (run-so-far) for
+	// the per-class P95 report and snapshot fields. Lazily built, one
+	// reservoir per distinct class seen, on its own seeded stream — the
+	// legacy res/resHigh/resLow draws are untouched, so historical
+	// two-class figures stay bit-identical.
+	resClass map[core.Class]*stats.Reservoir
 	// shardTotal / winShard split the window per shard (sharded stacks
 	// only): whole-window accumulators for Outcome.Shards, and
 	// per-interval completion counts for Snapshot.Shards.
@@ -935,6 +1217,9 @@ type run struct {
 	slo      *controller.SLOController
 	sloSpec  SLOSpec
 	sloFinal *SLOReport
+
+	fair      *fairness.Controller
+	fairFinal *FairnessReport
 
 	// asc is the armed fleet autoscaler; ascErr the first error a tick
 	// hit (the tick runs inside an engine callback and cannot return
@@ -979,10 +1264,14 @@ func (r *run) onComplete(shard int, t *dbfe.Txn) {
 			} else {
 				r.resLow.Add(t.Item.ResponseTime())
 			}
+			r.classRes(t.Item.Class).Add(t.Item.ResponseTime())
 		}
 	}
 	if r.slo != nil {
 		r.slo.Observe()
+	}
+	if r.fair != nil {
+		r.fair.Observe()
 	}
 	if r.ctl != nil {
 		r.ctl.Observe()
@@ -994,6 +1283,26 @@ func (r *run) onComplete(shard int, t *dbfe.Txn) {
 			r.st.Eng.Stop()
 		}
 	}
+}
+
+// classRes returns (building lazily) the run-so-far response-time
+// reservoir for tenant class c. Each class samples on its own seeded
+// stream, so reservoirs are deterministic regardless of the order
+// classes first appear in.
+func (r *run) classRes(c core.Class) *stats.Reservoir {
+	rv := r.resClass[c]
+	if rv == nil {
+		if r.resClass == nil {
+			r.resClass = make(map[core.Class]*stats.Reservoir)
+		}
+		seed := r.st.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rv = stats.NewReservoir(r.st.PercentileSamples, sim.NewRNG(seed, 601+2*(uint64(int64(c))&0xffff)))
+		r.resClass[c] = rv
+	}
+	return rv
 }
 
 // Run executes spec on st. Observers receive one windowed Snapshot per
@@ -1102,6 +1411,11 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 					return Outcome{}, err
 				}
 			}
+			if st.Fairness != nil {
+				if err := r.attachFairness(*st.Fairness); err != nil {
+					return Outcome{}, err
+				}
+			}
 		}
 		stopped, err := r.runPhase(ctx, ph)
 		driver.Stop()
@@ -1111,7 +1425,7 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		out.Phases = append(out.Phases, PhaseReport{
 			Name:   ph.label(),
 			Kind:   ph.Kind,
-			Report: r.phase.report(st, r.phaseMark, nil, nil, nil),
+			Report: r.phase.report(st, r.phaseMark, nil, nil, nil, nil),
 		})
 		r.phase.reset()
 		r.phaseMark = takeMark(st)
@@ -1120,7 +1434,7 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		}
 	}
 	r.measuring = false
-	out.Total = r.total.report(st, r.totalMark, r.res, r.resHigh, r.resLow)
+	out.Total = r.total.report(st, r.totalMark, r.res, r.resHigh, r.resLow, r.resClass)
 	out.Shards = r.shardReports()
 	out.FinalMPL = st.Gate().MPL()
 	if r.tune != nil {
@@ -1136,6 +1450,11 @@ func Run(ctx context.Context, st Stack, spec Spec, obs ...metrics.Observer) (Out
 		out.SLO = r.sloReport()
 	} else if r.sloFinal != nil {
 		out.SLO = r.sloFinal
+	}
+	if r.fair != nil {
+		out.Fairness = r.fairReport()
+	} else if r.fairFinal != nil {
+		out.Fairness = r.fairFinal
 	}
 	if r.asc != nil {
 		out.Autoscale = r.autoscaleReport()
@@ -1304,6 +1623,9 @@ func (r *run) attachSLO(spec SLOSpec) error {
 	if r.ctl != nil {
 		return fmt.Errorf("runner: the SLO loop and the throughput controller share the metrics window; disable the controller first")
 	}
+	if r.fair != nil {
+		return fmt.Errorf("runner: the SLO loop and the fairness controller share the metrics window; disable fairness first")
+	}
 	fe := r.st.FE.Frontend
 	if !fe.PercentilesEnabled() {
 		seed := r.st.Seed
@@ -1333,6 +1655,43 @@ func (r *run) attachSLO(spec SLOSpec) error {
 // stack has no percentile sampling of its own: large enough for a
 // stable p95 over a 50-completion window, small enough to be free.
 const sloSampleCapacity = 2048
+
+// attachFairness builds and wires the N-tenant max-min fairness
+// controller. The stack must be unsharded (the class partition lives on
+// the lone frontend), and the loop is mutually exclusive with the SLO
+// loop and the throughput controller: all three reset the frontend's
+// metrics window per reaction.
+func (r *run) attachFairness(spec FairnessSpec) error {
+	if r.st.Cluster != nil {
+		return fmt.Errorf("runner: fairness control on a sharded system is not supported")
+	}
+	if r.slo != nil {
+		return fmt.Errorf("runner: the fairness controller and the SLO loop share the metrics window; disable the SLO loop first")
+	}
+	if r.ctl != nil {
+		return fmt.Errorf("runner: the fairness controller and the throughput controller share the metrics window; disable the controller first")
+	}
+	fair, err := fairness.New(r.st.FE.Frontend, fairness.Config{
+		Weights:         spec.Weights,
+		MinObservations: spec.MinObservations,
+		Hysteresis:      spec.Hysteresis,
+		Strict:          spec.Strict,
+	})
+	if err != nil {
+		return err
+	}
+	r.fair = fair
+	return nil
+}
+
+// fairReport snapshots the attached fairness loop's state.
+func (r *run) fairReport() *FairnessReport {
+	return &FairnessReport{
+		Limits:     r.fair.Limits(),
+		Iterations: r.fair.Iterations(),
+		Moves:      r.fair.Moves(),
+	}
+}
 
 // beginMeasurement opens the measurement window at the engine's
 // current time.
@@ -1478,6 +1837,32 @@ func (r *run) applyEvent(ev Event) error {
 	if ev.SetWFQHighWeight != nil {
 		r.setWFQWeights(map[core.Class]float64{core.ClassHigh: *ev.SetWFQHighWeight, core.ClassLow: 1})
 	}
+	if len(ev.SetWeights) > 0 {
+		r.setWFQWeights(ev.SetWeights)
+	}
+	if ev.SetTenantLimits != nil {
+		if r.st.Cluster != nil {
+			return fmt.Errorf("runner: SetTenantLimits event on a sharded system")
+		}
+		if len(ev.SetTenantLimits) == 0 {
+			r.st.FE.SetClassLimits(nil)
+		} else {
+			limits := make(map[core.Class]int, len(ev.SetTenantLimits))
+			for c, l := range ev.SetTenantLimits {
+				limits[c] = l
+			}
+			r.st.FE.SetClassLimits(limits)
+		}
+	}
+	if ev.SetTenantDeadlines != nil {
+		for c, d := range ev.SetTenantDeadlines {
+			if cl := r.st.Cluster; cl != nil {
+				cl.SetAdmitDeadline(c, d)
+			} else {
+				r.st.FE.SetAdmitDeadline(c, d)
+			}
+		}
+	}
 	if ss := ev.SetShardSpeed; ss != nil {
 		if r.st.Cluster == nil {
 			return fmt.Errorf("runner: SetShardSpeed event on an unsharded system")
@@ -1583,6 +1968,16 @@ func (r *run) applyEvent(ev Event) error {
 			r.slo = nil
 		}
 	}
+	if ev.DisableFairness {
+		if r.fair != nil {
+			r.fairFinal = r.fairReport()
+			r.fair = nil
+			// The partition stays where the loop left it, but a strict
+			// cap relaxes: without a controller rebalancing it, a hard
+			// cap could idle capacity forever.
+			r.st.FE.SetStrictPartition(false)
+		}
+	}
 	if ev.DisableController {
 		// Record the detached loop's outcome before dropping it, so the
 		// run's TuneReport survives the disable.
@@ -1599,9 +1994,17 @@ func (r *run) applyEvent(ev Event) error {
 			return err
 		}
 	}
+	if ev.EnableFairness != nil {
+		if err := r.attachFairness(*ev.EnableFairness); err != nil {
+			return err
+		}
+	}
 	if cs := ev.EnableController; cs != nil {
 		if r.slo != nil {
 			return fmt.Errorf("runner: the throughput controller and the SLO loop share the metrics window; disable the SLO loop first")
+		}
+		if r.fair != nil {
+			return fmt.Errorf("runner: the throughput controller and the fairness controller share the metrics window; disable fairness first")
 		}
 		ctl, err := controller.New(r.st.Eng.Clock(), gate, controller.Config{
 			Targets: controller.Targets{
@@ -1735,6 +2138,56 @@ func (r *run) shardStats(to mark) []metrics.ShardStat {
 	return out
 }
 
+// maxSnapshotClasses bounds the per-class slice an interval snapshot
+// carries, like maxSnapshotShards does for shards: above this tenant
+// count a collector holding the run's time series would grow O(N) per
+// interval, so snapshots keep only the aggregate fields. Whole-run
+// per-class reports in the Outcome are unaffected — they are emitted
+// once, not per tick.
+const maxSnapshotClasses = 64
+
+// classStats assembles the per-class slice of an interval snapshot:
+// every class that completed or shed work this window, ascending.
+func (r *run) classStats(to mark) []metrics.ClassStat {
+	w := &r.window
+	ids := make(map[core.Class]struct{}, len(w.classes))
+	for c, ca := range w.classes {
+		if ca.Count() > 0 {
+			ids[c] = struct{}{}
+		}
+	}
+	for c, n := range to.shedClass {
+		if n > r.winMark.shedClass[c] {
+			ids[c] = struct{}{}
+		}
+	}
+	if len(ids) == 0 || len(ids) > maxSnapshotClasses {
+		return nil
+	}
+	classes := make([]core.Class, 0, len(ids))
+	for c := range ids {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]metrics.ClassStat, len(classes))
+	for i, c := range classes {
+		cs := metrics.ClassStat{
+			Class: int(c),
+			Name:  className(r.st, c),
+			Shed:  to.shedClass[c] - r.winMark.shedClass[c],
+		}
+		if ca := w.classes[c]; ca != nil {
+			cs.Completed = uint64(ca.Count())
+			cs.Mean = ca.Mean()
+		}
+		if rv := r.resClass[c]; rv != nil {
+			cs.P95 = rv.Percentile(95)
+		}
+		out[i] = cs
+	}
+	return out
+}
+
 // emitSnapshot sends the current interval window to every observer and
 // opens the next one.
 func (r *run) emitSnapshot(ph Phase) {
@@ -1753,14 +2206,10 @@ func (r *run) emitSnapshot(ph Phase) {
 		MeanResponse: w.all.Mean(),
 		MeanWait:     w.extwait.Mean(),
 		MeanInside:   w.inside.Mean(),
-		HighResponse: w.high.Mean(),
-		LowResponse:  w.low.Mean(),
 		Restarts:     w.restarts,
 		Dropped:      to.dropped - r.winMark.dropped,
 		Canceled:     to.canceled - r.winMark.canceled,
 		Shed:         to.shed - r.winMark.shed,
-		ShedHigh:     to.shedHigh - r.winMark.shedHigh,
-		ShedLow:      to.shedLow - r.winMark.shedLow,
 		Failed:       to.failed - r.winMark.failed,
 		Resubmitted:  to.resub - r.winMark.resub,
 		Retries:      to.retries - r.winMark.retries,
@@ -1774,9 +2223,8 @@ func (r *run) emitSnapshot(ph Phase) {
 		s.P50 = r.res.Percentile(50)
 		s.P95 = r.res.Percentile(95)
 		s.P99 = r.res.Percentile(99)
-		s.HighP95 = r.resHigh.Percentile(95)
-		s.LowP95 = r.resLow.Percentile(95)
 	}
+	s.Classes = r.classStats(to)
 	if c := st.Cluster; c != nil {
 		s.FleetSize = c.NumShards()
 		s.FleetUp = c.UpCount()

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"extsched/internal/dbms"
+	"extsched/internal/lockmgr"
+)
+
+func TestSetMixValidates(t *testing.T) {
+	_, _, gen := driverRig(t, 0, 1)
+	bad := [][]TenantMix{
+		{{Class: 0, Share: 0.5}},                                       // sums to 0.5
+		{{Class: 0, Share: 0}, {Class: 1, Share: 1}},                   // zero share
+		{{Class: 0, Share: 0.5}, {Class: 0, Share: 0.5}},               // duplicate class
+		{{Class: 0, Share: 0.5}, {Class: 1, Share: 0.5, SizeMean: -1}}, // negative size
+	}
+	for i, mix := range bad {
+		if err := gen.SetMix(mix); err == nil {
+			t.Errorf("bad mix %d accepted", i)
+		}
+	}
+	if err := gen.SetMix([]TenantMix{{Class: 0, Share: 0.25}, {Class: 7, Share: 0.75}}); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+	if got := gen.Mix(); len(got) != 2 || got[1].Class != 7 {
+		t.Errorf("Mix() = %+v", got)
+	}
+	if err := gen.SetMix(nil); err != nil || gen.Mix() != nil {
+		t.Error("clearing the mix failed")
+	}
+}
+
+func TestMixSharesRealized(t *testing.T) {
+	_, _, gen := driverRig(t, 0, 1)
+	mix := []TenantMix{
+		{Class: 0, Share: 0.6},
+		{Class: 3, Share: 0.3},
+		{Class: 9, Share: 0.1}, // outside the fast-path tracked range
+	}
+	if err := gen.SetMix(mix); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	counts := map[lockmgr.Class]int{}
+	for i := 0; i < n; i++ {
+		counts[gen.Next().Class]++
+	}
+	for _, m := range mix {
+		got := float64(counts[m.Class]) / n
+		if math.Abs(got-m.Share) > 0.02 {
+			t.Errorf("class %d share = %v, want %v±0.02", m.Class, got, m.Share)
+		}
+	}
+}
+
+func TestMixSizeScaling(t *testing.T) {
+	_, _, gen := driverRig(t, 0, 1)
+	if err := gen.SetMix([]TenantMix{
+		{Class: 0, Share: 0.5},              // native sizes
+		{Class: 1, Share: 0.5, SizeMean: 4}, // deterministic 4x CPU
+	}); err != nil {
+		t.Fatal(err)
+	}
+	meanCPU := func(p dbms.TxnProfile) float64 {
+		total := 0.0
+		for _, op := range p.Ops {
+			total += op.CPUWork
+		}
+		return total / float64(len(p.Ops))
+	}
+	var native, scaled, nScaled, nNative float64
+	for i := 0; i < 5000; i++ {
+		p := gen.Next()
+		if p.Class == 1 {
+			scaled += meanCPU(p)
+			nScaled++
+		} else {
+			native += meanCPU(p)
+			nNative++
+		}
+	}
+	ratio := (scaled / nScaled) / (native / nNative)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("scaled/native CPU ratio = %v, want ≈ 4", ratio)
+	}
+}
+
+// TestMixHeavyTailSizes: a lognormal multiplier with C² >> 1 must
+// produce the occasional huge transaction while keeping the mean
+// multiplier, and EstimatedDemand must track the scaled CPU (the SJF
+// size hint stays truthful).
+func TestMixHeavyTailSizes(t *testing.T) {
+	_, _, gen := driverRig(t, 0, 1)
+	if err := gen.SetMix([]TenantMix{
+		{Class: 0, Share: 0.5},
+		{Class: 1, Share: 0.5, SizeMean: 1, SizeC2: 15},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	maxDemand, sumDemand, n := 0.0, 0.0, 0
+	for i := 0; i < 20000; i++ {
+		p := gen.Next()
+		if p.Class != 1 {
+			continue
+		}
+		cpu := 0.0
+		for _, op := range p.Ops {
+			cpu += op.CPUWork
+		}
+		if p.EstimatedDemand < cpu {
+			t.Fatalf("EstimatedDemand %v below CPU content %v", p.EstimatedDemand, cpu)
+		}
+		sumDemand += p.EstimatedDemand
+		if p.EstimatedDemand > maxDemand {
+			maxDemand = p.EstimatedDemand
+		}
+		n++
+	}
+	mean := sumDemand / float64(n)
+	if maxDemand < 5*mean {
+		t.Errorf("heavy tail missing: max demand %v < 5× mean %v", maxDemand, mean)
+	}
+}
+
+// TestMixOffPathBitIdentical pins the compatibility guarantee: a
+// generator that never had a mix installed draws exactly the same
+// sequence as before the tenant machinery existed (same RNG order), so
+// every historical two-class figure stays bit-identical.
+func TestMixOffPathBitIdentical(t *testing.T) {
+	draw := func(withClearedMix bool) []float64 {
+		_, _, gen := driverRig(t, 0, 42)
+		if withClearedMix {
+			if err := gen.SetMix([]TenantMix{{Class: 0, Share: 1}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := gen.SetMix(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []float64
+		for i := 0; i < 200; i++ {
+			out = append(out, gen.Next().EstimatedDemand)
+		}
+		return out
+	}
+	a, b := draw(false), draw(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShapedDriverRateSchedule(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 1)
+	d := NewShapedDriver(eng, fe, gen, ShapedConfig{
+		Base: 40, Amp: 0.5, Period: 100,
+		FlashFactor: 3, FlashAt: 200, FlashDuration: 10,
+	})
+	d.Start()
+	if got := d.Rate(0); math.Abs(got-40) > 1e-9 {
+		t.Errorf("rate at t=0 = %v, want 40", got)
+	}
+	if got := d.Rate(25); math.Abs(got-60) > 1e-9 { // sine peak
+		t.Errorf("rate at quarter period = %v, want 60", got)
+	}
+	if got := d.Rate(75); math.Abs(got-20) > 1e-9 { // sine trough
+		t.Errorf("rate at three quarters = %v, want 20", got)
+	}
+	if got := d.Rate(200); math.Abs(got-3*40) > 1e-9 { // flash at sine zero-crossing
+		t.Errorf("rate inside flash = %v, want 120", got)
+	}
+	if got := d.Rate(210); math.Abs(got-40*(1+0.5*math.Sin(2*math.Pi*0.1))) > 1e-9 {
+		t.Errorf("rate after flash = %v, want the plain sine", got)
+	}
+}
+
+func TestShapedDriverDiurnalCounts(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 1)
+	d := NewShapedDriver(eng, fe, gen, ShapedConfig{Base: 50, Amp: 0.8, Period: 200})
+	d.Start()
+	eng.Run(100) // rising half of the sine: mean rate ≈ 50·(1+0.8·2/π)
+	up := d.Arrived()
+	eng.Run(200) // falling half: mean ≈ 50·(1−0.8·2/π)
+	down := d.Arrived() - up
+	d.Stop()
+	if float64(up) < 1.5*float64(down) {
+		t.Errorf("diurnal shape missing: rising half %d, falling half %d", up, down)
+	}
+	total := float64(up + down)
+	if total < 0.8*10000 || total > 1.2*10000 {
+		t.Errorf("total arrivals = %v, want ≈ 10000 (mean 50/s over 200s)", total)
+	}
+}
+
+func TestShapedDriverFlashCrowd(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 1)
+	d := NewShapedDriver(eng, fe, gen, ShapedConfig{Base: 30, FlashFactor: 10, FlashAt: 50, FlashDuration: 20})
+	d.Start()
+	eng.Run(50)
+	before := d.Arrived()
+	eng.Run(70)
+	flash := d.Arrived() - before
+	d.Stop()
+	// 20s at 300/s ≈ 6000 vs 50s at 30/s ≈ 1500.
+	if float64(flash) < 2*float64(before) {
+		t.Errorf("flash crowd missing: pre %d, flash window %d", before, flash)
+	}
+}
+
+func TestShapedDriverDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		eng, fe, gen := driverRig(t, 4, 7)
+		if err := gen.SetMix([]TenantMix{
+			{Class: 0, Share: 0.7},
+			{Class: 2, Share: 0.3, SizeMean: 2, SizeC2: 4},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d := NewShapedDriver(eng, fe, gen, ShapedConfig{
+			Base: 30, Amp: 0.4, Period: 40, FlashFactor: 4, FlashAt: 20, FlashDuration: 5,
+		})
+		d.Start()
+		eng.Run(60)
+		d.Stop()
+		return d.Arrived(), fe.Metrics().Completed
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Errorf("shaped driver not deterministic: (%d,%d) vs (%d,%d)", a1, c1, a2, c2)
+	}
+	if a1 == 0 || c1 == 0 {
+		t.Error("shaped driver produced no traffic")
+	}
+}
+
+func TestShapedDriverPauseResume(t *testing.T) {
+	eng, fe, gen := driverRig(t, 0, 3)
+	d := NewShapedDriver(eng, fe, gen, ShapedConfig{Base: 50, Amp: 0.2, Period: 100})
+	d.Start()
+	eng.Run(10)
+	d.Pause()
+	atPause := d.Arrived()
+	eng.Run(20)
+	if d.Arrived() != atPause {
+		t.Fatal("arrivals while paused")
+	}
+	d.Resume()
+	eng.Run(30)
+	if d.Arrived() == atPause {
+		t.Fatal("no arrivals after resume")
+	}
+	_ = fe
+}

@@ -151,6 +151,11 @@ type Generator struct {
 	pattern  bufferpool.AccessPattern
 	missEst  float64
 	coldSeq  uint64
+	// mix, when non-nil, replaces the two-class HighFrac tagging with
+	// an N-tenant arrival mix (see SetMix / TenantMix in tenant.go).
+	mix     []TenantMix
+	mixCum  []float64
+	mixSize []dist.Distribution
 }
 
 // NewGenerator validates the spec and returns a deterministic
@@ -175,8 +180,13 @@ func NewGenerator(spec Spec, seed uint64) (*Generator, error) {
 	return g, nil
 }
 
-// Next draws a profile, tagging it High with probability HighFrac.
+// Next draws a profile, tagging it High with probability HighFrac —
+// or, when a tenant mix is installed (SetMix), drawing the tenant
+// class from the mix shares and applying the tenant's size scaling.
 func (g *Generator) Next() dbms.TxnProfile {
+	if g.mix != nil {
+		return g.nextTenant()
+	}
 	class := lockmgr.Low
 	if g.rng.Float64() < g.HighFrac {
 		class = lockmgr.High

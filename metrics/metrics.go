@@ -50,19 +50,12 @@ type Snapshot struct {
 	// the external-queue portion; MeanInside the portion spent inside
 	// the backend.
 	MeanResponse, MeanWait, MeanInside float64
-	// HighResponse / LowResponse split MeanResponse by priority class
-	// (zero when a class saw no completions in the window).
-	HighResponse, LowResponse float64
 
 	// P50/P95/P99 are response-time percentiles. They are populated
 	// only when percentile sampling is enabled, and — because the
 	// sampling reservoir spans the whole run — they always cover the
 	// run so far, not the interval window.
 	P50, P95, P99 float64
-	// HighP95 / LowP95 split the 95th percentile by priority class —
-	// the signal a latency SLO is written against. Like P50/P95/P99
-	// they need percentile sampling and cover the run so far.
-	HighP95, LowP95 float64
 
 	// Dropped counts admission-control rejections, Canceled withdrawn
 	// submissions, Errors failed completions (live gate Result.Err).
@@ -70,10 +63,10 @@ type Snapshot struct {
 	// Shed counts deadline-missed rejections: work that could not be
 	// dispatched by its per-class admission deadline and was rejected
 	// without executing (gate.ErrDeadline live; scenario admit-deadline
-	// events simulated). ShedHigh/ShedLow split it by priority class.
-	// Window conventions follow Dropped: deltas in interval snapshots,
+	// events simulated). Per-class shares live in Classes. Window
+	// conventions follow Dropped: deltas in interval snapshots,
 	// totals in cumulative ones.
-	Shed, ShedHigh, ShedLow uint64
+	Shed uint64
 	// Restarts counts internal retry cycles (deadlock aborts in the
 	// simulated DBMS).
 	Restarts uint64
@@ -103,6 +96,15 @@ type Snapshot struct {
 	FleetSize, FleetUp   int
 	ScaleUps, ScaleDowns uint64
 
+	// Classes carries per-class (per-tenant) completion stats, in
+	// ascending class-ID order. It replaces the old hard-coded two-class
+	// fields (HighResponse/LowResponse, HighP95/LowP95, ShedHigh/
+	// ShedLow), which survive as derived accessor methods. Like Shards
+	// it is elided above a cardinality threshold (see the runner), so
+	// per-snapshot memory stays bounded at hundreds of tenants; the
+	// aggregate fields above remain populated.
+	Classes []ClassStat
+
 	// Shards carries per-member state when the frontend is a sharded
 	// cluster, in shard-index order. It is nil for single-backend runs
 	// and plain live gates — and also elided above a fleet-size
@@ -110,6 +112,67 @@ type Snapshot struct {
 	// bounded at N>=1000; the aggregate fields above remain populated.
 	Shards []ShardStat
 }
+
+// ClassStat is one priority class's (tenant's) slice of a Snapshot.
+// Completed, Shed and Mean follow the enclosing Snapshot's window
+// convention; P95 needs percentile sampling and covers the run so far
+// (like the Snapshot's own percentiles).
+type ClassStat struct {
+	// Class is the small-integer class ID; Name is the registered
+	// tenant name (empty when no tenant registry is attached).
+	Class int
+	Name  string
+	// Completed counts the class's completions; Shed its deadline-shed
+	// rejections.
+	Completed, Shed uint64
+	// Mean is the class's mean response time in seconds; P95 its 95th
+	// response-time percentile (0 unless percentile sampling is on).
+	Mean, P95 float64
+}
+
+// classStat finds the entry for a class ID (zero value when absent —
+// a class with no completions, no shed work, and no samples).
+func (s Snapshot) classStat(id int) ClassStat {
+	for _, c := range s.Classes {
+		if c.Class == id {
+			return c
+		}
+	}
+	return ClassStat{}
+}
+
+// HighResponse is the high-priority (class 1) mean response time.
+//
+// Deprecated: the two-class vocabulary is superseded by Classes; use
+// classStat entries for arbitrary tenants. Kept so existing two-class
+// figures and dashboards read identical values.
+func (s Snapshot) HighResponse() float64 { return s.classStat(1).Mean }
+
+// LowResponse is the low-priority (class 0) mean response time.
+//
+// Deprecated: use Classes.
+func (s Snapshot) LowResponse() float64 { return s.classStat(0).Mean }
+
+// HighP95 is the high-priority (class 1) p95 response time.
+//
+// Deprecated: use Classes.
+func (s Snapshot) HighP95() float64 { return s.classStat(1).P95 }
+
+// LowP95 is the low-priority (class 0) p95 response time.
+//
+// Deprecated: use Classes.
+func (s Snapshot) LowP95() float64 { return s.classStat(0).P95 }
+
+// ShedHigh is the high-priority (class 1) share of Shed.
+//
+// Deprecated: use Classes.
+func (s Snapshot) ShedHigh() uint64 { return s.classStat(1).Shed }
+
+// ShedLow is everything in Shed not attributed to the high class —
+// the historical "low" bucket, which lumped all non-high classes.
+//
+// Deprecated: use Classes.
+func (s Snapshot) ShedLow() uint64 { return s.Shed - s.classStat(1).Shed }
 
 // ShardStat is one dispatch member's slice of a Snapshot: instantaneous
 // gate state plus the member's share of the window's traffic.

@@ -8,8 +8,10 @@ import (
 	"sort"
 
 	"extsched/internal/core"
+	"extsched/internal/lockmgr"
 	"extsched/internal/runner"
 	"extsched/internal/trace"
+	"extsched/internal/workload"
 	"extsched/metrics"
 )
 
@@ -43,7 +45,75 @@ const (
 	PhaseBurst = "burst"
 	// PhaseTrace replays a trace (Phase.Trace or Phase.TraceSynth).
 	PhaseTrace = "trace"
+	// PhaseDiurnal is a non-homogeneous Poisson process whose rate
+	// follows a sine around Lambda (DiurnalAmp / DiurnalPeriod) — the
+	// day/night cycle of multi-tenant traffic. An optional flash-crowd
+	// window (FlashFactor / FlashAt / FlashDuration) may overlay it.
+	PhaseDiurnal = "diurnal"
+	// PhaseFlash is a stationary Poisson process at Lambda with one
+	// flash-crowd window during which the rate multiplies by
+	// FlashFactor; an optional diurnal sine may overlay it.
+	PhaseFlash = "flash"
 )
+
+// TenantSpec declares one tenant of a multi-tenant scenario. Listing
+// tenants generalizes the historical two-class (high/low) vocabulary
+// to N named classes: tenant i is assigned class ID i in list order,
+// arrivals are drawn from the tenants' Shares instead of
+// Config.HighPriorityFraction, and per-class results appear in
+// Report.Classes under the tenants' names. Events and the fairness
+// controller address tenants by Name.
+type TenantSpec struct {
+	// Name labels the tenant in reports, snapshots and events.
+	// Required, distinct across the block.
+	Name string `json:"name"`
+	// Weight is the tenant's relative share weight — the WFQ weight
+	// under Config.Policy "wfq", and the fairness controller's
+	// entitlement. 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Share is the tenant's fraction of arrivals. Shares must each be
+	// > 0 and sum to 1 across the block.
+	Share float64 `json:"share"`
+	// SLOTarget is the tenant's declared p95 response-time target in
+	// seconds (0 = none). Advisory metadata: recorded in the tenant
+	// registry for operators and future controllers.
+	SLOTarget float64 `json:"slo_target,omitempty"`
+	// SizeMean, when > 0, scales the tenant's transactions by a
+	// lognormal multiplier with this mean and squared coefficient of
+	// variation SizeC2 (SizeC2 0 = deterministic scaling). A
+	// heavy-tailed multiplier (SizeC2 >> 1) gives the tenant the
+	// occasional huge transaction of real multi-tenant traffic.
+	SizeMean float64 `json:"size_mean,omitempty"`
+	SizeC2   float64 `json:"size_c2,omitempty"`
+}
+
+// FairnessSpec configures the N-tenant weighted max-min fairness
+// controller: it partitions the MPL across the tenant classes
+// (work-conserving — idle slots are still lent across the partition)
+// and steers the split so each tenant's weight-normalized attained
+// service equalizes. Two invariants hold after every reaction: the
+// per-tenant limits sum to the MPL, and every tenant keeps at least
+// one slot — an aggressor can never capture the whole gate. Unsharded
+// systems only; mutually exclusive with the feedback controller and
+// the SLO controller (all three share the one metrics window).
+type FairnessSpec struct {
+	// Weights overrides the tenants' declared weights, keyed by tenant
+	// name (every listed tenant must exist; weights > 0). Nil means
+	// "use the tenants block's weights".
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// MinObservations gates fairness-window close (0 = 50
+	// completions).
+	MinObservations int `json:"min_observations,omitempty"`
+	// Hysteresis is the imbalance ratio a busy donor must exceed
+	// before a slot moves (0 = 1.2; otherwise >= 1).
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// Strict makes the partition a hard cap: a tenant at its limit
+	// never borrows idle capacity. Trades utilization for latency
+	// isolation — under strict an overloaded tenant cannot keep the
+	// backend saturated, so the others' in-DBMS times hold near their
+	// uncontended levels. Default false (work-conserving borrowing).
+	Strict bool `json:"strict,omitempty"`
+}
 
 // ControllerSpec configures the paper's Section 4.3 feedback
 // controller when an Event enables it mid-scenario.
@@ -114,6 +184,117 @@ func parseClass(name string) (core.Class, error) {
 	}
 }
 
+// classOf resolves a tenant name to its class ID: list position in the
+// tenants block when one is present, else the legacy high/low pair.
+func (sc Scenario) classOf(name string) (core.Class, error) {
+	if len(sc.Tenants) == 0 {
+		if name == "" {
+			return 0, fmt.Errorf("extsched: empty tenant name")
+		}
+		return parseClass(name)
+	}
+	for i, t := range sc.Tenants {
+		if t.Name == name {
+			return core.Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("extsched: unknown tenant %q (not in the tenants block)", name)
+}
+
+// maxTenants bounds a tenants block. The limit keeps every tenant's
+// dedicated percentile-reservoir RNG stream distinct (streams are
+// spaced by class ID masked to 16 bits).
+const maxTenants = 1 << 15
+
+// validateTenants checks the tenants block's standalone fields.
+func (sc Scenario) validateTenants() error {
+	if len(sc.Tenants) == 0 {
+		return nil
+	}
+	if len(sc.Tenants) < 2 {
+		return fmt.Errorf("extsched: a tenants block needs >= 2 tenants, have %d", len(sc.Tenants))
+	}
+	if len(sc.Tenants) > maxTenants {
+		return fmt.Errorf("extsched: %d tenants exceeds the %d limit", len(sc.Tenants), maxTenants)
+	}
+	seen := make(map[string]bool, len(sc.Tenants))
+	total := 0.0
+	for i, t := range sc.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("extsched: tenant %d: name is required", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("extsched: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Weight < 0 {
+			return fmt.Errorf("extsched: tenant %q weight %v must be >= 0 (0 = 1)", t.Name, t.Weight)
+		}
+		if t.Share <= 0 {
+			return fmt.Errorf("extsched: tenant %q share %v must be > 0", t.Name, t.Share)
+		}
+		if t.SLOTarget < 0 {
+			return fmt.Errorf("extsched: tenant %q slo_target %v must be >= 0", t.Name, t.SLOTarget)
+		}
+		if t.SizeMean < 0 || t.SizeC2 < 0 {
+			return fmt.Errorf("extsched: tenant %q size dist (mean %v, c2 %v) must be >= 0", t.Name, t.SizeMean, t.SizeC2)
+		}
+		total += t.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("extsched: tenant shares sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// spec translates the public fairness spec to the runner's vocabulary:
+// every tenant is governed at its declared weight, with Weights
+// overriding by name.
+func (fs FairnessSpec) spec(sc Scenario) (runner.FairnessSpec, error) {
+	rs := runner.FairnessSpec{
+		Weights:         make(map[core.Class]float64, len(sc.Tenants)+len(fs.Weights)),
+		MinObservations: fs.MinObservations,
+		Hysteresis:      fs.Hysteresis,
+		Strict:          fs.Strict,
+	}
+	for i, t := range sc.Tenants {
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		rs.Weights[core.Class(i)] = w
+	}
+	for name, w := range fs.Weights {
+		c, err := sc.classOf(name)
+		if err != nil {
+			return runner.FairnessSpec{}, err
+		}
+		rs.Weights[c] = w
+	}
+	if err := rs.Validate(); err != nil {
+		return runner.FairnessSpec{}, err
+	}
+	return rs, nil
+}
+
+// Deprecations lists uses of deprecated scenario vocabulary — fields
+// that still parse and behave identically but have a tenant-
+// generalized replacement. cmd/dbsim prints them to stderr; migration
+// notes live in EXPERIMENTS.md.
+func (sc Scenario) Deprecations() []string {
+	var out []string
+	for i, ph := range sc.Phases {
+		for j, ev := range ph.Events {
+			if ev.SetWFQHighWeight != nil {
+				out = append(out, fmt.Sprintf(
+					"phase %d event %d: set_wfq_high_weight is deprecated; write {\"set_weights\": {\"high\": %v}} instead",
+					i, j, *ev.SetWFQHighWeight))
+			}
+		}
+	}
+	return out
+}
+
 // spec translates the public SLO spec to the runner's vocabulary.
 func (s SLOSpec) spec() (runner.SLOSpec, error) {
 	class, err := parseClass(s.Class)
@@ -138,6 +319,10 @@ type ClassLimits struct {
 	Low  int `json:"low"`
 }
 
+// TenantLimits is a static per-tenant MPL partition, keyed by tenant
+// name (see Event.SetTenantLimits). An empty map clears the partition.
+type TenantLimits map[string]int
+
 // AdmitDeadline sets per-class admission deadlines in seconds: a
 // transaction that cannot START within its class's deadline of
 // arriving is shed — rejected without executing, counted in
@@ -159,7 +344,35 @@ type Event struct {
 	SetMPL *int `json:"set_mpl,omitempty"`
 	// SetWFQHighWeight reweights the WFQ policy's high class (the low
 	// class keeps weight 1); ignored when the policy is not WFQ.
+	//
+	// Deprecated: the two-class shorthand is superseded by SetWeights,
+	// which reweights any tenant by name. Still parsed and applied —
+	// existing scenario files keep working bit-identically — but
+	// Scenario.Deprecations flags it, and new files should write
+	// {"set_weights": {"high": w}} instead.
 	SetWFQHighWeight *float64 `json:"set_wfq_high_weight,omitempty"`
+	// SetWeights reweights the WFQ policy per tenant (by tenant name,
+	// or "high"/"low" without a tenants block). The map replaces the
+	// policy's weights: tenants absent from it fall back to weight 1.
+	// Ignored when the policy is not WFQ.
+	SetWeights map[string]float64 `json:"set_weights,omitempty"`
+	// SetTenantLimits installs a static per-tenant MPL partition, by
+	// tenant name: each listed tenant gets that many dedicated slots
+	// (each >= 1, summing to at most the MPL), work-conserving. An
+	// empty (but non-nil) map clears the partition — a pointer so the
+	// clear form {} survives a marshal round trip. Unsharded systems
+	// only. The N-tenant generalization of SetClassLimits.
+	SetTenantLimits *TenantLimits `json:"set_tenant_limits,omitempty"`
+	// SetTenantDeadlines changes per-tenant admission deadlines in
+	// seconds, by tenant name (zero clears a tenant's deadline; tenants
+	// absent from the map keep theirs). Works on sharded systems too.
+	// The N-tenant generalization of SetAdmitDeadline.
+	SetTenantDeadlines map[string]float64 `json:"set_tenant_deadlines,omitempty"`
+	// EnableFairness attaches (or replaces) the weighted max-min
+	// fairness controller; DisableFairness detaches it, freezing the
+	// tenant partition where the loop left it. Unsharded systems only.
+	EnableFairness  *FairnessSpec `json:"enable_fairness,omitempty"`
+	DisableFairness bool          `json:"disable_fairness,omitempty"`
 	// SetShardSpeed changes one shard's relative CPU speed. Running it
 	// against an unsharded system is an error.
 	SetShardSpeed *ShardSpeedEvent `json:"set_shard_speed,omitempty"`
@@ -284,6 +497,19 @@ type Phase struct {
 	// (0s = defaults: factor 2, period 100 mean interarrivals).
 	BurstFactor float64 `json:"burst_factor,omitempty"`
 	BurstPeriod float64 `json:"burst_period,omitempty"`
+	// DiurnalAmp / DiurnalPeriod shape a diurnal phase: the rate
+	// follows Lambda·(1 + Amp·sin(2πt/Period)), amplitude in (0,1],
+	// period in seconds. Required for PhaseDiurnal; optional overlay on
+	// PhaseFlash.
+	DiurnalAmp    float64 `json:"diurnal_amp,omitempty"`
+	DiurnalPeriod float64 `json:"diurnal_period,omitempty"`
+	// FlashFactor / FlashAt / FlashDuration shape a flash crowd: for
+	// FlashDuration seconds starting FlashAt seconds into the phase,
+	// the rate multiplies by FlashFactor (>= 1). Required for
+	// PhaseFlash; optional overlay on PhaseDiurnal.
+	FlashFactor   float64 `json:"flash_factor,omitempty"`
+	FlashAt       float64 `json:"flash_at,omitempty"`
+	FlashDuration float64 `json:"flash_duration,omitempty"`
 	// Trace embeds a trace to replay; TraceSynth synthesizes one
 	// instead (exactly one of the two for a trace phase). TraceSpeedup
 	// divides the trace's inter-arrival gaps (0 = 1).
@@ -312,6 +538,18 @@ type Scenario struct {
 	// to every observer each interval and records the series in
 	// Result.Snapshots.
 	SampleInterval float64 `json:"sample_interval,omitempty"`
+	// Tenants declares an N-tenant workload: tenant i gets class ID i,
+	// arrivals are split by the tenants' Shares (replacing
+	// Config.HighPriorityFraction tagging), and per-tenant results
+	// appear under the tenants' names in Report.Classes. At least two
+	// tenants when present.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	// Fairness, when non-nil, runs the whole scenario under the
+	// weighted max-min fairness controller from the moment the
+	// measurement window opens (an event-free way to arm it;
+	// enable_fairness events can still replace it). Requires a tenants
+	// block and an unsharded system.
+	Fairness *FairnessSpec `json:"fairness,omitempty"`
 	// Autoscale, when non-nil, arms the fleet autoscaler for the whole
 	// run (sharded systems only).
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
@@ -333,6 +571,20 @@ type Scenario struct {
 // in, so Validate (and ParseScenario) never pays the generation cost —
 // Run pays it exactly once.
 func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
+	if err := sc.validateTenants(); err != nil {
+		return runner.Spec{}, err
+	}
+	if fs := sc.Fairness; fs != nil {
+		if len(sc.Tenants) == 0 {
+			return runner.Spec{}, fmt.Errorf("extsched: scenario-level fairness needs a tenants block (events can pass explicit weights instead)")
+		}
+		if sc.ParallelShards {
+			return runner.Spec{}, fmt.Errorf("extsched: fairness is not supported with parallel_shards (the controller actuates per completion)")
+		}
+		if _, err := fs.spec(sc); err != nil {
+			return runner.Spec{}, err
+		}
+	}
 	spec := runner.Spec{
 		Warmup:         sc.Warmup,
 		SampleInterval: sc.SampleInterval,
@@ -353,17 +605,22 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 	}
 	for i, ph := range sc.Phases {
 		rp := runner.Phase{
-			Name:         ph.Name,
-			Kind:         runner.Kind(ph.Kind),
-			Duration:     ph.Duration,
-			Clients:      ph.Clients,
-			ThinkTime:    ph.ThinkTime,
-			Lambda:       ph.Lambda,
-			Lambda2:      ph.Lambda2,
-			BurstFactor:  ph.BurstFactor,
-			BurstPeriod:  ph.BurstPeriod,
-			Trace:        ph.Trace,
-			TraceSpeedup: ph.TraceSpeedup,
+			Name:          ph.Name,
+			Kind:          runner.Kind(ph.Kind),
+			Duration:      ph.Duration,
+			Clients:       ph.Clients,
+			ThinkTime:     ph.ThinkTime,
+			Lambda:        ph.Lambda,
+			Lambda2:       ph.Lambda2,
+			BurstFactor:   ph.BurstFactor,
+			BurstPeriod:   ph.BurstPeriod,
+			DiurnalAmp:    ph.DiurnalAmp,
+			DiurnalPeriod: ph.DiurnalPeriod,
+			FlashFactor:   ph.FlashFactor,
+			FlashAt:       ph.FlashAt,
+			FlashDuration: ph.FlashDuration,
+			Trace:         ph.Trace,
+			TraceSpeedup:  ph.TraceSpeedup,
 		}
 		if ch := ph.Churn; ch != nil {
 			rp.Churn = &runner.ChurnSpec{MTBF: ch.MTBF, MTTR: ch.MTTR, Seed: ch.Seed}
@@ -398,10 +655,51 @@ func (sc Scenario) spec(materialize bool) (runner.Spec, error) {
 				SetDispatch:       ev.SetDispatch,
 				DisableController: ev.DisableController,
 				DisableSLO:        ev.DisableSLO,
+				DisableFairness:   ev.DisableFairness,
 				ShardFail:         ev.ShardFail,
 				ShardRecover:      ev.ShardRecover,
 				ShardRemove:       ev.ShardRemove,
 				ShardAdd:          ev.ShardAdd,
+			}
+			if len(ev.SetWeights) > 0 {
+				re.SetWeights = make(map[core.Class]float64, len(ev.SetWeights))
+				for name, w := range ev.SetWeights {
+					c, err := sc.classOf(name)
+					if err != nil {
+						return runner.Spec{}, fmt.Errorf("extsched: phase %d: set_weights: %w", i, err)
+					}
+					re.SetWeights[c] = w
+				}
+			}
+			if ev.SetTenantLimits != nil {
+				re.SetTenantLimits = make(map[core.Class]int, len(*ev.SetTenantLimits))
+				for name, l := range *ev.SetTenantLimits {
+					c, err := sc.classOf(name)
+					if err != nil {
+						return runner.Spec{}, fmt.Errorf("extsched: phase %d: set_tenant_limits: %w", i, err)
+					}
+					re.SetTenantLimits[c] = l
+				}
+			}
+			if ev.SetTenantDeadlines != nil {
+				re.SetTenantDeadlines = make(map[core.Class]float64, len(ev.SetTenantDeadlines))
+				for name, d := range ev.SetTenantDeadlines {
+					c, err := sc.classOf(name)
+					if err != nil {
+						return runner.Spec{}, fmt.Errorf("extsched: phase %d: set_tenant_deadlines: %w", i, err)
+					}
+					re.SetTenantDeadlines[c] = d
+				}
+			}
+			if fs := ev.EnableFairness; fs != nil {
+				if sc.ParallelShards {
+					return runner.Spec{}, fmt.Errorf("extsched: phase %d: enable_fairness is not supported with parallel_shards (the controller actuates per completion)", i)
+				}
+				rs, err := fs.spec(sc)
+				if err != nil {
+					return runner.Spec{}, fmt.Errorf("extsched: phase %d: enable_fairness: %w", i, err)
+				}
+				re.EnableFairness = &rs
 			}
 			if ss := ev.SetShardSpeed; ss != nil {
 				re.SetShardSpeed = &runner.ShardSpeed{Shard: ss.Shard, Speed: ss.Speed}
@@ -536,6 +834,34 @@ type AutoscaleResult struct {
 	ShardSeconds float64
 }
 
+// ClassResult is one tenant class's slice of a Report window (the
+// N-tenant generalization of the HighRT/LowRT/ShedHigh/ShedLow
+// fields, which remain for two-class runs).
+type ClassResult struct {
+	// Class is the tenant's class ID (its position in the tenants
+	// block); Name its registered name ("" when unregistered).
+	Class int
+	Name  string
+	// Completed / Shed count the class's completions and deadline-shed
+	// rejections in the window.
+	Completed, Shed uint64
+	// MeanRT is the class's mean response time in seconds; P95 its
+	// 95th percentile (whole-run reports in PercentileSamples mode
+	// only — phase slices carry no per-class reservoir).
+	MeanRT, P95 float64
+}
+
+// FairnessResult reports a fairness-controlled run (Scenario.Fairness,
+// or any scenario with an enable_fairness event).
+type FairnessResult struct {
+	// Limits is the final per-tenant slot partition, keyed by class ID
+	// (it sums to the final MPL).
+	Limits map[int]int
+	// Iterations counts completed fairness reactions; Moves how many
+	// of them actually moved a slot.
+	Iterations, Moves int
+}
+
 // Result is a completed scenario run.
 type Result struct {
 	// Total aggregates the whole measurement window (warmup excluded;
@@ -555,6 +881,8 @@ type Result struct {
 	Tune *TuneResult
 	// SLO is non-nil when the latency-SLO controller ran.
 	SLO *SLOResult
+	// Fairness is non-nil when the max-min fairness controller ran.
+	Fairness *FairnessResult
 	// Autoscale is non-nil when Scenario.Autoscale armed the fleet
 	// autoscaler.
 	Autoscale *AutoscaleResult
@@ -565,35 +893,46 @@ type Result struct {
 
 // ExampleScenarioJSON is a runnable template for scenario files (cmd/
 // dbsim prints it with -scenario-example, and the fuzz corpus seeds
-// from it): a steady closed phase that hands the MPL to the feedback
-// controller, an open ramp surge, and a synthesized bursty trace
-// replay.
+// from it): three weighted tenants under the strict max-min fairness
+// controller through a steady closed phase, an open ramp surge that
+// swaps the fairness loop for the throughput feedback controller
+// (the two share the metrics window, so only one runs at a time) and
+// rebalances the tenant weights mid-flight, and a synthesized bursty
+// trace replay.
 const ExampleScenarioJSON = `{
   "name": "surge-demo",
   "warmup": 30,
   "sample_interval": 20,
+  "tenants": [
+    {"name": "batch", "weight": 1, "share": 0.5},
+    {"name": "web", "weight": 4, "share": 0.3},
+    {"name": "api", "weight": 4, "share": 0.2, "slo_target": 2}
+  ],
+  "fairness": {"strict": true},
   "phases": [
     {
       "name": "steady",
       "kind": "closed",
       "duration": 200,
-      "clients": 100,
-      "events": [
-        {
-          "at": 0,
-          "enable_controller": {
-            "max_throughput_loss": 0.05,
-            "reference_throughput": 95
-          }
-        }
-      ]
+      "clients": 100
     },
     {
       "name": "surge",
       "kind": "ramp",
       "duration": 200,
       "lambda": 50,
-      "lambda2": 120
+      "lambda2": 120,
+      "events": [
+        {"at": 0, "disable_fairness": true},
+        {
+          "at": 1,
+          "enable_controller": {
+            "max_throughput_loss": 0.05,
+            "reference_throughput": 95
+          }
+        },
+        {"at": 50, "set_weights": {"web": 8, "batch": 1}}
+      ]
     },
     {
       "name": "replay",
@@ -614,7 +953,7 @@ const ExampleScenarioJSON = `{
 
 // reportFrom converts a runner report to the public vocabulary.
 func reportFrom(r runner.Report) Report {
-	return Report{
+	rep := Report{
 		SimSeconds:  r.Window,
 		Completed:   r.Completed,
 		Throughput:  r.Throughput(),
@@ -643,6 +982,17 @@ func reportFrom(r runner.Report) Report {
 		HighP95:     r.HighP95,
 		LowP95:      r.LowP95,
 	}
+	for _, c := range r.Classes {
+		rep.Classes = append(rep.Classes, ClassResult{
+			Class:     int(c.Class),
+			Name:      c.Name,
+			Completed: c.Completed,
+			Shed:      c.Shed,
+			MeanRT:    c.Mean,
+			P95:       c.P95,
+		})
+	}
+	return rep
 }
 
 // Run executes the scenario on pristine simulation state assembled
@@ -705,6 +1055,47 @@ func (s *System) checkShardEvents(sc Scenario) error {
 	return nil
 }
 
+// applyTenants installs the scenario's tenants block on the fresh
+// stack: every frontend's registry gets the names, weights and SLO
+// targets (so live stats and reports carry tenant names), the WFQ
+// policy — when Config.Policy is "wfq" — is reweighted to the tenants'
+// declared weights, and the generator's arrival stream is split by the
+// tenants' shares, replacing the historical HighPriorityFraction
+// tagging.
+func applyTenants(st *runner.Stack, sc Scenario) error {
+	names := make(map[core.Class]string, len(sc.Tenants))
+	weights := make(map[core.Class]float64, len(sc.Tenants))
+	mix := make([]workload.TenantMix, len(sc.Tenants))
+	for i, t := range sc.Tenants {
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		if st.Cluster != nil {
+			for _, sh := range st.Cluster.Shards() {
+				sh.FE.RegisterClass(t.Name, w, t.SLOTarget)
+			}
+		} else {
+			st.FE.RegisterClass(t.Name, w, t.SLOTarget)
+		}
+		names[core.Class(i)] = t.Name
+		weights[core.Class(i)] = w
+		mix[i] = workload.TenantMix{
+			Class:    lockmgr.Class(i),
+			Share:    t.Share,
+			SizeMean: t.SizeMean,
+			SizeC2:   t.SizeC2,
+		}
+	}
+	if st.Cluster != nil {
+		st.Cluster.SetWFQWeights(weights)
+	} else {
+		st.FE.SetWFQWeights(weights)
+	}
+	st.ClassNames = names
+	return st.Gen.SetMix(mix)
+}
+
 // runScenario is Run with an optional MPL override for the fresh stack
 // (AutoTune starts at the model's jump-start value, not Config.MPL).
 func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, obs ...metrics.Observer) (Result, error) {
@@ -722,6 +1113,18 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 	st, err := s.buildStack(mpl, sc.ParallelShards && s.cfg.Shards.Count > 0)
 	if err != nil {
 		return Result{}, err
+	}
+	if len(sc.Tenants) > 0 {
+		if err := applyTenants(&st, sc); err != nil {
+			return Result{}, err
+		}
+	}
+	if fs := sc.Fairness; fs != nil {
+		rs, err := fs.spec(sc)
+		if err != nil {
+			return Result{}, err
+		}
+		st.Fairness = &rs
 	}
 	s.cur = &st
 	defer func() { s.cur = nil }()
@@ -771,6 +1174,17 @@ func (s *System) runScenario(ctx context.Context, sc Scenario, initialMPL *int, 
 			MinFleet:     out.Autoscale.MinFleet,
 			ShardSeconds: out.Autoscale.ShardSeconds,
 		}
+	}
+	if out.Fairness != nil {
+		fr := &FairnessResult{
+			Limits:     make(map[int]int, len(out.Fairness.Limits)),
+			Iterations: out.Fairness.Iterations,
+			Moves:      out.Fairness.Moves,
+		}
+		for c, l := range out.Fairness.Limits {
+			fr.Limits[int(c)] = l
+		}
+		res.Fairness = fr
 	}
 	if out.SLO != nil {
 		class := "high"
